@@ -1,0 +1,110 @@
+"""Ablations on the machine parameters the techniques exploit.
+
+Two design-choice studies DESIGN.md calls out:
+
+* **i-cache size**: the layout techniques matter because the path exceeds
+  the 8 KB i-cache.  Growing the cache until the whole path fits should
+  collapse the STD/ALL gap — the paper's own remark that "the best
+  solution when the problem fits into the cache is radically different".
+* **memory latency**: the techniques attack mCPI, so their payoff should
+  scale with the processor/memory speed gap (the paper's closing point
+  about the 266 MHz / 66 MB/s machine in their lab).
+"""
+
+import pytest
+
+from repro.arch.cpu import CpuConfig
+from repro.arch.memory import MemoryConfig
+from repro.arch.simulator import AlphaConfig, MachineSimulator
+from repro.harness.configs import build_configured_program
+from repro.harness.experiment import Experiment
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """One captured roundtrip per configuration, walked once."""
+    out = {}
+    for config in ("STD", "ALL"):
+        exp = Experiment("tcpip", config)
+        build = build_configured_program("tcpip", config, exp.opts)
+        sample = exp.run_sample(build, seed=11)
+        out[config] = sample.walk.trace
+    return out
+
+
+def _simulate(trace, *, icache=8 * 1024, bhit=10, main=75):
+    cfg = AlphaConfig(
+        cpu=CpuConfig(),
+        memory=MemoryConfig(icache_size=icache, bcache_hit_cycles=bhit,
+                            main_memory_cycles=main),
+    )
+    return MachineSimulator(cfg).run_steady_state(trace)
+
+
+def test_icache_size_ablation(benchmark, traces, publish):
+    def sweep():
+        rows = {}
+        for size_kb in (4, 8, 16, 32, 64):
+            std = _simulate(traces["STD"], icache=size_kb * 1024)
+            best = _simulate(traces["ALL"], icache=size_kb * 1024)
+            rows[size_kb] = (std.mcpi, best.mcpi)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: i-cache size vs technique payoff (TCP/IP)",
+             "-" * 60,
+             f"{'i-cache':>8s} {'STD mCPI':>9s} {'ALL mCPI':>9s} {'gap':>7s}"]
+    for size_kb, (std, best) in rows.items():
+        lines.append(f"{size_kb:6d}KB {std:9.2f} {best:9.2f} "
+                     f"{std - best:7.2f}")
+    publish("ablation_icache", "\n".join(lines))
+
+    # a scarcer cache widens the STD-ALL gap; an abundant one closes it
+    gap = {k: std - best for k, (std, best) in rows.items()}
+    assert gap[4] > gap[8] * 0.8
+    assert gap[64] < gap[8]
+    # with the whole path cached, both configurations converge
+    assert rows[64][0] == pytest.approx(rows[64][1], abs=0.35)
+
+
+def test_memory_latency_ablation(benchmark, traces, publish):
+    def sweep():
+        rows = {}
+        for bhit, main in ((5, 30), (10, 75), (20, 150), (40, 300)):
+            std = _simulate(traces["STD"], bhit=bhit, main=main)
+            best = _simulate(traces["ALL"], bhit=bhit, main=main)
+            rows[(bhit, main)] = (std.mcpi, best.mcpi)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Ablation: memory latency vs technique payoff (TCP/IP)",
+             "-" * 64,
+             f"{'b-hit/mem':>10s} {'STD mCPI':>9s} {'ALL mCPI':>9s} "
+             f"{'saved':>7s}"]
+    saved = []
+    for (bhit, main), (std, best) in rows.items():
+        lines.append(f"{bhit:4d}/{main:<5d} {std:9.2f} {best:9.2f} "
+                     f"{std - best:7.2f}")
+        saved.append(std - best)
+    publish("ablation_latency", "\n".join(lines))
+
+    # the absolute mCPI saved by the techniques grows with memory latency:
+    # exactly the paper's "increasingly important as the gap widens"
+    assert saved == sorted(saved)
+
+
+def test_write_buffer_depth_ablation(benchmark, traces, publish):
+    """A deeper write buffer absorbs more store->load hazards."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = {}
+    for depth in (1, 4, 16):
+        cfg = AlphaConfig(memory=MemoryConfig(write_buffer_depth=depth))
+        rows[depth] = MachineSimulator(cfg).run_steady_state(
+            traces["STD"]
+        ).mcpi
+    publish(
+        "ablation_wbuffer",
+        "Ablation: write-buffer depth (TCP/IP STD)\n" + "-" * 44 + "\n"
+        + "\n".join(f"  depth {d:>2d}: mCPI {m:.2f}" for d, m in rows.items()),
+    )
+    assert rows[16] <= rows[1]

@@ -1,0 +1,73 @@
+"""Section 4.2's caveat: PIN/ALL assume a zero-overhead packet classifier.
+
+The paper measures the best classifiers of the day at 1-4 µs per packet on
+this hardware and deliberately excludes that cost from Tables 4-8.  This
+benchmark measures our classifier the same way — separately — and shows
+what Table 4's PIN row would look like if the cost were charged.
+"""
+
+import pytest
+
+from repro.arch.simulator import MachineSimulator
+from repro.core.layout import link_order_layout
+from repro.core.program import Program
+from repro.core.walker import EnterEvent, ExitEvent, Walker
+from repro.harness import paper
+from repro.xkernel.classifier import build_classifier_model, tcp_path_classifier
+
+
+def _frame(dst_port=7):
+    frame = bytearray(60)
+    frame[12:14] = (0x0800).to_bytes(2, "big")
+    frame[23] = 6
+    frame[36:38] = dst_port.to_bytes(2, "big")
+    return bytes(frame)
+
+
+def test_functional_classifier_throughput(benchmark):
+    clf = tcp_path_classifier(7)
+    frame = _frame()
+    result = benchmark(clf.classify, frame)
+    assert result == "tcpip_input_path"
+
+
+def _simulated_cost_us():
+    program = Program()
+    program.add(build_classifier_model())
+    program.layout(link_order_layout())
+    walker = Walker(program, {"clf": 0x700000, "msg": 0x710000})
+    events = [
+        EnterEvent("packet_classify",
+                   conds={"more_levels": 3, "matched": True}),
+        ExitEvent("packet_classify"),
+    ]
+    walk = walker.walk(events)
+    return MachineSimulator().run_steady_state(walk.trace).time_us()
+
+
+def test_simulated_classifier_cost(benchmark, publish):
+    cost = benchmark.pedantic(_simulated_cost_us, rounds=1, iterations=1)
+    lo, hi = paper.CLASSIFIER_OVERHEAD_US
+    publish(
+        "classifier_overhead",
+        "Packet classifier cost (measured separately, as in the paper)\n"
+        "-" * 60 + "\n"
+        f"simulated classification: {cost:.2f} us per packet\n"
+        f"paper's range for the best classifiers: {lo}-{hi} us\n"
+        f"per-roundtrip charge a non-zero-overhead PIN would pay: "
+        f"{2 * cost:.2f} us",
+    )
+    # same order of magnitude as the paper's 1-4 µs measurements
+    assert 0.2 < cost < hi
+
+
+def test_classifier_cost_would_not_change_the_headline(benchmark, tcpip_sweep):
+    """Even charged at the paper's worst case (4 µs per packet, two
+    packets per roundtrip), the path-inlined build still clearly beats
+    the STD baseline — the zero-overhead assumption is a simplification,
+    not the source of the result."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    worst = 2 * paper.CLASSIFIER_OVERHEAD_US[1]
+    pin = tcpip_sweep["PIN"].mean_rtt_us + worst
+    std = tcpip_sweep["STD"].mean_rtt_us
+    assert pin < std

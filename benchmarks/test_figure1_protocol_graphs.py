@@ -1,0 +1,76 @@
+"""Figure 1: the two protocol graphs, verified structurally.
+
+The figure is a configuration diagram; the reproduction renders it from
+the live protocol stacks and asserts the graph edges (who is wired below
+whom, who demultiplexes to whom).
+"""
+
+import pytest
+
+from repro.protocols.stacks import build_rpc_network, build_tcpip_network, establish
+
+
+def _render_stack(title, names):
+    width = max(len(n) for n in names) + 4
+    lines = [title]
+    for name in names:
+        lines.append("  +" + "-" * width + "+")
+        lines.append("  |" + name.center(width) + "|")
+    lines.append("  +" + "-" * width + "+")
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="module")
+def networks():
+    tcpip = build_tcpip_network()
+    establish(tcpip)
+    rpc = build_rpc_network()
+    return tcpip, rpc
+
+
+def test_figure1_render(benchmark, networks, publish):
+    tcpip, rpc = networks
+    text = benchmark.pedantic(
+        lambda: (
+            _render_stack("TCP/IP stack:",
+                          ["TCPTEST", "TCP", "IP", "VNET", "ETH", "LANCE"])
+            + "\n\n"
+            + _render_stack("RPC stack:",
+                            ["XRPCTEST", "MSELECT", "VCHAN", "CHAN",
+                             "BID", "BLAST", "ETH", "LANCE"])
+        ),
+        rounds=1, iterations=1,
+    )
+    publish("figure1", text)
+
+
+def test_figure1_tcpip_graph_edges(benchmark, networks):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    tcpip, _ = networks
+    host = tcpip.client
+    assert host.tcp.lower is host.ip
+    assert host.ip.lower is host.vnet
+    assert host.vnet.lower is host.eth
+    assert host.eth.adaptor is host.adaptor
+    # inbound demux wiring: ETH -> IP (by EtherType), IP -> TCP (by proto)
+    import struct
+
+    from repro.protocols.eth import ETHERTYPE_IP
+    from repro.protocols.ip import PROTO_TCP
+
+    assert host.eth.type_map.resolve(struct.pack("!H", ETHERTYPE_IP)) is host.ip
+    assert host.ip.proto_map.resolve(bytes([PROTO_TCP])) is host.tcp
+
+
+def test_figure1_rpc_graph_edges(benchmark, networks):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _, rpc = networks
+    host = rpc.client
+    assert host.chan.lower is host.bid
+    assert host.bid.lower is host.blast
+    assert host.blast.lower is host.eth
+    # the RPC stack is deeper than the TCP/IP stack (the paper's point
+    # about the x-kernel's many-small-protocols decomposition)
+    rpc_depth = 8   # XRPCTEST MSELECT VCHAN CHAN BID BLAST ETH LANCE
+    tcpip_depth = 6  # TCPTEST TCP IP VNET ETH LANCE
+    assert rpc_depth > tcpip_depth

@@ -1,0 +1,71 @@
+"""Where the stalls live: per-function attribution across configurations.
+
+Backs the paper's per-protocol reasoning with a mechanical profile: TCP's
+two big functions dominate the stall budget, the bipartite layout's
+protected libraries stop missing, and path-inlining concentrates the whole
+path's cost in the two merged megafunctions.
+"""
+
+import pytest
+
+from repro.harness.configs import build_configured_program
+from repro.harness.experiment import Experiment
+from repro.harness.profile import profile_trace
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    out = {}
+    for config in ("STD", "CLO", "ALL"):
+        exp = Experiment("tcpip", config)
+        build = build_configured_program("tcpip", config, exp.opts)
+        sample = exp.run_sample(build, seed=31)
+        out[config] = (build, profile_trace(sample.walk.trace, build.program))
+    return out
+
+
+def test_profile_report(benchmark, profiles, publish):
+    benchmark.pedantic(lambda: profiles, rounds=1, iterations=1)
+    sections = []
+    for config, (_, report) in profiles.items():
+        sections.append(f"[{config}]\n{report.render(10)}")
+    publish("profile_attribution", "\n\n".join(sections))
+
+
+def test_tcp_functions_dominate_std(benchmark, profiles):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The two TCP megafunctions own the biggest stall shares in STD."""
+    _, report = profiles["STD"]
+    top_two = {p.name for p in report.top(2)}
+    assert top_two == {"tcp_demux", "tcp_push"}
+
+
+def test_everything_attributed(benchmark, profiles):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for config, (_, report) in profiles.items():
+        assert report.unattributed_instructions == 0, config
+
+
+def test_protected_libraries_stop_missing_in_clo(benchmark, profiles):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The bipartite layout's point, seen per function: the protected
+    library functions' i-misses drop versus STD."""
+    _, std = profiles["STD"]
+    _, clo = profiles["CLO"]
+    from repro.protocols.models.library import HOT_LIBRARY_FUNCTIONS
+
+    std_lib = sum(std.functions[n].icache_misses
+                  for n in HOT_LIBRARY_FUNCTIONS if n in std.functions)
+    clo_lib = sum(clo.functions[n].icache_misses
+                  for n in HOT_LIBRARY_FUNCTIONS if n in clo.functions)
+    assert clo_lib < std_lib
+
+
+def test_path_inlining_concentrates_cost(benchmark, profiles):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """In ALL, the merged megafunctions carry the bulk of the stalls."""
+    _, report = profiles["ALL"]
+    merged = [p for p in report.functions.values() if "path" in p.name]
+    assert len(merged) == 2
+    merged_share = sum(p.stall_cycles for p in merged)
+    assert merged_share > 0.6 * report.total_stall_cycles

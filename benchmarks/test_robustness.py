@@ -1,0 +1,68 @@
+"""Robustness: the headline ordering is not a seed artifact.
+
+The paper's Table 4 ordering (BAD > STD > OUT > CLO > PIN > ALL) should
+hold under any measurement seed — the allocator jitter that produces the
+±σ must never reorder the configurations.
+"""
+
+import pytest
+
+from repro.harness.configs import build_configured_program
+from repro.harness.experiment import Experiment
+
+CONFIGS = ("BAD", "STD", "OUT", "CLO", "PIN", "ALL")
+
+
+@pytest.fixture(scope="module")
+def seed_matrix():
+    """Processing time per (config, seed)."""
+    matrix = {}
+    builds = {
+        config: build_configured_program("tcpip", config)
+        for config in CONFIGS
+    }
+    for config in CONFIGS:
+        exp = Experiment("tcpip", config)
+        for seed in (101, 202, 303):
+            sample = exp.run_sample(builds[config], seed)
+            matrix[(config, seed)] = sample.processing_us
+    return matrix
+
+
+def test_ordering_stable_across_seeds(benchmark, seed_matrix, publish):
+    matrix = benchmark.pedantic(lambda: seed_matrix, rounds=1, iterations=1)
+    lines = ["Ordering robustness across seeds (TCP/IP, processing us)",
+             "-" * 60,
+             f"{'config':8s}" + "".join(f"{s:>10d}" for s in (101, 202, 303))]
+    for config in CONFIGS:
+        lines.append(
+            f"{config:8s}"
+            + "".join(f"{matrix[(config, s)]:10.1f}" for s in (101, 202, 303))
+        )
+    publish("robustness", "\n".join(lines))
+
+    for seed in (101, 202, 303):
+        times = {c: matrix[(c, seed)] for c in CONFIGS}
+        # the hard relations the paper leans on, per seed
+        assert times["BAD"] > 1.5 * times["STD"], seed
+        assert times["STD"] > times["OUT"], seed
+        assert times["OUT"] > times["CLO"], seed
+        assert times["CLO"] > times["ALL"], seed
+
+
+def test_seed_jitter_is_small_relative_to_effects(benchmark, seed_matrix):
+    """sigma across seeds is far smaller than any technique's effect."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    import statistics
+
+    for config in CONFIGS:
+        values = [seed_matrix[(config, s)] for s in (101, 202, 303)]
+        spread = max(values) - min(values)
+        assert spread < 3.0, config  # µs
+
+    effect = (statistics.fmean(
+        [seed_matrix[("STD", s)] for s in (101, 202, 303)]
+    ) - statistics.fmean(
+        [seed_matrix[("ALL", s)] for s in (101, 202, 303)]
+    ))
+    assert effect > 3.0

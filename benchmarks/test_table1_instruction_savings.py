@@ -1,0 +1,50 @@
+"""Table 1: dynamic instruction count reductions of the Section 2 changes.
+
+Regenerates the paper's per-optimization savings by toggling each change
+off and re-measuring the TCP/IP client roundtrip's trace length.
+"""
+
+import pytest
+
+from repro.harness import paper
+from repro.harness.reporting import render_table1
+from repro.harness.tables import compute_table1
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return compute_table1()
+
+
+def test_table1_savings(benchmark, table1, publish):
+    savings, total = benchmark.pedantic(
+        lambda: table1, rounds=1, iterations=1
+    )
+    publish("table1", render_table1(savings, total))
+
+    # every optimization saves instructions, within 15% of the paper's row
+    for flag, target in paper.TABLE1_SAVINGS.items():
+        measured = savings[flag]
+        assert measured > 0, flag
+        assert abs(measured - target) <= max(12, 0.15 * target), (
+            f"{flag}: measured {measured}, paper {target}"
+        )
+
+    # the ranking of the two biggest savings matches the paper
+    ranked = sorted(savings, key=savings.get, reverse=True)
+    assert ranked[0] == "word_sized_tcp_state"
+    assert ranked[1] == "msg_refresh_short_circuit"
+
+    # the combined original->improved saving lands near the paper's 1071
+    assert abs(total - paper.TABLE1_TOTAL) <= 0.15 * paper.TABLE1_TOTAL
+
+
+def test_table1_measurement_cost(benchmark):
+    """Cost of one toggled measurement (workload generation + walk)."""
+    from repro.harness.tables import _trace_length
+    from repro.protocols.options import Section2Options
+
+    length = benchmark(
+        _trace_length, "tcpip", Section2Options.improved(), 42
+    )
+    assert length > 3000

@@ -1,0 +1,38 @@
+"""Table 2: the original vs the RISC-improved x-kernel TCP/IP stack."""
+
+import pytest
+
+from repro.harness import paper
+from repro.harness.reporting import render_table2
+from repro.harness.tables import compute_table2
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return compute_table2(samples=3)
+
+
+def test_table2_original_vs_improved(benchmark, table2, publish):
+    measured = benchmark.pedantic(lambda: table2, rounds=1, iterations=1)
+    publish("table2", render_table2(measured))
+
+    orig, imp = measured["original"], measured["improved"]
+
+    # the improvements cut roundtrip latency and instruction count
+    assert imp["rtt_us"] < orig["rtt_us"]
+    assert imp["instructions"] < orig["instructions"]
+    assert imp["cycles"] < orig["cycles"]
+
+    # paper: almost 20% fewer instructions; CPI roughly unchanged
+    reduction = 1 - imp["instructions"] / orig["instructions"]
+    paper_reduction = 1 - (
+        paper.TABLE2["improved"]["instructions"]
+        / paper.TABLE2["original"]["instructions"]
+    )
+    assert reduction == pytest.approx(paper_reduction, abs=0.05)
+    assert imp["cpi"] == pytest.approx(orig["cpi"], rel=0.15)
+
+    # the improved stack's RTT is anchored to the paper's 351 µs
+    assert imp["rtt_us"] == pytest.approx(
+        paper.TABLE2["improved"]["rtt_us"], rel=0.02
+    )

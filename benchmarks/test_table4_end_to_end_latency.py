@@ -1,0 +1,76 @@
+"""Table 4: end-to-end roundtrip latency for all six configurations.
+
+The headline experiment: ping-pong latency under BAD/STD/OUT/CLO/PIN/ALL
+for both protocol stacks.  The reproduction's claim is shape fidelity:
+the ordering of the configurations, and roughly who-wins-by-how-much.
+"""
+
+import pytest
+
+from repro.harness import paper
+from repro.harness.reporting import render_table4
+
+
+def _ordering(results):
+    return [c for c, r in sorted(results.items(),
+                                 key=lambda kv: -kv[1].mean_rtt_us)]
+
+
+def test_table4_tcpip(benchmark, tcpip_sweep, publish):
+    table = benchmark.pedantic(
+        lambda: render_table4(tcpip_sweep, "tcpip"), rounds=1, iterations=1
+    )
+    publish("table4_tcpip", table)
+
+    # the paper's ordering, exactly
+    assert _ordering(tcpip_sweep) == ["BAD", "STD", "OUT", "CLO", "PIN", "ALL"]
+
+    # BAD is dramatically slower than everything else
+    bad = tcpip_sweep["BAD"].mean_rtt_us
+    std = tcpip_sweep["STD"].mean_rtt_us
+    best = tcpip_sweep["ALL"].mean_rtt_us
+    assert bad > 1.2 * best
+    # STD is anchored to the paper's measured 351.0 µs
+    assert std == pytest.approx(351.0, rel=0.02)
+    # every technique-enabled configuration beats STD
+    for config in ("OUT", "CLO", "PIN", "ALL"):
+        assert tcpip_sweep[config].mean_rtt_us < std
+
+
+def test_table4_rpc(benchmark, rpc_sweep, publish):
+    table = benchmark.pedantic(
+        lambda: render_table4(rpc_sweep, "rpc"), rounds=1, iterations=1
+    )
+    publish("table4_rpc", table)
+
+    assert _ordering(rpc_sweep) == ["BAD", "STD", "OUT", "CLO", "PIN", "ALL"]
+    assert rpc_sweep["STD"].mean_rtt_us == pytest.approx(399.2, rel=0.05)
+
+
+def test_table4_technique_asymmetries(benchmark, tcpip_sweep, rpc_sweep):
+    """The paper's cross-stack observations.
+
+    Outlining buys TCP/IP more than RPC (TCP's big functions carry inline
+    exception code; RPC already keeps exceptions in separate functions),
+    while path-inlining buys RPC at least as much relatively (many small
+    functions mean a call-overhead-dominated path).
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    tcp_out_gain = (tcpip_sweep["STD"].mean_rtt_us
+                    - tcpip_sweep["OUT"].mean_rtt_us)
+    rpc_out_gain = (rpc_sweep["STD"].mean_rtt_us
+                    - rpc_sweep["OUT"].mean_rtt_us)
+    assert tcp_out_gain > rpc_out_gain
+
+    tcp_pin_gain = (tcpip_sweep["OUT"].mean_rtt_us
+                    - tcpip_sweep["PIN"].mean_rtt_us)
+    rpc_pin_gain = (rpc_sweep["OUT"].mean_rtt_us
+                    - rpc_sweep["PIN"].mean_rtt_us)
+    assert rpc_pin_gain > 0.8 * tcp_pin_gain
+
+
+def test_table4_sigma_is_small(benchmark, tcpip_sweep):
+    """The paper's run-to-run sigma is well under 1 µs; so is ours."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for config, result in tcpip_sweep.items():
+        assert result.stdev_rtt_us < 3.0, config

@@ -1,0 +1,48 @@
+"""Table 5: latency adjusted for the network controller.
+
+Subtracting the 2 x 105 µs the LANCE controller imposes reveals how large
+the software effects really are: the paper's BAD becomes 186 % slower than
+ALL instead of 60 %.
+"""
+
+import pytest
+
+from repro.harness.latency import CONTROLLER_ROUNDTRIP_US, LatencyModel
+from repro.harness.reporting import render_table5
+
+
+def test_table5_tcpip(benchmark, tcpip_sweep, publish):
+    table = benchmark.pedantic(
+        lambda: render_table5(tcpip_sweep, "tcpip"), rounds=1, iterations=1
+    )
+    publish("table5_tcpip", table)
+
+    adj = {c: LatencyModel.adjusted_us(r.mean_rtt_us)
+           for c, r in tcpip_sweep.items()}
+
+    # the adjustment amplifies relative differences: BAD's slowdown over
+    # ALL grows substantially once the fixed controller share is removed
+    raw_slowdown = (tcpip_sweep["BAD"].mean_rtt_us
+                    / tcpip_sweep["ALL"].mean_rtt_us)
+    adj_slowdown = adj["BAD"] / adj["ALL"]
+    assert adj_slowdown > 1.25 * raw_slowdown
+
+    # STD is still >35 % slower than ALL after adjustment (paper: 40.2 %)
+    assert adj["STD"] / adj["ALL"] > 1.12
+
+
+def test_table5_rpc(benchmark, rpc_sweep, publish):
+    table = benchmark.pedantic(
+        lambda: render_table5(rpc_sweep, "rpc"), rounds=1, iterations=1
+    )
+    publish("table5_rpc", table)
+    adj = {c: LatencyModel.adjusted_us(r.mean_rtt_us)
+           for c, r in rpc_sweep.items()}
+    assert all(v > 0 for v in adj.values())
+    assert adj["BAD"] > adj["STD"] > adj["ALL"]
+
+
+def test_table5_controller_share_definition(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert CONTROLLER_ROUNDTRIP_US == pytest.approx(210.0)
+    assert LatencyModel.adjusted_us(351.0) == pytest.approx(141.0)

@@ -1,0 +1,82 @@
+"""Table 6: cache performance from trace-driven simulation.
+
+Following the paper's methodology, the captured roundtrip trace is fed to
+a cold instance of the memory-hierarchy simulator; the table reports
+misses, accesses and replacement misses for the i-cache, the combined
+d-cache/write-buffer, and the b-cache.
+"""
+
+import pytest
+
+from repro.harness import paper
+from repro.harness.reporting import render_table6
+
+CONFIGS = ("BAD", "STD", "OUT", "CLO", "PIN", "ALL")
+
+
+def test_table6_tcpip(benchmark, tcpip_sweep, publish):
+    table = benchmark.pedantic(
+        lambda: render_table6(tcpip_sweep, "tcpip"), rounds=1, iterations=1
+    )
+    publish("table6_tcpip", table)
+    _check_shapes(tcpip_sweep, paper.TABLE6_TCPIP)
+
+
+def test_table6_rpc(benchmark, rpc_sweep, publish):
+    table = benchmark.pedantic(
+        lambda: render_table6(rpc_sweep, "rpc"), rounds=1, iterations=1
+    )
+    publish("table6_rpc", table)
+    _check_shapes(rpc_sweep, paper.TABLE6_RPC)
+
+
+def _cold(results, config):
+    return results[config].representative().cold.memory
+
+
+def _check_shapes(results, reference):
+    # i-cache accesses equal the trace length (paper: Acc column)
+    for config in CONFIGS:
+        cold = _cold(results, config)
+        rep = results[config].representative()
+        assert cold.icache.accesses == rep.trace_length
+        # accesses within 15% of the paper's column
+        assert cold.icache.accesses == pytest.approx(
+            reference[config][0][1], rel=0.15
+        )
+
+    # BAD has by far the most i-cache replacement misses
+    bad_repl = _cold(results, "BAD").icache.replacement_misses
+    for config in ("CLO", "ALL"):
+        assert bad_repl > 3 * max(
+            1, _cold(results, config).icache.replacement_misses
+        )
+
+    # only BAD suffers b-cache replacement misses (paper's key observation:
+    # everything else runs entirely out of the b-cache)
+    assert _cold(results, "BAD").bcache.replacement_misses > 0
+    for config in ("STD", "OUT", "CLO", "PIN", "ALL"):
+        assert _cold(results, config).bcache.replacement_misses == 0, config
+
+    # cloning with the bipartite layout cuts replacement misses vs OUT
+    assert (_cold(results, "CLO").icache.replacement_misses
+            <= _cold(results, "OUT").icache.replacement_misses)
+
+    # ALL has the fewest (nearly zero) replacement misses
+    assert _cold(results, "ALL").icache.replacement_misses <= 12
+
+    # path-inlined builds access the caches less (shorter traces)
+    assert (_cold(results, "PIN").icache.accesses
+            < _cold(results, "STD").icache.accesses)
+
+
+def test_table6_bcache_access_structure(benchmark, tcpip_sweep):
+    """b-cache accesses exceed i-cache misses (sequential prefetch) and
+    include the d-side misses, mirroring the paper's footnote."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for config in CONFIGS:
+        cold = _cold(tcpip_sweep, config)
+        assert cold.bcache.accesses > cold.icache.misses
+        assert cold.bcache.accesses <= (
+            2 * cold.icache.misses + cold.dcache.misses
+        )

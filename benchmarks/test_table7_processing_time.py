@@ -1,0 +1,74 @@
+"""Table 7: processing time of the traced code, split into iCPI and mCPI.
+
+The paper's central metric: the memory cycles per instruction.  The
+reproduction asserts the relationships the paper highlights rather than
+absolute cycle counts.
+"""
+
+import pytest
+
+from repro.harness import paper
+from repro.harness.reporting import render_table7
+
+CONFIGS = ("BAD", "STD", "OUT", "CLO", "PIN", "ALL")
+
+
+def test_table7_tcpip(benchmark, tcpip_sweep, publish):
+    table = benchmark.pedantic(
+        lambda: render_table7(tcpip_sweep, "tcpip"), rounds=1, iterations=1
+    )
+    publish("table7_tcpip", table)
+    _check(tcpip_sweep, worst_best_target=paper.MCPI_WORST_BEST_RATIO["tcpip"])
+
+
+def test_table7_rpc(benchmark, rpc_sweep, publish):
+    table = benchmark.pedantic(
+        lambda: render_table7(rpc_sweep, "rpc"), rounds=1, iterations=1
+    )
+    publish("table7_rpc", table)
+    _check(rpc_sweep, worst_best_target=paper.MCPI_WORST_BEST_RATIO["rpc"])
+
+
+def _check(results, worst_best_target):
+    mcpi = {c: results[c].mean_mcpi for c in CONFIGS}
+    icpi = {c: results[c].mean_icpi for c in CONFIGS}
+
+    # the CPU spends well above one cycle per instruction waiting for
+    # memory in the BAD configuration, and mCPI dominates iCPI there
+    assert mcpi["BAD"] > 1.0
+    assert mcpi["BAD"] > icpi["BAD"]
+
+    # worst/best mCPI ratio: the paper's headline factors are 3.9 (TCP/IP)
+    # and 5.8 (RPC); the simulated hierarchy reproduces a clear multiple
+    ratio = mcpi["BAD"] / mcpi["ALL"]
+    assert ratio > 2.0
+    assert ratio < 2 * worst_best_target
+
+    # ALL has (nearly) the smallest mCPI of all versions (Section 4.4.2;
+    # in our simulation CLO occasionally edges it out within a few percent)
+    assert mcpi["ALL"] <= 1.05 * min(mcpi.values())
+    for config in ("BAD", "STD", "OUT"):
+        assert mcpi["ALL"] < mcpi[config]
+
+    # STD has a larger mCPI than ALL (paper: more than 35 % larger)
+    assert mcpi["STD"] > 1.05 * mcpi["ALL"]
+
+    # iCPI classes: the standard version has the largest iCPI; outlining
+    # reduces it (fewer taken branches)
+    assert icpi["STD"] >= icpi["OUT"] - 1e-9
+    assert icpi["ALL"] <= icpi["STD"] + 0.02
+
+    # trace lengths: path-inlined versions execute fewer instructions
+    lengths = {c: results[c].mean_trace_length for c in CONFIGS}
+    assert lengths["PIN"] < lengths["STD"]
+    assert lengths["ALL"] <= lengths["PIN"]
+
+
+def test_table7_absolute_scale(benchmark, tcpip_sweep):
+    """Processing times are tens of microseconds at 175 MHz, and the trace
+    lengths straddle the paper's 4200-4800 instruction range."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for config in CONFIGS:
+        r = tcpip_sweep[config]
+        assert 20.0 < r.mean_processing_us < 200.0
+        assert 3500 < r.mean_trace_length < 5500

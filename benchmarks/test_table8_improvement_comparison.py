@@ -1,0 +1,66 @@
+"""Table 8: comparing end-to-end, processing-time and b-cache improvements.
+
+The paper uses this table for two cross-checks: (1) the outlining/cloning
+gains are overwhelmingly attributable to the i-cache rather than the
+d-cache, and (2) processing-time deltas divided by b-cache access deltas
+land near the 10-cycle b-cache latency.
+"""
+
+import pytest
+
+from repro.harness import paper
+from repro.harness.reporting import render_table8
+from repro.harness.tables import compute_table8
+
+
+def test_table8_tcpip(benchmark, tcpip_sweep, publish):
+    rows = benchmark.pedantic(
+        lambda: compute_table8(tcpip_sweep), rounds=1, iterations=1
+    )
+    publish("table8_tcpip", render_table8(rows, "tcpip"))
+    _check(rows, tcpip_sweep)
+
+
+def test_table8_rpc(benchmark, rpc_sweep, publish):
+    rows = compute_table8(rpc_sweep)
+    publish("table8_rpc", render_table8(rows, "rpc"))
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    # same direction for the big transition
+    assert rows[("BAD", "CLO")]["d_te"] > 0
+    assert rows[("BAD", "CLO")]["d_tp"] > 0
+
+
+def _check(rows, sweep):
+    # the i-cache accounts for the bulk of the b-cache access reduction
+    # in the outlining and cloning transitions (paper: >=70 % everywhere,
+    # >=90 % in most rows)
+    for key in (("BAD", "CLO"), ("OUT", "CLO")):
+        assert rows[key]["i_pct"] > 60.0, key
+
+    # end-to-end and processing-time improvements are consistent in sign
+    for key in (("BAD", "CLO"), ("STD", "OUT"), ("OUT", "CLO"),
+                ("OUT", "PIN")):
+        assert rows[key]["d_te"] > 0, key
+        assert rows[key]["d_tp"] > 0, key
+
+    # b-cache accesses decrease along with processing time
+    assert rows[("BAD", "CLO")]["d_nb"] > 0
+    # the BAD->CLO transition also eliminates b-cache misses (Delta N_m)
+    assert rows[("BAD", "CLO")]["d_nm"] > 0
+
+
+def test_table8_bcache_latency_cross_check(benchmark, tcpip_sweep):
+    """Delta Tp / Delta Nb should land in a plausible per-access latency
+    band around the 10-cycle b-cache access time (paper: 5.6-17.5)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = compute_table8(tcpip_sweep)
+    cycles_per_us = 175.0
+    checked = 0
+    for key in (("STD", "OUT"), ("OUT", "CLO"), ("OUT", "PIN")):
+        d_tp, d_nb = rows[key]["d_tp"], rows[key]["d_nb"]
+        if d_nb <= 10:
+            continue
+        latency = d_tp * cycles_per_us / d_nb
+        assert 3.0 < latency < 40.0, (key, latency)
+        checked += 1
+    assert checked >= 1

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: measure TCP/IP ping-pong latency on the simulated testbed.
+
+This walks the library's whole pipeline in ~40 lines:
+
+1. build two hosts (Figure 1's TCP/IP graph) on an isolated Ethernet,
+2. establish a connection and run warm-up roundtrips,
+3. trace one roundtrip while the stack processes real packets,
+4. expand the trace over a configured machine-code image,
+5. simulate it against the DEC 3000/600 machine model,
+6. assemble end-to-end latency.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.walker import Walker
+from repro.harness.configs import build_configured_program
+from repro.harness.latency import LatencyModel
+from repro.protocols.stacks import build_tcpip_network, establish
+from repro.trace.tracer import Tracer
+from repro.arch.simulator import MachineSimulator
+
+
+def main() -> None:
+    # 1. two DEC 3000/600s on an isolated Ethernet
+    tracer = Tracer()
+    net = build_tcpip_network(client_tracer=tracer, jitter_seed=1)
+
+    # 2. three-way handshake, then let the congestion window open
+    establish(net)
+    net.client.app.run_pingpong(25)
+    net.run_until(lambda: net.client.app.replies >= 25)
+    print(f"warm-up done: {net.client.app.replies} echoed bytes, "
+          f"virtual time {net.events.now_us / 1000:.2f} ms")
+
+    # 3. trace one roundtrip
+    tracer.start()
+    net.client.app.run_pingpong(1)
+    net.run_until(lambda: net.client.app.replies >= 26)
+    events = tracer.stop()
+    print(f"captured {len(events)} protocol events for one roundtrip")
+
+    # 4. build the STD configuration (all Section 2 improvements, none of
+    #    the Section 3 techniques) and expand the events into a trace
+    build = build_configured_program("tcpip", "STD")
+    alloc = net.client.stack.allocator
+    walker = Walker(build.program, {"heap": alloc.base,
+                                    "evq": alloc.base + 0x40000})
+    walk = walker.walk(events)
+    print(f"instruction trace: {walk.length} instructions")
+
+    # 5. simulate: steady state for timing, cold for cache statistics
+    steady = MachineSimulator().run_steady_state(walk.trace)
+    cold = MachineSimulator().run(walk.trace)
+    print(f"processing time: {steady.time_us():.1f} us   "
+          f"CPI {steady.cpi:.2f} = iCPI {steady.icpi:.2f} "
+          f"+ mCPI {steady.mcpi:.2f}")
+    print(f"cold-cache stats: i-cache {cold.memory.icache.misses}/"
+          f"{cold.memory.icache.accesses} misses, "
+          f"d-cache/wb {cold.memory.dcache.misses}/"
+          f"{cold.memory.dcache.accesses}")
+
+    # 6. end-to-end latency: wire + controller + both hosts' software
+    rtt = LatencyModel("tcpip").roundtrip_us(steady.time_us())
+    print(f"end-to-end roundtrip latency: {rtt:.1f} us "
+          f"(paper's STD: 351.0 us)")
+
+
+if __name__ == "__main__":
+    main()

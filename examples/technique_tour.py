@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Technique tour: apply the paper's optimizations one at a time.
+
+Reproduces the experience of Section 4 interactively: the same traced
+roundtrip is evaluated under each build configuration, showing how
+outlining, cloning (bipartite layout) and path-inlining each move the
+numbers — and how a pessimal layout (BAD) wrecks them.
+
+Run:  python examples/technique_tour.py [tcpip|rpc]
+"""
+
+import sys
+
+from repro.harness.experiment import Experiment, run_all_configs
+from repro.harness.latency import LatencyModel
+
+DESCRIPTIONS = {
+    "BAD": "cloning abused to alias hot functions in the caches",
+    "STD": "Section 2 improvements only (the baseline)",
+    "OUT": "STD + outlining (error arms evacuated from the mainline)",
+    "CLO": "OUT + cloning with the bipartite library/path layout",
+    "PIN": "OUT + path-inlining (one megafunction per direction)",
+    "ALL": "PIN + cloning/bipartite: every technique together",
+}
+
+
+def main() -> None:
+    stack = sys.argv[1] if len(sys.argv) > 1 else "tcpip"
+    if stack not in ("tcpip", "rpc"):
+        raise SystemExit(f"unknown stack {stack!r}; use tcpip or rpc")
+
+    print(f"Measuring the {stack} stack under all six configurations ...\n")
+    results = run_all_configs(stack, samples=3)
+
+    header = (f"{'config':7s} {'description':58s} {'trace':>6s} "
+              f"{'mCPI':>5s} {'Tp[us]':>7s} {'RTT[us]':>8s}")
+    print(header)
+    print("-" * len(header))
+    for config in ("BAD", "STD", "OUT", "CLO", "PIN", "ALL"):
+        r = results[config]
+        print(f"{config:7s} {DESCRIPTIONS[config]:58s} "
+              f"{r.mean_trace_length:6.0f} {r.mean_mcpi:5.2f} "
+              f"{r.mean_processing_us:7.1f} {r.mean_rtt_us:8.1f}")
+
+    std = results["STD"].mean_rtt_us
+    best = results["ALL"].mean_rtt_us
+    adj_std = LatencyModel.adjusted_us(std)
+    adj_best = LatencyModel.adjusted_us(best)
+    print()
+    print(f"software-only view (minus the 210 us the controller costs):")
+    print(f"  STD {adj_std:.1f} us  ->  ALL {adj_best:.1f} us "
+          f"({100 * (adj_std - adj_best) / adj_std:.0f}% faster)")
+    ratio = results["BAD"].mean_mcpi / results["ALL"].mean_mcpi
+    print(f"worst/best mCPI ratio: {ratio:.1f}x "
+          f"(paper: 3.9x for TCP/IP, 5.8x for RPC)")
+
+
+if __name__ == "__main__":
+    main()

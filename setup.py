@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e .`).
+
+The execution environment is offline and has no `wheel` package, so PEP 660
+editable installs fail; the legacy setup.py develop path works everywhere.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

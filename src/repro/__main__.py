@@ -1,0 +1,76 @@
+"""``python -m repro``: regenerate every table in the paper's evaluation.
+
+Options::
+
+    python -m repro                  # all tables, default sample counts
+    python -m repro --samples 2      # faster, fewer samples per cell
+    python -m repro --stack rpc      # only the RPC sweep tables
+    python -m repro --tables 4 7     # only Tables 4 and 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the tables of TR 96-03 from the "
+                    "reproduction's simulated testbed.",
+    )
+    parser.add_argument("--samples", type=int, default=None,
+                        help="samples per configuration (default: the "
+                             "paper's 10 for TCP/IP, 5 for RPC)")
+    parser.add_argument("--stack", choices=["tcpip", "rpc", "both"],
+                        default="both")
+    parser.add_argument("--tables", nargs="*", type=int, default=None,
+                        help="subset of table numbers (1-9)")
+    args = parser.parse_args(argv)
+
+    wanted = set(args.tables) if args.tables else set(range(1, 10))
+    stacks = ["tcpip", "rpc"] if args.stack == "both" else [args.stack]
+    started = time.time()
+
+    from repro.harness import reporting, tables
+
+    def emit(text: str) -> None:
+        print(text)
+        print()
+
+    if wanted & {1} and "tcpip" in stacks:
+        savings, total = tables.compute_table1()
+        emit(reporting.render_table1(savings, total))
+    if wanted & {2} and "tcpip" in stacks:
+        emit(reporting.render_table2(tables.compute_table2()))
+    if wanted & {3} and "tcpip" in stacks:
+        emit(reporting.render_table3(tables.compute_table3()))
+
+    if wanted & {4, 5, 6, 7, 8}:
+        for stack in stacks:
+            print(f"... running the {stack} configuration sweep ...",
+                  file=sys.stderr)
+            sweep = tables.compute_sweep(stack, samples=args.samples)
+            if 4 in wanted:
+                emit(reporting.render_table4(sweep, stack))
+            if 5 in wanted:
+                emit(reporting.render_table5(sweep, stack))
+            if 6 in wanted:
+                emit(reporting.render_table6(sweep, stack))
+            if 7 in wanted:
+                emit(reporting.render_table7(sweep, stack))
+            if 8 in wanted:
+                emit(reporting.render_table8(
+                    tables.compute_table8(sweep), stack))
+
+    if wanted & {9}:
+        emit(reporting.render_table9(tables.compute_table9()))
+
+    print(f"[done in {time.time() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Alpha-21064-like machine model.
+
+This subpackage is the reproduction's stand-in for the DEC 3000/600
+workstation used in the paper: a dual-issue CPU timing model plus the
+machine's memory hierarchy (split 8 KB direct-mapped i-/d-caches, a 4-deep
+write buffer with write merging, and a unified 2 MB write-back b-cache).
+
+The paper derives its headline metrics the same way this package does: an
+instruction trace is fed to a simulator of the memory system, yielding cache
+statistics (Table 6) and the split of cycles-per-instruction into an
+instruction component (iCPI) and a memory-stall component (mCPI, Table 7).
+"""
+
+from repro.arch.isa import Op, TraceEntry, INSTRUCTION_SIZE
+from repro.arch.caches import DirectMappedCache, WriteBuffer, StreamBuffer, CacheStats
+from repro.arch.cpu import CpuModel, CpuConfig
+from repro.arch.memory import MemoryHierarchy, MemoryConfig, MemoryStats
+from repro.arch.simulator import MachineSimulator, SimResult, AlphaConfig
+
+__all__ = [
+    "Op",
+    "TraceEntry",
+    "INSTRUCTION_SIZE",
+    "DirectMappedCache",
+    "WriteBuffer",
+    "StreamBuffer",
+    "CacheStats",
+    "CpuModel",
+    "CpuConfig",
+    "MemoryHierarchy",
+    "MemoryConfig",
+    "MemoryStats",
+    "MachineSimulator",
+    "SimResult",
+    "AlphaConfig",
+]

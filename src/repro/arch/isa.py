@@ -1,0 +1,80 @@
+"""Instruction-set abstractions shared by the compiler IR and the simulator.
+
+The Alpha 21064 is a 64-bit RISC with fixed 4-byte instructions.  The
+simulator does not interpret operands; it only needs each instruction's
+*class* (for dual-issue pairing and latency) and, for memory operations, the
+effective data address.  The compiler IR in :mod:`repro.core.ir` attaches the
+richer structural information (data references, branch targets).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+#: Alpha instructions are 4 bytes, so an 8-instruction i-cache block is 32 B.
+INSTRUCTION_SIZE = 4
+
+
+class Op(enum.Enum):
+    """Instruction classes relevant to the timing model.
+
+    The split follows the 21064's issue rules: the machine can issue two
+    instructions per cycle provided at most one is a memory operation and at
+    most one is a branch-class instruction, and the branch must occupy the
+    second slot.
+    """
+
+    ALU = "alu"          #: integer operate (add, shift, compare, logical)
+    LDA = "lda"          #: load-address / immediate materialization
+    LOAD = "load"        #: memory read
+    STORE = "store"      #: memory write
+    BR = "br"            #: conditional branch
+    JMP = "jmp"          #: unconditional intra-procedure jump
+    BSR = "bsr"          #: PC-relative call
+    JSR = "jsr"          #: indirect (register) call
+    RET = "ret"          #: procedure return
+    MUL = "mul"          #: integer multiply (long latency on the 21064)
+    NOP = "nop"          #: padding / scheduling nop
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (Op.LOAD, Op.STORE)
+
+    @property
+    def is_branch(self) -> bool:
+        """True for anything routed through the branch unit."""
+        return self in (Op.BR, Op.JMP, Op.BSR, Op.JSR, Op.RET)
+
+    @property
+    def is_call(self) -> bool:
+        return self in (Op.BSR, Op.JSR)
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One dynamically executed instruction.
+
+    Attributes:
+        pc: byte address the instruction was fetched from.
+        op: instruction class (drives issue pairing and latency).
+        daddr: effective data address for ``LOAD``/``STORE``, else ``None``.
+        dwrite: True when the data access is a write.
+        taken: True when a branch-class instruction transferred control
+            (conditional branch taken, or any jump/call/return).
+    """
+
+    pc: int
+    op: Op
+    daddr: Optional[int] = None
+    dwrite: bool = False
+    taken: bool = False
+
+    def __post_init__(self) -> None:
+        if self.daddr is not None and not self.op.is_memory:
+            raise ValueError(f"non-memory op {self.op} carries a data address")
+        if self.op.is_memory and self.daddr is None:
+            raise ValueError(f"memory op {self.op} lacks a data address")
+        if self.dwrite and self.op is not Op.STORE:
+            raise ValueError("dwrite set on a non-store instruction")

@@ -1,0 +1,228 @@
+"""The DEC 3000/600 memory hierarchy (the mCPI component).
+
+Geometry, from Section 4.1 of the paper:
+
+* split primary caches: 8 KB i-cache and 8 KB d-cache, direct-mapped,
+  32-byte blocks (8 instructions per i-cache block),
+* the d-cache is write-through and allocates on read misses only,
+* a 4-deep write buffer (one block per entry) performs write merging,
+* a unified 2 MB direct-mapped write-back b-cache allocating on any miss,
+* a one-block sequential stream buffer prefetches the successor of a missed
+  i-cache block, which is why b-cache accesses can exceed i-cache misses.
+
+The model charges stall cycles for primary-cache misses (b-cache hit
+latency, nominally 10 cycles) and for b-cache misses (main-memory latency).
+Summing those stalls over a trace and dividing by the trace length yields
+the paper's mCPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.arch.caches import CacheStats, DirectMappedCache, StreamBuffer, WriteBuffer
+from repro.arch.isa import TraceEntry
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Sizes and latencies of the modeled hierarchy."""
+
+    icache_size: int = 8 * 1024
+    dcache_size: int = 8 * 1024
+    bcache_size: int = 2 * 1024 * 1024
+    block_size: int = 32
+    write_buffer_depth: int = 4
+    #: stall cycles for a primary miss that hits in the b-cache
+    bcache_hit_cycles: int = 10
+    #: stall cycles for a miss that goes all the way to main memory
+    main_memory_cycles: int = 75
+    #: stall cycles when a missed i-block is found in the stream buffer
+    #: (the prefetch hides part, not all, of the b-cache latency)
+    stream_hit_cycles: int = 10
+    #: stall cycles for a load satisfied by a pending write-buffer entry
+    #: (the store must drain before the load can complete)
+    write_forward_cycles: int = 9
+    #: stall charged when a store forces the full write buffer to retire
+    write_buffer_full_cycles: int = 4
+
+
+@dataclass
+class MemoryStats:
+    """Aggregated counters; ``dcache`` merges d-cache reads and buffered
+    writes exactly the way Table 6's middle columns do (a merged write
+    counts like a hit, a write that reached the b-cache counts as a miss).
+    """
+
+    icache: CacheStats = field(default_factory=CacheStats)
+    dcache: CacheStats = field(default_factory=CacheStats)
+    bcache: CacheStats = field(default_factory=CacheStats)
+    stall_cycles: int = 0
+    instructions: int = 0
+    stream_buffer_hits: int = 0
+    write_buffer_evictions: int = 0
+
+    @property
+    def mcpi(self) -> float:
+        return self.stall_cycles / self.instructions if self.instructions else 0.0
+
+    def snapshot(self) -> "MemoryStats":
+        return MemoryStats(
+            self.icache.snapshot(),
+            self.dcache.snapshot(),
+            self.bcache.snapshot(),
+            self.stall_cycles,
+            self.instructions,
+            self.stream_buffer_hits,
+            self.write_buffer_evictions,
+        )
+
+    def delta(self, earlier: "MemoryStats") -> "MemoryStats":
+        """Counters accumulated since ``earlier`` was snapshotted."""
+        return MemoryStats(
+            self.icache.delta(earlier.icache),
+            self.dcache.delta(earlier.dcache),
+            self.bcache.delta(earlier.bcache),
+            self.stall_cycles - earlier.stall_cycles,
+            self.instructions - earlier.instructions,
+            self.stream_buffer_hits - earlier.stream_buffer_hits,
+            self.write_buffer_evictions - earlier.write_buffer_evictions,
+        )
+
+
+class MemoryHierarchy:
+    """Stateful trace-driven model of the full memory system.
+
+    The hierarchy is deliberately long-lived: the experiment harness runs
+    warm-up roundtrips through the same instance and reports steady-state
+    deltas, or starts from a fresh instance to reproduce the paper's
+    cold-start single-trace cache statistics (Table 6).
+    """
+
+    def __init__(self, config: Optional[MemoryConfig] = None) -> None:
+        self.config = config or MemoryConfig()
+        cfg = self.config
+        self.icache = DirectMappedCache(cfg.icache_size, cfg.block_size, name="i-cache")
+        self.dcache = DirectMappedCache(
+            cfg.dcache_size, cfg.block_size, write_allocate=False, name="d-cache"
+        )
+        self.bcache = DirectMappedCache(cfg.bcache_size, cfg.block_size, name="b-cache")
+        self.write_buffer = WriteBuffer(cfg.write_buffer_depth, cfg.block_size)
+        self.stream_buffer = StreamBuffer(cfg.block_size)
+        self._stall_cycles = 0
+        self._instructions = 0
+
+    # ------------------------------------------------------------------ #
+    # observation                                                        #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> MemoryStats:
+        """Current combined view of all component counters."""
+        reads = self.dcache.stats
+        writes = self.write_buffer.stats
+        combined = CacheStats(
+            accesses=reads.accesses + writes.accesses,
+            misses=reads.misses + writes.misses,
+            replacement_misses=reads.replacement_misses,
+        )
+        return MemoryStats(
+            icache=self.icache.stats.snapshot(),
+            dcache=combined,
+            bcache=self.bcache.stats.snapshot(),
+            stall_cycles=self._stall_cycles,
+            instructions=self._instructions,
+            stream_buffer_hits=self.stream_buffer.hits,
+            write_buffer_evictions=self.write_buffer.evictions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # per-instruction stepping                                           #
+    # ------------------------------------------------------------------ #
+
+    def step(self, entry: TraceEntry) -> int:
+        """Process one trace entry; returns the stall cycles it incurred."""
+        self._instructions += 1
+        stall = self._fetch(entry.pc)
+        if entry.daddr is not None:
+            if entry.dwrite:
+                stall += self._write(entry.daddr)
+            else:
+                stall += self._read(entry.daddr)
+        self._stall_cycles += stall
+        return stall
+
+    def run(self, trace: Iterable[TraceEntry]) -> MemoryStats:
+        for entry in trace:
+            self.step(entry)
+        return self.stats
+
+    def reset(self) -> None:
+        self.icache.reset()
+        self.dcache.reset()
+        self.bcache.reset()
+        self.write_buffer.reset()
+        self.stream_buffer.reset()
+        self._stall_cycles = 0
+        self._instructions = 0
+
+    # ------------------------------------------------------------------ #
+    # internals                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _bcache_latency(self, addr: int, *, write: bool = False) -> int:
+        if self.bcache.access(addr, write=write):
+            return self.config.bcache_hit_cycles
+        return self.config.main_memory_cycles
+
+    def _fetch(self, pc: int) -> int:
+        cfg = self.config
+        if self.icache.access(pc):
+            return 0
+        block_addr = (pc // cfg.block_size) * cfg.block_size
+        next_block = block_addr + cfg.block_size
+        probed = self.stream_buffer.probe(pc)
+        if probed is not None:
+            self.icache.install(pc)
+            self._prefetch(next_block)
+            stall = cfg.stream_hit_cycles
+            if probed:
+                # the prefetch itself had missed the b-cache: the hidden
+                # portion of the main-memory latency still shows up here
+                stall += cfg.main_memory_cycles - cfg.bcache_hit_cycles
+            return stall
+        stall = self._bcache_latency(pc)
+        self._prefetch(next_block)
+        return stall
+
+    def _prefetch(self, block_start: int) -> None:
+        """Overlapped sequential prefetch: costs a b-cache access, no
+        immediate stall (a b-cache miss is charged at consumption)."""
+        if not self.icache.contains(block_start):
+            hit = self.bcache.access(block_start)
+            self.stream_buffer.prefetch(
+                block_start // self.config.block_size, bcache_miss=not hit
+            )
+
+    def _read(self, addr: int) -> int:
+        if self.dcache.access(addr):
+            return 0
+        # Read data may still sit in the write buffer (store->load
+        # forwarding); the pending store has to drain first, so this is
+        # nearly as expensive as the b-cache access it avoids.
+        if self.write_buffer.contains(addr):
+            return self.config.write_forward_cycles
+        return self._bcache_latency(addr)
+
+    def _write(self, addr: int) -> int:
+        # Write-through, no write-allocate: the d-cache tags are unaffected;
+        # the store goes to the write buffer.
+        evicted_before = self.write_buffer.evictions
+        if self.write_buffer.write(addr):
+            return 0
+        self.bcache.access(addr, write=True)
+        # The retired write only stalls the CPU when the buffer overflowed.
+        if self.write_buffer.evictions > evicted_before:
+            return self.config.write_buffer_full_cycles
+        return 0

@@ -1,0 +1,294 @@
+"""Materialization: turn IR functions into positioned instruction streams.
+
+Materializing a function fixes everything the memory system can observe:
+
+* the prologue and epilogue (GP reload, SP adjust, register save/restore),
+* call linkage — a *far* call is a GOT load plus an indirect ``JSR``; a
+  *near* (specialized) call is a single PC-relative ``BSR``,
+* branch canonicalization against the final block order: a branch whose
+  likely successor is adjacent falls through, everything else pays a taken
+  jump, and a jump to the adjacent block is elided entirely.
+
+These are exactly the mechanics that make outlining and cloning pay off:
+reordering blocks changes which successors are adjacent (fewer taken
+branches, no i-cache gaps in the mainline), and specializing calls removes
+the GOT load and improves branch prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.arch.isa import INSTRUCTION_SIZE, Op
+from repro.core.ir import (
+    BasicBlock,
+    CallDynamic,
+    CallStatic,
+    CondBranch,
+    DataRef,
+    Fallthrough,
+    Function,
+    GP_RELOAD_INSTRUCTIONS,
+    InlineEnter,
+    InlineExit,
+    Instruction,
+    Jump,
+    Return,
+    Terminator,
+)
+
+#: default GOT slot resolver: stable per-callee pseudo-offset
+def _default_got_offset(callee: str) -> int:
+    return (hash(callee) & 0x3FF) * 8
+
+
+def _never_near(caller: str, callee: str) -> bool:
+    return False
+
+
+@dataclass
+class MatInstr:
+    """A positioned instruction: class, optional data ref, and the
+    instruction-granular offset from the function's base address."""
+
+    op: Op
+    dref: Optional[DataRef] = None
+    offset: int = 0
+
+
+@dataclass
+class MatTerm:
+    """Materialized terminator: the original IR terminator plus the branch
+    or call instructions it expands into (already positioned)."""
+
+    term: Terminator
+    #: for CondBranch: the target reached by *falling through*
+    fallthrough_target: Optional[str] = None
+    #: the conditional branch instruction, if any
+    br: Optional[MatInstr] = None
+    #: an unconditional jump emitted for the other side / non-adjacent target
+    jmp: Optional[MatInstr] = None
+    #: GOT load for far calls
+    got_load: Optional[MatInstr] = None
+    #: the call instruction (JSR for far, BSR for near)
+    call: Optional[MatInstr] = None
+    #: epilogue instructions for Return (register restores + SP + RET)
+    epilogue: List[MatInstr] = field(default_factory=list)
+
+    def emitted_count(self) -> int:
+        count = len(self.epilogue)
+        for slot in (self.br, self.jmp, self.got_load, self.call):
+            if slot is not None:
+                count += 1
+        return count
+
+
+@dataclass
+class MatBlock:
+    """A positioned basic block."""
+
+    label: str
+    origin: str
+    start: int
+    body: List[MatInstr]
+    term: MatTerm
+    unlikely: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.start + len(self.body) + self.term.emitted_count()
+
+
+@dataclass
+class MaterializedFunction:
+    """The final, address-stable form of a function (pre-linking)."""
+
+    function: Function
+    blocks: List[MatBlock]
+    index: Dict[str, int]
+
+    @property
+    def name(self) -> str:
+        return self.function.name
+
+    @property
+    def size(self) -> int:
+        """Total instruction count."""
+        return self.blocks[-1].end if self.blocks else 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.size * INSTRUCTION_SIZE
+
+    def block(self, label: str) -> MatBlock:
+        return self.blocks[self.index[label]]
+
+    def next_label(self, label: str) -> Optional[str]:
+        i = self.index[label]
+        if i + 1 < len(self.blocks):
+            return self.blocks[i + 1].label
+        return None
+
+    def entry_label(self) -> str:
+        return self.blocks[0].label
+
+
+def _prologue_instructions(fn: Function) -> List[Instruction]:
+    """Standard Alpha prologue: GP reload (skippable when specialized),
+    SP adjustment, RA save (non-leaf), callee-saved register saves."""
+    instrs: List[Instruction] = []
+    if not fn.specialized:
+        instrs.extend(Instruction(Op.LDA) for _ in range(GP_RELOAD_INSTRUCTIONS))
+    instrs.append(Instruction(Op.LDA))  # lda sp, -frame(sp)
+    if not fn.leaf:
+        instrs.append(Instruction(Op.STORE, DataRef("stack", 0)))  # stq ra
+    for i in range(fn.saves):
+        instrs.append(Instruction(Op.STORE, DataRef("stack", 8 * (i + 1))))
+    return instrs
+
+
+def _epilogue_instructions(fn: Function) -> List[Tuple[Op, Optional[DataRef]]]:
+    out: List[Tuple[Op, Optional[DataRef]]] = []
+    if not fn.leaf:
+        out.append((Op.LOAD, DataRef("stack", 0)))  # ldq ra
+    for i in range(fn.saves):
+        out.append((Op.LOAD, DataRef("stack", 8 * (i + 1))))
+    out.append((Op.LDA, None))  # lda sp, frame(sp)
+    out.append((Op.RET, None))
+    return out
+
+
+def prologue_size(fn: Function) -> int:
+    return len(_prologue_instructions(fn))
+
+
+def epilogue_size(fn: Function) -> int:
+    return len(_epilogue_instructions(fn))
+
+
+def call_site_size(near: bool) -> int:
+    """Instructions a call occupies at the call site (GOT load + JSR vs BSR)."""
+    return 1 if near else 2
+
+
+def materialize(
+    fn: Function,
+    *,
+    near: Callable[[str, str], bool] = _never_near,
+    got_offset: Callable[[str], int] = _default_got_offset,
+) -> MaterializedFunction:
+    """Lay the function's blocks out in their current order and expand
+    prologue, epilogue, branches and call sequences into instructions."""
+    blocks: List[MatBlock] = []
+    index: Dict[str, int] = {}
+    offset = 0
+    order = fn.blocks
+    labels_in_order = [blk.label for blk in order]
+
+    for pos, blk in enumerate(order):
+        adjacent = labels_in_order[pos + 1] if pos + 1 < len(order) else None
+        body: List[MatInstr] = []
+        if pos == 0:
+            for ins in _prologue_instructions(fn):
+                body.append(MatInstr(ins.op, ins.dref, offset))
+                offset += 1
+        for ins in blk.instructions:
+            body.append(MatInstr(ins.op, ins.dref, offset))
+            offset += 1
+        term, offset = _materialize_terminator(
+            fn, blk.terminator, adjacent, offset, near=near, got_offset=got_offset
+        )
+        mat = MatBlock(
+            label=blk.label,
+            origin=blk.origin,
+            start=body[0].offset if body else offset - term.emitted_count(),
+            body=body,
+            term=term,
+            unlikely=blk.unlikely,
+        )
+        index[blk.label] = len(blocks)
+        blocks.append(mat)
+
+    return MaterializedFunction(function=fn, blocks=blocks, index=index)
+
+
+def _materialize_terminator(
+    fn: Function,
+    term: Optional[Terminator],
+    adjacent: Optional[str],
+    offset: int,
+    *,
+    near: Callable[[str, str], bool],
+    got_offset: Callable[[str], int],
+) -> Tuple[MatTerm, int]:
+    if term is None:
+        raise ValueError(f"{fn.name}: unterminated block reached materialization")
+
+    if isinstance(term, (Fallthrough, Jump)):
+        if term.target == adjacent:
+            return MatTerm(term=term), offset
+        jmp = MatInstr(Op.JMP, None, offset)
+        return MatTerm(term=term, jmp=jmp), offset + 1
+
+    if isinstance(term, CondBranch):
+        if term.when_false == adjacent:
+            br = MatInstr(Op.BR, None, offset)
+            return MatTerm(term=term, fallthrough_target=term.when_false, br=br), offset + 1
+        if term.when_true == adjacent:
+            br = MatInstr(Op.BR, None, offset)
+            return MatTerm(term=term, fallthrough_target=term.when_true, br=br), offset + 1
+        # Neither side adjacent: branch to when_true, jump to when_false.
+        br = MatInstr(Op.BR, None, offset)
+        jmp = MatInstr(Op.JMP, None, offset + 1)
+        return MatTerm(term=term, fallthrough_target=None, br=br, jmp=jmp), offset + 2
+
+    if isinstance(term, CallStatic):
+        if near(fn.name, term.callee):
+            call = MatInstr(Op.BSR, None, offset)
+            mt = MatTerm(term=term, call=call)
+            offset += 1
+        else:
+            got = MatInstr(Op.LOAD, DataRef("got", got_offset(term.callee)), offset)
+            call = MatInstr(Op.JSR, None, offset + 1)
+            mt = MatTerm(term=term, got_load=got, call=call)
+            offset += 2
+        offset = _maybe_post_call_jump(mt, term.next, adjacent, offset)
+        return mt, offset
+
+    if isinstance(term, CallDynamic):
+        # Demux dispatch: load the target's address from the protocol's
+        # dispatch state, then JSR through it.  Never specializable.
+        got = MatInstr(Op.LOAD, DataRef("demux", got_offset(term.site)), offset)
+        call = MatInstr(Op.JSR, None, offset + 1)
+        mt = MatTerm(term=term, got_load=got, call=call)
+        offset += 2
+        offset = _maybe_post_call_jump(mt, term.next, adjacent, offset)
+        return mt, offset
+
+    if isinstance(term, (InlineEnter, InlineExit)):
+        # Pure markers: the splice point of path-inlining emits nothing.
+        if term.next == adjacent:
+            return MatTerm(term=term), offset
+        jmp = MatInstr(Op.JMP, None, offset)
+        return MatTerm(term=term, jmp=jmp), offset + 1
+
+    if isinstance(term, Return):
+        epilogue = []
+        for op, dref in _epilogue_instructions(fn):
+            epilogue.append(MatInstr(op, dref, offset))
+            offset += 1
+        return MatTerm(term=term, epilogue=epilogue), offset
+
+    raise TypeError(f"unknown terminator {term!r}")
+
+
+def _maybe_post_call_jump(
+    mt: MatTerm, next_label: str, adjacent: Optional[str], offset: int
+) -> int:
+    """Execution resumes after the call; if the continuation block is not
+    adjacent (possible after reordering), a jump bridges the gap."""
+    if next_label != adjacent:
+        mt.jmp = MatInstr(Op.JMP, None, offset)
+        return offset + 1
+    return offset

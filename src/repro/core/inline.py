@@ -1,0 +1,120 @@
+"""Call-site inlining, including the paper's four safety criteria.
+
+Section 2.2.3 argues inlining trades temporal locality for code quality and
+is frequently misused; it is safe only when one of four conditions holds.
+:func:`should_inline` encodes those conditions so model-level decisions (and
+tests) can cite them directly, and :func:`inline_call` performs the splice.
+
+The splice itself mirrors what a compiler does: the callee's blocks are
+copied into the caller with fresh labels, the callee's prologue/epilogue
+disappear (they are synthesized only at materialization, so copies of the
+body simply never grow them), returns become jumps to the continuation, and
+call-site-specific simplification removes a fraction of the ALU work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.arch.isa import Op
+from repro.core.codegen import call_site_size, epilogue_size, prologue_size
+from repro.core.ir import (
+    BasicBlock,
+    CallStatic,
+    Function,
+    Instruction,
+    Jump,
+    Return,
+)
+from repro.core.program import Program
+
+
+@dataclass
+class InlineDecision:
+    """Outcome of the four-criteria test, with the criterion that fired."""
+
+    inline: bool
+    criterion: Optional[int] = None
+    reason: str = ""
+
+
+def should_inline(
+    callee: Function,
+    *,
+    call_sites: int,
+    callee_size: int,
+    simplified_size: Optional[int] = None,
+    activations_per_path: int = 1,
+    icache_blocks: int = 256,
+) -> InlineDecision:
+    """Apply the paper's four cases in which inlining is safe.
+
+    1. the function has only one call site;
+    2. the inlined version is no larger than the call sequence it replaces;
+    3. call-site-specific information simplifies the function so much that
+       it wins even with extra i-cache misses (caller passes the simplified
+       size to express this);
+    4. the inlined code runs often enough per path to amortize its misses.
+    """
+    call_cost = call_site_size(False) + prologue_size(callee) + epilogue_size(callee)
+    if call_sites == 1:
+        return InlineDecision(True, 1, "single call site")
+    if callee_size <= call_cost:
+        return InlineDecision(True, 2, "smaller than the call overhead")
+    if simplified_size is not None and simplified_size <= max(call_cost, callee_size // 3):
+        return InlineDecision(True, 3, "call-site constants collapse the body")
+    if activations_per_path * callee_size >= icache_blocks * 8:
+        return InlineDecision(True, 4, "misses amortized over many activations")
+    return InlineDecision(False, None, "no safe-inlining criterion applies")
+
+
+def _simplify_blocks(blocks: List[BasicBlock], simplify: float) -> None:
+    """Drop a fraction of ALU/LDA instructions (call-site optimization)."""
+    if simplify <= 0.0:
+        return
+    for blk in blocks:
+        kept: List[Instruction] = []
+        removable = [i for i in blk.instructions if i.op in (Op.ALU, Op.LDA)]
+        budget = int(len(removable) * simplify)
+        for ins in blk.instructions:
+            if budget and ins.op in (Op.ALU, Op.LDA):
+                budget -= 1
+                continue
+            kept.append(ins)
+        blk.instructions = kept
+
+
+def inline_call(
+    program: Program,
+    caller_name: str,
+    site_label: str,
+    *,
+    simplify: float = 0.0,
+) -> None:
+    """Inline the static call terminating block ``site_label`` of the caller.
+
+    The callee is looked up from the terminator; its body is spliced after
+    the call block and its returns are rewritten into jumps to the original
+    continuation.  The caller is modified in place (the program's
+    materialization cache is invalidated).
+    """
+    caller = program.function(caller_name)
+    site = caller.block(site_label)
+    term = site.terminator
+    if not isinstance(term, CallStatic):
+        raise ValueError(f"{caller_name}:{site_label} is not a static call site")
+    callee = program.function(term.callee)
+    prefix = f"{site_label}${callee.name}$"
+    body = [blk.clone(rename=prefix) for blk in callee.blocks]
+    _simplify_blocks(body, simplify)
+    continuation = term.next
+    for blk in body:
+        if isinstance(blk.terminator, Return):
+            blk.terminator = Jump(continuation)
+    # Redirect the call site into the spliced entry and insert the body
+    # right after it, preserving the rest of the caller's order.
+    site.terminator = Jump(prefix + callee.entry)
+    insert_at = caller.block_index(site_label) + 1
+    caller.blocks[insert_at:insert_at] = body
+    program.invalidate(caller_name)

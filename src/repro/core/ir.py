@@ -1,0 +1,475 @@
+"""Compiler IR: functions, basic blocks, instructions, data references.
+
+The IR deliberately models only what the paper's techniques manipulate:
+
+* instruction *classes* and counts (the timing model does not interpret
+  operands),
+* block structure and branch annotations (``PREDICT_TRUE``/``PREDICT_FALSE``
+  drive outlining),
+* call linkage (an un-specialized Alpha call is a GOT load plus an indirect
+  ``JSR``; cloning can turn it into a single PC-relative ``BSR``),
+* symbolic data references, resolved against run-time object addresses so
+  the d-cache simulation sees realistic access streams.
+
+Functions are authored through :class:`FunctionBuilder`, which keeps the
+protocol models in :mod:`repro.protocols.models` compact and readable.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.arch.isa import Op
+
+#: standard Alpha prologue when ``saves`` registers are preserved:
+#: materialize the GP (2 insns), adjust SP, store RA + saved registers.
+GP_RELOAD_INSTRUCTIONS = 2
+
+
+@dataclass(frozen=True)
+class DataRef:
+    """A symbolic data address: ``region`` base plus a byte ``offset``.
+
+    Regions are resolved at walk time against the simulated allocator (see
+    :mod:`repro.xkernel.alloc`), so the same instruction touches different
+    addresses when, for example, a different message buffer is in use.
+
+    ``indexed`` marks references inside loops whose effective address
+    advances by ``stride`` bytes per iteration (checksum loops, copies).
+    """
+
+    region: str
+    offset: int = 0
+    indexed: bool = False
+    stride: int = 8
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One machine instruction: a class plus an optional data reference."""
+
+    op: Op
+    dref: Optional[DataRef] = None
+
+    def __post_init__(self) -> None:
+        if self.op.is_memory and self.dref is None:
+            raise ValueError(f"{self.op} requires a data reference")
+        if not self.op.is_memory and self.dref is not None:
+            raise ValueError(f"{self.op} must not carry a data reference")
+
+
+# --------------------------------------------------------------------------- #
+# Terminators                                                                 #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Fallthrough:
+    """Control continues at ``target`` (adjacent in source order)."""
+
+    target: str
+
+
+@dataclass
+class Jump:
+    """Unconditional jump to ``target`` (elided when adjacent in layout)."""
+
+    target: str
+
+
+@dataclass
+class CondBranch:
+    """Two-way branch on the run-time condition named ``cond``.
+
+    ``predict`` is the source-level annotation: the value the programmer
+    declared the condition will *usually* take (``None`` when unannotated).
+    ``default`` is the value the walker assumes when the run-time event does
+    not supply the condition; it defaults to the prediction, or True.
+    """
+
+    cond: str
+    when_true: str
+    when_false: str
+    predict: Optional[bool] = None
+    default: Optional[bool] = None
+
+    def assumed(self) -> bool:
+        if self.default is not None:
+            return self.default
+        if self.predict is not None:
+            return self.predict
+        return True
+
+    def likely_target(self) -> str:
+        return self.when_true if self.assumed() else self.when_false
+
+    def unlikely_target(self) -> str:
+        return self.when_false if self.assumed() else self.when_true
+
+
+@dataclass
+class CallStatic:
+    """Direct call to a named function, then continue at ``next``.
+
+    Static calls are walked inline by the walker: the callee's conditions
+    are provided by the *caller's* event, name-spaced as
+    ``"callee.cond"`` (with a bare ``cond`` fallback).
+    """
+
+    callee: str
+    next: str
+
+
+@dataclass
+class CallDynamic:
+    """An indirect (demux-style) call site.
+
+    The actual callee is discovered at run time: the walker consumes the
+    next ENTER event from the protocol execution and walks whatever function
+    the live stack actually invoked.  This is how layered protocol dispatch
+    (``xDemux``/``xPush``) is modeled without hard-wiring the graph.
+    """
+
+    site: str
+    next: str
+
+
+@dataclass
+class Return:
+    """Function epilogue falls through to a RET."""
+
+
+@dataclass
+class InlineEnter:
+    """Pseudo-terminator produced by path-inlining.
+
+    Marks the point where a dynamically-dispatched callee was spliced into
+    the merged path function.  No call instructions are emitted; the walker
+    merely consumes the callee's ENTER event (validating that the live
+    protocol stack really followed the assumed path — the run-time role the
+    paper assigns to the packet classifier) and binds its conditions.
+    """
+
+    callee: str
+    next: str
+
+
+@dataclass
+class InlineExit:
+    """Pseudo-terminator closing an :class:`InlineEnter` region.
+
+    Consumes the callee's EXIT event and continues in the merged code; the
+    inlined callee's epilogue and return are gone, which is precisely the
+    call-overhead saving path-inlining buys.
+    """
+
+    callee: str
+    next: str
+
+
+Terminator = Union[
+    Fallthrough, Jump, CondBranch, CallStatic, CallDynamic, Return,
+    InlineEnter, InlineExit,
+]
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of instructions ending in one terminator.
+
+    A ``None`` terminator means "not yet attached"; the builder resolves it
+    to a fall-through (or a return, for the final block) at build time.
+    """
+
+    label: str
+    instructions: List[Instruction] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+    #: the function this block was authored in (path-inlining preserves it
+    #: so run-time conditions resolve against the right scope)
+    origin: str = ""
+    #: blocks the outliner may move to the end of the function
+    unlikely: bool = False
+
+    @property
+    def size(self) -> int:
+        """Static instruction count, excluding terminator-emitted branches."""
+        return len(self.instructions)
+
+    def clone(self, *, rename: str = "") -> "BasicBlock":
+        blk = BasicBlock(
+            label=rename + self.label if rename else self.label,
+            instructions=list(self.instructions),
+            terminator=copy.deepcopy(self.terminator),
+            origin=self.origin,
+            unlikely=self.unlikely,
+        )
+        if rename:
+            _rename_targets(blk.terminator, rename)
+        return blk
+
+
+def _rename_targets(term: Optional[Terminator], prefix: str) -> None:
+    if isinstance(term, (Fallthrough, Jump)):
+        term.target = prefix + term.target
+    elif isinstance(term, CondBranch):
+        term.when_true = prefix + term.when_true
+        term.when_false = prefix + term.when_false
+    elif isinstance(term, (CallStatic, CallDynamic, InlineEnter, InlineExit)):
+        term.next = prefix + term.next
+
+
+@dataclass
+class Function:
+    """A compiled function: ordered basic blocks plus linkage metadata."""
+
+    name: str
+    module: str = ""
+    blocks: List[BasicBlock] = field(default_factory=list)
+    #: number of saved registers (drives prologue/epilogue size)
+    saves: int = 2
+    #: stack frame size in bytes
+    frame: int = 64
+    #: leaf functions skip RA save/restore
+    leaf: bool = False
+    #: cloned/specialized functions skip the GP reload in the prologue
+    specialized: bool = False
+    #: library functions are invoked multiple times per path; they are kept
+    #: out of path-inlining and placed in the library partition by the
+    #: bipartite layout
+    library: bool = False
+
+    def __post_init__(self) -> None:
+        for blk in self.blocks:
+            if not blk.origin:
+                blk.origin = self.name
+
+    @property
+    def entry(self) -> str:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0].label
+
+    def block(self, label: str) -> BasicBlock:
+        for blk in self.blocks:
+            if blk.label == label:
+                return blk
+        raise KeyError(f"{self.name}: no block {label!r}")
+
+    def block_index(self, label: str) -> int:
+        for i, blk in enumerate(self.blocks):
+            if blk.label == label:
+                return i
+        raise KeyError(f"{self.name}: no block {label!r}")
+
+    def static_size(self) -> int:
+        """Instruction count including prologue/epilogue and call expansion.
+
+        This is a conservative upper bound used by layout and by the
+        outlining-effectiveness analysis; the authoritative per-address size
+        comes from :func:`repro.core.codegen.materialize`.
+        """
+        from repro.core.codegen import materialize  # cycle-free at call time
+
+        return materialize(self).size
+
+    def callees(self) -> List[str]:
+        out = []
+        for blk in self.blocks:
+            if isinstance(blk.terminator, CallStatic):
+                out.append(blk.terminator.callee)
+        return out
+
+    def clone(self, new_name: str) -> "Function":
+        fn = Function(
+            name=new_name,
+            module=self.module,
+            blocks=[blk.clone() for blk in self.blocks],
+            saves=self.saves,
+            frame=self.frame,
+            leaf=self.leaf,
+            specialized=self.specialized,
+            library=self.library,
+        )
+        for blk in fn.blocks:
+            if blk.origin == self.name:
+                blk.origin = self.name  # keep the authoring scope
+        return fn
+
+
+# --------------------------------------------------------------------------- #
+# Builders                                                                    #
+# --------------------------------------------------------------------------- #
+
+
+class BlockBuilder:
+    """Fluent helper appending instructions to one basic block."""
+
+    def __init__(self, block: BasicBlock, function_builder: "FunctionBuilder") -> None:
+        self._block = block
+        self._fb = function_builder
+
+    @property
+    def label(self) -> str:
+        return self._block.label
+
+    def alu(self, count: int = 1) -> "BlockBuilder":
+        self._block.instructions.extend(Instruction(Op.ALU) for _ in range(count))
+        return self
+
+    def lda(self, count: int = 1) -> "BlockBuilder":
+        self._block.instructions.extend(Instruction(Op.LDA) for _ in range(count))
+        return self
+
+    def mul(self, count: int = 1) -> "BlockBuilder":
+        self._block.instructions.extend(Instruction(Op.MUL) for _ in range(count))
+        return self
+
+    def nop(self, count: int = 1) -> "BlockBuilder":
+        self._block.instructions.extend(Instruction(Op.NOP) for _ in range(count))
+        return self
+
+    def load(self, region: str, offset: int = 0, count: int = 1, *,
+             indexed: bool = False, stride: int = 8) -> "BlockBuilder":
+        for i in range(count):
+            ref = DataRef(region, offset + (0 if indexed else 8 * i), indexed, stride)
+            self._block.instructions.append(Instruction(Op.LOAD, ref))
+        return self
+
+    def store(self, region: str, offset: int = 0, count: int = 1, *,
+              indexed: bool = False, stride: int = 8) -> "BlockBuilder":
+        for i in range(count):
+            ref = DataRef(region, offset + (0 if indexed else 8 * i), indexed, stride)
+            self._block.instructions.append(Instruction(Op.STORE, ref))
+        return self
+
+    def mix(self, alu: int = 0, loads: int = 0, stores: int = 0, *,
+            region: str = "stack", offset: int = 0,
+            spread: int = 16) -> "BlockBuilder":
+        """Interleave ALU work with loads/stores against one region.
+
+        The interleaving matters for the dual-issue model: alternating
+        memory and ALU operations pair well, back-to-back memory ops do
+        not.  References advance by ``spread`` bytes — structure fields
+        used together are rarely adjacent in the real layouts, so packing
+        them at quadword strides would overstate spatial locality.
+        """
+        ops: List[Instruction] = []
+        mem: List[Instruction] = []
+        for i in range(loads):
+            mem.append(Instruction(Op.LOAD, DataRef(region, offset + spread * i)))
+        for i in range(stores):
+            mem.append(
+                Instruction(Op.STORE, DataRef(region, offset + spread * (loads + i)))
+            )
+        alus = [Instruction(Op.ALU) for _ in range(alu)]
+        # round-robin interleave
+        while mem or alus:
+            if mem:
+                ops.append(mem.pop(0))
+            if alus:
+                ops.append(alus.pop(0))
+        self._block.instructions.extend(ops)
+        return self
+
+
+class FunctionBuilder:
+    """Assembles a :class:`Function` in source order.
+
+    Terminators are attached with the ``branch``/``call``/``jump``/``ret``
+    methods; blocks without an explicit terminator fall through to the next
+    block added.
+    """
+
+    def __init__(self, name: str, module: str = "", *, saves: int = 2,
+                 frame: int = 64, leaf: bool = False, library: bool = False) -> None:
+        self._fn = Function(name=name, module=module, saves=saves, frame=frame,
+                            leaf=leaf, library=library)
+        self._label_counter = 0
+
+    @property
+    def name(self) -> str:
+        return self._fn.name
+
+    def _auto_label(self) -> str:
+        self._label_counter += 1
+        return f"b{self._label_counter}"
+
+    def block(self, label: Optional[str] = None, *, unlikely: bool = False) -> BlockBuilder:
+        blk = BasicBlock(label=label or self._auto_label(), origin=self._fn.name,
+                         unlikely=unlikely)
+        self._fn.blocks.append(blk)
+        return BlockBuilder(blk, self)
+
+    def _last_block(self) -> BasicBlock:
+        if not self._fn.blocks:
+            raise ValueError(f"{self._fn.name}: no block to terminate")
+        return self._fn.blocks[-1]
+
+    # ---- terminator attachment (applies to the most recent block) ---- #
+
+    def branch(self, cond: str, when_true: str, when_false: str, *,
+               predict: Optional[bool] = None, default: Optional[bool] = None) -> None:
+        self._last_block().terminator = CondBranch(cond, when_true, when_false,
+                                                   predict=predict, default=default)
+
+    def jump(self, target: str) -> None:
+        self._last_block().terminator = Jump(target)
+
+    def goto(self, target: str) -> None:
+        self._last_block().terminator = Fallthrough(target)
+
+    def call(self, callee: str, next_label: str) -> None:
+        self._last_block().terminator = CallStatic(callee, next_label)
+
+    def call_dynamic(self, site: str, next_label: str) -> None:
+        self._last_block().terminator = CallDynamic(site, next_label)
+
+    def ret(self) -> None:
+        self._last_block().terminator = Return()
+
+    # ---- finalize ---- #
+
+    def build(self) -> Function:
+        self._resolve_fallthroughs()
+        self._validate()
+        return self._fn
+
+    def _resolve_fallthroughs(self) -> None:
+        """Unterminated blocks fall through in source order; an unterminated
+        final block returns."""
+        blocks = self._fn.blocks
+        for i, blk in enumerate(blocks):
+            if blk.terminator is None:
+                if i + 1 < len(blocks):
+                    blk.terminator = Fallthrough(blocks[i + 1].label)
+                else:
+                    blk.terminator = Return()
+
+    def _validate(self) -> None:
+        labels = {blk.label for blk in self._fn.blocks}
+        if len(labels) != len(self._fn.blocks):
+            raise ValueError(f"{self._fn.name}: duplicate block labels")
+        for blk in self._fn.blocks:
+            assert blk.terminator is not None
+            for target in _targets_of(blk.terminator):
+                if target not in labels:
+                    raise ValueError(
+                        f"{self._fn.name}:{blk.label} targets unknown block {target!r}"
+                    )
+
+
+def _targets_of(term: Terminator) -> Tuple[str, ...]:
+    if isinstance(term, (Fallthrough, Jump)):
+        return (term.target,)
+    if isinstance(term, CondBranch):
+        return (term.when_true, term.when_false)
+    if isinstance(term, (CallStatic, CallDynamic, InlineEnter, InlineExit)):
+        return (term.next,)
+    return ()
+
+
+def terminator_targets(term: Terminator) -> Tuple[str, ...]:
+    """Public view of a terminator's intra-function control-flow targets."""
+    return _targets_of(term)

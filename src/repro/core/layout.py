@@ -1,0 +1,260 @@
+"""Layout strategies: where functions land in the address space.
+
+With direct-mapped caches a function's base address fully determines the
+i-cache blocks it occupies, so layout *is* cache policy.  The paper
+evaluates several strategies; each is a callable taking the program and
+returning ``{function name: base address}``:
+
+* :func:`link_order_layout` — sequential packing in link order (the STD
+  baseline; the x-kernel's link order had been hand-tuned over the years),
+* :func:`pessimal_layout` — the BAD configuration: hot functions placed to
+  alias pairwise in the i-cache, with selected pairs also aliasing in the
+  b-cache,
+* :func:`linear_layout` — pack functions strictly in first-invocation
+  order (best when the whole path fits in the cache),
+* :func:`bipartite_layout` — the paper's winner: partition the i-cache
+  index space into a *library* region (functions called several times per
+  path, kept resident) and a *path* region (functions executed once per
+  path, streamed through), placing each class sequentially within its
+  partition,
+* :func:`micro_positioning_layout` — trace-driven greedy placement that
+  minimizes simulated replacement misses at instruction granularity,
+  introducing inter-function gaps; the paper found it reduces replacement
+  misses by an order of magnitude yet *loses* end-to-end to the bipartite
+  layout (non-sequential fetch patterns defeat prefetching and gaps waste
+  fetch bandwidth).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.arch.isa import INSTRUCTION_SIZE
+from repro.core.program import Program
+
+LayoutStrategy = Callable[[Program], Dict[str, int]]
+
+BLOCK = 32  # bytes per cache block
+ICACHE = 8 * 1024
+BCACHE = 2 * 1024 * 1024
+
+
+def _align(addr: int, alignment: int = BLOCK) -> int:
+    return (addr + alignment - 1) // alignment * alignment
+
+
+def _pack(program: Program, order: Sequence[str], base: int,
+          *, align: int = 4) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    addr = base
+    for name in order:
+        addr = _align(addr, align)
+        out[name] = addr
+        addr += program.size_of(name)
+    return out
+
+
+def link_order_layout(order: Optional[Sequence[str]] = None) -> LayoutStrategy:
+    """Sequential packing in ``order`` (default: registration order)."""
+
+    def strategy(program: Program) -> Dict[str, int]:
+        names = list(order) if order is not None else program.names()
+        missing = set(program.names()) - set(names)
+        # anything not mentioned goes after the explicit ordering
+        names.extend(sorted(missing))
+        return _pack(program, names, program.text_base)
+
+    return strategy
+
+
+def linear_layout(invocation_order: Sequence[str]) -> LayoutStrategy:
+    """Pack in strict first-invocation order (paper's recommendation when
+    the path fits in the i-cache); unlisted functions follow."""
+    return link_order_layout(invocation_order)
+
+
+def pessimal_layout(
+    hot: Sequence[str],
+    *,
+    bcache_alias_pairs: int = 2,
+) -> LayoutStrategy:
+    """The BAD configuration.
+
+    Hot functions are laid out at i-cache-size strides so all of them start
+    at the same i-cache index and evict each other on every alternation.
+    The first ``bcache_alias_pairs`` consecutive pairs are additionally
+    separated by exactly one b-cache size, so they alias in the b-cache as
+    well — reproducing BAD's nonzero b-cache replacement misses.
+    """
+
+    def strategy(program: Program) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        hot_present = [name for name in hot if name in program]
+        for i, name in enumerate(hot_present):
+            pair, member = divmod(i, 2)
+            base = program.text_base + pair * ICACHE
+            if member == 1 and pair < bcache_alias_pairs:
+                # partner sits exactly one b-cache image away: it aliases
+                # its mate in *both* the i-cache and the b-cache
+                base += BCACHE
+            elif member == 1:
+                # plain i-cache aliasing: same i-cache index as its mate
+                # (the offset is a multiple of the i-cache size) but a
+                # b-cache index far above any other hot function's
+                base += BCACHE + 64 * ICACHE
+            out[name] = base
+        # everything else is packed far away, out of the collision zone
+        rest = [n for n in program.names() if n not in out]
+        tail_base = max(
+            (out[n] + program.size_of(n) for n in out), default=program.text_base
+        )
+        out.update(_pack(program, rest, _align(tail_base, ICACHE) + 4 * ICACHE))
+        return out
+
+    return strategy
+
+
+def bipartite_layout(
+    path_order: Sequence[str],
+    library_order: Sequence[str],
+) -> LayoutStrategy:
+    """Partition the i-cache between library and path code.
+
+    Library functions are packed at the base of the text segment; they own
+    i-cache indexes ``[0, L)``.  Path functions are packed sequentially in
+    the remaining index space: whenever a path function would wrap into the
+    library's index range, the cursor skips over it (an address gap that is
+    never fetched).  A path function larger than the path partition cannot
+    avoid overlapping the library range and is placed contiguously anyway —
+    the same capacity limitation the paper notes for path-inlined builds.
+    """
+
+    def strategy(program: Program) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        lib = [n for n in library_order if n in program]
+        path = [n for n in path_order if n in program]
+        out.update(_pack(program, lib, program.text_base, align=BLOCK))
+        lib_end = max(
+            (out[n] + program.size_of(n) for n in lib), default=program.text_base
+        )
+        lib_span = _align(lib_end - program.text_base, BLOCK)
+        if lib_span >= ICACHE:
+            raise ValueError("library partition does not fit in the i-cache")
+        partition = ICACHE - lib_span  # bytes per 8 KB stride usable by path
+
+        addr = program.text_base + lib_span
+        for name in path:
+            size = program.size_of(name)
+            # the fetched footprint is the mainline prefix: outlined tails
+            # occupy addresses but are never brought into the cache, so
+            # they may harmlessly span library index windows
+            hot_size = program.hot_size_of(name)
+            addr = _align(addr, BLOCK)
+            index = (addr - program.text_base) % ICACHE
+            if index < lib_span:
+                # cursor sits inside a library index window: skip past it
+                addr += lib_span - index
+                index = lib_span
+            if index + hot_size > ICACHE and hot_size <= partition:
+                if hot_size <= partition * 0.6:
+                    # a modest mainline that would wrap into the next
+                    # library window is pushed to the next window start
+                    addr += (ICACHE - index) + lib_span
+                else:
+                    # a mainline comparable to the whole partition wraps no
+                    # matter where it starts; forcing giants to window
+                    # starts would make consecutive giants alias each other
+                    # completely, so right-justify instead: the mainline
+                    # ends exactly at a window end, keeping it out of the
+                    # library range while staggering it against the
+                    # previous giant
+                    delta = (ICACHE - hot_size) - index
+                    if delta < 0:
+                        delta += ICACHE
+                    addr += delta
+            out[name] = addr
+            addr += size
+        # any remaining functions (cold/unused) go far past the hot image
+        rest = [n for n in program.names() if n not in out]
+        tail = _align(addr, ICACHE) + 4 * ICACHE
+        out.update(_pack(program, rest, tail))
+        return out
+
+    return strategy
+
+
+def micro_positioning_layout(
+    block_trace: Sequence[Tuple[str, int]],
+    *,
+    candidate_step_blocks: int = 4,
+    window_blocks: int = 512,
+) -> LayoutStrategy:
+    """Greedy instruction-granular placement driven by a block trace.
+
+    ``block_trace`` is the sequence of (function, block-offset-in-function)
+    i-cache block touches observed on a reference run.  Functions are
+    placed in first-use order; each candidate base index (stepped at
+    ``candidate_step_blocks`` granularity over a window) is scored by
+    simulating the direct-mapped i-cache over the prefix of the trace
+    involving already-placed functions, and the base with the fewest
+    replacement misses wins.  Ties prefer the lowest address (fewest gaps).
+    """
+
+    def strategy(program: Program) -> Dict[str, int]:
+        icache_blocks = ICACHE // BLOCK
+        order: List[str] = []
+        for name, _ in block_trace:
+            if name in program and name not in order:
+                order.append(name)
+
+        placed: Dict[str, int] = {}  # name -> base block index (absolute)
+        used_blocks: Set[int] = set()
+
+        def replacement_misses(assignment: Dict[str, int]) -> int:
+            tags: Dict[int, int] = {}
+            ever: Set[int] = set()
+            repl = 0
+            for name, off in block_trace:
+                if name not in assignment:
+                    continue
+                blk = assignment[name] + off
+                idx = blk % icache_blocks
+                if tags.get(idx) == blk:
+                    continue
+                if blk in ever:
+                    repl += 1
+                tags[idx] = blk
+                ever.add(blk)
+            return repl
+
+        cursor = 0
+        for name in order:
+            size_blocks = (program.size_of(name) + BLOCK - 1) // BLOCK
+            best_base = None
+            best_score = None
+            for cand in range(cursor, cursor + window_blocks, candidate_step_blocks):
+                span = set(range(cand, cand + size_blocks))
+                if span & used_blocks:
+                    continue
+                trial = dict(placed)
+                trial[name] = cand
+                score = replacement_misses(trial)
+                if best_score is None or score < best_score:
+                    best_score = score
+                    best_base = cand
+            if best_base is None:
+                best_base = max(used_blocks, default=-1) + 1
+            placed[name] = best_base
+            used_blocks.update(range(best_base, best_base + size_blocks))
+            cursor = min(cursor, best_base)
+
+        out = {
+            name: program.text_base + base * BLOCK for name, base in placed.items()
+        }
+        rest = [n for n in program.names() if n not in out]
+        tail = max((a + program.size_of(n) for n, a in out.items()),
+                   default=program.text_base)
+        out.update(_pack(program, rest, _align(tail, ICACHE) + 4 * ICACHE))
+        return out
+
+    return strategy

@@ -1,0 +1,178 @@
+"""Analysis metrics: CPI decomposition, i-cache block utilization, footprint.
+
+These back the paper's evaluation artifacts that are not plain cache
+counters: Table 9 (fraction of fetched i-cache block slots never executed,
+static path size before/after outlining) and Figure 2 (the i-cache
+footprint picture of outlining and cloning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.arch.isa import INSTRUCTION_SIZE, TraceEntry
+from repro.core.program import Program
+
+BLOCK_BYTES = 32
+SLOTS_PER_BLOCK = BLOCK_BYTES // INSTRUCTION_SIZE
+
+
+@dataclass
+class BlockUtilization:
+    """How densely the executed path uses the i-cache blocks it touches."""
+
+    fetched_blocks: int
+    used_slots: int
+
+    @property
+    def total_slots(self) -> int:
+        return self.fetched_blocks * SLOTS_PER_BLOCK
+
+    @property
+    def unused_slots(self) -> int:
+        return self.total_slots - self.used_slots
+
+    @property
+    def unused_fraction(self) -> float:
+        if not self.total_slots:
+            return 0.0
+        return self.unused_slots / self.total_slots
+
+    @property
+    def unused_per_block(self) -> float:
+        if not self.fetched_blocks:
+            return 0.0
+        return self.unused_slots / self.fetched_blocks
+
+
+def block_utilization(trace: Iterable[TraceEntry]) -> BlockUtilization:
+    """Compute Table 9's "unused i-cache bandwidth" metric for a trace.
+
+    Every i-cache block the path fetches arrives whole; instructions in a
+    fetched block that the path never executes are wasted bandwidth.
+    """
+    executed: Set[int] = set()
+    for entry in trace:
+        executed.add(entry.pc)
+    blocks = {pc // BLOCK_BYTES for pc in executed}
+    return BlockUtilization(fetched_blocks=len(blocks), used_slots=len(executed))
+
+
+def static_path_size(program: Program, functions: Sequence[str]) -> int:
+    """Total static instruction count of the named functions."""
+    return sum(program.materialized(name).size for name in functions)
+
+
+def mainline_and_outlined_size(
+    program: Program, functions: Sequence[str]
+) -> Tuple[int, int]:
+    """(mainline, outlined) static instruction counts across functions.
+
+    Outlined code is identified by block ``unlikely`` marks; prologue,
+    epilogue and branch expansion are attributed to the section containing
+    them.
+    """
+    mainline = 0
+    outlined = 0
+    for name in functions:
+        mfn = program.materialized(name)
+        for blk in mfn.blocks:
+            count = len(blk.body) + blk.term.emitted_count()
+            if blk.unlikely:
+                outlined += count
+            else:
+                mainline += count
+    return mainline, outlined
+
+
+@dataclass
+class FootprintRow:
+    """One function's occupancy in i-cache index space (Figure 2)."""
+
+    name: str
+    base: int
+    size_bytes: int
+    first_index: int
+    blocks: int
+
+
+def icache_footprint(
+    program: Program, functions: Sequence[str], *, icache_size: int = 8 * 1024
+) -> List[FootprintRow]:
+    """Map each function onto i-cache index space for footprint plots."""
+    rows: List[FootprintRow] = []
+    for name in functions:
+        base = program.address_of(name)
+        size = program.size_of(name)
+        rows.append(
+            FootprintRow(
+                name=name,
+                base=base,
+                size_bytes=size,
+                first_index=(base % icache_size) // BLOCK_BYTES,
+                blocks=(size + BLOCK_BYTES - 1) // BLOCK_BYTES,
+            )
+        )
+    return rows
+
+
+def conflict_pairs(
+    rows: Sequence[FootprintRow], *, icache_size: int = 8 * 1024
+) -> List[Tuple[str, str, int]]:
+    """Pairs of functions whose index ranges overlap, with overlap size.
+
+    A direct-mapped i-cache makes any overlap a potential replacement-miss
+    source when both functions are on the same path.
+    """
+    blocks_per_cache = icache_size // BLOCK_BYTES
+    occupancy: List[Set[int]] = []
+    for row in rows:
+        indexes = {
+            (row.first_index + i) % blocks_per_cache for i in range(row.blocks)
+        }
+        occupancy.append(indexes)
+    out: List[Tuple[str, str, int]] = []
+    for i in range(len(rows)):
+        for j in range(i + 1, len(rows)):
+            overlap = len(occupancy[i] & occupancy[j])
+            if overlap:
+                out.append((rows[i].name, rows[j].name, overlap))
+    return out
+
+
+def trace_block_touches(
+    trace: Iterable[TraceEntry], program: Program
+) -> List[Tuple[str, int]]:
+    """Convert a trace into (function, block-offset) i-cache touches.
+
+    This is the input format :func:`repro.core.layout.micro_positioning_layout`
+    consumes.  Consecutive duplicate touches are collapsed.
+    """
+    ranges = program.occupied_ranges()
+    out: List[Tuple[str, int]] = []
+    last: Tuple[str, int] = ("", -1)
+    for entry in trace:
+        name = _owner(ranges, entry.pc)
+        if name is None:
+            continue
+        base = program.address_of(name)
+        touch = (name, (entry.pc - base) // BLOCK_BYTES)
+        if touch != last:
+            out.append(touch)
+            last = touch
+    return out
+
+
+def _owner(ranges: Sequence[Tuple[int, int, str]], pc: int) -> str:
+    lo, hi = 0, len(ranges) - 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        start, end, name = ranges[mid]
+        if pc < start:
+            hi = mid - 1
+        elif pc >= end:
+            lo = mid + 1
+        else:
+            return name
+    return None

@@ -1,0 +1,170 @@
+"""Path-inlining: collapse an entire protocol path into one function.
+
+Section 3.3: the latency-critical path of execution — e.g. everything from
+the Ethernet demultiplexer up through TCP — is inlined into a single
+function.  Outbound paths are easy (direct calls); inbound paths are full of
+indirect demux calls, so the transformation must *assume* the packet will
+follow a given path and rely on a packet classifier at run time.
+
+In this reproduction the dynamic dispatch points become
+:class:`~repro.core.ir.InlineEnter` / :class:`~repro.core.ir.InlineExit`
+markers.  They emit no instructions (the call overhead is gone — the whole
+point), but at walk time they consume the live stack's ENTER/EXIT events,
+which *is* the classifier check: if a packet takes a different path than the
+one assumed, the walk fails loudly instead of producing a bogus trace.
+
+Library functions (``Function.library``) are never inlined: the paper warns
+that functions used repeatedly should keep their locality of reference, and
+that inlining them risks exponential path growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.isa import Op
+from repro.core.ir import (
+    BasicBlock,
+    CallDynamic,
+    CallStatic,
+    Function,
+    InlineEnter,
+    InlineExit,
+    Instruction,
+    Jump,
+    Return,
+)
+from repro.core.program import Program
+
+
+@dataclass
+class PathInlineStats:
+    path_function: str
+    members: List[str] = field(default_factory=list)
+    call_overhead_removed: int = 0
+    simplified_instructions: int = 0
+
+
+def _strip_entry_alu(blocks: List[BasicBlock], count: int) -> int:
+    """Remove up to ``count`` ALU/LDA instructions from the spliced entry —
+    the call-site context the optimizer gains at each join."""
+    removed = 0
+    for blk in blocks:
+        kept: List[Instruction] = []
+        for ins in blk.instructions:
+            if removed < count and ins.op in (Op.ALU, Op.LDA):
+                removed += 1
+                continue
+            kept.append(ins)
+        blk.instructions = kept
+        if removed >= count:
+            break
+    return removed
+
+
+def path_inline(
+    program: Program,
+    path_name: str,
+    members: Sequence[str],
+    *,
+    simplify_per_join: int = 3,
+    alias_entry: bool = True,
+) -> PathInlineStats:
+    """Build one merged function from the chained ``members``.
+
+    Each member's first dynamic call site is assumed to dispatch to the next
+    member (that is the path assumption); it is replaced by inline markers.
+    Members after the first contribute their bodies without prologue or
+    epilogue.  Static calls to *library* functions are preserved; static
+    calls to non-library helpers are left as-is too (they were already
+    subject to ordinary inlining decisions upstream).
+
+    The original functions remain in the program: they are the general code
+    that handles packets the classifier rejects.
+    """
+    if not members:
+        raise ValueError("path must have at least one member")
+    for m in members:
+        fn = program.function(m)
+        if fn.library:
+            raise ValueError(f"library function {m!r} cannot be a path member")
+
+    stats = PathInlineStats(path_function=path_name, members=list(members))
+    first = program.function(members[0])
+    merged = Function(
+        name=path_name,
+        module=first.module,
+        saves=max(program.function(m).saves for m in members),
+        frame=max(program.function(m).frame for m in members),
+        leaf=False,
+        library=False,
+    )
+
+    # Splice every member's blocks, each under its own label prefix.
+    prefixes = {m: f"p{i}${m}$" for i, m in enumerate(members)}
+    spliced: Dict[str, List[BasicBlock]] = {}
+    for m in members:
+        fn = program.function(m)
+        blocks = [blk.clone(rename=prefixes[m]) for blk in fn.blocks]
+        spliced[m] = blocks
+
+    for i, m in enumerate(members):
+        blocks = spliced[m]
+        next_member = members[i + 1] if i + 1 < len(members) else None
+        if next_member is None:
+            continue
+        site = _first_dynamic_site(blocks)
+        if site is None:
+            raise ValueError(
+                f"path member {m!r} has no dynamic call site to reach "
+                f"{next_member!r}"
+            )
+        old = site.terminator
+        assert isinstance(old, CallDynamic)
+        continuation = old.next
+        callee_entry = prefixes[next_member] + program.function(next_member).entry
+        site.terminator = InlineEnter(callee=next_member, next=callee_entry)
+        # Every return of the next member resumes at this continuation.
+        for blk in spliced[next_member]:
+            if isinstance(blk.terminator, Return):
+                blk.terminator = InlineExit(callee=next_member, next=continuation)
+        # The removed call sequence: GOT load + JSR here, prologue +
+        # epilogue + RET in the callee.
+        callee_fn = program.function(next_member)
+        stats.call_overhead_removed += 2  # demux load + jsr
+        stats.call_overhead_removed += 3 + callee_fn.saves * 2  # pro/epilogue
+        stats.simplified_instructions += _strip_entry_alu(
+            spliced[next_member], simplify_per_join
+        )
+
+    # Assemble in execution order: each member's body is inserted right at
+    # its caller's (former) dispatch site, the way a compiler splices an
+    # inlined callee.  This keeps the hot path fall-through: InlineEnter is
+    # adjacent to the callee entry and InlineExit to the continuation.
+    def assemble(i: int) -> List[BasicBlock]:
+        blocks = list(spliced[members[i]])
+        if i + 1 == len(members):
+            return blocks
+        site_idx = next(
+            idx for idx, blk in enumerate(blocks)
+            if isinstance(blk.terminator, InlineEnter)
+        )
+        inner = assemble(i + 1)
+        return blocks[: site_idx + 1] + inner + blocks[site_idx + 1:]
+
+    merged.blocks.extend(assemble(0))
+    # Block origins were preserved by clone(); the walker resolves each
+    # block's conditions against the member that authored it.
+
+    program.add(merged)
+    if alias_entry:
+        program.alias_entry(members[0], path_name)
+    return stats
+
+
+def _first_dynamic_site(blocks: List[BasicBlock]) -> Optional[BasicBlock]:
+    for blk in blocks:
+        if isinstance(blk.terminator, CallDynamic):
+            return blk
+    return None

@@ -1,0 +1,203 @@
+"""The linked program image: functions, addresses, linkage metadata.
+
+A :class:`Program` owns the IR functions of a protocol stack build, applies
+transformations (outlining, cloning, path-inlining) and a layout strategy,
+and resolves everything the walker needs at trace-generation time: function
+base addresses, GOT slots for far calls, near-call pairs created by cloning,
+and entry aliases created by path-inlining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.arch.isa import INSTRUCTION_SIZE
+from repro.core.codegen import MaterializedFunction, materialize
+from repro.core.ir import Function
+
+#: default base address of the text segment (arbitrary, kernel-like)
+TEXT_BASE = 0x0010_0000
+#: alignment of function start addresses in bytes (instruction aligned)
+FUNCTION_ALIGN = 4
+
+
+class Program:
+    """A set of functions plus the linkage state of one build configuration."""
+
+    def __init__(self, *, text_base: int = TEXT_BASE) -> None:
+        self.text_base = text_base
+        self._functions: Dict[str, Function] = {}
+        self._near_pairs: Set[Tuple[str, str]] = set()
+        self._got_slots: Dict[str, int] = {}
+        self._addresses: Dict[str, int] = {}
+        self._mat_cache: Dict[str, MaterializedFunction] = {}
+        #: original entry name -> replacement (set up by path-inlining)
+        self._entry_aliases: Dict[str, str] = {}
+        #: functions the bipartite layout should treat as library code
+        self.library_names: Set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # function registry                                                  #
+    # ------------------------------------------------------------------ #
+
+    def add(self, fn: Function) -> Function:
+        if fn.name in self._functions:
+            raise ValueError(f"duplicate function {fn.name!r}")
+        self._functions[fn.name] = fn
+        if fn.library:
+            self.library_names.add(fn.name)
+        self._invalidate(fn.name)
+        return fn
+
+    def add_all(self, fns: Iterable[Function]) -> None:
+        for fn in fns:
+            self.add(fn)
+
+    def replace(self, fn: Function) -> None:
+        self._functions[fn.name] = fn
+        self._invalidate(fn.name)
+
+    def remove(self, name: str) -> None:
+        del self._functions[name]
+        self._mat_cache.pop(name, None)
+        self._addresses.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def function(self, name: str) -> Function:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(f"unknown function {name!r}") from None
+
+    def functions(self) -> List[Function]:
+        return list(self._functions.values())
+
+    def names(self) -> List[str]:
+        return list(self._functions.keys())
+
+    def _invalidate(self, name: Optional[str] = None) -> None:
+        if name is None:
+            self._mat_cache.clear()
+        else:
+            self._mat_cache.pop(name, None)
+
+    # ------------------------------------------------------------------ #
+    # linkage metadata                                                   #
+    # ------------------------------------------------------------------ #
+
+    def mark_near(self, caller: str, callee: str) -> None:
+        """Record that calls from ``caller`` to ``callee`` use a PC-relative
+        BSR (cloning's call specialization)."""
+        self._near_pairs.add((caller, callee))
+        self._invalidate(caller)
+
+    def is_near(self, caller: str, callee: str) -> bool:
+        return (caller, callee) in self._near_pairs
+
+    def got_offset(self, symbol: str) -> int:
+        """Stable GOT slot (byte offset in the ``got`` data region)."""
+        if symbol not in self._got_slots:
+            self._got_slots[symbol] = len(self._got_slots) * 8
+        return self._got_slots[symbol]
+
+    def alias_entry(self, original: str, replacement: str) -> None:
+        self._entry_aliases[original] = replacement
+
+    def resolve_entry(self, name: str) -> str:
+        """Follow the alias chain (e.g. original -> merged -> clone)."""
+        seen = set()
+        while name in self._entry_aliases:
+            if name in seen:
+                raise ValueError(f"entry alias cycle through {name!r}")
+            seen.add(name)
+            name = self._entry_aliases[name]
+        return name
+
+    # ------------------------------------------------------------------ #
+    # materialization & layout                                           #
+    # ------------------------------------------------------------------ #
+
+    def materialized(self, name: str) -> MaterializedFunction:
+        if name not in self._mat_cache:
+            fn = self.function(name)
+            self._mat_cache[name] = materialize(
+                fn, near=self.is_near, got_offset=self.got_offset
+            )
+        return self._mat_cache[name]
+
+    def size_of(self, name: str) -> int:
+        """Function size in bytes."""
+        return self.materialized(name).size_bytes
+
+    def hot_size_of(self, name: str) -> int:
+        """Bytes up to the first outlined (unlikely) block.
+
+        After outlining, a function's fetched footprint on the fast path is
+        its mainline prefix; the cold tail occupies address space but is
+        never brought into the i-cache, so layout decisions that care about
+        cache index pressure should use this size.
+        """
+        from repro.arch.isa import INSTRUCTION_SIZE
+
+        mfn = self.materialized(name)
+        for blk in mfn.blocks:
+            if blk.unlikely:
+                return blk.start * INSTRUCTION_SIZE
+        return mfn.size_bytes
+
+    def invalidate(self, name: Optional[str] = None) -> None:
+        """Public cache invalidation after in-place IR transformations."""
+        self._invalidate(name)
+
+    def layout(self, strategy: Callable[["Program"], Mapping[str, int]]) -> None:
+        """Assign base addresses using a strategy from
+        :mod:`repro.core.layout`; strategies return name -> base address."""
+        addresses = dict(strategy(self))
+        missing = set(self._functions) - set(addresses)
+        if missing:
+            raise ValueError(f"layout left functions unplaced: {sorted(missing)}")
+        for name, addr in addresses.items():
+            if addr % FUNCTION_ALIGN:
+                raise ValueError(f"{name}: base address {addr:#x} not aligned")
+        self._addresses = addresses
+
+    def address_of(self, name: str) -> int:
+        try:
+            return self._addresses[name]
+        except KeyError:
+            raise KeyError(
+                f"function {name!r} has no address; call Program.layout() first"
+            ) from None
+
+    def has_layout(self) -> bool:
+        return bool(self._addresses)
+
+    def extent(self) -> Tuple[int, int]:
+        """(lowest base, highest end) of the laid-out text segment."""
+        if not self._addresses:
+            raise ValueError("no layout")
+        low = min(self._addresses.values())
+        high = max(
+            self._addresses[name] + self.size_of(name) for name in self._addresses
+        )
+        return low, high
+
+    def occupied_ranges(self) -> List[Tuple[int, int, str]]:
+        """Sorted (start, end, name) extents for footprint visualisation."""
+        out = [
+            (self._addresses[name], self._addresses[name] + self.size_of(name), name)
+            for name in self._addresses
+        ]
+        out.sort()
+        return out
+
+    def check_no_overlap(self) -> None:
+        ranges = self.occupied_ranges()
+        for (s1, e1, n1), (s2, e2, n2) in zip(ranges, ranges[1:]):
+            if s2 < e1:
+                raise ValueError(
+                    f"layout overlap: {n1} [{s1:#x},{e1:#x}) and {n2} [{s2:#x},{e2:#x})"
+                )

@@ -1,0 +1,219 @@
+"""Connection-time specialization: partial evaluation of cloned code.
+
+Section 3.2 points beyond boot-time cloning: *"The longer cloning is
+delayed, the more information is available to specialize the cloned
+functions. For example, if cloning is delayed until a TCP/IP connection is
+established, most connection state will remain constant and can be used to
+partially evaluate the cloned function"* — the code-synthesis idea the
+paper cites [Mas92] but leaves unimplemented.
+
+This module implements that future-work step.  Given conditions whose
+outcomes a connection pins down (the connection *is* established, checksums
+are validated the same way every time, the window arithmetic uses the same
+constants), :func:`partially_evaluate` folds the corresponding branches:
+
+* the branch instruction disappears (the outcome is compile-time constant),
+* the untaken arm — and everything reachable only through it — disappears,
+* loads of the now-constant state can be thinned out (a fraction of the
+  block's state loads become immediates).
+
+The result is a leaner, straighter clone: fewer dynamic instructions and a
+smaller mainline footprint, correct so long as the pinned conditions really
+are invariant.  Like the paper's path-inlining, that assumption is enforced
+*outside* the specialized code: traffic that violates it (a FIN, a
+fragment, a zero window) must be steered to the general original — the
+role of the packet classifier plus the connection's own state transitions.
+
+The trade-off the paper warns about is locality: one specialized clone per
+connection multiplies the code footprint.  :func:`clone_for_connection`
+therefore tracks per-connection copies so the experiment harness can
+measure both sides of the bargain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.arch.isa import Op
+from repro.core.ir import (
+    BasicBlock,
+    CondBranch,
+    Fallthrough,
+    Function,
+    Instruction,
+    terminator_targets,
+)
+from repro.core.program import Program
+
+#: fraction of a specialized block's state loads that become immediates
+CONSTANT_LOAD_FOLD_FRACTION = 0.4
+
+
+@dataclass
+class SpecializationStats:
+    """What partial evaluation removed from one function."""
+
+    function: str
+    branches_folded: int = 0
+    blocks_removed: int = 0
+    instructions_removed: int = 0
+    loads_folded: int = 0
+
+
+def partially_evaluate(
+    fn: Function,
+    constant_conds: Mapping[str, bool],
+    *,
+    constant_regions: Iterable[str] = (),
+    fold_fraction: float = CONSTANT_LOAD_FOLD_FRACTION,
+) -> SpecializationStats:
+    """Fold branches on pinned conditions and thin constant-state loads.
+
+    ``constant_conds`` maps condition names to their invariant outcomes;
+    ``constant_regions`` names data regions (e.g. ``"tcb"``) whose fields
+    the specializer may treat as compile-time constants.
+    """
+    stats = SpecializationStats(function=fn.name)
+    regions: Set[str] = set(constant_regions)
+
+    # 1. fold branches whose outcome is pinned
+    for blk in fn.blocks:
+        term = blk.terminator
+        if isinstance(term, CondBranch) and term.cond in constant_conds:
+            target = (
+                term.when_true if constant_conds[term.cond]
+                else term.when_false
+            )
+            blk.terminator = Fallthrough(target)
+            stats.branches_folded += 1
+
+    # 2. drop blocks no longer reachable from the entry
+    reachable = _reachable_blocks(fn)
+    kept: List[BasicBlock] = []
+    for blk in fn.blocks:
+        if blk.label in reachable:
+            kept.append(blk)
+        else:
+            stats.blocks_removed += 1
+            stats.instructions_removed += len(blk.instructions)
+    fn.blocks = kept
+
+    # 3. thin loads of constant state: a ldq of a pinned field becomes an
+    #    immediate (lda) and a fraction disappears outright into folded
+    #    arithmetic
+    for blk in fn.blocks:
+        new_instrs: List[Instruction] = []
+        budget = int(
+            sum(1 for i in blk.instructions
+                if i.op is Op.LOAD and i.dref
+                and i.dref.region in regions) * fold_fraction
+        )
+        for ins in blk.instructions:
+            if (budget and ins.op is Op.LOAD and ins.dref is not None
+                    and ins.dref.region in regions):
+                budget -= 1
+                stats.loads_folded += 1
+                stats.instructions_removed += 1
+                continue
+            new_instrs.append(ins)
+        blk.instructions = new_instrs
+
+    return stats
+
+
+def _reachable_blocks(fn: Function) -> Set[str]:
+    index = {blk.label: blk for blk in fn.blocks}
+    seen: Set[str] = set()
+    stack = [fn.entry]
+    while stack:
+        label = stack.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        blk = index[label]
+        assert blk.terminator is not None
+        stack.extend(t for t in terminator_targets(blk.terminator)
+                     if t not in seen)
+    return seen
+
+
+@dataclass
+class ConnectionCloneSet:
+    """Bookkeeping for per-connection clones (the locality trade-off)."""
+
+    base_names: List[str]
+    clones: Dict[int, List[str]] = field(default_factory=dict)
+
+    @property
+    def connections(self) -> int:
+        return len(self.clones)
+
+    def footprint_bytes(self, program: Program) -> int:
+        return sum(
+            program.size_of(name)
+            for names in self.clones.values()
+            for name in names
+        )
+
+
+#: the conditions a healthy, established TCP connection pins down
+ESTABLISHED_TCP_CONDS: Dict[str, bool] = {
+    "established": True,
+    "snd_wnd_zero": False,
+    "is_retransmit": False,
+    "must_probe": False,
+    "fin": False,
+    "runt": False,
+    "for_us": True,
+    "fragmented": False,
+    "needs_frag": False,
+    "dst_cached": True,
+    "ring_full": False,
+}
+
+
+def clone_for_connection(
+    program: Program,
+    names: Iterable[str],
+    connection_id: int,
+    *,
+    constant_conds: Optional[Mapping[str, bool]] = None,
+    constant_regions: Iterable[str] = ("tcb",),
+    clone_set: Optional[ConnectionCloneSet] = None,
+    redirect: bool = True,
+) -> ConnectionCloneSet:
+    """Create one specialized clone per function for one connection.
+
+    The clones are named ``<fn>@conn<id>``; with ``redirect`` the program's
+    entry aliases send dispatch to them, modeling the connection installing
+    its specialized path at establishment time.
+    """
+    conds = dict(ESTABLISHED_TCP_CONDS)
+    if constant_conds:
+        conds.update(constant_conds)
+    base = list(names)
+    if clone_set is None:
+        clone_set = ConnectionCloneSet(base_names=base)
+    if connection_id in clone_set.clones:
+        raise ValueError(f"connection {connection_id} already has clones")
+
+    created: List[str] = []
+    for name in base:
+        original = program.function(name)
+        copy = original.clone(f"{name}@conn{connection_id}")
+        copy.specialized = True
+        partially_evaluate(copy, conds, constant_regions=constant_regions)
+        program.add(copy)
+        created.append(copy.name)
+        if redirect:
+            program.alias_entry(name, copy.name)
+    for caller in created:
+        fn = program.function(caller)
+        for blk in fn.blocks:
+            from repro.core.ir import CallStatic
+
+            if isinstance(blk.terminator, CallStatic):
+                program.mark_near(caller, blk.terminator.callee)
+    clone_set.clones[connection_id] = created
+    return clone_set

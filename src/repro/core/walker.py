@@ -1,0 +1,384 @@
+"""Trace expansion: replay a run-time event stream over the linked image.
+
+While the Python protocol stack processes a real packet it records a stream
+of :class:`EnterEvent`/:class:`ExitEvent` pairs — one per modeled protocol
+function — carrying the *actual* branch outcomes (checksum result, header
+prediction hit, congestion-window state, loop trip counts) and the
+*actual* simulated addresses of the objects touched (message buffer,
+protocol state, stack).
+
+The walker replays that stream against the build's IR: it follows each
+function's control-flow graph using the recorded conditions, emits one
+:class:`~repro.arch.isa.TraceEntry` per executed instruction with its final
+linked address, expands call linkage, and — for path-inlined builds —
+splices callee events into the merged function's inline markers.  The
+resulting trace is what :mod:`repro.arch` simulates.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.arch.isa import INSTRUCTION_SIZE, Op, TraceEntry
+from repro.core.codegen import MatBlock, MatInstr
+from repro.core.ir import (
+    CallDynamic,
+    CallStatic,
+    CondBranch,
+    DataRef,
+    Fallthrough,
+    InlineEnter,
+    InlineExit,
+    Jump,
+    Return,
+)
+from repro.core.program import Program
+
+_MISSING = object()
+
+#: hard cap on trace length, to catch diverging cond specifications
+MAX_TRACE_LENGTH = 2_000_000
+
+#: default top-of-stack address when the run-time does not provide one.
+#: Region bases are chosen not to alias each other (or the text segment)
+#: in the 2 MB direct-mapped b-cache, matching the paper's observation
+#: that the whole kernel runs out of the b-cache without conflicts.
+DEFAULT_STACK_TOP = 0x0047_0000     # b-cache index 0x070000
+#: default base of the GOT / demux-dispatch data regions
+DEFAULT_GOT_BASE = 0x0060_0000      # b-cache index 0
+DEFAULT_DEMUX_BASE = 0x0061_0000    # b-cache index 0x010000
+
+
+class WalkError(RuntimeError):
+    """The event stream disagreed with the IR (model drift)."""
+
+
+@dataclass
+class EnterEvent:
+    """The live stack entered modeled function ``fn``.
+
+    ``conds`` maps condition names (optionally ``"callee.cond"``-prefixed
+    for static callees) to outcomes: ``bool`` (constant), ``int`` (loop
+    trip count: True that many times, then False), list (one value per
+    activation), or a zero-argument callable.
+
+    ``data`` maps data-region names to simulated base addresses.
+    """
+
+    fn: str
+    conds: Dict[str, object] = field(default_factory=dict)
+    data: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ExitEvent:
+    """The live stack returned from modeled function ``fn``."""
+
+    fn: str
+
+
+@dataclass
+class MarkEvent:
+    """A named position marker (used for Table 3's region accounting)."""
+
+    name: str
+
+
+Event = Union[EnterEvent, ExitEvent, MarkEvent]
+
+
+class _CondStore:
+    """Interprets raw condition values with per-activation semantics."""
+
+    def __init__(self, raw: Mapping[str, object]) -> None:
+        self._raw: Dict[str, object] = dict(raw)
+        # per-(key, serial) activated value for list-valued conds
+        self._active: Dict[Tuple[str, int], object] = {}
+        # per-(key, serial) countdown state
+        self._countdown: Dict[Tuple[str, int], int] = {}
+
+    def try_query(self, key: str, serial: int) -> object:
+        if key not in self._raw:
+            return _MISSING
+        value = self._raw[key]
+        if isinstance(value, list):
+            slot = (key, serial)
+            if slot not in self._active:
+                if not value:
+                    raise WalkError(f"condition list {key!r} exhausted")
+                self._active[slot] = value.pop(0)
+            value = self._active[slot]
+        if callable(value):
+            return bool(value())
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int):
+            slot = (key, serial)
+            remaining = self._countdown.get(slot, value)
+            self._countdown[slot] = remaining - 1
+            return remaining > 0
+        raise WalkError(f"condition {key!r} has unsupported value {value!r}")
+
+
+@dataclass
+class _Frame:
+    name: str
+    serial: int
+    conds: _CondStore
+    data: Dict[str, int]
+
+
+@dataclass
+class WalkResult:
+    """The expanded trace plus any position markers recorded en route."""
+
+    trace: List[TraceEntry]
+    marks: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return len(self.trace)
+
+    def mark_index(self, name: str) -> int:
+        for mark, idx in self.marks:
+            if mark == name:
+                return idx
+        raise KeyError(f"no mark {name!r}")
+
+    def span(self, start_mark: str, end_mark: str) -> int:
+        """Instructions executed between two marks."""
+        return self.mark_index(end_mark) - self.mark_index(start_mark)
+
+
+class Walker:
+    """Expands event streams into instruction traces for one program build."""
+
+    def __init__(
+        self,
+        program: Program,
+        data_env: Optional[Mapping[str, int]] = None,
+        *,
+        stack_top: int = DEFAULT_STACK_TOP,
+    ) -> None:
+        self.program = program
+        self.data_env: Dict[str, int] = {
+            "got": DEFAULT_GOT_BASE,
+            "demux": DEFAULT_DEMUX_BASE,
+        }
+        if data_env:
+            self.data_env.update(data_env)
+        self._stack_top = stack_top
+
+    # ------------------------------------------------------------------ #
+    # public API                                                         #
+    # ------------------------------------------------------------------ #
+
+    def walk(self, events: Iterable[Event]) -> WalkResult:
+        """Expand a complete, well-nested event stream into a trace."""
+        queue: Deque[Event] = collections.deque(events)
+        trace: List[TraceEntry] = []
+        marks: List[Tuple[str, int]] = []
+        frames: List[_Frame] = []
+        serial_counter = [0]
+        sp = [self._stack_top]
+
+        def next_serial() -> int:
+            serial_counter[0] += 1
+            return serial_counter[0]
+
+        def emit(entry: TraceEntry) -> None:
+            if len(trace) >= MAX_TRACE_LENGTH:
+                raise WalkError("trace length cap exceeded (diverging model?)")
+            trace.append(entry)
+
+        def resolve_cond(origin: str, cond: str) -> Optional[bool]:
+            serial = None
+            for frame in reversed(frames):
+                if frame.name == origin:
+                    serial = frame.serial
+                    break
+            if serial is None:
+                serial = frames[-1].serial if frames else 0
+            prefixed = f"{origin}.{cond}"
+            for frame in reversed(frames):
+                value = frame.conds.try_query(prefixed, serial)
+                if value is not _MISSING:
+                    return bool(value)
+                if frame.name == origin:
+                    value = frame.conds.try_query(cond, serial)
+                    if value is not _MISSING:
+                        return bool(value)
+            return None
+
+        def resolve_region(region: str) -> int:
+            if region == "stack":
+                return sp[0]
+            for frame in reversed(frames):
+                if region in frame.data:
+                    return frame.data[region]
+            if region in self.data_env:
+                return self.data_env[region]
+            raise WalkError(f"unresolved data region {region!r}")
+
+        def resolve_dref(dref: DataRef, visit_index: int) -> int:
+            addr = resolve_region(dref.region) + dref.offset
+            if dref.indexed:
+                addr += visit_index * dref.stride
+            return addr
+
+        def emit_instr(base: int, instr: MatInstr, visit_index: int,
+                       *, taken: bool = False) -> None:
+            daddr = None
+            dwrite = False
+            if instr.dref is not None:
+                daddr = resolve_dref(instr.dref, visit_index)
+                dwrite = instr.op is Op.STORE
+            emit(
+                TraceEntry(
+                    pc=base + instr.offset * INSTRUCTION_SIZE,
+                    op=instr.op,
+                    daddr=daddr,
+                    dwrite=dwrite,
+                    taken=taken,
+                )
+            )
+
+        def pop_event() -> Event:
+            if not queue:
+                raise WalkError("event stream ended mid-walk")
+            return queue.popleft()
+
+        def expect_enter(expected: Optional[str] = None) -> EnterEvent:
+            while queue and isinstance(queue[0], MarkEvent):
+                marks.append((queue.popleft().name, len(trace)))
+            ev = pop_event()
+            if not isinstance(ev, EnterEvent):
+                raise WalkError(f"expected ENTER, got {ev!r}")
+            if expected is not None and ev.fn != expected:
+                raise WalkError(f"expected ENTER {expected!r}, got {ev.fn!r}")
+            return ev
+
+        def expect_exit(expected: str) -> None:
+            while queue and isinstance(queue[0], MarkEvent):
+                marks.append((queue.popleft().name, len(trace)))
+            ev = pop_event()
+            if not isinstance(ev, ExitEvent) or ev.fn != expected:
+                raise WalkError(f"expected EXIT {expected!r}, got {ev!r}")
+
+        def walk_function(name: str, conds: Mapping[str, object],
+                          data: Mapping[str, int]) -> None:
+            fn = self.program.function(name)
+            mfn = self.program.materialized(name)
+            base = self.program.address_of(name)
+            frame = _Frame(name=name, serial=next_serial(),
+                           conds=_CondStore(conds), data=dict(data))
+            frames.append(frame)
+            depth_at_entry = len(frames)
+            sp[0] -= fn.frame
+            visits: Dict[str, int] = collections.defaultdict(int)
+
+            label: Optional[str] = mfn.entry_label()
+            while label is not None:
+                blk: MatBlock = mfn.block(label)
+                visits[label] += 1
+                visit_index = visits[label] - 1
+                for instr in blk.body:
+                    emit_instr(base, instr, visit_index)
+                label = step_terminator(mfn, blk, base, visit_index)
+
+            if len(frames) != depth_at_entry:
+                raise WalkError(f"{name}: unbalanced inline scopes at return")
+            sp[0] += fn.frame
+            frames.pop()
+
+        def step_terminator(mfn, blk: MatBlock, base: int,
+                            visit_index: int) -> Optional[str]:
+            term = blk.term.term
+            mt = blk.term
+
+            if isinstance(term, (Fallthrough, Jump)):
+                if mt.jmp is not None:
+                    emit_instr(base, mt.jmp, visit_index, taken=True)
+                return term.target
+
+            if isinstance(term, CondBranch):
+                value = resolve_cond(blk.origin, term.cond)
+                if value is None:
+                    value = term.assumed()
+                target = term.when_true if value else term.when_false
+                if mt.fallthrough_target is not None:
+                    taken = target != mt.fallthrough_target
+                    emit_instr(base, mt.br, visit_index, taken=taken)
+                else:
+                    # br reaches when_true; jmp reaches when_false
+                    if value:
+                        emit_instr(base, mt.br, visit_index, taken=True)
+                    else:
+                        emit_instr(base, mt.br, visit_index, taken=False)
+                        emit_instr(base, mt.jmp, visit_index, taken=True)
+                return target
+
+            if isinstance(term, CallStatic):
+                if mt.got_load is not None:
+                    emit_instr(base, mt.got_load, visit_index)
+                emit_instr(base, mt.call, visit_index, taken=True)
+                callee = self.program.resolve_entry(term.callee)
+                walk_function(callee, {}, {})
+                if mt.jmp is not None:
+                    emit_instr(base, mt.jmp, visit_index, taken=True)
+                return term.next
+
+            if isinstance(term, CallDynamic):
+                if mt.got_load is not None:
+                    emit_instr(base, mt.got_load, visit_index)
+                emit_instr(base, mt.call, visit_index, taken=True)
+                ev = expect_enter()
+                callee = self.program.resolve_entry(ev.fn)
+                walk_function(callee, ev.conds, ev.data)
+                expect_exit(ev.fn)
+                if mt.jmp is not None:
+                    emit_instr(base, mt.jmp, visit_index, taken=True)
+                return term.next
+
+            if isinstance(term, InlineEnter):
+                ev = expect_enter(term.callee)
+                frames.append(
+                    _Frame(name=ev.fn, serial=next_serial(),
+                           conds=_CondStore(ev.conds), data=dict(ev.data))
+                )
+                if mt.jmp is not None:
+                    emit_instr(base, mt.jmp, visit_index, taken=True)
+                return term.next
+
+            if isinstance(term, InlineExit):
+                expect_exit(term.callee)
+                if not frames or frames[-1].name != term.callee:
+                    raise WalkError(
+                        f"inline exit for {term.callee!r} does not match scope stack"
+                    )
+                frames.pop()
+                if mt.jmp is not None:
+                    emit_instr(base, mt.jmp, visit_index, taken=True)
+                return term.next
+
+            if isinstance(term, Return):
+                for instr in mt.epilogue:
+                    taken = instr.op is Op.RET
+                    emit_instr(base, instr, visit_index, taken=taken)
+                return None
+
+            raise WalkError(f"unknown terminator {term!r}")
+
+        # top-level loop: a sequence of ENTER ... EXIT envelopes
+        while queue:
+            head = queue[0]
+            if isinstance(head, MarkEvent):
+                marks.append((queue.popleft().name, len(trace)))
+                continue
+            ev = expect_enter()
+            walk_function(self.program.resolve_entry(ev.fn), ev.conds, ev.data)
+            expect_exit(ev.fn)
+
+        return WalkResult(trace=trace, marks=marks)

@@ -1,0 +1,216 @@
+"""The six build configurations of Section 4.2.
+
+=====  ======================================================================
+STD    none of the Section 3 techniques, but all Section 2 improvements
+OUT    STD + outlining
+CLO    OUT + cloning with the bipartite layout
+BAD    OUT + cloning used to *worsen* i-cache behaviour (pessimal layout)
+PIN    OUT + path-inlining (input and output megafunctions)
+ALL    PIN + cloning/bipartite layout — every technique together
+=====  ======================================================================
+
+A configuration is a pipeline over a fresh :class:`~repro.core.program.Program`:
+build the IR models, optionally outline, optionally path-inline, optionally
+clone, then lay out.  The resulting :class:`BuildResult` records which
+functions form the hot path (for layout and analysis) and which of them are
+clones/merged functions, so the analysis code can attribute addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.clone import clone_functions, clone_name
+from repro.core.layout import (
+    bipartite_layout,
+    link_order_layout,
+    pessimal_layout,
+)
+from repro.core.outline import OutlineStats, outline_program
+from repro.core.pathinline import PathInlineStats, path_inline
+from repro.core.program import Program
+from repro.protocols.models import (
+    LIBRARY_FUNCTIONS,
+    build_library,
+    build_rpc_models,
+    build_tcpip_models,
+)
+from repro.protocols.models.library import (
+    COLD_LIBRARY_FUNCTIONS,
+    HOT_LIBRARY_FUNCTIONS,
+)
+from repro.protocols.models.rpc import (
+    RPC_INPUT_PATH,
+    RPC_OUTPUT_PATH,
+    RPC_PATH_FUNCTIONS,
+    RPC_PIN_INPUT_MEMBERS,
+    RPC_PIN_OUTPUT_MEMBERS,
+    RPC_RESUME_PATH,
+)
+from repro.protocols.models.tcpip import (
+    TCPIP_INPUT_PATH,
+    TCPIP_OUTPUT_PATH,
+    TCPIP_PATH_FUNCTIONS,
+    TCPIP_PIN_INPUT_MEMBERS,
+    TCPIP_PIN_OUTPUT_MEMBERS,
+)
+from repro.protocols.options import Section2Options
+
+CONFIG_NAMES = ("BAD", "STD", "OUT", "CLO", "PIN", "ALL")
+
+#: instructions removed at each path-inlining join by call-site-specific
+#: optimization (the "greatly increased context available to the
+#: compiler" of Section 3.3)
+PIN_SIMPLIFY_PER_JOIN = 35
+
+#: pessimal-layout pairs that alias in the b-cache as well (BAD)
+BAD_BCACHE_ALIAS_PAIRS = 3
+
+
+@dataclass(frozen=True)
+class StackSpec:
+    """Everything the pipeline needs to know about one protocol stack."""
+
+    name: str
+    build_models: object
+    path_functions: Tuple[str, ...]
+    invocation_order: Tuple[str, ...]
+    pin_output_members: Tuple[str, ...]
+    pin_input_members: Tuple[str, ...]
+    output_path_name: str
+    input_path_name: str
+
+
+TCPIP_SPEC = StackSpec(
+    name="tcpip",
+    build_models=build_tcpip_models,
+    path_functions=TCPIP_PATH_FUNCTIONS,
+    invocation_order=TCPIP_OUTPUT_PATH + TCPIP_INPUT_PATH,
+    pin_output_members=TCPIP_PIN_OUTPUT_MEMBERS,
+    pin_input_members=TCPIP_PIN_INPUT_MEMBERS,
+    output_path_name="tcpip_output_path",
+    input_path_name="tcpip_input_path",
+)
+
+RPC_SPEC = StackSpec(
+    name="rpc",
+    build_models=build_rpc_models,
+    path_functions=RPC_PATH_FUNCTIONS,
+    invocation_order=RPC_OUTPUT_PATH + RPC_INPUT_PATH + RPC_RESUME_PATH,
+    pin_output_members=RPC_PIN_OUTPUT_MEMBERS,
+    pin_input_members=RPC_PIN_INPUT_MEMBERS,
+    output_path_name="rpc_output_path",
+    input_path_name="rpc_input_path",
+)
+
+STACKS: Dict[str, StackSpec] = {"tcpip": TCPIP_SPEC, "rpc": RPC_SPEC}
+
+
+@dataclass
+class BuildResult:
+    """A configured, laid-out program plus build metadata."""
+
+    program: Program
+    spec: StackSpec
+    config: str
+    opts: Section2Options
+    #: hot-path functions in invocation order, using final (clone/merged)
+    #: names — the functions an analysis should attribute to the path
+    hot_functions: List[str] = field(default_factory=list)
+    library_functions: List[str] = field(default_factory=list)
+    outline_stats: List[OutlineStats] = field(default_factory=list)
+    path_inline_stats: List[PathInlineStats] = field(default_factory=list)
+
+
+def _resolved_invocation_order(program: Program, spec: StackSpec,
+                               merged: Dict[str, str]) -> List[str]:
+    """Invocation order with merged/cloned names substituted, deduplicated."""
+    out: List[str] = []
+    for name in spec.invocation_order:
+        final = merged.get(name, name)
+        final = program.resolve_entry(final)
+        if final not in out:
+            out.append(final)
+    return out
+
+
+def build_configured_program(
+    stack: str,
+    config: str,
+    opts: Optional[Section2Options] = None,
+) -> BuildResult:
+    """Build one (stack, configuration) program, laid out and ready to walk."""
+    if config not in CONFIG_NAMES:
+        raise ValueError(f"unknown configuration {config!r}")
+    spec = STACKS[stack]
+    opts = opts or Section2Options.improved()
+
+    program = Program()
+    for fn in build_library(opts):
+        program.add(fn)
+    for fn in spec.build_models(opts):
+        program.add(fn)
+
+    result = BuildResult(program=program, spec=spec, config=config, opts=opts,
+                         library_functions=list(LIBRARY_FUNCTIONS))
+
+    # ---- outlining (every configuration except STD) ---- #
+    if config != "STD":
+        result.outline_stats = outline_program(program)
+
+    # ---- path-inlining (PIN and ALL) ---- #
+    merged: Dict[str, str] = {}
+    if config in ("PIN", "ALL"):
+        from repro.core.outline import outline_function
+
+        out_stats = path_inline(
+            program, spec.output_path_name, spec.pin_output_members,
+            simplify_per_join=PIN_SIMPLIFY_PER_JOIN,
+        )
+        in_stats = path_inline(
+            program, spec.input_path_name, spec.pin_input_members,
+            simplify_per_join=PIN_SIMPLIFY_PER_JOIN,
+        )
+        result.path_inline_stats = [out_stats, in_stats]
+        # the members were already outlined; re-outline the merged
+        # functions so every spliced cold block sits at the merged end
+        outline_function(program.function(spec.output_path_name))
+        outline_function(program.function(spec.input_path_name))
+        program.invalidate(spec.output_path_name)
+        program.invalidate(spec.input_path_name)
+        for member in spec.pin_output_members:
+            merged[member] = spec.output_path_name
+        for member in spec.pin_input_members:
+            merged[member] = spec.input_path_name
+
+    # the hot path as it exists after inlining (merged names substituted)
+    hot = _resolved_invocation_order(program, spec, merged)
+
+    # ---- cloning (CLO, BAD, ALL) ---- #
+    if config in ("CLO", "BAD", "ALL"):
+        clone_functions(program, hot)
+        hot = [clone_name(name) for name in hot]
+
+    result.hot_functions = hot
+
+    # ---- layout ---- #
+    if config in ("STD", "OUT", "PIN"):
+        # the x-kernel's (hand-tuned over the years) link order: libraries
+        # first, then the protocol graph top-to-bottom
+        program.layout(link_order_layout())
+    elif config in ("CLO", "ALL"):
+        # only the multiply-invoked library functions earn a slot in the
+        # protected partition; once-per-path helpers stream with the path
+        program.layout(
+            bipartite_layout(
+                hot + list(COLD_LIBRARY_FUNCTIONS),
+                list(HOT_LIBRARY_FUNCTIONS),
+            )
+        )
+    elif config == "BAD":
+        program.layout(
+            pessimal_layout(hot, bcache_alias_pairs=BAD_BCACHE_ALIAS_PAIRS)
+        )
+    program.check_no_overlap()
+    return result

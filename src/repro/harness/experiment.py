@@ -1,0 +1,230 @@
+"""The measurement driver: run, trace, walk, simulate, aggregate.
+
+One :class:`Experiment` measures one (stack, configuration, options)
+triple the way Section 4 does:
+
+1. build the functional two-host network and establish the connection,
+2. run warm-up roundtrips (TCP's congestion window opens, caches of the
+   one-entry-map kind settle into their steady state),
+3. trace a single roundtrip on the client,
+4. expand the event stream over the configured program image,
+5. simulate the trace twice: against cold caches (the paper's Table 6
+   cache statistics) and in the steady state (Table 7 processing time,
+   iCPI/mCPI),
+6. assemble end-to-end latency (Tables 4/5).
+
+Samples repeat the whole procedure with different allocator jitter seeds,
+reproducing the run-to-run variance the paper reports as +-sigma.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.simulator import MachineSimulator, SimResult
+from repro.core.walker import Event, Walker, WalkResult
+from repro.harness.configs import BuildResult, build_configured_program
+from repro.harness.latency import LatencyModel
+from repro.protocols.options import Section2Options
+from repro.protocols.stacks import (
+    build_rpc_network,
+    build_tcpip_network,
+    establish,
+)
+from repro.trace.tracer import Tracer
+
+DEFAULT_WARMUP_ROUNDTRIPS = 25
+#: paper: ten samples for TCP/IP, five for RPC
+DEFAULT_SAMPLES = {"tcpip": 10, "rpc": 5}
+
+
+@dataclass
+class SampleResult:
+    """One traced roundtrip, fully simulated."""
+
+    events: List[Event]
+    walk: WalkResult
+    cold: SimResult
+    steady: SimResult
+    roundtrip_us: float
+
+    @property
+    def trace_length(self) -> int:
+        return self.walk.length
+
+    @property
+    def processing_us(self) -> float:
+        return self.steady.time_us()
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated samples for one (stack, config) cell."""
+
+    stack: str
+    config: str
+    build: BuildResult
+    samples: List[SampleResult] = field(default_factory=list)
+
+    def _values(self, getter: Callable[[SampleResult], float]) -> List[float]:
+        return [getter(s) for s in self.samples]
+
+    @property
+    def mean_rtt_us(self) -> float:
+        return statistics.fmean(self._values(lambda s: s.roundtrip_us))
+
+    @property
+    def stdev_rtt_us(self) -> float:
+        values = self._values(lambda s: s.roundtrip_us)
+        return statistics.stdev(values) if len(values) > 1 else 0.0
+
+    @property
+    def mean_processing_us(self) -> float:
+        return statistics.fmean(self._values(lambda s: s.processing_us))
+
+    @property
+    def stdev_processing_us(self) -> float:
+        values = self._values(lambda s: s.processing_us)
+        return statistics.stdev(values) if len(values) > 1 else 0.0
+
+    @property
+    def mean_trace_length(self) -> float:
+        return statistics.fmean(self._values(lambda s: s.trace_length))
+
+    @property
+    def mean_icpi(self) -> float:
+        return statistics.fmean(self._values(lambda s: s.steady.icpi))
+
+    @property
+    def mean_mcpi(self) -> float:
+        return statistics.fmean(self._values(lambda s: s.steady.mcpi))
+
+    @property
+    def mean_cpi(self) -> float:
+        return statistics.fmean(self._values(lambda s: s.steady.cpi))
+
+    def representative(self) -> SampleResult:
+        """The sample whose RTT is closest to the mean."""
+        mean = self.mean_rtt_us
+        return min(self.samples, key=lambda s: abs(s.roundtrip_us - mean))
+
+
+class Experiment:
+    """Runs the paper's measurement procedure for one configuration."""
+
+    def __init__(
+        self,
+        stack: str = "tcpip",
+        config: str = "STD",
+        opts: Optional[Section2Options] = None,
+        *,
+        warmup: int = DEFAULT_WARMUP_ROUNDTRIPS,
+        base_seed: int = 42,
+        server_processing_us: Optional[float] = None,
+    ) -> None:
+        if stack not in ("tcpip", "rpc"):
+            raise ValueError(f"unknown stack {stack!r}")
+        self.stack = stack
+        self.config = config
+        self.opts = opts or Section2Options.improved()
+        self.warmup = warmup
+        self.base_seed = base_seed
+        self.latency = LatencyModel(stack)
+        #: for RPC the server always runs the best configuration; its
+        #: processing time is a fixed reference supplied by the caller
+        #: (or measured once from the client's own steady time)
+        self.server_processing_us = server_processing_us
+
+    # ------------------------------------------------------------------ #
+    # trace capture                                                      #
+    # ------------------------------------------------------------------ #
+
+    def capture_roundtrip(self, seed: int) -> Tuple[List[Event], Dict[str, int]]:
+        """Run the functional network; trace the last roundtrip.
+
+        Returns the event stream and the walker data environment derived
+        from the client's live kernel objects.
+        """
+        tracer = Tracer()
+        if self.stack == "tcpip":
+            net = build_tcpip_network(self.opts, client_tracer=tracer,
+                                      jitter_seed=seed)
+            establish(net)
+            app = net.client.app
+            app.run_pingpong(self.warmup)
+            net.run_until(lambda: app.replies >= self.warmup)
+            tracer.start()
+            app.run_pingpong(1)
+            net.run_until(lambda: app.replies >= self.warmup + 1)
+        else:
+            net = build_rpc_network(self.opts, client_tracer=tracer,
+                                    jitter_seed=seed)
+            app = net.client.app
+            app.run_pingpong(self.warmup)
+            net.run_until(lambda: app.replies >= self.warmup)
+            tracer.start()
+            app.run_pingpong(1)
+            net.run_until(lambda: app.replies >= self.warmup + 1)
+        events = tracer.stop()
+        alloc = net.client.stack.allocator
+        data_env = {
+            "heap": alloc.base,
+            "evq": alloc.base + 0x40000,
+        }
+        return events, data_env
+
+    # ------------------------------------------------------------------ #
+    # full runs                                                          #
+    # ------------------------------------------------------------------ #
+
+    def run_sample(self, build: BuildResult, seed: int) -> SampleResult:
+        events, data_env = self.capture_roundtrip(seed)
+        walker = Walker(build.program, data_env)
+        walk = walker.walk(list(events))
+        cold = MachineSimulator().run(walk.trace)
+        steady = MachineSimulator().run_steady_state(walk.trace)
+        rtt = self.latency.roundtrip_us(
+            steady.time_us(), self.server_processing_us
+        )
+        return SampleResult(events=events, walk=walk, cold=cold,
+                            steady=steady, roundtrip_us=rtt)
+
+    def run(self, samples: Optional[int] = None) -> ExperimentResult:
+        if samples is None:
+            samples = DEFAULT_SAMPLES[self.stack]
+        build = build_configured_program(self.stack, self.config, self.opts)
+        result = ExperimentResult(stack=self.stack, config=self.config,
+                                  build=build)
+        for i in range(samples):
+            result.samples.append(
+                self.run_sample(build, seed=self.base_seed + 17 * i)
+            )
+        return result
+
+
+def run_all_configs(
+    stack: str,
+    configs: Sequence[str] = ("BAD", "STD", "OUT", "CLO", "PIN", "ALL"),
+    *,
+    samples: Optional[int] = None,
+    opts: Optional[Section2Options] = None,
+) -> Dict[str, ExperimentResult]:
+    """Measure every configuration of one stack (the Table 4 sweep).
+
+    For RPC, the server's fixed processing-time reference is taken from
+    the ALL configuration (the paper always ran the best version on the
+    server side).
+    """
+    server_ref: Optional[float] = None
+    if stack == "rpc":
+        best = Experiment(stack, "ALL", opts).run(samples=1)
+        server_ref = best.mean_processing_us
+    out: Dict[str, ExperimentResult] = {}
+    for config in configs:
+        exp = Experiment(stack, config, opts,
+                         server_processing_us=server_ref)
+        out[config] = exp.run(samples)
+    return out

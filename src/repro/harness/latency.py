@@ -1,0 +1,70 @@
+"""End-to-end latency assembly (Tables 4 and 5).
+
+Section 4.3's accounting: a minimum Ethernet frame takes 57.6 µs on the
+wire, and the LANCE controller adds enough overhead that 105 µs elapse
+between handing it a frame and the transmit-complete interrupt; a roundtrip
+therefore carries 2 x 105 µs of wire/controller time that no software
+technique can touch.  On top of that sit, per direction, the receive
+interrupt handler and the context switch to the blocked test thread —
+code the paper's traces deliberately exclude — and the traced protocol
+processing itself, part of which (the message refresh, the driver tail)
+overlaps the next transmission.
+
+The model is therefore::
+
+    RTT = 2*105us + T_client + T_server + UNTRACED - OVERLAP
+
+with one (UNTRACED - OVERLAP) constant per stack, chosen once so the STD
+configuration lands on the paper's measured RTT; every other configuration
+then falls wherever its simulated processing time puts it.  Table 5 simply
+subtracts the 210 µs controller share again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: 2 x (frame handoff -> transmit-complete interrupt), Section 4.3
+CONTROLLER_ROUNDTRIP_US = 210.0
+
+#: untraced-minus-overlapped software time per roundtrip, calibrated once
+#: against the paper's STD row (see DESIGN.md): interrupt handling and the
+#: thread context switch add time the traces do not cover, while the
+#: post-send driver tail and message refresh overlap communication.  The
+#: RPC constant is larger because each RPC roundtrip includes two full
+#: thread blocks/resumes (client call and server dispatch) plus the
+#: channel bookkeeping running on the awakened thread.
+STACK_CONSTANT_US = {
+    "tcpip": 5.0,
+    "rpc": 76.5,
+}
+
+
+@dataclass
+class LatencyModel:
+    """Assembles roundtrip latency from per-side processing times."""
+
+    stack: str
+
+    @property
+    def constant_us(self) -> float:
+        return STACK_CONSTANT_US[self.stack]
+
+    def roundtrip_us(self, client_processing_us: float,
+                     server_processing_us: Optional[float] = None) -> float:
+        """End-to-end RTT for one roundtrip (Table 4's quantity)."""
+        if server_processing_us is None:
+            # TCP/IP: client and server processing are nearly identical
+            server_processing_us = client_processing_us
+        return (
+            CONTROLLER_ROUNDTRIP_US
+            + client_processing_us
+            + server_processing_us
+            + self.constant_us
+        )
+
+    @staticmethod
+    def adjusted_us(roundtrip_us: float) -> float:
+        """Controller-adjusted latency (Table 5's quantity)."""
+        return roundtrip_us - CONTROLLER_ROUNDTRIP_US

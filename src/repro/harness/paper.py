@@ -1,0 +1,188 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Values are transcribed from TR 96-03; a few Table 7 cells are *derived*
+from statements in the text rather than read from the table (the scanned
+table is incomplete): the concluding remarks give ALL's TCP/IP mCPI as
+1.17 and DEC Unix's as 2.3, Table 2 gives the improved (STD) stack's CPI
+as 3.30, the abstract gives the worst/best mCPI ratios (3.9 for TCP/IP,
+5.8 for RPC), and Section 4.4.2 gives RPC ALL's mCPI as 0.81 plus the
+0.1-cycle iCPI effect of outlining.  Derived cells are marked below.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+CONFIGS = ("BAD", "STD", "OUT", "CLO", "PIN", "ALL")
+
+# --------------------------------------------------------------------------- #
+# Table 1: dynamic instruction count reductions (Section 2.2.5)               #
+# --------------------------------------------------------------------------- #
+
+TABLE1_SAVINGS = {
+    "word_sized_tcp_state": 324,
+    "msg_refresh_short_circuit": 208,
+    "usc_descriptors": 171,
+    "inline_map_cache_test": 120,
+    "various_inlining": 119,
+    "avoid_division": 90,
+    "minor_changes": 39,
+}
+TABLE1_TOTAL = 1071
+
+TABLE1_LABELS = {
+    "word_sized_tcp_state": "Change bytes and shorts to words in TCP state",
+    "msg_refresh_short_circuit": "More efficiently refresh message after processing",
+    "usc_descriptors": "Use USC in LANCE to avoid descriptor copying",
+    "inline_map_cache_test": "Inlined hash-table cache test",
+    "various_inlining": "Various inlining",
+    "avoid_division": "Avoid integer division",
+    "minor_changes": "Other minor changes",
+}
+
+# --------------------------------------------------------------------------- #
+# Table 2: original vs improved x-kernel TCP/IP                               #
+# --------------------------------------------------------------------------- #
+
+TABLE2 = {
+    "original": {"rtt_us": 377.7, "instructions": 5821,
+                 "cycles": 18941, "cpi": 3.26},
+    "improved": {"rtt_us": 351.0, "instructions": 4750,
+                 "cycles": 15688, "cpi": 3.30},
+}
+
+# --------------------------------------------------------------------------- #
+# Table 3: TCP/IP implementation comparison (instructions executed)           #
+# --------------------------------------------------------------------------- #
+
+TABLE3 = {
+    # column: (80386 [CJRS89], DEC Unix v3.2c, improved x-kernel)
+    "ipintr": (57, 248, None),
+    "tcp_input": (276, 406, None),
+    "ip_to_tcp": (None, 262, 437),
+    "tcp_to_user": (None, 1188, 1004),
+}
+TABLE3_CPI = {"dec_unix": 4.26, "xkernel": 3.3}
+
+# --------------------------------------------------------------------------- #
+# Table 4 / Table 5: end-to-end roundtrip latency [µs]                        #
+# --------------------------------------------------------------------------- #
+
+TABLE4_TCPIP = {
+    "BAD": (498.8, 0.29), "STD": (351.0, 0.28), "OUT": (336.1, 0.37),
+    "CLO": (325.5, 0.07), "PIN": (317.1, 0.03), "ALL": (310.8, 0.27),
+}
+TABLE4_RPC = {
+    "BAD": (457.1, 0.20), "STD": (399.2, 0.29), "OUT": (394.6, 0.10),
+    "CLO": (383.1, 0.20), "PIN": (367.3, 0.19), "ALL": (365.5, 0.26),
+}
+
+TABLE5_TCPIP = {
+    "BAD": 288.8, "STD": 141.0, "OUT": 126.1,
+    "CLO": 115.5, "PIN": 107.1, "ALL": 100.8,
+}
+TABLE5_RPC = {
+    "BAD": 247.1, "STD": 189.2, "OUT": 184.6,
+    "CLO": 173.1, "PIN": 157.3, "ALL": 155.5,
+}
+
+# --------------------------------------------------------------------------- #
+# Table 6: cache performance (Miss, Acc, Repl per cache)                      #
+# --------------------------------------------------------------------------- #
+
+# (i-cache miss, acc, repl), (d-cache/wb miss, acc, repl), (b-cache miss, acc, repl)
+TABLE6_TCPIP = {
+    "BAD": ((700, 4718, 224), (459, 1862, 31), (863, 1390, 110)),
+    "STD": ((586, 4750, 72), (492, 1845, 56), (800, 1286, 0)),
+    "OUT": ((547, 4728, 69), (462, 1841, 40), (731, 1183, 0)),
+    "CLO": ((483, 4684, 27), (455, 1862, 34), (678, 1074, 0)),
+    "PIN": ((484, 4245, 66), (406, 1668, 27), (630, 1015, 0)),
+    "ALL": ((414, 4215, 10), (401, 1682, 28), (596, 913, 0)),
+}
+TABLE6_RPC = {
+    "BAD": ((721, 4253, 176), (556, 1663, 19), (995, 1544, 14)),
+    "STD": ((590, 4291, 31), (547, 1635, 14), (1004, 1379, 0)),
+    "OUT": ((542, 4257, 26), (556, 1629, 19), (951, 1313, 0)),
+    "CLO": ((488, 4227, 7), (547, 1664, 13), (845, 1213, 0)),
+    "PIN": ((402, 3471, 14), (453, 1310, 19), (694, 972, 0)),
+    "ALL": ((374, 3468, 0), (450, 1330, 13), (662, 931, 0)),
+}
+
+# --------------------------------------------------------------------------- #
+# Table 7: processing time / CPI decomposition (cells marked * are derived)   #
+# --------------------------------------------------------------------------- #
+
+#: trace lengths are Table 6's i-cache access counts; mCPI values are
+#: derived as described in the module docstring; iCPI classes follow
+#: Section 4.4.2 (standard largest, outlined -0.1, path-inlined smallest)
+TABLE7_TCPIP = {
+    "BAD": {"length": 4718, "mcpi": 4.56, "icpi": 0.90},   # mCPI derived
+    "STD": {"length": 4750, "mcpi": 2.30, "icpi": 1.00},   # mCPI derived
+    "OUT": {"length": 4728, "mcpi": 2.00, "icpi": 0.90},   # approximate
+    "CLO": {"length": 4684, "mcpi": 1.60, "icpi": 0.90},   # approximate
+    "PIN": {"length": 4245, "mcpi": 1.70, "icpi": 0.88},   # approximate
+    "ALL": {"length": 4215, "mcpi": 1.17, "icpi": 0.88},   # mCPI stated
+}
+TABLE7_RPC = {
+    "BAD": {"length": 4253, "mcpi": 4.70, "icpi": 0.90},   # 5.8 x ALL
+    "STD": {"length": 4291, "mcpi": 2.20, "icpi": 1.00},   # approximate
+    "OUT": {"length": 4257, "mcpi": 2.10, "icpi": 0.90},   # approximate
+    "CLO": {"length": 4227, "mcpi": 1.70, "icpi": 0.90},   # approximate
+    "PIN": {"length": 3471, "mcpi": 1.30, "icpi": 0.88},   # approximate
+    "ALL": {"length": 3468, "mcpi": 0.81, "icpi": 0.88},   # mCPI stated
+}
+
+#: headline ratios from the abstract
+MCPI_WORST_BEST_RATIO = {"tcpip": 3.9, "rpc": 5.8}
+
+# --------------------------------------------------------------------------- #
+# Table 8: latency improvement comparison                                     #
+# --------------------------------------------------------------------------- #
+
+#: transition -> (I%, dTe, dTp, dNb, dNm) for TCP/IP and RPC
+TABLE8_TCPIP = {
+    ("BAD", "CLO"): (97, 86.7, 89.8, 316, 110),
+    ("STD", "OUT"): (114, 7.4, 5.5, 103, 0),
+    ("OUT", "CLO"): (91, 5.3, 6.9, 109, 0),
+    ("OUT", "PIN"): (70, 9.5, 14.2, 168, 0),
+    ("PIN", "ALL"): (93, 3.2, 3.8, 102, 0),
+}
+TABLE8_RPC = {
+    ("BAD", "CLO"): (99, 74.0, 83.2, None, None),
+    ("STD", "OUT"): (71, 4.6, 4.1, None, None),
+    ("OUT", "CLO"): (94, 11.5, 10.0, None, None),
+    ("OUT", "PIN"): (67, 27.3, 23.3, None, None),
+    ("PIN", "ALL"): (95, 1.8, 8.5, 41, None),
+}
+
+#: cross-check: dTp/dNb lands between these b-cache latencies (cycles)
+TABLE8_BCACHE_LATENCY_RANGE = (5.6, 17.5)
+
+# --------------------------------------------------------------------------- #
+# Table 9: outlining effectiveness                                            #
+# --------------------------------------------------------------------------- #
+
+TABLE9 = {
+    "tcpip": {"unused_without": 0.21, "size_without": 5841,
+              "unused_with": 0.15, "size_with": 3856},
+    "rpc": {"unused_without": 0.22, "size_without": 5085,
+            "unused_with": 0.16, "size_with": 3641},
+}
+OUTLINED_FRACTION = {"tcpip": 0.34, "rpc": 0.28}
+
+# --------------------------------------------------------------------------- #
+# miscellaneous published quantities                                          #
+# --------------------------------------------------------------------------- #
+
+#: Ethernet minimum-frame transmission time (64 B + 8 B preamble at 10 Mb/s)
+MIN_FRAME_US = 57.6
+#: frame handoff -> transmit-complete interrupt on the LANCE
+LANCE_HANDOFF_US = 105.0
+#: LANCE controller overhead beyond the wire time
+LANCE_OVERHEAD_US = 47.0
+#: DEC Unix TCP/IP stack's measured mCPI (concluding remarks)
+DEC_UNIX_MCPI = 2.3
+#: packet classifier overhead on this hardware (Section 4.2)
+CLASSIFIER_OVERHEAD_US = (1.0, 4.0)
+#: micro-positioning cut replacement misses from ~40 to ~4 in simulation
+MICROPOSITIONING_REPL = (40, 4)

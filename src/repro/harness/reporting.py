@@ -1,0 +1,236 @@
+"""Table renderers: print each experiment in the paper's row format,
+side by side with the published numbers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.harness import paper
+from repro.harness.experiment import ExperimentResult
+
+
+def _rule(width: int = 78) -> str:
+    return "-" * width
+
+
+def render_table1(measured: Mapping[str, int], total: int) -> str:
+    """Table 1: dynamic instruction count reductions."""
+    lines = ["Table 1: Dynamic Instruction Count Reductions (TCP/IP path)",
+             _rule(),
+             f"{'Technique':52s} {'measured':>10s} {'paper':>8s}"]
+    for flag, label in paper.TABLE1_LABELS.items():
+        lines.append(
+            f"{label + ':':52s} {measured.get(flag, 0):>10d} "
+            f"{paper.TABLE1_SAVINGS[flag]:>8d}"
+        )
+    lines.append(_rule())
+    lines.append(f"{'Total:':52s} {total:>10d} {paper.TABLE1_TOTAL:>8d}")
+    return "\n".join(lines)
+
+
+def render_table2(measured: Mapping[str, Mapping[str, float]]) -> str:
+    """Table 2: original vs improved x-kernel TCP/IP."""
+    lines = ["Table 2: Original vs Improved x-kernel TCP/IP",
+             _rule(),
+             f"{'':34s} {'Original':>18s} {'Improved':>18s}"]
+    rows = [
+        ("Roundtrip latency [us]", "rtt_us", "%.1f"),
+        ("Instructions executed", "instructions", "%.0f"),
+        ("Processing time [cycles]", "cycles", "%.0f"),
+        ("CPI", "cpi", "%.2f"),
+    ]
+    for label, key, fmt in rows:
+        mo = fmt % measured["original"][key]
+        mi = fmt % measured["improved"][key]
+        po = fmt % paper.TABLE2["original"][key]
+        pi = fmt % paper.TABLE2["improved"][key]
+        lines.append(f"{label + ':':34s} {mo:>8s} ({po:>8s}) {mi:>8s} ({pi:>8s})")
+    lines.append("(parenthesised values are the paper's)")
+    return "\n".join(lines)
+
+
+def render_table3(measured: Mapping[str, Optional[int]]) -> str:
+    """Table 3: TCP/IP implementation comparison."""
+    lines = ["Table 3: Comparison of TCP/IP Implementations "
+             "(instructions executed)",
+             _rule(),
+             f"{'':26s} {'80386':>8s} {'DEC Unix':>10s} "
+             f"{'x-kernel (paper)':>18s} {'x-kernel (ours)':>16s}"]
+    labels = {
+        "ipintr": "in ipintr",
+        "tcp_input": "in tcp_input",
+        "ip_to_tcp": "IP input -> TCP input",
+        "tcp_to_user": "TCP input -> user",
+    }
+    for key, label in labels.items():
+        i386, dec, xk = paper.TABLE3[key]
+        ours = measured.get(key)
+        fmt = lambda v: "-" if v is None else str(v)
+        lines.append(
+            f"{label + ':':26s} {fmt(i386):>8s} {fmt(dec):>10s} "
+            f"{fmt(xk):>18s} {fmt(ours):>16s}"
+        )
+    return "\n".join(lines)
+
+
+def render_table4(
+    results: Mapping[str, ExperimentResult],
+    stack: str,
+) -> str:
+    """Table 4: end-to-end roundtrip latency."""
+    reference = paper.TABLE4_TCPIP if stack == "tcpip" else paper.TABLE4_RPC
+    best = min(results.values(), key=lambda r: r.mean_rtt_us).mean_rtt_us
+    lines = [f"Table 4: End-to-end Roundtrip Latency ({stack})",
+             _rule(),
+             f"{'Version':8s} {'Te [us]':>16s} {'D%':>7s} "
+             f"{'paper Te':>12s} {'paper D%':>9s}"]
+    paper_best = min(v[0] for v in reference.values())
+    ordered = sorted(results.items(), key=lambda kv: -kv[1].mean_rtt_us)
+    for config, result in ordered:
+        mean, sd = result.mean_rtt_us, result.stdev_rtt_us
+        delta = 100.0 * (mean - best) / best
+        pmean, psd = reference[config]
+        pdelta = 100.0 * (pmean - paper_best) / paper_best
+        lines.append(
+            f"{config:8s} {mean:9.1f}+-{sd:4.2f} {delta:+6.1f} "
+            f"{pmean:8.1f}+-{psd:4.2f} {pdelta:+8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table5(results: Mapping[str, ExperimentResult], stack: str) -> str:
+    """Table 5: latency adjusted for the network controller."""
+    from repro.harness.latency import LatencyModel
+
+    reference = paper.TABLE5_TCPIP if stack == "tcpip" else paper.TABLE5_RPC
+    adj = {c: LatencyModel.adjusted_us(r.mean_rtt_us)
+           for c, r in results.items()}
+    best = min(adj.values())
+    paper_best = min(reference.values())
+    lines = [f"Table 5: Controller-adjusted Roundtrip Latency ({stack})",
+             _rule(),
+             f"{'Version':8s} {'Te [us]':>9s} {'D%':>7s} "
+             f"{'paper Te':>10s} {'paper D%':>9s}"]
+    for config, value in sorted(adj.items(), key=lambda kv: -kv[1]):
+        delta = 100.0 * (value - best) / best
+        pvalue = reference[config]
+        pdelta = 100.0 * (pvalue - paper_best) / paper_best
+        lines.append(
+            f"{config:8s} {value:9.1f} {delta:+6.1f} "
+            f"{pvalue:10.1f} {pdelta:+8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table6(results: Mapping[str, ExperimentResult], stack: str) -> str:
+    """Table 6: cache performance (cold-start simulation of one roundtrip)."""
+    reference = paper.TABLE6_TCPIP if stack == "tcpip" else paper.TABLE6_RPC
+    lines = [f"Table 6: Cache Performance ({stack}) — measured | (paper)",
+             _rule(100),
+             f"{'':5s} {'i-cache':>30s} {'d-cache/wr-buffer':>32s} "
+             f"{'b-cache':>30s}",
+             f"{'':5s} {'Miss':>9s} {'Acc':>10s} {'Repl':>9s} "
+             f"{'Miss':>10s} {'Acc':>11s} {'Repl':>9s} "
+             f"{'Miss':>10s} {'Acc':>10s} {'Repl':>8s}"]
+    for config in ("BAD", "STD", "OUT", "CLO", "PIN", "ALL"):
+        if config not in results:
+            continue
+        cold = results[config].representative().cold.memory
+        (pi, pd, pb) = reference[config]
+        cells = [
+            (cold.icache.misses, pi[0]), (cold.icache.accesses, pi[1]),
+            (cold.icache.replacement_misses, pi[2]),
+            (cold.dcache.misses, pd[0]), (cold.dcache.accesses, pd[1]),
+            (cold.dcache.replacement_misses, pd[2]),
+            (cold.bcache.misses, pb[0]), (cold.bcache.accesses, pb[1]),
+            (cold.bcache.replacement_misses, pb[2]),
+        ]
+        row = " ".join(f"{m:>4d}({p:>4d})" for m, p in cells)
+        lines.append(f"{config:5s} {row}")
+    return "\n".join(lines)
+
+
+def render_table7(results: Mapping[str, ExperimentResult], stack: str) -> str:
+    """Table 7: processing time and CPI decomposition."""
+    reference = paper.TABLE7_TCPIP if stack == "tcpip" else paper.TABLE7_RPC
+    lines = [f"Table 7: Processing Time of Traced Code ({stack})",
+             _rule(90),
+             f"{'Version':8s} {'Tp [us]':>14s} {'Length':>8s} "
+             f"{'mCPI':>6s} {'iCPI':>6s}   "
+             f"{'paper: Length':>13s} {'mCPI':>6s} {'iCPI':>6s}"]
+    for config in ("BAD", "STD", "OUT", "CLO", "PIN", "ALL"):
+        if config not in results:
+            continue
+        r = results[config]
+        p = reference[config]
+        lines.append(
+            f"{config:8s} {r.mean_processing_us:8.1f}+-{r.stdev_processing_us:4.2f} "
+            f"{r.mean_trace_length:8.0f} {r.mean_mcpi:6.2f} {r.mean_icpi:6.2f}   "
+            f"{p['length']:>13d} {p['mcpi']:6.2f} {p['icpi']:6.2f}"
+        )
+    lines.append("(paper mCPI/iCPI cells marked derived/approximate in "
+                 "repro.harness.paper)")
+    return "\n".join(lines)
+
+
+def render_table8(
+    transitions: Mapping[Tuple[str, str], Mapping[str, float]],
+    stack: str,
+) -> str:
+    """Table 8: comparison of latency improvements."""
+    reference = paper.TABLE8_TCPIP if stack == "tcpip" else paper.TABLE8_RPC
+    lines = [f"Table 8: Comparison of Latency Improvement ({stack})",
+             _rule(92),
+             f"{'Transition':12s} {'I%':>6s} {'dTe':>7s} {'dTp':>7s} "
+             f"{'dNb':>6s} {'dNm':>5s}   "
+             f"{'paper: I%':>9s} {'dTe':>6s} {'dTp':>6s} {'dNb':>5s} {'dNm':>5s}"]
+    for (a, b), row in transitions.items():
+        p = reference.get((a, b))
+        fmt_p = (
+            " ".join(
+                f"{v:>5.0f}" if v is not None else "    -" for v in p
+            ) if p else ""
+        )
+        lines.append(
+            f"{a + '->' + b:12s} {row['i_pct']:6.0f} {row['d_te']:7.1f} "
+            f"{row['d_tp']:7.1f} {row['d_nb']:6.0f} {row['d_nm']:5.0f}   "
+            f"{fmt_p}"
+        )
+    return "\n".join(lines)
+
+
+def render_table9(measured: Mapping[str, Mapping[str, float]]) -> str:
+    """Table 9: outlining effectiveness."""
+    lines = ["Table 9: Outlining Effectiveness",
+             _rule(),
+             f"{'':8s} {'Without outlining':>26s} {'With outlining':>26s}",
+             f"{'':8s} {'unused':>12s} {'Size':>12s} "
+             f"{'unused':>12s} {'Size':>12s}"]
+    for stack in ("tcpip", "rpc"):
+        m = measured[stack]
+        p = paper.TABLE9[stack]
+        lines.append(
+            f"{stack:8s} {m['unused_without']*100:5.0f}%({p['unused_without']*100:3.0f}%) "
+            f"{m['size_without']:5.0f}({p['size_without']:5d}) "
+            f"{m['unused_with']*100:6.0f}%({p['unused_with']*100:3.0f}%) "
+            f"{m['size_with']:5.0f}({p['size_with']:5d})"
+        )
+    lines.append("(parenthesised values are the paper's)")
+    return "\n".join(lines)
+
+
+def render_icache_footprint(
+    rows: Sequence, *, icache_size: int = 8 * 1024, width: int = 64
+) -> str:
+    """Figure 2-style occupancy map: one line per function, '#' where its
+    blocks land in i-cache index space."""
+    blocks_per_cache = icache_size // 32
+    scale = blocks_per_cache / width
+    lines = [f"i-cache index space (0..{icache_size} bytes; '#'=occupied)"]
+    for row in rows:
+        cells = [" "] * width
+        for i in range(row.blocks):
+            index = (row.first_index + i) % blocks_per_cache
+            cells[int(index / scale)] = "#"
+        lines.append(f"{row.name[:28]:28s} |{''.join(cells)}|")
+    return "\n".join(lines)

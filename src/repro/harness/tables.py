@@ -1,0 +1,184 @@
+"""Computations behind every table: the reproduction's number factory.
+
+Each ``compute_table*`` function runs the experiments a table needs and
+returns plain dictionaries the renderers in :mod:`repro.harness.reporting`
+(and the assertions in the benchmark suite) consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.metrics import (
+    block_utilization,
+    mainline_and_outlined_size,
+    static_path_size,
+)
+from repro.harness.configs import STACKS, build_configured_program
+from repro.harness.experiment import Experiment, ExperimentResult, run_all_configs
+from repro.protocols.options import Section2Options
+
+
+# --------------------------------------------------------------------------- #
+# Table 1                                                                     #
+# --------------------------------------------------------------------------- #
+
+def compute_table1(*, seed: int = 42) -> Tuple[Dict[str, int], int]:
+    """Per-optimization dynamic instruction savings on the TCP/IP path."""
+    improved = Section2Options.improved()
+    baseline = _trace_length("tcpip", improved, seed)
+    savings: Dict[str, int] = {}
+    for flag in Section2Options.TABLE1_FLAGS:
+        degraded = _trace_length("tcpip", improved.without(flag), seed)
+        savings[flag] = degraded - baseline
+    original = _trace_length("tcpip", Section2Options.original(), seed)
+    return savings, original - baseline
+
+
+def _trace_length(stack: str, opts: Section2Options, seed: int) -> int:
+    exp = Experiment(stack, "STD", opts, base_seed=seed)
+    build = build_configured_program(stack, "STD", opts)
+    return exp.run_sample(build, seed).trace_length
+
+
+# --------------------------------------------------------------------------- #
+# Table 2                                                                     #
+# --------------------------------------------------------------------------- #
+
+def compute_table2(*, samples: int = 3) -> Dict[str, Dict[str, float]]:
+    """Original vs improved x-kernel TCP/IP (STD configuration)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for label, opts in (
+        ("original", Section2Options.original()),
+        ("improved", Section2Options.improved()),
+    ):
+        result = Experiment("tcpip", "STD", opts).run(samples=samples)
+        rep = result.representative()
+        out[label] = {
+            "rtt_us": result.mean_rtt_us,
+            "instructions": result.mean_trace_length,
+            "cycles": rep.steady.cycles,
+            "cpi": result.mean_cpi,
+        }
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Table 3                                                                     #
+# --------------------------------------------------------------------------- #
+
+def compute_table3(*, seed: int = 42) -> Dict[str, Optional[int]]:
+    """Instructions executed per region of the inbound TCP/IP path.
+
+    Regions follow the paper's task-based counting: "IP input -> TCP
+    input" covers everything from entering ipDemux up to entering
+    tcpDemux; "TCP input -> user" covers tcpDemux up to the delivery into
+    the test program.
+    """
+    exp = Experiment("tcpip", "STD", base_seed=seed)
+    build = build_configured_program("tcpip", "STD", exp.opts)
+    sample = exp.run_sample(build, seed)
+    program = build.program
+    trace = sample.walk.trace
+
+    def entry_index(fn_name: str) -> int:
+        resolved = program.resolve_entry(fn_name)
+        base = program.address_of(resolved)
+        end = base + program.size_of(resolved)
+        for i, t in enumerate(trace):
+            if base <= t.pc < end:
+                return i
+        raise ValueError(f"{fn_name} never executed in the trace")
+
+    ip_in = entry_index("ip_demux")
+    tcp_in = entry_index("tcp_demux")
+    user_in = entry_index("tcptest_demux")
+    return {
+        "ipintr": None,       # function-local counting is implementation-
+        "tcp_input": None,    # specific; the paper recommends against it
+        "ip_to_tcp": tcp_in - ip_in,
+        "tcp_to_user": user_in - tcp_in,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Tables 4-7 share one sweep                                                  #
+# --------------------------------------------------------------------------- #
+
+def compute_sweep(stack: str, *, samples: Optional[int] = None
+                  ) -> Dict[str, ExperimentResult]:
+    """All six configurations of one stack (backs Tables 4, 5, 6 and 7)."""
+    return run_all_configs(stack, samples=samples)
+
+
+# --------------------------------------------------------------------------- #
+# Table 8                                                                     #
+# --------------------------------------------------------------------------- #
+
+TABLE8_TRANSITIONS = (
+    ("BAD", "CLO"),
+    ("STD", "OUT"),
+    ("OUT", "CLO"),
+    ("OUT", "PIN"),
+    ("PIN", "ALL"),
+)
+
+
+def compute_table8(
+    results: Mapping[str, ExperimentResult]
+) -> Dict[Tuple[str, str], Dict[str, float]]:
+    """Improvement decomposition between configuration pairs.
+
+    ``i_pct`` is the share of the b-cache access reduction attributable to
+    the i-cache (footnote 4: i-side b-cache accesses are total accesses
+    minus d-cache/write-buffer misses).
+    """
+    out: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for a, b in TABLE8_TRANSITIONS:
+        ra, rb = results[a], results[b]
+        ma = ra.representative().steady.memory
+        mb = rb.representative().steady.memory
+        d_nb = ma.bcache.accesses - mb.bcache.accesses
+        i_side_a = ma.bcache.accesses - ma.dcache.misses
+        i_side_b = mb.bcache.accesses - mb.dcache.misses
+        d_iside = i_side_a - i_side_b
+        out[(a, b)] = {
+            "i_pct": 100.0 * d_iside / d_nb if d_nb else 0.0,
+            "d_te": ra.mean_rtt_us - rb.mean_rtt_us,
+            "d_tp": ra.mean_processing_us - rb.mean_processing_us,
+            "d_nb": d_nb,
+            "d_nm": ma.bcache.misses - mb.bcache.misses,
+        }
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Table 9                                                                     #
+# --------------------------------------------------------------------------- #
+
+def compute_table9(*, seed: int = 42) -> Dict[str, Dict[str, float]]:
+    """Outlining effectiveness: unused i-cache slots and static path size."""
+    out: Dict[str, Dict[str, float]] = {}
+    for stack in ("tcpip", "rpc"):
+        spec = STACKS[stack]
+        measured: Dict[str, float] = {}
+        for label, config in (("without", "STD"), ("with", "OUT")):
+            exp = Experiment(stack, config, base_seed=seed)
+            build = build_configured_program(stack, config, exp.opts)
+            sample = exp.run_sample(build, seed)
+            util = block_utilization(sample.walk.trace)
+            measured[f"unused_{label}"] = util.unused_fraction
+            present = [
+                name for name in spec.path_functions
+                if name in build.program
+            ]
+            mainline, outlined = mainline_and_outlined_size(
+                build.program, present
+            )
+            # the paper's "Size" column counts the latency-critical path:
+            # everything before outlining, the mainline after it
+            measured[f"size_{label}"] = (
+                mainline + outlined if label == "without" else mainline
+            )
+        out[stack] = measured
+    return out

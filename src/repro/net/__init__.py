@@ -1,0 +1,33 @@
+"""Link-level substrate: Ethernet wire, LANCE adaptor, sparse memory, USC.
+
+Models the DEC 3000/600's networking hardware at the granularity the paper
+measures: a 10 Mb/s Ethernet (57.6 µs for a minimum frame), the Am7990
+LANCE controller (105 µs from handing over a frame to the transmit-complete
+interrupt, ~47 µs of which is controller overhead), and the controller's
+TURBOchannel shared-memory interface whose 16-bit bus makes the shared
+region *sparse* — the machine idiosyncrasy Section 2.2.4 fixes with the
+Universal Stub Compiler.
+"""
+
+from repro.net.usc import FieldSpec, SparseLayout, SparseMemory, UscCompiler
+from repro.net.lance import (
+    LanceAdaptor,
+    LanceTiming,
+    DescriptorUpdateMode,
+    DESCRIPTOR_FIELDS,
+)
+from repro.net.wire import EthernetWire, Frame, WireTiming
+
+__all__ = [
+    "FieldSpec",
+    "SparseLayout",
+    "SparseMemory",
+    "UscCompiler",
+    "LanceAdaptor",
+    "LanceTiming",
+    "DescriptorUpdateMode",
+    "DESCRIPTOR_FIELDS",
+    "EthernetWire",
+    "Frame",
+    "WireTiming",
+]

@@ -1,0 +1,167 @@
+"""Sparse shared memory and the Universal Stub Compiler (Section 2.2.4).
+
+The LANCE chip has a 16-bit bus behind a 32-bit TURBOchannel, so its shared
+memory is *sparse*: for descriptors, every 16 bits of real memory are
+followed by a 16-bit gap; for frame buffers, 16 bytes are followed by a
+16-byte gap.  C has no notion of sparse memory, so most drivers copy each
+descriptor into dense memory, modify it, and copy it back — 20 bytes of
+copying even for a one-bit change.
+
+The Universal Stub Compiler [OPM94] solves this: given a declarative layout
+of the record and of the sparse space, it generates inlined accessors that
+read and write any field *directly* in sparse memory.
+:class:`UscCompiler` performs that generation here: it turns a
+:class:`SparseLayout` plus a list of :class:`FieldSpec` into per-field
+accessor objects that compute the scattered physical offsets once, at
+"compile" time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class SparseMemoryError(RuntimeError):
+    pass
+
+
+@dataclass(frozen=True)
+class SparseLayout:
+    """A repeating valid/gap byte pattern.
+
+    ``valid`` contiguous bytes of real storage are followed by ``gap``
+    unusable bytes, repeating.  The LANCE descriptor space is
+    ``SparseLayout(2, 2)``; its buffer space is ``SparseLayout(16, 16)``.
+    """
+
+    valid: int
+    gap: int
+
+    def __post_init__(self) -> None:
+        if self.valid <= 0 or self.gap < 0:
+            raise SparseMemoryError("invalid sparse layout")
+
+    @property
+    def stride(self) -> int:
+        return self.valid + self.gap
+
+    def physical(self, logical: int) -> int:
+        """Map a logical (dense) byte offset to its physical offset."""
+        if logical < 0:
+            raise SparseMemoryError("negative offset")
+        return (logical // self.valid) * self.stride + logical % self.valid
+
+    def physical_span(self, logical_start: int, length: int) -> int:
+        """Physical bytes spanned by a dense range (incl. interior gaps)."""
+        if length <= 0:
+            return 0
+        first = self.physical(logical_start)
+        last = self.physical(logical_start + length - 1)
+        return last - first + 1
+
+
+class SparseMemory:
+    """Byte-addressable sparse region with access accounting.
+
+    Reads/writes take *logical* offsets; the layout scatters them onto the
+    physical backing store.  ``physical_bytes_touched`` counts real bus
+    traffic, which is how the driver models charge the dense-copy strategy
+    for its 20-byte descriptor copies.
+    """
+
+    def __init__(self, layout: SparseLayout, logical_size: int, *,
+                 sim_addr: int = 0) -> None:
+        self.layout = layout
+        self.logical_size = logical_size
+        self.sim_addr = sim_addr
+        self._store = bytearray(layout.physical(logical_size) + layout.stride)
+        self.reads = 0
+        self.writes = 0
+        self.physical_bytes_touched = 0
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or offset + length > self.logical_size:
+            raise SparseMemoryError(
+                f"access [{offset}, {offset + length}) outside region "
+                f"of {self.logical_size} logical bytes"
+            )
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check(offset, length)
+        self.reads += 1
+        self.physical_bytes_touched += length
+        out = bytearray(length)
+        for i in range(length):
+            out[i] = self._store[self.layout.physical(offset + i)]
+        return bytes(out)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data))
+        self.writes += 1
+        self.physical_bytes_touched += len(data)
+        for i, b in enumerate(data):
+            self._store[self.layout.physical(offset + i)] = b
+
+    def physical_addr(self, logical: int) -> int:
+        """Simulated machine address of a logical byte (for d-cache refs)."""
+        return self.sim_addr + self.layout.physical(logical)
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field of a record laid over sparse memory."""
+
+    name: str
+    offset: int
+    width: int
+
+
+class FieldAccessor:
+    """A USC-generated accessor: direct sparse read/write of one field."""
+
+    def __init__(self, spec: FieldSpec, layout: SparseLayout) -> None:
+        self.spec = spec
+        self.layout = layout
+        # "compile time": the physical offsets of the field's bytes within
+        # one record, so accessors document the scatter they encode
+        self.physical_offsets: Tuple[int, ...] = tuple(
+            layout.physical(spec.offset + i) for i in range(spec.width)
+        )
+
+    def read(self, mem: SparseMemory, base: int = 0) -> int:
+        mem.reads += 1
+        mem.physical_bytes_touched += self.spec.width
+        value = 0
+        for i in range(self.spec.width):
+            phys = mem.layout.physical(base + self.spec.offset + i)
+            value |= mem._store[phys] << (8 * i)
+        return value
+
+    def write(self, mem: SparseMemory, value: int, base: int = 0) -> None:
+        mem.writes += 1
+        mem.physical_bytes_touched += self.spec.width
+        for i in range(self.spec.width):
+            mem._store[mem.layout.physical(base + self.spec.offset + i)] = (
+                (value >> (8 * i)) & 0xFF
+            )
+
+
+class UscCompiler:
+    """Generates field accessors for a record over a sparse layout."""
+
+    def __init__(self, layout: SparseLayout) -> None:
+        self.layout = layout
+
+    def compile(self, fields: List[FieldSpec]) -> Dict[str, FieldAccessor]:
+        seen: Dict[str, FieldAccessor] = {}
+        covered = set()
+        for spec in fields:
+            if spec.name in seen:
+                raise SparseMemoryError(f"duplicate field {spec.name!r}")
+            span = set(range(spec.offset, spec.offset + spec.width))
+            if span & covered:
+                raise SparseMemoryError(f"field {spec.name!r} overlaps another")
+            covered |= span
+            seen[spec.name] = FieldAccessor(spec, self.layout)
+        return seen

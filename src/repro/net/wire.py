@@ -1,0 +1,131 @@
+"""The isolated 10 Mb/s Ethernet segment connecting the two test hosts.
+
+Timing follows Section 4.3's arithmetic: a minimum Ethernet frame is 64
+bytes (including FCS) plus an 8-byte preamble, so transmitting it takes
+57.6 µs at 10 Mb/s.  The wire model delivers frames between attached
+adaptors on the shared virtual clock and accounts transmission time,
+which the latency assembly in :mod:`repro.harness.latency` combines with
+controller overhead and software processing time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.xkernel.event import EventManager
+
+MIN_FRAME_BYTES = 64          # including the 4-byte FCS
+PREAMBLE_BYTES = 8
+BITS_PER_BYTE = 8
+ETHERNET_MBPS = 10.0
+FCS_BYTES = 4
+MAX_PAYLOAD = 1500
+HEADER_BYTES = 14
+
+
+class WireError(RuntimeError):
+    pass
+
+
+@dataclass(frozen=True)
+class WireTiming:
+    """Link timing parameters (defaults: classic 10 Mb/s Ethernet)."""
+
+    mbps: float = ETHERNET_MBPS
+    propagation_us: float = 0.2  # a few tens of meters of coax
+
+    def transmission_us(self, frame_bytes: int) -> float:
+        on_wire = max(frame_bytes, MIN_FRAME_BYTES) + PREAMBLE_BYTES
+        return on_wire * BITS_PER_BYTE / self.mbps
+
+
+@dataclass
+class Frame:
+    """An Ethernet frame as carried on the wire."""
+
+    dst: bytes
+    src: bytes
+    ethertype: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.dst) != 6 or len(self.src) != 6:
+            raise WireError("MAC addresses must be 6 bytes")
+        if len(self.payload) > MAX_PAYLOAD:
+            raise WireError(f"payload of {len(self.payload)} exceeds MTU")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Length as counted on the wire (header + padded payload + FCS)."""
+        raw = HEADER_BYTES + len(self.payload) + FCS_BYTES
+        return max(raw, MIN_FRAME_BYTES)
+
+    def serialize(self) -> bytes:
+        header = self.dst + self.src + self.ethertype.to_bytes(2, "big")
+        return header + self.payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> "Frame":
+        if len(data) < HEADER_BYTES:
+            raise WireError("short frame")
+        return cls(
+            dst=data[0:6],
+            src=data[6:12],
+            ethertype=int.from_bytes(data[12:14], "big"),
+            payload=data[14:],
+        )
+
+
+class EthernetWire:
+    """A shared segment: every attached station sees addressed frames.
+
+    Stations attach with their MAC and a delivery callback; the wire
+    schedules delivery on the shared clock after the transmission delay.
+    The test network is isolated, so there is no background traffic and no
+    collision modeling — matching the paper's setup.
+    """
+
+    BROADCAST = b"\xff" * 6
+
+    def __init__(self, events: EventManager, timing: Optional[WireTiming] = None) -> None:
+        self.events = events
+        self.timing = timing or WireTiming()
+        self._stations: Dict[bytes, Callable[[Frame], None]] = {}
+        self.frames_carried = 0
+        self.bytes_carried = 0
+        self.drops = 0
+
+    def attach(self, mac: bytes, deliver: Callable[[Frame], None]) -> None:
+        if mac in self._stations:
+            raise WireError(f"duplicate station {mac.hex()}")
+        self._stations[mac] = deliver
+
+    def transmit(self, frame: Frame) -> float:
+        """Put a frame on the wire; returns its transmission time in µs.
+
+        Delivery to the destination station is scheduled at transmission
+        end plus propagation delay.
+        """
+        delay = self.timing.transmission_us(frame.wire_bytes)
+        self.frames_carried += 1
+        self.bytes_carried += frame.wire_bytes
+
+        def deliver() -> None:
+            if frame.dst == self.BROADCAST:
+                for mac, callback in self._stations.items():
+                    if mac != frame.src:
+                        callback(frame)
+                return
+            callback = self._stations.get(frame.dst)
+            if callback is None:
+                self.drops += 1
+                return
+            callback(frame)
+
+        self.events.schedule(delay + self.timing.propagation_us, deliver)
+        return delay
+
+    @property
+    def stations(self) -> List[bytes]:
+        return list(self._stations)

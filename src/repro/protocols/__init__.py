@@ -1,0 +1,29 @@
+"""The two measured protocol stacks (Figure 1 of the paper).
+
+TCP/IP::
+
+    TCPTEST          RPC:   XRPCTEST
+    TCP                     MSELECT
+    IP                      VCHAN
+    VNET                    CHAN
+    ETH                     BID
+    LANCE                   BLAST
+                            ETH
+                            LANCE
+
+Each protocol is implemented twice, deliberately:
+
+* a *functional* implementation that really processes packets (byte-exact
+  headers, checksums, sequence numbers, fragmentation, retransmission), and
+* an *instruction-level model* (``repro.protocols.models``) describing the
+  compiled code's basic-block structure, which the functional code drives
+  through the tracer with its actual branch outcomes.
+
+The split mirrors the paper's methodology: behaviour comes from running the
+real protocols; cache/latency numbers come from trace-driven simulation of
+the (transformed, laid-out) machine code.
+"""
+
+from repro.protocols.options import Section2Options
+
+__all__ = ["Section2Options"]

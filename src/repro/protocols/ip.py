@@ -1,0 +1,219 @@
+"""IP: byte-exact IPv4 with header checksum, fragmentation and reassembly.
+
+The implementation follows the BSD structure the x-kernel version derives
+from: ``push`` builds the 20-byte header (RFC 791) and fragments datagrams
+that exceed the network MTU; ``demux`` validates the header checksum,
+reassembles fragments, and dispatches on the protocol number through an
+x-kernel map.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.protocols.options import Section2Options
+from repro.xkernel.map import Map
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol, ProtocolStack, Session, XkernelError
+
+IP_HEADER = 20
+DEFAULT_TTL = 64
+DEFAULT_MTU = 1500
+PROTO_TCP = 6
+
+FLAG_MF = 0x2000  # more fragments
+OFFSET_MASK = 0x1FFF
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement sum over 16-bit words."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def _words(nbytes: int) -> int:
+    return max(1, (nbytes + 7) // 8)
+
+
+class IpSession(Session):
+    def __init__(self, protocol: "IpProtocol", upper: Protocol,
+                 lower_session: Session, src: bytes, dst: bytes,
+                 proto: int) -> None:
+        super().__init__(protocol, state_size=96, upper=upper)
+        self.lower_session = lower_session
+        self.src = src
+        self.dst = dst
+        self.proto = proto
+
+
+class IpProtocol(Protocol):
+    """IPv4 over VNET/ETH."""
+
+    def __init__(self, stack: ProtocolStack, local_addr: bytes, *,
+                 mtu: int = DEFAULT_MTU,
+                 opts: Optional[Section2Options] = None) -> None:
+        super().__init__(stack, "ip", state_size=256)
+        if len(local_addr) != 4:
+            raise XkernelError("IPv4 address must be 4 bytes")
+        self.opts = opts or Section2Options.improved()
+        self.local_addr = local_addr
+        self.mtu = mtu
+        self.proto_map = self.new_map(32)
+        self._ident = 1
+        # reassembly buffers keyed by (src, ident)
+        self._reassembly: Dict[Tuple[bytes, int], Dict[int, bytes]] = {}
+        self._reassembly_len: Dict[Tuple[bytes, int], int] = {}
+        self.delivered = 0
+        self.reassembled = 0
+
+    # ------------------------------------------------------------------ #
+    # control                                                            #
+    # ------------------------------------------------------------------ #
+
+    def open(self, upper: Protocol, participants) -> IpSession:
+        """participants: (dst_ip, proto, dst_mac)."""
+        dst_ip, proto, dst_mac = participants
+        from repro.protocols.eth import ETHERTYPE_IP
+
+        lower_session = self.lower.open(self, (dst_mac, ETHERTYPE_IP))
+        return IpSession(self, upper, lower_session, self.local_addr,
+                         dst_ip, proto)
+
+    def open_enable(self, upper: Protocol, pattern) -> None:
+        proto = pattern
+        self.proto_map.bind(bytes([proto]), upper)
+
+    # ------------------------------------------------------------------ #
+    # output                                                             #
+    # ------------------------------------------------------------------ #
+
+    def _header(self, session: IpSession, total_len: int, ident: int,
+                flags_off: int) -> bytes:
+        hdr = struct.pack(
+            "!BBHHHBBH4s4s",
+            (4 << 4) | 5, 0, total_len, ident, flags_off,
+            DEFAULT_TTL, session.proto, 0, session.src, session.dst,
+        )
+        cksum = internet_checksum(hdr)
+        return hdr[:10] + struct.pack("!H", cksum) + hdr[12:]
+
+    def push(self, session: IpSession, msg: Message) -> None:
+        payload_len = len(msg)
+        needs_frag = payload_len + IP_HEADER > self.mtu
+        ident = self._ident
+        self._ident = (self._ident + 1) & 0xFFFF
+        conds = {
+            "needs_frag": needs_frag,
+            "in_cksum.words": [_words(IP_HEADER)],
+            "msg_push.underflow": False,
+            "malloc.free_list_hit": self.allocator.would_reuse(2048),
+        }
+        data = {
+            "ipstate": self.sim_addr,
+            "msg": msg.sim_addr,
+            "ckbuf": msg.data_addr,
+        }
+        with self.tracer.scope("ip_push", conds, data):
+            if not needs_frag:
+                msg.push(self._header(session, IP_HEADER + payload_len,
+                                      ident, 0))
+                session.lower_session.push(msg)
+                return
+            self._fragment(session, msg, ident)
+
+    def _fragment(self, session: IpSession, msg: Message, ident: int) -> None:
+        """Split an oversized datagram into MTU-sized fragments."""
+        payload = msg.bytes()
+        chunk = (self.mtu - IP_HEADER) & ~7  # fragment data is 8-aligned
+        offset = 0
+        while offset < len(payload):
+            piece = payload[offset:offset + chunk]
+            more = offset + len(piece) < len(payload)
+            flags_off = (FLAG_MF if more else 0) | (offset // 8)
+            frag = Message(self.allocator, piece)
+            frag.push(self._header(session, IP_HEADER + len(piece), ident,
+                                   flags_off))
+            session.lower_session.push(frag)
+            frag.destroy()
+            offset += len(piece)
+        msg.truncate(0)
+
+    # ------------------------------------------------------------------ #
+    # input                                                              #
+    # ------------------------------------------------------------------ #
+
+    def demux(self, msg: Message, **kwargs) -> None:
+        raw = msg.peek(IP_HEADER)
+        (vhl, _tos, total_len, ident, flags_off, _ttl, proto,
+         _cksum, src, dst) = struct.unpack("!BBHHHBBH4s4s", raw)
+        cksum_ok = internet_checksum(raw) == 0 and (vhl >> 4) == 4
+        for_us = dst == self.local_addr
+        fragmented = bool(flags_off & FLAG_MF) or bool(flags_off & OFFSET_MASK)
+        key = bytes([proto])
+        cache_hit = self.proto_map.cache_would_hit(key)
+        conds = {
+            "cksum_ok": cksum_ok,
+            "for_us": for_us,
+            "fragmented": fragmented,
+            "map_cache_hit": cache_hit,
+            "map_resolve.cache_hit": cache_hit,
+            "map_resolve.key_words": 1,
+            "in_cksum.words": [_words(IP_HEADER)],
+            "msg_pop.underflow": False,
+            "malloc.free_list_hit": self.allocator.would_reuse(2048),
+        }
+        data = {
+            "ipstate": self.sim_addr,
+            "map": self.proto_map.sim_addr,
+            "msg": msg.sim_addr,
+            "ckbuf": msg.data_addr,
+        }
+        with self.tracer.scope("ip_demux", conds, data):
+            if not cksum_ok or not for_us:
+                return
+            reassembled = False
+            if fragmented:
+                msg = self._reassemble(msg, src, ident, flags_off, total_len)
+                if msg is None:
+                    return  # waiting for more fragments
+                reassembled = True
+            upper = self.proto_map.resolve_or_none(key)
+            if upper is None:
+                return
+            msg.pop(IP_HEADER)
+            if not reassembled:
+                # trim any Ethernet padding below the IP length (a
+                # reassembled datagram is already exactly sized)
+                msg.truncate(min(len(msg), total_len - IP_HEADER))
+            self.delivered += 1
+            upper.demux(msg, src=src, dst=dst)
+
+    def _reassemble(self, msg: Message, src: bytes, ident: int,
+                    flags_off: int, total_len: int) -> Optional[Message]:
+        key = (src, ident)
+        offset = (flags_off & OFFSET_MASK) * 8
+        data = msg.bytes()[IP_HEADER:total_len]
+        frags = self._reassembly.setdefault(key, {})
+        frags[offset] = data
+        if not flags_off & FLAG_MF:
+            self._reassembly_len[key] = offset + len(data)
+        want = self._reassembly_len.get(key)
+        if want is None or sum(len(d) for d in frags.values()) < want:
+            return None
+        # complete: rebuild a single datagram message
+        payload = bytearray(want)
+        for off, piece in frags.items():
+            payload[off:off + len(piece)] = piece
+        del self._reassembly[key]
+        del self._reassembly_len[key]
+        self.reassembled += 1
+        whole = Message(self.allocator, bytes(payload),
+                        buffer_size=max(2048, want + 256))
+        whole.push(msg.peek(IP_HEADER))
+        return whole

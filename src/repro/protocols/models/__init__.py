@@ -1,0 +1,42 @@
+"""Instruction-level models of the compiled protocol code.
+
+Each builder returns *fresh* :class:`~repro.core.ir.Function` objects (the
+transformation passes mutate them), parameterized by
+:class:`~repro.protocols.options.Section2Options` so that toggling a
+Section 2 optimization changes the generated code the way recompiling the C
+did: byte-sized TCP fields expand into load/extract sequences, a disabled
+USC brings back the dense descriptor copies, disabled conditional inlining
+reinstates the general map-lookup call, and so on.
+
+Function sizes and block structures are budgeted from the paper's published
+counts (Tables 1-3 and 9) and from the BSD-derived code the x-kernel TCP is
+based on; the experiment harness's calibration test asserts the dynamic
+totals stay in the paper's ballpark.
+"""
+
+from repro.protocols.models.library import build_library, LIBRARY_FUNCTIONS
+from repro.protocols.models.tcpip import (
+    build_tcpip_models,
+    TCPIP_PATH_FUNCTIONS,
+    TCPIP_OUTPUT_PATH,
+    TCPIP_INPUT_PATH,
+)
+from repro.protocols.models.rpc import (
+    build_rpc_models,
+    RPC_PATH_FUNCTIONS,
+    RPC_OUTPUT_PATH,
+    RPC_INPUT_PATH,
+)
+
+__all__ = [
+    "build_library",
+    "LIBRARY_FUNCTIONS",
+    "build_tcpip_models",
+    "TCPIP_PATH_FUNCTIONS",
+    "TCPIP_OUTPUT_PATH",
+    "TCPIP_INPUT_PATH",
+    "build_rpc_models",
+    "RPC_PATH_FUNCTIONS",
+    "RPC_OUTPUT_PATH",
+    "RPC_INPUT_PATH",
+]

@@ -1,0 +1,129 @@
+"""Fine-grained inline error checking (the i-cache density mechanism).
+
+Real protocol code is laced with small error checks — argument
+validation, state assertions, truncated-packet checks — whose handler
+arms sit *inline* between mainline basic blocks.  The paper measured
+"system software that contains up to 50 % error checking/handling code"
+and found ~21 % of the instruction slots in fetched i-cache blocks are
+never executed on the fast path (Table 9); outlining exists precisely to
+evacuate these arms.
+
+This pass reproduces that structure mechanically: long mainline blocks are
+split into short runs, each ending in a statically-predicted check branch
+whose small handler arm follows inline (where the C compiler would emit
+it).  The conditions are never supplied by the live protocols — the
+``predict=False`` annotation makes the walker fall through — so the arms
+never execute; they only occupy address space interleaved with hot code,
+until outlining moves them to the end of the function.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+from repro.arch.isa import Op
+from repro.core.ir import (
+    BasicBlock,
+    CondBranch,
+    Fallthrough,
+    Function,
+    Instruction,
+    Jump,
+)
+
+#: mainline instructions between consecutive inline checks
+CHECK_INTERVAL = 26
+#: size of each inline handler arm (panic/cleanup/return-error code)
+ARM_INSTRUCTIONS = 7
+
+
+def sprinkle_inline_checks(
+    fn: Function,
+    *,
+    every: int = CHECK_INTERVAL,
+    arm_size: int = ARM_INSTRUCTIONS,
+    counter: "itertools.count | None" = None,
+) -> int:
+    """Split long mainline blocks and interleave small error arms.
+
+    Returns the number of arms inserted.  Outlined/cold blocks are left
+    alone (they *are* the coarse error handling), as are blocks already
+    shorter than the check interval.
+    """
+    if counter is None:
+        counter = itertools.count(1)
+    new_blocks: List[BasicBlock] = []
+    arms = 0
+    for blk in fn.blocks:
+        if blk.unlikely or len(blk.instructions) <= every:
+            new_blocks.append(blk)
+            continue
+        chunks = [
+            blk.instructions[i:i + every]
+            for i in range(0, len(blk.instructions), every)
+        ]
+        terminator = blk.terminator
+        current_label = blk.label
+        for i, chunk in enumerate(chunks):
+            last = i == len(chunks) - 1
+            if last:
+                new_blocks.append(
+                    BasicBlock(
+                        label=current_label,
+                        instructions=chunk,
+                        terminator=terminator,
+                        origin=blk.origin,
+                    )
+                )
+                break
+            n = next(counter)
+            arm_label = f"__arm{n}"
+            cont_label = f"__cont{n}"
+            # Conservative, annotation-driven outlining only gets the arms
+            # a programmer bothered to annotate — the obvious panics and
+            # error returns.  Roughly a third of the checks carry a
+            # PREDICT_FALSE annotation; the rest stay inline even after
+            # outlining, which is why Table 9 still shows ~15 % unused
+            # slots in the outlined build.
+            annotated = n % 3 == 0
+            new_blocks.append(
+                BasicBlock(
+                    label=current_label,
+                    instructions=chunk,
+                    terminator=CondBranch(
+                        f"__chk{n}", arm_label, cont_label,
+                        predict=False if annotated else None,
+                        default=False,
+                    ),
+                    origin=blk.origin,
+                )
+            )
+            new_blocks.append(
+                BasicBlock(
+                    label=arm_label,
+                    instructions=[Instruction(Op.ALU)
+                                  for _ in range(arm_size)],
+                    terminator=Jump(cont_label),
+                    origin=blk.origin,
+                    unlikely=annotated,
+                )
+            )
+            arms += 1
+            current_label = cont_label
+    fn.blocks = new_blocks
+    return arms
+
+
+def densify_models(functions: List[Function]) -> int:
+    """Apply the inline-check pass to every function in a model set.
+
+    A fresh counter per model set keeps the labels — and which arms carry
+    the outlining annotation — deterministic regardless of how many
+    programs were built earlier in the process.
+    """
+    counter = itertools.count(1)
+    total = 0
+    for fn in functions:
+        total += sprinkle_inline_checks(fn, counter=counter)
+    return total

@@ -1,0 +1,275 @@
+"""Models of the x-kernel library functions (called repeatedly per path).
+
+These are the functions the bipartite layout keeps resident: message
+operations, the checksum and copy loops, the map lookup, the allocator, the
+event manager, and the Alpha's software integer-division routine (the
+architecture has no divide instruction, so division is a library call whose
+i-cache footprint Section 2.2.2 worked to keep off the critical path).
+
+Conditions consumed (callers pass them ``"fn.cond"``-prefixed):
+
+==================  =====================================================
+``in_cksum.words``  8-byte chunks summed
+``bcopy.words``     8-byte chunks copied
+``map_resolve.cache_hit``   one-entry cache satisfied the lookup
+``map_resolve.chain``       extra collision-chain probes after the hash
+``msg_refresh.sole_ref``    refcount was 1 (short-circuit eligible)
+``malloc.free_list_hit``    size class had a recycled region
+``div_helper.steps``        quotient bits developed (loop trips)
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.ir import Function, FunctionBuilder
+from repro.protocols.options import Section2Options
+
+#: every library function name, for layout classification
+LIBRARY_FUNCTIONS = (
+    "in_cksum",
+    "bcopy",
+    "map_resolve",
+    "msg_push",
+    "msg_pop",
+    "msg_refresh",
+    "malloc",
+    "free",
+    "event_schedule",
+    "event_cancel",
+    "sem_signal",
+    "div_helper",
+)
+
+#: the functions actually invoked several times per path invocation —
+#: the ones worth pinning in the bipartite layout's library partition.
+#: The rest execute at most once per roundtrip (or only on cold paths)
+#: and gain nothing from staying cached, so they are laid out with the
+#: path code; keeping the partition small leaves more index space for
+#: the streaming path.
+HOT_LIBRARY_FUNCTIONS = (
+    "in_cksum",
+    "event_schedule",
+    "event_cancel",
+)
+
+COLD_LIBRARY_FUNCTIONS = tuple(
+    name for name in LIBRARY_FUNCTIONS if name not in HOT_LIBRARY_FUNCTIONS
+)
+
+
+def _in_cksum() -> Function:
+    """The Internet checksum: a tight carry-folding loop over the data."""
+    fb = FunctionBuilder("in_cksum", module="lib", saves=0, leaf=True,
+                         frame=0, library=True)
+    fb.block("setup").alu(6)
+    fb.block("loop").load("ckbuf", 0, indexed=True, stride=8).alu(3)
+    fb.branch("words", "loop", "fold", default=False)
+    fb.block("fold").alu(7)
+    fb.ret()
+    return fb.build()
+
+
+def _bcopy() -> Function:
+    """Word-at-a-time copy loop."""
+    fb = FunctionBuilder("bcopy", module="lib", saves=0, leaf=True,
+                         frame=0, library=True)
+    fb.block("setup").alu(4)
+    fb.block("loop").load("copysrc", 0, indexed=True, stride=8)
+    fb.block("loop2").store("copydst", 0, indexed=True, stride=8).alu(1)
+    fb.branch("words", "loop", "done", default=False)
+    fb.block("done").alu(2)
+    fb.ret()
+    return fb.build()
+
+
+def _map_resolve() -> Function:
+    """General map lookup: cache probe, then hash and chain walk.
+
+    The general interface supports unaligned keys and arbitrary key sizes:
+    the cache probe must check length and alignment and compare the key
+    piecewise, which is why it costs ~3x what the conditionally inlined
+    constant-size probe costs at the call site (Section 2.2.3).
+    """
+    fb = FunctionBuilder("map_resolve", module="lib", saves=2, library=True)
+    fb.block("entry").mix(alu=5, loads=2, region="map")
+    # generality tax: key length and alignment classification
+    fb.block("keyclass").load("stack", 16, 2).alu(6)
+    # piecewise compare against the cached entry's key
+    fb.block("cache_cmp").load("map", 16).load("stack", 24).alu(3)
+    fb.branch("key_words", "cache_cmp", "cmp_done", default=False)
+    fb.block("cmp_done").alu(2)
+    fb.branch("cache_hit", "hit", "hash", default=True)
+    fb.block("hit").alu(4).load("map", 8)
+    fb.ret()
+    fb.block("hash").load("stack", 16, 2).alu(12)
+    fb.block("chain").load("map", 32).alu(4)
+    fb.branch("chain", "chain", "found", default=False)
+    fb.block("found").mix(alu=5, loads=3, region="map", offset=48)
+    fb.ret()
+    return fb.build()
+
+
+def _msg_push() -> Function:
+    """msgPush: the general header-prepend path.
+
+    The library version handles arbitrary sizes and stack-of-buffers
+    messages, which is what makes the constant-size inlined expansion at
+    protocol call sites (``various_inlining``) so much cheaper.
+    """
+    fb = FunctionBuilder("msg_push", module="lib", saves=0, leaf=True,
+                         frame=0, library=True)
+    fb.block("body").mix(alu=9, loads=4, stores=3, region="msg")
+    fb.branch("new_buffer", "grow", "done", predict=False)
+    fb.block("grow").alu(14)
+    fb.jump("done")
+    fb.block("done").alu(2)
+    fb.ret()
+    return fb.build()
+
+
+def _msg_pop() -> Function:
+    """msgPop: the general header-strip path, with bounds checking."""
+    fb = FunctionBuilder("msg_pop", module="lib", saves=0, leaf=True,
+                         frame=0, library=True)
+    fb.block("body").mix(alu=8, loads=5, stores=2, region="msg")
+    fb.branch("underflow", "fail", "ok", predict=False)
+    fb.block("fail").alu(12)
+    fb.jump("ok")
+    fb.block("ok").alu(3)
+    fb.ret()
+    return fb.build()
+
+
+def _msg_refresh(opts: Section2Options) -> Function:
+    """Re-stock an interrupt message buffer after protocol processing.
+
+    With the Section 2.2.2 optimization the sole-reference case resets the
+    buffer in place; without it, the message is destroyed and a fresh one
+    allocated — a free()/malloc() pair on every packet.
+    """
+    fb = FunctionBuilder("msg_refresh", module="lib", saves=2, library=True)
+    if opts.msg_refresh_short_circuit:
+        fb.block("entry").mix(alu=4, loads=2, region="msg")
+        fb.branch("sole_ref", "fast", "slow", predict=True)
+        fb.block("fast").mix(alu=5, stores=3, region="msg")
+        fb.ret()
+        fb.block("slow").alu(4)
+        fb.call("free", "slow2")
+        fb.block("slow2").alu(2)
+        fb.call("malloc", "slow3")
+        fb.block("slow3").mix(alu=8, stores=4, region="msg")
+        fb.ret()
+    else:
+        # original code: destroy (walk the buffer stack, drop the
+        # reference, free) then construct a replacement from scratch
+        fb.block("entry").mix(alu=10, loads=4, region="msg")
+        fb.block("destroy").mix(alu=18, loads=4, stores=3, region="msg",
+                                offset=48)
+        fb.call("free", "realloc")
+        fb.block("realloc").alu(4)
+        fb.call("malloc", "init")
+        fb.block("init").mix(alu=26, loads=3, stores=10, region="msg")
+        fb.ret()
+    return fb.build()
+
+
+def _malloc() -> Function:
+    """The kernel allocator: size classification, locking discipline,
+    free-list pop fast path, bump/refill slow path."""
+    fb = FunctionBuilder("malloc", module="lib", saves=3, library=True)
+    fb.block("entry").mix(alu=12, loads=3, region="heap")
+    fb.block("classify").mix(alu=14, loads=3, region="heap", offset=24)
+    fb.branch("free_list_hit", "pop", "bump", default=True)
+    fb.block("pop").mix(alu=12, loads=4, stores=4, region="heap", offset=48)
+    fb.block("pop_account").mix(alu=8, loads=1, stores=3, region="heap",
+                                offset=88)
+    fb.ret()
+    fb.block("bump").mix(alu=14, loads=2, stores=4, region="heap", offset=120)
+    fb.branch("heap_exhausted", "refill", "bump_done", predict=False)
+    fb.block("refill").alu(34)
+    fb.jump("bump_done")
+    fb.block("bump_done").mix(alu=7, stores=2, region="heap", offset=152)
+    fb.ret()
+    return fb.build()
+
+
+def _free() -> Function:
+    """Classify a region and push it onto its size class's free list."""
+    fb = FunctionBuilder("free", module="lib", saves=2, library=True)
+    fb.block("entry").mix(alu=12, loads=4, region="heap")
+    fb.block("classify").mix(alu=10, loads=2, region="heap", offset=32)
+    fb.branch("bad_free", "panic", "link", predict=False)
+    fb.block("panic").alu(18)
+    fb.jump("link")
+    fb.block("link").mix(alu=9, loads=2, stores=4, region="heap", offset=64)
+    fb.ret()
+    return fb.build()
+
+
+def _event_schedule() -> Function:
+    """Insert a timeout into the timer data structure."""
+    fb = FunctionBuilder("event_schedule", module="lib", saves=2, library=True)
+    fb.block("entry").mix(alu=8, loads=3, stores=3, region="evq")
+    fb.block("place").mix(alu=6, loads=2, stores=2, region="evq", offset=48)
+    fb.ret()
+    return fb.build()
+
+
+def _event_cancel() -> Function:
+    """Cancel a pending timeout (the common case on a healthy LAN)."""
+    fb = FunctionBuilder("event_cancel", module="lib", saves=1, library=True)
+    fb.block("entry").mix(alu=6, loads=2, stores=2, region="evq")
+    fb.branch("already_fired", "race", "done", predict=False)
+    fb.block("race").alu(12)
+    fb.jump("done")
+    fb.block("done").alu(1)
+    fb.ret()
+    return fb.build()
+
+
+def _sem_signal() -> Function:
+    """Semaphore signal: wake the blocked path thread (VP layer)."""
+    fb = FunctionBuilder("sem_signal", module="lib", saves=2, library=True)
+    fb.block("entry").mix(alu=6, loads=2, region="sem")
+    fb.branch("waiter_present", "wake", "bank", default=True)
+    fb.block("wake").mix(alu=10, loads=2, stores=3, region="sem", offset=24)
+    fb.ret()
+    fb.block("bank").mix(alu=3, stores=1, region="sem", offset=64)
+    fb.ret()
+    return fb.build()
+
+
+def _div_helper() -> Function:
+    """Software integer division (the Alpha has no divide instruction).
+
+    A shift-subtract loop developing the quotient; its footprint is why
+    Section 2.2.2 removes division from the critical path entirely.
+    """
+    fb = FunctionBuilder("div_helper", module="lib", saves=0, leaf=True,
+                         frame=0, library=True)
+    fb.block("setup").alu(7)
+    fb.block("loop").alu(5)
+    fb.branch("steps", "loop", "fixup", default=False)
+    fb.block("fixup").alu(4)
+    fb.ret()
+    return fb.build()
+
+
+def build_library(opts: Section2Options) -> List[Function]:
+    """Fresh IR for every library function under the given options."""
+    return [
+        _in_cksum(),
+        _bcopy(),
+        _map_resolve(),
+        _msg_push(),
+        _msg_pop(),
+        _msg_refresh(opts),
+        _malloc(),
+        _free(),
+        _event_schedule(),
+        _event_cancel(),
+        _sem_signal(),
+        _div_helper(),
+    ]

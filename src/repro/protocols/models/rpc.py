@@ -1,0 +1,346 @@
+"""Instruction-level models of the RPC stack (Figure 1, right).
+
+The RPC stack embodies the x-kernel paradigm of decomposing functionality
+into many small protocols [OP92]:
+
+========================  =================================================
+``xrpctest_call``         client: issue a zero-sized RPC request
+``mselect_call``          pick the per-server channel set
+``vchan_call``            virtual channel: allocate a free concrete CHAN
+``chan_call``             request-reply channel: sequence, timeout, send,
+                          then block the calling thread
+``bid_push``/``bid_demux``  boot-id stamping / validation
+``blast_push``/``blast_demux``  fragmentation / reassembly (zero-size
+                          requests ride in a single fragment)
+``eth_demux_rpc`` etc.    the shared ETH/LANCE driver models are reused
+``chan_demux``            match the reply, cancel the timeout, signal
+``chan_resume``           the awakened thread's return path up the stack
+========================  =================================================
+
+Compared with TCP, functions here are small and exception handling already
+lives in separate out-of-line functions — which is exactly why the paper
+finds outlining buys less for RPC while cloning and path-inlining (which
+attack the many small functions' call overhead and scattered layout) buy
+more.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.ir import Function, FunctionBuilder
+from repro.protocols.options import Section2Options
+from repro.protocols.models.tcpip import (
+    _demux_lookup,
+    _eth_push,
+    _lance_transmit,
+    _eth_demux,
+)
+
+RPC_OUTPUT_PATH = (
+    "xrpctest_call",
+    "mselect_call",
+    "vchan_call",
+    "chan_call",
+    "bid_push",
+    "blast_push",
+    "eth_push",
+    "lance_transmit",
+)
+RPC_INPUT_PATH = (
+    "eth_demux",
+    "blast_demux",
+    "bid_demux",
+    "chan_demux",
+)
+RPC_RESUME_PATH = (
+    "chan_resume",
+    "vchan_release",
+    "mselect_return",
+)
+RPC_PATH_FUNCTIONS = RPC_OUTPUT_PATH + RPC_INPUT_PATH + RPC_RESUME_PATH
+
+RPC_PIN_OUTPUT_MEMBERS = (
+    "xrpctest_call",
+    "mselect_call",
+    "vchan_call",
+    "chan_call",
+    "bid_push",
+    "blast_push",
+    "eth_push",
+    "lance_transmit",
+)
+RPC_PIN_INPUT_MEMBERS = (
+    "eth_demux",
+    "blast_demux",
+    "bid_demux",
+    "chan_demux",
+)
+
+
+def _xrpctest_call(opts: Section2Options) -> Function:
+    """Client: issue one zero-sized RPC.  Conditions: none."""
+    fb = FunctionBuilder("xrpctest_call", module="xrpctest", saves=3)
+    fb.block("entry").mix(alu=54, loads=18, region="app")
+    fb.call("malloc", "init_msg")
+    fb.block("init_msg").mix(alu=12, stores=5, region="msg")
+    fb.call_dynamic("xcall", "done")
+    fb.block("done").mix(alu=39, loads=10, stores=18, region="app", offset=32)
+    fb.ret()
+    return fb.build()
+
+
+def _mselect_call(opts: Section2Options) -> Function:
+    """Select the channel set for the destination server.
+
+    Conditions: ``map_cache_hit``.  Data: ``mselect``, ``map``.
+    """
+    fb = FunctionBuilder("mselect_call", module="mselect", saves=3)
+    fb.block("entry").mix(alu=46, loads=18, region="mselect")
+    _demux_lookup(fb, opts, "server")
+    fb.block("fwd").alu(24)
+    fb.call_dynamic("xcall", "done")
+    fb.block("done").alu(24)
+    fb.ret()
+    return fb.build()
+
+
+def _vchan_call(opts: Section2Options) -> Function:
+    """Virtual channel: grab a free concrete channel.
+
+    Conditions: ``chan_available`` (a CHAN is idle; true in ping-pong).
+    Data: ``vchan``.
+    """
+    fb = FunctionBuilder("vchan_call", module="vchan", saves=3)
+    fb.block("entry").mix(alu=46, loads=26, region="vchan")
+    fb.branch("chan_available", "grab", "wait", default=True)
+    fb.block("wait").alu(32)
+    fb.call("sem_signal", "grab")  # enqueue-and-wait bookkeeping
+    fb.block("grab").mix(alu=54, loads=18, stores=26, region="vchan", offset=24)
+    fb.call_dynamic("xcall", "done")
+    fb.block("done").mix(alu=7, stores=2, region="vchan", offset=56)
+    fb.ret()
+    return fb.build()
+
+
+def _chan_call(opts: Section2Options) -> Function:
+    """Request-reply channel, client call half.
+
+    Sequence the request, remember it for retransmission, start the
+    timeout, send, then block the caller (the block itself is a context
+    switch and therefore outside the traced region; the model ends at the
+    dispatch that hands the request downward plus the pre-block
+    bookkeeping).
+
+    Conditions: ``first_try`` (not a retransmission).
+    Data: ``chan``, ``msg``.
+    """
+    fb = FunctionBuilder("chan_call", module="chan", saves=5)
+    fb.block("entry").mix(alu=62, loads=26, region="chan")
+    fb.block("seq").mix(alu=54, loads=18, stores=26, region="chan", offset=24)
+    fb.branch("first_try", "stamp", "rexmt", default=True)
+    fb.block("rexmt", unlikely=True).mix(alu=185, loads=34, region="chan",
+                                         offset=96)
+    fb.jump("stamp")
+    fb.block("stamp").mix(alu=11, stores=4, region="msg")
+    fb.block("save").mix(alu=39, loads=10, stores=18, region="chan", offset=48)
+    fb.block("timeout").alu(24)
+    fb.call("event_schedule", "send")
+    fb.block("send").alu(15)
+    fb.call_dynamic("xcall", "block")
+    fb.block("block").mix(alu=62, loads=18, stores=26, region="chan", offset=64)
+    fb.ret()
+    return fb.build()
+
+
+def _bid_push(opts: Section2Options) -> Function:
+    """Stamp the sender's boot id on the request.  Conditions: none."""
+    fb = FunctionBuilder("bid_push", module="bid", saves=2)
+    fb.block("entry").mix(alu=32, loads=10, region="bid")
+    if opts.various_inlining:
+        fb.block("hdr").mix(alu=32, loads=10, stores=18, region="msg")
+    else:
+        fb.block("hdr").alu(15)
+        fb.call("msg_push", "fill")
+    fb.block("fill").mix(alu=7, stores=4, region="msg")
+    fb.call_dynamic("xcall", "done")
+    fb.block("done").alu(15)
+    fb.ret()
+    return fb.build()
+
+
+def _blast_push(opts: Section2Options) -> Function:
+    """Fragment a message into network-MTU pieces.
+
+    Zero-sized RPCs ride in one fragment, so the multi-fragment loop is a
+    separate (cold) path.  Conditions: ``single_frag``.
+    Data: ``blast``, ``msg``.
+    """
+    fb = FunctionBuilder("blast_push", module="blast", saves=4)
+    fb.block("entry").mix(alu=54, loads=18, region="blast")
+    fb.block("size").alu(39).load("msg", 0)
+    fb.branch("single_frag", "one", "many", default=True)
+    fb.block("many", unlikely=True).mix(alu=231, loads=34, stores=34,
+                                        region="blast", offset=64)
+    fb.call("malloc", "many2")
+    fb.block("many2", unlikely=True).alu(122)
+    fb.jump("one")
+    fb.block("one").alu(24)
+    if opts.various_inlining:
+        fb.block("hdr").mix(alu=32, loads=10, stores=18, region="msg")
+    else:
+        fb.block("hdr").alu(15)
+        fb.call("msg_push", "fill")
+    fb.block("fill").mix(alu=15, stores=7, region="msg")
+    fb.block("seqstate").mix(alu=39, loads=10, stores=18, region="blast",
+                             offset=32)
+    fb.call_dynamic("xcall", "done")
+    fb.block("done").alu(24)
+    fb.ret()
+    return fb.build()
+
+
+def _blast_demux(opts: Section2Options) -> Function:
+    """Reassembly: single-fragment fast path, bitmask bookkeeping otherwise.
+
+    Conditions: ``single_frag``, ``map_cache_hit`` (reassembly map).
+    Data: ``blast``, ``map``, ``msg``.
+    """
+    fb = FunctionBuilder("blast_demux", module="blast", saves=4)
+    fb.block("entry").mix(alu=62, loads=26, region="msg")
+    fb.block("hdr").alu(46).load("msg", 4, 18)
+    fb.branch("single_frag", "fast", "reass", default=True)
+    fb.block("reass", unlikely=True).mix(alu=261, loads=54, stores=54,
+                                         region="blast", offset=64)
+    fb.call("malloc", "reass2")
+    fb.block("reass2", unlikely=True).alu(139)
+    fb.jump("fast")
+    fb.block("fast").alu(24)
+    if opts.various_inlining:
+        fb.block("strip").mix(alu=32, loads=10, stores=18, region="msg")
+    else:
+        fb.block("strip").alu(15)
+        fb.call("msg_pop", "dispatch")
+    fb.block("dispatch").alu(24)
+    fb.call_dynamic("xdemux", "done")
+    fb.block("done").alu(24)
+    fb.ret()
+    return fb.build()
+
+
+def _bid_demux(opts: Section2Options) -> Function:
+    """Validate the peer's boot id.  Conditions: ``bid_ok``.
+    Data: ``bid``, ``msg``."""
+    fb = FunctionBuilder("bid_demux", module="bid", saves=2)
+    fb.block("entry").mix(alu=39, loads=18, region="msg")
+    fb.block("check").alu(32).load("bid", 8)
+    fb.branch("bid_ok", "strip", "stale", predict=True)
+    fb.block("stale", unlikely=True).alu(154)
+    fb.ret()
+    if opts.various_inlining:
+        fb.block("strip").mix(alu=32, loads=10, stores=18, region="msg")
+    else:
+        fb.block("strip").alu(15)
+        fb.call("msg_pop", "dispatch")
+    fb.block("dispatch").alu(15)
+    fb.call_dynamic("xdemux", "done")
+    fb.block("done").alu(15)
+    fb.ret()
+    return fb.build()
+
+
+def _chan_demux(opts: Section2Options) -> Function:
+    """Reply arrival on the client: match, cancel timeout, wake the caller.
+
+    Conditions: ``map_cache_hit`` (channel lookup), ``seq_match``
+    (the reply matches the outstanding request), ``waiter_present``.
+    Data: ``chan``, ``map``, ``msg``.
+    """
+    fb = FunctionBuilder("chan_demux", module="chan", saves=5)
+    fb.block("entry").mix(alu=62, loads=26, region="msg")
+    _demux_lookup(fb, opts, "chan")
+    fb.block("state").mix(alu=54, loads=26, region="chan")
+    fb.branch("seq_match", "accept", "stale", predict=True)
+    fb.block("stale", unlikely=True).mix(alu=200, loads=26, region="chan",
+                                         offset=96)
+    fb.ret()
+    fb.block("accept").mix(alu=62, loads=18, stores=26, region="chan", offset=24)
+    fb.block("cancel").alu(15)
+    fb.call("event_cancel", "attach")
+    fb.block("attach").mix(alu=11, stores=4, region="chan", offset=56)
+    fb.block("wake").alu(15)
+    fb.call("sem_signal", "done")
+    fb.block("done").alu(24)
+    fb.ret()
+    return fb.build()
+
+
+def _chan_resume(opts: Section2Options) -> Function:
+    """The awakened client thread: collect the reply, release the channel.
+
+    Runs after the (untraced) context switch.  Conditions: none.
+    Data: ``chan``, ``msg``.
+    """
+    fb = FunctionBuilder("chan_resume", module="chan", saves=4)
+    fb.block("entry").mix(alu=70, loads=34, region="chan")
+    fb.block("reply").mix(alu=46, loads=18, region="msg")
+    fb.block("free_req").alu(15)
+    fb.call("free", "release")
+    fb.block("release").alu(15)
+    fb.call_dynamic("xup", "done")  # unwinds into vchan_release
+    fb.block("done").mix(alu=10, stores=4, region="chan", offset=40)
+    fb.ret()
+    return fb.build()
+
+
+def _vchan_release(opts: Section2Options) -> Function:
+    """Return the concrete channel to the virtual channel's free set.
+
+    Conditions: ``waiters_queued`` (someone waits for a channel).
+    Data: ``vchan``.
+    """
+    fb = FunctionBuilder("vchan_release", module="vchan", saves=2)
+    fb.block("entry").mix(alu=46, loads=18, stores=18, region="vchan")
+    fb.branch("waiters_queued", "handoff", "idle", predict=False)
+    fb.block("handoff", unlikely=True).alu(122)
+    fb.jump("idle")
+    fb.block("idle").alu(15)
+    fb.call_dynamic("xup", "done")
+    fb.block("done").alu(15)
+    fb.ret()
+    return fb.build()
+
+
+def _mselect_return(opts: Section2Options) -> Function:
+    """Unwind through MSELECT back into the test program.
+    Conditions: none.  Data: ``mselect``, ``app``."""
+    fb = FunctionBuilder("mselect_return", module="mselect", saves=2)
+    fb.block("entry").mix(alu=39, loads=18, region="mselect")
+    fb.block("complete").mix(alu=39, loads=10, stores=18, region="app")
+    fb.ret()
+    return fb.build()
+
+
+def build_rpc_models(opts: Section2Options) -> List[Function]:
+    """Fresh IR for the RPC stack (driver models shared with TCP/IP)."""
+    from repro.protocols.models.density import densify_models
+
+    functions = [
+        _xrpctest_call(opts),
+        _mselect_call(opts),
+        _vchan_call(opts),
+        _chan_call(opts),
+        _bid_push(opts),
+        _blast_push(opts),
+        _blast_demux(opts),
+        _bid_demux(opts),
+        _chan_demux(opts),
+        _chan_resume(opts),
+        _vchan_release(opts),
+        _mselect_return(opts),
+        _eth_push(opts),
+        _lance_transmit(opts),
+        _eth_demux(opts),
+    ]
+    densify_models(functions)
+    return functions

@@ -1,0 +1,542 @@
+"""Instruction-level models of the TCP/IP stack (Figure 1, left).
+
+Function inventory (top to bottom of the stack):
+
+========================  =================================================
+``tcptest_call``          ping-pong client: build a 1-byte message, xPush
+``tcp_push``              TCP output: sequence bookkeeping, window checks,
+                          header build, checksum, retransmit timer
+``ip_push``               IP output: header, checksum, fragmentation check
+``vnet_push``             virtual routing: pick the network adaptor
+``eth_push``              Ethernet header, destination resolution
+``lance_transmit``        driver output half: ring + descriptor + buffer
+``eth_demux``             driver/device-independent input half + refresh
+``ip_demux``              IP input: validate, checksum, reassembly check
+``tcp_demux``             TCP input: demux, ACK/seq processing, delivery
+``tcptest_demux``         ping-pong client delivery: signal the thread
+========================  =================================================
+
+The Section 2 options reshape the code exactly where the paper says they
+did:
+
+* ``word_sized_tcp_state`` — byte/short TCB fields cost an extract/insert
+  sequence around every access on a pre-BWX Alpha (Table 1: 324),
+* ``msg_refresh_short_circuit`` — see the library's ``msg_refresh`` (208),
+* ``usc_descriptors`` — dense 20-byte descriptor copies in the driver vs
+  direct sparse-field stores (171),
+* ``inline_map_cache_test`` — inlined one-entry-cache probe at the three
+  inbound demux points vs the general ``map_resolve`` call (120),
+* ``various_inlining`` — the trivial message-descriptor helpers inlined at
+  constant-size call sites (119),
+* ``avoid_division`` — the inbound congestion-window update and the
+  outbound 35 %-window computation each drop a multiply plus a call to the
+  software division routine (90),
+* ``minor_changes`` — assorted small validations tightened (39).
+
+Block sizes are budgeted so the dynamic client-side roundtrip count lands
+near the paper's 4750 (improved) / 5821 (original), with ~39 % memory
+operations and roughly a third of the static path outlinable — all
+enforced by the calibration tests in ``tests/harness``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.ir import Function, FunctionBuilder
+from repro.protocols.options import Section2Options
+
+#: once-per-path functions, in invocation order (for layout strategies)
+TCPIP_OUTPUT_PATH = (
+    "tcptest_call",
+    "tcp_push",
+    "ip_push",
+    "vnet_push",
+    "eth_push",
+    "lance_transmit",
+)
+TCPIP_INPUT_PATH = (
+    "eth_demux",
+    "ip_demux",
+    "tcp_demux",
+    "tcptest_demux",
+)
+TCPIP_PATH_FUNCTIONS = TCPIP_OUTPUT_PATH + TCPIP_INPUT_PATH
+
+#: members handed to path-inlining (the app stays a dynamic dispatch)
+TCPIP_PIN_OUTPUT_MEMBERS = ("tcp_push", "ip_push", "vnet_push", "eth_push",
+                            "lance_transmit")
+TCPIP_PIN_INPUT_MEMBERS = ("eth_demux", "ip_demux", "tcp_demux")
+
+
+def _byte_penalty(opts: Section2Options, accesses: int) -> int:
+    """Extra instructions for sub-word TCB accesses on a pre-BWX Alpha.
+
+    Each byte/short load is ldq+extract, each store a load-insert-mask-
+    store sequence; we charge an average of 3 extra instructions per
+    access when the fields are not widened to words.
+    """
+    return 0 if opts.word_sized_tcp_state else 3 * accesses
+
+
+def _minor(opts: Section2Options, extra: int) -> int:
+    """Instructions removed by the 'other minor changes' row."""
+    return 0 if opts.minor_changes else extra
+
+
+def _inline_msg_op(fb: FunctionBuilder, opts: Section2Options, label: str,
+                   next_label: str, *, op: str) -> None:
+    """A msgPush/msgPop site whose key sizes are compile-time constants.
+
+    With ``various_inlining`` the helper's fast path is expanded in place;
+    otherwise it is a genuine library call.
+    """
+    if opts.various_inlining:
+        fb.block(label).mix(alu=4, loads=1, stores=2, region="msg")
+        fb.goto(next_label)
+    else:
+        fb.block(label).alu(2)
+        fb.call(op, next_label)
+
+
+def _demux_lookup(fb: FunctionBuilder, opts: Section2Options,
+                  prefix: str) -> None:
+    """A demux-map lookup: the conditionally inlined one-entry-cache probe
+    when enabled, otherwise a call to the general routine.
+
+    The inlined probe consumes condition ``map_cache_hit``.
+    """
+    if opts.inline_map_cache_test:
+        fb.block(f"{prefix}_probe").mix(alu=4, loads=2, region="map")
+        fb.branch("map_cache_hit", f"{prefix}_hit", f"{prefix}_miss",
+                  default=True)
+        fb.block(f"{prefix}_hit").alu(3).load("map", 8)
+        fb.jump(f"{prefix}_resolved")
+        fb.block(f"{prefix}_miss").alu(2)
+        fb.call("map_resolve", f"{prefix}_resolved")
+        fb.block(f"{prefix}_resolved").alu(2)
+    else:
+        fb.block(f"{prefix}_lookup").alu(3).store("stack", 40, 2)
+        fb.call("map_resolve", f"{prefix}_resolved")
+        fb.block(f"{prefix}_resolved").alu(2)
+
+
+def _descriptor_update(fb: FunctionBuilder, opts: Section2Options,
+                       label: str, next_label: str) -> None:
+    """One LANCE descriptor update in sparse shared memory.
+
+    USC writes the fields directly; the dense-copy strategy calls the copy
+    loop twice (sparse->dense, dense->sparse) around the staging patch.
+    """
+    if opts.usc_descriptors:
+        fb.block(label).mix(alu=7, stores=5, region="desc", offset=40)
+        fb.goto(next_label)
+    else:
+        fb.block(label).alu(3)
+        fb.call("bcopy", label + "_patch")       # copy descriptor out
+        fb.block(label + "_patch").mix(alu=5, loads=2, stores=3,
+                                       region="stack", offset=48)
+        fb.call("bcopy", label + "_wb")          # copy descriptor back
+        fb.block(label + "_wb").alu(1)
+        fb.goto(next_label)
+
+
+def _tcptest_call(opts: Section2Options) -> Function:
+    """Client send half of the ping-pong application.  Conditions: none."""
+    fb = FunctionBuilder("tcptest_call", module="tcptest", saves=4)
+    fb.block("entry").mix(alu=34, loads=19, region="app")
+    fb.call("malloc", "init_msg")
+    fb.block("init_msg").mix(alu=38, loads=9, stores=24, region="msg")
+    fb.block("fill").store("msg", 128).alu(16).load("app", 40, 5)
+    fb.call_dynamic("xpush", "sent")
+    fb.block("sent").mix(alu=25, loads=9, stores=15, region="app", offset=32)
+    fb.ret()
+    return fb.build()
+
+
+def _tcp_push(opts: Section2Options) -> Function:
+    """TCP output processing (tcp_output in BSD terms).
+
+    Conditions: ``snd_wnd_zero``, ``cwnd_open``, ``is_retransmit``,
+    ``window_update_due``, ``rexmt_pending``, ``delack_pending``,
+    ``must_probe``.  Data regions: ``tcb``, ``msg``, ``ckbuf``.
+    """
+    fb = FunctionBuilder("tcp_push", module="tcp", saves=8)
+    fb.block("entry").mix(alu=59, loads=42, region="tcb")
+    fb.block("flags").alu(69 + _byte_penalty(opts, 11)).load("tcb", 40, 15)
+
+    # how much can we send? (snd_wnd, cwnd, snd_nxt bookkeeping)
+    fb.block("send_calc").mix(alu=69, loads=36, region="tcb", offset=56)
+    fb.branch("snd_wnd_zero", "persist", "seq_update", predict=False)
+    # silly-window / persist-timer handling lives inline in BSD TCP —
+    # rarely executed, but fetched with the surrounding mainline blocks
+    fb.block("persist", unlikely=True).mix(alu=110, loads=27, stores=24,
+                                           region="tcb", offset=400)
+    fb.call("event_schedule", "persist2")
+    fb.block("persist2", unlikely=True).alu(38)
+    fb.jump("seq_update")
+
+    fb.block("seq_update").mix(
+        alu=38 + _byte_penalty(opts, 15), loads=12, stores=14,
+        region="tcb", offset=96,
+    )
+    fb.branch("is_retransmit", "retransmit", "win_entry", predict=False)
+    fb.block("retransmit", unlikely=True).mix(alu=135, loads=34, stores=30,
+                                              region="tcb", offset=480)
+    fb.call("event_schedule", "retransmit2")
+    fb.block("retransmit2", unlikely=True).alu(45)
+    fb.jump("win_entry")
+    fb.block("win_entry").alu(7).load("tcb", 128)
+
+    # receiver window advertisement: 35 % of the maximum window with a
+    # multiply and the division routine, or ~33 % with shift-and-add
+    if opts.avoid_division:
+        fb.block("win_adv").alu(24).load("tcb", 136, 7)
+    else:
+        fb.block("win_adv").alu(17).mul(1).load("tcb", 136, 7)
+        fb.call("div_helper", "win_adv_done")
+        fb.block("win_adv_done").alu(7)
+    fb.branch("window_update_due", "win_force", "hdr_push", predict=False)
+    fb.block("win_force", unlikely=True).alu(31).store("tcb", 144, 5)
+    fb.jump("hdr_push")
+
+    # build the 20-byte TCP header (+ pseudo header) in front of the data
+    _inline_msg_op(fb, opts, "hdr_push", "hdr_fill", op="msg_push")
+    fb.block("hdr_fill").mix(
+        alu=42 + _byte_penalty(opts, 13), loads=14, stores=20, region="msg",
+    )
+    fb.block("cksum_setup").alu(24).store("stack", 32, 12)
+    fb.call("in_cksum", "cksum_store")
+    fb.block("cksum_store").alu(9).store("msg", 16)
+
+    # retransmit timer: restart if already pending, then (re)arm
+    fb.block("timer").load("tcb", 160, 7).alu(16)
+    fb.branch("rexmt_pending", "timer_restart", "timer_set", default=True)
+    fb.block("timer_restart").alu(5)
+    fb.call("event_cancel", "timer_set")
+    fb.block("timer_set").alu(10).load("tcb", 172)
+    fb.call("event_schedule", "delack")
+    # sending data carries the ACK, so a pending delayed-ACK is cancelled
+    fb.block("delack").alu(9).load("tcb", 168)
+    fb.branch("delack_pending", "delack_cancel", "stats", default=True)
+    fb.block("delack_cancel").alu(3)
+    fb.call("event_cancel", "stats")
+    fb.block("stats").mix(
+        alu=26 + _byte_penalty(opts, 8), loads=8, stores=12,
+        region="tcb", offset=176,
+    )
+
+    fb.call_dynamic("xpush", "probe_check")
+    fb.block("probe_check").alu(9).load("tcb", 164)
+    fb.branch("must_probe", "probe", "done", predict=False)
+    fb.block("probe", unlikely=True).mix(alu=90, loads=22, stores=19,
+                                         region="tcb", offset=560)
+    fb.jump("done")
+    fb.block("done").mix(alu=38, loads=12, stores=19, region="tcb", offset=240)
+    fb.ret()
+    return fb.build()
+
+
+def _ip_push(opts: Section2Options) -> Function:
+    """IP output: header construction, checksum, fragmentation check.
+
+    Conditions: ``needs_frag``.  Data regions: ``ipstate``, ``msg``,
+    ``ckbuf``.
+    """
+    fb = FunctionBuilder("ip_push", module="ip", saves=6)
+    fb.block("entry").mix(alu=41, loads=24, region="ipstate")
+    fb.block("route").mix(alu=38, loads=22, region="ipstate", offset=80)
+    _inline_msg_op(fb, opts, "hdr_push", "hdr_fill", op="msg_push")
+    fb.block("hdr_fill").mix(alu=62, loads=19, stores=39, region="msg")
+    fb.block("cksum_setup").alu(17).store("stack", 32, 5)
+    fb.call("in_cksum", "cksum_store")
+    fb.block("cksum_store").alu(9).store("msg", 10)
+    fb.block("mtu_check").alu(18).load("ipstate", 48, 5)
+    fb.branch("needs_frag", "fragment", "send", predict=False)
+    fb.block("fragment", unlikely=True).mix(alu=145, loads=36, stores=36,
+                                            region="msg", offset=96)
+    fb.call("malloc", "frag_more")
+    fb.block("frag_more", unlikely=True).alu(55)
+    fb.jump("send")
+    fb.block("send").alu(14).load("ipstate", 56, 5)
+    fb.call_dynamic("xpush", "done")
+    fb.block("done").mix(alu=24, loads=7, stores=9, region="ipstate",
+                         offset=160)
+    fb.ret()
+    return fb.build()
+
+
+def _vnet_push(opts: Section2Options) -> Function:
+    """VNET: route the outgoing message to the right network adaptor.
+
+    Pure pass-through — path-inlining's poster child (Section 3.3).
+    Conditions: none.  Data regions: ``vnet``.
+    """
+    fb = FunctionBuilder("vnet_push", module="vnet", saves=3)
+    fb.block("entry").mix(alu=24, loads=15, region="vnet")
+    fb.block("select").mix(alu=21, loads=15, region="vnet", offset=48)
+    fb.call_dynamic("xpush", "done")
+    fb.block("done").alu(10).load("vnet", 96)
+    fb.ret()
+    return fb.build()
+
+
+def _eth_push(opts: Section2Options) -> Function:
+    """Ethernet output: 14-byte header, destination MAC resolution.
+
+    Conditions: ``dst_cached``.  Data regions: ``ethstate``, ``msg``.
+    """
+    fb = FunctionBuilder("eth_push", module="eth", saves=5)
+    fb.block("entry").mix(alu=34, loads=19, region="ethstate")
+    fb.block("resolve").mix(alu=32, loads=27, region="ethstate", offset=64)
+    fb.branch("dst_cached", "hdr_push", "arp", default=True)
+    fb.block("arp", unlikely=True).mix(alu=76, loads=19, stores=15,
+                                       region="ethstate", offset=256)
+    fb.jump("hdr_push")
+    _inline_msg_op(fb, opts, "hdr_push", "hdr_fill", op="msg_push")
+    fb.block("hdr_fill").mix(alu=45, loads=19, stores=31, region="msg")
+    fb.call_dynamic("xpush", "done")
+    fb.block("done").alu(12).load("ethstate", 128)
+    fb.ret()
+    return fb.build()
+
+
+def _lance_transmit(opts: Section2Options) -> Function:
+    """Driver output half: ring management, descriptor updates, buffer copy.
+
+    The descriptor is touched twice on the way out (claim + go), each
+    update paying the dense-copy tax unless USC is in use.
+
+    Conditions: ``ring_full``.  Data regions: ``desc``, ``copysrc``,
+    ``copydst``, ``lancecsr``, ``msg``.
+    """
+    fb = FunctionBuilder("lance_transmit", module="lance", saves=7)
+    fb.block("entry").mix(alu=48, loads=30, region="desc")
+    fb.block("ring").mix(alu=41, loads=22, region="desc", offset=96)
+    fb.branch("ring_full", "wait", "claim", predict=False)
+    fb.block("wait", unlikely=True).mix(alu=69, loads=19, region="desc",
+                                        offset=280)
+    fb.jump("claim")
+    fb.block("claim").mix(alu=31, loads=12, stores=7, region="desc",
+                          offset=160)
+
+    # copy the frame into the (sparse) transmit buffer
+    fb.block("copy_setup").alu(24).load("msg", 0, 15)
+    fb.call("bcopy", "desc_addr")
+    _descriptor_update(fb, opts, "desc_addr", "csr")
+
+    fb.block("csr").alu(17).store("lancecsr", 0).load("desc", 6, 5)
+    _descriptor_update(fb, opts, "desc_go", "tail")
+    fb.block("tail").mix(alu=41, loads=12, stores=19, region="desc",
+                         offset=200)
+    fb.ret()
+    return fb.build()
+
+
+def _eth_demux(opts: Section2Options) -> Function:
+    """Device-independent input half: demux, dispatch, rx re-arm, refresh.
+
+    Conditions: ``runt``, ``map_cache_hit``.  Data regions: ``ethstate``,
+    ``map``, ``msg``, ``desc``, ``pool``.
+    """
+    fb = FunctionBuilder("eth_demux", module="eth", saves=6)
+    fb.block("entry").mix(alu=41, loads=27, region="msg")
+    fb.block("validate").alu(38 + _minor(opts, 10)).load("ethstate", 0, 12)
+    fb.branch("runt", "drop", "type", predict=False)
+    fb.block("drop", unlikely=True).alu(41)
+    fb.ret()
+    fb.block("type").alu(23).load("msg", 12, 9)
+    _demux_lookup(fb, opts, "type")
+    _inline_msg_op(fb, opts, "strip", "dispatch", op="msg_pop")
+    fb.block("dispatch").alu(17).load("ethstate", 48, 5)
+    fb.call_dynamic("xdemux", "rearm")
+    # hand the consumed receive descriptor back to the chip
+    fb.block("rearm").mix(alu=25, loads=15, region="desc")
+    _descriptor_update(fb, opts, "rx_desc", "refresh")
+    fb.block("refresh").alu(14).load("pool", 0, 5)
+    fb.call("msg_refresh", "pool_put")
+    fb.block("pool_put").mix(alu=28, loads=9, stores=18, region="pool")
+    fb.ret()
+    return fb.build()
+
+
+def _ip_demux(opts: Section2Options) -> Function:
+    """IP input (ipintr): validation, checksum, reassembly, dispatch.
+
+    Conditions: ``cksum_ok``, ``for_us``, ``fragmented``,
+    ``map_cache_hit``.  Data regions: ``ipstate``, ``map``, ``msg``,
+    ``ckbuf``.
+    """
+    fb = FunctionBuilder("ip_demux", module="ip", saves=6)
+    fb.block("entry").mix(alu=45, loads=30, region="msg")
+    fb.block("validate").alu(78 + _minor(opts, 13)).load("msg", 8, 18)
+    fb.block("cksum_setup").alu(17).store("stack", 32, 5)
+    fb.call("in_cksum", "cksum_check")
+    fb.block("cksum_check").alu(10)
+    fb.branch("cksum_ok", "addr", "bad_cksum", predict=True)
+    fb.block("bad_cksum", unlikely=True).alu(45)
+    fb.ret()
+    fb.block("addr").mix(alu=38, loads=19, region="ipstate", offset=16)
+    fb.branch("for_us", "frag_check", "forward", default=True)
+    fb.block("forward", unlikely=True).mix(alu=121, loads=30, region="ipstate",
+                                           offset=320)
+    fb.ret()
+    fb.block("frag_check").alu(21).load("msg", 6, 7)
+    fb.branch("fragmented", "reassemble", "proto", predict=False)
+    fb.block("reassemble", unlikely=True).mix(alu=159, loads=39, stores=36,
+                                              region="ipstate", offset=400)
+    fb.call("malloc", "reass_more")
+    fb.block("reass_more", unlikely=True).alu(66)
+    fb.jump("proto")
+    fb.block("proto").alu(18).load("msg", 9, 5)
+    _demux_lookup(fb, opts, "proto")
+    _inline_msg_op(fb, opts, "strip", "trim", op="msg_pop")
+    fb.block("trim").mix(alu=28, loads=9, stores=9, region="msg", offset=40)
+    fb.call_dynamic("xdemux", "done")
+    fb.block("done").mix(alu=21, loads=7, stores=7, region="ipstate",
+                         offset=200)
+    fb.ret()
+    return fb.build()
+
+
+def _tcp_demux(opts: Section2Options) -> Function:
+    """TCP input after demux (tcp_input): the stack's biggest function.
+
+    Conditions: ``map_cache_hit``, ``cksum_ok``, ``established``,
+    ``seq_expected``, ``ack_advances``, ``more_unacked``, ``cwnd_open``,
+    ``window_update_due``, ``data_present``, ``fin``, ``delack_needed``.
+    Data regions: ``tcb``, ``map``, ``msg``, ``ckbuf``.
+    """
+    fb = FunctionBuilder("tcp_demux", module="tcp", saves=9)
+    fb.block("entry").mix(alu=52, loads=34, region="msg")
+    fb.block("hdrlen").alu(57 + _byte_penalty(opts, 7) + _minor(opts, 16)
+    ).load("msg", 12, 9)
+
+    # checksum (pseudo-header + segment)
+    fb.block("cksum_setup").alu(31).store("stack", 48, 15)
+    fb.call("in_cksum", "cksum_check")
+    fb.block("cksum_check").alu(9)
+    fb.branch("cksum_ok", "demuxkey", "bad_cksum", predict=True)
+    fb.block("bad_cksum", unlikely=True).alu(48)
+    fb.ret()
+
+    # locate the TCB: build the 4-tuple key, probe the map
+    fb.block("demuxkey").mix(alu=41, loads=19, stores=15, region="msg",
+                             offset=24)
+    _demux_lookup(fb, opts, "pcb")
+    fb.block("tcb_load").mix(alu=22 + _byte_penalty(opts, 13), loads=20,
+                             region="tcb")
+
+    fb.branch("established", "fastpath", "slowstate", default=True)
+    # connection-state machinery stays inline in BSD-derived TCP: a big
+    # chunk of rarely-executed code, i.e. prime outlining material
+    fb.block("slowstate", unlikely=True).mix(alu=259, loads=58, stores=49,
+                                             region="tcb", offset=600)
+    fb.call("event_schedule", "slowstate2")
+    fb.block("slowstate2", unlikely=True).alu(103)
+    fb.jump("seqcheck")
+
+    fb.block("fastpath").alu(52 + _byte_penalty(opts, 7)).load("tcb", 48, 19)
+    fb.block("seqcheck").alu(41).load("tcb", 64, 19)
+    fb.branch("seq_expected", "ack", "ooo", predict=True)
+    fb.block("ooo", unlikely=True).mix(alu=162, loads=36, stores=34,
+                                       region="tcb", offset=800)
+    fb.call("malloc", "ooo2")
+    fb.block("ooo2", unlikely=True).alu(59)
+    fb.jump("ack")
+
+    # ACK processing: snd_una advance, RTT sample, timer management
+    fb.block("ack").alu(78 + _byte_penalty(opts, 12)).load("tcb", 80, 24)
+    fb.branch("ack_advances", "ack_adv", "winupd", default=True)
+    fb.block("ack_adv").mix(alu=36 + _byte_penalty(opts, 10), loads=8,
+                            stores=13, region="tcb", offset=104)
+    fb.block("rtt").mix(alu=48, loads=15, stores=19, region="tcb", offset=136)
+    fb.block("timer_cancel").alu(7).load("tcb", 160)
+    fb.call("event_cancel", "rexmt_more")
+    fb.block("rexmt_more").alu(12)
+    fb.branch("more_unacked", "timer_restart", "cwnd_entry", predict=False)
+    fb.block("timer_restart").alu(5)
+    fb.call("event_schedule", "cwnd_entry")
+    fb.block("cwnd_entry").alu(5)
+
+    # congestion window opening: cwnd += mss*mss/cwnd needs a multiply and
+    # the division routine; the fast path tests for a fully-open window
+    if opts.avoid_division:
+        fb.block("cwnd").alu(17).load("tcb", 88, 7)
+        fb.branch("cwnd_open", "winupd", "cwnd_slow", predict=True)
+        fb.block("cwnd_slow", unlikely=True).alu(21).mul(1)
+        fb.call("div_helper", "cwnd_slow2")
+        fb.block("cwnd_slow2").alu(10).store("tcb", 88)
+        fb.jump("winupd")
+    else:
+        fb.block("cwnd").alu(21).mul(1).load("tcb", 88, 7)
+        fb.call("div_helper", "cwnd_store")
+        fb.block("cwnd_store").alu(10).store("tcb", 88)
+
+    # should we send a window update? (threshold test; the arithmetic
+    # lives on the output side)
+    fb.block("winupd").alu(28).load("tcb", 144, 9)
+    fb.branch("window_update_due", "send_update", "deliver", predict=False)
+    fb.block("send_update", unlikely=True).alu(83)
+    fb.jump("deliver")
+
+    # data delivery to the layer above
+    fb.block("deliver").alu(23).load("msg", 0, 9)
+    fb.branch("data_present", "strip", "nodata", default=True)
+    fb.block("nodata").alu(14)
+    fb.jump("fincheck")
+    _inline_msg_op(fb, opts, "strip", "present", op="msg_pop")
+    fb.block("present").mix(alu=26 + _byte_penalty(opts, 8), loads=8,
+                            stores=11, region="tcb", offset=168)
+    fb.call_dynamic("xdemux", "fincheck")
+    fb.block("fincheck").alu(18).load("msg", 13, 5)
+    fb.branch("fin", "fin_proc", "done", predict=False)
+    fb.block("fin_proc", unlikely=True).mix(alu=138, loads=31, stores=34,
+                                            region="tcb", offset=900)
+    fb.jump("done")
+    # receiving data without an immediate send arms the delayed-ACK timer
+    fb.block("done").alu(14).load("tcb", 168, 5)
+    fb.branch("delack_needed", "delack_arm", "out", default=True)
+    fb.block("delack_arm").alu(9)
+    fb.call("event_schedule", "out")
+    fb.block("out").mix(alu=22 + _byte_penalty(opts, 5), loads=5, stores=9,
+                        region="tcb", offset=192)
+    fb.ret()
+    return fb.build()
+
+
+def _tcptest_demux(opts: Section2Options) -> Function:
+    """Client delivery: count the reply and wake the ping-pong thread.
+
+    Conditions: ``signal_waiter``.  Data regions: ``app``, ``sem``,
+    ``msg``.
+    """
+    fb = FunctionBuilder("tcptest_demux", module="tcptest", saves=4)
+    fb.block("entry").mix(alu=34, loads=19, region="app")
+    fb.block("count").mix(alu=25, loads=15, stores=19, region="app", offset=64)
+    fb.branch("signal_waiter", "wake", "done", default=True)
+    fb.block("wake").alu(9).load("sem", 0)
+    fb.call("sem_signal", "done")
+    fb.block("done").alu(12).store("app", 128)
+    fb.ret()
+    return fb.build()
+
+
+def build_tcpip_models(opts: Section2Options) -> List[Function]:
+    """Fresh IR for every TCP/IP path function under the given options."""
+    from repro.protocols.models.density import densify_models
+
+    functions = [
+        _tcptest_call(opts),
+        _tcp_push(opts),
+        _ip_push(opts),
+        _vnet_push(opts),
+        _eth_push(opts),
+        _lance_transmit(opts),
+        _eth_demux(opts),
+        _ip_demux(opts),
+        _tcp_demux(opts),
+        _tcptest_demux(opts),
+    ]
+    densify_models(functions)
+    return functions

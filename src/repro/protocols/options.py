@@ -1,0 +1,71 @@
+"""The Section 2 optimization toggles (Table 1's rows).
+
+Each flag enables one of the RISC-motivated changes the paper applied to
+the x-kernel before evaluating the Section 3 techniques.  The *improved*
+configuration (all on) is the paper's STD baseline; the *original*
+configuration (all off) reproduces Table 2's "Original" column.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Section2Options:
+    """Instruction-count optimizations from Section 2.2 (Table 1)."""
+
+    #: change byte/short fields in the TCP control block to words
+    #: (the first two Alpha generations lack sub-word loads/stores)
+    word_sized_tcp_state: bool = True
+    #: short-circuit the free()/malloc() pair when refreshing a message
+    #: whose refcount already dropped back to one
+    msg_refresh_short_circuit: bool = True
+    #: update LANCE descriptors directly in sparse memory via USC
+    #: accessors instead of the dense-copy strategy
+    usc_descriptors: bool = True
+    #: conditionally inline the map's one-entry cache test at call sites
+    #: with compile-time-constant key size/alignment
+    inline_map_cache_test: bool = True
+    #: the other safe inlining opportunities ("various inlining")
+    various_inlining: bool = True
+    #: avoid integer multiply/divide on the TCP fast path (cwnd fully-open
+    #: test; 33 % instead of 35 % window-update threshold)
+    avoid_division: bool = True
+    #: the remaining small changes ("other minor changes")
+    minor_changes: bool = True
+
+    @classmethod
+    def improved(cls) -> "Section2Options":
+        """All Section 2 optimizations on: the paper's STD baseline."""
+        return cls()
+
+    @classmethod
+    def original(cls) -> "Section2Options":
+        """The pre-optimization x-kernel (Table 2's Original column)."""
+        return cls(
+            word_sized_tcp_state=False,
+            msg_refresh_short_circuit=False,
+            usc_descriptors=False,
+            inline_map_cache_test=False,
+            various_inlining=False,
+            avoid_division=False,
+            minor_changes=False,
+        )
+
+    def without(self, flag: str) -> "Section2Options":
+        """Copy with one optimization turned off (for Table 1 deltas)."""
+        if not hasattr(self, flag):
+            raise AttributeError(f"unknown option {flag!r}")
+        return dataclasses.replace(self, **{flag: False})
+
+    TABLE1_FLAGS = (
+        "word_sized_tcp_state",
+        "msg_refresh_short_circuit",
+        "usc_descriptors",
+        "inline_map_cache_test",
+        "various_inlining",
+        "avoid_division",
+        "minor_changes",
+    )

@@ -1,0 +1,27 @@
+"""The RPC protocol suite (Figure 1, right): Sprite-style RPC decomposed
+into the x-kernel's many-small-protocols paradigm [OP92].
+
+Top to bottom: XRPCTEST (the ping-pong test program), MSELECT (server
+selection), VCHAN (virtual channels multiplexing a pool of concrete
+channels), CHAN (sequenced request-reply with timeouts and at-most-once
+semantics), BID (boot-id stamping), BLAST (fragmentation/reassembly), all
+over the shared ETH/LANCE driver.
+"""
+
+from repro.protocols.rpc.blast import BlastProtocol
+from repro.protocols.rpc.bid import BidProtocol
+from repro.protocols.rpc.chan import ChanProtocol, Channel
+from repro.protocols.rpc.vchan import VchanProtocol
+from repro.protocols.rpc.mselect import MselectProtocol
+from repro.protocols.rpc.xrpctest import XrpcTestClient, XrpcTestServer
+
+__all__ = [
+    "BlastProtocol",
+    "BidProtocol",
+    "ChanProtocol",
+    "Channel",
+    "VchanProtocol",
+    "MselectProtocol",
+    "XrpcTestClient",
+    "XrpcTestServer",
+]

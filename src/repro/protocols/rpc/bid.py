@@ -1,0 +1,76 @@
+"""BID: boot-id stamping, so a rebooted peer's stale traffic is rejected.
+
+Every outgoing message carries the sender's boot id; incoming messages are
+checked against the last boot id seen from that peer.  A changed boot id
+invalidates all channel state for the peer (the cold path).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional
+
+from repro.protocols.options import Section2Options
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol, ProtocolStack, Session, XkernelError
+
+BID_HEADER = 8
+HEADER_FMT = "!II"  # boot_id, spare
+
+
+class BidSession(Session):
+    def __init__(self, protocol: "BidProtocol", upper: Protocol,
+                 lower_session: Session) -> None:
+        super().__init__(protocol, state_size=64, upper=upper)
+        self.lower_session = lower_session
+
+
+class BidProtocol(Protocol):
+    """Boot-id protocol between CHAN and BLAST."""
+
+    def __init__(self, stack: ProtocolStack, boot_id: int, *,
+                 opts: Optional[Section2Options] = None) -> None:
+        super().__init__(stack, "bid", state_size=96)
+        self.opts = opts or Section2Options.improved()
+        self.boot_id = boot_id
+        self.upper: Optional[Protocol] = None
+        self.peer_boot_ids: Dict[bytes, int] = {}
+        self.stale_rejections = 0
+        self.peer_reboots = 0
+
+    def open(self, upper: Protocol, participants) -> BidSession:
+        lower_session = self.lower.open(self, participants)
+        return BidSession(self, upper, lower_session)
+
+    def open_enable(self, upper: Protocol, pattern) -> None:
+        self.upper = upper
+
+    def push(self, session: BidSession, msg: Message) -> None:
+        conds = {"msg_push.underflow": False}
+        data = {"bid": self.sim_addr, "msg": msg.sim_addr}
+        with self.tracer.scope("bid_push", conds, data):
+            msg.push(struct.pack(HEADER_FMT, self.boot_id, 0))
+            session.lower_session.push(msg)
+
+    def demux(self, msg: Message, *, src_mac: bytes = b"", **kwargs) -> None:
+        boot_id, _ = struct.unpack(HEADER_FMT, msg.peek(BID_HEADER))
+        known = self.peer_boot_ids.get(src_mac)
+        bid_ok = known is None or known == boot_id
+        conds = {
+            "bid_ok": bid_ok,
+            "msg_pop.underflow": False,
+        }
+        data = {"bid": self.sim_addr, "msg": msg.sim_addr}
+        with self.tracer.scope("bid_demux", conds, data):
+            if not bid_ok:
+                # peer rebooted: note the new id and drop the stale message
+                self.peer_boot_ids[src_mac] = boot_id
+                self.peer_reboots += 1
+                self.stale_rejections += 1
+                return
+            if known is None:
+                self.peer_boot_ids[src_mac] = boot_id
+            if self.upper is None:
+                raise XkernelError("bid has no upper protocol enabled")
+            msg.pop(BID_HEADER)
+            self.upper.demux(msg, src_mac=src_mac)

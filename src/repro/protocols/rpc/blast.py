@@ -1,0 +1,150 @@
+"""BLAST: fragmentation into network-MTU pieces, with reassembly.
+
+Zero-sized RPCs — the paper's latency test — ride in a single fragment, so
+the mainline is the single-fragment fast path.  Larger messages are split
+into numbered fragments and reassembled with a bitmask on the receive side;
+incomplete reassemblies are garbage-collected by a timer (the cold path the
+model outlines).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional, Tuple
+
+from repro.protocols.options import Section2Options
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol, ProtocolStack, Session, XkernelError
+
+BLAST_HEADER = 16
+HEADER_FMT = "!IHHII"  # seq, frag_index, frag_count, total_len, spare
+FRAGMENT_SIZE = 1400
+REASSEMBLY_TIMEOUT_US = 2_000_000.0
+
+
+class BlastSession(Session):
+    def __init__(self, protocol: "BlastProtocol", upper: Protocol,
+                 lower_session: Session) -> None:
+        super().__init__(protocol, state_size=96, upper=upper)
+        self.lower_session = lower_session
+        self.next_seq = 1
+
+
+class _Reassembly:
+    __slots__ = ("fragments", "count", "total_len", "timer")
+
+    def __init__(self, count: int, total_len: int, timer) -> None:
+        self.fragments: Dict[int, bytes] = {}
+        self.count = count
+        self.total_len = total_len
+        self.timer = timer
+
+
+class BlastProtocol(Protocol):
+    """Fragmentation below BID, above the Ethernet driver."""
+
+    def __init__(self, stack: ProtocolStack, *,
+                 opts: Optional[Section2Options] = None) -> None:
+        super().__init__(stack, "blast", state_size=192)
+        self.opts = opts or Section2Options.improved()
+        self.upper: Optional[Protocol] = None
+        self._reassembly: Dict[Tuple[bytes, int], _Reassembly] = {}
+        self.single_fragment_deliveries = 0
+        self.reassembled = 0
+        self.dropped_incomplete = 0
+
+    def open(self, upper: Protocol, participants) -> BlastSession:
+        lower_session = self.lower.open(self, participants)
+        return BlastSession(self, upper, lower_session)
+
+    def open_enable(self, upper: Protocol, pattern) -> None:
+        self.upper = upper
+
+    # ------------------------------------------------------------------ #
+    # output                                                             #
+    # ------------------------------------------------------------------ #
+
+    def push(self, session: BlastSession, msg: Message) -> None:
+        payload = msg.bytes()
+        single = len(payload) <= FRAGMENT_SIZE
+        seq = session.next_seq
+        session.next_seq += 1
+        conds = {
+            "single_frag": single,
+            "msg_push.underflow": False,
+            "malloc.free_list_hit": self.allocator.would_reuse(2048),
+        }
+        data = {"blast": self.sim_addr, "msg": msg.sim_addr}
+        with self.tracer.scope("blast_push", conds, data):
+            if single:
+                msg.push(struct.pack(HEADER_FMT, seq, 0, 1, len(payload), 0))
+                session.lower_session.push(msg)
+                return
+            self._send_fragments(session, payload, seq)
+
+    def _send_fragments(self, session: BlastSession, payload: bytes,
+                        seq: int) -> None:
+        count = (len(payload) + FRAGMENT_SIZE - 1) // FRAGMENT_SIZE
+        for index in range(count):
+            piece = payload[index * FRAGMENT_SIZE:(index + 1) * FRAGMENT_SIZE]
+            frag = Message(self.allocator, piece)
+            frag.push(struct.pack(HEADER_FMT, seq, index, count,
+                                  len(payload), 0))
+            session.lower_session.push(frag)
+            frag.destroy()
+
+    # ------------------------------------------------------------------ #
+    # input                                                              #
+    # ------------------------------------------------------------------ #
+
+    def demux(self, msg: Message, *, src_mac: bytes = b"", **kwargs) -> None:
+        seq, index, count, total_len, _ = struct.unpack(
+            HEADER_FMT, msg.peek(BLAST_HEADER)
+        )
+        single = count == 1
+        conds = {
+            "single_frag": single,
+            "msg_pop.underflow": False,
+            "malloc.free_list_hit": self.allocator.would_reuse(2048),
+        }
+        data = {"blast": self.sim_addr, "msg": msg.sim_addr}
+        with self.tracer.scope("blast_demux", conds, data):
+            if self.upper is None:
+                raise XkernelError("blast has no upper protocol enabled")
+            msg.pop(BLAST_HEADER)
+            if single:
+                msg.truncate(min(len(msg), total_len))
+                self.single_fragment_deliveries += 1
+                self.upper.demux(msg, src_mac=src_mac)
+                return
+            whole = self._reassemble(src_mac, seq, index, count, total_len,
+                                     msg.bytes())
+            if whole is not None:
+                self.upper.demux(whole, src_mac=src_mac)
+                whole.destroy()
+
+    def _reassemble(self, src_mac: bytes, seq: int, index: int, count: int,
+                    total_len: int, piece: bytes) -> Optional[Message]:
+        key = (src_mac, seq)
+        entry = self._reassembly.get(key)
+        if entry is None:
+            timer = self.stack.events.schedule(
+                REASSEMBLY_TIMEOUT_US, lambda: self._expire(key)
+            )
+            entry = _Reassembly(count, total_len, timer)
+            self._reassembly[key] = entry
+        entry.fragments[index] = piece
+        if len(entry.fragments) < entry.count:
+            return None
+        self.stack.events.cancel(entry.timer)
+        del self._reassembly[key]
+        payload = b"".join(entry.fragments[i] for i in range(entry.count))
+        self.reassembled += 1
+        payload = payload[:total_len]
+        return Message(self.allocator, payload,
+                       buffer_size=max(2048, len(payload) + 256))
+
+    def _expire(self, key: Tuple[bytes, int]) -> None:
+        if key in self._reassembly:
+            del self._reassembly[key]
+            self.dropped_incomplete += 1

@@ -1,0 +1,250 @@
+"""CHAN: sequenced request-reply channels with at-most-once semantics.
+
+Each concrete channel carries one outstanding RPC at a time.  The client
+side sequences the request, saves it for retransmission, starts a timeout
+and blocks the calling thread; the reply cancels the timeout and signals
+the thread, whose resumption (after the untraced context switch) unwinds
+back up through VCHAN and MSELECT.  The server side enforces at-most-once
+execution: a retransmitted request whose sequence number was already
+executed gets the cached reply instead of a re-execution.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.protocols.options import Section2Options
+from repro.xkernel.message import Message
+from repro.xkernel.process import Continuation, Semaphore
+from repro.xkernel.protocol import Protocol, ProtocolStack, Session, XkernelError
+
+CHAN_HEADER = 12
+HEADER_FMT = "!HHIBBH"  # chan_id, spare, seq, is_reply, flags, len
+DIR_REQUEST = 0
+DIR_REPLY = 1
+CALL_TIMEOUT_US = 1_000_000.0
+
+
+class Channel:
+    """One concrete request-reply channel (client side state machine)."""
+
+    def __init__(self, protocol: "ChanProtocol", chan_id: int) -> None:
+        self.protocol = protocol
+        self.chan_id = chan_id
+        self.sim_addr = protocol.stack.allocator.malloc(160)
+        self.reply_addr = protocol.stack.allocator.malloc(256)
+        self.seq = 0
+        self.busy = False
+        self.saved_request: Optional[bytes] = None
+        self.reply: Optional[bytes] = None
+        self.timeout = None
+        self.retries = 0
+        self.done_cb: Optional[Callable[[bytes], None]] = None
+        self.owner = None  # the VCHAN that allocated this channel
+        self.sem = Semaphore(protocol.stack.scheduler,
+                             name=f"chan{chan_id}")
+
+    def call(self, msg: Message, done_cb: Callable[[bytes], None]) -> None:
+        """Issue a request; ``done_cb`` runs when the reply unwinds."""
+        if self.busy:
+            raise XkernelError(f"channel {self.chan_id} already busy")
+        proto = self.protocol
+        self.busy = True
+        self.seq += 1
+        self.retries = 0
+        self.reply = None
+        self.done_cb = done_cb
+        self.saved_request = msg.bytes()
+        conds = {
+            "first_try": True,
+            "msg_push.underflow": False,
+        }
+        data = {"chan": self.sim_addr, "msg": msg.sim_addr}
+        with proto.tracer.scope("chan_call", conds, data):
+            msg.push(struct.pack(HEADER_FMT, self.chan_id, 0, self.seq,
+                                 DIR_REQUEST, 0, len(msg)))
+            self.timeout = proto.stack.events.schedule(
+                CALL_TIMEOUT_US, self._timeout
+            )
+            proto.lower_session_for(self).push(msg)
+            # the calling thread now blocks awaiting the reply
+            self.sem.wait_or_block(Continuation(self._resume, label="chan"))
+
+    def _timeout(self) -> None:
+        """Retransmit the outstanding request."""
+        proto = self.protocol
+        if not self.busy or self.reply is not None:
+            return
+        self.retries += 1
+        retry = Message(proto.allocator, self.saved_request or b"")
+        conds = {"first_try": False, "msg_push.underflow": False}
+        data = {"chan": self.sim_addr, "msg": retry.sim_addr}
+        with proto.tracer.scope("chan_call", conds, data):
+            retry.push(struct.pack(HEADER_FMT, self.chan_id, 0, self.seq,
+                                   DIR_REQUEST, 0, len(retry)))
+            self.timeout = proto.stack.events.schedule(
+                CALL_TIMEOUT_US, self._timeout
+            )
+            proto.lower_session_for(self).push(retry)
+        retry.destroy()
+
+    def on_reply(self, payload: bytes) -> None:
+        """Reply arrived (called from chan_demux, interrupt context)."""
+        self.reply = payload
+        if self.timeout is not None:
+            self.protocol.stack.events.cancel(self.timeout)
+            self.timeout = None
+        self.sem.signal()
+
+    def _resume(self) -> None:
+        """The awakened calling thread: unwind up through VCHAN/MSELECT."""
+        proto = self.protocol
+        reply = self.reply if self.reply is not None else b""
+        done_cb = self.done_cb
+        self.busy = False
+        self.done_cb = None
+        conds = {"free.bad_free": False}
+        data = {"chan": self.sim_addr, "msg": self.reply_addr}
+        with proto.tracer.scope("chan_resume", conds, data):
+            if self.owner is not None:
+                self.owner.release(self, reply, done_cb)
+            elif done_cb is not None:
+                done_cb(reply)
+
+
+class ChanSession(Session):
+    def __init__(self, protocol: "ChanProtocol", upper: Protocol,
+                 lower_session: Session) -> None:
+        super().__init__(protocol, state_size=96, upper=upper)
+        self.lower_session = lower_session
+
+
+class ChanProtocol(Protocol):
+    """The CHAN protocol object: channel registry plus demultiplexing."""
+
+    def __init__(self, stack: ProtocolStack, *,
+                 opts: Optional[Section2Options] = None) -> None:
+        super().__init__(stack, "chan", state_size=256)
+        self.opts = opts or Section2Options.improved()
+        self.chan_map = self.new_map(32)
+        self._channels: Dict[int, Channel] = {}
+        self._next_chan_id = 1
+        self._session: Optional[ChanSession] = None
+        self._peer_sessions: Dict[bytes, ChanSession] = {}
+        self.server_upper: Optional[Protocol] = None
+        # server side: per (peer, chan_id) last executed seq + cached reply
+        self._executed: Dict[Tuple[bytes, int], Tuple[int, bytes]] = {}
+        self.duplicate_requests = 0
+
+    # ---- wiring ---- #
+
+    def open(self, upper: Protocol, participants) -> ChanSession:
+        """participants: (dst_mac, ethertype) forwarded to the driver."""
+        lower_session = self.lower.open(self, participants)
+        session = ChanSession(self, upper, lower_session)
+        self._session = session
+        self._peer_sessions[participants[0]] = session
+        return session
+
+    def _session_for(self, peer_mac: bytes) -> ChanSession:
+        """Server side: a (lazily opened) session back to the requester."""
+        session = self._peer_sessions.get(peer_mac)
+        if session is None:
+            from repro.protocols.eth import ETHERTYPE_RPC
+
+            lower_session = self.lower.open(self, (peer_mac, ETHERTYPE_RPC))
+            session = ChanSession(self, None, lower_session)
+            self._peer_sessions[peer_mac] = session
+        return session
+
+    def open_enable(self, upper: Protocol, pattern) -> None:
+        self.server_upper = upper
+
+    def create_channel(self) -> Channel:
+        chan = Channel(self, self._next_chan_id)
+        self._next_chan_id += 1
+        self._channels[chan.chan_id] = chan
+        self.chan_map.bind(struct.pack("!H", chan.chan_id), chan)
+        return chan
+
+    def lower_session_for(self, chan: Channel) -> Session:
+        if self._session is None:
+            raise XkernelError("chan has no open session below")
+        return self._session.lower_session
+
+    # ---- input ---- #
+
+    def demux(self, msg: Message, *, src_mac: bytes = b"", **kwargs) -> None:
+        chan_id, _, seq, is_reply, _, _length = struct.unpack(
+            HEADER_FMT, msg.peek(CHAN_HEADER)
+        )
+        if is_reply == DIR_REPLY:
+            self._reply_demux(msg, chan_id, seq)
+        else:
+            self._request_demux(msg, src_mac, chan_id, seq)
+
+    def _reply_demux(self, msg: Message, chan_id: int, seq: int) -> None:
+        key = struct.pack("!H", chan_id)
+        cache_hit = self.chan_map.cache_would_hit(key)
+        chan = self.chan_map.resolve_or_none(key)
+        seq_match = chan is not None and chan.busy and seq == chan.seq
+        conds = {
+            "map_cache_hit": cache_hit,
+            "map_resolve.cache_hit": cache_hit,
+            "map_resolve.key_words": 1,
+            "seq_match": seq_match,
+            "sem_signal.waiter_present": (
+                chan is not None and chan.sem.waiting > 0
+            ),
+            "msg_pop.underflow": False,
+            "event_cancel.already_fired": False,
+        }
+        data = {
+            "chan": chan.sim_addr if chan else self.sim_addr,
+            "sem": (chan.sim_addr if chan else self.sim_addr) + 96,
+            "map": self.chan_map.sim_addr,
+            "msg": msg.sim_addr,
+        }
+        with self.tracer.scope("chan_demux", conds, data):
+            if not seq_match:
+                return  # stale or duplicate reply
+            msg.pop(CHAN_HEADER)
+            chan.on_reply(msg.bytes())
+
+    def _request_demux(self, msg: Message, src_mac: bytes, chan_id: int,
+                       seq: int) -> None:
+        """Server side: execute (or re-answer) an incoming request."""
+        key = (src_mac, chan_id)
+        last = self._executed.get(key)
+        conds = {
+            "map_cache_hit": False,
+            "map_resolve.cache_hit": False,
+            "map_resolve.key_words": 1,
+            "seq_match": True,
+            "sem_signal.waiter_present": False,
+            "msg_pop.underflow": False,
+            "event_cancel.already_fired": False,
+        }
+        data = {"chan": self.sim_addr, "sem": self.sim_addr + 96,
+                "map": self.chan_map.sim_addr, "msg": msg.sim_addr}
+        with self.tracer.scope("chan_demux", conds, data):
+            if last is not None and last[0] == seq:
+                # duplicate: re-send the cached reply (at-most-once)
+                self.duplicate_requests += 1
+                self._send_reply(src_mac, chan_id, seq, last[1])
+                return
+            if self.server_upper is None:
+                raise XkernelError("chan has no server bound")
+            msg.pop(CHAN_HEADER)
+            reply_payload = self.server_upper.serve(msg.bytes())
+            self._executed[key] = (seq, reply_payload)
+            self._send_reply(src_mac, chan_id, seq, reply_payload)
+
+    def _send_reply(self, src_mac: bytes, chan_id: int, seq: int,
+                    payload: bytes) -> None:
+        reply = Message(self.allocator, payload)
+        reply.push(struct.pack(HEADER_FMT, chan_id, 0, seq, DIR_REPLY, 0,
+                               len(reply)))
+        self._session_for(src_mac).lower_session.push(reply)
+        reply.destroy()

@@ -1,0 +1,59 @@
+"""MSELECT: pick the virtual channel (channel set) for a destination server.
+
+The top of the RPC plumbing: a map from server identity to the VCHAN that
+manages channels to it.  Its return half (``mselect_return``) runs on the
+awakened caller thread as the final unwind step before the test program
+sees the reply.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.protocols.options import Section2Options
+from repro.protocols.rpc.vchan import VchanProtocol
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol, ProtocolStack, XkernelError
+
+
+class MselectProtocol(Protocol):
+    """Server selection above VCHAN."""
+
+    def __init__(self, stack: ProtocolStack, *,
+                 opts: Optional[Section2Options] = None) -> None:
+        super().__init__(stack, "mselect", state_size=128)
+        self.opts = opts or Section2Options.improved()
+        self.server_map = self.new_map(16)
+        self.app_addr: Optional[int] = None  # the test program's state
+        self.completions = 0
+
+    def add_server(self, server_id: bytes, vchan: VchanProtocol) -> None:
+        vchan.owner = self
+        self.server_map.bind(server_id, vchan)
+
+    def call(self, server_id: bytes, msg: Message,
+             done_cb: Callable[[bytes], None]) -> None:
+        """Issue an RPC to the named server."""
+        cache_hit = self.server_map.cache_would_hit(server_id)
+        vchan = self.server_map.resolve_or_none(server_id)
+        conds = {
+            "map_cache_hit": cache_hit,
+            "map_resolve.cache_hit": cache_hit,
+            "map_resolve.key_words": 1,
+        }
+        data = {"mselect": self.sim_addr, "map": self.server_map.sim_addr,
+                "msg": msg.sim_addr}
+        with self.tracer.scope("mselect_call", conds, data):
+            if vchan is None:
+                raise XkernelError(f"no server {server_id.hex()}")
+            vchan.call(msg, done_cb)
+
+    def complete(self, reply: bytes,
+                 done_cb: Optional[Callable[[bytes], None]]) -> None:
+        """Unwind into the test program with the reply."""
+        data = {"mselect": self.sim_addr,
+                "app": self.app_addr if self.app_addr else self.sim_addr}
+        with self.tracer.scope("mselect_return", {}, data):
+            self.completions += 1
+            if done_cb is not None:
+                done_cb(reply)

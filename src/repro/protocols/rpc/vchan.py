@@ -1,0 +1,74 @@
+"""VCHAN: virtual channels multiplexing a pool of concrete channels.
+
+A caller grabs a free concrete CHAN for the duration of one RPC; callers
+arriving when all channels are busy queue until one is released.  The
+release path runs on the awakened thread (after the reply), which is why
+``vchan_release`` belongs to the resume portion of the traced path.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Callable, Deque, List, Optional
+
+from repro.protocols.options import Section2Options
+from repro.protocols.rpc.chan import Channel, ChanProtocol
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol, ProtocolStack, XkernelError
+
+
+class VchanProtocol(Protocol):
+    """Virtual channel: channel-pool allocation above CHAN."""
+
+    def __init__(self, stack: ProtocolStack, chan: ChanProtocol, *,
+                 channels: int = 4,
+                 opts: Optional[Section2Options] = None) -> None:
+        super().__init__(stack, "vchan", state_size=192)
+        self.opts = opts or Section2Options.improved()
+        self.chan = chan
+        self._free: List[Channel] = []
+        for _ in range(channels):
+            ch = chan.create_channel()
+            ch.owner = self
+            self._free.append(ch)
+        self._waiters: Deque = collections.deque()
+        self.owner = None  # the MSELECT above
+        self.calls = 0
+        self.queued_calls = 0
+
+    def call(self, msg: Message, done_cb: Callable[[bytes], None]) -> None:
+        """Issue an RPC on any free concrete channel."""
+        available = bool(self._free)
+        conds = {"chan_available": available,
+                 "sem_signal.waiter_present": False}
+        data = {"vchan": self.sim_addr, "msg": msg.sim_addr}
+        with self.tracer.scope("vchan_call", conds, data):
+            self.calls += 1
+            if not available:
+                self.queued_calls += 1
+                self._waiters.append((msg.add_ref(), done_cb))
+                return
+            chan = self._free.pop()
+            chan.call(msg, done_cb)
+
+    def release(self, chan: Channel, reply: bytes,
+                done_cb: Optional[Callable[[bytes], None]]) -> None:
+        """Return a channel to the pool and continue unwinding upward."""
+        waiters = bool(self._waiters)
+        conds = {"waiters_queued": waiters}
+        data = {"vchan": self.sim_addr}
+        with self.tracer.scope("vchan_release", conds, data):
+            if waiters:
+                queued_msg, queued_cb = self._waiters.popleft()
+                chan.call(queued_msg, queued_cb)
+                queued_msg.destroy()
+            else:
+                self._free.append(chan)
+            if self.owner is not None:
+                self.owner.complete(reply, done_cb)
+            elif done_cb is not None:
+                done_cb(reply)
+
+    @property
+    def free_channels(self) -> int:
+        return len(self._free)

@@ -1,0 +1,75 @@
+"""XRPCTEST: the RPC ping-pong test program (top of Figure 1, right).
+
+The client issues zero-sized RPC requests; the server answers each with a
+zero-sized reply.  As in the paper, the interesting part is purely the
+per-call protocol processing: the client thread's call blocks in CHAN and
+resumes through the VCHAN/MSELECT unwind when the reply arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.protocols.options import Section2Options
+from repro.protocols.rpc.mselect import MselectProtocol
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol, ProtocolStack, XkernelError
+
+
+class XrpcTestClient(Protocol):
+    """Zero-sized-RPC ping-pong client."""
+
+    def __init__(self, stack: ProtocolStack, mselect: MselectProtocol,
+                 server_id: bytes, *,
+                 opts: Optional[Section2Options] = None) -> None:
+        super().__init__(stack, "xrpctest", state_size=128)
+        self.opts = opts or Section2Options.improved()
+        self.mselect = mselect
+        mselect.app_addr = self.sim_addr
+        self.server_id = server_id
+        self.calls_issued = 0
+        self.replies = 0
+        self.remaining = 0
+        self.on_done: Optional[Callable[[], None]] = None
+
+    def run_pingpong(self, calls: int,
+                     on_done: Optional[Callable[[], None]] = None) -> None:
+        """Issue ``calls`` sequential zero-sized RPCs."""
+        if calls <= 0:
+            raise XkernelError("need at least one call")
+        self.remaining = calls
+        self.on_done = on_done
+        self._call_one()
+
+    def _call_one(self) -> None:
+        conds = {"malloc.free_list_hit": self.allocator.would_reuse(2048)}
+        msg = Message(self.allocator, b"")  # zero-sized request
+        data = {"app": self.sim_addr, "msg": msg.sim_addr}
+        with self.tracer.scope("xrpctest_call", conds, data):
+            self.calls_issued += 1
+            self.mselect.call(self.server_id, msg, self._reply_arrived)
+        msg.destroy()
+
+    def _reply_arrived(self, reply: bytes) -> None:
+        """Runs on the awakened thread, at the end of the unwind."""
+        self.replies += 1
+        self.remaining -= 1
+        if self.remaining > 0:
+            self._call_one()
+        elif self.on_done is not None:
+            self.on_done()
+
+
+class XrpcTestServer(Protocol):
+    """Zero-sized-RPC server: every request gets an empty reply."""
+
+    def __init__(self, stack: ProtocolStack, *,
+                 opts: Optional[Section2Options] = None) -> None:
+        super().__init__(stack, "xrpctest", state_size=128)
+        self.opts = opts or Section2Options.improved()
+        self.requests_served = 0
+
+    def serve(self, request: bytes) -> bytes:
+        """Execute one RPC (the paper's server does nothing and replies)."""
+        self.requests_served += 1
+        return b""

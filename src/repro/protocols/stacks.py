@@ -1,0 +1,263 @@
+"""Host builders: wire complete TCP/IP and RPC hosts onto one Ethernet.
+
+These reproduce the experimental setup of Section 4.1: two DEC 3000/600
+workstations on an isolated Ethernet, one client and one server, with the
+protocol graphs of Figure 1 configured at boot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.net.lance import DescriptorUpdateMode, LanceAdaptor
+from repro.net.wire import EthernetWire
+from repro.protocols.eth import ETHERTYPE_IP, ETHERTYPE_RPC, EthDriver
+from repro.protocols.ip import PROTO_TCP, IpProtocol
+from repro.protocols.options import Section2Options
+from repro.protocols.tcp import TcpProtocol
+from repro.protocols.tcptest import TcpTestClient, TcpTestServer
+from repro.protocols.vnet import VnetProtocol
+from repro.trace.tracer import Tracer
+from repro.xkernel.event import EventManager
+from repro.xkernel.protocol import ProtocolStack
+
+CLIENT_MAC = bytes.fromhex("08002b100001")
+SERVER_MAC = bytes.fromhex("08002b100002")
+CLIENT_IP = bytes([10, 0, 0, 1])
+SERVER_IP = bytes([10, 0, 0, 2])
+CLIENT_PORT = 2001
+SERVER_PORT = 7  # echo
+
+
+@dataclass
+class TcpipHost:
+    stack: ProtocolStack
+    adaptor: LanceAdaptor
+    eth: EthDriver
+    vnet: VnetProtocol
+    ip: IpProtocol
+    tcp: TcpProtocol
+    app: object  # TcpTestClient or TcpTestServer
+
+
+@dataclass
+class Network:
+    """A complete two-host test network sharing one virtual clock."""
+
+    events: EventManager
+    wire: EthernetWire
+    client: TcpipHost
+    server: TcpipHost
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_us: float = 10_000_000.0) -> float:
+        """Advance virtual time until ``predicate()`` or the deadline.
+
+        Returns the virtual time (µs) at which the predicate first held.
+        """
+        deadline = self.events.now_us + max_us
+        self.client.stack.scheduler.run_pending()
+        self.server.stack.scheduler.run_pending()
+        while not predicate():
+            nxt = self.events.next_fire_time()
+            if nxt is None or nxt > deadline:
+                raise TimeoutError(
+                    f"predicate not reached by {deadline}us "
+                    f"(now {self.events.now_us}us)"
+                )
+            self.events.advance_to(nxt)
+            self.client.stack.scheduler.run_pending()
+            self.server.stack.scheduler.run_pending()
+        return self.events.now_us
+
+
+def _descriptor_mode(opts: Section2Options) -> DescriptorUpdateMode:
+    if opts.usc_descriptors:
+        return DescriptorUpdateMode.USC_DIRECT
+    return DescriptorUpdateMode.DENSE_COPY
+
+
+def _build_tcpip_host(
+    name: str,
+    events: EventManager,
+    wire: EthernetWire,
+    mac: bytes,
+    ip_addr: bytes,
+    opts: Section2Options,
+    *,
+    tracer: Optional[Tracer] = None,
+    jitter_seed: Optional[int] = None,
+) -> TcpipHost:
+    stack = ProtocolStack(
+        name,
+        tracer=tracer,
+        jitter_seed=jitter_seed,
+        msg_refresh_short_circuit=opts.msg_refresh_short_circuit,
+        events=events,
+    )
+    adaptor = LanceAdaptor(stack, wire, mac, mode=_descriptor_mode(opts))
+    eth = EthDriver(stack, adaptor, opts=opts)
+    vnet = VnetProtocol(stack, opts=opts)
+    vnet.connect_below(eth)
+    ip = IpProtocol(stack, ip_addr, opts=opts)
+    ip.connect_below(vnet)
+    arp = {CLIENT_IP: CLIENT_MAC, SERVER_IP: SERVER_MAC}
+    tcp = TcpProtocol(stack, arp=arp, opts=opts)
+    tcp.connect_below(ip)
+    tcp.local_ip = ip_addr
+    eth.open_enable(ip, ETHERTYPE_IP)
+    ip.open_enable(tcp, PROTO_TCP)
+    return TcpipHost(stack=stack, adaptor=adaptor, eth=eth, vnet=vnet,
+                     ip=ip, tcp=tcp, app=None)
+
+
+def build_tcpip_network(
+    opts: Optional[Section2Options] = None,
+    *,
+    client_tracer: Optional[Tracer] = None,
+    jitter_seed: Optional[int] = None,
+) -> Network:
+    """Two TCP/IP hosts (Figure 1 left) on an isolated Ethernet.
+
+    The client host carries the tracer; the server is never traced
+    (the paper measures client-side processing and notes the two sides
+    are nearly identical for TCP/IP).
+    """
+    opts = opts or Section2Options.improved()
+    events = EventManager()
+    wire = EthernetWire(events)
+    client = _build_tcpip_host(
+        "client", events, wire, CLIENT_MAC, CLIENT_IP, opts,
+        tracer=client_tracer, jitter_seed=jitter_seed,
+    )
+    server = _build_tcpip_host(
+        "server", events, wire, SERVER_MAC, SERVER_IP, opts,
+        jitter_seed=None if jitter_seed is None else jitter_seed + 1000,
+    )
+    client.app = TcpTestClient(
+        client.stack, client.tcp,
+        local_port=CLIENT_PORT, remote_port=SERVER_PORT,
+        remote_ip=SERVER_IP, opts=opts,
+    )
+    server.app = TcpTestServer(server.stack, server.tcp,
+                               local_port=SERVER_PORT, opts=opts)
+    return Network(events=events, wire=wire, client=client, server=server)
+
+
+def establish(network: Network, *, max_us: float = 5_000_000.0) -> None:
+    """Run the three-way handshake to completion."""
+    network.client.app.connect()
+    network.run_until(lambda: network.client.app.connected, max_us)
+
+
+# --------------------------------------------------------------------------- #
+# RPC stack (Figure 1, right)                                                 #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class RpcHost:
+    stack: ProtocolStack
+    adaptor: LanceAdaptor
+    eth: EthDriver
+    blast: object
+    bid: object
+    chan: object
+    vchan: object  # client only
+    mselect: object  # client only
+    app: object
+
+
+def _build_rpc_host(
+    name: str,
+    events: EventManager,
+    wire: EthernetWire,
+    mac: bytes,
+    boot_id: int,
+    opts: Section2Options,
+    *,
+    is_client: bool,
+    tracer: Optional[Tracer] = None,
+    jitter_seed: Optional[int] = None,
+) -> RpcHost:
+    from repro.protocols.rpc import (
+        BidProtocol,
+        BlastProtocol,
+        ChanProtocol,
+        MselectProtocol,
+        VchanProtocol,
+        XrpcTestClient,
+        XrpcTestServer,
+    )
+
+    stack = ProtocolStack(
+        name,
+        tracer=tracer,
+        jitter_seed=jitter_seed,
+        msg_refresh_short_circuit=opts.msg_refresh_short_circuit,
+        events=events,
+    )
+    adaptor = LanceAdaptor(stack, wire, mac, mode=_descriptor_mode(opts))
+    eth = EthDriver(stack, adaptor, opts=opts)
+    blast = BlastProtocol(stack, opts=opts)
+    blast.connect_below(eth)
+    bid = BidProtocol(stack, boot_id, opts=opts)
+    bid.connect_below(blast)
+    chan = ChanProtocol(stack, opts=opts)
+    chan.connect_below(bid)
+    eth.open_enable(blast, ETHERTYPE_RPC)
+    blast.open_enable(bid, None)
+    bid.open_enable(chan, None)
+
+    vchan = mselect = app = None
+    if is_client:
+        chan.open(None, (SERVER_MAC, ETHERTYPE_RPC))
+        vchan = VchanProtocol(stack, chan, opts=opts)
+        mselect = MselectProtocol(stack, opts=opts)
+        mselect.add_server(SERVER_MAC, vchan)
+        app = XrpcTestClient(stack, mselect, SERVER_MAC, opts=opts)
+    else:
+        app = XrpcTestServer(stack, opts=opts)
+        chan.open_enable(app, None)
+    return RpcHost(stack=stack, adaptor=adaptor, eth=eth, blast=blast,
+                   bid=bid, chan=chan, vchan=vchan, mselect=mselect, app=app)
+
+
+@dataclass
+class RpcNetwork:
+    """A complete two-host RPC test network."""
+
+    events: EventManager
+    wire: EthernetWire
+    client: RpcHost
+    server: RpcHost
+
+    run_until = Network.run_until
+
+
+def build_rpc_network(
+    opts: Optional[Section2Options] = None,
+    *,
+    client_tracer: Optional[Tracer] = None,
+    jitter_seed: Optional[int] = None,
+) -> RpcNetwork:
+    """Two RPC hosts (Figure 1 right) on an isolated Ethernet.
+
+    Per the paper's methodology, only the client is instrumented; the
+    server always runs its best configuration (its processing time is a
+    fixed reference point in all measurements).
+    """
+    opts = opts or Section2Options.improved()
+    events = EventManager()
+    wire = EthernetWire(events)
+    client = _build_rpc_host(
+        "client", events, wire, CLIENT_MAC, boot_id=0x1001, opts=opts,
+        is_client=True, tracer=client_tracer, jitter_seed=jitter_seed,
+    )
+    server = _build_rpc_host(
+        "server", events, wire, SERVER_MAC, boot_id=0x2002, opts=opts,
+        is_client=False,
+        jitter_seed=None if jitter_seed is None else jitter_seed + 1000,
+    )
+    return RpcNetwork(events=events, wire=wire, client=client, server=server)

@@ -1,0 +1,588 @@
+"""TCP: a BSD-structured implementation over the x-kernel framework.
+
+Feature set (everything the ping-pong evaluation and the paper's fast-path
+discussion touch, implemented for real):
+
+* three-way handshake (active and passive open), FIN teardown,
+* byte-exact 20-byte headers with the pseudo-header checksum,
+* sequence/ACK bookkeeping with an out-of-order reassembly queue,
+* retransmission timer with a real unacked-data buffer,
+* delayed ACKs (piggybacked whenever the application replies promptly),
+* slow start / congestion avoidance with the Section 2.2.2 fast path:
+  when ``avoid_division`` is on, a fully-open congestion window skips the
+  multiply/divide entirely, and the window-update threshold is computed as
+  ~33 % with shifts and adds instead of 35 % with a multiply and the
+  division library routine,
+* demultiplexing through an x-kernel map (one-entry cache), which also
+  serves timer traversal via the lazy non-empty-bucket chain — the
+  separate BSD list of open connections is gone (Section 2.2.1).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional
+
+from repro.protocols.ip import PROTO_TCP, internet_checksum
+from repro.protocols.options import Section2Options
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol, ProtocolStack, Session, XkernelError
+
+TCP_HEADER = 20
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+
+# connection states
+CLOSED = "CLOSED"
+LISTEN = "LISTEN"
+SYN_SENT = "SYN_SENT"
+SYN_RCVD = "SYN_RCVD"
+ESTABLISHED = "ESTABLISHED"
+FIN_WAIT_1 = "FIN_WAIT_1"
+CLOSE_WAIT = "CLOSE_WAIT"
+LAST_ACK = "LAST_ACK"
+TIME_WAIT = "TIME_WAIT"
+
+DEFAULT_MSS = 1460
+DEFAULT_WINDOW = 16 * 1024
+REXMT_TIMEOUT_US = 1_000_000.0
+DELACK_TIMEOUT_US = 200_000.0
+SLOWTIMO_US = 500_000.0
+
+
+def _words(nbytes: int) -> int:
+    return max(1, (nbytes + 7) // 8)
+
+
+def _seq_lt(a: int, b: int) -> bool:
+    return ((a - b) & 0xFFFFFFFF) > 0x7FFFFFFF
+
+
+def _seq_gt(a: int, b: int) -> bool:
+    return a != b and not _seq_lt(a, b)
+
+
+class TcpSession(Session):
+    """A connection's control block (TCB)."""
+
+    def __init__(self, protocol: "TcpProtocol", upper: Protocol,
+                 local_port: int, remote_port: int, remote_ip: bytes) -> None:
+        super().__init__(protocol, state_size=256, upper=upper)
+        self.local_port = local_port
+        self.remote_port = remote_port
+        self.remote_ip = remote_ip
+        self.state = CLOSED
+        iss = (self.session_id * 64021 + 7) & 0xFFFFFFFF
+        self.iss = iss
+        self.snd_una = iss
+        self.snd_nxt = iss
+        self.snd_wnd = DEFAULT_WINDOW
+        self.max_window = DEFAULT_WINDOW
+        self.rcv_nxt = 0
+        self.rcv_wnd = DEFAULT_WINDOW
+        self.rcv_adv = 0          # highest window edge advertised
+        self.mss = DEFAULT_MSS
+        self.cwnd = DEFAULT_MSS
+        self.ssthresh = 64 * 1024
+        self.srtt_us = 0.0
+        self.rexmt_event = None
+        self.delack_event = None
+        self.unacked = b""        # bytes in flight [snd_una, snd_nxt)
+        self.send_queue = b""     # enqueued by the app, not yet on the wire
+        self.reass: Dict[int, bytes] = {}
+        self.ip_session = None    # set by the protocol
+        self.stats_segments_in = 0
+        self.stats_segments_out = 0
+        self.stats_retransmits = 0
+
+    @property
+    def cwnd_fully_open(self) -> bool:
+        return self.cwnd >= self.snd_wnd
+
+    @property
+    def effective_window(self) -> int:
+        """Bytes the sender may have outstanding: min(cwnd, peer window)."""
+        return min(self.cwnd, self.snd_wnd)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self.unacked)
+
+    def key(self) -> bytes:
+        return struct.pack("!HH4s", self.local_port, self.remote_port,
+                           self.remote_ip)
+
+
+class TcpProtocol(Protocol):
+    """TCP over IP, with passive and active opens."""
+
+    def __init__(self, stack: ProtocolStack, *,
+                 arp: Optional[Dict[bytes, bytes]] = None,
+                 opts: Optional[Section2Options] = None) -> None:
+        super().__init__(stack, "tcp", state_size=512)
+        self.opts = opts or Section2Options.improved()
+        self.pcb_map = self.new_map(64)
+        self.listeners: Dict[int, Protocol] = {}
+        self.arp = arp or {}
+        self.local_ip: Optional[bytes] = None  # set once IP is wired
+        self.slowtimo_runs = 0
+
+    # ------------------------------------------------------------------ #
+    # control                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _ip(self):
+        return self.lower
+
+    def open(self, upper: Protocol, participants) -> TcpSession:
+        """Active open: (local_port, remote_port, remote_ip)."""
+        local_port, remote_port, remote_ip = participants
+        session = self._make_session(upper, local_port, remote_port, remote_ip)
+        session.state = SYN_SENT
+        self._send_segment(session, FLAG_SYN, seq=session.snd_nxt)
+        session.snd_nxt = (session.snd_nxt + 1) & 0xFFFFFFFF
+        session.unacked = b""
+        self._arm_rexmt(session)
+        return session
+
+    def open_enable(self, upper: Protocol, pattern) -> None:
+        """Passive open on a local port."""
+        port = pattern
+        if port in self.listeners:
+            raise XkernelError(f"port {port} already has a listener")
+        self.listeners[port] = upper
+
+    def _make_session(self, upper: Protocol, local_port: int,
+                      remote_port: int, remote_ip: bytes) -> TcpSession:
+        session = TcpSession(self, upper, local_port, remote_port, remote_ip)
+        mac = self.arp.get(remote_ip)
+        if mac is None:
+            raise XkernelError(f"no route to {remote_ip.hex()}")
+        session.ip_session = self._ip().open(self, (remote_ip, PROTO_TCP, mac))
+        session.rcv_adv = session.rcv_nxt + session.rcv_wnd
+        self.pcb_map.bind(session.key(), session)
+        return session
+
+    def close(self, session: TcpSession) -> None:
+        """Initiate teardown (send FIN)."""
+        if session.state == ESTABLISHED:
+            session.state = FIN_WAIT_1
+        elif session.state == CLOSE_WAIT:
+            session.state = LAST_ACK
+        else:
+            raise XkernelError(f"close in state {session.state}")
+        self._send_segment(session, FLAG_FIN | FLAG_ACK, seq=session.snd_nxt,
+                           ack=session.rcv_nxt)
+        session.snd_nxt = (session.snd_nxt + 1) & 0xFFFFFFFF
+        self._arm_rexmt(session)
+
+    # ------------------------------------------------------------------ #
+    # window computations: the Section 2.2.2 arithmetic                  #
+    # ------------------------------------------------------------------ #
+
+    def window_update_threshold(self, session: TcpSession) -> int:
+        """Receiver-side silly-window threshold.
+
+        35 % of the maximum window with multiply/divide, or ~33 % with a
+        shift-and-add when ``avoid_division`` is on.  The paper notes the
+        change does not affect TCP's operational behaviour noticeably.
+        """
+        w = session.max_window
+        if self.opts.avoid_division:
+            return (w >> 2) + (w >> 4)  # 31.25 %
+        return w * 35 // 100
+
+    def _window_update_due(self, session: TcpSession) -> bool:
+        pending = session.rcv_nxt + session.rcv_wnd - session.rcv_adv
+        return pending >= self.window_update_threshold(session)
+
+    def _open_cwnd(self, session: TcpSession) -> bool:
+        """Grow the congestion window on a good ACK.
+
+        Returns True when the fully-open fast path was taken (no math).
+        """
+        if self.opts.avoid_division and session.cwnd_fully_open:
+            return True
+        if session.cwnd < session.ssthresh:
+            session.cwnd += session.mss  # slow start
+        else:
+            session.cwnd += max(1, session.mss * session.mss // session.cwnd)
+        session.cwnd = min(session.cwnd, 2 * session.max_window)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # segment construction                                               #
+    # ------------------------------------------------------------------ #
+
+    def _build_header(self, session: TcpSession, flags: int, seq: int,
+                      ack: int, payload: bytes) -> bytes:
+        window = session.rcv_wnd
+        hdr = struct.pack(
+            "!HHIIBBHHH",
+            session.local_port, session.remote_port, seq, ack,
+            (5 << 4), flags, window, 0, 0,
+        )
+        pseudo = struct.pack(
+            "!4s4sBBH", self.local_ip, session.remote_ip, 0, PROTO_TCP,
+            len(hdr) + len(payload),
+        )
+        cksum = internet_checksum(pseudo + hdr + payload)
+        return hdr[:16] + struct.pack("!H", cksum) + hdr[18:]
+
+    def _send_segment(self, session: TcpSession, flags: int, *, seq: int,
+                      ack: int = 0, payload: bytes = b"",
+                      retransmit: bool = False) -> None:
+        hdr = self._build_header(session, flags, seq, ack, payload)
+        msg = Message(self.allocator, payload)
+        msg.push(hdr)
+        session.stats_segments_out += 1
+        if retransmit:
+            session.stats_retransmits += 1
+        if flags & FLAG_ACK:
+            session.rcv_adv = session.rcv_nxt + session.rcv_wnd
+        session.ip_session.push(msg)
+        msg.destroy()
+
+    # ------------------------------------------------------------------ #
+    # output path (xPush)                                                #
+    # ------------------------------------------------------------------ #
+
+    def push(self, session: TcpSession, msg: Message) -> None:
+        if session.state != ESTABLISHED:
+            raise XkernelError(f"push in state {session.state}")
+        payload = msg.bytes()
+        opts = self.opts
+        seg_len = TCP_HEADER + len(payload) + 12  # + pseudo header
+        conds = {
+            "snd_wnd_zero": session.snd_wnd == 0,
+            "cwnd_open": session.cwnd_fully_open,
+            "is_retransmit": False,
+            "window_update_due": self._window_update_due(session),
+            "rexmt_pending": session.rexmt_event is not None,
+            "delack_pending": session.delack_event is not None,
+            "must_probe": False,
+            "in_cksum.words": [_words(seg_len)],
+            "msg_push.underflow": False,
+            "event_cancel.already_fired": False,
+            "div_helper.steps": 3,
+        }
+        data = {
+            "tcb": session.sim_addr,
+            "msg": msg.sim_addr,
+            "ckbuf": msg.data_addr,
+        }
+        with self.tracer.scope("tcp_push", conds, data):
+            self._do_send_data(session, msg, payload)
+
+    def _do_send_data(self, session: TcpSession, msg: Message,
+                      payload: bytes) -> None:
+        seq = session.snd_nxt
+        session.snd_nxt = (session.snd_nxt + len(payload)) & 0xFFFFFFFF
+        session.unacked += payload
+        hdr = self._build_header(session, FLAG_ACK | FLAG_PSH, seq,
+                                 session.rcv_nxt, payload)
+        msg.push(hdr)
+        session.stats_segments_out += 1
+        session.rcv_adv = session.rcv_nxt + session.rcv_wnd
+        # restart the retransmit timer; the ACK we carry supersedes any
+        # pending delayed ACK
+        if session.rexmt_event is not None:
+            self.stack.events.cancel(session.rexmt_event)
+        self._arm_rexmt(session)
+        if session.delack_event is not None:
+            self.stack.events.cancel(session.delack_event)
+            session.delack_event = None
+        session.ip_session.push(msg)
+
+    # ------------------------------------------------------------------ #
+    # bulk transfer (throughput path)                                    #
+    # ------------------------------------------------------------------ #
+
+    def send_stream(self, session: TcpSession, data: bytes) -> None:
+        """Enqueue bulk data; segments flow as the window allows.
+
+        This is the throughput-oriented entry point the paper's
+        "techniques do not hurt throughput" verification needs: data is
+        cut into MSS-sized segments and kept ``min(cwnd, snd_wnd)`` bytes
+        in flight, with ACK arrivals pumping out more.
+        """
+        if session.state != ESTABLISHED:
+            raise XkernelError(f"send_stream in state {session.state}")
+        session.send_queue += data
+        self._pump(session)
+
+    def _pump(self, session: TcpSession) -> None:
+        """Transmit queued segments up to the effective window."""
+        while session.send_queue:
+            room = session.effective_window - session.in_flight
+            if room < min(len(session.send_queue), 1):
+                break
+            take = min(session.mss, len(session.send_queue), max(room, 1))
+            payload = session.send_queue[:take]
+            session.send_queue = session.send_queue[take:]
+            msg = Message(self.allocator, payload)
+            self._do_send_data(session, msg, payload)
+            msg.destroy()
+
+    # ------------------------------------------------------------------ #
+    # timers                                                             #
+    # ------------------------------------------------------------------ #
+
+    def _arm_rexmt(self, session: TcpSession) -> None:
+        session.rexmt_event = self.stack.events.schedule(
+            REXMT_TIMEOUT_US, lambda: self._rexmt_timeout(session)
+        )
+
+    def _rexmt_timeout(self, session: TcpSession) -> None:
+        session.rexmt_event = None
+        if session.state in (CLOSED, TIME_WAIT):
+            return
+        # classic multiplicative decrease then retransmit from snd_una
+        session.ssthresh = max(2 * session.mss, session.snd_wnd // 2)
+        session.cwnd = session.mss
+        if session.state == SYN_SENT:
+            self._send_segment(session, FLAG_SYN, seq=session.iss,
+                               retransmit=True)
+        elif session.unacked:
+            self._send_segment(
+                session, FLAG_ACK | FLAG_PSH, seq=session.snd_una,
+                ack=session.rcv_nxt, payload=session.unacked[:session.mss],
+                retransmit=True,
+            )
+        self._arm_rexmt(session)
+
+    def _delack_timeout(self, session: TcpSession) -> None:
+        session.delack_event = None
+        if session.state == ESTABLISHED:
+            self._send_segment(session, FLAG_ACK, seq=session.snd_nxt,
+                               ack=session.rcv_nxt)
+
+    def slowtimo(self) -> int:
+        """The 500 ms slow timer: visit every connection.
+
+        BSD keeps a separate list of open connections for this; the
+        improved x-kernel traverses the demux map's non-empty-bucket chain
+        instead (Section 2.2.1).  Returns the number of connections seen.
+        """
+        self.slowtimo_runs += 1
+        count = 0
+        for _key, session in self.pcb_map.traverse():
+            count += 1
+            if session.state == TIME_WAIT:
+                self._drop(session)
+        return count
+
+    # ------------------------------------------------------------------ #
+    # input path (xDemux)                                                #
+    # ------------------------------------------------------------------ #
+
+    def demux(self, msg: Message, *, src: bytes, dst: bytes, **kwargs) -> None:
+        raw = msg.peek(TCP_HEADER)
+        (sport, dport, seq, ack, off, flags, wnd, _cksum,
+         _urp) = struct.unpack("!HHIIBBHHH", raw)
+        payload = msg.bytes()[TCP_HEADER:]
+        pseudo = struct.pack("!4s4sBBH", src, dst, 0, PROTO_TCP, len(msg))
+        cksum_ok = internet_checksum(pseudo + msg.bytes()) == 0
+
+        key = struct.pack("!HH4s", dport, sport, src)
+        cache_hit = self.pcb_map.cache_would_hit(key)
+        session = self.pcb_map.resolve_or_none(key)
+        established = session is not None and session.state == ESTABLISHED
+
+        seq_expected = session is not None and seq == session.rcv_nxt
+        ack_advances = (
+            session is not None
+            and bool(flags & FLAG_ACK)
+            and _seq_gt(ack, session.snd_una)
+        )
+        more_unacked = (
+            session is not None and ack_advances
+            and _seq_lt(ack, session.snd_nxt)
+        )
+        data_present = len(payload) > 0
+        conds = {
+            "cksum_ok": cksum_ok,
+            "map_cache_hit": cache_hit,
+            "map_resolve.cache_hit": cache_hit,
+            "map_resolve.key_words": 2,
+            "established": established,
+            "seq_expected": seq_expected,
+            "ack_advances": ack_advances,
+            "more_unacked": more_unacked,
+            "cwnd_open": session.cwnd_fully_open if session else True,
+            "window_update_due": (
+                self._window_update_due(session) if session else False
+            ),
+            "data_present": data_present,
+            "fin": bool(flags & FLAG_FIN),
+            # a prompt reply will piggyback; the delayed ACK is armed when
+            # data arrived and nothing was sent in response yet
+            "delack_needed": data_present,
+            "msg_pop.underflow": False,
+            "event_cancel.already_fired": False,
+            "div_helper.steps": 3,
+            "in_cksum.words": [_words(len(msg) + 12)],
+            "malloc.free_list_hit": self.allocator.would_reuse(2048),
+        }
+        data = {
+            "tcb": session.sim_addr if session else self.sim_addr,
+            "map": self.pcb_map.sim_addr,
+            "msg": msg.sim_addr,
+            "ckbuf": msg.data_addr,
+        }
+        with self.tracer.scope("tcp_demux", conds, data):
+            if not cksum_ok:
+                return
+            if session is None:
+                self._no_session(msg, src, sport, dport, seq, flags)
+                return
+            session.stats_segments_in += 1
+            session.snd_wnd = wnd
+            self._input(session, msg, seq, ack, flags, payload)
+
+    def _no_session(self, msg: Message, src: bytes, sport: int, dport: int,
+                    seq: int, flags: int) -> None:
+        """Segment for no established connection: maybe a passive open."""
+        upper = self.listeners.get(dport)
+        if upper is None or not flags & FLAG_SYN:
+            return  # would send RST; the test network never needs one
+        session = self._make_session(upper, dport, sport, src)
+        session.state = SYN_RCVD
+        session.rcv_nxt = (seq + 1) & 0xFFFFFFFF
+        self._send_segment(session, FLAG_SYN | FLAG_ACK, seq=session.snd_nxt,
+                           ack=session.rcv_nxt)
+        session.snd_nxt = (session.snd_nxt + 1) & 0xFFFFFFFF
+        self._arm_rexmt(session)
+
+    def _input(self, session: TcpSession, msg: Message, seq: int, ack: int,
+               flags: int, payload: bytes) -> None:
+        state = session.state
+
+        # --- handshake transitions ---
+        if state == SYN_SENT and flags & FLAG_SYN and flags & FLAG_ACK:
+            session.rcv_nxt = (seq + 1) & 0xFFFFFFFF
+            session.snd_una = ack
+            session.state = ESTABLISHED
+            self._cancel_rexmt(session)
+            self._send_segment(session, FLAG_ACK, seq=session.snd_nxt,
+                               ack=session.rcv_nxt)
+            self._notify_open(session)
+            return
+        if state == SYN_RCVD and flags & FLAG_ACK and ack == session.snd_nxt:
+            session.snd_una = ack
+            session.state = ESTABLISHED
+            self._cancel_rexmt(session)
+            self._notify_open(session)
+            if not payload:
+                return
+            # fall through: the ACK may carry data
+
+        if session.state not in (ESTABLISHED, FIN_WAIT_1, CLOSE_WAIT,
+                                 LAST_ACK):
+            return
+
+        # --- ACK processing ---
+        if flags & FLAG_ACK and _seq_gt(ack, session.snd_una):
+            acked = (ack - session.snd_una) & 0xFFFFFFFF
+            session.unacked = session.unacked[acked:]
+            session.snd_una = ack
+            self._rtt_sample(session)
+            self._cancel_rexmt(session)
+            if session.unacked:
+                self._arm_rexmt(session)
+            self._open_cwnd(session)
+            if session.send_queue:
+                self._pump(session)  # the freed window carries more data
+            if session.state == FIN_WAIT_1 and ack == session.snd_nxt:
+                session.state = TIME_WAIT
+            if session.state == LAST_ACK and ack == session.snd_nxt:
+                self._drop(session)
+                return
+
+        # --- data ---
+        delivered = False
+        if payload:
+            if seq == session.rcv_nxt:
+                session.rcv_nxt = (session.rcv_nxt + len(payload)) & 0xFFFFFFFF
+                self._drain_reassembly(session)
+                msg.pop(TCP_HEADER)
+                delivered = True
+                if session.upper is not None:
+                    session.upper.demux(msg, session=session)
+            elif _seq_gt(seq, session.rcv_nxt):
+                session.reass[seq] = payload  # out of order: queue it
+
+        # --- window update / delayed ACK ---
+        if self._window_update_due(session):
+            self._send_segment(session, FLAG_ACK, seq=session.snd_nxt,
+                               ack=session.rcv_nxt)
+        elif delivered and session.delack_event is not None:
+            # BSD's ack-every-second-segment rule: a delayed ACK was
+            # already pending, so acknowledge both segments now — this is
+            # what keeps a bulk sender's ACK clock ticking
+            self.stack.events.cancel(session.delack_event)
+            session.delack_event = None
+            self._send_segment(session, FLAG_ACK, seq=session.snd_nxt,
+                               ack=session.rcv_nxt)
+        elif delivered and session.delack_event is None:
+            session.delack_event = self.stack.events.schedule(
+                DELACK_TIMEOUT_US, lambda: self._delack_timeout(session)
+            )
+
+        # --- FIN ---
+        if flags & FLAG_FIN:
+            session.rcv_nxt = (session.rcv_nxt + 1) & 0xFFFFFFFF
+            self._send_segment(session, FLAG_ACK, seq=session.snd_nxt,
+                               ack=session.rcv_nxt)
+            if session.state == ESTABLISHED:
+                session.state = CLOSE_WAIT
+            elif session.state in (FIN_WAIT_1, TIME_WAIT):
+                session.state = TIME_WAIT
+
+    # ------------------------------------------------------------------ #
+    # helpers                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _drain_reassembly(self, session: TcpSession) -> None:
+        while session.rcv_nxt in session.reass:
+            payload = session.reass.pop(session.rcv_nxt)
+            session.rcv_nxt = (session.rcv_nxt + len(payload)) & 0xFFFFFFFF
+            if session.upper is not None:
+                queued = Message(self.allocator, payload)
+                session.upper.demux(queued, session=session)
+                queued.destroy()
+
+    def _rtt_sample(self, session: TcpSession) -> None:
+        # coarse SRTT bookkeeping (enough for the model's rtt block)
+        sample = 1000.0
+        if session.srtt_us:
+            session.srtt_us += (sample - session.srtt_us) / 8.0
+        else:
+            session.srtt_us = sample
+
+    def _cancel_rexmt(self, session: TcpSession) -> None:
+        if session.rexmt_event is not None:
+            self.stack.events.cancel(session.rexmt_event)
+            session.rexmt_event = None
+
+    def _notify_open(self, session: TcpSession) -> None:
+        upper = session.upper
+        if upper is not None and hasattr(upper, "connection_established"):
+            upper.connection_established(session)
+
+    def _drop(self, session: TcpSession) -> None:
+        self._cancel_rexmt(session)
+        if session.delack_event is not None:
+            self.stack.events.cancel(session.delack_event)
+            session.delack_event = None
+        if session.state != CLOSED:
+            session.state = CLOSED
+            self.pcb_map.unbind(session.key())
+
+    @property
+    def open_connections(self) -> int:
+        return sum(1 for _ in self.pcb_map.traverse())

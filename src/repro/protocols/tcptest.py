@@ -1,0 +1,135 @@
+"""TCPTEST: the ping-pong latency test program (top of Figure 1, left).
+
+The client thread loops: send one byte, block until the echo arrives,
+repeat.  Blocking and resumption go through the process layer's semaphore
+and continuation machinery, so the receive side's ``sem_signal`` and the
+(untraced) context switch happen exactly where the paper places them.
+The server echoes each byte from a shepherd-scheduled callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.protocols.options import Section2Options
+from repro.protocols.tcp import TcpProtocol, TcpSession
+from repro.xkernel.message import Message
+from repro.xkernel.process import Continuation, Semaphore
+from repro.xkernel.protocol import Protocol, ProtocolStack, XkernelError
+
+PING_BYTE = b"!"
+
+
+class TcpTestClient(Protocol):
+    """Ping-pong client: sends 1-byte messages, waits for 1-byte echoes."""
+
+    def __init__(self, stack: ProtocolStack, tcp: TcpProtocol, *,
+                 local_port: int, remote_port: int, remote_ip: bytes,
+                 opts: Optional[Section2Options] = None) -> None:
+        super().__init__(stack, "tcptest", state_size=128)
+        self.opts = opts or Section2Options.improved()
+        self.tcp = tcp
+        self.participants = (local_port, remote_port, remote_ip)
+        self.session: Optional[TcpSession] = None
+        self.reply_sem = Semaphore(stack.scheduler, name="tcptest-reply")
+        self.sem_addr = stack.allocator.malloc(96)
+        self.connected = False
+        self.pings_sent = 0
+        self.replies = 0
+        self.remaining = 0
+        self.on_done: Optional[Callable[[], None]] = None
+
+    # ---- connection management ---- #
+
+    def connect(self) -> None:
+        self.session = self.tcp.open(self, self.participants)
+
+    def connection_established(self, session: TcpSession) -> None:
+        self.connected = True
+
+    # ---- the ping-pong loop ---- #
+
+    def run_pingpong(self, roundtrips: int,
+                     on_done: Optional[Callable[[], None]] = None) -> None:
+        """Start ``roundtrips`` send/wait iterations (event-driven)."""
+        if not self.connected:
+            raise XkernelError("not connected")
+        if roundtrips <= 0:
+            raise XkernelError("need at least one roundtrip")
+        self.remaining = roundtrips
+        self.on_done = on_done
+        self._send_one()
+
+    def _send_one(self) -> None:
+        conds = {
+            "malloc.free_list_hit": self.allocator.would_reuse(2048),
+        }
+        msg = Message(self.allocator, PING_BYTE)
+        data = {"app": self.sim_addr, "msg": msg.sim_addr}
+        with self.tracer.scope("tcptest_call", conds, data):
+            self.pings_sent += 1
+            self.session.push(msg)
+        msg.destroy()
+        # the thread now blocks awaiting the reply
+        self.reply_sem.wait_or_block(
+            Continuation(self._on_reply, label="tcptest-wait")
+        )
+
+    def _on_reply(self) -> None:
+        """The awakened ping-pong thread (after the context switch)."""
+        self.remaining -= 1
+        if self.remaining > 0:
+            self._send_one()
+        elif self.on_done is not None:
+            self.on_done()
+
+    # ---- delivery from TCP ---- #
+
+    def demux(self, msg: Message, *, session: TcpSession, **kwargs) -> None:
+        conds = {
+            "signal_waiter": True,
+            "sem_signal.waiter_present": self.reply_sem.waiting > 0,
+        }
+        data = {"app": self.sim_addr, "sem": self.sem_addr,
+                "msg": msg.sim_addr}
+        with self.tracer.scope("tcptest_demux", conds, data):
+            self.replies += len(msg.bytes())  # count echoed bytes
+            self.reply_sem.signal()
+
+
+class TcpTestServer(Protocol):
+    """Ping-pong server: echo every received byte."""
+
+    def __init__(self, stack: ProtocolStack, tcp: TcpProtocol, *,
+                 local_port: int,
+                 opts: Optional[Section2Options] = None) -> None:
+        super().__init__(stack, "tcptest", state_size=128)
+        self.opts = opts or Section2Options.improved()
+        self.tcp = tcp
+        tcp.open_enable(self, local_port)
+        self.sem_addr = stack.allocator.malloc(96)
+        self.echoes = 0
+
+    def connection_established(self, session: TcpSession) -> None:
+        pass
+
+    def demux(self, msg: Message, *, session: TcpSession, **kwargs) -> None:
+        payload = msg.bytes()
+        conds = {"signal_waiter": False}
+        data = {"app": self.sim_addr, "sem": self.sem_addr,
+                "msg": msg.sim_addr}
+        with self.tracer.scope("tcptest_demux", conds, data):
+            # hand the echo to the shepherd so it runs outside the
+            # delivery scope (mirroring the client's thread structure)
+            self.stack.scheduler.call_soon(
+                lambda: self._echo(session, payload)
+            )
+
+    def _echo(self, session: TcpSession, payload: bytes) -> None:
+        conds = {"malloc.free_list_hit": self.allocator.would_reuse(2048)}
+        msg = Message(self.allocator, payload)
+        data = {"app": self.sim_addr, "msg": msg.sim_addr}
+        with self.tracer.scope("tcptest_call", conds, data):
+            self.echoes += 1
+            session.push(msg)
+        msg.destroy()

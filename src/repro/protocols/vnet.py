@@ -1,0 +1,43 @@
+"""VNET: the virtual protocol that routes outgoing messages to an adaptor.
+
+In BSD-derived stacks this logic is folded into IP; the x-kernel factors
+it into its own (tiny) protocol [OP92].  Its output processing is a pure
+pass-through — the paper's example of the useless call overhead that
+path-inlining removes for free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.protocols.options import Section2Options
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol, ProtocolStack, Session, XkernelError
+
+
+class VnetSession(Session):
+    def __init__(self, protocol: "VnetProtocol", upper: Protocol,
+                 lower_session: Session) -> None:
+        super().__init__(protocol, state_size=48, upper=upper)
+        self.lower_session = lower_session
+
+
+class VnetProtocol(Protocol):
+    """Route to the (single, on this hardware) network adaptor."""
+
+    def __init__(self, stack: ProtocolStack, *,
+                 opts: Optional[Section2Options] = None) -> None:
+        super().__init__(stack, "vnet", state_size=96)
+        self.opts = opts or Section2Options.improved()
+
+    def open(self, upper: Protocol, participants) -> VnetSession:
+        """participants: (dst_mac, ethertype) forwarded to ETH."""
+        lower_session = self.lower.open(self, participants)
+        return VnetSession(self, upper, lower_session)
+
+    def push(self, session: VnetSession, msg: Message) -> None:
+        data = {"vnet": self.sim_addr, "msg": msg.sim_addr}
+        with self.tracer.scope("vnet_push", {}, data):
+            session.lower_session.push(msg)
+
+    # inbound traffic bypasses VNET entirely (it is an output-side router)

@@ -1,0 +1,13 @@
+"""Run-time tracing: the bridge between live protocol code and the IR.
+
+While the Python protocol stack does its real work (parsing headers,
+checksumming, updating TCP state), it records a stream of ENTER/EXIT events
+— one per modeled function — carrying actual branch outcomes and simulated
+object addresses.  :class:`~repro.trace.tracer.Tracer` collects the stream;
+:class:`~repro.core.walker.Walker` later expands it into an instruction
+trace over whichever build configuration is under test.
+"""
+
+from repro.trace.tracer import Tracer, NullTracer
+
+__all__ = ["Tracer", "NullTracer"]

@@ -1,0 +1,93 @@
+"""Event recorder used by the protocol implementations.
+
+Protocol methods wrap their modeled sections in :meth:`Tracer.scope`:
+
+.. code-block:: python
+
+    with stack.tracer.scope("tcp_demux", conds={...}, data={...}):
+        ...  # real processing, including calls into the next layer
+
+Nesting in the Python call tree produces a well-nested ENTER/EXIT stream,
+which is exactly what the walker's dynamic-dispatch and path-inlining logic
+expect.  Tracing is designed to be cheap to disable: experiments run many
+warm-up roundtrips untraced, then capture a single measured roundtrip.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.walker import EnterEvent, Event, ExitEvent, MarkEvent
+
+
+class Tracer:
+    """Collects a well-nested stream of walker events."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        self.enabled: bool = False
+        self._depth: int = 0
+
+    # ------------------------------------------------------------------ #
+    # recording                                                          #
+    # ------------------------------------------------------------------ #
+
+    @contextlib.contextmanager
+    def scope(
+        self,
+        fn: str,
+        conds: Optional[Dict[str, object]] = None,
+        data: Optional[Dict[str, int]] = None,
+    ) -> Iterator[None]:
+        """Record ENTER on entry and EXIT on (any) exit."""
+        if not self.enabled:
+            yield
+            return
+        self.events.append(EnterEvent(fn, dict(conds or {}), dict(data or {})))
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            self.events.append(ExitEvent(fn))
+
+    def mark(self, name: str) -> None:
+        if self.enabled:
+            self.events.append(MarkEvent(name))
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Begin a fresh capture."""
+        self.events = []
+        self._depth = 0
+        self.enabled = True
+
+    def stop(self) -> List[Event]:
+        """End the capture and return the recorded stream."""
+        if self._depth:
+            raise RuntimeError(f"tracer stopped inside {self._depth} open scope(s)")
+        self.enabled = False
+        events, self.events = self.events, []
+        return events
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+
+class NullTracer(Tracer):
+    """A tracer that never records; handy default for untraced stacks."""
+
+    @contextlib.contextmanager
+    def scope(self, fn, conds=None, data=None):  # type: ignore[override]
+        yield
+
+    def mark(self, name: str) -> None:
+        pass
+
+    def start(self) -> None:
+        raise RuntimeError("NullTracer cannot capture; use Tracer")

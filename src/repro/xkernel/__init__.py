@@ -1,0 +1,39 @@
+"""The x-kernel substrate: the protocol framework the paper builds on.
+
+The x-kernel [HP91] structures networking code as a graph of *protocol*
+objects connected at configuration time; per-connection state lives in
+*session* objects; packets travel in *messages* whose headers are pushed
+and popped as they cross layers; demultiplexing uses *maps* (hash tables
+with a one-entry cache); timers come from the *event* manager, and
+concurrency from a *process* (thread) layer that this port optimizes with
+continuations and LIFO-recycled first-class stacks (Section 2.2.1).
+
+Every runtime object that protocol code touches carries a simulated data
+address from :mod:`repro.xkernel.alloc`, so the d-cache model in
+:mod:`repro.arch` sees realistic access streams.
+"""
+
+from repro.xkernel.alloc import SimAllocator
+from repro.xkernel.message import Message, MessagePool
+from repro.xkernel.map import Map, MapStats
+from repro.xkernel.event import EventManager, Event
+from repro.xkernel.process import Scheduler, Thread, Semaphore, StackPool
+from repro.xkernel.protocol import Protocol, Session, ProtocolStack, XkernelError
+
+__all__ = [
+    "SimAllocator",
+    "Message",
+    "MessagePool",
+    "Map",
+    "MapStats",
+    "EventManager",
+    "Event",
+    "Scheduler",
+    "Thread",
+    "Semaphore",
+    "StackPool",
+    "Protocol",
+    "Session",
+    "ProtocolStack",
+    "XkernelError",
+]

@@ -1,0 +1,162 @@
+"""Packet classifier: the run-time guard path-inlining depends on.
+
+Path-inlined code is only correct for packets that actually follow the
+assumed path, so inbound packets must be classified first (Section 3.3;
+the paper cites PathFinder/BPF-style classifiers [BGP+94, MJ93, EKJ95] and
+measures their cost at 1-4 µs on the same hardware).  The experiments in
+Section 4 deliberately exclude that cost — the isolated test network
+carries only matching traffic — and so do ours; this module exists so the
+cost can be measured separately, as DESIGN.md promises.
+
+The classifier is a small decision DAG over byte-field comparisons, built
+from declarative patterns:
+
+.. code-block:: python
+
+    clf = PacketClassifier()
+    clf.add_pattern("tcp_path", [
+        FieldMatch(offset=12, width=2, value=0x0800),   # EtherType: IP
+        FieldMatch(offset=23, width=1, value=6),        # proto: TCP
+        FieldMatch(offset=36, width=2, value=7),        # dst port: echo
+    ])
+    clf.classify(frame_bytes)  # -> "tcp_path" or None
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class ClassifierError(RuntimeError):
+    pass
+
+
+@dataclass(frozen=True)
+class FieldMatch:
+    """Match ``width`` big-endian bytes at ``offset`` against ``value``."""
+
+    offset: int
+    width: int
+    value: int
+    mask: int = -1  # -1: full-width mask
+
+    def __post_init__(self) -> None:
+        if self.width not in (1, 2, 4):
+            raise ClassifierError("field width must be 1, 2 or 4 bytes")
+        if self.offset < 0:
+            raise ClassifierError("negative field offset")
+
+    @property
+    def effective_mask(self) -> int:
+        full = (1 << (8 * self.width)) - 1
+        return full if self.mask == -1 else self.mask & full
+
+    def matches(self, packet: bytes) -> bool:
+        end = self.offset + self.width
+        if end > len(packet):
+            return False
+        value = int.from_bytes(packet[self.offset:end], "big")
+        return (value & self.effective_mask) == (
+            self.value & self.effective_mask
+        )
+
+
+class _Node:
+    """One decision level: dispatch on a (offset, width, mask) field."""
+
+    __slots__ = ("field_key", "edges", "terminal")
+
+    def __init__(self) -> None:
+        self.field_key: Optional[Tuple[int, int, int]] = None
+        self.edges: Dict[int, "_Node"] = {}
+        self.terminal: Optional[str] = None
+
+
+class PacketClassifier:
+    """A PathFinder-style hierarchical classifier.
+
+    Patterns sharing field prefixes share decision nodes, so classifying
+    costs one comparison per level rather than one scan per pattern.
+    """
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._patterns: Dict[str, List[FieldMatch]] = {}
+        self.classifications = 0
+        self.comparisons = 0
+
+    def add_pattern(self, name: str, fields: Sequence[FieldMatch]) -> None:
+        if name in self._patterns:
+            raise ClassifierError(f"duplicate pattern {name!r}")
+        if not fields:
+            raise ClassifierError("empty pattern")
+        self._patterns[name] = list(fields)
+        node = self._root
+        for field in fields:
+            key = (field.offset, field.width, field.effective_mask)
+            if node.field_key is None:
+                node.field_key = key
+            elif node.field_key != key:
+                raise ClassifierError(
+                    f"pattern {name!r} diverges from the decision tree at "
+                    f"offset {field.offset} (PathFinder requires aligned "
+                    f"cell structure)"
+                )
+            masked = field.value & field.effective_mask
+            node = node.edges.setdefault(masked, _Node())
+        if node.terminal is not None:
+            raise ClassifierError(
+                f"patterns {node.terminal!r} and {name!r} are identical"
+            )
+        node.terminal = name
+
+    def classify(self, packet: bytes) -> Optional[str]:
+        """Return the matching pattern name, or None."""
+        self.classifications += 1
+        node = self._root
+        while node.field_key is not None:
+            offset, width, mask = node.field_key
+            end = offset + width
+            if end > len(packet):
+                return node.terminal
+            self.comparisons += 1
+            value = int.from_bytes(packet[offset:end], "big") & mask
+            nxt = node.edges.get(value)
+            if nxt is None:
+                return node.terminal
+            node = nxt
+        return node.terminal
+
+    @property
+    def patterns(self) -> List[str]:
+        return list(self._patterns)
+
+
+def tcp_path_classifier(dst_port: int) -> PacketClassifier:
+    """The classifier a PIN build of the TCP/IP stack would install."""
+    clf = PacketClassifier()
+    clf.add_pattern("tcpip_input_path", [
+        FieldMatch(offset=12, width=2, value=0x0800),  # EtherType: IPv4
+        FieldMatch(offset=23, width=1, value=6),       # IP proto: TCP
+        FieldMatch(offset=36, width=2, value=dst_port),
+    ])
+    return clf
+
+
+def build_classifier_model():
+    """Instruction-level model of one classification (cost measured
+    separately from the Section 4 experiments, as in the paper)."""
+    from repro.core.ir import FunctionBuilder
+
+    fb = FunctionBuilder("packet_classify", module="classifier", saves=4)
+    fb.block("entry").mix(alu=16, loads=6, region="clf")
+    fb.block("level").load("msg", 12, 2).alu(9).load("clf", 32, 2)
+    fb.branch("more_levels", "level", "accept", default=False)
+    fb.block("accept").mix(alu=10, loads=3, region="clf", offset=64)
+    fb.branch("matched", "done", "reject", default=True)
+    fb.block("reject", unlikely=True).alu(14)
+    fb.jump("done")
+    fb.block("done").alu(5)
+    fb.ret()
+    return fb.build()

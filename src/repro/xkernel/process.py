@@ -1,0 +1,199 @@
+"""Threads, continuations and first-class stacks (Section 2.2.1).
+
+The original x-kernel statically attached a stack to each thread.  This
+port makes stacks first-class objects managed by a LIFO pool and attached
+to threads on demand, and uses continuations when a thread blocks without
+useful stack state.  The effect the paper measures: latency-sensitive path
+invocations normally execute on the *same* (d-cache-warm) stack.
+
+The concurrency model is cooperative and event-driven (the network
+simulator is the only scheduler tick source), which is all a ping-pong
+latency test exercises: the client thread blocks on a semaphore in CHAN or
+in the TCP test program; the receive interrupt signals it; the scheduler
+resumes it on a recycled stack or via its continuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+import collections
+
+from repro.xkernel.alloc import SimAllocator
+
+STACK_SIZE = 8 * 1024
+
+
+class ProcessError(RuntimeError):
+    pass
+
+
+class Stack:
+    """A first-class stack object with a simulated address."""
+
+    __slots__ = ("sim_addr", "size", "in_use")
+
+    def __init__(self, allocator: SimAllocator, size: int = STACK_SIZE) -> None:
+        self.sim_addr = allocator.malloc(size)
+        self.size = size
+        self.in_use = False
+
+    @property
+    def top(self) -> int:
+        """Stacks grow down: the initial SP is the high end."""
+        return self.sim_addr + self.size
+
+
+class StackPool:
+    """LIFO pool of stacks: the most recently released (cache-warm) stack
+    is handed out first."""
+
+    def __init__(self, allocator: SimAllocator, *, prealloc: int = 2) -> None:
+        self._allocator = allocator
+        self._free: List[Stack] = [Stack(allocator) for _ in range(prealloc)]
+        self.attaches = 0
+        self.warm_attaches = 0
+        self._last_released: Optional[Stack] = None
+
+    def attach(self) -> Stack:
+        self.attaches += 1
+        if self._free:
+            stack = self._free.pop()
+            if stack is self._last_released:
+                self.warm_attaches += 1
+        else:
+            stack = Stack(self._allocator)
+        stack.in_use = True
+        return stack
+
+    def release(self, stack: Stack) -> None:
+        if not stack.in_use:
+            raise ProcessError("release of an idle stack")
+        stack.in_use = False
+        self._free.append(stack)
+        self._last_released = stack
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+
+@dataclass
+class Continuation:
+    """A small closure standing in for saved stack state [DBRD91]."""
+
+    resume: Callable[[], None]
+    label: str = ""
+
+
+class Thread:
+    """A cooperative thread; runs to completion or blocks on a semaphore."""
+
+    _ids = iter(range(1, 1 << 30))
+
+    def __init__(self, scheduler: "Scheduler", body: Callable[["Thread"], None],
+                 *, name: str = "") -> None:
+        self.thread_id = next(self._ids)
+        self.name = name or f"thread{self.thread_id}"
+        self.scheduler = scheduler
+        self._body = body
+        self.stack: Optional[Stack] = None
+        self.continuation: Optional[Continuation] = None
+        self.state = "ready"  # ready | running | blocked | done
+
+    def __repr__(self) -> str:
+        return f"<Thread {self.name} {self.state}>"
+
+
+class Semaphore:
+    """Counting semaphore with continuation-based blocking.
+
+    ``wait_or_block(cont)`` either consumes a count immediately (fast path:
+    the reply already arrived) or records a continuation that ``signal``
+    schedules; this mirrors how CHAN blocks the calling RPC thread.
+    """
+
+    def __init__(self, scheduler: "Scheduler", count: int = 0, *, name: str = "") -> None:
+        self.scheduler = scheduler
+        self.count = count
+        self.name = name
+        self._waiters: Deque[Continuation] = collections.deque()
+        self.blocks = 0
+        self.signals = 0
+
+    def wait_or_block(self, cont: Continuation) -> bool:
+        """Returns True if the wait was satisfied without blocking."""
+        if self.count > 0:
+            self.count -= 1
+            return True
+        self.blocks += 1
+        self._waiters.append(cont)
+        return False
+
+    def signal(self) -> None:
+        self.signals += 1
+        if self._waiters:
+            cont = self._waiters.popleft()
+            self.scheduler.schedule_continuation(cont)
+        else:
+            self.count += 1
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+
+class Scheduler:
+    """Cooperative scheduler: run-to-completion work items.
+
+    The paper's optimization shows up in :meth:`run_pending`: each work
+    item (a thread body or a resumed continuation) attaches a stack from
+    the LIFO pool for the duration of its run, so consecutive path
+    invocations reuse the same cache-warm stack.
+    """
+
+    def __init__(self, allocator: SimAllocator) -> None:
+        self.stack_pool = StackPool(allocator)
+        self._ready: Deque[Callable[[], None]] = collections.deque()
+        self.dispatches = 0
+        self.context_switches = 0
+        #: simulated SP the protocol models use for the current work item
+        self.current_stack: Optional[Stack] = None
+
+    def spawn(self, body: Callable[[Thread], None], *, name: str = "") -> Thread:
+        thread = Thread(self, body, name=name)
+        self._ready.append(lambda: self._run_thread(thread))
+        return thread
+
+    def schedule_continuation(self, cont: Continuation) -> None:
+        self._ready.append(cont.resume)
+        self.context_switches += 1
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        self._ready.append(fn)
+
+    def _run_thread(self, thread: Thread) -> None:
+        thread.state = "running"
+        thread._body(thread)
+        if thread.state == "running":
+            thread.state = "done"
+
+    def run_pending(self) -> int:
+        """Drain the ready queue; returns the number of items dispatched."""
+        count = 0
+        while self._ready:
+            item = self._ready.popleft()
+            stack = self.stack_pool.attach()
+            self.current_stack = stack
+            try:
+                item()
+            finally:
+                self.stack_pool.release(stack)
+                self.current_stack = None
+            self.dispatches += 1
+            count += 1
+        return count
+
+    @property
+    def idle(self) -> bool:
+        return not self._ready

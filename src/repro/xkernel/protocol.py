@@ -1,0 +1,161 @@
+"""Protocol / session framework (the x-kernel object model).
+
+A :class:`ProtocolStack` is one host's configured protocol graph plus the
+shared kernel services every protocol uses: the simulated allocator, the
+message pool, the event manager, the scheduler and the tracer.  Protocols
+are registered bottom-up and wired explicitly, mirroring the x-kernel's
+graph built at configuration time (Figure 1 of the paper).
+
+The uniform operations are the x-kernel's:
+
+* ``open(upper, participants)`` — create a session for an active open,
+* ``open_enable(upper, pattern)`` — register for passive demultiplexing,
+* ``push(session, message)`` — outbound processing,
+* ``demux(message, ...)`` — inbound processing and dispatch upward.
+
+Concrete protocols implement the subset they need; the framework provides
+registration, session bookkeeping, and access to kernel services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.trace.tracer import NullTracer, Tracer
+from repro.xkernel.alloc import SimAllocator
+from repro.xkernel.event import EventManager
+from repro.xkernel.map import Map
+from repro.xkernel.message import Message, MessagePool
+from repro.xkernel.process import Scheduler
+
+
+class XkernelError(RuntimeError):
+    pass
+
+
+class ProtocolStack:
+    """One host's protocol graph plus shared kernel services."""
+
+    def __init__(self, hostname: str, *, tracer: Optional[Tracer] = None,
+                 jitter_seed: Optional[int] = None,
+                 msg_refresh_short_circuit: bool = True,
+                 events: Optional[EventManager] = None) -> None:
+        self.hostname = hostname
+        self.allocator = SimAllocator(jitter_seed=jitter_seed)
+        self.tracer: Tracer = tracer or NullTracer()
+        # Hosts on the same simulated network share one world clock.
+        self.events = events or EventManager()
+        self.scheduler = Scheduler(self.allocator)
+        self.msg_pool = MessagePool(
+            self.allocator, short_circuit=msg_refresh_short_circuit
+        )
+        self._protocols: Dict[str, "Protocol"] = {}
+
+    def register(self, protocol: "Protocol") -> "Protocol":
+        if protocol.name in self._protocols:
+            raise XkernelError(f"duplicate protocol {protocol.name!r}")
+        self._protocols[protocol.name] = protocol
+        return protocol
+
+    def protocol(self, name: str) -> "Protocol":
+        try:
+            return self._protocols[name]
+        except KeyError:
+            raise XkernelError(f"no protocol {name!r} configured") from None
+
+    def protocols(self) -> List["Protocol"]:
+        return list(self._protocols.values())
+
+    def new_message(self, payload: bytes = b"") -> Message:
+        return Message(self.allocator, payload)
+
+    @property
+    def now_us(self) -> float:
+        return self.events.now_us
+
+
+class Session:
+    """Per-connection state created by a protocol's open()."""
+
+    _ids = iter(range(1, 1 << 30))
+
+    def __init__(self, protocol: "Protocol", *, state_size: int = 128,
+                 upper: Optional["Protocol"] = None) -> None:
+        self.session_id = next(Session._ids)
+        self.protocol = protocol
+        self.upper = upper
+        self.sim_addr = protocol.stack.allocator.malloc(state_size)
+        self.closed = False
+
+    def push(self, msg: Message) -> None:
+        """Outbound: hand the message to the owning protocol."""
+        if self.closed:
+            raise XkernelError("push on closed session")
+        self.protocol.push(self, msg)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.protocol.stack.allocator.free(self.sim_addr)
+
+    def __repr__(self) -> str:
+        return f"<Session {self.protocol.name}#{self.session_id}>"
+
+
+class Protocol:
+    """Base class for x-kernel protocols.
+
+    Subclasses override the operations they participate in.  ``state_size``
+    reserves simulated memory for the protocol's global state (demux maps
+    are allocated separately by the subclasses that need them).
+    """
+
+    def __init__(self, stack: ProtocolStack, name: str, *,
+                 state_size: int = 256) -> None:
+        self.stack = stack
+        self.name = name
+        self.sim_addr = stack.allocator.malloc(state_size)
+        self.down: List["Protocol"] = []
+        stack.register(self)
+
+    # ---- wiring ---- #
+
+    def connect_below(self, *lower: "Protocol") -> None:
+        self.down.extend(lower)
+
+    @property
+    def lower(self) -> "Protocol":
+        if not self.down:
+            raise XkernelError(f"{self.name} has no lower protocol")
+        return self.down[0]
+
+    # ---- uniform operations (overridable) ---- #
+
+    def open(self, upper: "Protocol", participants: object) -> Session:
+        raise XkernelError(f"{self.name} does not support open()")
+
+    def open_enable(self, upper: "Protocol", pattern: object) -> None:
+        raise XkernelError(f"{self.name} does not support open_enable()")
+
+    def push(self, session: Session, msg: Message) -> None:
+        raise XkernelError(f"{self.name} does not support push()")
+
+    def demux(self, msg: Message, **kwargs: object) -> None:
+        raise XkernelError(f"{self.name} does not support demux()")
+
+    # ---- conveniences for subclasses ---- #
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.stack.tracer
+
+    @property
+    def allocator(self) -> SimAllocator:
+        return self.stack.allocator
+
+    def new_map(self, buckets: int = 64) -> Map:
+        return Map(buckets, allocator=self.stack.allocator)
+
+    def __repr__(self) -> str:
+        return f"<Protocol {self.name} on {self.stack.hostname}>"

@@ -1,0 +1,159 @@
+"""Unit tests for the cache building blocks."""
+
+import pytest
+
+from repro.arch.caches import CacheStats, DirectMappedCache, StreamBuffer, WriteBuffer
+
+
+class TestDirectMappedCache:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(0)
+        with pytest.raises(ValueError):
+            DirectMappedCache(100, block_size=32)  # not a multiple
+        with pytest.raises(ValueError):
+            DirectMappedCache(96, block_size=24)  # not a power of two
+
+    def test_cold_miss_then_hit(self):
+        cache = DirectMappedCache(1024, 32)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(31)  # same block
+        assert not cache.access(32)  # next block
+        assert cache.stats.accesses == 4
+        assert cache.stats.misses == 2
+        assert cache.stats.replacement_misses == 0
+
+    def test_replacement_miss_accounting(self):
+        cache = DirectMappedCache(1024, 32)  # 32 blocks
+        cache.access(0)
+        cache.access(1024)  # aliases block 0
+        assert cache.stats.replacement_misses == 0  # first touch is cold
+        cache.access(0)  # evicted earlier: replacement miss
+        assert cache.stats.replacement_misses == 1
+        cache.access(1024)
+        assert cache.stats.replacement_misses == 2
+
+    def test_different_indexes_do_not_conflict(self):
+        cache = DirectMappedCache(1024, 32)
+        cache.access(0)
+        cache.access(32)
+        assert cache.access(0)
+        assert cache.access(32)
+
+    def test_write_no_allocate_policy(self):
+        cache = DirectMappedCache(1024, 32, write_allocate=False)
+        assert not cache.access(0, write=True)
+        assert not cache.access(0)  # still not resident
+        assert cache.access(0)
+
+    def test_write_allocate_policy(self):
+        cache = DirectMappedCache(1024, 32, write_allocate=True)
+        cache.access(0, write=True)
+        assert cache.access(0)
+
+    def test_install_does_not_count_access(self):
+        cache = DirectMappedCache(1024, 32)
+        cache.install(64)
+        assert cache.stats.accesses == 0
+        assert cache.access(64)
+
+    def test_contains_probe_is_stat_free(self):
+        cache = DirectMappedCache(1024, 32)
+        assert not cache.contains(0)
+        assert cache.stats.accesses == 0
+
+    def test_invalidate_all_keeps_history(self):
+        cache = DirectMappedCache(1024, 32)
+        cache.access(0)
+        cache.invalidate_all()
+        assert not cache.access(0)
+        # the block had been resident before: this is a replacement miss
+        assert cache.stats.replacement_misses == 1
+
+    def test_reset_clears_everything(self):
+        cache = DirectMappedCache(1024, 32)
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert not cache.access(0)
+        assert cache.stats.replacement_misses == 0
+
+    def test_stats_delta(self):
+        cache = DirectMappedCache(1024, 32)
+        cache.access(0)
+        before = cache.stats.snapshot()
+        cache.access(0)
+        cache.access(32)
+        delta = cache.stats.delta(before)
+        assert delta.accesses == 2
+        assert delta.misses == 1
+
+
+class TestWriteBuffer:
+    def test_write_merging(self):
+        wb = WriteBuffer(depth=4, block_size=32)
+        assert not wb.write(0)  # new block: "miss"
+        assert wb.write(8)  # same block: merged
+        assert wb.write(24)
+        assert wb.stats.accesses == 3
+        assert wb.stats.misses == 1
+
+    def test_fifo_eviction_when_full(self):
+        wb = WriteBuffer(depth=2, block_size=32)
+        wb.write(0)
+        wb.write(32)
+        assert wb.evictions == 0
+        wb.write(64)  # evicts block 0
+        assert wb.evictions == 1
+        assert not wb.contains(0)
+        assert wb.contains(64)
+
+    def test_drain(self):
+        wb = WriteBuffer(depth=4, block_size=32)
+        wb.write(0)
+        wb.write(32)
+        assert wb.drain() == [0, 1]
+        assert not wb.contains(0)
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(depth=0)
+
+
+class TestStreamBuffer:
+    def test_probe_consumes(self):
+        sb = StreamBuffer(32)
+        sb.prefetch(2)
+        assert sb.probe(64) is not None  # block 2
+        assert sb.probe(64) is None  # consumed
+
+    def test_miss_on_wrong_block(self):
+        sb = StreamBuffer(32)
+        sb.prefetch(2)
+        assert sb.probe(128) is None
+
+    def test_probe_reports_prefetch_bcache_outcome(self):
+        sb = StreamBuffer(32)
+        sb.prefetch(2, bcache_miss=True)
+        assert sb.probe(64) is True
+        sb.prefetch(3, bcache_miss=False)
+        assert sb.probe(96) is False
+
+    def test_counters(self):
+        sb = StreamBuffer(32)
+        sb.prefetch(1)
+        sb.probe(32)
+        assert sb.hits == 1
+        assert sb.prefetches == 1
+
+
+class TestCacheStats:
+    def test_derived_quantities(self):
+        stats = CacheStats(accesses=10, misses=4, replacement_misses=1)
+        assert stats.hits == 6
+        assert stats.cold_misses == 3
+        assert stats.miss_rate == pytest.approx(0.4)
+
+    def test_empty_miss_rate(self):
+        assert CacheStats().miss_rate == 0.0

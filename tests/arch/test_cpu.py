@@ -1,0 +1,116 @@
+"""Unit tests for the dual-issue CPU timing model."""
+
+import pytest
+
+from repro.arch.cpu import CpuConfig, CpuModel, _can_pair
+from repro.arch.isa import Op, TraceEntry
+
+
+def alu(pc=0):
+    return TraceEntry(pc=pc, op=Op.ALU)
+
+
+def load(pc=0, addr=0x1000):
+    return TraceEntry(pc=pc, op=Op.LOAD, daddr=addr)
+
+
+def store(pc=0, addr=0x1000):
+    return TraceEntry(pc=pc, op=Op.STORE, daddr=addr, dwrite=True)
+
+
+def branch(pc=0, taken=False):
+    return TraceEntry(pc=pc, op=Op.BR, taken=taken)
+
+
+class TestPairingRules:
+    def test_dependent_alu_chain_does_not_pair(self):
+        # back-to-back integer operates are assumed dependent (address
+        # arithmetic, flag tests) and issue one per cycle
+        assert not _can_pair(Op.ALU, Op.ALU)
+
+    def test_memory_pairs_with_alu(self):
+        assert _can_pair(Op.LOAD, Op.ALU)
+        assert _can_pair(Op.ALU, Op.STORE)
+        assert _can_pair(Op.LDA, Op.LOAD)
+
+    def test_two_memory_ops_do_not_pair(self):
+        assert not _can_pair(Op.LOAD, Op.STORE)
+        assert not _can_pair(Op.LOAD, Op.LOAD)
+
+    def test_branches_never_pair(self):
+        assert not _can_pair(Op.ALU, Op.BR)
+        assert not _can_pair(Op.BR, Op.ALU)
+
+    def test_multiply_issues_alone(self):
+        assert not _can_pair(Op.MUL, Op.ALU)
+        assert not _can_pair(Op.ALU, Op.MUL)
+
+
+class TestCpuModel:
+    def test_perfectly_paired_trace_has_half_cpi(self):
+        cpu = CpuModel()
+        stats = cpu.run([load(addr=8 * i) if i % 2 == 0 else alu()
+                         for i in range(100)])
+        assert stats.instructions == 100
+        assert stats.cycles == 50
+        assert stats.icpi == pytest.approx(0.5)
+
+    def test_unpairable_trace_has_cpi_one(self):
+        cpu = CpuModel()
+        stats = cpu.run([load(addr=8 * i) for i in range(20)])
+        assert stats.cycles == 20
+        assert stats.icpi == pytest.approx(1.0)
+
+    def test_alu_chain_has_cpi_one(self):
+        stats = CpuModel().run([alu()] * 30)
+        assert stats.icpi == pytest.approx(1.0)
+
+    def test_taken_branch_penalty(self):
+        cpu = CpuModel(CpuConfig(taken_branch_penalty=3))
+        base = cpu.run([alu(), branch(taken=False)]).cycles
+        taken = cpu.run([alu(), branch(taken=True)]).cycles
+        assert taken - base == 3
+
+    def test_taken_branch_counter(self):
+        cpu = CpuModel()
+        stats = cpu.run([branch(taken=True), branch(taken=False), branch(taken=True)])
+        assert stats.taken_branches == 2
+
+    def test_multiply_latency(self):
+        cfg = CpuConfig(multiply_extra_cycles=7)
+        cpu = CpuModel(cfg)
+        with_mul = cpu.run([TraceEntry(pc=0, op=Op.MUL)])
+        assert with_mul.cycles == 1 + 7
+        assert with_mul.multiplies == 1
+
+    def test_odd_length_trace(self):
+        cpu = CpuModel()
+        stats = cpu.run([load(addr=0), alu(), load(addr=8)])
+        # the first two pair; the leftover load takes its own cycle
+        assert stats.cycles == 2
+
+    def test_empty_trace(self):
+        stats = CpuModel().run([])
+        assert stats.instructions == 0
+        assert stats.cycles == 0
+        assert stats.icpi == 0.0
+
+    def test_cycles_to_us_uses_clock(self):
+        cpu = CpuModel(CpuConfig(clock_mhz=175.0))
+        assert cpu.cycles_to_us(175) == pytest.approx(1.0)
+
+    def test_mixed_trace_ordering_matters(self):
+        """Alternating mem/alu pairs better than mem-clustered code."""
+        cpu = CpuModel()
+        alternating = cpu.run([load(addr=8 * i) if i % 2 == 0 else alu()
+                               for i in range(40)])
+        clustered = cpu.run([load(addr=8 * i) for i in range(20)] + [alu()] * 20)
+        assert alternating.cycles < clustered.cycles
+
+    def test_icpi_between_half_and_one_for_mixes(self):
+        cpu = CpuModel()
+        trace = []
+        for i in range(60):
+            trace.append(load(addr=8 * i) if i % 3 == 0 else alu())
+        stats = cpu.run(trace)
+        assert 0.5 <= stats.icpi <= 1.0

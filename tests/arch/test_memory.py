@@ -1,0 +1,139 @@
+"""Unit tests for the memory hierarchy model."""
+
+import pytest
+
+from repro.arch.isa import Op, TraceEntry
+from repro.arch.memory import MemoryConfig, MemoryHierarchy
+
+
+def fetch(pc):
+    return TraceEntry(pc=pc, op=Op.ALU)
+
+
+def load(pc, addr):
+    return TraceEntry(pc=pc, op=Op.LOAD, daddr=addr)
+
+
+def store(pc, addr):
+    return TraceEntry(pc=pc, op=Op.STORE, daddr=addr, dwrite=True)
+
+
+@pytest.fixture
+def mem():
+    return MemoryHierarchy()
+
+
+class TestInstructionFetch:
+    def test_icache_hit_costs_nothing(self, mem):
+        mem.step(fetch(0x1000))
+        assert mem.step(fetch(0x1004)) == 0
+
+    def test_cold_miss_costs_bcache_latency(self, mem):
+        stall = mem.step(fetch(0x1000))
+        assert stall == mem.config.main_memory_cycles  # b-cache cold too
+
+    def test_warm_bcache_miss_costs_hit_latency(self, mem):
+        mem.step(fetch(0x1000))
+        # force i-cache eviction by touching the aliasing address
+        mem.step(fetch(0x1000 + mem.config.icache_size))
+        stall = mem.step(fetch(0x1000))
+        assert stall == mem.config.bcache_hit_cycles
+
+    def test_sequential_prefetch_generates_bcache_access(self, mem):
+        before = mem.stats.bcache.accesses
+        mem.step(fetch(0x1000))
+        # the miss fetches the block and prefetches the successor
+        assert mem.stats.bcache.accesses == before + 2
+
+    def test_stream_buffer_hit_cost(self, mem):
+        # warm the b-cache first so the prefetch hits it
+        mem.step(fetch(0x1000))
+        mem.step(fetch(0x1020))
+        mem.step(fetch(0x1000 + mem.config.icache_size))  # evict both
+        mem.step(fetch(0x1020 + mem.config.icache_size))
+        mem.step(fetch(0x1000))  # miss; prefetches (warm) 0x1020
+        stall = mem.step(fetch(0x1020))
+        assert stall == mem.config.stream_hit_cycles
+        assert mem.stats.stream_buffer_hits >= 1
+
+    def test_stream_hit_on_cold_prefetch_pays_memory_latency(self, mem):
+        mem.step(fetch(0x1000))  # prefetch of 0x1020 misses the b-cache
+        stall = mem.step(fetch(0x1020))
+        assert stall == (
+            mem.config.stream_hit_cycles
+            + mem.config.main_memory_cycles
+            - mem.config.bcache_hit_cycles
+        )
+
+    def test_icache_accesses_equal_trace_length(self, mem):
+        for i in range(17):
+            mem.step(fetch(0x2000 + 4 * i))
+        assert mem.stats.icache.accesses == 17
+
+
+class TestDataAccess:
+    def test_read_miss_then_hit(self, mem):
+        first = mem.step(load(0x1000, 0x70000))
+        second = mem.step(load(0x1004, 0x70008))
+        assert first > second  # same d-cache block after allocation
+        assert second == 0
+
+    def test_write_through_no_allocate(self, mem):
+        mem.step(store(0x1000, 0x70000))
+        # a later read of the same address still misses the d-cache and is
+        # satisfied from the write buffer at the store-drain cost
+        stall = mem.step(load(0x1004, 0x70000))
+        assert stall == mem.config.write_forward_cycles
+
+    def test_write_merging(self, mem):
+        mem.step(store(0x1000, 0x70000))
+        before = mem.stats.bcache.accesses
+        mem.step(store(0x1004, 0x70008))  # same block: merged
+        assert mem.stats.bcache.accesses == before
+
+    def test_combined_dcache_stats_count_writes(self, mem):
+        mem.step(load(0x1000, 0x70000))
+        mem.step(store(0x1004, 0x71000))
+        stats = mem.stats.dcache
+        assert stats.accesses == 2
+        assert stats.misses == 2  # cold read miss + unmerged write
+
+    def test_write_buffer_overflow_stalls(self, mem):
+        stalls = []
+        for i in range(8):
+            stalls.append(mem.step(store(0x1000, 0x70000 + 64 * i)))
+        assert any(s >= mem.config.write_buffer_full_cycles for s in stalls[4:])
+
+
+class TestSteadyState:
+    def test_repeating_trace_warms_up(self, mem):
+        trace = [fetch(0x3000 + 4 * i) for i in range(64)]
+        mem.run(trace)
+        before = mem.stats.snapshot()
+        mem.run(trace)
+        delta = mem.stats.delta(before)
+        assert delta.icache.misses == 0
+        assert delta.stall_cycles == 0
+
+    def test_aliasing_functions_thrash(self):
+        mem = MemoryHierarchy()
+        icache = mem.config.icache_size
+        f1 = [fetch(0x10000 + 4 * i) for i in range(64)]
+        f2 = [fetch(0x10000 + icache + 4 * i) for i in range(64)]
+        mem.run(f1 + f2)  # cold pass
+        before = mem.stats.snapshot()
+        mem.run(f1 + f2)  # steady state: mutual eviction
+        delta = mem.stats.delta(before)
+        assert delta.icache.replacement_misses > 0
+        assert delta.stall_cycles > 0
+
+    def test_mcpi_definition(self, mem):
+        trace = [fetch(0x4000 + 4 * i) for i in range(16)]
+        stats = mem.run(trace)
+        assert stats.mcpi == pytest.approx(stats.stall_cycles / 16)
+
+    def test_reset(self, mem):
+        mem.step(fetch(0x1000))
+        mem.reset()
+        assert mem.stats.instructions == 0
+        assert mem.stats.icache.accesses == 0

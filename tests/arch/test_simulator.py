@@ -1,0 +1,106 @@
+"""Unit tests for the top-level machine simulator."""
+
+import pytest
+
+from repro.arch.cpu import CpuConfig
+from repro.arch.isa import Op, TraceEntry
+from repro.arch.memory import MemoryConfig
+from repro.arch.simulator import (
+    AlphaConfig,
+    MachineSimulator,
+    simulate_cold,
+    simulate_steady,
+)
+
+
+def straight_code(n=100, base=0x100000):
+    return [TraceEntry(pc=base + 4 * i, op=Op.ALU) for i in range(n)]
+
+
+def code_with_data(n=50):
+    trace = []
+    for i in range(n):
+        if i % 3 == 0:
+            trace.append(TraceEntry(pc=0x100000 + 4 * i, op=Op.LOAD,
+                                    daddr=0x600000 + 16 * i))
+        else:
+            trace.append(TraceEntry(pc=0x100000 + 4 * i, op=Op.ALU))
+    return trace
+
+
+class TestSimResult:
+    def test_cpi_decomposition(self):
+        result = simulate_cold(code_with_data())
+        assert result.cpi == pytest.approx(result.icpi + result.mcpi)
+        assert result.cycles == (result.cpu.cycles
+                                 + result.memory.stall_cycles)
+
+    def test_time_follows_clock(self):
+        result = simulate_cold(straight_code())
+        assert result.time_us() == pytest.approx(result.cycles / 175.0)
+        assert result.time_us(350.0) == pytest.approx(result.cycles / 350.0)
+
+    def test_empty_trace(self):
+        result = simulate_cold([])
+        assert result.cycles == 0
+        assert result.cpi == 0.0
+
+    def test_instruction_count_matches_trace(self):
+        trace = straight_code(321)
+        assert simulate_cold(trace).instructions == 321
+
+
+class TestSteadyState:
+    def test_steady_is_warmer_than_cold(self):
+        trace = straight_code(400)
+        cold = simulate_cold(trace)
+        steady = simulate_steady(trace)
+        assert steady.memory.stall_cycles < cold.memory.stall_cycles
+        assert steady.memory.icache.misses == 0  # 1.6KB fits the cache
+
+    def test_warmup_rounds_respected(self):
+        trace = straight_code(400)
+        sim = MachineSimulator()
+        result = sim.run_steady_state(trace, warmup_rounds=0)
+        cold = simulate_cold(trace)
+        assert result.memory.stall_cycles == cold.memory.stall_cycles
+
+    def test_measured_run_isolated_from_warmup_stats(self):
+        trace = straight_code(200)
+        steady = simulate_steady(trace)
+        # the reported access count covers only the measured repetition
+        assert steady.memory.icache.accesses == 200
+
+
+class TestConfiguration:
+    def test_custom_clock(self):
+        cfg = AlphaConfig(cpu=CpuConfig(clock_mhz=266.0))
+        sim = MachineSimulator(cfg)
+        result = sim.run(straight_code())
+        assert result.time_us(266.0) < result.time_us(175.0)
+
+    def test_custom_cache_size_changes_behaviour(self):
+        # a trace spanning 16KB thrashes an 8KB cache but fits 32KB
+        trace = straight_code(4096) * 2
+        small = MachineSimulator(
+            AlphaConfig(memory=MemoryConfig(icache_size=8 * 1024))
+        ).run_steady_state(trace)
+        big = MachineSimulator(
+            AlphaConfig(memory=MemoryConfig(icache_size=32 * 1024))
+        ).run_steady_state(trace)
+        assert big.memory.icache.misses < small.memory.icache.misses
+
+    def test_reset(self):
+        sim = MachineSimulator()
+        sim.run(straight_code())
+        sim.reset()
+        assert sim.memory.stats.instructions == 0
+
+
+class TestDeterminism:
+    def test_same_trace_same_result(self):
+        trace = code_with_data(200)
+        r1 = simulate_cold(list(trace))
+        r2 = simulate_cold(list(trace))
+        assert r1.cycles == r2.cycles
+        assert r1.memory.icache.misses == r2.memory.icache.misses

@@ -1,0 +1,175 @@
+"""Unit tests for materialization (codegen)."""
+
+import pytest
+
+from repro.arch.isa import Op
+from repro.core.codegen import (
+    call_site_size,
+    epilogue_size,
+    materialize,
+    prologue_size,
+)
+from repro.core.ir import FunctionBuilder, GP_RELOAD_INSTRUCTIONS
+
+
+def simple_fn(name="f", *, saves=2, leaf=False, specialized=False):
+    fb = FunctionBuilder(name, saves=saves, leaf=leaf)
+    fb.block("a").alu(3)
+    fb.ret()
+    fn = fb.build()
+    fn.specialized = specialized
+    return fn
+
+
+class TestPrologueEpilogue:
+    def test_prologue_contents(self):
+        mfn = materialize(simple_fn(saves=2))
+        ops = [i.op for i in mfn.blocks[0].body]
+        # GP reload (2 LDA) + SP adjust (LDA) + RA store + 2 saves
+        assert ops[:3] == [Op.LDA, Op.LDA, Op.LDA]
+        assert ops[3:6] == [Op.STORE, Op.STORE, Op.STORE]
+
+    def test_specialized_prologue_skips_gp_reload(self):
+        plain = materialize(simple_fn()).size
+        special = materialize(simple_fn(specialized=True)).size
+        assert plain - special == GP_RELOAD_INSTRUCTIONS
+
+    def test_leaf_function_smaller(self):
+        assert prologue_size(simple_fn(leaf=True)) < prologue_size(simple_fn())
+        assert epilogue_size(simple_fn(leaf=True)) < epilogue_size(simple_fn())
+
+    def test_epilogue_ends_in_ret(self):
+        mfn = materialize(simple_fn())
+        epilogue = mfn.blocks[-1].term.epilogue
+        assert epilogue[-1].op is Op.RET
+        restores = [i for i in epilogue if i.op is Op.LOAD]
+        assert len(restores) == 3  # RA + 2 saved registers
+
+
+class TestBranchCanonicalization:
+    def _branchy(self, order):
+        fb = FunctionBuilder("f")
+        fb.block("top").alu(1)
+        fb.branch("cond", "yes", "no")
+        fb.block("yes").alu(1)
+        fb.jump("join")
+        fb.block("no").alu(1)
+        fb.block("join").alu(1)
+        fb.ret()
+        fn = fb.build()
+        if order:
+            fn.blocks.sort(key=lambda b: order.index(b.label))
+        return fn
+
+    def test_adjacent_target_falls_through(self):
+        mfn = materialize(self._branchy(None))
+        top = mfn.block("top")
+        assert top.term.br is not None
+        assert top.term.jmp is None
+        assert top.term.fallthrough_target == "yes"
+
+    def test_neither_adjacent_needs_branch_and_jump(self):
+        fn = self._branchy(["top", "join", "yes", "no"])
+        mfn = materialize(fn)
+        top = mfn.block("top")
+        assert top.term.br is not None
+        assert top.term.jmp is not None
+        assert top.term.fallthrough_target is None
+
+    def test_adjacent_jump_elided(self):
+        fb = FunctionBuilder("f")
+        fb.block("a").alu(1)
+        fb.jump("b")
+        fb.block("b").alu(1)
+        fb.ret()
+        mfn = materialize(fb.build())
+        assert mfn.block("a").term.jmp is None
+
+    def test_non_adjacent_jump_emitted(self):
+        fb = FunctionBuilder("f")
+        fb.block("a").alu(1)
+        fb.jump("c")
+        fb.block("b").alu(1)
+        fb.ret()
+        fb.block("c").alu(1)
+        fb.jump("b")
+        mfn = materialize(fb.build())
+        assert mfn.block("a").term.jmp is not None
+
+
+class TestCallMaterialization:
+    def _caller(self):
+        fb = FunctionBuilder("caller")
+        fb.block("a").alu(1)
+        fb.call("callee", "b")
+        fb.block("b").alu(1)
+        fb.ret()
+        return fb.build()
+
+    def test_far_call_is_got_load_plus_jsr(self):
+        mfn = materialize(self._caller())
+        term = mfn.block("a").term
+        assert term.got_load is not None
+        assert term.got_load.op is Op.LOAD
+        assert term.call.op is Op.JSR
+
+    def test_near_call_is_single_bsr(self):
+        mfn = materialize(self._caller(), near=lambda c, e: True)
+        term = mfn.block("a").term
+        assert term.got_load is None
+        assert term.call.op is Op.BSR
+
+    def test_near_call_is_smaller(self):
+        far = materialize(self._caller()).size
+        near = materialize(self._caller(), near=lambda c, e: True).size
+        assert far - near == call_site_size(False) - call_site_size(True)
+
+    def test_dynamic_call_loads_dispatch_slot(self):
+        fb = FunctionBuilder("f")
+        fb.block("a").alu(1)
+        fb.call_dynamic("site", "b")
+        fb.block("b").alu(1)
+        fb.ret()
+        mfn = materialize(fb.build())
+        term = mfn.block("a").term
+        assert term.got_load.dref.region == "demux"
+        assert term.call.op is Op.JSR
+
+
+class TestOffsets:
+    def test_offsets_are_contiguous(self):
+        fb = FunctionBuilder("f")
+        fb.block("a").alu(5)
+        fb.block("b").alu(3)
+        fb.ret()
+        mfn = materialize(fb.build())
+        seen = []
+        for blk in mfn.blocks:
+            seen.extend(i.offset for i in blk.body)
+            for slot in (blk.term.br, blk.term.jmp, blk.term.got_load, blk.term.call):
+                if slot:
+                    seen.append(slot.offset)
+            seen.extend(i.offset for i in blk.term.epilogue)
+        assert seen == sorted(seen)
+        assert seen == list(range(len(seen)))
+
+    def test_size_counts_everything(self):
+        fn = simple_fn(saves=1)
+        mfn = materialize(fn)
+        # prologue (2 GP + 1 SP + RA + 1 save) + 3 alu + epilogue (2 loads + lda + ret)
+        assert mfn.size == 5 + 3 + 4
+
+    def test_next_label(self):
+        fb = FunctionBuilder("f")
+        fb.block("a")
+        fb.block("b")
+        mfn = materialize(fb.build())
+        assert mfn.next_label("a") == "b"
+        assert mfn.next_label("b") is None
+
+    def test_unterminated_block_is_an_error(self):
+        from repro.core.ir import BasicBlock, Function
+
+        fn = Function(name="broken", blocks=[BasicBlock("a")])
+        with pytest.raises(ValueError):
+            materialize(fn)

@@ -1,0 +1,154 @@
+"""Unit tests for the compiler IR and builders."""
+
+import pytest
+
+from repro.arch.isa import Op
+from repro.core.ir import (
+    BasicBlock,
+    CallStatic,
+    CondBranch,
+    DataRef,
+    Fallthrough,
+    Function,
+    FunctionBuilder,
+    Instruction,
+    Jump,
+    Return,
+    terminator_targets,
+)
+
+
+class TestInstruction:
+    def test_memory_op_requires_dref(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.LOAD)
+
+    def test_non_memory_op_rejects_dref(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.ALU, DataRef("x"))
+
+    def test_valid_memory_instruction(self):
+        ins = Instruction(Op.STORE, DataRef("msg", 8))
+        assert ins.dref.offset == 8
+
+
+class TestCondBranch:
+    def test_assumed_prefers_default(self):
+        br = CondBranch("c", "a", "b", predict=True, default=False)
+        assert br.assumed() is False
+
+    def test_assumed_falls_back_to_predict(self):
+        br = CondBranch("c", "a", "b", predict=False)
+        assert br.assumed() is False
+
+    def test_assumed_defaults_true(self):
+        assert CondBranch("c", "a", "b").assumed() is True
+
+    def test_likely_and_unlikely_targets(self):
+        br = CondBranch("c", "yes", "no", predict=False)
+        assert br.likely_target() == "no"
+        assert br.unlikely_target() == "yes"
+
+
+class TestFunctionBuilder:
+    def test_fallthrough_resolution(self):
+        fb = FunctionBuilder("f")
+        fb.block("a").alu(1)
+        fb.block("b").alu(1)
+        fn = fb.build()
+        assert isinstance(fn.block("a").terminator, Fallthrough)
+        assert fn.block("a").terminator.target == "b"
+        assert isinstance(fn.block("b").terminator, Return)
+
+    def test_duplicate_labels_rejected(self):
+        fb = FunctionBuilder("f")
+        fb.block("a")
+        fb.block("a")
+        with pytest.raises(ValueError):
+            fb.build()
+
+    def test_unknown_target_rejected(self):
+        fb = FunctionBuilder("f")
+        fb.block("a")
+        fb.jump("nowhere")
+        with pytest.raises(ValueError):
+            fb.build()
+
+    def test_auto_labels_are_unique(self):
+        fb = FunctionBuilder("f")
+        b1 = fb.block()
+        b2 = fb.block()
+        assert b1.label != b2.label
+
+    def test_origin_stamped(self):
+        fb = FunctionBuilder("myfn")
+        fb.block("a")
+        fn = fb.build()
+        assert fn.block("a").origin == "myfn"
+
+    def test_mix_interleaves_memory_and_alu(self):
+        fb = FunctionBuilder("f")
+        fb.block("a").mix(alu=2, loads=2, region="s")
+        fn = fb.build()
+        ops = [i.op for i in fn.block("a").instructions]
+        assert ops == [Op.LOAD, Op.ALU, Op.LOAD, Op.ALU]
+
+    def test_entry_is_first_block(self):
+        fb = FunctionBuilder("f")
+        fb.block("first")
+        fb.block("second")
+        assert fb.build().entry == "first"
+
+
+class TestFunction:
+    def _fn(self):
+        fb = FunctionBuilder("f")
+        fb.block("a").alu(2)
+        fb.call("g", "b")
+        fb.block("b").alu(1)
+        fb.ret()
+        return fb.build()
+
+    def test_callees(self):
+        assert self._fn().callees() == ["g"]
+
+    def test_block_lookup_error(self):
+        with pytest.raises(KeyError):
+            self._fn().block("zzz")
+
+    def test_clone_renames_function_not_labels(self):
+        fn = self._fn()
+        copy = fn.clone("f2")
+        assert copy.name == "f2"
+        assert copy.block("a").origin == "f"  # authoring scope preserved
+        # mutating the clone leaves the original alone
+        copy.block("a").instructions.append(Instruction(Op.ALU))
+        assert len(fn.block("a").instructions) == 2
+
+    def test_empty_function_entry_raises(self):
+        with pytest.raises(ValueError):
+            Function(name="empty").entry
+
+
+class TestBasicBlockClone:
+    def test_rename_prefixes_labels_and_targets(self):
+        blk = BasicBlock("x", terminator=Jump("y"))
+        copy = blk.clone(rename="p$")
+        assert copy.label == "p$x"
+        assert copy.terminator.target == "p$y"
+
+    def test_clone_copies_instructions_shallowly(self):
+        blk = BasicBlock("x", instructions=[Instruction(Op.ALU)],
+                         terminator=Return())
+        copy = blk.clone()
+        copy.instructions.append(Instruction(Op.ALU))
+        assert len(blk.instructions) == 1
+
+
+class TestTerminatorTargets:
+    def test_all_kinds(self):
+        assert terminator_targets(Jump("a")) == ("a",)
+        assert terminator_targets(Fallthrough("a")) == ("a",)
+        assert terminator_targets(CondBranch("c", "a", "b")) == ("a", "b")
+        assert terminator_targets(CallStatic("g", "a")) == ("a",)
+        assert terminator_targets(Return()) == ()

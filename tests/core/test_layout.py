@@ -1,0 +1,172 @@
+"""Unit tests for the layout strategies."""
+
+import pytest
+
+from repro.core.ir import FunctionBuilder
+from repro.core.layout import (
+    BCACHE,
+    ICACHE,
+    bipartite_layout,
+    linear_layout,
+    link_order_layout,
+    micro_positioning_layout,
+    pessimal_layout,
+)
+from repro.core.program import Program
+
+
+def make_fn(name, alu=40, library=False):
+    fb = FunctionBuilder(name, saves=1, library=library)
+    fb.block("a").alu(alu)
+    fb.ret()
+    return fb.build()
+
+
+def make_program(n_path=4, n_lib=2, path_alu=60, lib_alu=20):
+    p = Program()
+    for i in range(n_path):
+        p.add(make_fn(f"path{i}", path_alu))
+    for i in range(n_lib):
+        p.add(make_fn(f"lib{i}", lib_alu, library=True))
+    return p
+
+
+class TestLinkOrder:
+    def test_sequential_and_disjoint(self):
+        p = make_program()
+        p.layout(link_order_layout())
+        p.check_no_overlap()
+        ranges = p.occupied_ranges()
+        for (s1, e1, _), (s2, _, _) in zip(ranges, ranges[1:]):
+            assert s2 >= e1
+
+    def test_explicit_order_respected(self):
+        p = make_program(2, 0)
+        p.layout(link_order_layout(["path1", "path0"]))
+        assert p.address_of("path1") < p.address_of("path0")
+
+    def test_unlisted_functions_placed_after(self):
+        p = make_program(3, 0)
+        p.layout(link_order_layout(["path2"]))
+        assert p.address_of("path2") < p.address_of("path0")
+
+    def test_missing_layout_raises(self):
+        p = make_program()
+        with pytest.raises(KeyError):
+            p.address_of("path0")
+
+
+class TestPessimal:
+    def test_hot_functions_share_icache_index(self):
+        p = make_program(6, 0)
+        hot = [f"path{i}" for i in range(6)]
+        p.layout(pessimal_layout(hot))
+        p.check_no_overlap()
+        indexes = {p.address_of(n) % ICACHE for n in hot}
+        assert indexes == {0}
+
+    def test_alias_pairs_share_bcache_index(self):
+        p = make_program(6, 0)
+        hot = [f"path{i}" for i in range(6)]
+        p.layout(pessimal_layout(hot, bcache_alias_pairs=1))
+        a, b = p.address_of("path0"), p.address_of("path1")
+        assert a % BCACHE == b % BCACHE
+        assert a != b
+
+    def test_non_alias_pairs_have_distinct_bcache_index(self):
+        p = make_program(6, 0)
+        hot = [f"path{i}" for i in range(6)]
+        p.layout(pessimal_layout(hot, bcache_alias_pairs=1))
+        a, b = p.address_of("path4"), p.address_of("path5")
+        assert a % ICACHE == b % ICACHE
+        assert a % BCACHE != b % BCACHE
+
+
+class TestBipartite:
+    def test_library_packed_at_base(self):
+        p = make_program()
+        p.layout(bipartite_layout(
+            [f"path{i}" for i in range(4)], ["lib0", "lib1"]))
+        p.check_no_overlap()
+        assert p.address_of("lib0") == p.text_base
+
+    def test_path_functions_avoid_library_indexes(self):
+        p = make_program(n_path=30, n_lib=2, path_alu=120)
+        path = [f"path{i}" for i in range(30)]
+        p.layout(bipartite_layout(path, ["lib0", "lib1"]))
+        p.check_no_overlap()
+        lib_span = 0
+        for lib in ("lib0", "lib1"):
+            end = p.address_of(lib) + p.size_of(lib) - p.text_base
+            lib_span = max(lib_span, end)
+        for name in path:
+            base_index = (p.address_of(name) - p.text_base) % ICACHE
+            end_index = base_index + p.size_of(name)
+            assert base_index >= lib_span, name
+            assert end_index <= ICACHE, name
+
+    def test_path_functions_in_order(self):
+        p = make_program()
+        path = [f"path{i}" for i in range(4)]
+        p.layout(bipartite_layout(path, ["lib0", "lib1"]))
+        addrs = [p.address_of(n) for n in path]
+        assert addrs == sorted(addrs)
+
+    def test_oversized_function_placed_anyway(self):
+        p = Program()
+        p.add(make_fn("lib0", 30, library=True))
+        p.add(make_fn("huge", 4000))  # ~16 KB, larger than the partition
+        p.layout(bipartite_layout(["huge"], ["lib0"]))
+        p.check_no_overlap()
+        assert p.address_of("huge") > p.address_of("lib0")
+
+    def test_oversized_library_rejected(self):
+        p = Program()
+        p.add(make_fn("lib0", 3000, library=True))  # ~12 KB > i-cache
+        with pytest.raises(ValueError):
+            p.layout(bipartite_layout([], ["lib0"]))
+
+
+class TestLinear:
+    def test_is_invocation_order_packing(self):
+        p = make_program(3, 0)
+        p.layout(linear_layout(["path2", "path0", "path1"]))
+        assert (
+            p.address_of("path2") < p.address_of("path0") < p.address_of("path1")
+        )
+
+
+class TestMicroPositioning:
+    def _alternating_trace(self, p, names, rounds=3):
+        trace = []
+        for _ in range(rounds):
+            for name in names:
+                blocks = (p.size_of(name) + 31) // 32
+                trace.extend((name, i) for i in range(blocks))
+        return trace
+
+    def test_places_all_functions_disjointly(self):
+        p = make_program(4, 0)
+        names = [f"path{i}" for i in range(4)]
+        trace = self._alternating_trace(p, names)
+        p.layout(micro_positioning_layout(trace))
+        p.check_no_overlap()
+
+    def test_avoids_conflicts_that_pessimal_creates(self):
+        """Two alternating functions that would thrash if aliased should be
+        given non-overlapping index ranges."""
+        p = make_program(2, 0, path_alu=100)
+        names = ["path0", "path1"]
+        trace = self._alternating_trace(p, names, rounds=4)
+        p.layout(micro_positioning_layout(trace))
+        i0 = (p.address_of("path0") - p.text_base) % ICACHE
+        i1 = (p.address_of("path1") - p.text_base) % ICACHE
+        s0, s1 = p.size_of("path0"), p.size_of("path1")
+        assert i0 + s0 <= i1 or i1 + s1 <= i0
+
+    def test_functions_not_in_trace_still_placed(self):
+        p = make_program(3, 1)
+        trace = self._alternating_trace(p, ["path0"])
+        p.layout(micro_positioning_layout(trace))
+        p.check_no_overlap()
+        assert p.address_of("lib0") > 0

@@ -1,0 +1,147 @@
+"""Unit tests for the analysis metrics (Table 9 / Figure 2 machinery)."""
+
+import pytest
+
+from repro.arch.isa import Op, TraceEntry
+from repro.core.ir import FunctionBuilder
+from repro.core.layout import link_order_layout
+from repro.core.metrics import (
+    BlockUtilization,
+    block_utilization,
+    conflict_pairs,
+    icache_footprint,
+    mainline_and_outlined_size,
+    static_path_size,
+    trace_block_touches,
+)
+from repro.core.outline import outline_program
+from repro.core.program import Program
+from repro.core.walker import EnterEvent, ExitEvent, Walker
+
+
+def fetch(pc):
+    return TraceEntry(pc=pc, op=Op.ALU)
+
+
+class TestBlockUtilization:
+    def test_full_block_is_fully_used(self):
+        trace = [fetch(4 * i) for i in range(8)]
+        util = block_utilization(trace)
+        assert util.fetched_blocks == 1
+        assert util.unused_slots == 0
+        assert util.unused_fraction == 0.0
+
+    def test_half_used_block(self):
+        trace = [fetch(4 * i) for i in range(4)]
+        util = block_utilization(trace)
+        assert util.unused_slots == 4
+        assert util.unused_fraction == pytest.approx(0.5)
+
+    def test_repeated_execution_counts_once(self):
+        trace = [fetch(0), fetch(0), fetch(4)]
+        util = block_utilization(trace)
+        assert util.used_slots == 2
+
+    def test_empty_trace(self):
+        util = block_utilization([])
+        assert util.unused_fraction == 0.0
+        assert util.unused_per_block == 0.0
+
+    def test_unused_per_block(self):
+        trace = [fetch(0), fetch(32)]  # two blocks, one slot each
+        util = block_utilization(trace)
+        assert util.unused_per_block == pytest.approx(7.0)
+
+
+def outlined_program():
+    p = Program()
+    fb = FunctionBuilder("f", saves=1)
+    fb.block("a").alu(4)
+    fb.branch("bad", "err", "ok", predict=False)
+    fb.block("err").alu(10)
+    fb.jump("ok")
+    fb.block("ok").alu(4)
+    fb.ret()
+    p.add(fb.build())
+    return p
+
+
+class TestStaticSizes:
+    def test_static_path_size_sums_functions(self):
+        p = outlined_program()
+        size = static_path_size(p, ["f"])
+        assert size == p.materialized("f").size
+
+    def test_mainline_outlined_split(self):
+        p = outlined_program()
+        before_main, before_out = mainline_and_outlined_size(p, ["f"])
+        assert before_out == 0
+        outline_program(p)
+        after_main, after_out = mainline_and_outlined_size(p, ["f"])
+        assert after_out >= 10
+        assert after_main < before_main
+
+    def test_split_total_conserved_modulo_branch_shape(self):
+        p = outlined_program()
+        total_before = sum(mainline_and_outlined_size(p, ["f"]))
+        outline_program(p)
+        total_after = sum(mainline_and_outlined_size(p, ["f"]))
+        # outlining may add/remove a jump instruction, nothing more
+        assert abs(total_after - total_before) <= 2
+
+
+class TestFootprint:
+    def _program(self):
+        p = Program()
+        for name in ("a", "b"):
+            fb = FunctionBuilder(name, saves=1)
+            fb.block("m").alu(30)
+            fb.ret()
+            p.add(fb.build())
+        return p
+
+    def test_footprint_rows(self):
+        p = self._program()
+        p.layout(link_order_layout())
+        rows = icache_footprint(p, ["a", "b"])
+        assert rows[0].name == "a"
+        assert rows[0].blocks >= 1
+        assert 0 <= rows[0].first_index < 256
+
+    def test_conflict_pairs_detects_aliasing(self):
+        p = self._program()
+        from repro.core.layout import pessimal_layout
+
+        p.layout(pessimal_layout(["a", "b"], bcache_alias_pairs=0))
+        rows = icache_footprint(p, ["a", "b"])
+        pairs = conflict_pairs(rows)
+        assert pairs and pairs[0][:2] == ("a", "b")
+
+    def test_disjoint_layout_has_at_most_boundary_sharing(self):
+        p = self._program()
+        p.layout(link_order_layout())
+        rows = icache_footprint(p, ["a", "b"])
+        # packed functions may share the single block straddling their
+        # boundary, but no more than that
+        assert all(overlap <= 1 for _, _, overlap in conflict_pairs(rows))
+
+
+class TestTraceBlockTouches:
+    def test_touches_name_functions_and_collapse_duplicates(self):
+        p = outlined_program()
+        p.layout(link_order_layout())
+        res = Walker(p).walk(
+            [EnterEvent("f", conds={"bad": False}), ExitEvent("f")]
+        )
+        touches = trace_block_touches(res.trace, p)
+        assert touches
+        assert all(name == "f" for name, _ in touches)
+        # consecutive duplicates collapsed
+        for t1, t2 in zip(touches, touches[1:]):
+            assert t1 != t2
+
+    def test_unknown_pcs_skipped(self):
+        p = outlined_program()
+        p.layout(link_order_layout())
+        stray = [fetch(0xDEAD0000)]
+        assert trace_block_touches(stray, p) == []

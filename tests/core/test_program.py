@@ -1,0 +1,156 @@
+"""Unit tests for the Program (linker) layer."""
+
+import pytest
+
+from repro.core.ir import FunctionBuilder
+from repro.core.layout import link_order_layout
+from repro.core.program import FUNCTION_ALIGN, Program
+
+
+def make_fn(name, alu=10, *, library=False):
+    fb = FunctionBuilder(name, saves=1, library=library)
+    fb.block("a").alu(alu)
+    fb.ret()
+    return fb.build()
+
+
+class TestRegistry:
+    def test_add_and_lookup(self):
+        p = Program()
+        fn = p.add(make_fn("f"))
+        assert p.function("f") is fn
+        assert "f" in p
+        assert "g" not in p
+
+    def test_duplicate_rejected(self):
+        p = Program()
+        p.add(make_fn("f"))
+        with pytest.raises(ValueError):
+            p.add(make_fn("f"))
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(KeyError):
+            Program().function("ghost")
+
+    def test_library_flag_collected(self):
+        p = Program()
+        p.add(make_fn("lib", library=True))
+        p.add(make_fn("path"))
+        assert p.library_names == {"lib"}
+
+    def test_remove(self):
+        p = Program()
+        p.add(make_fn("f"))
+        p.remove("f")
+        assert "f" not in p
+
+    def test_replace_invalidates_cache(self):
+        p = Program()
+        p.add(make_fn("f", alu=10))
+        size1 = p.size_of("f")
+        p.replace(make_fn("f", alu=50))
+        assert p.size_of("f") > size1
+
+
+class TestGotSlots:
+    def test_slots_are_stable_and_distinct(self):
+        p = Program()
+        a = p.got_offset("x")
+        b = p.got_offset("y")
+        assert a != b
+        assert p.got_offset("x") == a
+
+    def test_slots_are_quadword_spaced(self):
+        p = Program()
+        offsets = [p.got_offset(f"s{i}") for i in range(5)]
+        assert offsets == [0, 8, 16, 24, 32]
+
+
+class TestLayoutBookkeeping:
+    def _program(self):
+        p = Program()
+        p.add(make_fn("a", 20))
+        p.add(make_fn("b", 30))
+        p.layout(link_order_layout())
+        return p
+
+    def test_extent(self):
+        p = self._program()
+        low, high = p.extent()
+        assert low == p.text_base
+        assert high == max(
+            p.address_of(n) + p.size_of(n) for n in ("a", "b")
+        )
+
+    def test_occupied_ranges_sorted(self):
+        p = self._program()
+        ranges = p.occupied_ranges()
+        starts = [s for s, _, _ in ranges]
+        assert starts == sorted(starts)
+
+    def test_incomplete_layout_rejected(self):
+        p = Program()
+        p.add(make_fn("a"))
+        p.add(make_fn("b"))
+        with pytest.raises(ValueError):
+            p.layout(lambda prog: {"a": prog.text_base})
+
+    def test_misaligned_layout_rejected(self):
+        p = Program()
+        p.add(make_fn("a"))
+        with pytest.raises(ValueError):
+            p.layout(lambda prog: {"a": prog.text_base + FUNCTION_ALIGN - 1})
+
+    def test_extent_without_layout_rejected(self):
+        p = Program()
+        p.add(make_fn("a"))
+        with pytest.raises(ValueError):
+            p.extent()
+
+    def test_overlap_detection(self):
+        p = Program()
+        p.add(make_fn("a", 100))
+        p.add(make_fn("b", 100))
+        p.layout(lambda prog: {"a": prog.text_base, "b": prog.text_base + 4})
+        with pytest.raises(ValueError):
+            p.check_no_overlap()
+
+
+class TestHotSize:
+    def test_hot_size_without_cold_blocks_is_full(self):
+        p = Program()
+        p.add(make_fn("f"))
+        assert p.hot_size_of("f") == p.size_of("f")
+
+    def test_hot_size_with_cold_tail(self):
+        fb = FunctionBuilder("f", saves=1)
+        fb.block("hot").alu(20)
+        fb.branch("bad", "cold", "out", predict=False)
+        fb.block("out").alu(2)
+        fb.ret()
+        fb.block("cold", unlikely=True).alu(50)
+        fb.jump("out")
+        fn = fb.build()
+        from repro.core.outline import outline_function
+
+        outline_function(fn)
+        p = Program()
+        p.add(fn)
+        assert p.hot_size_of("f") < p.size_of("f")
+
+
+class TestNearPairs:
+    def test_near_marking_changes_size(self):
+        p = Program()
+        fb = FunctionBuilder("caller", saves=1)
+        fb.block("a").alu(2)
+        fb.call("callee", "b")
+        fb.block("b").alu(1)
+        fb.ret()
+        p.add(fb.build())
+        p.add(make_fn("callee"))
+        far_size = p.size_of("caller")
+        p.mark_near("caller", "callee")
+        assert p.size_of("caller") == far_size - 4  # GOT load dropped
+        assert p.is_near("caller", "callee")
+        assert not p.is_near("callee", "caller")

@@ -1,0 +1,182 @@
+"""Property-based tests on the core compiler/simulator invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.isa import Op, TraceEntry
+from repro.arch.simulator import MachineSimulator
+from repro.core.ir import FunctionBuilder
+from repro.core.layout import bipartite_layout, link_order_layout, pessimal_layout
+from repro.core.outline import outline_function
+from repro.core.program import Program
+from repro.core.walker import EnterEvent, ExitEvent, Walker
+
+
+# --------------------------------------------------------------------------- #
+# random function generators                                                  #
+# --------------------------------------------------------------------------- #
+
+@st.composite
+def branchy_function(draw, name="f"):
+    """A function with a random chain of mainline blocks, each optionally
+    guarded by an annotated error arm."""
+    n_blocks = draw(st.integers(min_value=1, max_value=6))
+    fb = FunctionBuilder(name, saves=draw(st.integers(0, 4)))
+    conds = {}
+    for i in range(n_blocks):
+        label = f"m{i}"
+        fb.block(label).alu(draw(st.integers(1, 12)))
+        has_arm = draw(st.booleans())
+        next_label = f"m{i + 1}" if i + 1 < n_blocks else "end"
+        if has_arm:
+            arm = f"a{i}"
+            fb.branch(f"c{i}", arm, next_label if i + 1 < n_blocks else "end",
+                      predict=False)
+            taken = draw(st.booleans())
+            conds[f"c{i}"] = taken
+            fb.block(arm).alu(draw(st.integers(1, 8)))
+            fb.jump(next_label if i + 1 < n_blocks else "end")
+    fb.block("end").alu(1)
+    fb.ret()
+    return fb.build(), conds
+
+
+def _walk(program, name, conds):
+    walker = Walker(program, {"x": 0x500000})
+    return walker.walk([EnterEvent(name, dict(conds)), ExitEvent(name)])
+
+
+class TestOutliningPreservesSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(branchy_function())
+    def test_same_work_before_and_after(self, fn_conds):
+        """Outlining reorders code; the executed ALU work is invariant."""
+        fn, conds = fn_conds
+        program = Program()
+        program.add(fn)
+        program.layout(link_order_layout())
+        before = _walk(program, "f", conds)
+
+        outline_function(fn)
+        program.invalidate("f")
+        program.layout(link_order_layout())
+        after = _walk(program, "f", conds)
+
+        count = lambda res: sum(1 for t in res.trace if t.op is Op.ALU)
+        assert count(before) == count(after)
+
+    @settings(max_examples=40, deadline=None)
+    @given(branchy_function())
+    def test_outlining_never_slows_the_predicted_path(self, fn_conds):
+        """With every condition at its predicted (False) value, outlining
+        cannot add taken branches to the mainline."""
+        fn, _ = fn_conds
+        all_false = {}
+        program = Program()
+        program.add(fn)
+        program.layout(link_order_layout())
+        before = _walk(program, "f", all_false)
+        outline_function(fn)
+        program.invalidate("f")
+        program.layout(link_order_layout())
+        after = _walk(program, "f", all_false)
+        taken = lambda res: sum(1 for t in res.trace if t.taken)
+        assert taken(after) <= taken(before)
+
+
+class TestLayoutInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=2, max_value=400),
+                    min_size=1, max_size=12))
+    def test_strategies_place_everything_disjointly(self, sizes):
+        program = Program()
+        names = []
+        for i, size in enumerate(sizes):
+            fb = FunctionBuilder(f"fn{i}", saves=1)
+            fb.block("a").alu(size)
+            fb.ret()
+            program.add(fb.build())
+            names.append(f"fn{i}")
+        for strategy in (
+            link_order_layout(),
+            link_order_layout(list(reversed(names))),
+            pessimal_layout(names),
+            bipartite_layout(names, []),
+            bipartite_layout(names[1:], names[:1]),
+        ):
+            program.layout(strategy)
+            program.check_no_overlap()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=2, max_value=100),
+                    min_size=2, max_size=8))
+    def test_layout_does_not_change_trace_length(self, sizes):
+        """Where code sits cannot change what executes."""
+        program = Program()
+        names = []
+        for i, size in enumerate(sizes):
+            fb = FunctionBuilder(f"fn{i}", saves=0)
+            fb.block("a").alu(size)
+            fb.ret()
+            program.add(fb.build())
+            names.append(f"fn{i}")
+        events = []
+        for name in names:
+            events += [EnterEvent(name), ExitEvent(name)]
+
+        lengths = set()
+        for strategy in (link_order_layout(), pessimal_layout(names)):
+            program.layout(strategy)
+            walker = Walker(program)
+            import copy
+
+            lengths.add(walker.walk(copy.deepcopy(events)).length)
+        assert len(lengths) == 1
+
+
+class TestSimulatorInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1023),
+                    min_size=1, max_size=300))
+    def test_misses_never_exceed_accesses(self, block_ids):
+        sim = MachineSimulator()
+        trace = [TraceEntry(pc=0x100000 + 32 * b, op=Op.ALU)
+                 for b in block_ids]
+        result = sim.run(trace)
+        mem = result.memory
+        assert mem.icache.misses <= mem.icache.accesses
+        assert mem.icache.replacement_misses <= mem.icache.misses
+        assert result.cycles >= len(trace) / 2  # dual issue bound
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2047),
+                    min_size=1, max_size=200))
+    def test_rerun_is_never_colder(self, block_ids):
+        """Running the same trace twice: the second pass cannot miss more."""
+        trace = [TraceEntry(pc=0x100000 + 32 * b, op=Op.ALU)
+                 for b in block_ids]
+        sim = MachineSimulator()
+        first = sim.run(list(trace))
+        second = sim.run(list(trace))
+        assert (second.memory.icache.misses
+                <= first.memory.icache.misses)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 400), st.booleans()),
+        min_size=1, max_size=200,
+    ))
+    def test_stall_accounting_consistent(self, accesses):
+        sim = MachineSimulator()
+        trace = []
+        for i, (block, is_store) in enumerate(accesses):
+            daddr = 0x600000 + 32 * block
+            op = Op.STORE if is_store else Op.LOAD
+            trace.append(TraceEntry(pc=0x100000 + 4 * i, op=op,
+                                    daddr=daddr, dwrite=is_store))
+        result = sim.run(trace)
+        assert result.mcpi >= 0
+        assert result.memory.stall_cycles == pytest.approx(
+            result.mcpi * len(trace)
+        )

@@ -1,0 +1,138 @@
+"""Tests for connection-time specialization (the paper's future-work pass)."""
+
+import pytest
+
+from repro.arch.isa import Op
+from repro.core.ir import CondBranch, Fallthrough, FunctionBuilder
+from repro.core.layout import link_order_layout
+from repro.core.program import Program
+from repro.core.specialize import (
+    ESTABLISHED_TCP_CONDS,
+    ConnectionCloneSet,
+    clone_for_connection,
+    partially_evaluate,
+)
+from repro.core.walker import EnterEvent, ExitEvent, Walker
+
+
+def _state_machine_fn(name="f"):
+    fb = FunctionBuilder(name, saves=2)
+    fb.block("check").alu(4).load("tcb", 0, 3)
+    fb.branch("established", "fast", "slow", default=True)
+    fb.block("slow").alu(40).load("tcb", 64, 5)
+    fb.jump("fast")
+    fb.block("fast").alu(6).load("tcb", 16, 4)
+    fb.branch("fin", "teardown", "done", predict=False)
+    fb.block("teardown", unlikely=True).alu(20)
+    fb.jump("done")
+    fb.block("done").alu(3)
+    fb.ret()
+    return fb.build()
+
+
+class TestPartialEvaluation:
+    def test_pinned_branch_folds(self):
+        fn = _state_machine_fn()
+        stats = partially_evaluate(fn, {"established": True, "fin": False})
+        assert stats.branches_folded == 2
+        assert not any(isinstance(b.terminator, CondBranch)
+                       for b in fn.blocks)
+
+    def test_dead_arms_removed(self):
+        fn = _state_machine_fn()
+        stats = partially_evaluate(fn, {"established": True, "fin": False})
+        labels = {b.label for b in fn.blocks}
+        assert "slow" not in labels
+        assert "teardown" not in labels
+        assert stats.blocks_removed == 2
+        assert stats.instructions_removed >= 60
+
+    def test_constant_state_loads_thinned(self):
+        fn = _state_machine_fn()
+        before = sum(1 for b in fn.blocks for i in b.instructions
+                     if i.op is Op.LOAD)
+        stats = partially_evaluate(
+            fn, {"established": True, "fin": False},
+            constant_regions=["tcb"],
+        )
+        after = sum(1 for b in fn.blocks for i in b.instructions
+                    if i.op is Op.LOAD)
+        dead_block_loads = 5  # the removed "slow" arm's loads
+        assert stats.loads_folded > 0
+        assert after == before - stats.loads_folded - dead_block_loads
+
+    def test_unpinned_branches_survive(self):
+        fn = _state_machine_fn()
+        partially_evaluate(fn, {"fin": False})
+        assert any(isinstance(b.terminator, CondBranch)
+                   and b.terminator.cond == "established"
+                   for b in fn.blocks)
+
+    def test_specialized_function_still_walks(self):
+        fn = _state_machine_fn()
+        partially_evaluate(fn, {"established": True, "fin": False})
+        program = Program()
+        program.add(fn)
+        program.layout(link_order_layout())
+        res = Walker(program, {"tcb": 0x700000}).walk(
+            [EnterEvent("f"), ExitEvent("f")]
+        )
+        assert res.length > 0
+
+    def test_specialization_shrinks_dynamic_count(self):
+        plain = _state_machine_fn("plain")
+        special = _state_machine_fn("special")
+        partially_evaluate(
+            special, {"established": True, "fin": False},
+            constant_regions=["tcb"],
+        )
+        program = Program()
+        program.add(plain)
+        program.add(special)
+        program.layout(link_order_layout())
+        walker = Walker(program, {"tcb": 0x700000})
+        conds = {"established": True, "fin": False}
+        n_plain = walker.walk(
+            [EnterEvent("plain", dict(conds)), ExitEvent("plain")]
+        ).length
+        n_special = walker.walk(
+            [EnterEvent("special", dict(conds)), ExitEvent("special")]
+        ).length
+        assert n_special < n_plain
+
+
+class TestConnectionCloning:
+    def _program(self):
+        program = Program()
+        program.add(_state_machine_fn("tcp_in"))
+        program.add(_state_machine_fn("tcp_out"))
+        return program
+
+    def test_clone_per_connection(self):
+        program = self._program()
+        cs = clone_for_connection(program, ["tcp_in", "tcp_out"], 1)
+        assert "tcp_in@conn1" in program.names()
+        assert program.resolve_entry("tcp_in") == "tcp_in@conn1"
+        assert cs.connections == 1
+
+    def test_multiple_connections_multiply_footprint(self):
+        program = self._program()
+        cs = clone_for_connection(program, ["tcp_in"], 1, redirect=False)
+        clone_for_connection(program, ["tcp_in"], 2, clone_set=cs,
+                             redirect=False)
+        program.layout(link_order_layout())
+        assert cs.connections == 2
+        assert cs.footprint_bytes(program) == pytest.approx(
+            2 * program.size_of("tcp_in@conn1"), rel=0.01
+        )
+
+    def test_duplicate_connection_rejected(self):
+        program = self._program()
+        cs = clone_for_connection(program, ["tcp_in"], 7)
+        with pytest.raises(ValueError):
+            clone_for_connection(program, ["tcp_in"], 7, clone_set=cs)
+
+    def test_default_conds_cover_the_steady_state(self):
+        assert ESTABLISHED_TCP_CONDS["established"] is True
+        assert ESTABLISHED_TCP_CONDS["fin"] is False
+        assert ESTABLISHED_TCP_CONDS["fragmented"] is False

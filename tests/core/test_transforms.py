@@ -1,0 +1,360 @@
+"""Unit tests for outlining, inlining, cloning and path-inlining."""
+
+import pytest
+
+from repro.arch.isa import Op
+from repro.core.clone import clone_functions, clone_name, is_clone
+from repro.core.inline import inline_call, should_inline
+from repro.core.ir import (
+    CallStatic,
+    CondBranch,
+    FunctionBuilder,
+    InlineEnter,
+    InlineExit,
+    Jump,
+)
+from repro.core.layout import link_order_layout
+from repro.core.outline import outline_function, outline_program
+from repro.core.pathinline import path_inline
+from repro.core.program import Program
+from repro.core.walker import EnterEvent, ExitEvent, Walker
+
+
+def error_handling_fn(name="f"):
+    """A function shaped like the paper's example: mainline with an
+    annotated error arm sitting between mainline blocks."""
+    fb = FunctionBuilder(name, saves=1)
+    fb.block("check").alu(2)
+    fb.branch("bad_case", "panic", "good_day", predict=False)
+    fb.block("panic").alu(12)
+    fb.jump("good_day")
+    fb.block("good_day").alu(4)
+    fb.ret()
+    return fb.build()
+
+
+class TestOutlining:
+    def test_unlikely_arm_moves_to_end(self):
+        fn = error_handling_fn()
+        stats = outline_function(fn)
+        assert [b.label for b in fn.blocks] == ["check", "good_day", "panic"]
+        assert stats.outlined_blocks == 1
+        assert stats.outlined_instructions == 12
+
+    def test_unannotated_branches_untouched(self):
+        fb = FunctionBuilder("f")
+        fb.block("a").alu(1)
+        fb.branch("c", "b", "d")  # no annotation
+        fb.block("b").alu(1)
+        fb.jump("d")
+        fb.block("d").alu(1)
+        fb.ret()
+        fn = fb.build()
+        stats = outline_function(fn)
+        assert stats.outlined_blocks == 0
+        assert [b.label for b in fn.blocks] == ["a", "b", "d"]
+
+    def test_explicit_unlikely_block_moves(self):
+        fb = FunctionBuilder("f")
+        fb.block("a").alu(1)
+        fb.branch("c", "cold", "hot")  # unannotated branch...
+        fb.block("cold", unlikely=True).alu(5)  # ...but block marked by author
+        fb.jump("hot")
+        fb.block("hot").alu(1)
+        fb.ret()
+        fn = fb.build()
+        stats = outline_function(fn)
+        assert stats.outlined_blocks == 1
+        assert fn.blocks[-1].label == "cold"
+
+    def test_closure_pulls_error_only_successors(self):
+        fb = FunctionBuilder("f")
+        fb.block("a").alu(1)
+        fb.branch("bad", "err1", "ok", predict=False)
+        fb.block("err1").alu(2)
+        fb.goto("err2")
+        fb.block("err2").alu(2)  # reachable only from err1
+        fb.jump("ok")
+        fb.block("ok").alu(1)
+        fb.ret()
+        fn = fb.build()
+        stats = outline_function(fn)
+        assert stats.outlined_blocks == 2
+        assert [b.label for b in fn.blocks] == ["a", "ok", "err1", "err2"]
+
+    def test_block_with_likely_predecessor_stays(self):
+        fb = FunctionBuilder("f")
+        fb.block("a").alu(1)
+        fb.branch("bad", "shared", "mid", predict=False)
+        fb.block("mid").alu(1)
+        fb.goto("shared")  # mainline falls through into "shared"
+        fb.block("shared").alu(3)
+        fb.ret()
+        fn = fb.build()
+        stats = outline_function(fn)
+        assert stats.outlined_blocks == 0
+
+    def test_entry_never_outlined(self):
+        fb = FunctionBuilder("f")
+        fb.block("a", unlikely=True).alu(1)
+        fb.ret()
+        fn = fb.build()
+        assert outline_function(fn).outlined_blocks == 0
+
+    def test_outlining_removes_taken_branch_on_hot_path(self):
+        p = Program()
+        fn = error_handling_fn()
+        p.add(fn)
+        p.layout(link_order_layout())
+        w = Walker(p)
+        before = w.walk([EnterEvent("f", conds={"bad_case": False}), ExitEvent("f")])
+        outline_program(p)
+        p.layout(link_order_layout())
+        after = w.walk([EnterEvent("f", conds={"bad_case": False}), ExitEvent("f")])
+        taken = lambda res: sum(t.taken for t in res.trace)
+        assert taken(after) == taken(before) - 1
+
+    def test_outline_program_covers_all_functions(self):
+        p = Program()
+        p.add(error_handling_fn("f1"))
+        p.add(error_handling_fn("f2"))
+        stats = outline_program(p)
+        assert len(stats) == 2
+        assert all(s.outlined_blocks == 1 for s in stats)
+
+
+class TestShouldInline:
+    def _callee(self, size=50):
+        fb = FunctionBuilder("g", saves=2)
+        fb.block("a").alu(size)
+        fb.ret()
+        return fb.build()
+
+    def test_single_call_site(self):
+        d = should_inline(self._callee(), call_sites=1, callee_size=100)
+        assert d.inline and d.criterion == 1
+
+    def test_tiny_callee(self):
+        d = should_inline(self._callee(4), call_sites=5, callee_size=6)
+        assert d.inline and d.criterion == 2
+
+    def test_call_site_simplification(self):
+        d = should_inline(
+            self._callee(), call_sites=5, callee_size=90, simplified_size=12
+        )
+        assert d.inline and d.criterion == 3
+
+    def test_amortized_hot_code(self):
+        d = should_inline(
+            self._callee(), call_sites=5, callee_size=600, activations_per_path=8
+        )
+        assert d.inline and d.criterion == 4
+
+    def test_rejects_ordinary_multi_site_function(self):
+        d = should_inline(self._callee(), call_sites=3, callee_size=120)
+        assert not d.inline
+
+
+class TestInlineCall:
+    def _pair(self):
+        p = Program()
+        gb = FunctionBuilder("g", saves=1)
+        gb.block("inner").alu(6)
+        gb.ret()
+        p.add(gb.build())
+        fb = FunctionBuilder("f", saves=1)
+        fb.block("pre").alu(2)
+        fb.call("g", "post")
+        fb.block("post").alu(2)
+        fb.ret()
+        p.add(fb.build())
+        return p
+
+    def test_inline_splices_body(self):
+        p = self._pair()
+        inline_call(p, "f", "pre")
+        f = p.function("f")
+        assert not any(isinstance(b.terminator, CallStatic) for b in f.blocks)
+        labels = [b.label for b in f.blocks]
+        assert any("$g$" in label for label in labels)
+
+    def test_inline_is_smaller_than_call(self):
+        p = self._pair()
+        size_before = p.materialized("f").size + p.materialized("g").size
+        inline_call(p, "f", "pre")
+        # caller alone now contains everything, minus call + pro/epilogue
+        assert p.materialized("f").size < size_before
+
+    def test_inline_preserves_trace_semantics(self):
+        p = self._pair()
+        p.layout(link_order_layout())
+        before = Walker(p).walk([EnterEvent("f"), ExitEvent("f")])
+        inline_call(p, "f", "pre")
+        p.layout(link_order_layout())
+        after = Walker(p).walk([EnterEvent("f"), ExitEvent("f")])
+        alu = lambda res: sum(t.op is Op.ALU for t in res.trace)
+        assert alu(before) == alu(after)
+        assert after.length < before.length  # overhead gone
+
+    def test_simplify_drops_alu_work(self):
+        p1, p2 = self._pair(), self._pair()
+        inline_call(p1, "f", "pre", simplify=0.0)
+        inline_call(p2, "f", "pre", simplify=0.5)
+        assert p2.materialized("f").size < p1.materialized("f").size
+
+    def test_non_call_site_rejected(self):
+        p = self._pair()
+        with pytest.raises(ValueError):
+            inline_call(p, "f", "post")
+
+
+class TestCloning:
+    def _program(self):
+        p = Program()
+        gb = FunctionBuilder("lib", saves=1, library=True)
+        gb.block("a").alu(3)
+        gb.ret()
+        p.add(gb.build())
+        fb = FunctionBuilder("path_a", saves=1)
+        fb.block("a").alu(2)
+        fb.call("lib", "b")
+        fb.block("b").alu(1)
+        fb.call("path_b", "c")
+        fb.block("c").alu(1)
+        fb.ret()
+        p.add(fb.build())
+        hb = FunctionBuilder("path_b", saves=1)
+        hb.block("a").alu(2)
+        hb.ret()
+        p.add(hb.build())
+        return p
+
+    def test_clones_added_and_aliased(self):
+        p = self._program()
+        stats = clone_functions(p, ["path_a", "path_b"])
+        assert clone_name("path_a") in p.names()
+        assert p.resolve_entry("path_a") == clone_name("path_a")
+        assert sorted(stats.cloned) == sorted(
+            [clone_name("path_a"), clone_name("path_b")]
+        )
+
+    def test_clone_to_clone_calls_retargeted(self):
+        p = self._program()
+        clone_functions(p, ["path_a", "path_b"])
+        clone = p.function(clone_name("path_a"))
+        callees = clone.callees()
+        assert clone_name("path_b") in callees
+        assert "lib" in callees  # library not cloned
+
+    def test_specialized_clone_is_smaller(self):
+        p = self._program()
+        clone_functions(p, ["path_b"])
+        assert p.materialized(clone_name("path_b")).size < p.materialized("path_b").size
+
+    def test_clone_calls_are_near(self):
+        p = self._program()
+        clone_functions(p, ["path_a", "path_b"])
+        assert p.is_near(clone_name("path_a"), clone_name("path_b"))
+        assert p.is_near(clone_name("path_a"), "lib")
+
+    def test_no_specialize_keeps_far_calls(self):
+        p = self._program()
+        clone_functions(p, ["path_a", "path_b"], specialize=False)
+        assert not p.is_near(clone_name("path_a"), clone_name("path_b"))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(KeyError):
+            clone_functions(self._program(), ["ghost"])
+
+    def test_is_clone_predicate(self):
+        assert is_clone(clone_name("x"))
+        assert not is_clone("x")
+
+    def test_walker_follows_alias(self):
+        p = self._program()
+        clone_functions(p, ["path_a", "path_b"])
+        p.layout(link_order_layout())
+        res = Walker(p).walk([EnterEvent("path_a"), ExitEvent("path_a")])
+        base = p.address_of(clone_name("path_a"))
+        assert res.trace[0].pc == base
+
+
+class TestPathInline:
+    def _layered(self):
+        """down-call chain: bottom dispatches dynamically to mid, mid to top."""
+        p = Program()
+        for name, nxt in (("bottom", "mid"), ("mid", "top"), ("top", None)):
+            fb = FunctionBuilder(name, saves=1)
+            fb.block("work").alu(3)
+            if nxt:
+                fb.call_dynamic("up", "done")
+                fb.block("done").alu(2)
+            fb.ret()
+            p.add(fb.build())
+        return p
+
+    def _events(self):
+        return [
+            EnterEvent("bottom"),
+            EnterEvent("mid"),
+            EnterEvent("top"),
+            ExitEvent("top"),
+            ExitEvent("mid"),
+            ExitEvent("bottom"),
+        ]
+
+    def test_merged_function_created(self):
+        p = self._layered()
+        stats = path_inline(p, "merged", ["bottom", "mid", "top"])
+        assert "merged" in p.names()
+        assert p.resolve_entry("bottom") == "merged"
+        assert stats.call_overhead_removed > 0
+
+    def test_markers_replace_dispatch(self):
+        p = self._layered()
+        path_inline(p, "merged", ["bottom", "mid", "top"])
+        merged = p.function("merged")
+        enters = [b for b in merged.blocks if isinstance(b.terminator, InlineEnter)]
+        exits = [b for b in merged.blocks if isinstance(b.terminator, InlineExit)]
+        assert len(enters) == 2
+        assert len(exits) == 2
+
+    def test_walk_consumes_same_event_stream(self):
+        p = self._layered()
+        p.layout(link_order_layout())
+        before = Walker(p).walk(self._events())
+        path_inline(p, "merged", ["bottom", "mid", "top"], simplify_per_join=0)
+        p.layout(link_order_layout())
+        after = Walker(p).walk(self._events())
+        alu = lambda res: sum(t.op is Op.ALU for t in res.trace)
+        assert alu(after) == alu(before)
+        assert after.length < before.length
+        # no dynamic dispatch remains on the merged path
+        assert sum(t.op is Op.JSR for t in after.trace) == 0
+
+    def test_originals_preserved(self):
+        p = self._layered()
+        path_inline(p, "merged", ["bottom", "mid", "top"])
+        assert "bottom" in p.names()
+        assert "mid" in p.names()
+
+    def test_library_member_rejected(self):
+        p = self._layered()
+        p.function("mid").library = True
+        with pytest.raises(ValueError):
+            path_inline(p, "merged", ["bottom", "mid", "top"])
+
+    def test_member_without_dispatch_rejected(self):
+        p = self._layered()
+        with pytest.raises(ValueError):
+            path_inline(p, "merged", ["top", "mid"])
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            path_inline(self._layered(), "merged", [])
+
+    def test_simplification_reduces_size(self):
+        p1, p2 = self._layered(), self._layered()
+        path_inline(p1, "m", ["bottom", "mid", "top"], simplify_per_join=0)
+        path_inline(p2, "m", ["bottom", "mid", "top"], simplify_per_join=3)
+        assert p2.materialized("m").size < p1.materialized("m").size

@@ -1,0 +1,120 @@
+"""Walker failure modes: the classifier role of event validation.
+
+When a packet would NOT follow the path a path-inlined build assumed, the
+walker refuses to fabricate a trace — exactly the job the paper assigns to
+the run-time packet classifier.
+"""
+
+import pytest
+
+from repro.core.ir import FunctionBuilder
+from repro.core.layout import link_order_layout
+from repro.core.pathinline import path_inline
+from repro.core.program import Program
+from repro.core.walker import EnterEvent, ExitEvent, Walker, WalkError
+
+
+def _chain_program():
+    p = Program()
+    for name, has_up in (("bottom", True), ("mid", True), ("top", False)):
+        fb = FunctionBuilder(name, saves=1)
+        fb.block("work").alu(3)
+        if has_up:
+            fb.call_dynamic("up", "done")
+            fb.block("done").alu(1)
+        fb.ret()
+        p.add(fb.build())
+    return p
+
+
+GOOD_EVENTS = [
+    EnterEvent("bottom"), EnterEvent("mid"), EnterEvent("top"),
+    ExitEvent("top"), ExitEvent("mid"), ExitEvent("bottom"),
+]
+
+
+class TestPathAssumptionViolations:
+    def _pin(self):
+        p = _chain_program()
+        path_inline(p, "merged", ["bottom", "mid", "top"])
+        p.layout(link_order_layout())
+        return p
+
+    def test_expected_path_walks(self):
+        p = self._pin()
+        res = Walker(p).walk([e.__class__(**e.__dict__) for e in GOOD_EVENTS])
+        assert res.length > 0
+
+    def test_wrong_next_layer_rejected(self):
+        """A packet dispatching to an unexpected protocol mid-path."""
+        p = self._pin()
+        events = [
+            EnterEvent("bottom"), EnterEvent("top"),  # skipped "mid"!
+            ExitEvent("top"), ExitEvent("bottom"),
+        ]
+        with pytest.raises(WalkError):
+            Walker(p).walk(events)
+
+    def test_truncated_stream_rejected(self):
+        p = self._pin()
+        with pytest.raises(WalkError):
+            Walker(p).walk([EnterEvent("bottom"), EnterEvent("mid")])
+
+    def test_unbalanced_exit_rejected(self):
+        p = self._pin()
+        events = [
+            EnterEvent("bottom"), EnterEvent("mid"), EnterEvent("top"),
+            ExitEvent("mid"),  # wrong unwind order
+        ]
+        with pytest.raises(WalkError):
+            Walker(p).walk(events)
+
+
+class TestGeneralWalkErrors:
+    def test_unknown_function_rejected(self):
+        p = _chain_program()
+        p.layout(link_order_layout())
+        with pytest.raises(KeyError):
+            Walker(p).walk([EnterEvent("ghost"), ExitEvent("ghost")])
+
+    def test_walk_without_layout_rejected(self):
+        p = _chain_program()
+        with pytest.raises(KeyError):
+            Walker(p).walk([EnterEvent("top"), ExitEvent("top")])
+
+    def test_exhausted_cond_list_rejected(self):
+        fb = FunctionBuilder("f", saves=0)
+        fb.block("a").alu(1)
+        fb.branch("c", "b", "b2")
+        fb.block("b").alu(1)
+        fb.block("b2").alu(1)
+        fb.ret()
+        p = Program()
+        p.add(fb.build())
+        p.layout(link_order_layout())
+        with pytest.raises(WalkError):
+            Walker(p).walk([
+                EnterEvent("f", conds={"c": []}),  # list with no values
+                ExitEvent("f"),
+            ])
+
+    def test_alias_cycle_detected(self):
+        p = _chain_program()
+        p.alias_entry("a", "b")
+        p.alias_entry("b", "a")
+        with pytest.raises(ValueError):
+            p.resolve_entry("a")
+
+    def test_runaway_loop_capped(self):
+        from repro.core import walker as walker_mod
+
+        fb = FunctionBuilder("spin", saves=0, leaf=True)
+        fb.block("loop").alu(1)
+        fb.branch("again", "loop", "out", default=True)  # loops forever
+        fb.block("out").alu(1)
+        fb.ret()
+        p = Program()
+        p.add(fb.build())
+        p.layout(link_order_layout())
+        with pytest.raises(WalkError):
+            Walker(p).walk([EnterEvent("spin"), ExitEvent("spin")])

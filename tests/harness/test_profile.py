@@ -1,0 +1,72 @@
+"""Unit tests for the per-function profiler."""
+
+import pytest
+
+from repro.core.ir import FunctionBuilder
+from repro.core.layout import link_order_layout
+from repro.core.program import Program
+from repro.core.walker import EnterEvent, ExitEvent, Walker
+from repro.harness.profile import FunctionProfile, profile_trace
+
+
+def _program():
+    p = Program()
+    for name, alu in (("hot", 120), ("cold", 12)):
+        fb = FunctionBuilder(name, saves=1)
+        fb.block("a").alu(alu)
+        fb.ret()
+        p.add(fb.build())
+    p.layout(link_order_layout())
+    return p
+
+
+def _trace(p):
+    events = [EnterEvent("hot"), ExitEvent("hot"),
+              EnterEvent("cold"), ExitEvent("cold")]
+    return Walker(p).walk(events).trace
+
+
+class TestProfiler:
+    def test_instruction_attribution_is_complete(self):
+        p = _program()
+        trace = _trace(p)
+        report = profile_trace(trace, p)
+        assert report.unattributed_instructions == 0
+        assert (report.functions["hot"].instructions
+                + report.functions["cold"].instructions) == len(trace)
+
+    def test_bigger_function_gets_more_instructions(self):
+        p = _program()
+        report = profile_trace(_trace(p), p)
+        assert (report.functions["hot"].instructions
+                > report.functions["cold"].instructions)
+
+    def test_top_orders_by_stalls(self):
+        report = profile_trace(_trace(_p := _program()), _p)
+        top = report.top(2)
+        assert top[0].stall_cycles >= top[1].stall_cycles
+
+    def test_render_contains_functions(self):
+        p = _program()
+        text = profile_trace(_trace(p), p).render()
+        assert "hot" in text and "cold" in text
+
+    def test_unknown_addresses_counted(self):
+        from repro.arch.isa import Op, TraceEntry
+
+        p = _program()
+        stray = [TraceEntry(pc=0xDEAD0000, op=Op.ALU)]
+        report = profile_trace(stray, p)
+        assert report.unattributed_instructions == 1
+
+    def test_mcpi_property(self):
+        prof = FunctionProfile("f", instructions=100, stall_cycles=250)
+        assert prof.mcpi == pytest.approx(2.5)
+        assert FunctionProfile("g").mcpi == 0.0
+
+    def test_warm_cache_profile_has_no_cold_misses(self):
+        p = _program()
+        trace = _trace(p)
+        report = profile_trace(trace, p, warmup_rounds=3)
+        # 530 bytes of code fit the i-cache: zero misses when warm
+        assert all(f.icache_misses == 0 for f in report.functions.values())

@@ -1,0 +1,103 @@
+"""Tests for the table renderers and the paper-constant module."""
+
+import pytest
+
+from repro.harness import paper
+from repro.harness.reporting import (
+    render_icache_footprint,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table9,
+)
+
+
+class TestPaperConstants:
+    def test_table1_totals_consistent(self):
+        assert sum(paper.TABLE1_SAVINGS.values()) == paper.TABLE1_TOTAL
+
+    def test_table4_orderings(self):
+        for table in (paper.TABLE4_TCPIP, paper.TABLE4_RPC):
+            values = [table[c][0] for c in
+                      ("BAD", "STD", "OUT", "CLO", "PIN", "ALL")]
+            assert values == sorted(values, reverse=True)
+
+    def test_table5_is_table4_minus_controller(self):
+        for t4, t5 in ((paper.TABLE4_TCPIP, paper.TABLE5_TCPIP),
+                       (paper.TABLE4_RPC, paper.TABLE5_RPC)):
+            for config in t5:
+                assert t5[config] == pytest.approx(t4[config][0] - 210.0,
+                                                   abs=0.11)
+
+    def test_table6_misses_not_exceeding_accesses(self):
+        for table in (paper.TABLE6_TCPIP, paper.TABLE6_RPC):
+            for config, caches in table.items():
+                for miss, acc, repl in caches:
+                    assert repl <= miss <= acc, config
+
+    def test_headline_mcpi_ratios(self):
+        t = paper.TABLE7_TCPIP
+        assert t["BAD"]["mcpi"] / t["ALL"]["mcpi"] == pytest.approx(
+            paper.MCPI_WORST_BEST_RATIO["tcpip"], rel=0.01
+        )
+        r = paper.TABLE7_RPC
+        assert r["BAD"]["mcpi"] / r["ALL"]["mcpi"] == pytest.approx(
+            paper.MCPI_WORST_BEST_RATIO["rpc"], rel=0.01
+        )
+
+    def test_outlined_fraction_matches_table9(self):
+        for stack in ("tcpip", "rpc"):
+            t = paper.TABLE9[stack]
+            fraction = 1 - t["size_with"] / t["size_without"]
+            assert fraction == pytest.approx(
+                paper.OUTLINED_FRACTION[stack], abs=0.01
+            )
+
+    def test_controller_arithmetic(self):
+        assert paper.LANCE_HANDOFF_US - paper.MIN_FRAME_US == pytest.approx(
+            paper.LANCE_OVERHEAD_US, abs=0.5
+        )
+
+
+class TestRenderers:
+    def test_table1_renders_all_rows(self):
+        text = render_table1(dict.fromkeys(paper.TABLE1_SAVINGS, 100), 700)
+        for label in paper.TABLE1_LABELS.values():
+            assert label in text
+        assert "700" in text
+
+    def test_table2_renders(self):
+        measured = {
+            "original": {"rtt_us": 380.0, "instructions": 5700,
+                         "cycles": 15000, "cpi": 2.6},
+            "improved": {"rtt_us": 351.0, "instructions": 4600,
+                         "cycles": 12000, "cpi": 2.6},
+        }
+        text = render_table2(measured)
+        assert "Roundtrip latency" in text
+        assert "351.0" in text
+
+    def test_table3_renders_missing_cells_as_dash(self):
+        text = render_table3({"ipintr": None, "tcp_input": None,
+                              "ip_to_tcp": 440, "tcp_to_user": 1000})
+        assert " - " in text or " -" in text
+        assert "440" in text
+
+    def test_table9_renders(self):
+        measured = {
+            "tcpip": {"unused_without": 0.17, "size_without": 7600,
+                      "unused_with": 0.11, "size_with": 4500},
+            "rpc": {"unused_without": 0.15, "size_without": 6400,
+                    "unused_with": 0.12, "size_with": 4300},
+        }
+        text = render_table9(measured)
+        assert "tcpip" in text and "rpc" in text
+
+    def test_footprint_renderer(self):
+        from repro.core.metrics import FootprintRow
+
+        rows = [FootprintRow(name="f", base=0x100000, size_bytes=320,
+                             first_index=4, blocks=10)]
+        text = render_icache_footprint(rows)
+        assert "f" in text
+        assert "#" in text

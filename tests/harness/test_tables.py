@@ -1,0 +1,78 @@
+"""Tests for the table-computation layer (fast variants of the benches)."""
+
+import pytest
+
+from repro.harness.tables import (
+    TABLE8_TRANSITIONS,
+    compute_table1,
+    compute_table3,
+    compute_table8,
+    compute_table9,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_sweep():
+    from repro.harness.experiment import run_all_configs
+
+    return run_all_configs("tcpip", samples=1)
+
+
+class TestTable1:
+    def test_all_flags_measured(self):
+        savings, total = compute_table1()
+        from repro.protocols.options import Section2Options
+
+        assert set(savings) == set(Section2Options.TABLE1_FLAGS)
+        assert all(v > 0 for v in savings.values())
+        # toggles compose: the sum of individual savings approximates the
+        # original->improved delta (small interactions allowed)
+        assert total == pytest.approx(sum(savings.values()), rel=0.1)
+
+
+class TestTable3:
+    def test_regions_are_ordered_subsets_of_the_trace(self):
+        measured = compute_table3()
+        assert measured["ip_to_tcp"] > 0
+        assert measured["tcp_to_user"] > measured["ip_to_tcp"]
+
+    def test_function_local_counts_declined(self):
+        measured = compute_table3()
+        assert measured["ipintr"] is None
+        assert measured["tcp_input"] is None
+
+
+class TestTable8:
+    def test_all_transitions_present(self, mini_sweep):
+        rows = compute_table8(mini_sweep)
+        assert set(rows) == set(TABLE8_TRANSITIONS)
+        for row in rows.values():
+            assert set(row) == {"i_pct", "d_te", "d_tp", "d_nb", "d_nm"}
+
+    def test_bad_to_clo_dominates(self, mini_sweep):
+        rows = compute_table8(mini_sweep)
+        big = rows[("BAD", "CLO")]
+        for key in (("STD", "OUT"), ("OUT", "CLO")):
+            assert big["d_te"] > rows[key]["d_te"]
+            assert big["d_tp"] > rows[key]["d_tp"]
+
+
+class TestTable9:
+    def test_both_stacks_measured(self):
+        measured = compute_table9()
+        for stack in ("tcpip", "rpc"):
+            m = measured[stack]
+            assert 0 < m["unused_with"] < m["unused_without"] < 0.5
+            assert m["size_with"] < m["size_without"]
+
+
+class TestSweepAggregates:
+    def test_all_configs_present(self, mini_sweep):
+        assert set(mini_sweep) == {"BAD", "STD", "OUT", "CLO", "PIN", "ALL"}
+
+    def test_each_result_is_complete(self, mini_sweep):
+        for config, result in mini_sweep.items():
+            assert result.samples, config
+            s = result.samples[0]
+            assert s.cold.instructions == s.trace_length
+            assert s.roundtrip_us > 200.0  # at least the controller share

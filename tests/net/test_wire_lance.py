@@ -1,0 +1,170 @@
+"""Unit tests for the wire and LANCE adaptor models."""
+
+import pytest
+
+from repro.net.lance import (
+    DescriptorUpdateMode,
+    LanceAdaptor,
+    LanceTiming,
+    STATUS_OWN,
+)
+from repro.net.wire import EthernetWire, Frame, WireError, WireTiming
+from repro.xkernel.event import EventManager
+from repro.xkernel.protocol import ProtocolStack
+
+MAC_A = bytes.fromhex("08002b000001")
+MAC_B = bytes.fromhex("08002b000002")
+
+
+class TestWireTiming:
+    def test_minimum_frame_is_57_6_us(self):
+        t = WireTiming()
+        assert t.transmission_us(64) == pytest.approx(57.6)
+
+    def test_short_frames_padded(self):
+        t = WireTiming()
+        assert t.transmission_us(20) == t.transmission_us(64)
+
+    def test_large_frame_scales(self):
+        t = WireTiming()
+        assert t.transmission_us(1518) == pytest.approx((1518 + 8) * 0.8)
+
+
+class TestFrame:
+    def test_serialize_parse_roundtrip(self):
+        f = Frame(MAC_A, MAC_B, 0x0800, b"data")
+        assert Frame.parse(f.serialize()) == f
+
+    def test_wire_bytes_has_minimum(self):
+        f = Frame(MAC_A, MAC_B, 0x0800, b"x")
+        assert f.wire_bytes == 64
+
+    def test_bad_mac_rejected(self):
+        with pytest.raises(WireError):
+            Frame(b"xx", MAC_B, 0x0800, b"")
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(WireError):
+            Frame(MAC_A, MAC_B, 0x0800, bytes(1600))
+
+
+class TestEthernetWire:
+    def _wire(self):
+        events = EventManager()
+        return events, EthernetWire(events)
+
+    def test_delivers_to_destination(self):
+        events, wire = self._wire()
+        got = []
+        wire.attach(MAC_A, got.append)
+        wire.attach(MAC_B, lambda f: pytest.fail("wrong station"))
+        wire.transmit(Frame(MAC_A, MAC_B, 0x0800, b"hi"))
+        events.advance(1000)
+        assert len(got) == 1
+        assert got[0].payload == b"hi"
+
+    def test_delivery_is_delayed_by_transmission_time(self):
+        events, wire = self._wire()
+        arrival = []
+        wire.attach(MAC_A, lambda f: arrival.append(events.now_us))
+        wire.transmit(Frame(MAC_A, MAC_B, 0x0800, b""))
+        events.advance(1000)
+        assert arrival[0] >= 57.6
+
+    def test_broadcast_reaches_all_but_sender(self):
+        events, wire = self._wire()
+        got = []
+        wire.attach(MAC_A, lambda f: got.append("a"))
+        wire.attach(MAC_B, lambda f: got.append("b"))
+        wire.transmit(Frame(EthernetWire.BROADCAST, MAC_B, 0x0806, b""))
+        events.advance(1000)
+        assert got == ["a"]
+
+    def test_unknown_destination_dropped(self):
+        events, wire = self._wire()
+        wire.transmit(Frame(MAC_A, MAC_B, 0x0800, b""))
+        events.advance(1000)
+        assert wire.drops == 1
+
+    def test_duplicate_attach_rejected(self):
+        _, wire = self._wire()
+        wire.attach(MAC_A, lambda f: None)
+        with pytest.raises(WireError):
+            wire.attach(MAC_A, lambda f: None)
+
+
+def make_pair(mode=DescriptorUpdateMode.USC_DIRECT):
+    events = EventManager()
+    wire = EthernetWire(events)
+    stack_a = ProtocolStack("a", events=events)
+    stack_b = ProtocolStack("b", events=events)
+    la = LanceAdaptor(stack_a, wire, MAC_A, mode=mode)
+    lb = LanceAdaptor(stack_b, wire, MAC_B, mode=mode)
+    return events, la, lb
+
+
+class TestLanceAdaptor:
+    def test_frame_reaches_peer_rx_handler(self):
+        events, la, lb = make_pair()
+        got = []
+        lb.rx_handler = got.append
+        la.rx_handler = lambda f: None
+        la.transmit(Frame(MAC_B, MAC_A, 0x0800, b"ping"))
+        events.advance(1000)
+        assert len(got) == 1
+        assert got[0].payload == b"ping"
+
+    def test_one_way_latency_matches_paper(self):
+        """Handoff -> rx interrupt should be ~105 µs for a minimum frame."""
+        events, la, lb = make_pair()
+        seen = []
+        lb.rx_handler = lambda f: seen.append(events.now_us)
+        la.transmit(Frame(MAC_B, MAC_A, 0x0800, b""))
+        events.advance(1000)
+        assert seen[0] == pytest.approx(105.2, abs=1.0)
+
+    def test_tx_complete_interrupt_at_105us(self):
+        events, la, lb = make_pair()
+        lb.rx_handler = lambda f: None
+        done = []
+        la.tx_done_handler = lambda: done.append(events.now_us)
+        la.transmit(Frame(MAC_B, MAC_A, 0x0800, b""))
+        events.advance(1000)
+        assert done[0] == pytest.approx(105.0)
+
+    def test_descriptor_written_with_own_bit(self):
+        events, la, lb = make_pair()
+        lb.rx_handler = lambda f: None
+        la.transmit(Frame(MAC_B, MAC_A, 0x0800, b"z"))
+        assert la.read_descriptor_field("tx", 0, "status") == STATUS_OWN
+        events.advance(1000)
+        # transmit-complete cleared ownership
+        assert la.read_descriptor_field("tx", 0, "status") == 0
+
+    def test_usc_mode_generates_less_descriptor_traffic(self):
+        results = {}
+        for mode in DescriptorUpdateMode:
+            events, la, lb = make_pair(mode)
+            lb.rx_handler = lambda f: None
+            for _ in range(5):
+                la.transmit(Frame(MAC_B, MAC_A, 0x0800, b"x"))
+                events.advance(500)
+            results[mode] = la.tx_ring.descriptors.physical_bytes_touched
+        assert results[DescriptorUpdateMode.USC_DIRECT] < results[
+            DescriptorUpdateMode.DENSE_COPY
+        ]
+
+    def test_ring_wraps(self):
+        events, la, lb = make_pair()
+        lb.rx_handler = lambda f: None
+        for _ in range(20):  # more than RING_SIZE
+            la.transmit(Frame(MAC_B, MAC_A, 0x0800, b"x"))
+            events.advance(500)
+        assert la.frames_sent == 20
+
+    def test_wrong_source_mac_rejected(self):
+        from repro.net.lance import LanceError
+
+        _, la, _ = make_pair()
+        with pytest.raises(LanceError):
+            la.transmit(Frame(MAC_A, MAC_B, 0x0800, b""))

@@ -1,0 +1,75 @@
+"""Property-based tests on the wire and frame models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.wire import (
+    MIN_FRAME_BYTES,
+    EthernetWire,
+    Frame,
+    WireTiming,
+)
+from repro.xkernel.event import EventManager
+
+MACS = st.binary(min_size=6, max_size=6)
+
+
+class TestFrameProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(MACS, MACS, st.integers(min_value=0, max_value=0xFFFF),
+           st.binary(max_size=1500))
+    def test_serialize_parse_roundtrip(self, dst, src, ethertype, payload):
+        frame = Frame(dst, src, ethertype, payload)
+        assert Frame.parse(frame.serialize()) == frame
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.binary(max_size=1500))
+    def test_wire_bytes_lower_bound(self, payload):
+        frame = Frame(b"\x01" * 6, b"\x02" * 6, 0x0800, payload)
+        assert frame.wire_bytes >= MIN_FRAME_BYTES
+        assert frame.wire_bytes >= len(payload)
+
+
+class TestTimingProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=0, max_value=1518),
+           st.integers(min_value=0, max_value=1518))
+    def test_transmission_time_monotone(self, a, b):
+        t = WireTiming()
+        if a <= b:
+            assert t.transmission_us(a) <= t.transmission_us(b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=64, max_value=1518))
+    def test_transmission_time_matches_bitrate(self, size):
+        t = WireTiming()
+        expected = (size + 8) * 8 / 10.0  # bits / Mbps = µs
+        assert t.transmission_us(size) == pytest.approx(expected)
+
+
+class TestWireOrdering:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=100), min_size=1,
+                    max_size=10))
+    def test_frames_delivered_in_transmit_order(self, payloads):
+        events = EventManager()
+        wire = EthernetWire(events)
+        received = []
+        wire.attach(b"\x0a" * 6, lambda f: received.append(f.payload))
+        base = events.now_us
+        for i, payload in enumerate(payloads):
+            # transmissions are spaced out as a real sender would be
+            events.advance_to(base + 2000.0 * i)
+            wire.transmit(Frame(b"\x0a" * 6, b"\x0b" * 6, 0x0800, payload))
+        events.advance(1_000_000)
+        assert received == payloads
+
+    def test_stats_accumulate(self):
+        events = EventManager()
+        wire = EthernetWire(events)
+        wire.attach(b"\x0a" * 6, lambda f: None)
+        for _ in range(3):
+            wire.transmit(Frame(b"\x0a" * 6, b"\x0b" * 6, 0x0800, b"x"))
+        assert wire.frames_carried == 3
+        assert wire.bytes_carried == 3 * 64

@@ -1,0 +1,133 @@
+"""Functional tests for the ETH driver and the VNET virtual protocol."""
+
+import struct
+
+import pytest
+
+from repro.protocols.eth import ETHERTYPE_IP, ETHERTYPE_RPC
+from repro.protocols.options import Section2Options
+from repro.protocols.stacks import build_tcpip_network, establish
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol
+
+
+class _Sink(Protocol):
+    def __init__(self, stack, name="sink"):
+        super().__init__(stack, name)
+        self.received = []
+
+    def demux(self, msg, **kwargs):
+        self.received.append((msg.bytes(), kwargs))
+
+
+@pytest.fixture
+def net():
+    network = build_tcpip_network()
+    establish(network)
+    network.events.advance(500)
+    network.client.stack.scheduler.run_pending()
+    network.server.stack.scheduler.run_pending()
+    return network
+
+
+class TestEthDemux:
+    def test_dispatch_by_ethertype(self, net):
+        sink = _Sink(net.server.stack)
+        net.server.eth.open_enable(sink, ETHERTYPE_RPC)
+        session = net.client.eth.open(
+            None, (net.server.adaptor.mac, ETHERTYPE_RPC)
+        )
+        msg = Message(net.client.stack.allocator, b"custom-payload")
+        net.client.eth.push(session, msg)
+        net.run_until(lambda: sink.received, 10_000)
+        payload, kwargs = sink.received[0]
+        assert payload.startswith(b"custom-payload")
+        assert kwargs["src_mac"] == net.client.adaptor.mac
+        msg.destroy()
+
+    def test_unbound_ethertype_dropped(self, net):
+        session = net.client.eth.open(None, (net.server.adaptor.mac, 0x9999))
+        before = net.server.eth.delivered
+        msg = Message(net.client.stack.allocator, b"x")
+        net.client.eth.push(session, msg)
+        net.events.advance(2000)
+        net.server.stack.scheduler.run_pending()
+        assert net.server.eth.delivered == before
+        msg.destroy()
+
+    def test_message_refreshed_after_delivery(self, net):
+        pool = net.server.stack.msg_pool
+        before = pool.refreshes
+        net.client.app.run_pingpong(2)
+        net.run_until(lambda: net.client.app.replies >= 2)
+        assert pool.refreshes >= before + 2
+
+    def test_refresh_short_circuits_in_steady_state(self, net):
+        pool = net.server.stack.msg_pool
+        net.client.app.run_pingpong(3)
+        net.run_until(lambda: net.client.app.replies >= 3)
+        assert pool.short_circuited > 0
+
+
+class TestEthFraming:
+    def test_header_is_14_bytes(self, net):
+        frames = []
+        original = net.wire.transmit
+        net.wire.transmit = lambda f: (frames.append(f), original(f))[1]
+        net.client.app.run_pingpong(1)
+        net.run_until(lambda: net.client.app.replies >= 1)
+        raw = frames[0].serialize()
+        assert raw[:6] == net.server.adaptor.mac
+        assert raw[6:12] == net.client.adaptor.mac
+        assert struct.unpack("!H", raw[12:14])[0] == ETHERTYPE_IP
+
+    def test_min_frame_on_wire(self, net):
+        frames = []
+        original = net.wire.transmit
+        net.wire.transmit = lambda f: (frames.append(f), original(f))[1]
+        net.client.app.run_pingpong(1)
+        net.run_until(lambda: net.client.app.replies >= 1)
+        assert all(f.wire_bytes >= 64 for f in frames)
+
+
+class TestVnet:
+    def test_vnet_routes_to_adaptor(self, net):
+        """VNET sessions chain down to an ETH session for the adaptor."""
+        session = net.client.vnet.open(
+            None, (net.server.adaptor.mac, ETHERTYPE_RPC)
+        )
+        assert session.lower_session.protocol is net.client.eth
+
+    def test_vnet_push_is_pass_through(self, net):
+        sink = _Sink(net.server.stack)
+        net.server.eth.open_enable(sink, ETHERTYPE_RPC)
+        session = net.client.vnet.open(
+            None, (net.server.adaptor.mac, ETHERTYPE_RPC)
+        )
+        msg = Message(net.client.stack.allocator, b"via-vnet")
+        net.client.vnet.push(session, msg)
+        net.run_until(lambda: sink.received, 10_000)
+        assert sink.received[0][0].startswith(b"via-vnet")
+        msg.destroy()
+
+
+class TestDescriptorModes:
+    def test_usc_option_selects_adaptor_mode(self):
+        from repro.net.lance import DescriptorUpdateMode
+
+        net_usc = build_tcpip_network(Section2Options.improved())
+        net_dense = build_tcpip_network(Section2Options.original())
+        assert net_usc.client.adaptor.mode is DescriptorUpdateMode.USC_DIRECT
+        assert net_dense.client.adaptor.mode is DescriptorUpdateMode.DENSE_COPY
+
+    def test_dense_mode_touches_more_descriptor_bytes(self):
+        results = {}
+        for opts in (Section2Options.improved(), Section2Options.original()):
+            net = build_tcpip_network(opts)
+            establish(net)
+            net.client.app.run_pingpong(5)
+            net.run_until(lambda: net.client.app.replies >= 5)
+            results[opts.usc_descriptors] = (
+                net.client.adaptor.descriptor_traffic_bytes
+            )
+        assert results[False] > results[True]

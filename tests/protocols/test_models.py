@@ -1,0 +1,153 @@
+"""Tests on the instruction-level models: structure and option response."""
+
+import pytest
+
+from repro.core.codegen import materialize
+from repro.core.ir import CallDynamic, CondBranch
+from repro.protocols.models import (
+    LIBRARY_FUNCTIONS,
+    build_library,
+    build_rpc_models,
+    build_tcpip_models,
+)
+from repro.protocols.models.rpc import RPC_PIN_INPUT_MEMBERS, RPC_PIN_OUTPUT_MEMBERS
+from repro.protocols.models.tcpip import (
+    TCPIP_PIN_INPUT_MEMBERS,
+    TCPIP_PIN_OUTPUT_MEMBERS,
+)
+from repro.protocols.options import Section2Options
+
+IMPROVED = Section2Options.improved()
+ORIGINAL = Section2Options.original()
+
+
+def _by_name(functions):
+    return {fn.name: fn for fn in functions}
+
+
+class TestModelStructure:
+    @pytest.mark.parametrize("builder", [build_tcpip_models, build_rpc_models])
+    def test_all_models_materialize(self, builder):
+        for opts in (IMPROVED, ORIGINAL):
+            for fn in builder(opts) + build_library(opts):
+                mfn = materialize(fn)
+                assert mfn.size > 0
+
+    def test_library_functions_flagged(self):
+        for fn in build_library(IMPROVED):
+            assert fn.library
+            assert fn.name in LIBRARY_FUNCTIONS
+
+    def test_path_members_have_dynamic_sites(self):
+        """Path-inlining needs each non-terminal member to dispatch on."""
+        fns = _by_name(build_tcpip_models(IMPROVED) + build_rpc_models(IMPROVED))
+        for members in (TCPIP_PIN_OUTPUT_MEMBERS, TCPIP_PIN_INPUT_MEMBERS,
+                        RPC_PIN_OUTPUT_MEMBERS, RPC_PIN_INPUT_MEMBERS):
+            for member in members[:-1]:
+                fn = fns[member]
+                has_dynamic = any(
+                    isinstance(b.terminator, CallDynamic) for b in fn.blocks
+                )
+                assert has_dynamic, member
+
+    def test_models_carry_inline_error_arms(self):
+        """The density pass interleaves small cold arms in every big
+        function (the Table 9 mechanism)."""
+        for fn in build_tcpip_models(IMPROVED):
+            arms = [b for b in fn.blocks if b.label.startswith("__arm")]
+            if sum(len(b.instructions) for b in fn.blocks) > 100:
+                assert arms, fn.name
+
+    def test_annotated_arm_fraction(self):
+        """Roughly a third of the arms are annotated for outlining."""
+        annotated = unannotated = 0
+        for fn in build_tcpip_models(IMPROVED):
+            for b in fn.blocks:
+                if b.label.startswith("__arm"):
+                    if b.unlikely:
+                        annotated += 1
+                    else:
+                        unannotated += 1
+        total = annotated + unannotated
+        assert total > 20
+        assert 0.2 < annotated / total < 0.45
+
+
+class TestOptionResponse:
+    def _size(self, opts, name):
+        fns = _by_name(build_library(opts) + build_tcpip_models(opts))
+        return materialize(fns[name]).size
+
+    def test_word_sizing_shrinks_tcp(self):
+        assert self._size(IMPROVED, "tcp_push") < self._size(
+            ORIGINAL.without("various_inlining"), "tcp_push"
+        ) or self._size(IMPROVED, "tcp_push") < self._size(
+            IMPROVED.without("word_sized_tcp_state"), "tcp_push"
+        )
+
+    def test_avoid_division_removes_mul(self):
+        from repro.arch.isa import Op
+
+        fns = _by_name(build_tcpip_models(IMPROVED))
+        demux = fns["tcp_demux"]
+        mainline_muls = sum(
+            1 for b in demux.blocks if not b.unlikely
+            for i in b.instructions if i.op is Op.MUL
+        )
+        assert mainline_muls == 0
+
+        fns_orig = _by_name(
+            build_tcpip_models(IMPROVED.without("avoid_division"))
+        )
+        muls = sum(
+            1 for b in fns_orig["tcp_demux"].blocks
+            for i in b.instructions if i.op is Op.MUL
+        )
+        assert muls >= 1
+
+    def test_inline_map_test_changes_structure(self):
+        fns_on = _by_name(build_tcpip_models(IMPROVED))
+        fns_off = _by_name(
+            build_tcpip_models(IMPROVED.without("inline_map_cache_test"))
+        )
+        on_labels = {b.label for b in fns_on["tcp_demux"].blocks}
+        off_labels = {b.label for b in fns_off["tcp_demux"].blocks}
+        assert any("pcb_probe" in l for l in on_labels)
+        assert not any("pcb_probe" in l for l in off_labels)
+        assert any("pcb_lookup" in l for l in off_labels)
+
+    def test_msg_refresh_structure_follows_option(self):
+        on = _by_name(build_library(IMPROVED))["msg_refresh"]
+        off = _by_name(
+            build_library(IMPROVED.without("msg_refresh_short_circuit"))
+        )["msg_refresh"]
+        on_has_branch = any(
+            isinstance(b.terminator, CondBranch)
+            and b.terminator.cond == "sole_ref"
+            for b in on.blocks
+        )
+        assert on_has_branch
+        off_has_branch = any(
+            isinstance(b.terminator, CondBranch)
+            and b.terminator.cond == "sole_ref"
+            for b in off.blocks
+        )
+        assert not off_has_branch
+
+    def test_usc_descriptor_blocks(self):
+        fns_on = _by_name(build_tcpip_models(IMPROVED))
+        fns_off = _by_name(build_tcpip_models(IMPROVED.without("usc_descriptors")))
+        on_labels = {b.label for b in fns_on["lance_transmit"].blocks}
+        off_labels = {b.label for b in fns_off["lance_transmit"].blocks}
+        assert not any(l.endswith("_patch") for l in on_labels)
+        assert any(l.endswith("_patch") for l in off_labels)
+
+
+class TestBuilderFreshness:
+    def test_each_build_returns_fresh_objects(self):
+        a = build_tcpip_models(IMPROVED)
+        b = build_tcpip_models(IMPROVED)
+        assert all(x is not y for x, y in zip(a, b))
+        # mutating one build leaves the other untouched
+        a[0].blocks.clear()
+        assert b[0].blocks

@@ -1,0 +1,180 @@
+"""Functional tests for the RPC protocol suite."""
+
+import pytest
+
+from repro.protocols.stacks import build_rpc_network
+
+
+@pytest.fixture
+def net():
+    return build_rpc_network()
+
+
+class TestRpcRoundtrip:
+    def test_single_call(self, net):
+        net.client.app.run_pingpong(1)
+        net.run_until(lambda: net.client.app.replies >= 1)
+        assert net.server.app.requests_served == 1
+
+    def test_sequential_calls(self, net):
+        net.client.app.run_pingpong(10)
+        net.run_until(lambda: net.client.app.replies >= 10)
+        assert net.client.app.replies == 10
+        assert net.server.app.requests_served == 10
+
+    def test_each_call_is_two_frames(self, net):
+        net.client.app.run_pingpong(4)
+        net.run_until(lambda: net.client.app.replies >= 4)
+        net.events.advance(500)
+        assert net.wire.frames_carried == 8  # request + reply per call
+
+    def test_channel_released_after_reply(self, net):
+        net.client.app.run_pingpong(3)
+        net.run_until(lambda: net.client.app.replies >= 3)
+        assert net.client.vchan.free_channels == 4
+
+    def test_sequence_numbers_advance(self, net):
+        net.client.app.run_pingpong(5)
+        net.run_until(lambda: net.client.app.replies >= 5)
+        # ping-pong reuses one channel; its seq advanced per call
+        busy = [ch for _, ch in net.client.chan.chan_map.traverse()]
+        assert max(ch.seq for ch in busy) == 5
+
+
+class TestAtMostOnce:
+    def test_duplicate_request_not_reexecuted(self, net):
+        net.client.app.run_pingpong(1)
+        net.run_until(lambda: net.client.app.replies >= 1)
+        served = net.server.app.requests_served
+
+        # replay the request frame
+        frames = []
+        original = net.wire.transmit
+        net.wire.transmit = lambda f: (frames.append(f), original(f))[1]
+        net.client.app.run_pingpong(1)
+        net.run_until(lambda: net.client.app.replies >= 2)
+        request = next(f for f in frames if f.dst == net.server.adaptor.mac)
+        net.wire.transmit(request)
+        net.run_until(
+            lambda: net.server.chan.duplicate_requests >= 1, 100_000
+        )
+        assert net.server.app.requests_served == served + 1  # not + 2
+
+    def test_duplicate_gets_cached_reply(self, net):
+        net.client.app.run_pingpong(1)
+        net.run_until(lambda: net.client.app.replies >= 1)
+        before = net.wire.frames_carried
+        # replay: at-most-once resends the cached reply
+        key = next(iter(net.server.chan._executed))
+        seq, cached = net.server.chan._executed[key]
+        net.server.chan._send_reply(key[0], key[1], seq, cached)
+        net.events.advance(1000)
+        assert net.wire.frames_carried == before + 1
+
+
+class TestRetransmission:
+    def test_lost_request_retransmitted(self, net):
+        original = net.wire.transmit
+        dropped = []
+
+        def lossy(frame):
+            if not dropped and frame.dst == net.server.adaptor.mac:
+                dropped.append(frame)
+                return 57.6
+            return original(frame)
+
+        net.wire.transmit = lossy
+        net.client.app.run_pingpong(1)
+        net.run_until(lambda: net.client.app.replies >= 1, 5_000_000)
+        assert dropped
+        busy = [ch for _, ch in net.client.chan.chan_map.traverse()]
+        assert max(ch.retries for ch in busy) >= 1
+
+    def test_lost_reply_recovered_via_reply_cache(self, net):
+        original = net.wire.transmit
+        dropped = []
+
+        def lossy(frame):
+            if not dropped and frame.dst == net.client.adaptor.mac:
+                dropped.append(frame)
+                return 57.6
+            return original(frame)
+
+        net.wire.transmit = lossy
+        net.client.app.run_pingpong(1)
+        net.run_until(lambda: net.client.app.replies >= 1, 5_000_000)
+        assert dropped
+        # the retransmitted request was answered from the cache: the
+        # server executed the RPC exactly once
+        assert net.server.app.requests_served == 1
+        assert net.server.chan.duplicate_requests >= 1
+
+
+class TestBid:
+    def test_stale_boot_id_rejected_then_adopted(self, net):
+        net.client.app.run_pingpong(1)
+        net.run_until(lambda: net.client.app.replies >= 1)
+        # pretend the client rebooted with a different boot id
+        net.client.bid.boot_id = 0x9999
+        before = net.server.bid.stale_rejections
+        net.client.app.run_pingpong(1)
+        net.run_until(
+            lambda: net.server.bid.stale_rejections > before, 3_000_000
+        )
+        # the first post-reboot request is dropped; the retransmission
+        # (carrying the now-known boot id) goes through
+        net.run_until(lambda: net.client.app.replies >= 2, 5_000_000)
+        assert net.server.bid.peer_reboots >= 1
+
+
+class TestBlast:
+    def test_large_rpc_payload_fragmented(self, net):
+        from repro.xkernel.message import Message
+
+        received = []
+        serve = net.server.app.serve
+        net.server.app.serve = lambda req: (received.append(req), serve(req))[1]
+
+        payload = bytes(i & 0xFF for i in range(4000))
+        msg = Message(net.client.stack.allocator, payload, buffer_size=8192)
+        done = []
+        net.client.mselect.call(net.client.app.server_id, msg,
+                                lambda reply: done.append(reply))
+        net.run_until(lambda: done, 1_000_000)
+        assert received[0] == payload
+        assert net.server.blast.reassembled == 1
+        msg.destroy()
+
+    def test_incomplete_reassembly_expires(self, net):
+        # deliver one fragment of two directly; the timer reaps it
+        import struct
+
+        from repro.protocols.rpc.blast import HEADER_FMT
+        from repro.xkernel.message import Message
+
+        hdr = struct.pack(HEADER_FMT, 77, 0, 2, 2800, 0)
+        msg = Message(net.server.stack.allocator, hdr + bytes(1400))
+        net.server.blast.demux(msg, src_mac=net.client.adaptor.mac)
+        assert net.server.blast._reassembly
+        net.events.advance(3_000_000)
+        assert not net.server.blast._reassembly
+        assert net.server.blast.dropped_incomplete == 1
+
+
+class TestVchanQueueing:
+    def test_calls_queue_when_channels_busy(self, net):
+        from repro.xkernel.message import Message
+
+        vchan = net.client.vchan
+        # occupy all four channels with calls whose replies never come
+        original = net.wire.transmit
+        net.wire.transmit = lambda f: 57.6  # black-hole everything
+        done = []
+        for i in range(5):
+            msg = Message(net.client.stack.allocator, b"")
+            net.client.mselect.call(net.client.app.server_id, msg,
+                                    lambda r: done.append(r))
+            msg.destroy()
+        assert vchan.free_channels == 0
+        assert vchan.queued_calls == 1
+        net.wire.transmit = original

@@ -1,0 +1,118 @@
+"""Failure injection: the stacks under random loss and random payloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.stacks import (
+    SERVER_IP,
+    build_rpc_network,
+    build_tcpip_network,
+    establish,
+)
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol
+
+
+def _lossy_wire(net, drop_indexes):
+    """Drop the i-th frames (by transmit order) listed in drop_indexes."""
+    original = net.wire.transmit
+    counter = {"i": 0}
+
+    def transmit(frame):
+        index = counter["i"]
+        counter["i"] += 1
+        if index in drop_indexes:
+            return 57.6  # vanishes on the wire
+        return original(frame)
+
+    net.wire.transmit = transmit
+
+
+class TestTcpUnderLoss:
+    @settings(max_examples=10, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=8), max_size=3))
+    def test_pingpong_completes_despite_drops(self, drops):
+        """Retransmission recovers from any sparse loss pattern."""
+        net = build_tcpip_network()
+        establish(net)
+        net.events.advance(500)
+        net.client.stack.scheduler.run_pending()
+        net.server.stack.scheduler.run_pending()
+        _lossy_wire(net, drops)
+        net.client.app.run_pingpong(3)
+        net.run_until(lambda: net.client.app.replies >= 3,
+                      max_us=30_000_000)
+        assert net.client.app.replies == 3
+        assert net.server.app.echoes >= 3
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=400), min_size=1,
+                    max_size=6))
+    def test_arbitrary_payloads_delivered_in_order(self, payloads):
+        """TCP delivers random payloads intact and in order."""
+        net = build_tcpip_network()
+        received = []
+
+        class Sink(Protocol):
+            def __init__(self, stack):
+                super().__init__(stack, "stress-sink")
+
+            def connection_established(self, session):
+                pass
+
+            def demux(self, msg, *, session, **kwargs):
+                received.append(msg.bytes())
+
+        sink = Sink(net.server.stack)
+        net.server.tcp.open_enable(sink, 4242)
+        session = net.client.tcp.open(None, (3001, 4242, SERVER_IP))
+        net.run_until(lambda: session.state == "ESTABLISHED", 5_000_000)
+        for payload in payloads:
+            msg = Message(net.client.stack.allocator, payload)
+            net.client.tcp.push(session, msg)
+            msg.destroy()
+            net.events.advance(1000)
+            net.client.stack.scheduler.run_pending()
+            net.server.stack.scheduler.run_pending()
+        net.run_until(
+            lambda: sum(len(r) for r in received)
+            >= sum(len(p) for p in payloads),
+            5_000_000,
+        )
+        assert b"".join(received) == b"".join(payloads)
+
+
+class TestRpcUnderLoss:
+    @settings(max_examples=10, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=6), max_size=2))
+    def test_at_most_once_under_any_loss(self, drops):
+        """Whatever gets lost, every call completes and the server
+        executes each RPC exactly once."""
+        net = build_rpc_network()
+        _lossy_wire(net, drops)
+        net.client.app.run_pingpong(3)
+        net.run_until(lambda: net.client.app.replies >= 3,
+                      max_us=30_000_000)
+        assert net.client.app.replies == 3
+        assert net.server.app.requests_served == 3  # exactly once each
+
+
+class TestTracedRunsAreLossFree:
+    def test_warmup_absorbs_handshake_slow_paths(self):
+        """By the time a roundtrip is traced, the connection is in its
+        steady state: established, window open, no retransmissions."""
+        from repro.harness.experiment import Experiment
+
+        exp = Experiment("tcpip", "STD")
+        events, _ = exp.capture_roundtrip(seed=13)
+        from repro.core.walker import EnterEvent
+
+        enters = [e.fn for e in events if isinstance(e, EnterEvent)]
+        # exactly one output path and one input path, well-formed
+        assert enters.count("tcptest_call") == 1
+        assert enters.count("tcp_push") == 1
+        assert enters.count("eth_demux") == 1
+        assert enters.count("tcptest_demux") == 1
+        # no retransmission-era oddities: a clean 10-function roundtrip
+        assert len(enters) == 10

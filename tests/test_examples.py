@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(script, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def test_quickstart():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "end-to-end roundtrip latency" in result.stdout
+    assert "mCPI" in result.stdout
+
+
+def test_stack_tour():
+    result = _run("stack_tour.py")
+    assert result.returncode == 0, result.stderr
+    assert "handshake complete" in result.stdout
+    assert "reassembled 1 datagram" in result.stdout
+    assert "answered from the reply cache" in result.stdout
+
+
+def test_technique_tour_tcpip():
+    result = _run("technique_tour.py", "tcpip")
+    assert result.returncode == 0, result.stderr
+    for config in ("BAD", "STD", "OUT", "CLO", "PIN", "ALL"):
+        assert config in result.stdout
+    assert "worst/best mCPI ratio" in result.stdout
+
+
+def test_technique_tour_rejects_unknown_stack():
+    result = _run("technique_tour.py", "osi")
+    assert result.returncode != 0
+
+
+def test_custom_protocol():
+    result = _run("custom_protocol.py")
+    assert result.returncode == 0, result.stderr
+    assert "cost of the extra layer" in result.stdout
+
+
+def test_cli_subset():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--tables", "1", "--samples", "1"],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Table 1" in result.stdout

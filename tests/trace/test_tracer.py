@@ -1,0 +1,103 @@
+"""Unit tests for the run-time tracer."""
+
+import pytest
+
+from repro.core.walker import EnterEvent, ExitEvent, MarkEvent
+from repro.trace.tracer import NullTracer, Tracer
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        t = Tracer()
+        with t.scope("f", {"c": True}):
+            pass
+        assert t.events == []
+
+    def test_records_well_nested_stream(self):
+        t = Tracer()
+        t.start()
+        with t.scope("outer", {"a": 1}):
+            with t.scope("inner"):
+                pass
+        events = t.stop()
+        kinds = [(type(e).__name__, getattr(e, "fn", None)) for e in events]
+        assert kinds == [
+            ("EnterEvent", "outer"),
+            ("EnterEvent", "inner"),
+            ("ExitEvent", "inner"),
+            ("ExitEvent", "outer"),
+        ]
+
+    def test_conds_and_data_copied(self):
+        t = Tracer()
+        t.start()
+        conds = {"x": True}
+        with t.scope("f", conds, {"msg": 0x100}):
+            pass
+        events = t.stop()
+        conds["x"] = False  # later mutation must not affect the record
+        assert events[0].conds == {"x": True}
+        assert events[0].data == {"msg": 0x100}
+
+    def test_exit_recorded_on_exception(self):
+        t = Tracer()
+        t.start()
+        with pytest.raises(ValueError):
+            with t.scope("f"):
+                raise ValueError("boom")
+        events = t.stop()
+        assert isinstance(events[-1], ExitEvent)
+
+    def test_marks(self):
+        t = Tracer()
+        t.start()
+        t.mark("before")
+        with t.scope("f"):
+            pass
+        t.mark("after")
+        events = t.stop()
+        assert isinstance(events[0], MarkEvent)
+        assert isinstance(events[-1], MarkEvent)
+
+    def test_stop_inside_scope_rejected(self):
+        t = Tracer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            with t.scope("f"):
+                t.stop()
+        # unwind cleanly for the context manager's finally
+
+    def test_stop_clears_events(self):
+        t = Tracer()
+        t.start()
+        with t.scope("f"):
+            pass
+        first = t.stop()
+        t.start()
+        second = t.stop()
+        assert len(first) == 2
+        assert second == []
+
+    def test_restart_captures_fresh(self):
+        t = Tracer()
+        t.start()
+        with t.scope("a"):
+            pass
+        t.stop()
+        t.start()
+        with t.scope("b"):
+            pass
+        events = t.stop()
+        assert events[0].fn == "b"
+
+
+class TestNullTracer:
+    def test_never_records(self):
+        t = NullTracer()
+        with t.scope("f", {"c": 1}):
+            t.mark("m")
+        assert t.events == []
+
+    def test_cannot_start(self):
+        with pytest.raises(RuntimeError):
+            NullTracer().start()

@@ -1,0 +1,73 @@
+"""Unit tests for the simulated allocator."""
+
+import pytest
+
+from repro.xkernel.alloc import GRANULE, AllocationError, SimAllocator
+
+
+class TestSimAllocator:
+    def test_addresses_are_disjoint(self):
+        a = SimAllocator()
+        x = a.malloc(100)
+        y = a.malloc(100)
+        assert abs(x - y) >= 100
+
+    def test_granule_rounding(self):
+        a = SimAllocator()
+        x = a.malloc(1)
+        y = a.malloc(1)
+        assert y - x == GRANULE
+
+    def test_free_then_malloc_reuses_lifo(self):
+        a = SimAllocator()
+        x = a.malloc(64)
+        a.malloc(64)
+        a.free(x)
+        assert a.malloc(64) == x
+        assert a.reuse_count == 1
+
+    def test_lifo_order(self):
+        a = SimAllocator()
+        x, y = a.malloc(32), a.malloc(32)
+        a.free(x)
+        a.free(y)
+        assert a.malloc(32) == y  # most recently freed first
+
+    def test_different_size_classes_do_not_mix(self):
+        a = SimAllocator()
+        x = a.malloc(16)
+        a.free(x)
+        y = a.malloc(64)
+        assert y != x
+
+    def test_double_free_rejected(self):
+        a = SimAllocator()
+        x = a.malloc(16)
+        a.free(x)
+        with pytest.raises(AllocationError):
+            a.free(x)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(AllocationError):
+            SimAllocator().malloc(0)
+
+    def test_live_accounting(self):
+        a = SimAllocator()
+        x = a.malloc(16)
+        assert a.is_live(x)
+        assert a.live_bytes == 16
+        a.free(x)
+        assert not a.is_live(x)
+        assert a.live_bytes == 0
+
+    def test_jitter_changes_layout(self):
+        layouts = set()
+        for seed in range(5):
+            a = SimAllocator(jitter_seed=seed)
+            layouts.add(a.malloc(128))
+        assert len(layouts) > 1
+
+    def test_jitter_is_deterministic(self):
+        a1 = SimAllocator(jitter_seed=42)
+        a2 = SimAllocator(jitter_seed=42)
+        assert a1.malloc(64) == a2.malloc(64)

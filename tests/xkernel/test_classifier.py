@@ -1,0 +1,130 @@
+"""Unit tests for the packet classifier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xkernel.classifier import (
+    ClassifierError,
+    FieldMatch,
+    PacketClassifier,
+    tcp_path_classifier,
+)
+
+
+def _tcp_frame(ethertype=0x0800, proto=6, dst_port=7):
+    frame = bytearray(60)
+    frame[12:14] = ethertype.to_bytes(2, "big")
+    frame[23] = proto
+    frame[36:38] = dst_port.to_bytes(2, "big")
+    return bytes(frame)
+
+
+class TestFieldMatch:
+    def test_basic_match(self):
+        f = FieldMatch(offset=0, width=2, value=0x1234)
+        assert f.matches(b"\x12\x34rest")
+        assert not f.matches(b"\x12\x35rest")
+
+    def test_mask(self):
+        f = FieldMatch(offset=0, width=1, value=0x40, mask=0xF0)
+        assert f.matches(b"\x45")
+        assert not f.matches(b"\x55")
+
+    def test_short_packet_no_match(self):
+        f = FieldMatch(offset=10, width=2, value=0)
+        assert not f.matches(b"short")
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ClassifierError):
+            FieldMatch(offset=0, width=3, value=0)
+
+
+class TestPacketClassifier:
+    def test_matching_packet_classified(self):
+        clf = tcp_path_classifier(7)
+        assert clf.classify(_tcp_frame()) == "tcpip_input_path"
+
+    def test_wrong_ethertype_rejected(self):
+        clf = tcp_path_classifier(7)
+        assert clf.classify(_tcp_frame(ethertype=0x0806)) is None
+
+    def test_wrong_proto_rejected(self):
+        clf = tcp_path_classifier(7)
+        assert clf.classify(_tcp_frame(proto=17)) is None
+
+    def test_wrong_port_rejected(self):
+        clf = tcp_path_classifier(7)
+        assert clf.classify(_tcp_frame(dst_port=80)) is None
+
+    def test_multiple_patterns_share_prefix(self):
+        clf = PacketClassifier()
+        common = [FieldMatch(12, 2, 0x0800), FieldMatch(23, 1, 6)]
+        clf.add_pattern("echo", common + [FieldMatch(36, 2, 7)])
+        clf.add_pattern("http", common + [FieldMatch(36, 2, 80)])
+        assert clf.classify(_tcp_frame(dst_port=7)) == "echo"
+        assert clf.classify(_tcp_frame(dst_port=80)) == "http"
+
+    def test_shared_prefix_costs_one_comparison_per_level(self):
+        clf = PacketClassifier()
+        common = [FieldMatch(12, 2, 0x0800), FieldMatch(23, 1, 6)]
+        for port in range(100, 110):
+            clf.add_pattern(f"p{port}", common + [FieldMatch(36, 2, port)])
+        clf.comparisons = 0
+        clf.classify(_tcp_frame(dst_port=105))
+        assert clf.comparisons == 3  # not 10 patterns x 3 fields
+
+    def test_divergent_structure_rejected(self):
+        clf = PacketClassifier()
+        clf.add_pattern("a", [FieldMatch(12, 2, 0x0800)])
+        with pytest.raises(ClassifierError):
+            clf.add_pattern("b", [FieldMatch(14, 2, 0x0800)])
+
+    def test_duplicate_names_and_patterns_rejected(self):
+        clf = PacketClassifier()
+        clf.add_pattern("a", [FieldMatch(12, 2, 1)])
+        with pytest.raises(ClassifierError):
+            clf.add_pattern("a", [FieldMatch(12, 2, 2)])
+        with pytest.raises(ClassifierError):
+            clf.add_pattern("b", [FieldMatch(12, 2, 1)])
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ClassifierError):
+            PacketClassifier().add_pattern("x", [])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(min_size=0, max_size=80))
+    def test_never_crashes_on_arbitrary_bytes(self, junk):
+        clf = tcp_path_classifier(7)
+        result = clf.classify(junk)
+        assert result in (None, "tcpip_input_path")
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_only_the_configured_port_matches(self, port):
+        clf = tcp_path_classifier(7)
+        expected = "tcpip_input_path" if port == 7 else None
+        assert clf.classify(_tcp_frame(dst_port=port)) == expected
+
+
+class TestClassifierModel:
+    def test_model_builds_and_costs_microseconds(self):
+        """The paper: the best classifiers cost 1-4 µs on this hardware."""
+        from repro.arch.simulator import MachineSimulator
+        from repro.core.layout import link_order_layout
+        from repro.core.program import Program
+        from repro.core.walker import EnterEvent, ExitEvent, Walker
+        from repro.xkernel.classifier import build_classifier_model
+
+        program = Program()
+        program.add(build_classifier_model())
+        program.layout(link_order_layout())
+        walker = Walker(program, {"clf": 0x700000, "msg": 0x710000})
+        events = [
+            EnterEvent("packet_classify",
+                       conds={"more_levels": 3, "matched": True}),
+            ExitEvent("packet_classify"),
+        ]
+        walk = walker.walk(events)
+        steady = MachineSimulator().run_steady_state(walk.trace)
+        assert 0.2 < steady.time_us() < 4.0

@@ -1,0 +1,124 @@
+"""Unit tests for messages and the interrupt-side message pool."""
+
+import pytest
+
+from repro.xkernel.alloc import SimAllocator
+from repro.xkernel.message import Message, MessageError, MessagePool
+
+
+@pytest.fixture
+def alloc():
+    return SimAllocator()
+
+
+class TestMessage:
+    def test_push_prepends(self, alloc):
+        msg = Message(alloc, b"payload")
+        msg.push(b"HDR")
+        assert msg.bytes() == b"HDRpayload"
+
+    def test_pop_strips_header(self, alloc):
+        msg = Message(alloc, b"HDRpayload")
+        assert msg.pop(3) == b"HDR"
+        assert msg.bytes() == b"payload"
+
+    def test_push_pop_roundtrip(self, alloc):
+        msg = Message(alloc, b"data")
+        for layer in (b"tcp.", b"ip..", b"eth."):
+            msg.push(layer)
+        assert msg.pop(4) == b"eth."
+        assert msg.pop(4) == b"ip.."
+        assert msg.pop(4) == b"tcp."
+        assert msg.bytes() == b"data"
+
+    def test_peek_does_not_strip(self, alloc):
+        msg = Message(alloc, b"abcdef")
+        assert msg.peek(3) == b"abc"
+        assert len(msg) == 6
+
+    def test_truncate(self, alloc):
+        msg = Message(alloc, b"abcdef")
+        msg.truncate(2)
+        assert msg.bytes() == b"ab"
+
+    def test_append(self, alloc):
+        msg = Message(alloc, b"ab")
+        msg.append(b"cd")
+        assert msg.bytes() == b"abcd"
+
+    def test_headroom_exhaustion(self, alloc):
+        msg = Message(alloc, b"", headroom=4)
+        with pytest.raises(MessageError):
+            msg.push(b"12345")
+
+    def test_over_pop_rejected(self, alloc):
+        msg = Message(alloc, b"ab")
+        with pytest.raises(MessageError):
+            msg.pop(3)
+
+    def test_data_addr_tracks_head(self, alloc):
+        msg = Message(alloc, b"xy")
+        before = msg.data_addr
+        msg.push(b"h")
+        assert msg.data_addr == before - 1
+
+    def test_refcounting_frees_once(self, alloc):
+        msg = Message(alloc, b"x")
+        msg.add_ref()
+        assert not msg.destroy()  # one reference remains
+        assert msg.alive
+        assert msg.destroy()  # actually freed
+        assert not msg.alive
+        assert not alloc.is_live(msg.sim_addr)
+
+    def test_destroy_dead_message_rejected(self, alloc):
+        msg = Message(alloc, b"x")
+        msg.destroy()
+        with pytest.raises(MessageError):
+            msg.destroy()
+
+
+class TestMessagePool:
+    def test_get_hands_out_preallocated(self, alloc):
+        pool = MessagePool(alloc, size=2)
+        assert pool.available == 2
+        pool.get()
+        assert pool.available == 1
+
+    def test_exhausted_pool_allocates(self, alloc):
+        pool = MessagePool(alloc, size=1)
+        pool.get()
+        msg = pool.get()
+        assert msg is not None
+
+    def test_refresh_short_circuits_sole_reference(self, alloc):
+        pool = MessagePool(alloc, size=1, short_circuit=True)
+        msg = pool.get()
+        allocs_before = alloc.alloc_count
+        back = pool.refresh(msg)
+        assert back is msg  # reused in place
+        assert pool.short_circuited == 1
+        assert alloc.alloc_count == allocs_before  # no free/malloc pair
+
+    def test_refresh_with_extra_reference_reallocates(self, alloc):
+        pool = MessagePool(alloc, size=1, short_circuit=True)
+        msg = pool.get()
+        msg.add_ref()  # somebody kept a reference
+        back = pool.refresh(msg)
+        assert back is not msg
+        assert pool.short_circuited == 0
+        assert msg.alive  # the outstanding reference keeps it alive
+
+    def test_refresh_without_optimization_always_reallocates(self, alloc):
+        pool = MessagePool(alloc, size=1, short_circuit=False)
+        msg = pool.get()
+        back = pool.refresh(msg)
+        assert back is not msg
+        assert not msg.alive
+
+    def test_short_circuit_keeps_address_warm(self, alloc):
+        pool = MessagePool(alloc, size=1, short_circuit=True)
+        msg = pool.get()
+        addr = msg.sim_addr
+        pool.refresh(msg)
+        assert pool.get().sim_addr == addr

@@ -1,0 +1,118 @@
+"""Property-based tests on message buffers and the allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xkernel.alloc import SimAllocator
+from repro.xkernel.message import Message, MessageError, MessagePool
+
+
+class TestMessageProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=20), max_size=8),
+           st.binary(max_size=64))
+    def test_push_pop_is_a_stack(self, headers, payload):
+        """Pushing N headers then popping them returns them in reverse."""
+        msg = Message(SimAllocator(), payload)
+        for header in headers:
+            msg.push(header)
+        for header in reversed(headers):
+            assert msg.pop(len(header)) == header
+        assert msg.bytes() == payload
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(max_size=128), st.integers(min_value=0, max_value=128))
+    def test_truncate_is_prefix(self, payload, keep):
+        msg = Message(SimAllocator(), payload)
+        if keep <= len(payload):
+            msg.truncate(keep)
+            assert msg.bytes() == payload[:keep]
+        else:
+            with pytest.raises(MessageError):
+                msg.truncate(keep)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.sampled_from(["push", "pop", "append"]),
+                    max_size=30))
+    def test_length_accounting_never_corrupts(self, ops):
+        """Whatever sequence of operations runs, len() matches contents."""
+        msg = Message(SimAllocator(), b"seed")
+        for op in ops:
+            try:
+                if op == "push":
+                    msg.push(b"HH")
+                elif op == "pop":
+                    msg.pop(2)
+                else:
+                    msg.append(b"tt")
+            except MessageError:
+                pass  # bounds violations must raise, not corrupt
+            assert len(msg) == len(msg.bytes())
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=5))
+    def test_refcount_conservation(self, extra_refs):
+        alloc = SimAllocator()
+        msg = Message(alloc, b"x")
+        for _ in range(extra_refs):
+            msg.add_ref()
+        freed = [msg.destroy() for _ in range(extra_refs + 1)]
+        assert freed.count(True) == 1
+        assert freed[-1] is True
+        assert not alloc.is_live(msg.sim_addr)
+
+
+class TestPoolProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=30))
+    def test_pool_never_leaks(self, size, cycles):
+        alloc = SimAllocator()
+        pool = MessagePool(alloc, size=size)
+        live_before = alloc.live_bytes
+        for _ in range(cycles):
+            msg = pool.get()
+            msg.set_payload(b"data")
+            pool.refresh(msg)
+        assert pool.available == size
+        assert alloc.live_bytes == live_before
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.booleans())
+    def test_refresh_always_restocks(self, short_circuit):
+        alloc = SimAllocator()
+        pool = MessagePool(alloc, size=2, short_circuit=short_circuit)
+        msg = pool.get()
+        assert pool.available == 1
+        pool.refresh(msg)
+        assert pool.available == 2
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=512),
+                    min_size=1, max_size=40))
+    def test_live_allocations_never_overlap(self, sizes):
+        alloc = SimAllocator()
+        regions = []
+        for size in sizes:
+            addr = alloc.malloc(size)
+            regions.append((addr, addr + size))
+        regions.sort()
+        for (s1, e1), (s2, _) in zip(regions, regions[1:]):
+            assert s2 >= e1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=1, max_value=256)),
+                    max_size=60))
+    def test_alloc_free_sequences_consistent(self, ops):
+        alloc = SimAllocator()
+        live = []
+        for do_alloc, size in ops:
+            if do_alloc or not live:
+                live.append(alloc.malloc(size))
+            else:
+                alloc.free(live.pop())
+        assert all(alloc.is_live(a) for a in live)

@@ -1,0 +1,159 @@
+"""Unit tests for the event manager and process layer."""
+
+import pytest
+
+from repro.xkernel.alloc import SimAllocator
+from repro.xkernel.event import EventError, EventManager
+from repro.xkernel.process import (
+    Continuation,
+    ProcessError,
+    Scheduler,
+    Semaphore,
+    StackPool,
+)
+
+
+class TestEventManager:
+    def test_fires_in_time_order(self):
+        ev = EventManager()
+        fired = []
+        ev.schedule(20, lambda: fired.append("b"))
+        ev.schedule(10, lambda: fired.append("a"))
+        ev.advance_to(30)
+        assert fired == ["a", "b"]
+
+    def test_not_due_events_stay_pending(self):
+        ev = EventManager()
+        ev.schedule(100, lambda: None)
+        assert ev.advance_to(50) == 0
+        assert ev.pending == 1
+
+    def test_cancelled_event_does_not_fire(self):
+        ev = EventManager()
+        fired = []
+        handle = ev.schedule(10, lambda: fired.append(1))
+        ev.cancel(handle)
+        ev.advance_to(20)
+        assert fired == []
+
+    def test_clock_moves_forward_only(self):
+        ev = EventManager()
+        ev.advance_to(10)
+        with pytest.raises(EventError):
+            ev.advance_to(5)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(EventError):
+            EventManager().schedule(-1, lambda: None)
+
+    def test_handler_sees_fire_time(self):
+        ev = EventManager()
+        seen = []
+        ev.schedule(15, lambda: seen.append(ev.now_us))
+        ev.advance_to(100)
+        assert seen == [15]
+
+    def test_next_fire_time_skips_cancelled(self):
+        ev = EventManager()
+        first = ev.schedule(5, lambda: None)
+        ev.schedule(10, lambda: None)
+        ev.cancel(first)
+        assert ev.next_fire_time() == 10
+
+    def test_rescheduling_from_handler(self):
+        ev = EventManager()
+        fired = []
+
+        def handler():
+            fired.append(ev.now_us)
+            if len(fired) < 3:
+                ev.schedule(10, handler)
+
+        ev.schedule(10, handler)
+        ev.advance_to(100)
+        assert fired == [10, 20, 30]
+
+
+class TestStackPool:
+    def test_lifo_reuse(self):
+        pool = StackPool(SimAllocator(), prealloc=2)
+        s1 = pool.attach()
+        pool.release(s1)
+        s2 = pool.attach()
+        assert s2 is s1
+        assert pool.warm_attaches == 1
+
+    def test_grows_on_demand(self):
+        pool = StackPool(SimAllocator(), prealloc=1)
+        a = pool.attach()
+        b = pool.attach()
+        assert a is not b
+
+    def test_double_release_rejected(self):
+        pool = StackPool(SimAllocator())
+        s = pool.attach()
+        pool.release(s)
+        with pytest.raises(ProcessError):
+            pool.release(s)
+
+    def test_stack_top_is_high_end(self):
+        pool = StackPool(SimAllocator())
+        s = pool.attach()
+        assert s.top == s.sim_addr + s.size
+
+
+class TestSemaphore:
+    def test_wait_succeeds_with_count(self):
+        sched = Scheduler(SimAllocator())
+        sem = Semaphore(sched, count=1)
+        assert sem.wait_or_block(Continuation(lambda: None))
+        assert sem.count == 0
+
+    def test_wait_blocks_without_count(self):
+        sched = Scheduler(SimAllocator())
+        sem = Semaphore(sched)
+        resumed = []
+        assert not sem.wait_or_block(Continuation(lambda: resumed.append(1)))
+        assert sem.waiting == 1
+        sem.signal()
+        sched.run_pending()
+        assert resumed == [1]
+
+    def test_signal_without_waiter_banks_count(self):
+        sched = Scheduler(SimAllocator())
+        sem = Semaphore(sched)
+        sem.signal()
+        assert sem.count == 1
+        assert sem.wait_or_block(Continuation(lambda: None))
+
+
+class TestScheduler:
+    def test_spawn_runs_thread_body(self):
+        sched = Scheduler(SimAllocator())
+        ran = []
+        thread = sched.spawn(lambda t: ran.append(t.name), name="worker")
+        sched.run_pending()
+        assert ran == ["worker"]
+        assert thread.state == "done"
+
+    def test_work_items_reuse_warm_stack(self):
+        sched = Scheduler(SimAllocator())
+        stacks = []
+        for _ in range(3):
+            sched.call_soon(lambda: stacks.append(sched.current_stack))
+            sched.run_pending()
+        assert stacks[0] is stacks[1] is stacks[2]
+
+    def test_continuation_counts_context_switch(self):
+        sched = Scheduler(SimAllocator())
+        sched.schedule_continuation(Continuation(lambda: None))
+        sched.run_pending()
+        assert sched.context_switches == 1
+
+    def test_idle_flag(self):
+        sched = Scheduler(SimAllocator())
+        assert sched.idle
+        sched.call_soon(lambda: None)
+        assert not sched.idle
+        sched.run_pending()
+        assert sched.idle
