@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Simulation-speed benchmark: fast engine vs. the seed implementation.
+
+Produces ``BENCH_simspeed.json`` (repo root) with machine-readable timings:
+
+* ``kernel`` — single-pass simulation throughput in trace entries/second,
+  reference ``MachineSimulator`` vs. the fused ``FastMachine`` kernel on
+  the same trace;
+* ``end_to_end`` — wall-clock seconds for the canonical Table-4 sweep
+  (TCP/IP x 10 samples + RPC x 5 samples, all six configurations):
+
+  - ``seed_seconds``: the repository's *seed commit* (the code before any
+    of the fast-engine work), exported with ``git archive`` into a temp
+    directory and driven in a subprocess — a same-machine, same-moment
+    baseline;
+  - ``reference_seconds``: the current tree with ``engine="reference"``
+    and capture memoization disabled, i.e. the seed *algorithm* running
+    on today's shared infrastructure;
+  - ``fast_seconds``: the current tree's default engine (packed traces,
+    template walks, fused kernel, result caches), best of ``--trials``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_simspeed.py [--smoke] [--trials N]
+
+``--smoke`` runs a reduced sweep (2/1 samples, no seed-commit baseline)
+so CI can exercise the whole path in a few seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.arch.fastsim import FastMachine  # noqa: E402
+from repro.arch.simcache import clear_caches  # noqa: E402
+from repro.arch.simulator import MachineSimulator  # noqa: E402
+from repro.core.walker import Walker  # noqa: E402
+from repro.harness.configs import (  # noqa: E402
+    CONFIG_NAMES,
+    build_configured_program,
+    clear_build_memo,
+)
+from repro.harness.experiment import (  # noqa: E402
+    Experiment,
+    clear_capture_memo,
+    run_all_configs,
+)
+
+#: the canonical Table-4 sweep the paper reports (per stack: samples)
+FULL_SWEEP = (("tcpip", 10), ("rpc", 5))
+SMOKE_SWEEP = (("tcpip", 2), ("rpc", 1))
+
+
+def _reset_caches() -> None:
+    clear_caches()
+    clear_capture_memo()
+    clear_build_memo()
+
+
+def bench_kernel() -> dict:
+    """Single-pass throughput of both kernels on one real trace."""
+    exp = Experiment("tcpip", "STD")
+    events, data_env = exp.capture_roundtrip(42)
+    build = build_configured_program("tcpip", "STD")
+    walk = Walker(build.program, data_env).walk(events)
+    trace = walk.trace
+    packed = walk.packed
+    entries = len(packed)
+
+    def best_of(fn, repeats: int = 5) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    ref_s = best_of(lambda: MachineSimulator().run(trace))
+    fast_s = best_of(lambda: FastMachine().run(packed))
+    return {
+        "trace_entries": entries,
+        "reference_entries_per_sec": round(entries / ref_s),
+        "fast_entries_per_sec": round(entries / fast_s),
+        "kernel_speedup": round(ref_s / fast_s, 2),
+    }
+
+
+def _sweep_once(sweep, **kwargs) -> float:
+    t0 = time.perf_counter()
+    for stack, samples in sweep:
+        run_all_configs(stack, CONFIG_NAMES, samples=samples, **kwargs)
+    return time.perf_counter() - t0
+
+
+def bench_fast(sweep, trials: int) -> float:
+    best = float("inf")
+    for _ in range(trials):
+        _reset_caches()
+        best = min(best, _sweep_once(sweep))
+    return best
+
+
+def bench_reference(sweep) -> float:
+    """The seed algorithm on today's tree: reference engine, no memoization."""
+    _reset_caches()
+    t0 = time.perf_counter()
+    for stack, samples in sweep:
+        server_ref = None
+        if stack == "rpc":
+            best = Experiment(stack, "ALL", engine="reference",
+                              memoize_captures=False).run(samples=1)
+            server_ref = best.mean_processing_us
+        for config in CONFIG_NAMES:
+            Experiment(stack, config, engine="reference",
+                       memoize_captures=False,
+                       server_processing_us=server_ref).run(samples=samples)
+    return time.perf_counter() - t0
+
+
+_SEED_DRIVER = """\
+import json, sys, time
+from repro.harness.experiment import run_all_configs
+t0 = time.perf_counter()
+run_all_configs("tcpip", samples=10)
+run_all_configs("rpc", samples=5)
+print(json.dumps({"seconds": time.perf_counter() - t0}))
+"""
+
+
+def bench_seed_commit() -> float | None:
+    """Export the seed commit and time its sweep in a subprocess.
+
+    Returns None when git or the seed tree is unavailable (e.g. running
+    from an sdist) — callers fall back to the in-tree reference number.
+    """
+    try:
+        root = subprocess.run(
+            ["git", "rev-list", "--max-parents=0", "HEAD"],
+            cwd=REPO, capture_output=True, text=True, check=True,
+        ).stdout.split()[0]
+    except (subprocess.CalledProcessError, FileNotFoundError, IndexError):
+        return None
+    with tempfile.TemporaryDirectory(prefix="simspeed-seed-") as tmp:
+        try:
+            archive = subprocess.run(
+                ["git", "archive", root], cwd=REPO,
+                capture_output=True, check=True,
+            )
+            subprocess.run(
+                ["tar", "-x", "-C", tmp], input=archive.stdout, check=True
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", _SEED_DRIVER],
+                cwd=tmp, capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": str(pathlib.Path(tmp) / "src"),
+                     "PATH": "/usr/bin:/bin"},
+            ).stdout
+        except (subprocess.CalledProcessError, FileNotFoundError):
+            return None
+    try:
+        return float(json.loads(out.strip().splitlines()[-1])["seconds"])
+    except (ValueError, KeyError, IndexError):
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sweep, skip the seed-commit baseline")
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return value
+
+    parser.add_argument("--trials", type=positive_int, default=3,
+                        help="fast-path trials (best is reported)")
+    parser.add_argument("--output", default=str(REPO / "BENCH_simspeed.json"))
+    args = parser.parse_args(argv)
+
+    sweep = SMOKE_SWEEP if args.smoke else FULL_SWEEP
+
+    print("kernel microbenchmark ...", flush=True)
+    kernel = bench_kernel()
+    print(f"  reference {kernel['reference_entries_per_sec']:,} entries/s, "
+          f"fast {kernel['fast_entries_per_sec']:,} entries/s "
+          f"({kernel['kernel_speedup']}x)")
+
+    print("end-to-end sweep, fast engine ...", flush=True)
+    fast_s = bench_fast(sweep, args.trials)
+    print(f"  fast: {fast_s:.3f}s")
+
+    print("end-to-end sweep, reference engine (seed algorithm) ...", flush=True)
+    reference_s = bench_reference(sweep)
+    print(f"  reference: {reference_s:.3f}s")
+
+    seed_s = None
+    if not args.smoke:
+        print("end-to-end sweep, seed commit (git archive) ...", flush=True)
+        seed_s = bench_seed_commit()
+        print(f"  seed: {seed_s:.3f}s" if seed_s is not None
+              else "  seed commit unavailable (no git?); skipped")
+
+    baseline = seed_s if seed_s is not None else reference_s
+    result = {
+        "smoke": args.smoke,
+        "kernel": kernel,
+        "end_to_end": {
+            "sweep": [{"stack": s, "samples": n} for s, n in sweep],
+            "fast_seconds": round(fast_s, 3),
+            "reference_seconds": round(reference_s, 3),
+            "seed_seconds": None if seed_s is None else round(seed_s, 3),
+            "speedup_vs_reference": round(reference_s / fast_s, 2),
+            "speedup_vs_seed": None if seed_s is None
+            else round(seed_s / fast_s, 2),
+            "speedup": round(baseline / fast_s, 2),
+        },
+    }
+    pathlib.Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nspeedup: {result['end_to_end']['speedup']}x "
+          f"-> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

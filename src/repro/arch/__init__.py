@@ -14,7 +14,14 @@ instruction component (iCPI) and a memory-stall component (mCPI, Table 7).
 from repro.arch.isa import Op, TraceEntry, INSTRUCTION_SIZE
 from repro.arch.caches import DirectMappedCache, WriteBuffer, StreamBuffer, CacheStats
 from repro.arch.cpu import CpuModel, CpuConfig
+from repro.arch.fastsim import FastMachine, cpu_pass, simulate_cold_and_steady
 from repro.arch.memory import MemoryHierarchy, MemoryConfig, MemoryStats
+from repro.arch.packed import PackedTrace
+from repro.arch.simcache import (
+    cached_cpu_stats,
+    clear_caches,
+    simulate_cold_and_steady_cached,
+)
 from repro.arch.simulator import MachineSimulator, SimResult, AlphaConfig
 
 __all__ = [
@@ -27,9 +34,16 @@ __all__ = [
     "CacheStats",
     "CpuModel",
     "CpuConfig",
+    "FastMachine",
+    "cpu_pass",
+    "simulate_cold_and_steady",
     "MemoryHierarchy",
     "MemoryConfig",
     "MemoryStats",
+    "PackedTrace",
+    "cached_cpu_stats",
+    "clear_caches",
+    "simulate_cold_and_steady_cached",
     "MachineSimulator",
     "SimResult",
     "AlphaConfig",

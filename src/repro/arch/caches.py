@@ -12,8 +12,9 @@ simulation and has since been evicted; otherwise it is a cold miss.
 
 from __future__ import annotations
 
+import collections
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Deque, Dict, List, Optional, Set
 
 
 @dataclass
@@ -140,7 +141,13 @@ class WriteBuffer:
             raise ValueError("write buffer depth must be positive")
         self.depth = depth
         self.block_size = block_size
-        self._entries: List[int] = []          # FIFO of block addresses
+        # FIFO of block addresses plus a membership set: the hot path is a
+        # probe (store merging, load forwarding) followed by a possible
+        # oldest-entry eviction, so both must be O(1).  Entries are unique
+        # (a store to a buffered block merges), so the set mirrors the
+        # deque exactly.
+        self._entries: Deque[int] = collections.deque()
+        self._resident: Set[int] = set()
         self.stats = CacheStats()
         self.evictions: int = 0
 
@@ -151,25 +158,29 @@ class WriteBuffer:
         """Buffer a store; returns True when the write merged."""
         block = self.block_of(addr)
         self.stats.accesses += 1
-        if block in self._entries:
+        if block in self._resident:
             return True
         self.stats.misses += 1
         self._entries.append(block)
+        self._resident.add(block)
         if len(self._entries) > self.depth:
-            self._entries.pop(0)
+            self._resident.discard(self._entries.popleft())
             self.evictions += 1
         return False
 
     def contains(self, addr: int) -> bool:
-        return self.block_of(addr) in self._entries
+        return self.block_of(addr) in self._resident
 
     def drain(self) -> List[int]:
         """Flush all entries, returning the drained block addresses."""
-        drained, self._entries = self._entries, []
+        drained = list(self._entries)
+        self._entries.clear()
+        self._resident.clear()
         return drained
 
     def reset(self) -> None:
-        self._entries = []
+        self._entries.clear()
+        self._resident.clear()
         self.stats = CacheStats()
         self.evictions = 0
 

@@ -38,18 +38,19 @@ class Op(enum.Enum):
     MUL = "mul"          #: integer multiply (long latency on the 21064)
     NOP = "nop"          #: padding / scheduling nop
 
-    @property
-    def is_memory(self) -> bool:
-        return self in (Op.LOAD, Op.STORE)
+    #: Predicates relevant to issue pairing.  Precomputed per member below
+    #: (rather than per-call properties): the walker's segment compiler and
+    #: ``TraceEntry`` validation consult them for every instruction touched.
+    is_memory: bool
+    is_branch: bool  #: True for anything routed through the branch unit.
+    is_call: bool
 
-    @property
-    def is_branch(self) -> bool:
-        """True for anything routed through the branch unit."""
-        return self in (Op.BR, Op.JMP, Op.BSR, Op.JSR, Op.RET)
 
-    @property
-    def is_call(self) -> bool:
-        return self in (Op.BSR, Op.JSR)
+for _op in Op:
+    _op.is_memory = _op in (Op.LOAD, Op.STORE)
+    _op.is_branch = _op in (Op.BR, Op.JMP, Op.BSR, Op.JSR, Op.RET)
+    _op.is_call = _op in (Op.BSR, Op.JSR)
+del _op
 
 
 @dataclass(frozen=True)

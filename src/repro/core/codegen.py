@@ -47,10 +47,14 @@ def _never_near(caller: str, callee: str) -> bool:
     return False
 
 
-@dataclass
+@dataclass(slots=True)
 class MatInstr:
     """A positioned instruction: class, optional data ref, and the
-    instruction-granular offset from the function's base address."""
+    instruction-granular offset from the function's base address.
+
+    Slotted: a build materializes tens of thousands of these, and the
+    walker's segment compiler touches every one.
+    """
 
     op: Op
     dref: Optional[DataRef] = None
@@ -86,18 +90,35 @@ class MatTerm:
 
 @dataclass
 class MatBlock:
-    """A positioned basic block."""
+    """A positioned basic block.
+
+    ``instrs`` holds the source instructions (prologue included for the
+    entry block); the positioned ``body`` is derived lazily because most
+    blocks' bodies are never inspected — the walker compiles executed
+    blocks straight from ``instrs``, and sizes need only ``len(instrs)``.
+    """
 
     label: str
     origin: str
     start: int
-    body: List[MatInstr]
+    instrs: List[Instruction]
     term: MatTerm
     unlikely: bool = False
 
     @property
+    def body(self) -> List[MatInstr]:
+        cached = self.__dict__.get("_body")
+        if cached is None:
+            cached = [
+                MatInstr(ins.op, ins.dref, off)
+                for off, ins in enumerate(self.instrs, self.start)
+            ]
+            self.__dict__["_body"] = cached
+        return cached
+
+    @property
     def end(self) -> int:
-        return self.start + len(self.body) + self.term.emitted_count()
+        return self.start + len(self.instrs) + self.term.emitted_count()
 
 
 @dataclass
@@ -188,22 +209,20 @@ def materialize(
 
     for pos, blk in enumerate(order):
         adjacent = labels_in_order[pos + 1] if pos + 1 < len(order) else None
-        body: List[MatInstr] = []
+        block_start = offset
         if pos == 0:
-            for ins in _prologue_instructions(fn):
-                body.append(MatInstr(ins.op, ins.dref, offset))
-                offset += 1
-        for ins in blk.instructions:
-            body.append(MatInstr(ins.op, ins.dref, offset))
-            offset += 1
+            instrs = _prologue_instructions(fn) + blk.instructions
+        else:
+            instrs = blk.instructions
+        offset += len(instrs)
         term, offset = _materialize_terminator(
             fn, blk.terminator, adjacent, offset, near=near, got_offset=got_offset
         )
         mat = MatBlock(
             label=blk.label,
             origin=blk.origin,
-            start=body[0].offset if body else offset - term.emitted_count(),
-            body=body,
+            start=block_start,
+            instrs=instrs,
             term=term,
             unlikely=blk.unlikely,
         )

@@ -28,7 +28,7 @@ from repro.arch.isa import Op
 GP_RELOAD_INSTRUCTIONS = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataRef:
     """A symbolic data address: ``region`` base plus a byte ``offset``.
 
@@ -46,7 +46,7 @@ class DataRef:
     stride: int = 8
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """One machine instruction: a class plus an optional data reference."""
 
@@ -201,7 +201,9 @@ class BasicBlock:
         blk = BasicBlock(
             label=rename + self.label if rename else self.label,
             instructions=list(self.instructions),
-            terminator=copy.deepcopy(self.terminator),
+            # shallow copy is a full copy: every terminator field is an
+            # immutable scalar (labels, names, bools)
+            terminator=copy.copy(self.terminator),
             origin=self.origin,
             unlikely=self.unlikely,
         )

@@ -78,7 +78,7 @@ def mainline_and_outlined_size(
     for name in functions:
         mfn = program.materialized(name)
         for blk in mfn.blocks:
-            count = len(blk.body) + blk.term.emitted_count()
+            count = len(blk.instrs) + blk.term.emitted_count()
             if blk.unlikely:
                 outlined += count
             else:

@@ -14,8 +14,15 @@ from repro.harness.configs import (
     BuildResult,
     StackSpec,
     build_configured_program,
+    build_configured_program_cached,
 )
-from repro.harness.experiment import Experiment, ExperimentResult, SampleResult
+from repro.harness.experiment import (
+    Experiment,
+    ExperimentResult,
+    SampleResult,
+    resolve_engine,
+    run_all_configs,
+)
 from repro.harness.latency import LatencyModel, CONTROLLER_ROUNDTRIP_US
 
 __all__ = [
@@ -24,9 +31,12 @@ __all__ = [
     "BuildResult",
     "StackSpec",
     "build_configured_program",
+    "build_configured_program_cached",
     "Experiment",
     "ExperimentResult",
     "SampleResult",
+    "resolve_engine",
+    "run_all_configs",
     "LatencyModel",
     "CONTROLLER_ROUNDTRIP_US",
 ]

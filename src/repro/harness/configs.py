@@ -135,6 +135,25 @@ def _resolved_invocation_order(program: Program, spec: StackSpec,
     return out
 
 
+#: pristine IR models per (stack, opts).  Constructing the models is the
+#: single most expensive part of a build; every configuration starts from
+#: the same IR, so build it once and hand each configuration a clone.
+#: ``Function.clone`` gives fresh blocks and terminators (the parts the
+#: transformation pipeline mutates) while sharing the immutable
+#: ``Instruction`` objects.
+_base_models_memo: Dict[Tuple[str, Section2Options], List] = {}
+
+
+def _fresh_model_functions(stack: str, spec: StackSpec,
+                           opts: Section2Options) -> List:
+    key = (stack, opts)
+    base = _base_models_memo.get(key)
+    if base is None:
+        base = list(build_library(opts)) + list(spec.build_models(opts))
+        _base_models_memo[key] = base
+    return [fn.clone(fn.name) for fn in base]
+
+
 def build_configured_program(
     stack: str,
     config: str,
@@ -147,9 +166,7 @@ def build_configured_program(
     opts = opts or Section2Options.improved()
 
     program = Program()
-    for fn in build_library(opts):
-        program.add(fn)
-    for fn in spec.build_models(opts):
+    for fn in _fresh_model_functions(stack, spec, opts):
         program.add(fn)
 
     result = BuildResult(program=program, spec=spec, config=config, opts=opts,
@@ -214,3 +231,35 @@ def build_configured_program(
         )
     program.check_no_overlap()
     return result
+
+
+#: memoized builds, keyed by the full build recipe.  Builds are
+#: deterministic, so sharing one BuildResult across experiments is safe —
+#: and profitable beyond the build time itself, because walk-template and
+#: compiled-block caches attach to the program object (see
+#: :mod:`repro.core.fastwalk`) and grow more valuable the longer a build
+#: lives.
+_build_memo: Dict[Tuple[str, str, Section2Options], BuildResult] = {}
+
+
+def build_configured_program_cached(
+    stack: str,
+    config: str,
+    opts: Optional[Section2Options] = None,
+) -> BuildResult:
+    """Memoized :func:`build_configured_program`.
+
+    Callers must treat the returned build as shared and immutable; use the
+    uncached builder to get a private program to transform further.
+    """
+    key = (stack, config, opts or Section2Options.improved())
+    cached = _build_memo.get(key)
+    if cached is None:
+        cached = build_configured_program(stack, config, opts)
+        _build_memo[key] = cached
+    return cached
+
+
+def clear_build_memo() -> None:
+    _build_memo.clear()
+    _base_models_memo.clear()

@@ -1,0 +1,96 @@
+"""Parallel sweep executor: deterministic (config, seed) cells over a
+process pool.
+
+A full-table sweep is embarrassingly parallel: each (configuration,
+jitter-seed) cell captures, walks and simulates independently, and the
+seed schedule (``base_seed + 17 * i``) is fixed up front.  Workers run
+whole cells and return *slim* sample results — packed walk plus
+simulation stats — because live event streams close over functional-net
+objects (including lambdas) and cannot cross a process boundary.  The
+parent rebuilds each configuration's program via the build memo (cheap,
+and usually already present) and reassembles ``ExperimentResult`` objects
+in deterministic sample order, so a parallel sweep is sample-for-sample
+identical to the serial one apart from the dropped event lists.
+
+On fork-based platforms workers inherit the parent's warm caches (builds,
+walk templates, simulation results) copy-on-write for free.  Any pool
+failure is the caller's cue to fall back to the serial loop
+(:func:`repro.harness.experiment.run_all_configs` does this
+automatically).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.simulator import SimResult
+from repro.core.walker import WalkResult
+from repro.harness.configs import build_configured_program_cached
+from repro.protocols.options import Section2Options
+
+
+def _run_cell(
+    stack: str,
+    config: str,
+    opts: Optional[Section2Options],
+    seed: int,
+    server_processing_us: Optional[float],
+    engine: str,
+) -> Tuple[str, int, WalkResult, SimResult, SimResult, float]:
+    """Worker: measure one (config, seed) cell; return picklable parts."""
+    from repro.harness.experiment import Experiment
+
+    exp = Experiment(stack, config, opts,
+                     server_processing_us=server_processing_us, engine=engine)
+    build = build_configured_program_cached(stack, config, opts)
+    sample = exp.run_sample(build, seed)
+    walk = WalkResult(sample.walk.packed, sample.walk.marks)
+    return (config, seed, walk, sample.cold, sample.steady,
+            sample.roundtrip_us)
+
+
+def run_parallel_sweep(
+    stack: str,
+    configs: Sequence[str],
+    *,
+    samples: int,
+    opts: Optional[Section2Options] = None,
+    server_processing_us: Optional[float] = None,
+    engine: str = "fast",
+    max_workers: Optional[int] = None,
+    base_seed: int = 42,
+) -> Dict[str, "ExperimentResult"]:
+    """Run the (configs x samples) sweep on a process pool.
+
+    Returns the same mapping as the serial ``run_all_configs`` loop;
+    raises if the pool cannot be used at all (callers fall back).
+    """
+    from repro.harness.experiment import ExperimentResult, SampleResult
+
+    seeds = [base_seed + 17 * i for i in range(samples)]
+    slots: Dict[str, List[Optional[SampleResult]]] = {
+        config: [None] * samples for config in configs
+    }
+    with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = {
+            pool.submit(_run_cell, stack, config, opts, seed,
+                        server_processing_us, engine): (config, i)
+            for config in configs
+            for i, seed in enumerate(seeds)
+        }
+        for future in concurrent.futures.as_completed(futures):
+            config, i = futures[future]
+            _, _, walk, cold, steady, rtt = future.result()
+            slots[config][i] = SampleResult(
+                events=[], walk=walk, cold=cold, steady=steady,
+                roundtrip_us=rtt,
+            )
+
+    out: Dict[str, ExperimentResult] = {}
+    for config in configs:
+        build = build_configured_program_cached(stack, config, opts)
+        result = ExperimentResult(stack=stack, config=config, build=build)
+        result.samples = [s for s in slots[config] if s is not None]
+        out[config] = result
+    return out

@@ -18,7 +18,7 @@ accessor objects that compute the scattered physical offsets once, at
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 
@@ -37,20 +37,20 @@ class SparseLayout:
 
     valid: int
     gap: int
+    #: ``valid + gap``, precomputed: ``physical`` runs on packet hot paths.
+    stride: int = field(init=False)
 
     def __post_init__(self) -> None:
         if self.valid <= 0 or self.gap < 0:
             raise SparseMemoryError("invalid sparse layout")
-
-    @property
-    def stride(self) -> int:
-        return self.valid + self.gap
+        object.__setattr__(self, "stride", self.valid + self.gap)
 
     def physical(self, logical: int) -> int:
         """Map a logical (dense) byte offset to its physical offset."""
         if logical < 0:
             raise SparseMemoryError("negative offset")
-        return (logical // self.valid) * self.stride + logical % self.valid
+        block, rest = divmod(logical, self.valid)
+        return block * self.stride + rest
 
     def physical_span(self, logical_start: int, length: int) -> int:
         """Physical bytes spanned by a dense range (incl. interior gaps)."""
@@ -91,17 +91,31 @@ class SparseMemory:
         self._check(offset, length)
         self.reads += 1
         self.physical_bytes_touched += length
+        # Copy a valid-run at a time: runs are contiguous in both spaces.
         out = bytearray(length)
-        for i in range(length):
-            out[i] = self._store[self.layout.physical(offset + i)]
+        valid, stride, store = self.layout.valid, self.layout.stride, self._store
+        pos = 0
+        while pos < length:
+            block, skew = divmod(offset + pos, valid)
+            take = min(valid - skew, length - pos)
+            phys = block * stride + skew
+            out[pos:pos + take] = store[phys:phys + take]
+            pos += take
         return bytes(out)
 
     def write(self, offset: int, data: bytes) -> None:
-        self._check(offset, len(data))
+        length = len(data)
+        self._check(offset, length)
         self.writes += 1
-        self.physical_bytes_touched += len(data)
-        for i, b in enumerate(data):
-            self._store[self.layout.physical(offset + i)] = b
+        self.physical_bytes_touched += length
+        valid, stride, store = self.layout.valid, self.layout.stride, self._store
+        pos = 0
+        while pos < length:
+            block, skew = divmod(offset + pos, valid)
+            take = min(valid - skew, length - pos)
+            phys = block * stride + skew
+            store[phys:phys + take] = data[pos:pos + take]
+            pos += take
 
     def physical_addr(self, logical: int) -> int:
         """Simulated machine address of a logical byte (for d-cache refs)."""

@@ -1,0 +1,118 @@
+"""PackedTrace: round-tripping, fingerprints, validation, pickling."""
+
+import pickle
+
+import pytest
+
+from repro.arch.isa import Op, TraceEntry
+from repro.arch.packed import (
+    FLAG_DWRITE,
+    FLAG_TAKEN,
+    IS_BRANCH,
+    IS_MEMORY,
+    OP_CODES,
+    OPS_BY_CODE,
+    PackedTrace,
+)
+from array import array
+
+
+def sample_entries():
+    return [
+        TraceEntry(pc=0x1000, op=Op.ALU),
+        TraceEntry(pc=0x1004, op=Op.LOAD, daddr=0x8000),
+        TraceEntry(pc=0x1008, op=Op.STORE, daddr=0x8040, dwrite=True),
+        TraceEntry(pc=0x100C, op=Op.BR, taken=True),
+        TraceEntry(pc=0x2000, op=Op.LDA),
+        TraceEntry(pc=0x2004, op=Op.RET, taken=True),
+    ]
+
+
+def test_predicate_tables_match_op_attributes():
+    for code, op in enumerate(OPS_BY_CODE):
+        assert IS_MEMORY[code] == op.is_memory
+        assert IS_BRANCH[code] == op.is_branch
+        assert OP_CODES[op] == code
+
+
+def test_round_trip_preserves_entries():
+    entries = sample_entries()
+    packed = PackedTrace.from_entries(entries)
+    assert len(packed) == len(entries)
+    assert packed.entries() == entries
+    assert list(packed) == entries
+    assert [packed[i] for i in range(len(packed))] == entries
+
+
+def test_columns_encode_flags_and_addresses():
+    packed = PackedTrace.from_entries(sample_entries())
+    assert packed.daddrs[0] == -1          # non-memory: sentinel
+    assert packed.daddrs[1] == 0x8000
+    assert packed.flags[2] & FLAG_DWRITE
+    assert packed.flags[3] & FLAG_TAKEN
+    assert not packed.flags[0]
+
+
+def test_append_validates_daddr_op_agreement():
+    packed = PackedTrace()
+    with pytest.raises(ValueError):
+        packed.append(0x1000, OP_CODES[Op.LOAD])          # memory, no daddr
+    with pytest.raises(ValueError):
+        packed.append(0x1000, OP_CODES[Op.ALU], daddr=8)  # non-memory + daddr
+    assert len(packed) == 0
+
+
+def test_constructor_rejects_ragged_columns():
+    with pytest.raises(ValueError):
+        PackedTrace(pcs=array("q", [1, 2]), daddrs=array("q", [-1]),
+                    ops=bytearray(2), flags=bytearray(2))
+
+
+def test_extend_straight_matches_appends():
+    a = PackedTrace()
+    b = PackedTrace()
+    pcs = array("q", [0x1000, 0x1004, 0x1008])
+    ops = bytes([OP_CODES[Op.ALU], OP_CODES[Op.LDA], OP_CODES[Op.ALU]])
+    a.extend_straight(pcs, ops)
+    for pc, code in zip(pcs, ops):
+        b.append(pc, code)
+    assert a.entries() == b.entries()
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_fingerprint_is_content_addressed():
+    a = PackedTrace.from_entries(sample_entries())
+    b = PackedTrace.from_entries(sample_entries())
+    assert a.fingerprint() == b.fingerprint()
+    assert a.cpu_key() == b.cpu_key()
+    b.append(0x3000, OP_CODES[Op.ALU])
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_cpu_key_ignores_addresses():
+    entries = sample_entries()
+    a = PackedTrace.from_entries(entries)
+    shifted = [
+        TraceEntry(pc=e.pc + 0x100,
+                   op=e.op,
+                   daddr=None if e.daddr is None else e.daddr + 0x40,
+                   dwrite=e.dwrite, taken=e.taken)
+        for e in entries
+    ]
+    b = PackedTrace.from_entries(shifted)
+    assert a.fingerprint() != b.fingerprint()
+    assert a.cpu_key() == b.cpu_key()      # ops/flags columns are equal
+
+
+def test_mutation_invalidates_cached_hashes():
+    packed = PackedTrace.from_entries(sample_entries())
+    before = packed.fingerprint()
+    packed.append(0x4000, OP_CODES[Op.ALU])
+    assert packed.fingerprint() != before
+
+
+def test_pickle_round_trip():
+    packed = PackedTrace.from_entries(sample_entries())
+    clone = pickle.loads(pickle.dumps(packed))
+    assert clone.entries() == packed.entries()
+    assert clone.fingerprint() == packed.fingerprint()

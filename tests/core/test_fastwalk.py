@@ -1,0 +1,72 @@
+"""Template-accelerated walks against the full walker."""
+
+import pytest
+
+from repro.core.fastwalk import FastWalker, event_signature
+from repro.core.walker import EnterEvent, ExitEvent, MarkEvent, Walker
+from repro.harness.configs import CONFIG_NAMES, build_configured_program_cached
+from repro.harness.experiment import Experiment
+
+SEEDS = (42, 59, 76)
+
+
+def _columns(walk):
+    p = walk.packed
+    return (list(p.pcs), list(p.daddrs), bytes(p.ops), bytes(p.flags))
+
+
+@pytest.mark.parametrize("stack,config",
+                         [("tcpip", "STD"), ("tcpip", "ALL"), ("rpc", "CLO")])
+def test_fast_walker_matches_walker_across_seeds(stack, config):
+    exp = Experiment(stack, config)
+    build = build_configured_program_cached(stack, config)
+    fast = FastWalker(build.program, None)
+    for seed in SEEDS:
+        events, data_env = exp.capture_roundtrip(seed)
+        reference = Walker(build.program, data_env).walk(events)
+        # independent clone: walks consume list-valued conds in place
+        events2, _ = exp.capture_roundtrip(seed)
+        templated = FastWalker(build.program, data_env).walk(events2)
+        assert _columns(templated) == _columns(reference)
+        assert templated.marks == reference.marks
+
+
+def test_second_walk_uses_the_template(monkeypatch):
+    exp = Experiment("tcpip", "OUT")
+    build = build_configured_program_cached("tcpip", "OUT")
+    events, data_env = exp.capture_roundtrip(42)
+    first = FastWalker(build.program, data_env).walk(events)
+    assert build.program.__dict__.get("_walk_templates")
+
+    # a template hit must not re-run the full walker
+    def boom(self, events, **kwargs):                    # pragma: no cover
+        raise AssertionError("template miss: full walk re-ran")
+    monkeypatch.setattr(Walker, "walk", boom)
+
+    events2, _ = exp.capture_roundtrip(59)
+    rebound = FastWalker(build.program, data_env).walk(events2)
+    assert bytes(rebound.packed.ops) == bytes(first.packed.ops)
+    assert list(rebound.packed.pcs) == list(first.packed.pcs)
+
+
+def test_rebind_shares_code_derived_caches():
+    exp = Experiment("rpc", "ALL")
+    build = build_configured_program_cached("rpc", "ALL")
+    events, data_env = exp.capture_roundtrip(42)
+    first = FastWalker(build.program, data_env).walk(events)
+    events2, _ = exp.capture_roundtrip(59)
+    second = FastWalker(build.program, data_env).walk(events2)
+    # fetch-run structure depends only on pcs/ops -> one shared cache dict
+    assert second.packed._shared is first.packed._shared
+
+
+def test_event_signature_tracks_control_flow_not_data():
+    events_a = [EnterEvent("f", {"c": True}, {"heap": 0x1000}),
+                MarkEvent("m"), ExitEvent("f")]
+    events_b = [EnterEvent("f", {"c": True}, {"heap": 0x9000}),
+                MarkEvent("m"), ExitEvent("f")]
+    events_c = [EnterEvent("f", {"c": False}, {"heap": 0x1000}),
+                MarkEvent("m"), ExitEvent("f")]
+    # data-region *values* rebind; only keys and outcomes steer the walker
+    assert event_signature(events_a) == event_signature(events_b)
+    assert event_signature(events_a) != event_signature(events_c)

@@ -1,0 +1,89 @@
+"""Parallel sweeps, engine selection, and capture memoization."""
+
+import pytest
+
+from repro.harness.experiment import (
+    Experiment,
+    clear_capture_memo,
+    resolve_engine,
+    run_all_configs,
+)
+from repro.harness.parallel import run_parallel_sweep
+
+SMALL = ("STD", "OUT")
+
+
+def _sample_tuples(result):
+    return [(s.roundtrip_us, s.cold, s.steady) for s in result.samples]
+
+
+def test_parallel_sweep_reproduces_serial_sweep():
+    try:
+        par = run_parallel_sweep("tcpip", SMALL, samples=2, max_workers=2)
+    except OSError as exc:                               # pragma: no cover
+        pytest.skip(f"process pool unavailable: {exc}")
+    ser = run_all_configs("tcpip", SMALL, samples=2, parallel=False)
+    assert set(par) == set(ser) == set(SMALL)
+    for config in SMALL:
+        assert _sample_tuples(par[config]) == _sample_tuples(ser[config])
+        # live event streams stay in the worker; everything else crosses
+        assert all(s.events == [] for s in par[config].samples)
+        assert par[config].samples[0].walk.length == \
+            ser[config].samples[0].walk.length
+
+
+def test_run_all_configs_parallel_flag_matches_serial():
+    auto = run_all_configs("tcpip", SMALL, samples=2)
+    ser = run_all_configs("tcpip", SMALL, samples=2, parallel=False)
+    for config in SMALL:
+        assert [s.roundtrip_us for s in auto[config].samples] == \
+            [s.roundtrip_us for s in ser[config].samples]
+
+
+def test_engines_agree_end_to_end():
+    fast = Experiment("tcpip", "CLO", engine="fast").run(samples=2)
+    ref = Experiment("tcpip", "CLO", engine="reference").run(samples=2)
+    for f, r in zip(fast.samples, ref.samples):
+        assert f.cold == r.cold
+        assert f.steady == r.steady
+        assert f.roundtrip_us == r.roundtrip_us
+
+
+def test_resolve_engine_precedence(monkeypatch):
+    assert resolve_engine() == "fast"
+    monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+    assert resolve_engine() == "reference"
+    assert resolve_engine("fast") == "fast"    # explicit beats environment
+    with pytest.raises(ValueError):
+        resolve_engine("warp")
+
+
+def test_capture_memo_hands_out_independent_clones():
+    clear_capture_memo()
+    exp = Experiment("tcpip", "STD")
+    events1, env1 = exp.capture_roundtrip(42)
+    events2, env2 = exp.capture_roundtrip(42)
+    assert env1 == env2
+    assert events1 is not events2
+    # list-valued conds are consumed in place by walks; clones must not
+    # share them (nor the cond dicts themselves)
+    for a, b in zip(events1, events2):
+        conds_a = getattr(a, "conds", None)
+        if conds_a is None:
+            continue
+        assert conds_a is not b.conds
+        for key, value in conds_a.items():
+            if isinstance(value, list):
+                assert value is not b.conds[key]
+    clear_capture_memo()
+
+
+def test_memoization_can_be_disabled():
+    clear_capture_memo()
+    from repro.harness.experiment import _capture_memo
+
+    exp = Experiment("tcpip", "STD", memoize_captures=False)
+    events, _ = exp.capture_roundtrip(42)
+    assert events
+    assert not _capture_memo
+    clear_capture_memo()
