@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Perf-trend gate: compare a smoke benchmark run against the committed
+baseline and fail on a regression.
+
+``BENCH_simspeed.json`` (repo root) records the fast engine's end-to-end
+speedup over the reference engine as measured on the machine that
+produced it.  CI machines differ in absolute speed, but the *ratio*
+between the two engines on the same box is stable — so the gate runs
+``bench_simspeed.py --smoke`` and requires::
+
+    measured speedup_vs_reference >= threshold * recorded speedup_vs_reference
+
+with a default threshold of 0.8 to absorb CI noise.  A failure means the
+fast path lost a structural optimisation (caching disabled, packed-trace
+reuse broken, a per-instruction branch crept into the kernel, ...).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_simspeed.py --smoke --trials 1 \
+        --output /tmp/smoke.json
+    python benchmarks/check_perf_trend.py /tmp/smoke.json [--threshold 0.8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO / "BENCH_simspeed.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("smoke", help="JSON produced by bench_simspeed.py --smoke")
+    parser.add_argument("--baseline", default=str(BASELINE))
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="minimum measured/recorded speedup ratio (default 0.8)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    smoke = json.loads(pathlib.Path(args.smoke).read_text())
+
+    # a smoke run must be compared against the recorded smoke-sized ratio:
+    # the reduced sweep amortizes the result caches less than the full one
+    section = "smoke_end_to_end" if smoke.get("smoke") else "end_to_end"
+    recorded = baseline.get(section, baseline["end_to_end"])["speedup_vs_reference"]
+    measured = smoke["end_to_end"]["speedup_vs_reference"]
+    floor = args.threshold * recorded
+
+    print(f"recorded speedup_vs_reference: {recorded}x ({args.baseline})")
+    print(f"measured speedup_vs_reference: {measured}x ({args.smoke})")
+    print(f"floor ({args.threshold} x recorded): {floor:.2f}x")
+
+    if measured < floor:
+        print(
+            f"\nPERF REGRESSION: {measured}x < {floor:.2f}x — the fast "
+            "engine lost ground against the reference engine",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nperf trend OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

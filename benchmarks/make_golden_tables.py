@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Regenerate the golden result tables for the CI regression gate.
+
+Runs the canonical Table-4 sweep (TCP/IP x 10 samples, RPC x 5 samples)
+through the harness and rewrites::
+
+    benchmarks/results/table{4,5,6,7}_{tcpip,rpc}.txt
+
+byte for byte the way the benchmark suite publishes them.  The simulation
+pipeline is deterministic per (stack, config, seed), so any diff against
+the committed files means the *model's numbers changed* — CI runs this
+under both ``REPRO_SIM_ENGINE=fast`` and ``=reference`` and fails on
+``git diff``.  After an intentional model change, rerun this script and
+commit the new tables with the change that explains them.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/make_golden_tables.py [--check]
+
+``--check`` writes nothing and exits 1 if any regenerated table differs
+from the committed file (a git-free equivalent of the CI gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.harness.experiment import resolve_engine, run_all_configs  # noqa: E402
+from repro.harness.reporting import (  # noqa: E402
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+)
+
+RESULTS_DIR = REPO / "benchmarks" / "results"
+
+#: sample counts must match benchmarks/conftest.py
+SAMPLES = {"tcpip": 10, "rpc": 5}
+
+RENDERERS = {
+    4: render_table4,
+    5: render_table5,
+    6: render_table6,
+    7: render_table7,
+}
+
+
+def golden_tables() -> dict:
+    """{relative filename: rendered text} for every gated table."""
+    out = {}
+    for stack, samples in SAMPLES.items():
+        sweep = run_all_configs(stack, samples=samples)
+        for number, renderer in RENDERERS.items():
+            out[f"table{number}_{stack}.txt"] = renderer(sweep, stack) + "\n"
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed files instead of rewriting",
+    )
+    args = parser.parse_args(argv)
+
+    engine = resolve_engine()
+    print(f"regenerating golden tables ({engine} engine) ...", flush=True)
+    tables = golden_tables()
+
+    stale = []
+    for name, text in sorted(tables.items()):
+        path = RESULTS_DIR / name
+        committed = path.read_text() if path.exists() else None
+        if committed == text:
+            print(f"  {name}: unchanged")
+            continue
+        stale.append(name)
+        if args.check:
+            print(f"  {name}: DIFFERS from the committed file")
+        else:
+            RESULTS_DIR.mkdir(exist_ok=True)
+            path.write_text(text)
+            print(f"  {name}: rewritten")
+
+    if args.check and stale:
+        print(
+            f"\n{len(stale)} golden table(s) changed; if intentional, rerun "
+            "without --check and commit the updates",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

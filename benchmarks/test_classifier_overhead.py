@@ -6,7 +6,6 @@ benchmark measures our classifier the same way — separately — and shows
 what Table 4's PIN row would look like if the cost were charged.
 """
 
-import pytest
 
 from repro.arch.simulator import MachineSimulator
 from repro.core.layout import link_order_layout

@@ -7,7 +7,6 @@ the ordering of the configurations, and roughly who-wins-by-how-much.
 
 import pytest
 
-from repro.harness import paper
 from repro.harness.reporting import render_table4
 
 

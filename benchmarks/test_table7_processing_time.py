@@ -5,7 +5,6 @@ reproduction asserts the relationships the paper highlights rather than
 absolute cycle counts.
 """
 
-import pytest
 
 from repro.harness import paper
 from repro.harness.reporting import render_table7

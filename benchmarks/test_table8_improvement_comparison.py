@@ -6,9 +6,7 @@ d-cache, and (2) processing-time deltas divided by b-cache access deltas
 land near the 10-cycle b-cache latency.
 """
 
-import pytest
 
-from repro.harness import paper
 from repro.harness.reporting import render_table8
 from repro.harness.tables import compute_table8
 

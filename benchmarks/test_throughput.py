@@ -10,7 +10,7 @@ grows with the techniques enabled.
 
 import pytest
 
-from repro.protocols.stacks import build_tcpip_network, establish
+from repro.protocols.stacks import build_tcpip_network
 from repro.xkernel.protocol import Protocol
 
 TRANSFER_BYTES = 200_000

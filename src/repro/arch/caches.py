@@ -13,8 +13,8 @@ simulation and has since been evicted; otherwise it is a cold miss.
 from __future__ import annotations
 
 import collections
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Set
 
 
 @dataclass

@@ -87,7 +87,6 @@ class CpuModel:
         """Issue the whole trace, returning cycle/issue statistics."""
         stats = CpuStats()
         pending: Optional[TraceEntry] = None
-        cfg = self.config
         for entry in trace:
             stats.instructions += 1
             if entry.op is Op.MUL:

@@ -244,9 +244,19 @@ class FastMachine:
 
     Like the reference, the hierarchy persists across calls so a warm-up
     can precede the measured run; a fresh instance is a cold machine.
+
+    An optional ``sink`` (see :class:`repro.obs.Attribution`) observes every
+    pass *after* the fused kernel has run — attribution is a post-pass over
+    the packed columns, so the inner loops carry no instrumentation and a
+    machine without a sink is byte-for-byte the PR-1 fast path.  After each
+    measured run the attributed stall total is checked against the
+    kernel's.
     """
 
-    def __init__(self, config: Optional[AlphaConfig] = None) -> None:
+    def __init__(
+        self, config: Optional[AlphaConfig] = None, *, sink=None
+    ) -> None:
+        self.sink = sink
         self.config = config or AlphaConfig()
         mem: MemoryConfig = self.config.memory
         self._block_size = mem.block_size
@@ -514,7 +524,10 @@ class FastMachine:
 
     def warm_up(self, trace: Traceable) -> None:
         """Run a trace purely for its cache side effects."""
-        self._mem_pass(as_packed(trace))
+        packed = as_packed(trace)
+        self._mem_pass(packed)
+        if self.sink is not None:
+            self.sink.observe_pass(packed, measure=False)
 
     def run(self, trace: Traceable) -> SimResult:
         """Simulate one trace, returning stats for exactly that trace."""
@@ -522,6 +535,15 @@ class FastMachine:
         before = list(self._c)
         self._mem_pass(packed)
         delta = [a - b for a, b in zip(self._c, before)]
+        if self.sink is not None:
+            attributed = self.sink.observe_pass(packed, measure=True)
+            if attributed != delta[11]:
+                from repro.obs.attribution import AttributionMismatch
+
+                raise AttributionMismatch(
+                    f"attributed {attributed} stall cycles for this pass but "
+                    f"the fast engine measured {delta[11]}"
+                )
         return SimResult(
             cpu=cpu_pass(packed, self.config.cpu),
             memory=self._stats_from(delta),
@@ -533,7 +555,7 @@ class FastMachine:
         """Warm the hierarchy with ``warmup_rounds`` repetitions, then measure."""
         packed = as_packed(trace)
         for _ in range(warmup_rounds):
-            self._mem_pass(packed)
+            self.warm_up(packed)
         return self.run(packed)
 
 

@@ -9,7 +9,7 @@ counters, the trace length, processing time, and the CPI split into iCPI
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.arch.cpu import CpuConfig, CpuModel, CpuStats
 from repro.arch.isa import TraceEntry
@@ -67,12 +67,21 @@ class MachineSimulator:
     precede the measured run (steady-state measurement, Table 7), while a
     freshly constructed simulator reproduces cold-start cache statistics
     (Table 6).
+
+    An optional ``sink`` (see :class:`repro.obs.Attribution`) observes every
+    pass: warm-ups advance it silently, measured runs are attributed stall
+    cycle by stall cycle, and the attributed total is checked against the
+    measured total after each run.  With no sink attached the simulator
+    does no extra work.
     """
 
-    def __init__(self, config: Optional[AlphaConfig] = None) -> None:
+    def __init__(
+        self, config: Optional[AlphaConfig] = None, *, sink=None
+    ) -> None:
         self.config = config or AlphaConfig()
         self.cpu = CpuModel(self.config.cpu)
         self.memory = MemoryHierarchy(self.config.memory)
+        self.sink = sink
 
     def run(self, trace: Sequence[TraceEntry]) -> SimResult:
         """Simulate one trace, returning stats for exactly that trace."""
@@ -80,12 +89,25 @@ class MachineSimulator:
         self.memory.run(trace)
         mem = self.memory.stats.delta(before)
         cpu = self.cpu.run(trace)
+        if self.sink is not None:
+            attributed = self.sink.observe_pass(trace, measure=True)
+            if attributed != mem.stall_cycles:
+                from repro.obs.attribution import AttributionMismatch
+
+                raise AttributionMismatch(
+                    f"attributed {attributed} stall cycles for this pass but "
+                    f"the reference engine measured {mem.stall_cycles}"
+                )
         return SimResult(cpu=cpu, memory=mem)
 
     def warm_up(self, trace: Iterable[TraceEntry]) -> None:
         """Run a trace purely for its cache side effects."""
+        if self.sink is not None:
+            trace = list(trace)
         for entry in trace:
             self.memory.step(entry)
+        if self.sink is not None:
+            self.sink.observe_pass(trace, measure=False)
 
     def run_steady_state(
         self, trace: Sequence[TraceEntry], *, warmup_rounds: int = 2

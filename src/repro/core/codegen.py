@@ -22,7 +22,6 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.arch.isa import INSTRUCTION_SIZE, Op
 from repro.core.ir import (
-    BasicBlock,
     CallDynamic,
     CallStatic,
     CondBranch,

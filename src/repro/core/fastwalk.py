@@ -35,8 +35,6 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.arch.packed import PackedTrace
 from repro.core.program import Program
 from repro.core.walker import (
-    DEFAULT_DEMUX_BASE,
-    DEFAULT_GOT_BASE,
     DEFAULT_STACK_TOP,
     EnterEvent,
     Event,

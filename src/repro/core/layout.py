@@ -27,9 +27,8 @@ returning ``{function name: base address}``:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.arch.isa import INSTRUCTION_SIZE
 from repro.core.program import Program
 
 LayoutStrategy = Callable[[Program], Dict[str, int]]
@@ -41,6 +40,29 @@ BCACHE = 2 * 1024 * 1024
 
 def _align(addr: int, alignment: int = BLOCK) -> int:
     return (addr + alignment - 1) // alignment * alignment
+
+
+def icache_sets_of(
+    program: Program,
+    name: str,
+    *,
+    icache_size: int = ICACHE,
+    block_size: int = BLOCK,
+) -> Set[int]:
+    """The direct-mapped i-cache sets a laid-out function's extent occupies.
+
+    Two functions conflict in the i-cache exactly when these sets
+    intersect; the observability layer's conflict matrix keys its static
+    overlap analysis on this.
+    """
+    nsets = icache_size // block_size
+    start = program.address_of(name)
+    end = start + program.size_of(name)
+    first = start // block_size
+    last = (end - 1) // block_size
+    if last - first + 1 >= nsets:
+        return set(range(nsets))
+    return {blk % nsets for blk in range(first, last + 1)}
 
 
 def _pack(program: Program, order: Sequence[str], base: int,

@@ -9,7 +9,7 @@ footprint picture of outlining and cloning).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Sequence, Set, Tuple
 
 from repro.arch.isa import INSTRUCTION_SIZE, TraceEntry
 from repro.core.program import Program

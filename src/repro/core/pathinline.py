@@ -27,12 +27,10 @@ from repro.arch.isa import Op
 from repro.core.ir import (
     BasicBlock,
     CallDynamic,
-    CallStatic,
     Function,
     InlineEnter,
     InlineExit,
     Instruction,
-    Jump,
     Return,
 )
 from repro.core.program import Program

@@ -9,7 +9,6 @@ and entry aliases created by path-inlining.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.arch.isa import INSTRUCTION_SIZE

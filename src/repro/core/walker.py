@@ -37,7 +37,6 @@ from repro.core.ir import (
     CallDynamic,
     CallStatic,
     CondBranch,
-    DataRef,
     Fallthrough,
     InlineEnter,
     InlineExit,

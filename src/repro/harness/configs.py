@@ -19,7 +19,7 @@ clones/merged functions, so the analysis code can attribute addresses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.clone import clone_functions, clone_name
 from repro.core.layout import (

@@ -19,7 +19,6 @@ reproducing the run-to-run variance the paper reports as +-sigma.
 
 from __future__ import annotations
 
-import math
 import os
 import statistics
 from dataclasses import dataclass, field
@@ -65,7 +64,11 @@ def resolve_engine(engine: Optional[str] = None) -> str:
     if engine is None:
         engine = os.environ.get("REPRO_SIM_ENGINE", "fast")
     if engine not in ENGINES:
-        raise ValueError(f"unknown simulation engine {engine!r}")
+        raise ValueError(
+            f"unknown simulation engine {engine!r} "
+            f"(from $REPRO_SIM_ENGINE or the engine= argument); "
+            f"valid engines: {', '.join(ENGINES)}"
+        )
     return engine
 
 

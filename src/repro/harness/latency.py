@@ -23,7 +23,7 @@ subtracts the 210 µs controller share again.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 #: 2 x (frame handoff -> transmit-complete interrupt), Section 4.3
 CONTROLLER_ROUNDTRIP_US = 210.0

@@ -11,7 +11,6 @@ as 3.30, the abstract gives the worst/best mCPI ratios (3.9 for TCP/IP,
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 CONFIGS = ("BAD", "STD", "OUT", "CLO", "PIN", "ALL")
 

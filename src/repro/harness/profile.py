@@ -12,13 +12,16 @@ technique to apply where.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro.arch.cpu import CpuModel
+from repro.arch.fastsim import FastMachine
 from repro.arch.isa import TraceEntry
 from repro.arch.memory import MemoryHierarchy
-from repro.arch.simulator import AlphaConfig
+from repro.arch.simulator import AlphaConfig, MachineSimulator, SimResult
 from repro.core.program import Program
+from repro.core.walker import Walker
+from repro.obs import Attribution, AttributionReport, ConflictMatrix
+from repro.trace.tracer import call_counts
 
 
 @dataclass
@@ -108,3 +111,99 @@ def profile_trace(
         prof.stall_cycles += stall
         prof.icache_misses += memory.icache.stats.misses - misses_before
     return report
+
+
+# --------------------------------------------------------------------------- #
+# experiment-level attribution (repro.obs)                                    #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class CellProfile:
+    """Full stall attribution for one (stack, config) cell.
+
+    Produced by :func:`profile_cell`: one traced roundtrip, simulated cold
+    and steady with an :class:`repro.obs.Attribution` sink attached, plus
+    the per-function invocation counts from the captured event stream.
+    """
+
+    stack: str
+    config: str
+    engine: str
+    seed: int
+    cold: AttributionReport
+    steady: AttributionReport
+    cold_result: SimResult
+    steady_result: SimResult
+    #: invocations per function in the traced roundtrip
+    invocations: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def conflicts(self) -> ConflictMatrix:
+        """The steady-state eviction matrix (the conflicts that persist)."""
+        return self.steady.conflicts
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "stack": self.stack,
+            "config": self.config,
+            "engine": self.engine,
+            "seed": self.seed,
+            "cold": self.cold.to_json(),
+            "steady": self.steady.to_json(),
+            "invocations": dict(sorted(self.invocations.items())),
+        }
+
+
+def profile_cell(
+    stack: str,
+    config: str,
+    *,
+    seed: int = 42,
+    engine: Optional[str] = None,
+    warmup_rounds: int = 2,
+) -> CellProfile:
+    """Capture, simulate and attribute one (stack, config) cell.
+
+    Runs the standard experiment procedure for a single sample with an
+    attribution sink attached: the cold measured pass is harvested as the
+    ``cold`` report, ``warmup_rounds - 1`` warm passes advance the replica
+    silently, and the final measured pass is harvested as ``steady`` —
+    the same pass structure the engines use, so the simulated numbers are
+    identical to an unprofiled run and the attribution invariant is
+    checked after every measured pass.
+    """
+    from repro.harness.configs import build_configured_program
+    from repro.harness.experiment import Experiment, resolve_engine
+
+    engine = resolve_engine(engine)
+    exp = Experiment(stack, config, engine=engine)
+    events, data_env = exp.capture_roundtrip(seed)
+    build = build_configured_program(stack, config)
+    walk = Walker(build.program, data_env).walk(list(events))
+
+    sink = Attribution(build.program)
+    machine = (
+        FastMachine(sink=sink)
+        if engine == "fast"
+        else MachineSimulator(sink=sink)
+    )
+    trace = walk.packed if engine == "fast" else walk.trace
+    cold_result = machine.run(trace)
+    cold = sink.harvest("cold")
+    for _ in range(warmup_rounds - 1):
+        machine.warm_up(trace)
+    steady_result = machine.run(trace)
+    steady = sink.harvest("steady")
+
+    return CellProfile(
+        stack=stack,
+        config=config,
+        engine=engine,
+        seed=seed,
+        cold=cold,
+        steady=steady,
+        cold_result=cold_result,
+        steady_result=steady_result,
+        invocations=call_counts(events),
+    )

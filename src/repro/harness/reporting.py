@@ -3,7 +3,7 @@ side by side with the published numbers."""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 from repro.harness import paper
 from repro.harness.experiment import ExperimentResult
@@ -62,10 +62,12 @@ def render_table3(measured: Mapping[str, Optional[int]]) -> str:
         "ip_to_tcp": "IP input -> TCP input",
         "tcp_to_user": "TCP input -> user",
     }
+    def fmt(v):
+        return "-" if v is None else str(v)
+
     for key, label in labels.items():
         i386, dec, xk = paper.TABLE3[key]
         ours = measured.get(key)
-        fmt = lambda v: "-" if v is None else str(v)
         lines.append(
             f"{label + ':':26s} {fmt(i386):>8s} {fmt(dec):>10s} "
             f"{fmt(xk):>18s} {fmt(ours):>16s}"
@@ -216,6 +218,85 @@ def render_table9(measured: Mapping[str, Mapping[str, float]]) -> str:
             f"{m['size_with']:5.0f}({p['size_with']:5d})"
         )
     lines.append("(parenthesised values are the paper's)")
+    return "\n".join(lines)
+
+
+def render_layer_breakdown(report, *, title: str = "") -> str:
+    """Per-layer stall attribution in the shape of the paper's Table 3.
+
+    ``report`` is an :class:`repro.obs.AttributionReport`; rows follow the
+    stack's sender-to-receiver layer order with the shared library last,
+    each split by miss kind so the conflict share — the quantity layout
+    work optimises — is visible per layer.
+    """
+    from repro.obs import MISS_KINDS, layer_sort_key
+
+    head = "Per-layer stall attribution"
+    if title:
+        head += f" ({title})"
+    lines = [head,
+             _rule(86),
+             f"{'Layer':10s} {'instr':>8s} {'stalls':>8s} {'mCPI':>6s} "
+             f"{'cold':>8s} {'conflict':>9s} {'capacity':>9s} {'wr-buf':>7s} "
+             f"{'share':>6s}"]
+    layers = report.by_layer()
+    total = report.total_stall_cycles or 1
+    for layer in sorted(layers, key=layer_sort_key):
+        row = layers[layer]
+        kinds = row["kinds"]
+        lines.append(
+            f"{layer:10s} {row['instructions']:8d} {row['stall_cycles']:8d} "
+            f"{row['mcpi']:6.2f} "
+            + " ".join(f"{kinds[k]:>{w}d}" for k, w in
+                       zip(MISS_KINDS, (8, 9, 9, 7)))
+            + f" {100.0 * row['stall_cycles'] / total:5.1f}%"
+        )
+    lines.append(_rule(86))
+    lines.append(
+        f"{'total':10s} {report.total_instructions:8d} "
+        f"{report.total_stall_cycles:8d} {report.mcpi:6.2f}"
+    )
+    return "\n".join(lines)
+
+
+def render_function_breakdown(report, *, top: int = 12) -> str:
+    """Hottest functions by attributed stall cycles."""
+    lines = ["Per-function stall attribution",
+             _rule(86),
+             f"{'Function':34s} {'layer':>8s} {'instr':>8s} "
+             f"{'stalls':>8s} {'mCPI':>6s} {'conflict':>9s}"]
+    rows = sorted(report.by_function().items(),
+                  key=lambda kv: -kv[1]["stall_cycles"])
+    for name, row in rows[:top]:
+        lines.append(
+            f"{name[:34]:34s} {row['layer']:>8s} {row['instructions']:8d} "
+            f"{row['stall_cycles']:8d} {row['mcpi']:6.2f} "
+            f"{row['kinds']['conflict']:9d}"
+        )
+    return "\n".join(lines)
+
+
+def render_conflict_matrix(matrix, *, top: int = 10) -> str:
+    """The hottest cells of the function x function eviction matrix.
+
+    ``matrix`` is an :class:`repro.obs.ConflictMatrix`; each row is one
+    (evictor, victim) pair with its dynamic eviction count and how many
+    distinct i-cache sets the fighting happened in.
+    """
+    lines = ["i-cache conflict matrix (who evicts whom)",
+             _rule(86),
+             f"{'Evictor':30s} {'Victim':30s} {'evict':>6s} {'sets':>5s}"]
+    for evictor, victim, count, nsets in matrix.top_pairs(top):
+        lines.append(
+            f"{evictor[:30]:30s} {victim[:30]:30s} {count:6d} {nsets:5d}"
+        )
+    if not matrix.counts:
+        lines.append("(no evictions recorded)")
+    else:
+        lines.append(
+            f"total evictions: {matrix.total_evictions} "
+            f"(self-evictions: {matrix.self_evictions()})"
+        )
     return "\n".join(lines)
 
 

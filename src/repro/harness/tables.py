@@ -7,12 +7,11 @@ returns plain dictionaries the renderers in :mod:`repro.harness.reporting`
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.metrics import (
     block_utilization,
     mainline_and_outlined_size,
-    static_path_size,
 )
 from repro.harness.configs import STACKS, build_configured_program
 from repro.harness.experiment import Experiment, ExperimentResult, run_all_configs

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 from repro.net.usc import FieldSpec, SparseLayout, SparseMemory, UscCompiler
 from repro.net.wire import EthernetWire, Frame

@@ -1,0 +1,108 @@
+"""Function x function i-cache conflict matrix: who evicts whom.
+
+The paper's central observation is that protocol latency is dominated by
+i-cache *conflict* misses between functions that alias in the
+direct-mapped cache — outlining, cloning and layout all exist to pull hot
+code apart in index space.  This module records the dynamic eviction
+graph (every time function A's block displaces function B's block, at
+which cache set) and, independently, the *static* overlap implied by a
+layout: which function pairs share i-cache sets at all, weighted by how
+many sets they share (via :func:`repro.core.layout.icache_sets_of`).
+
+A dynamic cell ``(evictor, victim)`` that stays hot across passes is a
+conflict the layout failed to resolve; a static overlap with no dynamic
+evictions is harmless aliasing between code that never runs concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.core.layout import icache_sets_of
+from repro.core.program import Program
+
+PairKey = Tuple[str, str]
+
+
+@dataclass
+class ConflictMatrix:
+    """Dynamic eviction counts per (evictor, victim) function pair."""
+
+    #: (evictor, victim) -> number of i-cache evictions
+    counts: Dict[PairKey, int] = field(default_factory=dict)
+    #: (evictor, victim) -> cache sets where evictions happened
+    sets: Dict[PairKey, Set[int]] = field(default_factory=dict)
+
+    def record(self, evictor: str, victim: str, set_index: int) -> None:
+        key = (evictor, victim)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        touched = self.sets.get(key)
+        if touched is None:
+            touched = self.sets[key] = set()
+        touched.add(set_index)
+
+    @property
+    def total_evictions(self) -> int:
+        return sum(self.counts.values())
+
+    def self_evictions(self) -> int:
+        """Evictions where a function displaces its own blocks (capacity
+        pressure within one function, not an inter-function conflict)."""
+        return sum(n for (a, b), n in self.counts.items() if a == b)
+
+    def top_pairs(self, n: int = 10) -> List[Tuple[str, str, int, int]]:
+        """The ``n`` hottest pairs as (evictor, victim, evictions, sets)."""
+        rows = [
+            (evictor, victim, count, len(self.sets.get((evictor, victim), ())))
+            for (evictor, victim), count in self.counts.items()
+        ]
+        rows.sort(key=lambda r: (-r[2], r[0], r[1]))
+        return rows[:n]
+
+    # ---- serialization ------------------------------------------------ #
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "total_evictions": self.total_evictions,
+            "pairs": [
+                {
+                    "evictor": evictor,
+                    "victim": victim,
+                    "evictions": count,
+                    "sets": sorted(self.sets.get((evictor, victim), ())),
+                }
+                for (evictor, victim), count in sorted(self.counts.items())
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ConflictMatrix":
+        matrix = cls()
+        for row in data.get("pairs", []):
+            key = (str(row["evictor"]), str(row["victim"]))
+            matrix.counts[key] = int(row["evictions"])
+            matrix.sets[key] = {int(s) for s in row.get("sets", [])}
+        return matrix
+
+
+def static_overlap(program: Program) -> Dict[PairKey, int]:
+    """Set-overlap counts implied by a layout, per unordered function pair.
+
+    For every pair of distinct functions whose extents alias in the
+    direct-mapped i-cache, the number of cache sets they share.  Pairs are
+    keyed in sorted order; disjoint pairs are omitted.
+    """
+    occupancy: Dict[str, Set[int]] = {
+        name: icache_sets_of(program, name)
+        for _start, _end, name in program.occupied_ranges()
+    }
+    names = sorted(occupancy)
+    overlaps: Dict[PairKey, int] = {}
+    for i, a in enumerate(names):
+        sets_a = occupancy[a]
+        for b in names[i + 1 :]:
+            shared = len(sets_a & occupancy[b])
+            if shared:
+                overlaps[(a, b)] = shared
+    return overlaps

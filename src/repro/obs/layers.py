@@ -1,0 +1,110 @@
+"""Map function names to the paper's protocol layers.
+
+Table 3 of the paper attributes i-cache behaviour per *layer* of the
+protocol stack (application, TCP, IP, VNET, ETH, the LANCE driver; for RPC
+the MSELECT/VCHAN/CHAN/BID/BLAST stack).  Our function names encode their
+layer as a prefix (``tcp_push``, ``ip_demux``, ...), cloned bodies carry
+the ``@clone`` suffix, the support routines live in a shared library, and
+path-inlining merges whole paths into single super-functions
+(``tcpip_output_path`` etc.) — this module normalises all of that back to
+a layer label so reports can aggregate the way the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.core.clone import CLONE_SUFFIX
+from repro.protocols.models import LIBRARY_FUNCTIONS
+
+#: layer label for the shared support library (bcopy, in_cksum, ...)
+LIBRARY_LAYER = "library"
+
+#: layer label for path-inlined super-functions (CLO/ALL configurations)
+PATH_LAYER = "path"
+
+#: layer label for pcs outside any laid-out function
+UNKNOWN_LAYER = "(unknown)"
+
+#: merged super-function names produced by path inlining
+_PATH_FUNCTIONS = frozenset(
+    {
+        "tcpip_output_path",
+        "tcpip_input_path",
+        "rpc_output_path",
+        "rpc_input_path",
+        "rpc_resume_path",
+    }
+)
+
+_LIBRARY = frozenset(LIBRARY_FUNCTIONS)
+
+#: layer prefixes in match order — longer/more specific prefixes first
+#: (``tcptest`` before ``tcp``, ``vchan`` before ``chan``)
+_PREFIXES = (
+    ("tcptest", "app"),
+    ("xrpctest", "app"),
+    ("tcp", "tcp"),
+    ("ip", "ip"),
+    ("vnet", "vnet"),
+    ("eth", "eth"),
+    ("lance", "lance"),
+    ("mselect", "mselect"),
+    ("vchan", "vchan"),
+    ("chan", "chan"),
+    ("bid", "bid"),
+    ("blast", "blast"),
+)
+
+
+def base_function_name(name: str) -> str:
+    """Strip the ``@clone`` suffix, if present."""
+    if name.endswith(CLONE_SUFFIX):
+        return name[: -len(CLONE_SUFFIX)]
+    return name
+
+
+def layer_of(name: str) -> str:
+    """The protocol layer a function belongs to.
+
+    Clones attribute to their original's layer; library routines to
+    ``library``; path-inlined super-functions to ``path``; anything not
+    recognised (including pcs outside the laid-out program) to
+    ``(unknown)``.
+    """
+    base = base_function_name(name)
+    if base in _LIBRARY:
+        return LIBRARY_LAYER
+    if base in _PATH_FUNCTIONS:
+        return PATH_LAYER
+    for prefix, layer in _PREFIXES:
+        if base.startswith(prefix) and (
+            len(base) == len(prefix) or base[len(prefix)] == "_"
+        ):
+            return layer
+    return UNKNOWN_LAYER
+
+
+#: display order for per-layer reports: sender-to-receiver stack order,
+#: shared code last (mirrors the row order of the paper's Table 3)
+LAYER_ORDER = (
+    "app",
+    "mselect",
+    "vchan",
+    "chan",
+    "bid",
+    "blast",
+    "tcp",
+    "ip",
+    "vnet",
+    "eth",
+    "lance",
+    PATH_LAYER,
+    LIBRARY_LAYER,
+    UNKNOWN_LAYER,
+)
+
+
+def layer_sort_key(layer: str) -> tuple:
+    try:
+        return (0, LAYER_ORDER.index(layer))
+    except ValueError:
+        return (1, layer)

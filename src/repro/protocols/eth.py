@@ -10,13 +10,13 @@ interrupt message buffer (Section 2.2.2).
 from __future__ import annotations
 
 import struct
-from typing import Dict, Optional
+from typing import Optional
 
-from repro.net.lance import DescriptorUpdateMode, LanceAdaptor
+from repro.net.lance import LanceAdaptor
 from repro.net.wire import Frame, HEADER_BYTES
 from repro.protocols.options import Section2Options
 from repro.xkernel.message import Message
-from repro.xkernel.protocol import Protocol, ProtocolStack, Session, XkernelError
+from repro.xkernel.protocol import Protocol, ProtocolStack, Session
 
 ETHERTYPE_IP = 0x0800
 ETHERTYPE_RPC = 0x3901
@@ -66,7 +66,6 @@ class EthDriver(Protocol):
     # ------------------------------------------------------------------ #
 
     def push(self, session: EthSession, msg: Message) -> None:
-        opts = self.opts
         conds = {
             "dst_cached": True,
             "msg_push.underflow": False,

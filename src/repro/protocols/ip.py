@@ -10,10 +10,9 @@ x-kernel map.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.protocols.options import Section2Options
-from repro.xkernel.map import Map
 from repro.xkernel.message import Message
 from repro.xkernel.protocol import Protocol, ProtocolStack, Session, XkernelError
 

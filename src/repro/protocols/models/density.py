@@ -26,7 +26,6 @@ from repro.arch.isa import Op
 from repro.core.ir import (
     BasicBlock,
     CondBranch,
-    Fallthrough,
     Function,
     Instruction,
     Jump,

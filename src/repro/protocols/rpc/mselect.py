@@ -8,7 +8,7 @@ sees the reply.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 from repro.protocols.options import Section2Options
 from repro.protocols.rpc.vchan import VchanProtocol

@@ -14,7 +14,7 @@ from typing import Callable, Deque, List, Optional
 from repro.protocols.options import Section2Options
 from repro.protocols.rpc.chan import Channel, ChanProtocol
 from repro.xkernel.message import Message
-from repro.xkernel.protocol import Protocol, ProtocolStack, XkernelError
+from repro.xkernel.protocol import Protocol, ProtocolStack
 
 
 class VchanProtocol(Protocol):

@@ -8,7 +8,7 @@ protocol graphs of Figure 1 configured at boot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional
 
 from repro.net.lance import DescriptorUpdateMode, LanceAdaptor
 from repro.net.wire import EthernetWire

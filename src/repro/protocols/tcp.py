@@ -255,7 +255,6 @@ class TcpProtocol(Protocol):
         if session.state != ESTABLISHED:
             raise XkernelError(f"push in state {session.state}")
         payload = msg.bytes()
-        opts = self.opts
         seg_len = TCP_HEADER + len(payload) + 12  # + pseudo header
         conds = {
             "snd_wnd_zero": session.snd_wnd == 0,

@@ -8,11 +8,11 @@ path-inlining removes for free.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 from repro.protocols.options import Section2Options
 from repro.xkernel.message import Message
-from repro.xkernel.protocol import Protocol, ProtocolStack, Session, XkernelError
+from repro.xkernel.protocol import Protocol, ProtocolStack, Session
 
 
 class VnetSession(Session):

@@ -21,6 +21,20 @@ from typing import Dict, Iterator, List, Optional
 from repro.core.walker import EnterEvent, Event, ExitEvent, MarkEvent
 
 
+def call_counts(events: List[Event]) -> Dict[str, int]:
+    """Invocations per function in a captured event stream.
+
+    Counts ENTER events only (one per dynamic call), so nested scopes and
+    re-entries each count once.  Profile reports pair this with the
+    per-function stall attribution to show cost *per invocation*.
+    """
+    out: Dict[str, int] = {}
+    for ev in events:
+        if isinstance(ev, EnterEvent):
+            out[ev.fn] = out.get(ev.fn, 0) + 1
+    return out
+
+
 class Tracer:
     """Collects a well-nested stream of walker events."""
 

@@ -16,7 +16,7 @@ keeps the buffer's address d-cache-warm.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.xkernel.alloc import SimAllocator
 

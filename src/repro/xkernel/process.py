@@ -15,8 +15,8 @@ resumes it on a recycled stack or via its continuation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
 import collections
 
 from repro.xkernel.alloc import SimAllocator

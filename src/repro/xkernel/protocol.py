@@ -19,8 +19,7 @@ registration, session bookkeeping, and access to kernel services.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.trace.tracer import NullTracer, Tracer
 from repro.xkernel.alloc import SimAllocator

@@ -16,7 +16,7 @@ from repro.arch.fastsim import (
     fetch_runs,
     simulate_cold_and_steady,
 )
-from repro.arch.packed import IS_MEMORY, PackedTrace
+from repro.arch.packed import IS_MEMORY
 from repro.arch.simcache import clear_caches, simulate_cold_and_steady_cached
 from repro.arch.simulator import MachineSimulator
 from repro.core.walker import Walker

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.arch.isa import Op, TraceEntry
-from repro.arch.memory import MemoryConfig, MemoryHierarchy
+from repro.arch.memory import MemoryHierarchy
 
 
 def fetch(pc):

@@ -1,0 +1,144 @@
+"""Bounds, copy semantics and equivalence of the simulation result caches.
+
+``repro.arch.simcache`` memoizes (trace fingerprint, config) -> results.
+These tests pin down the parts the fast path silently relies on: the FIFO
+bounds actually bound, lookups hand out fresh copies, hit/miss counters
+track reality, and cached results are bit-identical to uncached runs.
+"""
+
+import pytest
+
+from repro.arch import simcache
+from repro.arch.fastsim import simulate_cold_and_steady
+from repro.arch.isa import Op, TraceEntry
+from repro.arch.packed import PackedTrace
+from repro.arch.simcache import (
+    cached_cpu_stats,
+    clear_caches,
+    simulate_cold_and_steady_cached,
+)
+from repro.arch.simulator import MachineSimulator
+from repro.core.walker import Walker
+from repro.harness.configs import build_configured_program_cached
+from repro.harness.experiment import Experiment
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _trace(base: int, n: int = 64) -> PackedTrace:
+    """A small synthetic trace whose fingerprint depends on ``base``."""
+    entries = [TraceEntry(pc=base + 4 * i, op=Op.ALU, daddr=None) for i in range(n)]
+    return PackedTrace.from_entries(entries)
+
+
+@pytest.fixture(scope="module")
+def walk():
+    exp = Experiment("tcpip", "STD")
+    events, data_env = exp.capture_roundtrip(42)
+    build = build_configured_program_cached("tcpip", "STD")
+    return Walker(build.program, data_env).walk(events)
+
+
+class TestBounds:
+    def test_result_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(simcache, "_MAX_RESULTS", 4)
+        for i in range(10):
+            simulate_cold_and_steady_cached(_trace(0x10000 * (i + 1)))
+        assert len(simcache._results) <= 4
+
+    def test_cpu_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(simcache, "_MAX_CPU", 3)
+        for i in range(8):
+            # vary the op column so each trace has a distinct cpu key
+            entries = [
+                TraceEntry(pc=4 * j, op=Op.ALU, daddr=None) for j in range(16 + i)
+            ]
+            cached_cpu_stats(PackedTrace.from_entries(entries))
+        assert len(simcache._cpu_results) <= 3
+
+    def test_fifo_evicts_oldest_first(self, monkeypatch):
+        monkeypatch.setattr(simcache, "_MAX_RESULTS", 2)
+        traces = [_trace(0x10000 * (i + 1)) for i in range(3)]
+        for t in traces:
+            simulate_cold_and_steady_cached(t)
+        before = simcache.hits
+        # the newest two entries are still cached (each lookup also hits
+        # the cpu-side cache: these traces share one op column) ...
+        simulate_cold_and_steady_cached(traces[2])
+        simulate_cold_and_steady_cached(traces[1])
+        assert simcache.hits == before + 4
+        # ... while the oldest was evicted and misses again
+        misses_before = simcache.misses
+        simulate_cold_and_steady_cached(traces[0])
+        assert simcache.misses == misses_before + 1
+
+
+class TestCopySemantics:
+    def test_mutating_a_result_does_not_poison_the_cache(self):
+        t = _trace(0x4000)
+        cold1, steady1 = simulate_cold_and_steady_cached(t)
+        cold1.memory.stall_cycles += 999
+        steady1.cpu.cycles += 999
+        cold2, steady2 = simulate_cold_and_steady_cached(t)
+        assert cold2.memory.stall_cycles == cold1.memory.stall_cycles - 999
+        assert steady2.cpu.cycles == steady1.cpu.cycles - 999
+
+    def test_cpu_stats_are_fresh_copies(self):
+        t = _trace(0x4000)
+        s1 = cached_cpu_stats(t)
+        s2 = cached_cpu_stats(t)
+        assert s1 == s2
+        assert s1 is not s2
+
+
+class TestCounters:
+    def test_hits_and_misses_track_lookups(self):
+        t = _trace(0x8000)
+        assert (simcache.hits, simcache.misses) == (0, 0)
+        simulate_cold_and_steady_cached(t)
+        # one memory-side miss plus one cpu-side miss
+        assert simcache.misses == 2
+        assert simcache.hits == 0
+        simulate_cold_and_steady_cached(t)
+        assert simcache.hits == 2
+
+    def test_clear_caches_resets_everything(self):
+        simulate_cold_and_steady_cached(_trace(0xC000))
+        clear_caches()
+        assert not simcache._results
+        assert not simcache._cpu_results
+        assert (simcache.hits, simcache.misses) == (0, 0)
+
+
+class TestEquivalence:
+    def test_cached_equals_uncached_fast_engine(self, walk):
+        cold_c, steady_c = simulate_cold_and_steady_cached(walk.packed)
+        cold_u, steady_u = simulate_cold_and_steady(walk.packed)
+        assert cold_c == cold_u
+        assert steady_c == steady_u
+        # and a warm lookup returns the same values again
+        cold_w, steady_w = simulate_cold_and_steady_cached(walk.packed)
+        assert (cold_w, steady_w) == (cold_u, steady_u)
+
+    def test_cached_equals_reference_engine(self, walk):
+        cold, steady = simulate_cold_and_steady_cached(walk.packed)
+        assert cold == MachineSimulator().run(walk.trace)
+        assert steady == MachineSimulator().run_steady_state(walk.trace)
+
+    def test_cached_and_uncached_experiment_runs_agree(self):
+        """A full experiment cell produces bit-identical samples whether
+        its simulations hit the cache or miss it."""
+        exp = Experiment("tcpip", "OUT", engine="fast")
+        build = build_configured_program_cached("tcpip", "OUT", exp.opts)
+        miss = exp.run_sample(build, seed=7)  # cold caches: all misses
+        assert simcache.misses > 0
+        hit = exp.run_sample(build, seed=7)  # same walk: served from cache
+        assert simcache.hits > 0
+        assert miss.steady == hit.steady
+        assert miss.cold == hit.cold
+        assert miss.roundtrip_us == hit.roundtrip_us

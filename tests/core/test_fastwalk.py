@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.fastwalk import FastWalker, event_signature
 from repro.core.walker import EnterEvent, ExitEvent, MarkEvent, Walker
-from repro.harness.configs import CONFIG_NAMES, build_configured_program_cached
+from repro.harness.configs import build_configured_program_cached
 from repro.harness.experiment import Experiment
 
 SEEDS = (42, 59, 76)
@@ -20,7 +20,6 @@ def _columns(walk):
 def test_fast_walker_matches_walker_across_seeds(stack, config):
     exp = Experiment(stack, config)
     build = build_configured_program_cached(stack, config)
-    fast = FastWalker(build.program, None)
     for seed in SEEDS:
         events, data_env = exp.capture_roundtrip(seed)
         reference = Walker(build.program, data_env).walk(events)

@@ -7,6 +7,7 @@ from repro.core.layout import (
     BCACHE,
     ICACHE,
     bipartite_layout,
+    icache_sets_of,
     linear_layout,
     link_order_layout,
     micro_positioning_layout,
@@ -170,3 +171,38 @@ class TestMicroPositioning:
         p.layout(micro_positioning_layout(trace))
         p.check_no_overlap()
         assert p.address_of("lib0") > 0
+
+
+class TestIcacheSetsOf:
+    def test_sets_match_extent(self):
+        p = make_program(2, 0)
+        p.layout(link_order_layout())
+        for name in ("path0", "path1"):
+            sets = icache_sets_of(p, name)
+            start = p.address_of(name)
+            end = start + p.size_of(name)
+            expect = {blk % (ICACHE // 32)
+                      for blk in range(start // 32, (end - 1) // 32 + 1)}
+            assert sets == expect
+
+    def test_adjacent_functions_share_at_most_one_set(self):
+        p = make_program(2, 0)
+        p.layout(link_order_layout())
+        shared = icache_sets_of(p, "path0") & icache_sets_of(p, "path1")
+        # block-aligned sequential packing: only a shared boundary block
+        assert len(shared) <= 1
+
+    def test_aliased_functions_share_sets(self):
+        p = make_program(2, 0, path_alu=100)
+        # place path1 exactly one i-cache stride after path0
+        base = p.text_base
+        p.layout(lambda prog: {"path0": base, "path1": base + ICACHE})
+        sets0 = icache_sets_of(p, "path0")
+        sets1 = icache_sets_of(p, "path1")
+        assert sets0 & sets1
+
+    def test_giant_function_occupies_every_set(self):
+        p = Program()
+        p.add(make_fn("big", alu=5000))
+        p.layout(link_order_layout())
+        assert len(icache_sets_of(p, "big")) == ICACHE // 32

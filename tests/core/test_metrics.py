@@ -6,7 +6,6 @@ from repro.arch.isa import Op, TraceEntry
 from repro.core.ir import FunctionBuilder
 from repro.core.layout import link_order_layout
 from repro.core.metrics import (
-    BlockUtilization,
     block_utilization,
     conflict_pairs,
     icache_footprint,

@@ -63,7 +63,8 @@ class TestOutliningPreservesSemantics:
         program.layout(link_order_layout())
         after = _walk(program, "f", conds)
 
-        count = lambda res: sum(1 for t in res.trace if t.op is Op.ALU)
+        def count(res):
+            return sum(1 for t in res.trace if t.op is Op.ALU)
         assert count(before) == count(after)
 
     @settings(max_examples=40, deadline=None)
@@ -81,7 +82,8 @@ class TestOutliningPreservesSemantics:
         program.invalidate("f")
         program.layout(link_order_layout())
         after = _walk(program, "f", all_false)
-        taken = lambda res: sum(1 for t in res.trace if t.taken)
+        def taken(res):
+            return sum(1 for t in res.trace if t.taken)
         assert taken(after) <= taken(before)
 
 

@@ -3,12 +3,11 @@
 import pytest
 
 from repro.arch.isa import Op
-from repro.core.ir import CondBranch, Fallthrough, FunctionBuilder
+from repro.core.ir import CondBranch, FunctionBuilder
 from repro.core.layout import link_order_layout
 from repro.core.program import Program
 from repro.core.specialize import (
     ESTABLISHED_TCP_CONDS,
-    ConnectionCloneSet,
     clone_for_connection,
     partially_evaluate,
 )

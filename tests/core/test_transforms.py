@@ -7,11 +7,9 @@ from repro.core.clone import clone_functions, clone_name, is_clone
 from repro.core.inline import inline_call, should_inline
 from repro.core.ir import (
     CallStatic,
-    CondBranch,
     FunctionBuilder,
     InlineEnter,
     InlineExit,
-    Jump,
 )
 from repro.core.layout import link_order_layout
 from repro.core.outline import outline_function, outline_program
@@ -111,7 +109,8 @@ class TestOutlining:
         outline_program(p)
         p.layout(link_order_layout())
         after = w.walk([EnterEvent("f", conds={"bad_case": False}), ExitEvent("f")])
-        taken = lambda res: sum(t.taken for t in res.trace)
+        def taken(res):
+            return sum(t.taken for t in res.trace)
         assert taken(after) == taken(before) - 1
 
     def test_outline_program_covers_all_functions(self):
@@ -192,7 +191,8 @@ class TestInlineCall:
         inline_call(p, "f", "pre")
         p.layout(link_order_layout())
         after = Walker(p).walk([EnterEvent("f"), ExitEvent("f")])
-        alu = lambda res: sum(t.op is Op.ALU for t in res.trace)
+        def alu(res):
+            return sum(t.op is Op.ALU for t in res.trace)
         assert alu(before) == alu(after)
         assert after.length < before.length  # overhead gone
 
@@ -326,7 +326,8 @@ class TestPathInline:
         path_inline(p, "merged", ["bottom", "mid", "top"], simplify_per_join=0)
         p.layout(link_order_layout())
         after = Walker(p).walk(self._events())
-        alu = lambda res: sum(t.op is Op.ALU for t in res.trace)
+        def alu(res):
+            return sum(t.op is Op.ALU for t in res.trace)
         assert alu(after) == alu(before)
         assert after.length < before.length
         # no dynamic dispatch remains on the merged path

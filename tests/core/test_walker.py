@@ -98,7 +98,6 @@ class TestConditions:
         assert sum(t.op is Op.ALU for t in res.trace) == 1 + 4 + 1
 
     def test_list_condition_pops_per_activation(self):
-        fn = straight_line("g", alu=1)
         fb = FunctionBuilder("f", saves=0)
         fb.block("a").alu(1)
         fb.call("g", "b")

@@ -106,8 +106,6 @@ class TestGeneralWalkErrors:
             p.resolve_entry("a")
 
     def test_runaway_loop_capped(self):
-        from repro.core import walker as walker_mod
-
         fb = FunctionBuilder("spin", saves=0, leaf=True)
         fb.block("loop").alu(1)
         fb.branch("again", "loop", "out", default=True)  # loops forever

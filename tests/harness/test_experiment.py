@@ -3,8 +3,36 @@
 import pytest
 
 from repro.harness.configs import build_configured_program
-from repro.harness.experiment import Experiment
+from repro.harness.experiment import ENGINES, Experiment, resolve_engine
 from repro.harness.latency import CONTROLLER_ROUNDTRIP_US, LatencyModel
+
+
+class TestResolveEngine:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        assert resolve_engine("fast") == "fast"
+
+    def test_env_var_is_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        assert resolve_engine() == "reference"
+
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        assert resolve_engine() == "fast"
+
+    def test_unknown_engine_fails_fast_listing_valid_ones(self):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_engine("turbo")
+        message = str(excinfo.value)
+        assert "turbo" in message
+        for engine in ENGINES:
+            assert engine in message
+
+    def test_unknown_env_value_fails_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "warp")
+        with pytest.raises(ValueError) as excinfo:
+            Experiment("tcpip", "STD")
+        assert "REPRO_SIM_ENGINE" in str(excinfo.value)
 
 
 class TestLatencyModel:
@@ -52,7 +80,6 @@ class TestExperiment:
 
     def test_event_stream_is_consistent_across_configs(self):
         """One functional run's events walk under every configuration."""
-        exp = Experiment("tcpip", "STD")
         lengths = {}
         for config in ("STD", "OUT", "CLO", "PIN", "ALL"):
             e = Experiment("tcpip", config)

@@ -101,3 +101,53 @@ class TestRenderers:
         text = render_icache_footprint(rows)
         assert "f" in text
         assert "#" in text
+
+
+class TestObservabilityRenderers:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.arch.fastsim import FastMachine
+        from repro.core.walker import Walker
+        from repro.harness.configs import build_configured_program_cached
+        from repro.harness.experiment import Experiment
+        from repro.obs import Attribution
+
+        exp = Experiment("tcpip", "STD")
+        events, data_env = exp.capture_roundtrip(42)
+        build = build_configured_program_cached("tcpip", "STD")
+        walk = Walker(build.program, data_env).walk(events)
+        sink = Attribution(build.program)
+        FastMachine(sink=sink).run_steady_state(walk.packed)
+        return sink.harvest("steady")
+
+    def test_layer_breakdown_lists_stack_layers(self, report):
+        from repro.harness.reporting import render_layer_breakdown
+
+        text = render_layer_breakdown(report, title="tcpip STD")
+        for layer in ("tcp", "ip", "eth", "lance", "library"):
+            assert f"\n{layer} " in text or text.startswith(f"{layer} ")
+        assert "tcpip STD" in text
+        assert f"{report.total_stall_cycles}" in text
+
+    def test_function_breakdown_is_sorted_by_stalls(self, report):
+        from repro.harness.reporting import render_function_breakdown
+
+        text = render_function_breakdown(report, top=5)
+        rows = text.splitlines()[3:]
+        stalls = [int(row.split()[3]) for row in rows]
+        assert stalls == sorted(stalls, reverse=True)
+
+    def test_conflict_matrix_render(self, report):
+        from repro.harness.reporting import render_conflict_matrix
+
+        text = render_conflict_matrix(report.conflicts, top=5)
+        assert "who evicts whom" in text
+        assert "total evictions" in text
+
+    def test_empty_conflict_matrix_renders(self):
+        from repro.harness.reporting import render_conflict_matrix
+        from repro.obs import ConflictMatrix
+
+        assert "(no evictions recorded)" in render_conflict_matrix(
+            ConflictMatrix()
+        )

@@ -5,7 +5,6 @@ import pytest
 from repro.net.lance import (
     DescriptorUpdateMode,
     LanceAdaptor,
-    LanceTiming,
     STATUS_OWN,
 )
 from repro.net.wire import EthernetWire, Frame, WireError, WireTiming

@@ -1,0 +1,264 @@
+"""The observability layer's core contract.
+
+The attribution invariant: for every (stack, config) cell of the Table-4
+sweep, the sum of attributed stall cycles equals the engine's reported
+stall total *exactly*, on both engines, cold and steady.  On top of that:
+the two engines produce identical bucket decompositions, an attached sink
+never changes the simulated numbers, reports aggregate consistently, and
+the JSON form round-trips.
+"""
+
+import pytest
+
+from repro.arch.fastsim import FastMachine
+from repro.arch.simulator import MachineSimulator
+from repro.core.walker import Walker
+from repro.harness.configs import CONFIG_NAMES, build_configured_program_cached
+from repro.harness.experiment import Experiment
+from repro.harness.profile import profile_cell
+from repro.obs import (
+    Attribution,
+    AttributionMismatch,
+    AttributionReport,
+    ConflictMatrix,
+    layer_of,
+    static_overlap,
+)
+
+CELLS = [(stack, config) for stack in ("tcpip", "rpc") for config in CONFIG_NAMES]
+
+
+@pytest.fixture(scope="module")
+def walks():
+    """One real walked roundtrip per (stack, config) cell."""
+    out = {}
+    for stack, config in CELLS:
+        exp = Experiment(stack, config)
+        events, data_env = exp.capture_roundtrip(42)
+        build = build_configured_program_cached(stack, config)
+        out[(stack, config)] = (
+            build,
+            Walker(build.program, data_env).walk(events),
+        )
+    return out
+
+
+def _attributed_run(machine, trace, sink):
+    """cold report, steady report, cold result, steady result."""
+    cold_result = machine.run(trace)
+    cold = sink.harvest("cold")
+    machine.warm_up(trace)
+    steady_result = machine.run(trace)
+    steady = sink.harvest("steady")
+    return cold, steady, cold_result, steady_result
+
+
+@pytest.mark.parametrize("stack,config", CELLS)
+def test_invariant_fast_engine(walks, stack, config):
+    build, walk = walks[(stack, config)]
+    sink = Attribution(build.program)
+    cold, steady, cold_result, steady_result = _attributed_run(
+        FastMachine(sink=sink), walk.packed, sink
+    )
+    # the machines verify each measured pass; re-check the harvested sums
+    cold.verify_total(cold_result.memory.stall_cycles)
+    steady.verify_total(steady_result.memory.stall_cycles)
+    assert cold.total_stall_cycles > 0
+    assert steady.total_instructions == len(walk.packed)
+
+
+@pytest.mark.parametrize("stack,config", CELLS)
+def test_invariant_reference_engine(walks, stack, config):
+    build, walk = walks[(stack, config)]
+    sink = Attribution(build.program)
+    cold, steady, cold_result, steady_result = _attributed_run(
+        MachineSimulator(sink=sink), walk.trace, sink
+    )
+    cold.verify_total(cold_result.memory.stall_cycles)
+    steady.verify_total(steady_result.memory.stall_cycles)
+
+
+@pytest.mark.parametrize("stack", ["tcpip", "rpc"])
+def test_engines_attribute_identically(walks, stack):
+    """Both engines replay the same decisions, so the full bucket
+    decomposition — not just the totals — must agree."""
+    build, walk = walks[(stack, "STD")]
+    fast_sink = Attribution(build.program)
+    ref_sink = Attribution(build.program)
+    f_cold, f_steady, _, _ = _attributed_run(
+        FastMachine(sink=fast_sink), walk.packed, fast_sink
+    )
+    r_cold, r_steady, _, _ = _attributed_run(
+        MachineSimulator(sink=ref_sink), walk.trace, ref_sink
+    )
+    assert f_cold.buckets == r_cold.buckets
+    assert f_steady.buckets == r_steady.buckets
+    assert f_steady.conflicts.counts == r_steady.conflicts.counts
+
+
+@pytest.mark.parametrize("stack", ["tcpip", "rpc"])
+def test_sink_does_not_change_results(walks, stack):
+    build, walk = walks[(stack, "ALL")]
+    sink = Attribution(build.program)
+    plain = FastMachine()
+    observed = FastMachine(sink=sink)
+    assert observed.run(walk.packed) == plain.run(walk.packed)
+    plain.warm_up(walk.packed)
+    observed.warm_up(walk.packed)
+    assert observed.run(walk.packed) == plain.run(walk.packed)
+
+
+def test_cold_pass_contains_cold_misses(walks):
+    """The first pass of a fresh hierarchy sees every block's first touch
+    (plus any same-pass re-misses, which classify as conflict/capacity)."""
+    build, walk = walks[("tcpip", "STD")]
+    sink = Attribution(build.program)
+    FastMachine(sink=sink).run(walk.packed)
+    cold = sink.harvest("cold")
+    cold_cycles = sum(
+        b.stall_cycles
+        for (_l, _f, _c, kind), b in cold.buckets.items()
+        if kind == "cold"
+    )
+    assert cold_cycles > 0
+    # first touches dominate a cold pass
+    assert cold_cycles > cold.total_stall_cycles / 2
+
+
+def test_steady_pass_has_no_cold_misses(walks):
+    build, walk = walks[("tcpip", "STD")]
+    sink = Attribution(build.program)
+    machine = FastMachine(sink=sink)
+    machine.run(walk.packed)
+    sink.harvest("cold")
+    machine.warm_up(walk.packed)
+    machine.run(walk.packed)
+    steady = sink.harvest("steady")
+    assert not any(kind == "cold" for (_l, _f, _c, kind) in steady.buckets)
+
+
+def test_aggregations_are_consistent(walks):
+    build, walk = walks[("rpc", "STD")]
+    sink = Attribution(build.program)
+    machine = FastMachine(sink=sink)
+    machine.run_steady_state(walk.packed)
+    report = sink.harvest("steady")
+    total = report.total_stall_cycles
+    assert sum(r["stall_cycles"] for r in report.by_layer().values()) == total
+    assert sum(r["stall_cycles"] for r in report.by_function().values()) == total
+    assert sum(report.by_cache().values()) == total
+    assert sum(report.instructions.values()) == report.total_instructions
+
+
+def test_desynced_sink_raises_mismatch(walks):
+    """A sink whose replica state diverges from the machine's is detected
+    at the next measured run — the invariant is enforced, not assumed."""
+    build, walk = walks[("tcpip", "STD")]
+    sink = Attribution(build.program)
+    machine = FastMachine(sink=sink)
+    machine.run(walk.packed)
+    sink.reset_state()  # replica now cold while the machine is warm
+    with pytest.raises(AttributionMismatch):
+        machine.run(walk.packed)
+
+
+def test_report_json_roundtrip(walks):
+    build, walk = walks[("rpc", "ALL")]
+    sink = Attribution(build.program)
+    machine = FastMachine(sink=sink)
+    machine.run_steady_state(walk.packed)
+    report = sink.harvest("steady")
+    back = AttributionReport.from_json(report.to_json())
+    assert back.buckets == report.buckets
+    assert back.instructions == report.instructions
+    assert back.total_stall_cycles == report.total_stall_cycles
+    assert back.conflicts.counts == report.conflicts.counts
+    assert back.conflicts.sets == report.conflicts.sets
+
+
+def test_profile_cell_matches_experiment(walks):
+    """The harness-level entry point reproduces the unprofiled numbers."""
+    cell = profile_cell("tcpip", "STD", engine="fast")
+    exp = Experiment("tcpip", "STD", engine="fast")
+    build = build_configured_program_cached("tcpip", "STD", exp.opts)
+    sample = exp.run_sample(build, seed=42)
+    assert cell.steady_result.memory.stall_cycles == sample.steady.memory.stall_cycles
+    assert cell.cold_result.memory.stall_cycles == sample.cold.memory.stall_cycles
+    assert cell.invocations  # the traced roundtrip entered functions
+
+
+class TestLayerMapping:
+    def test_prefixes(self):
+        assert layer_of("tcp_push") == "tcp"
+        assert layer_of("ip_demux") == "ip"
+        assert layer_of("lance_transmit") == "lance"
+        assert layer_of("vchan_call") == "vchan"
+        assert layer_of("chan_resume") == "chan"
+
+    def test_app_before_tcp(self):
+        assert layer_of("tcptest_call") == "app"
+        assert layer_of("xrpctest_call") == "app"
+
+    def test_clones_attribute_to_original_layer(self):
+        assert layer_of("tcp_push@clone") == "tcp"
+        assert layer_of("in_cksum@clone") == "library"
+
+    def test_library(self):
+        assert layer_of("in_cksum") == "library"
+        assert layer_of("bcopy") == "library"
+
+    def test_merged_paths(self):
+        assert layer_of("tcpip_output_path") == "path"
+        assert layer_of("rpc_input_path") == "path"
+
+    def test_unknown(self):
+        assert layer_of("(unattributed)") == "(unknown)"
+        assert layer_of("tcpdump") == "(unknown)"  # no '_' boundary match
+
+
+class TestConflictMatrix:
+    def test_record_and_top_pairs(self):
+        m = ConflictMatrix()
+        m.record("a", "b", 3)
+        m.record("a", "b", 4)
+        m.record("b", "a", 3)
+        m.record("c", "c", 9)
+        assert m.total_evictions == 4
+        assert m.self_evictions() == 1
+        top = m.top_pairs(1)
+        assert top == [("a", "b", 2, 2)]
+
+    def test_json_roundtrip(self):
+        m = ConflictMatrix()
+        m.record("x", "y", 1)
+        m.record("x", "y", 2)
+        back = ConflictMatrix.from_json(m.to_json())
+        assert back.counts == m.counts
+        assert back.sets == m.sets
+
+    def test_static_overlap_flags_aliasing_pairs(self, walks):
+        build, _walk = walks[("tcpip", "BAD")]
+        overlaps = static_overlap(build.program)
+        # the pessimal layout aliases hot functions on purpose
+        assert overlaps
+        for (a, b), shared in overlaps.items():
+            assert a < b
+            assert shared > 0
+
+    def test_dynamic_conflicts_imply_static_overlap(self, walks):
+        """Every dynamically observed eviction pair must also alias
+        statically (distinct functions cannot fight over a set their
+        extents do not share)."""
+        build, walk = walks[("tcpip", "BAD")]
+        sink = Attribution(build.program)
+        machine = FastMachine(sink=sink)
+        machine.run_steady_state(walk.packed)
+        report = sink.harvest("steady")
+        overlaps = static_overlap(build.program)
+        for evictor, victim in report.conflicts.counts:
+            if evictor == victim:
+                continue
+            if "(unattributed)" in (evictor, victim):
+                continue
+            key = tuple(sorted((evictor, victim)))
+            assert key in overlaps, (evictor, victim)

@@ -7,7 +7,6 @@ import pytest
 from repro.protocols.ip import (
     FLAG_MF,
     IP_HEADER,
-    IpProtocol,
     internet_checksum,
 )
 from repro.protocols.stacks import (
@@ -17,7 +16,7 @@ from repro.protocols.stacks import (
     establish,
 )
 from repro.xkernel.message import Message
-from repro.xkernel.protocol import Protocol, ProtocolStack
+from repro.xkernel.protocol import Protocol
 
 
 class TestInternetChecksum:

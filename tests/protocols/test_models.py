@@ -112,9 +112,9 @@ class TestOptionResponse:
         )
         on_labels = {b.label for b in fns_on["tcp_demux"].blocks}
         off_labels = {b.label for b in fns_off["tcp_demux"].blocks}
-        assert any("pcb_probe" in l for l in on_labels)
-        assert not any("pcb_probe" in l for l in off_labels)
-        assert any("pcb_lookup" in l for l in off_labels)
+        assert any("pcb_probe" in lbl for lbl in on_labels)
+        assert not any("pcb_probe" in lbl for lbl in off_labels)
+        assert any("pcb_lookup" in lbl for lbl in off_labels)
 
     def test_msg_refresh_structure_follows_option(self):
         on = _by_name(build_library(IMPROVED))["msg_refresh"]
@@ -139,8 +139,8 @@ class TestOptionResponse:
         fns_off = _by_name(build_tcpip_models(IMPROVED.without("usc_descriptors")))
         on_labels = {b.label for b in fns_on["lance_transmit"].blocks}
         off_labels = {b.label for b in fns_off["lance_transmit"].blocks}
-        assert not any(l.endswith("_patch") for l in on_labels)
-        assert any(l.endswith("_patch") for l in off_labels)
+        assert not any(lbl.endswith("_patch") for lbl in on_labels)
+        assert any(lbl.endswith("_patch") for lbl in off_labels)
 
 
 class TestBuilderFreshness:

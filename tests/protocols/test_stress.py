@@ -1,6 +1,5 @@
 """Failure injection: the stacks under random loss and random payloads."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core.walker import EnterEvent, ExitEvent, MarkEvent
-from repro.trace.tracer import NullTracer, Tracer
+from repro.core.walker import ExitEvent, MarkEvent
+from repro.trace.tracer import NullTracer, Tracer, call_counts
 
 
 class TestTracer:
@@ -101,3 +101,27 @@ class TestNullTracer:
     def test_cannot_start(self):
         with pytest.raises(RuntimeError):
             NullTracer().start()
+
+
+class TestCallCounts:
+    def test_counts_enter_events_only(self):
+        t = Tracer()
+        t.start()
+        for _ in range(3):
+            with t.scope("tcp_push"):
+                with t.scope("in_cksum"):
+                    pass
+                t.mark("wire")
+        events = t.stop()
+        assert call_counts(events) == {"tcp_push": 3, "in_cksum": 3}
+
+    def test_empty_stream(self):
+        assert call_counts([]) == {}
+
+    def test_reentry_counts_each_call(self):
+        t = Tracer()
+        t.start()
+        with t.scope("f"):
+            with t.scope("f"):
+                pass
+        assert call_counts(t.stop()) == {"f": 2}
