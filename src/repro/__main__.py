@@ -10,6 +10,7 @@ Options::
 Subcommands::
 
     python -m repro profile <stack> <config>   # stall attribution report
+    python -m repro analyze <stack> <config>   # static analysis & checks
 """
 
 from __future__ import annotations
@@ -79,11 +80,67 @@ def profile_main(argv=None) -> int:
     return 0
 
 
+def analyze_main(argv=None) -> int:
+    """``python -m repro analyze``: verify, prove and predict one cell."""
+    from repro.harness.configs import CONFIG_NAMES, STACKS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro analyze",
+        description="Static analysis of one (stack, configuration) cell: "
+                    "IR well-formedness after every build stage, "
+                    "transformation-equivalence proofs, and a static "
+                    "i-cache conflict prediction cross-validated against "
+                    "the simulated eviction matrix.  Exits nonzero on any "
+                    "finding.",
+    )
+    parser.add_argument("stack", choices=list(STACKS) + ["all"])
+    parser.add_argument("config", choices=list(CONFIG_NAMES) + ["all"])
+    parser.add_argument("--engine", choices=["fast", "reference"],
+                        default=None,
+                        help="engine for the conflict cross-validation "
+                             "(default: $REPRO_SIM_ENGINE or fast)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="allocator jitter seed of the validated sample")
+    parser.add_argument("--static-only", action="store_true",
+                        help="skip the simulated conflict cross-validation "
+                             "(no sample is traced; purely static checks)")
+    parser.add_argument("--show-prediction", action="store_true",
+                        help="print the predicted conflict pairs per cell")
+    args = parser.parse_args(argv)
+
+    from repro.analysis import analyze_cell, render_prediction
+
+    stacks = list(STACKS) if args.stack == "all" else [args.stack]
+    configs = list(CONFIG_NAMES) if args.config == "all" else [args.config]
+    failures = 0
+    for stack in stacks:
+        for config in configs:
+            cell = analyze_cell(
+                stack, config,
+                engine=args.engine,
+                check_conflicts=not args.static_only,
+                seed=args.seed,
+            )
+            print(cell.render())
+            if args.show_prediction and cell.prediction is not None:
+                print(render_prediction(cell.prediction))
+            if not cell.ok:
+                failures += len(cell.findings)
+    if failures:
+        print(f"FAIL: {failures} finding(s) across "
+              f"{len(stacks) * len(configs)} cell(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {len(stacks) * len(configs)} cell(s) clean")
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        return analyze_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the tables of TR 96-03 from the "

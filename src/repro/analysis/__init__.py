@@ -1,0 +1,163 @@
+"""Static analysis & verification of the transformation pipeline.
+
+Three passes, combinable per (stack, configuration) cell via
+:func:`analyze_cell` (the ``python -m repro analyze`` CLI and the CI gate):
+
+* :mod:`repro.analysis.verify` — structural well-formedness of the IR
+  after every build stage (the invariants the walker assumes),
+* :mod:`repro.analysis.equiv` — static equivalence proofs that each
+  transform preserved per-path instruction streams modulo its documented
+  deltas,
+* :mod:`repro.analysis.conflicts` — a sound static prediction of the
+  i-cache eviction graph, cross-validated against the simulated
+  :class:`repro.obs.ConflictMatrix` (no false negatives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.conflicts import (
+    CONFLICT_FALSE_NEGATIVE,
+    ConflictPrediction,
+    live_functions,
+    observed_pairs,
+    predict_conflicts,
+    render_prediction,
+    validate_prediction,
+)
+from repro.analysis.equiv import (
+    EQUIV_MISMATCH,
+    EquivalenceAuditor,
+    chained_trace,
+    check_clone_equivalence,
+    check_inline_equivalence,
+    check_outline_equivalence,
+    check_path_inline_equivalence,
+    check_specialize_equivalence,
+    compare_traces,
+    path_trace,
+)
+from repro.analysis.verify import (
+    Finding,
+    VerificationError,
+    assert_well_formed,
+    verify_function,
+    verify_program,
+)
+
+__all__ = [
+    "CONFLICT_FALSE_NEGATIVE",
+    "EQUIV_MISMATCH",
+    "CellAnalysis",
+    "ConflictPrediction",
+    "EquivalenceAuditor",
+    "Finding",
+    "VerificationError",
+    "analyze_cell",
+    "assert_well_formed",
+    "chained_trace",
+    "check_clone_equivalence",
+    "check_inline_equivalence",
+    "check_outline_equivalence",
+    "check_path_inline_equivalence",
+    "check_specialize_equivalence",
+    "compare_traces",
+    "live_functions",
+    "observed_pairs",
+    "path_trace",
+    "predict_conflicts",
+    "render_prediction",
+    "validate_prediction",
+    "verify_function",
+    "verify_program",
+]
+
+
+@dataclass
+class CellAnalysis:
+    """Everything the analyzer found (or proved) for one cell."""
+
+    stack: str
+    config: str
+    #: (phase, finding) pairs; phase is the build stage for verifier
+    #: findings, "equiv" or "conflicts" for the other passes
+    findings: List[Tuple[str, Finding]] = field(default_factory=list)
+    stages: List[str] = field(default_factory=list)
+    prediction: Optional[ConflictPrediction] = None
+    #: distinct eviction pairs the simulator observed (validation corpus)
+    observed_pair_count: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        head = (
+            f"{self.stack}/{self.config}: "
+            f"stages {'+'.join(self.stages) or '(none)'}"
+        )
+        if self.prediction is not None:
+            cross = sum(1 for a, b in self.prediction.pairs if a != b)
+            head += (
+                f"; conflict prediction: {cross} pairs covering "
+                f"{self.observed_pair_count} observed"
+            )
+        if self.ok:
+            return head + " -- OK"
+        lines = [head + f" -- {len(self.findings)} finding(s)"]
+        lines.extend(
+            f"  [{phase}] {finding.render()}" for phase, finding in self.findings
+        )
+        return "\n".join(lines)
+
+
+def analyze_cell(
+    stack: str,
+    config: str,
+    *,
+    engine: Optional[str] = None,
+    check_conflicts: bool = True,
+    seed: int = 42,
+) -> CellAnalysis:
+    """Run all three analysis passes on one (stack, configuration) cell.
+
+    Builds the cell with the verifier and the equivalence auditor attached
+    to every pipeline stage, statically predicts the i-cache conflict
+    graph from the final layout, and (unless ``check_conflicts`` is off)
+    simulates the cell once to confirm every observed eviction pair was
+    predicted.
+    """
+    from repro.harness.configs import (
+        PIN_SIMPLIFY_PER_JOIN,
+        build_configured_program,
+    )
+
+    analysis = CellAnalysis(stack=stack, config=config)
+    auditor = EquivalenceAuditor(simplify_per_join=PIN_SIMPLIFY_PER_JOIN)
+
+    def hook(stage: str, build) -> None:
+        analysis.stages.append(stage)
+        analysis.findings.extend(
+            (stage, finding) for finding in verify_program(build.program)
+        )
+        auditor(stage, build)
+
+    build = build_configured_program(stack, config, stage_hook=hook)
+    analysis.findings.extend(("equiv", f) for f in auditor.findings)
+
+    analysis.prediction = predict_conflicts(build.program)
+    if check_conflicts:
+        from repro.harness.profile import profile_cell
+
+        cell = profile_cell(stack, config, seed=seed, engine=engine)
+        matrices = [cell.cold.conflicts, cell.steady.conflicts]
+        analysis.observed_pair_count = len(observed_pairs(matrices))
+        analysis.findings.extend(
+            ("conflicts", f)
+            for f in validate_prediction(
+                analysis.prediction, matrices, context=f"{stack}/{config}"
+            )
+        )
+    return analysis

@@ -1,0 +1,547 @@
+"""Transformation-equivalence checking: prove transforms preserve behaviour.
+
+The differential tests compare simulated *numbers* before and after a
+transformation; this module is their static analogue.  For each transform
+in :mod:`repro.core` (outlining, call inlining, path-inlining, cloning,
+connection-time specialization) it enumerates a bounded set of condition
+assignments, walks the IR before and after the transform under each
+assignment, and demands the two per-path instruction streams be identical
+modulo that transform's *documented* deltas:
+
+* outlining and cloning change block order, addresses and call linkage —
+  never the executed token stream (clone callee retargeting is normalized
+  through :meth:`Program.resolve_entry`, the rule run-time dispatch uses),
+* call inlining and path-inlining delete call/dispatch overhead (which
+  lives in the materializer, not the IR) and up to a budgeted number of
+  ALU/LDA instructions per join (call-site-specific simplification),
+* specialization folds branches on pinned conditions and deletes loads of
+  constant regions.
+
+Anything else — a reordered load, a dropped store, a branch sent the wrong
+way — surfaces as an ``equiv-mismatch`` finding naming the first divergent
+token.  No simulator runs; the proof is over the IR itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.arch.isa import Op
+from repro.core.ir import (
+    BasicBlock,
+    CallDynamic,
+    CallStatic,
+    CondBranch,
+    Fallthrough,
+    Function,
+    InlineEnter,
+    InlineExit,
+    Jump,
+    Return,
+)
+from repro.core.program import Program
+from repro.analysis.verify import Finding
+
+EQUIV_MISMATCH = "equiv-mismatch"
+
+#: one token of a static instruction stream
+Token = Tuple[object, ...]
+
+#: condition assignment: ``(origin, cond)`` keys take precedence over bare
+#: ``cond`` keys; conditions absent from both fall back to the branch's
+#: walker default (:meth:`CondBranch.assumed`)
+Assignment = Mapping[object, bool]
+
+#: full enumeration is used up to 2**6 assignments; beyond that each
+#: condition is probed both ways on top of the all-defaults walk
+EXHAUSTIVE_COND_LIMIT = 6
+
+#: a block revisited more than this often under one (constant) assignment
+#: is looping; the walk truncates and the comparison goes lenient
+MAX_BLOCK_VISITS = 8
+
+_MAX_TOKENS = 100_000
+_MAX_DEPTH = 32
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A per-path token stream; ``truncated`` marks a loop-bounded walk."""
+
+    tokens: Tuple[Token, ...]
+    truncated: bool
+
+
+class _TraceBuilder:
+    """Shared state of one (possibly chained/expanded) static walk."""
+
+    def __init__(self, program: Optional[Program], assignment: Assignment) -> None:
+        self.program = program
+        self.assignment = assignment
+        self.tokens: List[Token] = []
+        self.truncated = False
+
+    def resolve_callee(self, callee: str) -> str:
+        if self.program is None:
+            return callee
+        try:
+            return self.program.resolve_entry(callee)
+        except ValueError:
+            return callee
+
+    def emit(self, token: Token) -> bool:
+        if len(self.tokens) >= _MAX_TOKENS:
+            self.truncated = True
+            return False
+        self.tokens.append(token)
+        return True
+
+    def cond_value(self, origin: str, term: CondBranch) -> bool:
+        value = self.assignment.get((origin, term.cond))
+        if value is None:
+            value = self.assignment.get(term.cond)
+        if value is None:
+            value = term.assumed()
+        return bool(value)
+
+    def walk(
+        self,
+        fn: Function,
+        *,
+        chain: Tuple[str, ...] = (),
+        expand_sites: FrozenSet[str] = frozenset(),
+        depth: int = 0,
+    ) -> None:
+        """Emit ``fn``'s stream from its entry until a Return (or a bound).
+
+        ``chain`` emulates path-inlining: at the member's first dynamic
+        call site (in block order, the site :func:`path_inline` rewrites)
+        the next chain member is walked inline between enter/exit tokens.
+        ``expand_sites`` emulates call inlining: a static call terminating
+        a named block is replaced by the callee's walked body.
+        """
+        if depth > _MAX_DEPTH:
+            self.truncated = True
+            return
+        index: Dict[str, BasicBlock] = {}
+        for blk in fn.blocks:
+            index.setdefault(blk.label, blk)
+        dispatch_label: Optional[str] = None
+        if chain:
+            for blk in fn.blocks:
+                if isinstance(blk.terminator, CallDynamic):
+                    dispatch_label = blk.label
+                    break
+        visits: Dict[str, int] = {}
+        label = fn.entry
+        while not self.truncated:
+            blk = index.get(label)
+            if blk is None:
+                raise KeyError(f"{fn.name}: walk reached unknown block {label!r}")
+            count = visits.get(label, 0) + 1
+            visits[label] = count
+            if count > MAX_BLOCK_VISITS:
+                self.truncated = True
+                return
+            for ins in blk.instructions:
+                if not self.emit(("i", ins.op, ins.dref)):
+                    return
+            term = blk.terminator
+            if term is None:
+                raise ValueError(f"{fn.name}:{label} has no terminator")
+            origin = blk.origin or fn.name
+            if isinstance(term, (Fallthrough, Jump)):
+                label = term.target
+            elif isinstance(term, CondBranch):
+                label = (
+                    term.when_true
+                    if self.cond_value(origin, term)
+                    else term.when_false
+                )
+            elif isinstance(term, CallStatic):
+                if label in expand_sites and self.program is not None:
+                    callee = self.program.function(self.resolve_callee(term.callee))
+                    self.walk(callee, depth=depth + 1)
+                else:
+                    self.emit(("call", self.resolve_callee(term.callee)))
+                label = term.next
+            elif isinstance(term, CallDynamic):
+                if label == dispatch_label:
+                    member = chain[0]
+                    self.emit(("enter", member))
+                    if self.program is None:
+                        raise ValueError("chained walk requires a program")
+                    self.walk(
+                        self.program.function(member),
+                        chain=chain[1:],
+                        depth=depth + 1,
+                    )
+                    self.emit(("exit", member))
+                else:
+                    self.emit(("dyn", term.site))
+                label = term.next
+            elif isinstance(term, InlineEnter):
+                self.emit(("enter", term.callee))
+                label = term.next
+            elif isinstance(term, InlineExit):
+                self.emit(("exit", term.callee))
+                label = term.next
+            elif isinstance(term, Return):
+                return
+            else:  # pragma: no cover - exhaustive over Terminator
+                raise TypeError(f"unknown terminator {term!r}")
+
+
+def path_trace(
+    fn: Function,
+    assignment: Assignment,
+    *,
+    program: Optional[Program] = None,
+    expand_sites: FrozenSet[str] = frozenset(),
+) -> Trace:
+    """The token stream of one walk of ``fn`` under ``assignment``."""
+    builder = _TraceBuilder(program, assignment)
+    builder.walk(fn, expand_sites=expand_sites)
+    return Trace(tuple(builder.tokens), builder.truncated)
+
+
+def chained_trace(
+    program: Program,
+    members: Sequence[str],
+    assignment: Assignment,
+) -> Trace:
+    """The stream a path-inlined merge of ``members`` must reproduce.
+
+    Walks the first member; its first dynamic call site dispatches inline
+    to the second member between enter/exit tokens, and so on down the
+    chain — the reference semantics :func:`repro.core.pathinline.path_inline`
+    freezes into the merged function.
+    """
+    builder = _TraceBuilder(program, assignment)
+    builder.walk(program.function(members[0]), chain=tuple(members[1:]))
+    return Trace(tuple(builder.tokens), builder.truncated)
+
+
+# --------------------------------------------------------------------------- #
+# assignment enumeration                                                      #
+# --------------------------------------------------------------------------- #
+
+
+def collect_conds(*functions: Function) -> List[Tuple[str, str]]:
+    """All ``(origin, cond)`` keys branched on anywhere in ``functions``."""
+    keys: Set[Tuple[str, str]] = set()
+    for fn in functions:
+        for blk in fn.blocks:
+            term = blk.terminator
+            if isinstance(term, CondBranch):
+                keys.add((blk.origin or fn.name, term.cond))
+    return sorted(keys)
+
+
+def enumerate_assignments(
+    conds: Sequence[Tuple[str, str]],
+    *,
+    pinned: Optional[Mapping[str, bool]] = None,
+) -> List[Dict[object, bool]]:
+    """Bounded assignment enumeration over ``conds``.
+
+    Up to :data:`EXHAUSTIVE_COND_LIMIT` free conditions, the full product
+    is enumerated (a complete proof over every path).  Beyond that, the
+    all-defaults walk plus each condition forced both ways keeps the check
+    linear while still exercising both arms of every branch.  ``pinned``
+    conditions (bare names, as :func:`partially_evaluate` takes them) are
+    fixed in every assignment and excluded from enumeration.
+    """
+    pinned = dict(pinned or {})
+    free = [key for key in conds if key[1] not in pinned]
+    out: List[Dict[object, bool]] = []
+    if len(free) <= EXHAUSTIVE_COND_LIMIT:
+        for values in itertools.product((False, True), repeat=len(free)):
+            assignment: Dict[object, bool] = dict(pinned)
+            assignment.update(zip(free, values))
+            out.append(assignment)
+    else:
+        out.append(dict(pinned))
+        for key in free:
+            for value in (True, False):
+                assignment = dict(pinned)
+                assignment[key] = value
+                out.append(assignment)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# stream comparison                                                           #
+# --------------------------------------------------------------------------- #
+
+
+def _deletable_alu(token: Token) -> bool:
+    return token[0] == "i" and token[1] in (Op.ALU, Op.LDA)
+
+
+def _deletable_const_load(regions: FrozenSet[str]) -> Callable[[Token], bool]:
+    def deletable(token: Token) -> bool:
+        return (
+            token[0] == "i"
+            and token[1] is Op.LOAD
+            and token[2] is not None
+            and token[2].region in regions
+        )
+
+    return deletable
+
+
+def compare_traces(
+    before: Trace,
+    after: Trace,
+    *,
+    deletable: Optional[Callable[[Token], bool]] = None,
+    max_deletions: Optional[int] = None,
+) -> Optional[str]:
+    """None when ``after`` equals ``before`` modulo allowed deletions.
+
+    The transforms only ever *delete* tokens (simplification), never
+    reorder or insert, so a greedy left-to-right match is exact: on a
+    mismatch the before-token must be deletable or the streams diverge.
+    When either walk was loop-truncated the comparison is lenient past the
+    shorter stream (the common prefix must still agree).
+    """
+    bt, at = before.tokens, after.tokens
+    lenient = before.truncated or after.truncated
+    deleted = 0
+    i = j = 0
+    while i < len(bt) and j < len(at):
+        if bt[i] == at[j]:
+            i += 1
+            j += 1
+            continue
+        if deletable is not None and deletable(bt[i]):
+            i += 1
+            deleted += 1
+            continue
+        return f"streams diverge at token {j}: expected {bt[i]!r}, got {at[j]!r}"
+    if not lenient:
+        while i < len(bt):
+            if deletable is not None and deletable(bt[i]):
+                i += 1
+                deleted += 1
+                continue
+            return f"transformed stream ends early: missing {bt[i]!r}"
+        if j < len(at):
+            return (
+                f"transformed stream has {len(at) - j} extra token(s) "
+                f"starting with {at[j]!r}"
+            )
+    if max_deletions is not None and deleted > max_deletions:
+        return (
+            f"simplification deleted {deleted} instruction(s), "
+            f"budget is {max_deletions}"
+        )
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# per-transform checks                                                        #
+# --------------------------------------------------------------------------- #
+
+
+def _mismatch(
+    function: str, transform: str, assignment: Assignment, diff: str
+) -> Finding:
+    shown = {
+        (k if isinstance(k, str) else ".".join(k)): v
+        for k, v in sorted(assignment.items(), key=str)
+    }
+    return Finding(
+        EQUIV_MISMATCH,
+        function,
+        f"{transform}: under assignment {shown}: {diff}",
+    )
+
+
+def check_outline_equivalence(
+    before: Function,
+    after: Function,
+    *,
+    program: Optional[Program] = None,
+) -> List[Finding]:
+    """Outlining may only reorder blocks: streams must match exactly."""
+    for assignment in enumerate_assignments(collect_conds(before, after)):
+        t0 = path_trace(before, assignment, program=program)
+        t1 = path_trace(after, assignment, program=program)
+        diff = compare_traces(t0, t1)
+        if diff is not None:
+            return [_mismatch(after.name, "outline", assignment, diff)]
+    return []
+
+
+def check_clone_equivalence(
+    program: Program,
+    original: str,
+    clone: str,
+) -> List[Finding]:
+    """Cloning changes linkage only: streams must match with callee names
+    normalized through the entry-alias chain (the clone's retargeted calls
+    and the original's aliased ones resolve to the same function)."""
+    before = program.function(original)
+    after = program.function(clone)
+    for assignment in enumerate_assignments(collect_conds(before, after)):
+        t0 = path_trace(before, assignment, program=program)
+        t1 = path_trace(after, assignment, program=program)
+        diff = compare_traces(t0, t1)
+        if diff is not None:
+            return [_mismatch(clone, "clone", assignment, diff)]
+    return []
+
+
+def check_inline_equivalence(
+    before_program: Program,
+    after_program: Program,
+    caller: str,
+    site_label: str,
+    *,
+    max_deletions: Optional[int] = None,
+) -> List[Finding]:
+    """Call inlining: the caller with the call expanded in place must match
+    the spliced caller, modulo deleted ALU/LDA (call-site simplification).
+    The call/prologue/epilogue overhead lives in the materializer, so the
+    IR streams carry no call token on either side."""
+    before = before_program.function(caller)
+    after = after_program.function(caller)
+    site_term = before.block(site_label).terminator
+    assert isinstance(site_term, CallStatic)
+    callee = before_program.function(site_term.callee)
+    conds = collect_conds(before, after, callee)
+    for assignment in enumerate_assignments(conds):
+        t0 = path_trace(
+            before,
+            assignment,
+            program=before_program,
+            expand_sites=frozenset({site_label}),
+        )
+        t1 = path_trace(after, assignment, program=after_program)
+        diff = compare_traces(
+            t0, t1, deletable=_deletable_alu, max_deletions=max_deletions
+        )
+        if diff is not None:
+            return [_mismatch(caller, "inline", assignment, diff)]
+    return []
+
+
+def check_path_inline_equivalence(
+    program: Program,
+    path_name: str,
+    members: Sequence[str],
+    *,
+    max_deletions_per_join: Optional[int] = None,
+) -> List[Finding]:
+    """Path-inlining: the chained walk of the members must match the merged
+    function, modulo enter/exit markers replacing the dispatch (emitted by
+    both walks) and the budgeted per-join ALU/LDA simplification."""
+    merged = program.function(path_name)
+    member_fns = [program.function(m) for m in members]
+    conds = collect_conds(merged, *member_fns)
+    max_deletions = None
+    if max_deletions_per_join is not None:
+        max_deletions = max_deletions_per_join * max(0, len(members) - 1)
+    for assignment in enumerate_assignments(conds):
+        t0 = chained_trace(program, members, assignment)
+        t1 = path_trace(merged, assignment, program=program)
+        diff = compare_traces(
+            t0, t1, deletable=_deletable_alu, max_deletions=max_deletions
+        )
+        if diff is not None:
+            return [_mismatch(path_name, "path-inline", assignment, diff)]
+    return []
+
+
+def check_specialize_equivalence(
+    before: Function,
+    after: Function,
+    constant_conds: Mapping[str, bool],
+    *,
+    constant_regions: Sequence[str] = (),
+    program: Optional[Program] = None,
+) -> List[Finding]:
+    """Partial evaluation: under every assignment consistent with the
+    pinned conditions, streams must match modulo deleted loads of the
+    constant regions (folded into immediates).  Folded branches emit no
+    tokens, and dropped blocks were unreachable under the pins."""
+    conds = collect_conds(before, after)
+    deletable = _deletable_const_load(frozenset(constant_regions))
+    for assignment in enumerate_assignments(conds, pinned=constant_conds):
+        t0 = path_trace(before, assignment, program=program)
+        t1 = path_trace(after, assignment, program=program)
+        diff = compare_traces(t0, t1, deletable=deletable)
+        if diff is not None:
+            return [_mismatch(after.name, "specialize", assignment, diff)]
+    return []
+
+
+# --------------------------------------------------------------------------- #
+# pipeline auditor                                                            #
+# --------------------------------------------------------------------------- #
+
+
+class EquivalenceAuditor:
+    """A ``stage_hook`` for :func:`repro.harness.configs.build_configured_program`
+    that cross-checks every transformation stage of a build.
+
+    Attach one auditor per build; after the build, :attr:`findings` holds
+    every equivalence violation any stage introduced (empty on a correct
+    pipeline).  The models snapshot is taken at the ``models`` stage, so
+    the auditor must see the build from its beginning.
+    """
+
+    def __init__(self, *, simplify_per_join: Optional[int] = None) -> None:
+        self.findings: List[Finding] = []
+        self.stages_seen: List[str] = []
+        self._pre_outline: Dict[str, Function] = {}
+        self._simplify_per_join = simplify_per_join
+
+    def __call__(self, stage: str, build) -> None:
+        from repro.core.clone import CLONE_SUFFIX, is_clone
+
+        self.stages_seen.append(stage)
+        program: Program = build.program
+        if stage == "models":
+            self._pre_outline = {
+                fn.name: fn.clone(fn.name) for fn in program.functions()
+            }
+        elif stage == "outline":
+            for fn in program.functions():
+                before = self._pre_outline.get(fn.name)
+                if before is not None:
+                    self.findings.extend(
+                        check_outline_equivalence(before, fn, program=program)
+                    )
+        elif stage == "pathinline":
+            for stats in build.path_inline_stats:
+                self.findings.extend(
+                    check_path_inline_equivalence(
+                        program,
+                        stats.path_function,
+                        stats.members,
+                        max_deletions_per_join=self._simplify_per_join,
+                    )
+                )
+        elif stage == "clone":
+            for fn in program.functions():
+                if is_clone(fn.name):
+                    base = fn.name[: -len(CLONE_SUFFIX)]
+                    if base in program:
+                        self.findings.extend(
+                            check_clone_equivalence(program, base, fn.name)
+                        )

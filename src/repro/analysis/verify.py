@@ -1,0 +1,383 @@
+"""IR verifier: structural well-formedness for ``Function`` / ``Program``.
+
+Every result in the reproduction rests on the transformation pipeline
+(outlining, cloning, path-inlining, specialization) producing well-formed
+machine-code images; before this module existed, nothing checked that
+except that the simulators happened not to crash.  The verifier makes the
+walker's implicit assumptions explicit and checkable *statically*:
+
+* every terminator target resolves to a real block in its function,
+* the entry reaches every block (an unreachable block is dead weight the
+  layout still places — almost always a transformation bug),
+* labels are unique, including after ``clone``/outline/splice renames,
+* ``CallStatic`` callees resolve — through the entry-alias chain — to
+  functions that exist in the program,
+* ``InlineEnter`` / ``InlineExit`` markers are properly paired and nested
+  along every control-flow path (the walker's scope stack would otherwise
+  desynchronize from the event stream),
+* memory-op/data-reference invariants hold for every instruction,
+* the static call graph is acyclic (the walker expands static callees
+  inline and assumes no recursion),
+* entry aliases resolve without cycles, and a laid-out program has no
+  overlapping extents.
+
+Findings are plain data (:class:`Finding`), so callers can render, gate,
+or count them; :func:`assert_well_formed` raises :class:`VerificationError`
+for the opt-in ``REPRO_VERIFY_IR=1`` pipeline hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.ir import (
+    BasicBlock,
+    CallStatic,
+    Function,
+    InlineEnter,
+    InlineExit,
+    Return,
+    terminator_targets,
+)
+from repro.core.program import Program
+
+# --------------------------------------------------------------------------- #
+# finding kinds                                                               #
+# --------------------------------------------------------------------------- #
+
+NO_BLOCKS = "no-blocks"
+UNTERMINATED = "unterminated-block"
+DUPLICATE_LABEL = "duplicate-label"
+DANGLING_TARGET = "dangling-target"
+UNREACHABLE_BLOCK = "unreachable-block"
+BAD_MEMORY_OP = "bad-memory-op"
+MISSING_CALLEE = "missing-callee"
+UNPAIRED_INLINE = "unpaired-inline"
+INLINE_MISMATCH = "inline-mismatch"
+STATIC_RECURSION = "static-recursion"
+ALIAS_CYCLE = "alias-cycle"
+LAYOUT_OVERLAP = "layout-overlap"
+
+FINDING_KINDS = frozenset({
+    NO_BLOCKS, UNTERMINATED, DUPLICATE_LABEL, DANGLING_TARGET,
+    UNREACHABLE_BLOCK, BAD_MEMORY_OP, MISSING_CALLEE, UNPAIRED_INLINE,
+    INLINE_MISMATCH, STATIC_RECURSION, ALIAS_CYCLE, LAYOUT_OVERLAP,
+})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verifier (or analysis) finding: a kind, a location, a detail."""
+
+    kind: str
+    function: str
+    detail: str
+    block: Optional[str] = None
+
+    def render(self) -> str:
+        where = self.function if self.block is None else f"{self.function}:{self.block}"
+        return f"[{self.kind}] {where}: {self.detail}"
+
+
+class VerificationError(RuntimeError):
+    """Raised by :func:`assert_well_formed` when a program has findings."""
+
+    def __init__(self, findings: Iterable[Finding], *, stage: str = "") -> None:
+        self.findings = list(findings)
+        self.stage = stage
+        where = f" after stage {stage!r}" if stage else ""
+        lines = [f"IR verification failed{where}: "
+                 f"{len(self.findings)} finding(s)"]
+        lines.extend(f.render() for f in self.findings[:20])
+        if len(self.findings) > 20:
+            lines.append(f"... and {len(self.findings) - 20} more")
+        super().__init__("\n".join(lines))
+
+
+# --------------------------------------------------------------------------- #
+# function-level checks                                                       #
+# --------------------------------------------------------------------------- #
+
+
+def _block_index(fn: Function) -> Dict[str, BasicBlock]:
+    """Label -> block, first wins (matching ``Function.block`` resolution)."""
+    index: Dict[str, BasicBlock] = {}
+    for blk in fn.blocks:
+        index.setdefault(blk.label, blk)
+    return index
+
+
+def _reachable_labels(fn: Function, index: Dict[str, BasicBlock]) -> Set[str]:
+    seen: Set[str] = set()
+    stack = [fn.blocks[0].label]
+    while stack:
+        label = stack.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        blk = index.get(label)
+        if blk is None or blk.terminator is None:
+            continue
+        stack.extend(t for t in terminator_targets(blk.terminator)
+                     if t not in seen and t in index)
+    return seen
+
+
+def _inline_scope_findings(
+    fn: Function, index: Dict[str, BasicBlock]
+) -> List[Finding]:
+    """Check InlineEnter/InlineExit pairing along every control-flow path.
+
+    Walks the CFG carrying the inline-scope stack the walker would hold.
+    A block reachable with two different stacks, an exit that does not
+    close the innermost scope, or a return inside an open scope would all
+    desynchronize the walker from the event stream at run time.
+    """
+    findings: Dict[Tuple[str, Optional[str]], Finding] = {}
+    entry = fn.blocks[0].label
+    stacks_seen: Dict[str, Tuple[str, ...]] = {}
+    visited: Set[Tuple[str, Tuple[str, ...]]] = set()
+    work: List[Tuple[str, Tuple[str, ...]]] = [(entry, ())]
+    budget = 64 * max(1, len(fn.blocks))
+
+    def report(kind: str, detail: str, block: Optional[str]) -> None:
+        findings.setdefault((kind, block), Finding(kind, fn.name, detail, block))
+
+    while work and budget > 0:
+        budget -= 1
+        label, stack = work.pop()
+        if (label, stack) in visited:
+            continue
+        visited.add((label, stack))
+        prior = stacks_seen.get(label)
+        if prior is None:
+            stacks_seen[label] = stack
+        elif prior != stack:
+            report(
+                INLINE_MISMATCH,
+                f"block reachable with inline scopes {list(prior)} "
+                f"and {list(stack)}",
+                label,
+            )
+            continue
+        blk = index.get(label)
+        if blk is None or blk.terminator is None:
+            continue
+        term = blk.terminator
+        new_stack = stack
+        if isinstance(term, InlineEnter):
+            new_stack = stack + (term.callee,)
+        elif isinstance(term, InlineExit):
+            if not stack:
+                report(
+                    UNPAIRED_INLINE,
+                    f"InlineExit({term.callee!r}) with no open inline scope",
+                    label,
+                )
+                continue
+            if stack[-1] != term.callee:
+                report(
+                    INLINE_MISMATCH,
+                    f"InlineExit({term.callee!r}) closes innermost scope "
+                    f"{stack[-1]!r}",
+                    label,
+                )
+                continue
+            new_stack = stack[:-1]
+        elif isinstance(term, Return):
+            if stack:
+                report(
+                    UNPAIRED_INLINE,
+                    f"return with open inline scopes {list(stack)}",
+                    label,
+                )
+            continue
+        for target in terminator_targets(term):
+            if target in index:
+                work.append((target, new_stack))
+    return list(findings.values())
+
+
+def verify_function(
+    fn: Function, program: Optional[Program] = None
+) -> List[Finding]:
+    """Structural well-formedness checks for one function.
+
+    With ``program``, cross-function invariants (callee existence through
+    the alias chain) are checked too.
+    """
+    findings: List[Finding] = []
+    if not fn.blocks:
+        return [Finding(NO_BLOCKS, fn.name, "function has no blocks")]
+
+    index = _block_index(fn)
+
+    seen: Set[str] = set()
+    for blk in fn.blocks:
+        if blk.label in seen:
+            findings.append(Finding(
+                DUPLICATE_LABEL, fn.name,
+                "label defined more than once (later blocks are shadowed)",
+                blk.label,
+            ))
+        seen.add(blk.label)
+
+    for blk in fn.blocks:
+        if blk.terminator is None:
+            findings.append(Finding(
+                UNTERMINATED, fn.name, "block has no terminator", blk.label,
+            ))
+            continue
+        for target in terminator_targets(blk.terminator):
+            if target not in index:
+                findings.append(Finding(
+                    DANGLING_TARGET, fn.name,
+                    f"terminator targets unknown block {target!r}",
+                    blk.label,
+                ))
+        for pos, ins in enumerate(blk.instructions):
+            if ins.op.is_memory and ins.dref is None:
+                findings.append(Finding(
+                    BAD_MEMORY_OP, fn.name,
+                    f"instruction {pos}: {ins.op} lacks a data reference",
+                    blk.label,
+                ))
+            elif not ins.op.is_memory and ins.dref is not None:
+                findings.append(Finding(
+                    BAD_MEMORY_OP, fn.name,
+                    f"instruction {pos}: {ins.op} carries a data reference",
+                    blk.label,
+                ))
+
+    reachable = _reachable_labels(fn, index)
+    for blk in fn.blocks:
+        if blk.label not in reachable:
+            findings.append(Finding(
+                UNREACHABLE_BLOCK, fn.name,
+                "block is unreachable from the entry", blk.label,
+            ))
+
+    findings.extend(_inline_scope_findings(fn, index))
+
+    if program is not None:
+        for blk in fn.blocks:
+            term = blk.terminator
+            callee: Optional[str] = None
+            if isinstance(term, CallStatic):
+                callee = term.callee
+            elif isinstance(term, (InlineEnter, InlineExit)):
+                callee = term.callee
+            if callee is None:
+                continue
+            try:
+                resolved = program.resolve_entry(callee)
+            except ValueError:
+                continue  # alias cycles are reported at program level
+            if resolved not in program:
+                findings.append(Finding(
+                    MISSING_CALLEE, fn.name,
+                    f"callee {callee!r} resolves to unknown function "
+                    f"{resolved!r}",
+                    blk.label,
+                ))
+    return findings
+
+
+# --------------------------------------------------------------------------- #
+# program-level checks                                                        #
+# --------------------------------------------------------------------------- #
+
+
+def _static_recursion_findings(program: Program) -> List[Finding]:
+    """Cycles in the (alias-resolved) static call graph.
+
+    The walker expands static callees inline and assumes the expansion
+    terminates; recursion would spin until the trace-length cap.
+    """
+    edges: Dict[str, List[str]] = {}
+    for fn in program.functions():
+        out: List[str] = []
+        for callee in fn.callees():
+            try:
+                resolved = program.resolve_entry(callee)
+            except ValueError:
+                continue
+            if resolved in program:
+                out.append(resolved)
+        edges[fn.name] = out
+
+    findings: List[Finding] = []
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {name: WHITE for name in edges}
+    reported: Set[str] = set()
+
+    for root in edges:
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[str, int]] = [(root, 0)]
+        path: List[str] = []
+        color[root] = GREY
+        path.append(root)
+        while stack:
+            node, i = stack[-1]
+            if i < len(edges[node]):
+                stack[-1] = (node, i + 1)
+                succ = edges[node][i]
+                if color[succ] == GREY:
+                    cycle = path[path.index(succ):] + [succ]
+                    if succ not in reported:
+                        reported.add(succ)
+                        findings.append(Finding(
+                            STATIC_RECURSION, succ,
+                            "static call cycle: " + " -> ".join(cycle),
+                        ))
+                elif color[succ] == WHITE:
+                    color[succ] = GREY
+                    path.append(succ)
+                    stack.append((succ, 0))
+            else:
+                stack.pop()
+                path.pop()
+                color[node] = BLACK
+    return findings
+
+
+def verify_program(program: Program) -> List[Finding]:
+    """All function-level checks plus cross-function and layout invariants."""
+    findings: List[Finding] = []
+
+    # entry-alias resolution (cycles and dangling targets)
+    for original in list(program._entry_aliases):
+        try:
+            resolved = program.resolve_entry(original)
+        except ValueError:
+            findings.append(Finding(
+                ALIAS_CYCLE, original,
+                "entry alias chain contains a cycle",
+            ))
+            continue
+        if resolved not in program:
+            findings.append(Finding(
+                MISSING_CALLEE, original,
+                f"entry alias resolves to unknown function {resolved!r}",
+            ))
+
+    for fn in program.functions():
+        findings.extend(verify_function(fn, program))
+
+    findings.extend(_static_recursion_findings(program))
+
+    if program.has_layout():
+        try:
+            program.check_no_overlap()
+        except ValueError as exc:
+            findings.append(Finding(LAYOUT_OVERLAP, "<layout>", str(exc)))
+    return findings
+
+
+def assert_well_formed(program: Program, *, stage: str = "") -> None:
+    """Raise :class:`VerificationError` if ``program`` has any finding."""
+    findings = verify_program(program)
+    if findings:
+        raise VerificationError(findings, stage=stage)

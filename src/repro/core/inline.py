@@ -26,6 +26,7 @@ from repro.core.ir import (
     Instruction,
     Jump,
     Return,
+    ensure_unique_labels,
 )
 from repro.core.program import Program
 
@@ -107,6 +108,12 @@ def inline_call(
     callee = program.function(term.callee)
     prefix = f"{site_label}${callee.name}$"
     body = [blk.clone(rename=prefix) for blk in callee.blocks]
+    collisions = {b.label for b in caller.blocks} & {b.label for b in body}
+    if collisions:
+        raise ValueError(
+            f"{caller_name}: inlining {callee.name!r} at {site_label!r} would "
+            f"collide with existing labels {sorted(collisions)}"
+        )
     _simplify_blocks(body, simplify)
     continuation = term.next
     for blk in body:
@@ -117,4 +124,5 @@ def inline_call(
     site.terminator = Jump(prefix + callee.entry)
     insert_at = caller.block_index(site_label) + 1
     caller.blocks[insert_at:insert_at] = body
+    ensure_unique_labels(caller.blocks, context=caller_name)
     program.invalidate(caller_name)

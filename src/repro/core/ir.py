@@ -212,6 +212,26 @@ class BasicBlock:
         return blk
 
 
+def ensure_unique_labels(blocks: List["BasicBlock"], *, context: str) -> None:
+    """Reject duplicate block labels in ``blocks``.
+
+    A colliding label would silently merge blocks: ``Function.block``
+    resolves the first match, so the shadowed block becomes unreachable by
+    name while still occupying address space.  The splicing transforms
+    (inlining, path-inlining) call this before and after renaming cloned
+    bodies, so a rename prefix that collides with an existing label fails
+    loudly instead.
+    """
+    seen: set = set()
+    dupes: set = set()
+    for blk in blocks:
+        if blk.label in seen:
+            dupes.add(blk.label)
+        seen.add(blk.label)
+    if dupes:
+        raise ValueError(f"{context}: duplicate block labels {sorted(dupes)}")
+
+
 def _rename_targets(term: Optional[Terminator], prefix: str) -> None:
     if isinstance(term, (Fallthrough, Jump)):
         term.target = prefix + term.target
@@ -297,6 +317,7 @@ class Function:
         for blk in fn.blocks:
             if blk.origin == self.name:
                 blk.origin = self.name  # keep the authoring scope
+        ensure_unique_labels(fn.blocks, context=new_name)
         return fn
 
 

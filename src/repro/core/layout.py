@@ -48,16 +48,25 @@ def icache_sets_of(
     *,
     icache_size: int = ICACHE,
     block_size: int = BLOCK,
+    hot_only: bool = False,
 ) -> Set[int]:
     """The direct-mapped i-cache sets a laid-out function's extent occupies.
 
     Two functions conflict in the i-cache exactly when these sets
     intersect; the observability layer's conflict matrix keys its static
-    overlap analysis on this.
+    overlap analysis on this.  With ``hot_only``, only the mainline prefix
+    counts (the outlined cold tail occupies addresses but is never fetched
+    on the predicted path — see :meth:`Program.hot_size_of`).
+
+    A zero-size function occupies no sets (an empty set, never a phantom
+    set from its unaligned base address).
     """
     nsets = icache_size // block_size
     start = program.address_of(name)
-    end = start + program.size_of(name)
+    size = program.hot_size_of(name) if hot_only else program.size_of(name)
+    if size <= 0:
+        return set()
+    end = start + size
     first = start // block_size
     last = (end - 1) // block_size
     if last - first + 1 >= nsets:

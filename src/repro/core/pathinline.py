@@ -32,6 +32,7 @@ from repro.core.ir import (
     InlineExit,
     Instruction,
     Return,
+    ensure_unique_labels,
 )
 from repro.core.program import Program
 
@@ -83,6 +84,10 @@ def path_inline(
     """
     if not members:
         raise ValueError("path must have at least one member")
+    if len(set(members)) != len(members):
+        # a repeated member would reuse one rename prefix for two splices,
+        # silently merging the duplicated blocks
+        raise ValueError(f"{path_name}: path members must be unique: {list(members)}")
     for m in members:
         fn = program.function(m)
         if fn.library:
@@ -152,6 +157,7 @@ def path_inline(
         return blocks[: site_idx + 1] + inner + blocks[site_idx + 1:]
 
     merged.blocks.extend(assemble(0))
+    ensure_unique_labels(merged.blocks, context=path_name)
     # Block origins were preserved by clone(); the walker resolves each
     # block's conditions against the member that authored it.
 

@@ -19,7 +19,7 @@ clones/merged functions, so the analysis code can attribute addresses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.clone import clone_functions, clone_name
 from repro.core.layout import (
@@ -154,10 +154,19 @@ def _fresh_model_functions(stack: str, spec: StackSpec,
     return [fn.clone(fn.name) for fn in base]
 
 
+#: observer invoked after each executed build stage with (stage, result);
+#: stages are "models", "outline", "pathinline", "clone", "layout".  The
+#: IR verifier and the equivalence auditor attach here, so a transformation
+#: bug is caught at the stage that introduced it, not at walk time.
+StageHook = Callable[[str, "BuildResult"], None]
+
+
 def build_configured_program(
     stack: str,
     config: str,
     opts: Optional[Section2Options] = None,
+    *,
+    stage_hook: Optional[StageHook] = None,
 ) -> BuildResult:
     """Build one (stack, configuration) program, laid out and ready to walk."""
     if config not in CONFIG_NAMES:
@@ -171,10 +180,14 @@ def build_configured_program(
 
     result = BuildResult(program=program, spec=spec, config=config, opts=opts,
                          library_functions=list(LIBRARY_FUNCTIONS))
+    if stage_hook is not None:
+        stage_hook("models", result)
 
     # ---- outlining (every configuration except STD) ---- #
     if config != "STD":
         result.outline_stats = outline_program(program)
+        if stage_hook is not None:
+            stage_hook("outline", result)
 
     # ---- path-inlining (PIN and ALL) ---- #
     merged: Dict[str, str] = {}
@@ -200,6 +213,8 @@ def build_configured_program(
             merged[member] = spec.output_path_name
         for member in spec.pin_input_members:
             merged[member] = spec.input_path_name
+        if stage_hook is not None:
+            stage_hook("pathinline", result)
 
     # the hot path as it exists after inlining (merged names substituted)
     hot = _resolved_invocation_order(program, spec, merged)
@@ -208,6 +223,9 @@ def build_configured_program(
     if config in ("CLO", "BAD", "ALL"):
         clone_functions(program, hot)
         hot = [clone_name(name) for name in hot]
+        result.hot_functions = hot
+        if stage_hook is not None:
+            stage_hook("clone", result)
 
     result.hot_functions = hot
 
@@ -230,6 +248,8 @@ def build_configured_program(
             pessimal_layout(hot, bcache_alias_pairs=BAD_BCACHE_ALIAS_PAIRS)
         )
     program.check_no_overlap()
+    if stage_hook is not None:
+        stage_hook("layout", result)
     return result
 
 

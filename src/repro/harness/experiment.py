@@ -72,6 +72,24 @@ def resolve_engine(engine: Optional[str] = None) -> str:
     return engine
 
 
+def verify_ir_enabled() -> bool:
+    """Opt-in IR verification after every build stage (``REPRO_VERIFY_IR=1``).
+
+    When set, every experiment build runs the structural verifier of
+    :mod:`repro.analysis.verify` after each transformation stage and fails
+    loudly (:class:`repro.analysis.verify.VerificationError`) the moment a
+    transform produces malformed IR — instead of the walker or simulator
+    tripping over it a layer later with a less actionable error.
+    """
+    return os.environ.get("REPRO_VERIFY_IR", "") == "1"
+
+
+def _ir_verify_hook(stage: str, build: BuildResult) -> None:
+    from repro.analysis.verify import assert_well_formed
+
+    assert_well_formed(build.program, stage=stage)
+
+
 # --------------------------------------------------------------------------- #
 # captured-event memoization                                                  #
 # --------------------------------------------------------------------------- #
@@ -288,7 +306,14 @@ class Experiment:
     def run(self, samples: Optional[int] = None) -> ExperimentResult:
         if samples is None:
             samples = DEFAULT_SAMPLES[self.stack]
-        if self.engine == "fast":
+        if verify_ir_enabled():
+            # verification needs to observe every build stage, so it takes
+            # the uncached path regardless of engine (results are
+            # bit-identical; only build time differs)
+            build = build_configured_program(
+                self.stack, self.config, self.opts, stage_hook=_ir_verify_hook
+            )
+        elif self.engine == "fast":
             build = build_configured_program_cached(
                 self.stack, self.config, self.opts
             )

@@ -1,0 +1,157 @@
+"""Static conflict predictor: synthetic layouts, soundness, cross-validation.
+
+The synthetic cases pin down the prediction rule on hand-placed layouts
+(same set -> pair, disjoint sets -> no pair, bigger-than-cache -> self
+pair); the fabricated-matrix cases prove ``validate_prediction`` actually
+fails on an unpredicted eviction; the real-cell case is the tentpole
+soundness claim — everything the simulator observed was predicted.
+"""
+
+import pytest
+
+from repro.analysis.conflicts import (
+    CONFLICT_FALSE_NEGATIVE,
+    live_functions,
+    observed_pairs,
+    predict_conflicts,
+    render_prediction,
+    validate_prediction,
+)
+from repro.arch.memory import MemoryConfig
+from repro.core.ir import FunctionBuilder
+from repro.core.program import Program
+from repro.obs.attribution import UNATTRIBUTED
+from repro.obs.conflicts import ConflictMatrix
+
+ICACHE = 1024
+MEM = MemoryConfig(icache_size=ICACHE)
+
+
+def _fn(name, alu=4, *, callee=None):
+    fb = FunctionBuilder(name, saves=1)
+    fb.block("entry").alu(alu)
+    if callee:
+        fb.call(callee, "done")
+        fb.block("done").alu(1)
+    fb.ret()
+    return fb.build()
+
+
+def _laid_out(placement, **fns):
+    """A program with the named functions at hand-picked offsets."""
+    p = Program()
+    for fn in fns.values():
+        p.add(fn)
+    p.layout(lambda prog: {
+        name: prog.text_base + offset for name, offset in placement.items()
+    })
+    return p
+
+
+class TestPrediction:
+    def test_requires_layout(self):
+        p = Program()
+        p.add(_fn("a"))
+        with pytest.raises(ValueError):
+            predict_conflicts(p)
+
+    def test_cache_distance_apart_conflicts(self):
+        """Two functions one i-cache apart map to identical sets."""
+        p = _laid_out({"a": 0, "b": ICACHE}, a=_fn("a"), b=_fn("b"))
+        pred = predict_conflicts(p, memory=MEM)
+        assert pred.covers("a", "b") and pred.covers("b", "a")
+        assert pred.live == {"a", "b"}
+
+    def test_disjoint_sets_do_not_conflict(self):
+        a, b = _fn("a"), _fn("b")
+        p = _laid_out({"a": 0, "b": ICACHE // 2}, a=a, b=b)
+        # precondition: both footprints fit in their half of the cache
+        assert p.size_of("a") <= ICACHE // 2
+        assert p.size_of("b") <= ICACHE // 2
+        pred = predict_conflicts(p, memory=MEM)
+        assert not pred.covers("a", "b")
+
+    def test_function_larger_than_cache_self_aliases(self):
+        big = _fn("big", alu=300)  # ~1.2KB of body > 1KB of cache
+        p = _laid_out({"big": 0}, big=big)
+        assert p.size_of("big") > ICACHE
+        pred = predict_conflicts(p, memory=MEM)
+        assert pred.covers("big", "big")
+
+    def test_likely_is_subset_of_pairs(self):
+        from repro.harness.configs import build_configured_program
+
+        build = build_configured_program("tcpip", "OUT")
+        pred = predict_conflicts(build.program)
+        assert pred.likely <= pred.pairs
+        assert pred.pairs  # a real build is never conflict-free
+
+
+class TestLiveness:
+    def test_aliased_away_function_not_live(self):
+        """An entry-aliased original is unreachable unless a static call
+        still names it — exactly the walker's resolution rule."""
+        p = Program()
+        p.add(_fn("leaf"))
+        p.add(_fn("leaf2"))
+        p.alias_entry("leaf", "leaf2")
+        assert live_functions(p) == {"leaf2"}
+
+    def test_static_callee_closure(self):
+        p = Program()
+        p.add(_fn("caller", callee="helper"))
+        p.add(_fn("helper"))
+        assert live_functions(p) == {"caller", "helper"}
+
+
+class TestValidation:
+    def _prediction(self):
+        p = _laid_out({"a": 0, "b": ICACHE}, a=_fn("a"), b=_fn("b"))
+        return predict_conflicts(p, memory=MEM)
+
+    def test_observed_subset_passes(self):
+        pred = self._prediction()
+        m = ConflictMatrix()
+        m.record("a", "b", 0)
+        m.record("b", "a", 0)
+        assert validate_prediction(pred, [m]) == []
+
+    def test_unpredicted_eviction_is_a_finding(self):
+        pred = self._prediction()
+        m = ConflictMatrix()
+        m.record("ghost", "phantom", 3)
+        findings = validate_prediction(pred, [m], context="unit")
+        assert [f.kind for f in findings] == [CONFLICT_FALSE_NEGATIVE]
+        assert "ghost" in findings[0].detail and "unit" in findings[0].detail
+
+    def test_observed_pairs_normalization(self):
+        m = ConflictMatrix()
+        m.record(UNATTRIBUTED, UNATTRIBUTED, 0)  # gap-on-gap: ignored
+        m.record("f", UNATTRIBUTED, 1)           # gap block: still owed
+        m.record("g", "f", 2)
+        m.record("f", "g", 2)                    # direction collapses
+        assert observed_pairs([m]) == {
+            tuple(sorted((UNATTRIBUTED, "f"))),
+            ("f", "g"),
+        }
+
+    def test_render_smoke(self):
+        pred = self._prediction()
+        text = render_prediction(pred)
+        assert "live functions: 2" in text
+        assert "a <-> b" in text
+
+
+class TestRealCell:
+    def test_no_false_negatives_against_simulation(self):
+        """The soundness claim, end to end on one real cell: every eviction
+        pair the simulator records was statically predicted."""
+        from repro.harness.configs import build_configured_program
+        from repro.harness.profile import profile_cell
+
+        build = build_configured_program("tcpip", "OUT")
+        pred = predict_conflicts(build.program)
+        cell = profile_cell("tcpip", "OUT")
+        matrices = [cell.cold.conflicts, cell.steady.conflicts]
+        assert observed_pairs(matrices)  # the corpus is non-trivial
+        assert validate_prediction(pred, matrices, context="tcpip/OUT") == []

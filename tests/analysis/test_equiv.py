@@ -1,0 +1,285 @@
+"""Equivalence checker: real transforms prove clean, broken ones are caught.
+
+Each transform gets a positive case (the real implementation passes its
+check) and a negative case (a deliberately miscompiled variant — a dropped
+store, a flipped branch target, an extra instruction — produces an
+``equiv-mismatch`` naming the divergence).
+"""
+
+import pytest
+
+from repro.analysis.equiv import (
+    EQUIV_MISMATCH,
+    EquivalenceAuditor,
+    chained_trace,
+    check_clone_equivalence,
+    check_inline_equivalence,
+    check_outline_equivalence,
+    check_path_inline_equivalence,
+    check_specialize_equivalence,
+    collect_conds,
+    compare_traces,
+    enumerate_assignments,
+    path_trace,
+)
+from repro.arch.isa import Op
+from repro.core.clone import clone_functions, clone_name
+from repro.core.inline import inline_call
+from repro.core.ir import FunctionBuilder, Instruction, Jump
+from repro.core.outline import outline_function
+from repro.core.pathinline import path_inline
+from repro.core.program import Program
+from repro.core.specialize import partially_evaluate
+from repro.harness.configs import CONFIG_NAMES, build_configured_program
+
+
+def _branchy(name="f", *, callee=None):
+    fb = FunctionBuilder(name, saves=1)
+    fb.block("a").alu(2).load("heap")
+    fb.branch("err", "cold", "warm", predict=False)
+    fb.block("warm").alu(3).store("heap")
+    if callee:
+        fb.call(callee, "done")
+    else:
+        fb.goto("done")
+    fb.block("done").alu(1)
+    fb.ret()
+    fb.block("cold").alu(9)
+    fb.jump("done")
+    return fb.build()
+
+
+def _leaf(name="leaf"):
+    fb = FunctionBuilder(name, saves=0, leaf=True)
+    fb.block("x").alu(2).lda(1).load("tcb")
+    fb.ret()
+    return fb.build()
+
+
+def _layered_program():
+    """bottom -> mid -> top chained through dynamic dispatch."""
+    p = Program()
+    for name, has_up in (("bottom", True), ("mid", True), ("top", False)):
+        fb = FunctionBuilder(name, saves=1)
+        fb.block("work").alu(3).lda(2).load("heap")
+        fb.branch("slow", "slowpath", "go", predict=False)
+        fb.block("go").alu(1)
+        if has_up:
+            fb.call_dynamic("up", "done")
+            fb.block("done").alu(1).store("heap")
+        fb.ret()
+        fb.block("slowpath").alu(5)
+        fb.jump("go")
+        p.add(fb.build())
+    return p
+
+
+class TestOutline:
+    def test_real_outline_equivalent(self):
+        p = Program()
+        fn = _branchy()
+        p.add(fn)
+        before = fn.clone(fn.name)
+        outline_function(fn)
+        assert fn.blocks[-1].label == "cold"  # it did move something
+        assert check_outline_equivalence(before, fn, program=p) == []
+
+    def test_reordered_stream_caught(self):
+        fn = _branchy()
+        before = fn.clone(fn.name)
+        outline_function(fn)
+        fn.block("warm").instructions.reverse()  # ALU/STORE swapped
+        findings = check_outline_equivalence(before, fn)
+        assert [f.kind for f in findings] == [EQUIV_MISMATCH]
+        assert "diverge" in findings[0].detail
+
+    def test_dropped_store_caught(self):
+        fn = _branchy()
+        before = fn.clone(fn.name)
+        outline_function(fn)
+        warm = fn.block("warm")
+        warm.instructions = [
+            i for i in warm.instructions if i.op is not Op.STORE
+        ]
+        assert check_outline_equivalence(before, fn)
+
+
+class TestClone:
+    def _cloned(self):
+        p = Program()
+        p.add(_branchy("caller", callee="leaf"))
+        p.add(_leaf())
+        clone_functions(p, ["caller", "leaf"])
+        return p
+
+    def test_real_clone_equivalent(self):
+        p = self._cloned()
+        for base in ("caller", "leaf"):
+            assert check_clone_equivalence(p, base, clone_name(base)) == []
+
+    def test_retargeted_call_resolves_identically(self):
+        """The clone calls leaf@clone, the original's leaf is aliased to
+        it — the normalized streams agree by construction."""
+        p = self._cloned()
+        assert p.resolve_entry("leaf") == clone_name("leaf")
+        t = path_trace(p.function("caller"), {}, program=p)
+        assert ("call", clone_name("leaf")) in t.tokens
+
+    def test_extra_instruction_caught(self):
+        p = self._cloned()
+        p.function(clone_name("caller")).block("warm").instructions.append(
+            Instruction(Op.ALU)
+        )
+        findings = check_clone_equivalence(p, "caller", clone_name("caller"))
+        assert [f.kind for f in findings] == [EQUIV_MISMATCH]
+
+
+class TestInline:
+    def _programs(self):
+        before, after = Program(), Program()
+        for p in (before, after):
+            p.add(_branchy("caller", callee="leaf"))
+            p.add(_leaf())
+        inline_call(after, "caller", "warm", simplify=0.5)
+        return before, after
+
+    def test_real_inline_equivalent(self):
+        before, after = self._programs()
+        assert check_inline_equivalence(before, after, "caller", "warm") == []
+
+    def test_deletion_budget_enforced(self):
+        before, after = self._programs()
+        findings = check_inline_equivalence(
+            before, after, "caller", "warm", max_deletions=0
+        )
+        assert findings and "budget" in findings[0].detail
+
+    def test_wrong_continuation_caught(self):
+        before, after = self._programs()
+        # miscompile: the inlined body's return jumps to the wrong block
+        for blk in after.function("caller").blocks:
+            if (blk.label.startswith("warm$leaf$")
+                    and isinstance(blk.terminator, Jump)):
+                blk.terminator.target = "cold"
+        findings = check_inline_equivalence(before, after, "caller", "warm")
+        assert [f.kind for f in findings] == [EQUIV_MISMATCH]
+
+
+class TestPathInline:
+    def test_real_path_inline_equivalent(self):
+        p = _layered_program()
+        path_inline(p, "merged", ["bottom", "mid", "top"],
+                    simplify_per_join=2)
+        findings = check_path_inline_equivalence(
+            p, "merged", ["bottom", "mid", "top"], max_deletions_per_join=2
+        )
+        assert findings == []
+
+    def test_chained_trace_has_markers(self):
+        p = _layered_program()
+        t = chained_trace(p, ["bottom", "mid", "top"], {})
+        kinds = [tok[0] for tok in t.tokens]
+        assert kinds.count("enter") == 2 and kinds.count("exit") == 2
+
+    def test_over_deletion_caught(self):
+        p = _layered_program()
+        path_inline(p, "merged", ["bottom", "mid", "top"],
+                    simplify_per_join=3)
+        findings = check_path_inline_equivalence(
+            p, "merged", ["bottom", "mid", "top"], max_deletions_per_join=1
+        )
+        assert findings and "budget" in findings[0].detail
+
+    def test_dropped_member_store_caught(self):
+        p = _layered_program()
+        path_inline(p, "merged", ["bottom", "mid", "top"])
+        merged = p.function("merged")
+        for blk in merged.blocks:
+            blk.instructions = [
+                i for i in blk.instructions if i.op is not Op.STORE
+            ]
+        findings = check_path_inline_equivalence(
+            p, "merged", ["bottom", "mid", "top"]
+        )
+        assert [f.kind for f in findings] == [EQUIV_MISMATCH]
+
+
+class TestSpecialize:
+    def test_real_specialization_equivalent(self):
+        fn = _branchy()
+        before = fn.clone(fn.name)
+        partially_evaluate(fn, {"err": False}, constant_regions=("heap",),
+                           fold_fraction=1.0)
+        assert check_specialize_equivalence(
+            before, fn, {"err": False}, constant_regions=("heap",)
+        ) == []
+
+    def test_wrongly_folded_branch_caught(self):
+        """Folding a branch the pins do NOT cover diverges under the
+        assignment that takes the other arm."""
+        fn = _branchy()
+        before = fn.clone(fn.name)
+        partially_evaluate(fn, {"err": False})
+        findings = check_specialize_equivalence(before, fn, {"err": True})
+        assert [f.kind for f in findings] == [EQUIV_MISMATCH]
+
+    def test_unpinned_load_deletion_caught(self):
+        fn = _branchy()
+        before = fn.clone(fn.name)
+        partially_evaluate(fn, {"err": False}, constant_regions=("heap",),
+                           fold_fraction=1.0)
+        findings = check_specialize_equivalence(
+            before, fn, {"err": False}, constant_regions=()
+        )
+        assert [f.kind for f in findings] == [EQUIV_MISMATCH]
+
+
+class TestEnumeration:
+    def test_exhaustive_when_small(self):
+        conds = [("f", "a"), ("f", "b")]
+        assert len(enumerate_assignments(conds)) == 4
+
+    def test_sparse_when_large(self):
+        conds = [("f", f"c{i}") for i in range(20)]
+        assignments = enumerate_assignments(conds)
+        assert len(assignments) == 1 + 2 * 20
+
+    def test_pinned_excluded(self):
+        conds = [("f", "a"), ("f", "pinned")]
+        assignments = enumerate_assignments(conds, pinned={"pinned": True})
+        assert len(assignments) == 2
+        assert all(a["pinned"] is True for a in assignments)
+
+    def test_collect_conds_keys_by_origin(self):
+        fn = _branchy()
+        assert collect_conds(fn) == [("f", "err")]
+
+
+class TestCompareTraces:
+    def test_lenient_on_truncation(self):
+        from repro.analysis.equiv import Trace
+
+        t0 = Trace((("i", Op.ALU, None),) * 5, True)
+        t1 = Trace((("i", Op.ALU, None),) * 3, False)
+        assert compare_traces(t0, t1) is None
+
+    def test_extra_tokens_rejected(self):
+        from repro.analysis.equiv import Trace
+
+        t0 = Trace((("i", Op.ALU, None),), False)
+        t1 = Trace((("i", Op.ALU, None), ("i", Op.MUL, None)), False)
+        assert "extra" in compare_traces(t0, t1)
+
+
+class TestAuditor:
+    @pytest.mark.parametrize("stack", ["tcpip", "rpc"])
+    @pytest.mark.parametrize("config", CONFIG_NAMES)
+    def test_every_cell_passes_audit(self, stack, config):
+        """The real pipeline proves equivalent at every stage, for every
+        cell — the static analogue of the differential sweep."""
+        from repro.harness.configs import PIN_SIMPLIFY_PER_JOIN
+
+        auditor = EquivalenceAuditor(simplify_per_join=PIN_SIMPLIFY_PER_JOIN)
+        build_configured_program(stack, config, stage_hook=auditor)
+        assert auditor.findings == [], (stack, config)
+        assert auditor.stages_seen[0] == "models"

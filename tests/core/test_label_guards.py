@@ -1,0 +1,92 @@
+"""Label-collision guards: splicing transforms must fail loudly.
+
+``Function.block`` resolves the first matching label, so a duplicate label
+silently shadows a block.  These regressions pin the guards that keep the
+renaming transforms (clone, inline, path-inline) from manufacturing that
+state.
+"""
+
+import pytest
+
+from repro.core.inline import inline_call
+from repro.core.ir import (
+    BasicBlock,
+    Function,
+    FunctionBuilder,
+    Return,
+    ensure_unique_labels,
+)
+from repro.core.pathinline import path_inline
+from repro.core.program import Program
+
+
+class TestEnsureUniqueLabels:
+    def test_unique_passes(self):
+        blocks = [
+            BasicBlock(label="a", terminator=Return()),
+            BasicBlock(label="b", terminator=Return()),
+        ]
+        ensure_unique_labels(blocks, context="f")
+
+    def test_duplicate_rejected_with_context(self):
+        blocks = [
+            BasicBlock(label="a", terminator=Return()),
+            BasicBlock(label="a", terminator=Return()),
+        ]
+        with pytest.raises(ValueError, match="f:.*'a'"):
+            ensure_unique_labels(blocks, context="f")
+
+
+class TestCloneGuard:
+    def test_clone_of_shadowed_blocks_rejected(self):
+        fn = Function(name="f", blocks=[
+            BasicBlock(label="a", terminator=Return()),
+            BasicBlock(label="a", terminator=Return()),
+        ])
+        with pytest.raises(ValueError, match="duplicate block labels"):
+            fn.clone("f2")
+
+
+class TestInlineCollisionGuard:
+    def _program(self, *, poison: bool):
+        p = Program()
+        fb = FunctionBuilder("leaf", saves=0, leaf=True)
+        fb.block("x").alu(2)
+        fb.ret()
+        p.add(fb.build())
+        fb = FunctionBuilder("caller", saves=1)
+        fb.block("site").alu(1)
+        fb.call("leaf", "done")
+        fb.block("done").alu(1)
+        fb.ret()
+        if poison:
+            # the exact label the splice's rename prefix would mint
+            fb.block("site$leaf$x").alu(1)
+            fb.ret()
+        p.add(fb.build())
+        return p
+
+    def test_clean_inline_succeeds(self):
+        p = self._program(poison=False)
+        inline_call(p, "caller", "site")
+        assert p.function("caller").block("site$leaf$x") is not None
+
+    def test_colliding_prefix_rejected(self):
+        p = self._program(poison=True)
+        with pytest.raises(ValueError, match="collide"):
+            inline_call(p, "caller", "site")
+
+
+class TestPathInlineGuards:
+    def test_duplicate_members_rejected(self):
+        p = Program()
+        for name in ("bottom", "top"):
+            fb = FunctionBuilder(name, saves=1)
+            fb.block("work").alu(2)
+            if name == "bottom":
+                fb.call_dynamic("up", "done")
+                fb.block("done").alu(1)
+            fb.ret()
+            p.add(fb.build())
+        with pytest.raises(ValueError, match="unique"):
+            path_inline(p, "merged", ["bottom", "bottom", "top"])

@@ -206,3 +206,16 @@ class TestIcacheSetsOf:
         p.add(make_fn("big", alu=5000))
         p.layout(link_order_layout())
         assert len(icache_sets_of(p, "big")) == ICACHE // 32
+
+    def test_zero_size_hot_extent_occupies_no_sets(self):
+        """A function whose every block is outlined has an empty hot
+        footprint -- not a phantom set derived from its base address."""
+        fb = FunctionBuilder("coldonly", saves=1)
+        fb.block("a", unlikely=True).alu(4)
+        fb.ret()
+        p = Program()
+        p.add(fb.build())
+        p.layout(link_order_layout())
+        assert p.hot_size_of("coldonly") == 0
+        assert icache_sets_of(p, "coldonly", hot_only=True) == set()
+        assert icache_sets_of(p, "coldonly")  # the full extent is real

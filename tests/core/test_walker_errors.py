@@ -116,3 +116,53 @@ class TestGeneralWalkErrors:
         p.layout(link_order_layout())
         with pytest.raises(WalkError):
             Walker(p).walk([EnterEvent("spin"), ExitEvent("spin")])
+
+
+class TestVerifierWalkerAgreement:
+    """IR the static verifier rejects is IR the walker refuses to trace.
+
+    The verifier's invariants are exactly the walker's assumptions; these
+    tests corrupt a path-inlined build both can see and demand they agree
+    -- the static check fails AND the dynamic walk raises.
+    """
+
+    def _pinned(self):
+        p = _chain_program()
+        path_inline(p, "merged", ["bottom", "mid", "top"])
+        p.layout(link_order_layout())
+        return p
+
+    def _events(self):
+        return [e.__class__(**e.__dict__) for e in GOOD_EVENTS]
+
+    def test_unpaired_inline_scope(self):
+        from repro.analysis.verify import (
+            INLINE_MISMATCH,
+            UNPAIRED_INLINE,
+            verify_program,
+        )
+        from repro.core.ir import InlineExit, Jump
+
+        p = self._pinned()
+        for blk in p.function("merged").blocks:
+            if isinstance(blk.terminator, InlineExit):
+                blk.terminator = Jump(blk.terminator.next)
+                break
+        p.invalidate("merged")  # in-place IR surgery, as a transform would
+        kinds = {f.kind for f in verify_program(p)}
+        assert kinds & {UNPAIRED_INLINE, INLINE_MISMATCH}
+        with pytest.raises(WalkError):
+            Walker(p).walk(self._events())
+
+    def test_dangling_inline_continuation(self):
+        from repro.analysis.verify import DANGLING_TARGET, verify_program
+        from repro.core.ir import InlineEnter
+
+        p = self._pinned()
+        entry = p.function("merged").blocks[0]
+        assert isinstance(entry.terminator, InlineEnter)
+        entry.terminator.next = "nowhere$corrupted"
+        p.invalidate("merged")
+        assert DANGLING_TARGET in {f.kind for f in verify_program(p)}
+        with pytest.raises((WalkError, KeyError)):
+            Walker(p).walk(self._events())
