@@ -11,6 +11,8 @@ Subcommands::
 
     python -m repro profile <stack> <config>   # stall attribution report
     python -m repro analyze <stack> <config>   # static analysis & checks
+    python -m repro faults <stack> <config> --rate 0.25
+                                               # fault-injection penalties
 """
 
 from __future__ import annotations
@@ -134,6 +136,82 @@ def analyze_main(argv=None) -> int:
     return 0
 
 
+def faults_main(argv=None) -> int:
+    """``python -m repro faults``: price the error paths of one stack."""
+    from repro.faults.plan import FAULT_KINDS
+    from repro.harness.configs import CONFIG_NAMES, STACKS
+    from repro.harness.experiment import ENGINES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro faults",
+        description="Inject seeded workload faults (corrupted checksums, "
+                    "truncated headers, demux-cache misses, dropped and "
+                    "duplicated packets) into the modeled test programs "
+                    "and report the per-configuration processing-time and "
+                    "mCPI penalty against a fault-free sweep.",
+    )
+    parser.add_argument("stack", choices=list(STACKS))
+    parser.add_argument("config", choices=list(CONFIG_NAMES) + ["all"])
+    parser.add_argument("--rate", type=float, required=True,
+                        help="per-opportunity injection probability in "
+                             "[0, 1]")
+    parser.add_argument("--kinds", nargs="*", choices=list(FAULT_KINDS),
+                        default=None,
+                        help="restrict the fault taxonomy (default: all)")
+    parser.add_argument("--samples", type=int, default=None,
+                        help="samples per configuration (default: the "
+                             "paper's 10 for TCP/IP, 5 for RPC)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault plan seed (injection sites; the "
+                             "allocator jitter seeds are unchanged)")
+    parser.add_argument("--engine", choices=list(ENGINES), default=None,
+                        help="simulation engine (default: $REPRO_SIM_ENGINE "
+                             "or fast)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the table as JSON ('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    from repro.harness import reporting, tables
+    from repro.harness.parallel import SweepReport
+
+    configs = (tuple(CONFIG_NAMES) if args.config == "all"
+               else (args.config,))
+    kinds = tuple(args.kinds) if args.kinds else None
+    report = SweepReport()
+    measured = tables.compute_fault_table(
+        args.stack, rate=args.rate, kinds=kinds, samples=args.samples,
+        seed=args.seed, engine=args.engine, configs=configs, report=report,
+    )
+
+    if args.json is not None:
+        payload = json.dumps({
+            "stack": args.stack,
+            "rate": args.rate,
+            "kinds": list(kinds) if kinds else list(FAULT_KINDS),
+            "seed": args.seed,
+            "rows": measured,
+            "sweep": {
+                "completed": report.completed,
+                "completed_serial": report.completed_serial,
+                "incidents": [i.render() for i in report.incidents],
+                "failures": [f.render() for f in report.failures],
+                "divergences": [d.render() for d in report.divergences],
+            },
+        }, indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+            return 0
+        with open(args.json, "w") as fh:
+            fh.write(payload)
+
+    print(reporting.render_fault_table(measured, args.stack, rate=args.rate,
+                                       kinds=kinds))
+    if report.incidents or report.failures or report.divergences:
+        print()
+        print(reporting.render_sweep_report(report))
+    return 1 if report.failures else 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -141,6 +219,8 @@ def main(argv=None) -> int:
         return profile_main(argv[1:])
     if argv and argv[0] == "analyze":
         return analyze_main(argv[1:])
+    if argv and argv[0] == "faults":
+        return faults_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the tables of TR 96-03 from the "

@@ -59,6 +59,18 @@ class SimResult:
     def time_us(self, clock_mhz: float = 175.0) -> float:
         return self.cycles / clock_mhz
 
+    def headline(self) -> dict:
+        """The comparison-grade metrics as a plain dict (guarded engine,
+        JSON reports)."""
+        return {
+            "instructions": self.instructions,
+            "cpu_cycles": self.cpu.cycles,
+            "stall_cycles": self.memory.stall_cycles,
+            "icpi": self.icpi,
+            "mcpi": self.mcpi,
+            "time_us": self.time_us(),
+        }
+
 
 class MachineSimulator:
     """Drives traces through the CPU and memory models.

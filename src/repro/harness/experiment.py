@@ -27,6 +27,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.arch.simcache import simulate_cold_and_steady_cached
 from repro.arch.simulator import MachineSimulator, SimResult
 from repro.core.fastwalk import FastWalker
+from repro.faults import chaos
+from repro.faults.guard import (
+    DivergenceReport,
+    EngineDivergence,
+    compare_results,
+)
+from repro.faults.plan import FaultPlan, InjectedFault
 from repro.core.walker import (
     EnterEvent,
     Event,
@@ -55,8 +62,10 @@ DEFAULT_SAMPLES = {"tcpip": 10, "rpc": 5}
 
 #: simulation engines: "fast" = packed traces + template walks + fused
 #: kernel + result caches (bit-identical results); "reference" = the
-#: original object-per-instruction oracle path
-ENGINES = ("fast", "reference")
+#: original object-per-instruction oracle path; "guarded" = fast results
+#: cross-checked against the reference path sample by sample, degrading
+#: to "reference" on divergence (see :mod:`repro.faults.guard`)
+ENGINES = ("fast", "reference", "guarded")
 
 
 def resolve_engine(engine: Optional[str] = None) -> str:
@@ -133,6 +142,8 @@ class SampleResult:
     cold: SimResult
     steady: SimResult
     roundtrip_us: float
+    #: faults the experiment's :class:`FaultPlan` injected into this walk
+    faults: List[InjectedFault] = field(default_factory=list)
 
     @property
     def trace_length(self) -> int:
@@ -189,6 +200,10 @@ class ExperimentResult:
     def mean_cpi(self) -> float:
         return statistics.fmean(self._values(lambda s: s.steady.cpi))
 
+    @property
+    def total_faults(self) -> int:
+        return sum(len(s.faults) for s in self.samples)
+
     def representative(self) -> SampleResult:
         """The sample whose RTT is closest to the mean."""
         mean = self.mean_rtt_us
@@ -209,6 +224,9 @@ class Experiment:
         server_processing_us: Optional[float] = None,
         engine: Optional[str] = None,
         memoize_captures: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        guard_stride: int = 1,
+        on_divergence: str = "fallback",
     ) -> None:
         if stack not in ("tcpip", "rpc"):
             raise ValueError(f"unknown stack {stack!r}")
@@ -221,6 +239,26 @@ class Experiment:
         #: benchmarks disable memoization to reproduce the pre-cache
         #: behaviour of capturing every sample's roundtrip from scratch
         self.memoize_captures = memoize_captures
+        if fault_plan is not None and fault_plan.stack != stack:
+            raise ValueError(
+                f"fault plan targets stack {fault_plan.stack!r}, "
+                f"experiment runs {stack!r}"
+            )
+        self.fault_plan = fault_plan
+        if guard_stride < 1:
+            raise ValueError("guard_stride must be >= 1")
+        if on_divergence not in ("fallback", "raise"):
+            raise ValueError(
+                f"on_divergence must be 'fallback' or 'raise', "
+                f"got {on_divergence!r}"
+            )
+        self.guard_stride = guard_stride
+        self.on_divergence = on_divergence
+        #: divergence reports the guarded engine collected so far
+        self.divergences: List[DivergenceReport] = []
+        #: the engine actually driving samples right now; the guarded mode
+        #: degrades this to "reference" after a confirmed divergence
+        self._live_engine = self.engine
         self.latency = LatencyModel(stack)
         #: for RPC the server always runs the best configuration; its
         #: processing time is a fixed reference supplied by the caller
@@ -288,9 +326,19 @@ class Experiment:
     # full runs                                                          #
     # ------------------------------------------------------------------ #
 
-    def run_sample(self, build: BuildResult, seed: int) -> SampleResult:
+    def run_sample(
+        self, build: BuildResult, seed: int, *, sample_index: int = 0
+    ) -> SampleResult:
         events, data_env = self.capture_roundtrip(seed)
-        if self.engine == "fast":
+        faults: List[InjectedFault] = []
+        if self.fault_plan is not None:
+            events, faults = self.fault_plan.apply(events, seed)
+        engine = self._live_engine
+        if engine == "guarded":
+            walk, cold, steady = self._run_guarded(
+                build, events, data_env, seed, sample_index
+            )
+        elif engine == "fast":
             walk = FastWalker(build.program, data_env).walk(events)
             cold, steady = simulate_cold_and_steady_cached(walk.packed)
         else:
@@ -301,7 +349,47 @@ class Experiment:
             steady.time_us(), self.server_processing_us
         )
         return SampleResult(events=events, walk=walk, cold=cold,
-                            steady=steady, roundtrip_us=rtt)
+                            steady=steady, roundtrip_us=rtt, faults=faults)
+
+    def _run_guarded(
+        self,
+        build: BuildResult,
+        events: List[Event],
+        data_env: Dict[str, int],
+        seed: int,
+        sample_index: int,
+    ) -> Tuple[WalkResult, SimResult, SimResult]:
+        """Fast results, cross-checked against the reference path.
+
+        Every ``guard_stride``-th sample is replayed through the reference
+        walker and simulator; a mismatch is recorded as a
+        :class:`DivergenceReport` and — under the default ``fallback``
+        policy — the reference results are used and the experiment runs
+        the reference engine from here on.
+        """
+        # walks consume list-valued conds in place, so the reference
+        # replay needs its own copy of the (possibly faulted) stream
+        checked = sample_index % self.guard_stride == 0
+        ref_events = _clone_events(events) if checked else []
+        walk = FastWalker(build.program, data_env).walk(events)
+        cold, steady = simulate_cold_and_steady_cached(walk.packed)
+        # chaos hook: a "perturb" rule models a fast-engine bug by
+        # skewing the stall count (snapshots are ours to mutate)
+        steady.memory.stall_cycles += chaos.perturbation(self.config, seed)
+        if not checked:
+            return walk, cold, steady
+        ref_walk = Walker(build.program, data_env).walk(ref_events)
+        ref_cold = MachineSimulator().run(ref_walk.trace)
+        ref_steady = MachineSimulator().run_steady_state(ref_walk.trace)
+        mismatches = compare_results((cold, steady), (ref_cold, ref_steady))
+        if not mismatches:
+            return walk, cold, steady
+        report = DivergenceReport(self.stack, self.config, seed, mismatches)
+        self.divergences.append(report)
+        if self.on_divergence == "raise":
+            raise EngineDivergence(report)
+        self._live_engine = "reference"
+        return ref_walk, ref_cold, ref_steady
 
     def run(self, samples: Optional[int] = None) -> ExperimentResult:
         if samples is None:
@@ -313,7 +401,7 @@ class Experiment:
             build = build_configured_program(
                 self.stack, self.config, self.opts, stage_hook=_ir_verify_hook
             )
-        elif self.engine == "fast":
+        elif self.engine in ("fast", "guarded"):
             build = build_configured_program_cached(
                 self.stack, self.config, self.opts
             )
@@ -323,7 +411,8 @@ class Experiment:
                                   build=build)
         for i in range(samples):
             result.samples.append(
-                self.run_sample(build, seed=self.base_seed + 17 * i)
+                self.run_sample(build, seed=self.base_seed + 17 * i,
+                                sample_index=i)
             )
         return result
 
@@ -337,12 +426,15 @@ def run_all_configs(
     engine: Optional[str] = None,
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    report: Optional["SweepReport"] = None,
 ) -> Dict[str, ExperimentResult]:
     """Measure every configuration of one stack (the Table 4 sweep).
 
     For RPC, the server's fixed processing-time reference is taken from
     the ALL configuration (the paper always ran the best version on the
-    server side).
+    server side) — and stays fault-free even under a ``fault_plan``: the
+    plan perturbs the measured client, not the reference peer.
 
     ``parallel=None`` auto-enables the process-pool executor on
     multi-core hosts; ``parallel=False`` forces the serial loop.  Work
@@ -350,6 +442,11 @@ def run_all_configs(
     reproduces the serial one sample for sample (parallel samples carry
     an empty ``events`` list: live event streams hold unpicklable
     closures and stay in the worker).
+
+    Pass a fresh :class:`repro.harness.parallel.SweepReport` as
+    ``report`` to observe incidents, retries, serial degradation and
+    guarded-engine divergences regardless of which executor ends up
+    running the sweep.
     """
     engine = resolve_engine(engine)
     if samples is None:
@@ -368,16 +465,26 @@ def run_all_configs(
             return run_parallel_sweep(
                 stack, configs, samples=samples, opts=opts,
                 server_processing_us=server_ref, engine=engine,
-                max_workers=max_workers,
+                max_workers=max_workers, fault_plan=fault_plan,
+                report=report,
             )
         except Exception:
             # a pool failure (sandboxing, fork limits) degrades to the
             # serial sweep rather than failing the measurement
-            pass
+            if report is not None:
+                report.degraded_to_serial = True
+                # the serial loop below re-runs everything from scratch
+                report.completed = 0
+                report.completed_serial = 0
 
     out: Dict[str, ExperimentResult] = {}
     for config in configs:
         exp = Experiment(stack, config, opts,
-                         server_processing_us=server_ref, engine=engine)
+                         server_processing_us=server_ref, engine=engine,
+                         fault_plan=fault_plan)
         out[config] = exp.run(samples)
+        if report is not None:
+            report.divergences.extend(exp.divergences)
+            report.completed_serial += len(out[config].samples)
+            report.completed += len(out[config].samples)
     return out

@@ -1,5 +1,5 @@
 """Parallel sweep executor: deterministic (config, seed) cells over a
-process pool.
+process pool, with self-healing dispatch.
 
 A full-table sweep is embarrassingly parallel: each (configuration,
 jitter-seed) cell captures, walks and simulates independently, and the
@@ -12,22 +12,120 @@ and usually already present) and reassembles ``ExperimentResult`` objects
 in deterministic sample order, so a parallel sweep is sample-for-sample
 identical to the serial one apart from the dropped event lists.
 
+Dispatch is resilient rather than optimistic:
+
+* a worker exception costs one bounded, backoff-spaced retry of that
+  cell (the seed travels with the cell, so a retried sample is
+  bit-identical to a first-try one);
+* ``cell_timeout`` bounds how long the sweep will go without *any* cell
+  completing; on a stall the pool is torn down (hung workers cannot be
+  cancelled, only terminated) and the stranded cells are re-dispatched
+  on a fresh pool;
+* cells that exhaust their retries are healed by running them serially
+  in the parent process (``serial_fallback=True``) — or, with the
+  fallback disabled, fail the sweep loudly with every outstanding
+  future cancelled and the failing (config, seed) cells named;
+* every incident lands on the :class:`SweepReport`, so a sweep that
+  *looks* clean is one that provably dispatched and completed every
+  cell exactly once.
+
 On fork-based platforms workers inherit the parent's warm caches (builds,
-walk templates, simulation results) copy-on-write for free.  Any pool
-failure is the caller's cue to fall back to the serial loop
-(:func:`repro.harness.experiment.run_all_configs` does this
+walk templates, simulation results) copy-on-write for free.  A pool that
+cannot be created at all is the caller's cue to fall back to the serial
+loop (:func:`repro.harness.experiment.run_all_configs` does this
 automatically).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import time
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.simulator import SimResult
 from repro.core.walker import WalkResult
+from repro.faults import chaos
+from repro.faults.guard import DivergenceReport
+from repro.faults.plan import FaultPlan, InjectedFault
 from repro.harness.configs import build_configured_program_cached
 from repro.protocols.options import Section2Options
+
+#: cap on the exponential retry backoff, seconds
+_MAX_BACKOFF_S = 2.0
+
+
+@dataclass(frozen=True)
+class CellIncident:
+    """One non-fatal dispatch failure of one (config, seed) cell."""
+
+    config: str
+    seed: int
+    attempt: int
+    kind: str  # "crash" | "timeout" | "exhausted"
+    detail: str
+
+    def render(self) -> str:
+        return (f"{self.kind}: ({self.config}, seed {self.seed}) "
+                f"attempt {self.attempt}: {self.detail}")
+
+
+@dataclass
+class SweepReport:
+    """What actually happened while a sweep ran.
+
+    ``completed`` counts every finished cell however it got there;
+    ``completed_serial`` the subset healed by in-process execution.
+    ``incidents`` are recovered failures, ``failures`` permanent ones
+    (``ok()`` is false iff any cell failed permanently).
+    """
+
+    stack: str = ""
+    engine: str = ""
+    configs: Tuple[str, ...] = ()
+    samples: int = 0
+    completed: int = 0
+    completed_serial: int = 0
+    incidents: List[CellIncident] = field(default_factory=list)
+    failures: List[CellIncident] = field(default_factory=list)
+    divergences: List[DivergenceReport] = field(default_factory=list)
+    pools_restarted: int = 0
+    degraded_to_serial: bool = False
+    chaos_rules: Tuple[str, ...] = ()
+
+    @property
+    def retried(self) -> int:
+        return len(self.incidents)
+
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.stack}/{self.engine}: {self.completed} cells completed"
+        ]
+        if self.completed_serial:
+            parts.append(f"{self.completed_serial} healed serially")
+        if self.incidents:
+            parts.append(f"{len(self.incidents)} incidents")
+        if self.failures:
+            parts.append(f"{len(self.failures)} FAILED")
+        if self.divergences:
+            parts.append(f"{len(self.divergences)} engine divergences")
+        if self.pools_restarted:
+            parts.append(f"{self.pools_restarted} pool restarts")
+        if self.degraded_to_serial:
+            parts.append("degraded to serial sweep")
+        return ", ".join(parts)
+
+
+class SweepError(RuntimeError):
+    """A sweep could not complete every cell; carries the report."""
+
+    def __init__(self, message: str, report: SweepReport) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 def _run_cell(
@@ -37,17 +135,48 @@ def _run_cell(
     seed: int,
     server_processing_us: Optional[float],
     engine: str,
-) -> Tuple[str, int, WalkResult, SimResult, SimResult, float]:
+    fault_plan: Optional[FaultPlan] = None,
+    attempt: int = 0,
+    sample_index: int = 0,
+) -> Tuple[str, int, WalkResult, SimResult, SimResult, float,
+           List[InjectedFault], List[DivergenceReport]]:
     """Worker: measure one (config, seed) cell; return picklable parts."""
     from repro.harness.experiment import Experiment
 
+    chaos.maybe_fail(config, seed, attempt)
     exp = Experiment(stack, config, opts,
-                     server_processing_us=server_processing_us, engine=engine)
+                     server_processing_us=server_processing_us, engine=engine,
+                     fault_plan=fault_plan)
     build = build_configured_program_cached(stack, config, opts)
-    sample = exp.run_sample(build, seed)
+    sample = exp.run_sample(build, seed, sample_index=sample_index)
     walk = WalkResult(sample.walk.packed, sample.walk.marks)
     return (config, seed, walk, sample.cold, sample.steady,
-            sample.roundtrip_us)
+            sample.roundtrip_us, sample.faults, list(exp.divergences))
+
+
+def _make_pool(
+    max_workers: Optional[int],
+) -> concurrent.futures.ProcessPoolExecutor:
+    return concurrent.futures.ProcessPoolExecutor(
+        max_workers=max_workers, initializer=chaos.mark_worker
+    )
+
+
+def _teardown_pool(pool: concurrent.futures.ProcessPoolExecutor) -> None:
+    """Kill a pool without waiting: hung workers never finish on their own.
+
+    ``shutdown`` alone would join the workers; terminating the processes
+    (a private attribute, hence the guard) is the only way to reclaim a
+    worker stuck in an uncancellable call.
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None)
+    if processes:
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
 
 
 def run_parallel_sweep(
@@ -60,37 +189,165 @@ def run_parallel_sweep(
     engine: str = "fast",
     max_workers: Optional[int] = None,
     base_seed: int = 42,
+    fault_plan: Optional[FaultPlan] = None,
+    retries: int = 2,
+    cell_timeout: Optional[float] = None,
+    backoff_s: float = 0.05,
+    serial_fallback: bool = True,
+    report: Optional[SweepReport] = None,
 ) -> Dict[str, "ExperimentResult"]:
-    """Run the (configs x samples) sweep on a process pool.
+    """Run the (configs x samples) sweep on a self-healing process pool.
 
-    Returns the same mapping as the serial ``run_all_configs`` loop;
-    raises if the pool cannot be used at all (callers fall back).
+    Returns the same mapping as the serial ``run_all_configs`` loop.
+    Raises :class:`SweepError` (naming every missing cell, report
+    attached) if any cell cannot be completed, and propagates pool
+    construction failures so callers can fall back to a serial sweep.
     """
     from repro.harness.experiment import ExperimentResult, SampleResult
+
+    if report is None:
+        report = SweepReport()
+    report.stack = stack
+    report.engine = engine
+    report.configs = tuple(configs)
+    report.samples = samples
+    report.chaos_rules = chaos.rules_summary()
 
     seeds = [base_seed + 17 * i for i in range(samples)]
     slots: Dict[str, List[Optional[SampleResult]]] = {
         config: [None] * samples for config in configs
     }
-    with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = {
-            pool.submit(_run_cell, stack, config, opts, seed,
-                        server_processing_us, engine): (config, i)
-            for config in configs
-            for i, seed in enumerate(seeds)
-        }
-        for future in concurrent.futures.as_completed(futures):
-            config, i = futures[future]
-            _, _, walk, cold, steady, rtt = future.result()
-            slots[config][i] = SampleResult(
-                events=[], walk=walk, cold=cold, steady=steady,
-                roundtrip_us=rtt,
+    attempts: Dict[Tuple[str, int], int] = {}
+    pending: deque = deque((config, i) for config in configs
+                           for i in range(samples))
+    serial_queue: List[Tuple[str, int]] = []
+
+    def record(config: str, i: int, payload: Tuple) -> None:
+        _, _, walk, cold, steady, rtt, faults, divergences = payload
+        slots[config][i] = SampleResult(
+            events=[], walk=walk, cold=cold, steady=steady,
+            roundtrip_us=rtt, faults=list(faults),
+        )
+        report.divergences.extend(divergences)
+        report.completed += 1
+
+    def route_failure(config: str, i: int, kind: str, detail: str,
+                      *, backoff: bool) -> None:
+        """Requeue a failed cell, queue its serial heal, or fail it."""
+        attempt = attempts.get((config, i), 0)
+        incident = CellIncident(config, seeds[i], attempt, kind, detail)
+        attempts[(config, i)] = attempt + 1
+        if attempt < retries:
+            report.incidents.append(incident)
+            if backoff:
+                time.sleep(min(backoff_s * (2 ** attempt), _MAX_BACKOFF_S))
+            pending.append((config, i))
+        elif serial_fallback:
+            report.incidents.append(incident)
+            serial_queue.append((config, i))
+        else:
+            report.failures.append(CellIncident(
+                config, seeds[i], attempt, "exhausted", detail
+            ))
+
+    pool = _make_pool(max_workers)
+    inflight: Dict[concurrent.futures.Future, Tuple[str, int]] = {}
+    try:
+        while pending or inflight:
+            while pending:
+                config, i = pending.popleft()
+                try:
+                    future = pool.submit(
+                        _run_cell, stack, config, opts, seeds[i],
+                        server_processing_us, engine, fault_plan,
+                        attempts.get((config, i), 0), i,
+                    )
+                except Exception:
+                    # the pool broke between completions; rebuild once
+                    # and retry the submit — a second failure propagates
+                    _teardown_pool(pool)
+                    pool = _make_pool(max_workers)
+                    report.pools_restarted += 1
+                    future = pool.submit(
+                        _run_cell, stack, config, opts, seeds[i],
+                        server_processing_us, engine, fault_plan,
+                        attempts.get((config, i), 0), i,
+                    )
+                inflight[future] = (config, i)
+
+            done, _ = concurrent.futures.wait(
+                list(inflight), timeout=cell_timeout,
+                return_when=concurrent.futures.FIRST_COMPLETED,
             )
+            if not done:
+                # stalled: nothing completed within cell_timeout.  Hung
+                # workers cannot be cancelled — replace the whole pool
+                # and re-dispatch every stranded cell.
+                stranded = list(inflight.values())
+                inflight.clear()
+                _teardown_pool(pool)
+                pool = _make_pool(max_workers)
+                report.pools_restarted += 1
+                for config, i in stranded:
+                    route_failure(
+                        config, i, "timeout",
+                        f"no cell completed within {cell_timeout:g}s",
+                        backoff=False,
+                    )
+                continue
+
+            for future in done:
+                config, i = inflight.pop(future)
+                try:
+                    payload = future.result()
+                except (Exception,
+                        concurrent.futures.CancelledError) as exc:
+                    # CancelledError is a BaseException (futures die this
+                    # way when a broken pool is replaced mid-sweep)
+                    route_failure(config, i, "crash", repr(exc),
+                                  backoff=True)
+                else:
+                    record(config, i, payload)
+
+            if report.failures and not serial_fallback:
+                # fatal: cancel everything outstanding and name the cell
+                first = report.failures[0]
+                raise SweepError(
+                    f"sweep cell ({first.config}, seed {first.seed}) "
+                    f"failed after {first.attempt + 1} attempt(s): "
+                    f"{first.detail}",
+                    report,
+                )
+    finally:
+        _teardown_pool(pool)
+
+    # heal exhausted cells in-process: deterministic cells make the
+    # serial rerun bit-identical, and chaos crash/hang rules are armed
+    # only inside pool workers, so sabotage cannot follow the cell here
+    for config, i in serial_queue:
+        payload = _run_cell(
+            stack, config, opts, seeds[i], server_processing_us, engine,
+            fault_plan, attempts.get((config, i), 0), i,
+        )
+        record(config, i, payload)
+        report.completed_serial += 1
+
+    missing = [
+        (config, seeds[i])
+        for config in configs
+        for i in range(samples)
+        if slots[config][i] is None
+    ]
+    if missing:
+        named = ", ".join(f"({c}, seed {s})" for c, s in missing)
+        raise SweepError(
+            f"parallel sweep lost {len(missing)} cell(s): {named}", report
+        )
 
     out: Dict[str, ExperimentResult] = {}
     for config in configs:
         build = build_configured_program_cached(stack, config, opts)
         result = ExperimentResult(stack=stack, config=config, build=build)
-        result.samples = [s for s in slots[config] if s is not None]
+        result.samples = list(slots[config])
         out[config] = result
     return out

@@ -315,3 +315,52 @@ def render_icache_footprint(
             cells[int(index / scale)] = "#"
         lines.append(f"{row.name[:28]:28s} |{''.join(cells)}|")
     return "\n".join(lines)
+
+
+def render_fault_table(
+    measured: Mapping[str, Mapping[str, float]],
+    stack: str,
+    *,
+    rate: float,
+    kinds: Optional[Sequence[str]] = None,
+) -> str:
+    """Fault-injection penalty per configuration (repro.faults)."""
+    scope = ", ".join(kinds) if kinds else "all kinds"
+    lines = [f"Fault injection: {stack} at rate {rate:g} ({scope})",
+             _rule(86),
+             f"{'Config':8s} {'clean us':>9s} {'fault us':>9s} "
+             f"{'d us':>8s} {'clean mCPI':>11s} {'fault mCPI':>11s} "
+             f"{'d mCPI':>8s} {'flt/smp':>8s} {'span':>6s}"]
+    for config, row in measured.items():
+        lines.append(
+            f"{config:8s} {row['base_us']:>9.1f} {row['fault_us']:>9.1f} "
+            f"{row['delta_us']:>+8.1f} {row['base_mcpi']:>11.2f} "
+            f"{row['fault_mcpi']:>11.2f} {row['delta_mcpi']:>+8.2f} "
+            f"{row['faults_per_sample']:>8.1f} "
+            f"{row['span_instructions']:>6.0f}"
+        )
+    lines.append(_rule(86))
+    lines.append("(span = mean instructions walked inside fault-steered "
+                 "code per sample)")
+    return "\n".join(lines)
+
+
+def render_sweep_report(report) -> str:
+    """Incidents, healing and divergences of one sweep
+    (:class:`repro.harness.parallel.SweepReport`)."""
+    lines = [f"Sweep report: {report.summary()}"]
+    if report.chaos_rules:
+        lines.append(f"  chaos rules: {'; '.join(report.chaos_rules)}")
+    for incident in report.incidents:
+        lines.append(f"  incident  {incident.render()}")
+    for failure in report.failures:
+        lines.append(f"  FAILURE   {failure.render()}")
+    for divergence in report.divergences:
+        first = divergence.mismatches[0] if divergence.mismatches else None
+        detail = (f" ({first[0]}: fast={first[1]:g} reference={first[2]:g})"
+                  if first else "")
+        lines.append(
+            f"  divergence ({divergence.config}, seed {divergence.seed})"
+            f"{detail}"
+        )
+    return "\n".join(lines)

@@ -181,3 +181,62 @@ def compute_table9(*, seed: int = 42) -> Dict[str, Dict[str, float]]:
             )
         out[stack] = measured
     return out
+
+
+# --------------------------------------------------------------------------- #
+# Fault table (repro.faults): pricing the error paths                         #
+# --------------------------------------------------------------------------- #
+
+
+def compute_fault_table(
+    stack: str,
+    *,
+    rate: float,
+    kinds: Optional[Tuple[str, ...]] = None,
+    samples: Optional[int] = None,
+    seed: int = 0,
+    engine: Optional[str] = None,
+    configs: Optional[Tuple[str, ...]] = None,
+    report=None,
+) -> Dict[str, Dict[str, float]]:
+    """Fault-free vs faulted sweep of one stack at one injection rate.
+
+    The paper's layout techniques bet on the error paths never running;
+    this table prices the bet's downside.  Per configuration it pairs a
+    pristine sweep against one driven through a
+    :class:`repro.faults.FaultPlan`, reporting the processing-time and
+    mCPI penalty, the injected-fault density, and the mean instruction
+    window spent inside fault-steered code (from the plan's walk marks).
+    """
+    from repro.faults.plan import FaultPlan, fault_spans
+
+    configs = tuple(configs) if configs else tuple(
+        name for name in ("BAD", "STD", "OUT", "CLO", "PIN", "ALL")
+    )
+    baseline = run_all_configs(stack, configs, samples=samples, engine=engine)
+    plan = FaultPlan(stack=stack, rate=rate, seed=seed, kinds=kinds)
+    faulted = run_all_configs(stack, configs, samples=samples, engine=engine,
+                              fault_plan=plan, report=report)
+
+    out: Dict[str, Dict[str, float]] = {}
+    for config in configs:
+        base, fault = baseline[config], faulted[config]
+        n = max(len(fault.samples), 1)
+        span_instructions = sum(
+            span.instructions
+            for sample in fault.samples
+            for span in fault_spans(sample.walk)
+        )
+        out[config] = {
+            "base_us": base.mean_processing_us,
+            "fault_us": fault.mean_processing_us,
+            "delta_us": fault.mean_processing_us - base.mean_processing_us,
+            "base_mcpi": base.mean_mcpi,
+            "fault_mcpi": fault.mean_mcpi,
+            "delta_mcpi": fault.mean_mcpi - base.mean_mcpi,
+            "base_rtt_us": base.mean_rtt_us,
+            "fault_rtt_us": fault.mean_rtt_us,
+            "faults_per_sample": fault.total_faults / n,
+            "span_instructions": span_instructions / n,
+        }
+    return out

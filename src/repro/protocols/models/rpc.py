@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.ir import Function, FunctionBuilder
+from repro.faults.plan import FaultPoint
 from repro.protocols.options import Section2Options
 from repro.protocols.models.tcpip import (
     _demux_lookup,
@@ -75,6 +76,30 @@ RPC_PIN_INPUT_MEMBERS = (
     "blast_demux",
     "bid_demux",
     "chan_demux",
+)
+
+#: event-level fault points for :mod:`repro.faults` (see the TCPIP
+#: registry for the conventions).  RPC has no payload checksum; its
+#: nearest analogue is BID's boot-id validation, which rejects replies
+#: from a rebooted peer.  ``blast_demux`` carries no map-cache branch in
+#: the IR (reassembly state rides on the channel), so ``bad_demux_key``
+#: hits the map lookups that exist: MSELECT, CHAN and the shared ETH
+#: driver.
+RPC_FAULT_POINTS = (
+    FaultPoint("corrupt_checksum", "bid_demux",
+               (("bid_ok", False),), prune=True),
+    FaultPoint("truncated_header", "eth_demux",
+               (("runt", True),), prune=True),
+    FaultPoint("bad_demux_key", "mselect_call", (("map_cache_hit", False),)),
+    FaultPoint("bad_demux_key", "chan_demux", (("map_cache_hit", False),)),
+    FaultPoint("bad_demux_key", "eth_demux", (("map_cache_hit", False),)),
+    # the sender-side consequence of a drop: CHAN's first try failed
+    FaultPoint("dropped_packet", "chan_call", (("first_try", False),)),
+    FaultPoint(
+        "duplicated_packet", "eth_demux", duplicate=True,
+        dup_overrides=(("chan_demux", (("seq_match", False),)),),
+        dup_prune=("chan_demux",),
+    ),
 )
 
 

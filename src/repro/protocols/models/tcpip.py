@@ -44,6 +44,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.ir import Function, FunctionBuilder
+from repro.faults.plan import FaultPoint
 from repro.protocols.options import Section2Options
 
 #: once-per-path functions, in invocation order (for layout strategies)
@@ -67,6 +68,35 @@ TCPIP_PATH_FUNCTIONS = TCPIP_OUTPUT_PATH + TCPIP_INPUT_PATH
 TCPIP_PIN_OUTPUT_MEMBERS = ("tcp_push", "ip_push", "vnet_push", "eth_push",
                             "lance_transmit")
 TCPIP_PIN_INPUT_MEMBERS = ("eth_demux", "ip_demux", "tcp_demux")
+
+#: event-level fault points for :mod:`repro.faults` — each forces a
+#: recorded condition onto its predicted-unlikely leg.  Points whose
+#: forced branch returns before the nested dispatch carry ``prune`` (the
+#: dropped packet never reaches the layers above; their events must go
+#: with it).  The duplicated-packet point clones the whole inbound
+#: envelope and makes the copy's TCP leg take the out-of-order,
+#: no-progress paths a real duplicate segment takes.
+TCPIP_FAULT_POINTS = (
+    FaultPoint("corrupt_checksum", "ip_demux",
+               (("cksum_ok", False),), prune=True),
+    FaultPoint("corrupt_checksum", "tcp_demux",
+               (("cksum_ok", False),), prune=True),
+    FaultPoint("truncated_header", "eth_demux",
+               (("runt", True),), prune=True),
+    FaultPoint("bad_demux_key", "eth_demux", (("map_cache_hit", False),)),
+    FaultPoint("bad_demux_key", "ip_demux", (("map_cache_hit", False),)),
+    FaultPoint("bad_demux_key", "tcp_demux", (("map_cache_hit", False),)),
+    # the sender-side consequence of a drop: the next push is a retransmit
+    FaultPoint("dropped_packet", "tcp_push", (("is_retransmit", True),)),
+    FaultPoint(
+        "duplicated_packet", "eth_demux", duplicate=True,
+        dup_overrides=(
+            ("tcp_demux", (("seq_expected", False), ("ack_advances", False),
+                           ("data_present", False), ("delack_needed", False))),
+        ),
+        dup_prune=("tcp_demux",),
+    ),
+)
 
 
 def _byte_penalty(opts: Section2Options, accesses: int) -> int:

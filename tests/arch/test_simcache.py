@@ -115,6 +115,44 @@ class TestCounters:
         assert (simcache.hits, simcache.misses) == (0, 0)
 
 
+class TestIntegrity:
+    def test_corrupted_result_entry_is_detected_and_recomputed(self):
+        t = _trace(0x14000)
+        cold, steady = simulate_cold_and_steady_cached(t)
+        # flip a stored stat behind the cache's back (entries are
+        # ((cold, steady) pair, checksum) tuples)
+        ((key, ((stored_cold, _), _checksum)),) = list(simcache._results.items())
+        stored_cold.stall_cycles += 1
+        assert simcache.corruptions == 0
+        cold2, steady2 = simulate_cold_and_steady_cached(t)
+        assert simcache.corruptions == 1
+        assert cold2 == cold
+        assert steady2 == steady
+        # the recomputed entry replaced the corrupt one and verifies again
+        cold3, _ = simulate_cold_and_steady_cached(t)
+        assert simcache.corruptions == 1
+        assert cold3 == cold
+
+    def test_corrupted_cpu_entry_is_detected_and_recomputed(self):
+        t = _trace(0x18000)
+        stats = cached_cpu_stats(t)
+        ((key, (stored, _checksum)),) = list(simcache._cpu_results.items())
+        stored.cycles += 7
+        stats2 = cached_cpu_stats(t)
+        assert simcache.corruptions == 1
+        assert stats2 == stats
+
+    def test_clear_caches_resets_corruption_counter(self):
+        t = _trace(0x1C000)
+        cached_cpu_stats(t)
+        ((_, (stored, _)),) = list(simcache._cpu_results.items())
+        stored.instructions += 1
+        cached_cpu_stats(t)
+        assert simcache.corruptions == 1
+        clear_caches()
+        assert simcache.corruptions == 0
+
+
 class TestEquivalence:
     def test_cached_equals_uncached_fast_engine(self, walk):
         cold_c, steady_c = simulate_cold_and_steady_cached(walk.packed)

@@ -1,0 +1,85 @@
+"""REPRO_CHAOS parsing and rule matching."""
+
+import pytest
+
+from repro.faults.chaos import (
+    ChaosRule,
+    ChaosSpecError,
+    active_rules,
+    parse_rules,
+    rules_summary,
+)
+
+
+def test_parse_single_rule_with_defaults():
+    (rule,) = parse_rules("crash:STD:42")
+    assert rule == ChaosRule("crash", "STD", 42, attempts=1, duration=30.0)
+
+
+def test_parse_full_rule_and_wildcards():
+    (rule,) = parse_rules("hang:*:*:3:0.5")
+    assert rule.kind == "hang"
+    assert rule.config == "*"
+    assert rule.seed is None
+    assert rule.attempts == 3
+    assert rule.duration == 0.5
+
+
+def test_parse_rule_list_skips_blanks():
+    rules = parse_rules("crash:STD:42; ;perturb:ALL:59")
+    assert [r.kind for r in rules] == ["crash", "perturb"]
+
+
+@pytest.mark.parametrize("spec", [
+    "crash",                 # too few fields
+    "crash:STD:42:1:30:9",   # too many fields
+    "melt:STD:42",           # unknown kind
+    "crash:STD:soon",        # non-integer seed
+    "crash:STD:42:often",    # non-integer attempts
+])
+def test_parse_rejects_malformed_specs(spec):
+    with pytest.raises(ChaosSpecError):
+        parse_rules(spec)
+
+
+def test_matching_honours_config_seed_and_attempts():
+    rule = ChaosRule("crash", "STD", 42, attempts=2)
+    assert rule.matches("STD", 42, 0)
+    assert rule.matches("STD", 42, 1)
+    assert not rule.matches("STD", 42, 2)   # sabotage budget spent
+    assert not rule.matches("OUT", 42, 0)
+    assert not rule.matches("STD", 59, 0)
+    anycell = ChaosRule("crash", "*", None)
+    assert anycell.matches("PIN", 123, 0)
+
+
+def test_active_rules_come_from_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    assert active_rules() == []
+    monkeypatch.setenv("REPRO_CHAOS", "crash:STD:42;hang:OUT:*:2:1.5")
+    kinds = [r.kind for r in active_rules()]
+    assert kinds == ["crash", "hang"]
+    summary = rules_summary()
+    assert summary[0].startswith("crash:STD:42")
+    assert "1.5" in summary[1]
+
+
+def test_crash_and_hang_are_inert_outside_workers(monkeypatch):
+    from repro.faults import chaos
+
+    monkeypatch.setenv("REPRO_CHAOS", "crash:STD:42:99")
+    monkeypatch.setattr(chaos, "_in_worker", False)
+    chaos.maybe_fail("STD", 42, 0)  # must not raise
+
+    monkeypatch.setattr(chaos, "_in_worker", True)
+    with pytest.raises(chaos.ChaosCrash):
+        chaos.maybe_fail("STD", 42, 0)
+
+
+def test_perturbation_fires_anywhere(monkeypatch):
+    from repro.faults import chaos
+
+    monkeypatch.setenv("REPRO_CHAOS", "perturb:CLO:42")
+    assert chaos.perturbation("CLO", 42) == 1
+    assert chaos.perturbation("CLO", 59) == 0
+    assert chaos.perturbation("STD", 42) == 0
