@@ -30,7 +30,8 @@ import sys
 REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.harness.experiment import resolve_engine, run_all_configs  # noqa: E402
+from repro.api.settings import Settings  # noqa: E402
+from repro.harness.experiment import run_all_configs  # noqa: E402
 from repro.harness.reporting import (  # noqa: E402
     render_table4,
     render_table5,
@@ -70,7 +71,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    engine = resolve_engine()
+    engine = Settings.from_env().engine
     print(f"regenerating golden tables ({engine} engine) ...", flush=True)
     tables = golden_tables()
 

@@ -17,20 +17,29 @@ The package rebuilds the paper's entire experimental system in Python:
   each paired with instruction-level models of its compiled code,
 * :mod:`repro.harness` — the six build configurations (STD/OUT/CLO/BAD/
   PIN/ALL), the measurement driver, and renderers for every table and
-  figure in the paper's evaluation.
+  figure in the paper's evaluation,
+* :mod:`repro.search` — profile-guided layout search: candidate
+  generators, a statically-prefiltered batched evaluator, and a seeded
+  search loop that beats the paper's hand-designed layouts,
+* :mod:`repro.api` — the unified facade: one :class:`~repro.api.RunSpec`
+  type and three verbs (``run`` / ``sweep`` / ``search``), with all
+  environment configuration resolved once through
+  :class:`~repro.api.Settings`.
 
 Quick start::
 
-    from repro.harness.experiment import run_all_configs
+    from repro.api import RunSpec, run, sweep, search
     from repro.harness.reporting import render_table4
 
-    results = run_all_configs("tcpip", samples=3)
-    print(render_table4(results, "tcpip"))
+    result = run(RunSpec("tcpip", "CLO", samples=3))
+    table = sweep([RunSpec("tcpip", c, samples=3)
+                   for c in ("STD", "OUT", "CLO", "BAD", "PIN", "ALL")])
+    found = search(RunSpec("tcpip", "CLO"), budget=64, seed=0)
 
 or run ``python -m repro`` to regenerate every table at once.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.protocols.options import Section2Options
 

@@ -13,6 +13,11 @@ Subcommands::
     python -m repro analyze <stack> <config>   # static analysis & checks
     python -m repro faults <stack> <config> --rate 0.25
                                                # fault-injection penalties
+    python -m repro search <stack> <config> --budget 64 --seed 0
+                                               # profile-guided layout search
+
+Every subcommand resolves its engine and chaos environment once, through
+:class:`repro.api.Settings`, and runs through the :mod:`repro.api` facade.
 """
 
 from __future__ import annotations
@@ -212,6 +217,97 @@ def faults_main(argv=None) -> int:
     return 1 if report.failures else 0
 
 
+def search_main(argv=None) -> int:
+    """``python -m repro search``: profile-guided layout search of one cell."""
+    from repro.harness.configs import CONFIG_NAMES, STACKS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro search",
+        description="Search for a better code layout of one (stack, "
+                    "configuration) cell: candidate generators (conflict-"
+                    "graph placer, call-affinity ordering, local-search "
+                    "mutation) feed a statically-prefiltered, simulation-"
+                    "scored loop.  Reports the best layout found against "
+                    "the paper's baselines and can emit it as a "
+                    "replayable JSON artifact.",
+    )
+    parser.add_argument("stack", choices=list(STACKS))
+    parser.add_argument("config", choices=list(CONFIG_NAMES))
+    parser.add_argument("--budget", type=int, default=None,
+                        help="candidate simulations to spend (default: 64)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="search seed (drives every random choice)")
+    parser.add_argument("--base-seed", type=int, default=42,
+                        help="allocator jitter seed of the scored sample")
+    parser.add_argument("--engine", choices=["fast", "reference"],
+                        default=None,
+                        help="scoring engine (default: $REPRO_SIM_ENGINE "
+                             "or fast; scores are bit-identical either way)")
+    parser.add_argument("--parallel", action="store_true",
+                        help="score candidate batches on the process pool")
+    parser.add_argument("--micro", action="store_true",
+                        help="also score the paper's micro-positioned "
+                             "layout as a baseline (slower)")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the winning layout artifact as JSON")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the full search report as JSON "
+                             "('-' for stdout)")
+    parser.add_argument("--check", metavar="PATH", default=None,
+                        help="compare against a recorded artifact: exit "
+                             "nonzero unless this search reproduces its "
+                             "best score bit-for-bit")
+    args = parser.parse_args(argv)
+
+    from repro import api
+    from repro.search import DEFAULT_BUDGET, LayoutArtifact
+
+    settings = api.Settings.from_env(engine=args.engine)
+    spec = api.RunSpec(args.stack, args.config, seed=args.base_seed,
+                       engine=settings.engine)
+    result = api.search(
+        spec, args.budget, seed=args.seed, settings=settings,
+        parallel=args.parallel, micro_baseline=args.micro,
+    )
+
+    if args.out is not None:
+        result.artifact.save(args.out)
+    if args.json is not None:
+        payload = json.dumps(result.to_json(), indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+    if args.json != "-":
+        print(result.summary())
+
+    if args.check is not None:
+        recorded = LayoutArtifact.load(args.check)
+        budget = args.budget if args.budget is not None else DEFAULT_BUDGET
+        problems = []
+        if (recorded.stack, recorded.config) != (args.stack, args.config):
+            problems.append(
+                f"recorded artifact is for ({recorded.stack}, "
+                f"{recorded.config}), not ({args.stack}, {args.config})")
+        if (recorded.seed, recorded.budget) != (args.seed, budget):
+            problems.append(
+                f"recorded (seed, budget) = ({recorded.seed}, "
+                f"{recorded.budget}) != ({args.seed}, {budget})")
+        if recorded.score != result.artifact.score:
+            problems.append(
+                f"best score drifted: recorded {recorded.score} != "
+                f"found {result.artifact.score}")
+        if recorded.placements != result.artifact.placements:
+            problems.append("winning placements drifted")
+        if problems:
+            for p in problems:
+                print(f"CHECK FAIL: {p}", file=sys.stderr)
+            return 1
+        print(f"check OK: reproduces {args.check} bit-for-bit")
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -221,6 +317,8 @@ def main(argv=None) -> int:
         return analyze_main(argv[1:])
     if argv and argv[0] == "faults":
         return faults_main(argv[1:])
+    if argv and argv[0] == "search":
+        return search_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the tables of TR 96-03 from the "
@@ -233,13 +331,22 @@ def main(argv=None) -> int:
                         default="both")
     parser.add_argument("--tables", nargs="*", type=int, default=None,
                         help="subset of table numbers (1-9)")
+    parser.add_argument("--engine", choices=["fast", "reference", "guarded"],
+                        default=None,
+                        help="simulation engine for the sweeps (default: "
+                             "$REPRO_SIM_ENGINE or fast)")
     args = parser.parse_args(argv)
 
     wanted = set(args.tables) if args.tables else set(range(1, 10))
     stacks = ["tcpip", "rpc"] if args.stack == "both" else [args.stack]
     started = time.time()
 
+    from repro.api import Settings
     from repro.harness import reporting, tables
+
+    # the environment is read exactly once; everything below threads
+    # these settings explicitly
+    settings = Settings.from_env(engine=args.engine)
 
     def emit(text: str) -> None:
         print(text)
@@ -257,7 +364,8 @@ def main(argv=None) -> int:
         for stack in stacks:
             print(f"... running the {stack} configuration sweep ...",
                   file=sys.stderr)
-            sweep = tables.compute_sweep(stack, samples=args.samples)
+            sweep = tables.compute_sweep(stack, samples=args.samples,
+                                         settings=settings)
             if 4 in wanted:
                 emit(reporting.render_table4(sweep, stack))
             if 5 in wanted:

@@ -1,0 +1,195 @@
+"""``repro.api``: the unified front door to the measurement system.
+
+One spec type, three verbs::
+
+    from repro.api import RunSpec, Settings, run, sweep, search
+
+    result = run(RunSpec("tcpip", "CLO", samples=3))
+    table4 = sweep([RunSpec("tcpip", c) for c in ("STD", "OUT", "CLO")])
+    found = search(RunSpec("tcpip", "CLO"), budget=96, seed=0)
+
+* :func:`run` measures one :class:`RunSpec` cell (the legacy
+  ``Experiment`` path, bit-identically),
+* :func:`sweep` measures many specs, automatically using the parallel
+  self-healing sweep executor when the specs form a plain configuration
+  sweep of one stack,
+* :func:`search` runs the profile-guided layout search of
+  :mod:`repro.search` over the spec's cell and returns the best layout
+  found as a replayable artifact.
+
+Environment configuration (``REPRO_SIM_ENGINE``, ``REPRO_VERIFY_IR``,
+``REPRO_CHAOS``) is resolved once per call through
+:meth:`Settings.from_env` and threaded explicitly; pass an explicit
+:class:`Settings` to override the environment entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.api.settings import ENGINES, Settings, validate_engine
+from repro.api.spec import SPEC_CONFIGS, SPEC_STACKS, RunSpec
+
+__all__ = [
+    "ENGINES",
+    "RunSpec",
+    "SPEC_CONFIGS",
+    "SPEC_STACKS",
+    "Settings",
+    "run",
+    "search",
+    "settings_for",
+    "sweep",
+    "validate_engine",
+]
+
+
+def settings_for(spec: RunSpec, settings: Optional[Settings] = None) -> Settings:
+    """The effective settings of one spec: overrides beat the environment."""
+    base = settings if settings is not None else Settings.from_env()
+    return base.with_engine(spec.engine).with_verify_ir(spec.verify_ir)
+
+
+def _layout_strategy(layout: Optional[object]) -> Optional[Callable]:
+    """A spec's layout override as a ``LayoutStrategy`` callable."""
+    if layout is None:
+        return None
+    strategy = getattr(layout, "strategy", None)
+    if callable(strategy):  # a LayoutArtifact
+        return strategy()
+    if callable(layout):
+        return layout
+    raise TypeError(
+        f"RunSpec.layout must be a LayoutArtifact or a LayoutStrategy "
+        f"callable, got {type(layout).__name__}"
+    )
+
+
+def run(spec: RunSpec, *, settings: Optional[Settings] = None):
+    """Measure one cell; returns the legacy ``ExperimentResult``.
+
+    Bit-identical to driving :class:`~repro.harness.experiment.
+    Experiment` by hand with the same parameters (a CI golden gate holds
+    this equivalence per stack).
+    """
+    from repro.harness.experiment import Experiment
+
+    exp = Experiment(
+        spec.stack,
+        spec.config,
+        spec.options,
+        base_seed=spec.seed,
+        fault_plan=spec.fault_plan,
+        guard_stride=spec.guard_stride,
+        on_divergence=spec.on_divergence,
+        server_processing_us=spec.server_processing_us,
+        settings=settings_for(spec, settings),
+        layout=_layout_strategy(spec.layout),
+    )
+    return exp.run(samples=spec.samples)
+
+
+def _plain_config_sweep(specs: Sequence[RunSpec]) -> bool:
+    """True when ``specs`` is exactly one stack's configuration sweep —
+    the shape the parallel executor and its memoized builds optimize."""
+    base = specs[0]
+    configs = [s.config for s in specs]
+    return (
+        len(set(configs)) == len(configs)
+        and base.seed == 42  # the executor's fixed seed schedule
+        and base.layout is None
+        and base.guard_stride == 1
+        and base.on_divergence == "fallback"
+        and base.server_processing_us is None
+        and all(
+            s.stack == base.stack
+            and s.options == base.options
+            and s.engine == base.engine
+            and s.samples == base.samples
+            and s.seed == base.seed
+            and s.fault_plan is base.fault_plan
+            and s.verify_ir == base.verify_ir
+            and s.layout is None
+            and s.guard_stride == base.guard_stride
+            and s.on_divergence == base.on_divergence
+            and s.server_processing_us is None
+            for s in specs
+        )
+    )
+
+
+def sweep(
+    specs: Sequence[RunSpec],
+    *,
+    settings: Optional[Settings] = None,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+    report=None,
+) -> List:
+    """Measure many specs; returns ``ExperimentResult``s in spec order.
+
+    When the specs form a plain configuration sweep of one stack (same
+    stack/options/engine/samples, distinct configs, default seeds), the
+    batch routes through ``run_all_configs`` — i.e. the self-healing
+    parallel executor with memoized builds and captures.  Anything more
+    heterogeneous (custom layouts, per-spec seeds) runs spec by spec.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    if _plain_config_sweep(specs):
+        from repro.harness.experiment import run_all_configs
+
+        base = specs[0]
+        results = run_all_configs(
+            base.stack,
+            tuple(s.config for s in specs),
+            samples=base.samples,
+            opts=base.options,
+            parallel=parallel,
+            max_workers=max_workers,
+            fault_plan=base.fault_plan,
+            report=report,
+            settings=settings_for(base, settings),
+        )
+        return [results[s.config] for s in specs]
+    return [run(s, settings=settings) for s in specs]
+
+
+def search(
+    spec: RunSpec,
+    budget: Optional[int] = None,
+    *,
+    seed: int = 0,
+    settings: Optional[Settings] = None,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+    micro_baseline: bool = False,
+):
+    """Profile-guided layout search over the spec's (stack, config) cell.
+
+    Returns a :class:`repro.search.driver.SearchResult` whose
+    ``artifact`` replays bit-identically through :func:`run` via
+    ``RunSpec(..., layout=artifact)``.  ``budget`` bounds how many
+    candidate layouts pay for full simulation (default:
+    :data:`repro.search.driver.DEFAULT_BUDGET`); ``seed`` drives every
+    random choice, so equal (spec, budget, seed) triples return
+    bit-identical results on either engine.
+    """
+    from repro.search.driver import search_cell
+
+    kwargs = {}
+    if budget is not None:
+        kwargs["budget"] = budget
+    return search_cell(
+        spec.stack,
+        spec.config,
+        opts=spec.options,
+        seed=seed,
+        base_seed=spec.seed,
+        settings=settings_for(spec, settings),
+        parallel=parallel,
+        max_workers=max_workers,
+        micro_baseline=micro_baseline,
+        **kwargs,
+    )

@@ -1,0 +1,68 @@
+"""The one way to say "run this": a frozen, validated run specification.
+
+Before :class:`RunSpec` existed the same measurement could be requested
+through ``Experiment``'s ten-keyword constructor, ``run_all_configs``'s
+keyword soup, ``run_parallel_sweep``, or a CLI subcommand — each with its
+own defaulting rules.  A ``RunSpec`` names the complete recipe once
+(stack, config, options, engine, samples, seed, fault plan, verifier,
+optional layout override) and every front door — :func:`repro.api.run`,
+:func:`repro.api.sweep`, :func:`repro.api.search`, the ``python -m
+repro`` subcommands — consumes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.faults.plan import FaultPlan
+from repro.protocols.options import Section2Options
+
+#: valid stacks / build configurations (mirrors repro.harness.configs,
+#: duplicated here so the spec layer stays import-light)
+SPEC_STACKS = ("tcpip", "rpc")
+SPEC_CONFIGS = ("BAD", "STD", "OUT", "CLO", "PIN", "ALL")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified measurement request.
+
+    ``None`` fields mean "use the resolved :class:`~repro.api.settings.
+    Settings` / the paper's defaults": ``engine`` falls back to the
+    settings engine, ``samples`` to the paper's per-stack sample counts,
+    ``options`` to :meth:`Section2Options.improved`, ``verify_ir`` to the
+    settings flag.  ``layout`` optionally replaces the configuration's
+    default layout stage with a :class:`repro.search.artifact.
+    LayoutArtifact` (or any ``LayoutStrategy`` callable) — this is how a
+    searched layout is replayed bit-identically.
+    """
+
+    stack: str = "tcpip"
+    config: str = "STD"
+    options: Optional[Section2Options] = None
+    engine: Optional[str] = None
+    samples: Optional[int] = None
+    seed: int = 42
+    fault_plan: Optional[FaultPlan] = field(default=None, compare=False)
+    verify_ir: Optional[bool] = None
+    #: LayoutArtifact, LayoutStrategy callable, or None for the default
+    layout: Optional[object] = field(default=None, compare=False)
+    guard_stride: int = 1
+    on_divergence: str = "fallback"
+    server_processing_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.stack not in SPEC_STACKS:
+            raise ValueError(f"unknown stack {self.stack!r}")
+        if self.config not in SPEC_CONFIGS:
+            raise ValueError(f"unknown configuration {self.config!r}")
+        if self.fault_plan is not None and self.fault_plan.stack != self.stack:
+            raise ValueError(
+                f"fault plan targets stack {self.fault_plan.stack!r}, "
+                f"spec runs {self.stack!r}"
+            )
+
+    def with_config(self, config: str) -> "RunSpec":
+        """Copy for a sibling configuration of the same stack."""
+        return replace(self, config=config)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.placement import replacement_misses
 from repro.core.program import Program
 
 LayoutStrategy = Callable[[Program], Dict[str, int]]
@@ -241,23 +242,6 @@ def micro_positioning_layout(
         placed: Dict[str, int] = {}  # name -> base block index (absolute)
         used_blocks: Set[int] = set()
 
-        def replacement_misses(assignment: Dict[str, int]) -> int:
-            tags: Dict[int, int] = {}
-            ever: Set[int] = set()
-            repl = 0
-            for name, off in block_trace:
-                if name not in assignment:
-                    continue
-                blk = assignment[name] + off
-                idx = blk % icache_blocks
-                if tags.get(idx) == blk:
-                    continue
-                if blk in ever:
-                    repl += 1
-                tags[idx] = blk
-                ever.add(blk)
-            return repl
-
         cursor = 0
         for name in order:
             size_blocks = (program.size_of(name) + BLOCK - 1) // BLOCK
@@ -269,7 +253,9 @@ def micro_positioning_layout(
                     continue
                 trial = dict(placed)
                 trial[name] = cand
-                score = replacement_misses(trial)
+                score = replacement_misses(
+                    block_trace, trial, icache_blocks=icache_blocks
+                )
                 if best_score is None or score < best_score:
                     best_score = score
                     best_base = cand

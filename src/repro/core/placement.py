@@ -1,0 +1,93 @@
+"""The shared placement-cost model: replacement misses of a candidate layout.
+
+Both the paper's micro-positioning layout (:func:`repro.core.layout.
+micro_positioning_layout`) and the layout-search generators in
+:mod:`repro.search.generators` score candidate placements the same way:
+simulate a direct-mapped i-cache over a block-touch trace and count
+*replacement* misses — a block that was resident once and had to be
+fetched again because some other block claimed its set.  Before this
+module each caller carried its own copy of that loop; now there is one
+cost function with one definition of "replacement miss", so the greedy
+placer, the annealing mutator and micro-positioning all optimize the
+same quantity.
+
+A *block trace* is a sequence of ``(function, block-offset-in-function)``
+i-cache touches (:func:`repro.core.metrics.trace_block_touches` produces
+one from an instruction trace); an *assignment* maps function names to
+absolute base block indices.  Functions absent from the assignment are
+skipped, which lets greedy placers score the prefix of a trace involving
+only the functions placed so far.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Set, Tuple
+
+#: one i-cache block touch: (function name, block offset within function)
+BlockTouch = Tuple[str, int]
+
+
+def replacement_misses(
+    block_trace: Sequence[BlockTouch],
+    assignment: Mapping[str, int],
+    *,
+    icache_blocks: int,
+) -> int:
+    """Replacement misses of ``assignment`` over ``block_trace``.
+
+    Simulates a direct-mapped i-cache of ``icache_blocks`` sets at block
+    granularity: the first touch of a block is a cold miss (not counted),
+    a re-fetch of a block that has been evicted from its set is a
+    replacement miss (counted).  Touches of unplaced functions are
+    ignored.
+    """
+    tags: Dict[int, int] = {}
+    ever: Set[int] = set()
+    repl = 0
+    for name, off in block_trace:
+        base = assignment.get(name)
+        if base is None:
+            continue
+        blk = base + off
+        idx = blk % icache_blocks
+        if tags.get(idx) == blk:
+            continue
+        if blk in ever:
+            repl += 1
+        tags[idx] = blk
+        ever.add(blk)
+    return repl
+
+
+def steady_replacement_misses(
+    block_trace: Sequence[BlockTouch],
+    assignment: Mapping[str, int],
+    *,
+    icache_blocks: int,
+) -> int:
+    """Misses of a *warmed* repetition of ``block_trace``.
+
+    The workload repeats the traced roundtrip, so steady-state behaviour
+    is what one more pass costs against a cache the previous pass left
+    behind: the first pass only warms the tags, the second counts every
+    miss — including the wrap-around conflicts a single cold pass never
+    sees (the tail of pass N evicting the head of pass N+1).
+    """
+    tags: Dict[int, int] = {}
+    for name, off in block_trace:
+        base = assignment.get(name)
+        if base is None:
+            continue
+        blk = base + off
+        tags[blk % icache_blocks] = blk
+    misses = 0
+    for name, off in block_trace:
+        base = assignment.get(name)
+        if base is None:
+            continue
+        blk = base + off
+        idx = blk % icache_blocks
+        if tags.get(idx) != blk:
+            misses += 1
+            tags[idx] = blk
+    return misses

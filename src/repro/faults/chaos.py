@@ -31,10 +31,9 @@ which makes these rules usable from CI YAML without any code hook.
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 CHAOS_ENV = "REPRO_CHAOS"
 
@@ -96,8 +95,16 @@ def parse_rules(spec: str) -> List[ChaosRule]:
 
 
 def active_rules() -> List[ChaosRule]:
-    spec = os.environ.get(CHAOS_ENV, "")
-    return parse_rules(spec) if spec else []
+    """The environment's chaos rules, via the one env reader.
+
+    Delegates to :meth:`repro.api.Settings.from_env` (imported lazily:
+    the settings module imports this one for the rule parser).  Pool
+    workers call this — the variable crosses fork/spawn for free — while
+    in-process consumers receive ``Settings.chaos`` threaded explicitly.
+    """
+    from repro.api.settings import Settings
+
+    return list(Settings.from_env().chaos)
 
 
 def mark_worker() -> None:
@@ -106,15 +113,24 @@ def mark_worker() -> None:
     _in_worker = True
 
 
-def maybe_fail(config: str, seed: int, attempt: int) -> None:
+def maybe_fail(
+    config: str,
+    seed: int,
+    attempt: int,
+    rules: Optional[Sequence[ChaosRule]] = None,
+) -> None:
     """Crash or hang this worker if a chaos rule selects the cell.
 
     A no-op outside pool workers: the serial in-process fallback must be
     able to heal a cell whose parallel attempts are all sabotaged.
+    ``rules`` is the resolved :attr:`repro.api.Settings.chaos` tuple when
+    the caller has one; ``None`` falls back to the environment.
     """
     if not _in_worker:
         return
-    for rule in active_rules():
+    if rules is None:
+        rules = active_rules()
+    for rule in rules:
         if not rule.matches(config, seed, attempt):
             continue
         if rule.kind == "crash":
@@ -126,19 +142,31 @@ def maybe_fail(config: str, seed: int, attempt: int) -> None:
             time.sleep(rule.duration)
 
 
-def perturbation(config: str, seed: int) -> int:
-    """Extra stall cycles a ``perturb`` rule injects into fast results."""
+def perturbation(
+    config: str, seed: int, rules: Optional[Sequence[ChaosRule]] = None
+) -> int:
+    """Extra stall cycles a ``perturb`` rule injects into fast results.
+
+    ``rules`` is the resolved :attr:`repro.api.Settings.chaos` tuple when
+    the caller has one; ``None`` falls back to the environment.
+    """
+    if rules is None:
+        rules = active_rules()
     extra = 0
-    for rule in active_rules():
+    for rule in rules:
         if rule.kind == "perturb" and rule.matches(config, seed, 0):
             extra += 1
     return extra
 
 
-def rules_summary() -> Tuple[str, ...]:
+def rules_summary(
+    rules: Optional[Sequence[ChaosRule]] = None,
+) -> Tuple[str, ...]:
     """Human-readable active rules (for sweep reports and logs)."""
+    if rules is None:
+        rules = active_rules()
     return tuple(
         f"{r.kind}:{r.config}:{'*' if r.seed is None else r.seed}"
         f":{r.attempts}" + (f":{r.duration:g}" if r.kind == "hang" else "")
-        for r in active_rules()
+        for r in rules
     )

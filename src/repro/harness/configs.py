@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.clone import clone_functions, clone_name
 from repro.core.layout import (
+    LayoutStrategy,
     bipartite_layout,
     link_order_layout,
     pessimal_layout,
@@ -167,8 +168,15 @@ def build_configured_program(
     opts: Optional[Section2Options] = None,
     *,
     stage_hook: Optional[StageHook] = None,
+    layout: Optional[LayoutStrategy] = None,
 ) -> BuildResult:
-    """Build one (stack, configuration) program, laid out and ready to walk."""
+    """Build one (stack, configuration) program, laid out and ready to walk.
+
+    ``layout`` replaces the configuration's default layout strategy; the
+    transformation pipeline (outline/inline/clone) is untouched, so a
+    searched layout artifact replays against exactly the code image it
+    was searched on.
+    """
     if config not in CONFIG_NAMES:
         raise ValueError(f"unknown configuration {config!r}")
     spec = STACKS[stack]
@@ -230,6 +238,12 @@ def build_configured_program(
     result.hot_functions = hot
 
     # ---- layout ---- #
+    # The configuration's default strategy always runs, even under an
+    # override: laying out forces materialization, and materialization
+    # order assigns GOT/demux data slots first-come-first-served.  The
+    # default pass fixes that order canonically, so an override replay
+    # walks the same data image the search evaluator scored (which also
+    # starts from the default build and re-lays on top).
     if config in ("STD", "OUT", "PIN"):
         # the x-kernel's (hand-tuned over the years) link order: libraries
         # first, then the protocol graph top-to-bottom
@@ -247,6 +261,8 @@ def build_configured_program(
         program.layout(
             pessimal_layout(hot, bcache_alias_pairs=BAD_BCACHE_ALIAS_PAIRS)
         )
+    if layout is not None:
+        program.layout(layout)
     program.check_no_overlap()
     if stage_hook is not None:
         stage_hook("layout", result)

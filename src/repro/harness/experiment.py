@@ -21,9 +21,17 @@ from __future__ import annotations
 
 import os
 import statistics
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.api.settings import (
+    ENGINE_ENV,
+    ENGINES as ENGINES,  # re-export: the harness is ENGINES' legacy home
+    VERIFY_IR_ENV,
+    Settings,
+    validate_engine,
+)
 from repro.arch.simcache import simulate_cold_and_steady_cached
 from repro.arch.simulator import MachineSimulator, SimResult
 from repro.core.fastwalk import FastWalker
@@ -47,6 +55,7 @@ from repro.harness.configs import (
     build_configured_program,
     build_configured_program_cached,
 )
+from repro.core.layout import LayoutStrategy
 from repro.harness.latency import LatencyModel
 from repro.protocols.options import Section2Options
 from repro.protocols.stacks import (
@@ -60,37 +69,45 @@ DEFAULT_WARMUP_ROUNDTRIPS = 25
 #: paper: ten samples for TCP/IP, five for RPC
 DEFAULT_SAMPLES = {"tcpip": 10, "rpc": 5}
 
-#: simulation engines: "fast" = packed traces + template walks + fused
-#: kernel + result caches (bit-identical results); "reference" = the
-#: original object-per-instruction oracle path; "guarded" = fast results
-#: cross-checked against the reference path sample by sample, degrading
-#: to "reference" on divergence (see :mod:`repro.faults.guard`)
-ENGINES = ("fast", "reference", "guarded")
+# ENGINES now lives in repro.api.settings (re-exported here for the many
+# callers that import it from the harness)
 
 
 def resolve_engine(engine: Optional[str] = None) -> str:
-    """Pick the simulation engine: explicit arg > $REPRO_SIM_ENGINE > fast."""
+    """Deprecated: use :meth:`repro.api.Settings.from_env` instead.
+
+    Kept as a shim so legacy imports keep working; the precedence
+    (explicit arg > ``$REPRO_SIM_ENGINE`` > ``fast``) and the error
+    message for unknown engines are unchanged.
+    """
+    warnings.warn(
+        "resolve_engine() is deprecated; resolve the engine through "
+        "repro.api.Settings.from_env(engine=...).engine instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if engine is None:
-        engine = os.environ.get("REPRO_SIM_ENGINE", "fast")
-    if engine not in ENGINES:
-        raise ValueError(
-            f"unknown simulation engine {engine!r} "
-            f"(from $REPRO_SIM_ENGINE or the engine= argument); "
-            f"valid engines: {', '.join(ENGINES)}"
-        )
-    return engine
+        engine = os.environ.get(ENGINE_ENV, "fast")
+    return validate_engine(engine)
 
 
 def verify_ir_enabled() -> bool:
-    """Opt-in IR verification after every build stage (``REPRO_VERIFY_IR=1``).
+    """Deprecated: use :attr:`repro.api.Settings.verify_ir` instead.
 
-    When set, every experiment build runs the structural verifier of
-    :mod:`repro.analysis.verify` after each transformation stage and fails
-    loudly (:class:`repro.analysis.verify.VerificationError`) the moment a
-    transform produces malformed IR — instead of the walker or simulator
-    tripping over it a layer later with a less actionable error.
+    When ``REPRO_VERIFY_IR=1``, every experiment build runs the
+    structural verifier of :mod:`repro.analysis.verify` after each
+    transformation stage and fails loudly the moment a transform
+    produces malformed IR.  The flag is now resolved once per run by
+    :meth:`repro.api.Settings.from_env`; this shim keeps legacy imports
+    working.
     """
-    return os.environ.get("REPRO_VERIFY_IR", "") == "1"
+    warnings.warn(
+        "verify_ir_enabled() is deprecated; read "
+        "repro.api.Settings.from_env().verify_ir instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return os.environ.get(VERIFY_IR_ENV, "") == "1"
 
 
 def _ir_verify_hook(stage: str, build: BuildResult) -> None:
@@ -227,6 +244,8 @@ class Experiment:
         fault_plan: Optional[FaultPlan] = None,
         guard_stride: int = 1,
         on_divergence: str = "fallback",
+        settings: Optional[Settings] = None,
+        layout: Optional[LayoutStrategy] = None,
     ) -> None:
         if stack not in ("tcpip", "rpc"):
             raise ValueError(f"unknown stack {stack!r}")
@@ -235,7 +254,15 @@ class Experiment:
         self.opts = opts or Section2Options.improved()
         self.warmup = warmup
         self.base_seed = base_seed
-        self.engine = resolve_engine(engine)
+        #: resolved run-wide settings; an explicit ``engine=`` keyword
+        #: still wins over both the settings object and the environment
+        base = settings if settings is not None else Settings.from_env()
+        self.settings = base.with_engine(engine)
+        self.engine = self.settings.engine
+        #: optional layout override replacing the configuration's default
+        #: layout stage (how searched layouts are replayed); forces a
+        #: private, uncached build so the shared memo stays pristine
+        self.layout_override = layout
         #: benchmarks disable memoization to reproduce the pre-cache
         #: behaviour of capturing every sample's roundtrip from scratch
         self.memoize_captures = memoize_captures
@@ -375,7 +402,9 @@ class Experiment:
         cold, steady = simulate_cold_and_steady_cached(walk.packed)
         # chaos hook: a "perturb" rule models a fast-engine bug by
         # skewing the stall count (snapshots are ours to mutate)
-        steady.memory.stall_cycles += chaos.perturbation(self.config, seed)
+        steady.memory.stall_cycles += chaos.perturbation(
+            self.config, seed, rules=self.settings.chaos
+        )
         if not checked:
             return walk, cold, steady
         ref_walk = Walker(build.program, data_env).walk(ref_events)
@@ -394,12 +423,19 @@ class Experiment:
     def run(self, samples: Optional[int] = None) -> ExperimentResult:
         if samples is None:
             samples = DEFAULT_SAMPLES[self.stack]
-        if verify_ir_enabled():
+        if self.settings.verify_ir:
             # verification needs to observe every build stage, so it takes
             # the uncached path regardless of engine (results are
             # bit-identical; only build time differs)
             build = build_configured_program(
-                self.stack, self.config, self.opts, stage_hook=_ir_verify_hook
+                self.stack, self.config, self.opts,
+                stage_hook=_ir_verify_hook, layout=self.layout_override,
+            )
+        elif self.layout_override is not None:
+            # a custom layout must never leak into the shared build memo
+            build = build_configured_program(
+                self.stack, self.config, self.opts,
+                layout=self.layout_override,
             )
         elif self.engine in ("fast", "guarded"):
             build = build_configured_program_cached(
@@ -428,6 +464,7 @@ def run_all_configs(
     max_workers: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
     report: Optional["SweepReport"] = None,
+    settings: Optional[Settings] = None,
 ) -> Dict[str, ExperimentResult]:
     """Measure every configuration of one stack (the Table 4 sweep).
 
@@ -448,12 +485,13 @@ def run_all_configs(
     guarded-engine divergences regardless of which executor ends up
     running the sweep.
     """
-    engine = resolve_engine(engine)
+    base = settings if settings is not None else Settings.from_env()
+    settings = base.with_engine(engine)
     if samples is None:
         samples = DEFAULT_SAMPLES[stack]
     server_ref: Optional[float] = None
     if stack == "rpc":
-        best = Experiment(stack, "ALL", opts, engine=engine).run(samples=1)
+        best = Experiment(stack, "ALL", opts, settings=settings).run(samples=1)
         server_ref = best.mean_processing_us
 
     if parallel is None:
@@ -464,7 +502,7 @@ def run_all_configs(
         try:
             return run_parallel_sweep(
                 stack, configs, samples=samples, opts=opts,
-                server_processing_us=server_ref, engine=engine,
+                server_processing_us=server_ref, settings=settings,
                 max_workers=max_workers, fault_plan=fault_plan,
                 report=report,
             )
@@ -480,7 +518,7 @@ def run_all_configs(
     out: Dict[str, ExperimentResult] = {}
     for config in configs:
         exp = Experiment(stack, config, opts,
-                         server_processing_us=server_ref, engine=engine,
+                         server_processing_us=server_ref, settings=settings,
                          fault_plan=fault_plan)
         out[config] = exp.run(samples)
         if report is not None:

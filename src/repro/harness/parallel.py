@@ -1,5 +1,5 @@
-"""Parallel sweep executor: deterministic (config, seed) cells over a
-process pool, with self-healing dispatch.
+"""Parallel cell executor: deterministic work items over a process pool,
+with self-healing dispatch.
 
 A full-table sweep is embarrassingly parallel: each (configuration,
 jitter-seed) cell captures, walks and simulates independently, and the
@@ -12,26 +12,30 @@ and usually already present) and reassembles ``ExperimentResult`` objects
 in deterministic sample order, so a parallel sweep is sample-for-sample
 identical to the serial one apart from the dropped event lists.
 
-Dispatch is resilient rather than optimistic:
+The dispatch machinery is generic (:func:`run_parallel_cells`): any
+deterministic worker function plus a list of payloads gets the same
+resilience the sweep enjoys.  The layout-search evaluator
+(:mod:`repro.search.evaluate`) dispatches candidate-layout scoring
+through it.  Dispatch is resilient rather than optimistic:
 
 * a worker exception costs one bounded, backoff-spaced retry of that
-  cell (the seed travels with the cell, so a retried sample is
+  cell (the full payload travels with the cell, so a retried cell is
   bit-identical to a first-try one);
-* ``cell_timeout`` bounds how long the sweep will go without *any* cell
+* ``cell_timeout`` bounds how long the run will go without *any* cell
   completing; on a stall the pool is torn down (hung workers cannot be
   cancelled, only terminated) and the stranded cells are re-dispatched
   on a fresh pool;
 * cells that exhaust their retries are healed by running them serially
   in the parent process (``serial_fallback=True``) — or, with the
-  fallback disabled, fail the sweep loudly with every outstanding
-  future cancelled and the failing (config, seed) cells named;
-* every incident lands on the :class:`SweepReport`, so a sweep that
+  fallback disabled, fail the run loudly with every outstanding future
+  cancelled and the failing (label, seed) cells named;
+* every incident lands on the :class:`SweepReport`, so a run that
   *looks* clean is one that provably dispatched and completed every
   cell exactly once.
 
 On fork-based platforms workers inherit the parent's warm caches (builds,
 walk templates, simulation results) copy-on-write for free.  A pool that
-cannot be created at all is the caller's cue to fall back to the serial
+cannot be created at all is the caller's cue to fall back to a serial
 loop (:func:`repro.harness.experiment.run_all_configs` does this
 automatically).
 """
@@ -42,8 +46,9 @@ import concurrent.futures
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.api.settings import Settings
 from repro.arch.simulator import SimResult
 from repro.core.walker import WalkResult
 from repro.faults import chaos
@@ -58,7 +63,7 @@ _MAX_BACKOFF_S = 2.0
 
 @dataclass(frozen=True)
 class CellIncident:
-    """One non-fatal dispatch failure of one (config, seed) cell."""
+    """One non-fatal dispatch failure of one (label, seed) cell."""
 
     config: str
     seed: int
@@ -73,7 +78,7 @@ class CellIncident:
 
 @dataclass
 class SweepReport:
-    """What actually happened while a sweep ran.
+    """What actually happened while a parallel run executed.
 
     ``completed`` counts every finished cell however it got there;
     ``completed_serial`` the subset healed by in-process execution.
@@ -121,7 +126,7 @@ class SweepReport:
 
 
 class SweepError(RuntimeError):
-    """A sweep could not complete every cell; carries the report."""
+    """A parallel run could not complete every cell; carries the report."""
 
     def __init__(self, message: str, report: SweepReport) -> None:
         super().__init__(message)
@@ -134,19 +139,19 @@ def _run_cell(
     opts: Optional[Section2Options],
     seed: int,
     server_processing_us: Optional[float],
-    engine: str,
-    fault_plan: Optional[FaultPlan] = None,
+    settings: Settings,
+    fault_plan: Optional[FaultPlan],
+    sample_index: int,
     attempt: int = 0,
-    sample_index: int = 0,
 ) -> Tuple[str, int, WalkResult, SimResult, SimResult, float,
            List[InjectedFault], List[DivergenceReport]]:
     """Worker: measure one (config, seed) cell; return picklable parts."""
     from repro.harness.experiment import Experiment
 
-    chaos.maybe_fail(config, seed, attempt)
+    chaos.maybe_fail(config, seed, attempt, rules=settings.chaos)
     exp = Experiment(stack, config, opts,
-                     server_processing_us=server_processing_us, engine=engine,
-                     fault_plan=fault_plan)
+                     server_processing_us=server_processing_us,
+                     settings=settings, fault_plan=fault_plan)
     build = build_configured_program_cached(stack, config, opts)
     sample = exp.run_sample(build, seed, sample_index=sample_index)
     walk = WalkResult(sample.walk.packed, sample.walk.marks)
@@ -179,101 +184,93 @@ def _teardown_pool(pool: concurrent.futures.ProcessPoolExecutor) -> None:
                 pass
 
 
-def run_parallel_sweep(
-    stack: str,
-    configs: Sequence[str],
+def run_parallel_cells(
+    worker: Callable,
+    payloads: Sequence[Tuple],
+    labels: Sequence[Tuple[str, int]],
     *,
-    samples: int,
-    opts: Optional[Section2Options] = None,
-    server_processing_us: Optional[float] = None,
-    engine: str = "fast",
     max_workers: Optional[int] = None,
-    base_seed: int = 42,
-    fault_plan: Optional[FaultPlan] = None,
     retries: int = 2,
     cell_timeout: Optional[float] = None,
     backoff_s: float = 0.05,
     serial_fallback: bool = True,
     report: Optional[SweepReport] = None,
-) -> Dict[str, "ExperimentResult"]:
-    """Run the (configs x samples) sweep on a self-healing process pool.
+    on_result: Optional[Callable[[int, object], None]] = None,
+) -> List:
+    """Run ``worker(*payload, attempt)`` per payload on a self-healing pool.
 
-    Returns the same mapping as the serial ``run_all_configs`` loop.
-    Raises :class:`SweepError` (naming every missing cell, report
-    attached) if any cell cannot be completed, and propagates pool
-    construction failures so callers can fall back to a serial sweep.
+    The generic dispatch core shared by :func:`run_parallel_sweep` and
+    the layout-search evaluator.  ``worker`` must be a module-level
+    (picklable) callable invoked as ``worker(*payloads[i], attempt)``
+    where ``attempt`` counts prior dispatches of that cell (0 on the
+    first try) — deterministic workers therefore return bit-identical
+    results on retries.  ``labels[i]`` is the ``(name, seed)`` pair
+    naming cell ``i`` in incidents and errors.
+
+    Returns worker results in payload order.  ``on_result(i, result)``
+    fires once per cell as it completes (pool or serial heal), in
+    completion order.  Raises :class:`SweepError` (naming every missing
+    cell, report attached) if any cell cannot be completed, and
+    propagates pool construction failures so callers can fall back to a
+    serial loop.
     """
-    from repro.harness.experiment import ExperimentResult, SampleResult
-
+    if len(payloads) != len(labels):
+        raise ValueError("payloads and labels must have equal length")
     if report is None:
         report = SweepReport()
-    report.stack = stack
-    report.engine = engine
-    report.configs = tuple(configs)
-    report.samples = samples
-    report.chaos_rules = chaos.rules_summary()
 
-    seeds = [base_seed + 17 * i for i in range(samples)]
-    slots: Dict[str, List[Optional[SampleResult]]] = {
-        config: [None] * samples for config in configs
-    }
-    attempts: Dict[Tuple[str, int], int] = {}
-    pending: deque = deque((config, i) for config in configs
-                           for i in range(samples))
-    serial_queue: List[Tuple[str, int]] = []
+    slots: List[Optional[object]] = [None] * len(payloads)
+    filled: List[bool] = [False] * len(payloads)
+    attempts: Dict[int, int] = {}
+    pending: deque = deque(range(len(payloads)))
+    serial_queue: List[int] = []
 
-    def record(config: str, i: int, payload: Tuple) -> None:
-        _, _, walk, cold, steady, rtt, faults, divergences = payload
-        slots[config][i] = SampleResult(
-            events=[], walk=walk, cold=cold, steady=steady,
-            roundtrip_us=rtt, faults=list(faults),
-        )
-        report.divergences.extend(divergences)
+    def record(i: int, result: object, *, serial: bool = False) -> None:
+        slots[i] = result
+        filled[i] = True
         report.completed += 1
+        if serial:
+            report.completed_serial += 1
+        if on_result is not None:
+            on_result(i, result)
 
-    def route_failure(config: str, i: int, kind: str, detail: str,
+    def route_failure(i: int, kind: str, detail: str,
                       *, backoff: bool) -> None:
         """Requeue a failed cell, queue its serial heal, or fail it."""
-        attempt = attempts.get((config, i), 0)
-        incident = CellIncident(config, seeds[i], attempt, kind, detail)
-        attempts[(config, i)] = attempt + 1
+        name, seed = labels[i]
+        attempt = attempts.get(i, 0)
+        incident = CellIncident(name, seed, attempt, kind, detail)
+        attempts[i] = attempt + 1
         if attempt < retries:
             report.incidents.append(incident)
             if backoff:
                 time.sleep(min(backoff_s * (2 ** attempt), _MAX_BACKOFF_S))
-            pending.append((config, i))
+            pending.append(i)
         elif serial_fallback:
             report.incidents.append(incident)
-            serial_queue.append((config, i))
+            serial_queue.append(i)
         else:
             report.failures.append(CellIncident(
-                config, seeds[i], attempt, "exhausted", detail
+                name, seed, attempt, "exhausted", detail
             ))
 
     pool = _make_pool(max_workers)
-    inflight: Dict[concurrent.futures.Future, Tuple[str, int]] = {}
+    inflight: Dict[concurrent.futures.Future, int] = {}
     try:
         while pending or inflight:
             while pending:
-                config, i = pending.popleft()
+                i = pending.popleft()
+                args = (*payloads[i], attempts.get(i, 0))
                 try:
-                    future = pool.submit(
-                        _run_cell, stack, config, opts, seeds[i],
-                        server_processing_us, engine, fault_plan,
-                        attempts.get((config, i), 0), i,
-                    )
+                    future = pool.submit(worker, *args)
                 except Exception:
                     # the pool broke between completions; rebuild once
                     # and retry the submit — a second failure propagates
                     _teardown_pool(pool)
                     pool = _make_pool(max_workers)
                     report.pools_restarted += 1
-                    future = pool.submit(
-                        _run_cell, stack, config, opts, seeds[i],
-                        server_processing_us, engine, fault_plan,
-                        attempts.get((config, i), 0), i,
-                    )
-                inflight[future] = (config, i)
+                    future = pool.submit(worker, *args)
+                inflight[future] = i
 
             done, _ = concurrent.futures.wait(
                 list(inflight), timeout=cell_timeout,
@@ -288,26 +285,25 @@ def run_parallel_sweep(
                 _teardown_pool(pool)
                 pool = _make_pool(max_workers)
                 report.pools_restarted += 1
-                for config, i in stranded:
+                for i in stranded:
                     route_failure(
-                        config, i, "timeout",
+                        i, "timeout",
                         f"no cell completed within {cell_timeout:g}s",
                         backoff=False,
                     )
                 continue
 
             for future in done:
-                config, i = inflight.pop(future)
+                i = inflight.pop(future)
                 try:
-                    payload = future.result()
+                    result = future.result()
                 except (Exception,
                         concurrent.futures.CancelledError) as exc:
                     # CancelledError is a BaseException (futures die this
                     # way when a broken pool is replaced mid-sweep)
-                    route_failure(config, i, "crash", repr(exc),
-                                  backoff=True)
+                    route_failure(i, "crash", repr(exc), backoff=True)
                 else:
-                    record(config, i, payload)
+                    record(i, result)
 
             if report.failures and not serial_fallback:
                 # fatal: cancel everything outstanding and name the cell
@@ -324,25 +320,85 @@ def run_parallel_sweep(
     # heal exhausted cells in-process: deterministic cells make the
     # serial rerun bit-identical, and chaos crash/hang rules are armed
     # only inside pool workers, so sabotage cannot follow the cell here
-    for config, i in serial_queue:
-        payload = _run_cell(
-            stack, config, opts, seeds[i], server_processing_us, engine,
-            fault_plan, attempts.get((config, i), 0), i,
-        )
-        record(config, i, payload)
-        report.completed_serial += 1
+    for i in serial_queue:
+        result = worker(*payloads[i], attempts.get(i, 0))
+        record(i, result, serial=True)
 
-    missing = [
-        (config, seeds[i])
-        for config in configs
-        for i in range(samples)
-        if slots[config][i] is None
-    ]
+    missing = [labels[i] for i in range(len(payloads)) if not filled[i]]
     if missing:
         named = ", ".join(f"({c}, seed {s})" for c, s in missing)
         raise SweepError(
             f"parallel sweep lost {len(missing)} cell(s): {named}", report
         )
+    return slots
+
+
+def run_parallel_sweep(
+    stack: str,
+    configs: Sequence[str],
+    *,
+    samples: int,
+    opts: Optional[Section2Options] = None,
+    server_processing_us: Optional[float] = None,
+    engine: Optional[str] = None,
+    max_workers: Optional[int] = None,
+    base_seed: int = 42,
+    fault_plan: Optional[FaultPlan] = None,
+    retries: int = 2,
+    cell_timeout: Optional[float] = None,
+    backoff_s: float = 0.05,
+    serial_fallback: bool = True,
+    report: Optional[SweepReport] = None,
+    settings: Optional[Settings] = None,
+) -> Dict[str, "ExperimentResult"]:
+    """Run the (configs x samples) sweep on a self-healing process pool.
+
+    Returns the same mapping as the serial ``run_all_configs`` loop.
+    Raises :class:`SweepError` (naming every missing cell, report
+    attached) if any cell cannot be completed, and propagates pool
+    construction failures so callers can fall back to a serial sweep.
+    """
+    from repro.harness.experiment import ExperimentResult, SampleResult
+
+    base = settings if settings is not None else Settings.from_env()
+    settings = base.with_engine(engine)
+
+    if report is None:
+        report = SweepReport()
+    report.stack = stack
+    report.engine = settings.engine
+    report.configs = tuple(configs)
+    report.samples = samples
+    report.chaos_rules = chaos.rules_summary(settings.chaos)
+
+    seeds = [base_seed + 17 * i for i in range(samples)]
+    cells = [(config, i) for config in configs for i in range(samples)]
+    payloads = [
+        (stack, config, opts, seeds[i], server_processing_us, settings,
+         fault_plan, i)
+        for config, i in cells
+    ]
+    labels = [(config, seeds[i]) for config, i in cells]
+
+    slots: Dict[str, List[Optional[SampleResult]]] = {
+        config: [None] * samples for config in configs
+    }
+
+    def absorb(cell_index: int, payload: object) -> None:
+        config, i = cells[cell_index]
+        _, _, walk, cold, steady, rtt, faults, divergences = payload
+        slots[config][i] = SampleResult(
+            events=[], walk=walk, cold=cold, steady=steady,
+            roundtrip_us=rtt, faults=list(faults),
+        )
+        report.divergences.extend(divergences)
+
+    run_parallel_cells(
+        _run_cell, payloads, labels,
+        max_workers=max_workers, retries=retries,
+        cell_timeout=cell_timeout, backoff_s=backoff_s,
+        serial_fallback=serial_fallback, report=report, on_result=absorb,
+    )
 
     out: Dict[str, ExperimentResult] = {}
     for config in configs:

@@ -173,11 +173,13 @@ def profile_cell(
     identical to an unprofiled run and the attribution invariant is
     checked after every measured pass.
     """
+    from repro.api.settings import Settings
     from repro.harness.configs import build_configured_program
-    from repro.harness.experiment import Experiment, resolve_engine
+    from repro.harness.experiment import Experiment
 
-    engine = resolve_engine(engine)
-    exp = Experiment(stack, config, engine=engine)
+    settings = Settings.from_env().with_engine(engine)
+    engine = settings.engine
+    exp = Experiment(stack, config, settings=settings)
     events, data_env = exp.capture_roundtrip(seed)
     build = build_configured_program(stack, config)
     walk = Walker(build.program, data_env).walk(list(events))

@@ -104,10 +104,10 @@ def compute_table3(*, seed: int = 42) -> Dict[str, Optional[int]]:
 # Tables 4-7 share one sweep                                                  #
 # --------------------------------------------------------------------------- #
 
-def compute_sweep(stack: str, *, samples: Optional[int] = None
-                  ) -> Dict[str, ExperimentResult]:
+def compute_sweep(stack: str, *, samples: Optional[int] = None,
+                  settings=None) -> Dict[str, ExperimentResult]:
     """All six configurations of one stack (backs Tables 4, 5, 6 and 7)."""
-    return run_all_configs(stack, samples=samples)
+    return run_all_configs(stack, samples=samples, settings=settings)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,193 @@
+"""Genomes, the packer, and the replayable layout artifact.
+
+A candidate layout is represented as a *genome*: an ordered tuple of
+:class:`Gene` entries, one per placed function.  The genome fixes the
+packing **order**; a gene may additionally pin its function to a specific
+i-cache set index (``set_offset``).  :func:`pack_genome` turns a genome
+into concrete base addresses with a monotone cursor — the cursor only
+ever moves forward, so every packed layout is non-overlapping and
+``FUNCTION_ALIGN``-aligned *by construction*, and a pinned gene lands
+exactly on its requested set boundary.  Functions the genome does not
+mention are appended after the placed image (they exist but were never
+touched by the traced path).
+
+The search result ships as a :class:`LayoutArtifact`: the winning
+genome, the exact absolute placements it evaluated to, the score, the
+baseline it beat, and the provenance (stack, config, seed, budget,
+engine).  ``artifact.strategy()`` adapts the placements into a
+``LayoutStrategy`` for :func:`repro.harness.configs.
+build_configured_program` — the build pipeline is deterministic, so
+replaying the artifact reproduces the searched program image address for
+address, bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.layout import BLOCK, ICACHE, LayoutStrategy, _align
+from repro.core.program import FUNCTION_ALIGN, Program
+
+#: i-cache sets (= blocks) a ``set_offset`` may name
+NSETS = ICACHE // BLOCK
+
+ARTIFACT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Gene:
+    """One placed function: its packing rank and optional set pin."""
+
+    name: str
+    #: i-cache set index ``[0, NSETS)`` the function's base must map to,
+    #: or ``None`` to pack densely at the cursor
+    set_offset: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.set_offset is not None and not (
+            0 <= self.set_offset < NSETS
+        ):
+            raise ValueError(
+                f"set_offset {self.set_offset} outside [0, {NSETS})"
+            )
+
+
+Genome = Tuple[Gene, ...]
+
+
+def pack_genome(program: Program, genome: Genome) -> Dict[str, int]:
+    """Concrete base addresses for ``genome``, non-overlapping by design.
+
+    The cursor starts at ``program.text_base`` and advances monotonically
+    past each placed function.  A pinned gene advances the cursor to the
+    next address whose i-cache set index equals its ``set_offset`` (at
+    most one cache image away); an unpinned gene packs at the aligned
+    cursor.  Unmentioned functions are packed after the placed image,
+    one i-cache image clear of it, in sorted order (deterministic).
+    """
+    out: Dict[str, int] = {}
+    addr = program.text_base
+    for gene in genome:
+        if gene.name not in program:
+            continue
+        if gene.name in out:
+            raise ValueError(f"genome places {gene.name!r} twice")
+        addr = _align(addr, FUNCTION_ALIGN)
+        if gene.set_offset is not None:
+            want = gene.set_offset * BLOCK
+            here = (addr - program.text_base) % ICACHE
+            addr += (want - here) % ICACHE
+        out[gene.name] = addr
+        addr += program.size_of(gene.name)
+    rest = [n for n in program.names() if n not in out]
+    tail = _align(addr, ICACHE) + ICACHE
+    for name in sorted(rest):
+        tail = _align(tail, FUNCTION_ALIGN)
+        out[name] = tail
+        tail += program.size_of(name)
+    return out
+
+
+def genome_to_json(genome: Genome) -> list:
+    return [
+        {"name": g.name, "set_offset": g.set_offset} for g in genome
+    ]
+
+
+def genome_from_json(data: list) -> Genome:
+    return tuple(
+        Gene(entry["name"], entry.get("set_offset")) for entry in data
+    )
+
+
+@dataclass
+class LayoutArtifact:
+    """A searched layout, with enough provenance to reproduce and replay it."""
+
+    stack: str
+    config: str
+    #: search seed (drives every random choice of the run)
+    seed: int
+    budget: int
+    engine: str
+    #: winning score: steady_mcpi / cold_icache_misses / rtt_us
+    score: Dict[str, float]
+    #: the cell's default-layout baseline, same keys
+    baseline: Dict[str, float]
+    genome: Genome
+    #: the exact absolute placements the winner evaluated with
+    placements: Dict[str, int]
+    #: generator provenance ("incumbent", "affinity", "conflict",
+    #: "mutate:<parent>") and the search round that produced the winner
+    origin: str = ""
+    round_found: int = 0
+    version: int = ARTIFACT_VERSION
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def strategy(self) -> LayoutStrategy:
+        """Adapt the recorded placements into a ``LayoutStrategy``.
+
+        Fails loudly if the program being laid out does not match the
+        artifact's function set — a drifted build pipeline must not be
+        silently replayed against stale addresses.
+        """
+        placements = dict(self.placements)
+
+        def replay(program: Program) -> Dict[str, int]:
+            missing = [n for n in program.names() if n not in placements]
+            if missing:
+                raise ValueError(
+                    f"layout artifact for ({self.stack}, {self.config}) "
+                    f"does not place {len(missing)} function(s) of this "
+                    f"build: {sorted(missing)[:5]} ... — the artifact is "
+                    "stale for this pipeline"
+                )
+            return {n: placements[n] for n in program.names()}
+
+        return replay
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "stack": self.stack,
+            "config": self.config,
+            "seed": self.seed,
+            "budget": self.budget,
+            "engine": self.engine,
+            "score": dict(self.score),
+            "baseline": dict(self.baseline),
+            "origin": self.origin,
+            "round_found": self.round_found,
+            "genome": genome_to_json(self.genome),
+            "placements": dict(sorted(self.placements.items())),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "LayoutArtifact":
+        return cls(
+            stack=data["stack"],
+            config=data["config"],
+            seed=data["seed"],
+            budget=data["budget"],
+            engine=data["engine"],
+            score=dict(data["score"]),
+            baseline=dict(data["baseline"]),
+            genome=genome_from_json(data["genome"]),
+            placements={k: int(v) for k, v in data["placements"].items()},
+            origin=data.get("origin", ""),
+            round_found=data.get("round_found", 0),
+            version=data.get("version", ARTIFACT_VERSION),
+            extra=dict(data.get("extra", {})),
+        )
+
+    def save(self, path) -> None:
+        text = json.dumps(self.to_json(), indent=2, sort_keys=True)
+        pathlib.Path(path).write_text(text + "\n")
+
+    @classmethod
+    def load(cls, path) -> "LayoutArtifact":
+        return cls.from_json(json.loads(pathlib.Path(path).read_text()))

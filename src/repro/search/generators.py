@@ -1,0 +1,208 @@
+"""Candidate genome generators and the mutation kernel.
+
+Three seed families, then mutation:
+
+* :func:`incumbent_genome` — the cell's current layout, re-expressed as
+  a genome (address order, every gene pinned to its present i-cache
+  set).  It anchors the search: the incumbent is always candidate zero,
+  so the search can never return something worse than the baseline.
+* :func:`affinity_genome` — a Pettis–Hansen-style ordering: functions
+  that execute close together in the walked event stream are chained
+  together by descending transition weight, so temporal neighbours
+  become spatial neighbours and stop evicting each other.
+* :func:`conflict_genome` — a greedy conflict-graph placer seeded from
+  the observed :class:`repro.obs.conflicts.ConflictMatrix`: functions
+  are pinned to i-cache sets in descending conflict-weight order, each
+  choosing the set window that minimizes eviction weight against
+  everything already placed.
+* :func:`mutate` — the local-search kernel: swap two genes, rotate a
+  slice, or re-pin a gene to a different set (or unpin it).
+
+All generators are deterministic given their inputs; :func:`mutate`
+draws every choice from the caller's seeded ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.layout import BLOCK
+from repro.core.program import Program
+from repro.core.walker import EnterEvent, Event
+from repro.obs.conflicts import ConflictMatrix
+from repro.search.artifact import NSETS, Gene, Genome
+
+
+def call_sequence(events: Sequence[Event], program: Program) -> List[str]:
+    """Final (clone/merge-resolved) function names, in invocation order."""
+    out: List[str] = []
+    for ev in events:
+        if not isinstance(ev, EnterEvent):
+            continue
+        name = program.resolve_entry(ev.fn)
+        if name in program:
+            out.append(name)
+    return out
+
+
+def incumbent_genome(program: Program) -> Genome:
+    """The current layout as a genome: address order, sets pinned.
+
+    Reads the placements the program actually has (never reconstructs
+    them from a strategy: gaps matter), so mutations start from the true
+    incumbent neighbourhood.
+    """
+    names = sorted(program.names(), key=program.address_of)
+    genes = []
+    for name in names:
+        offset = (
+            (program.address_of(name) - program.text_base) // BLOCK
+        ) % NSETS
+        genes.append(Gene(name, offset))
+    return tuple(genes)
+
+
+def affinity_genome(call_seq: Sequence[str], program: Program) -> Genome:
+    """Pettis–Hansen-style chain merging over the call transition graph.
+
+    Edge weight = how often two functions are invoked back-to-back in
+    the traced roundtrip.  Chains merge by descending weight, each merge
+    joining chain *ends* only (interior functions keep their
+    neighbours), ties broken lexicographically so the result is
+    deterministic.  The merged order packs densely (no set pins): the
+    win comes from adjacency, not from explicit set targeting.
+    """
+    weights: Dict[Tuple[str, str], int] = {}
+    for a, b in zip(call_seq, call_seq[1:]):
+        if a == b:
+            continue
+        key = (a, b) if a < b else (b, a)
+        weights[key] = weights.get(key, 0) + 1
+
+    chain_of: Dict[str, List[str]] = {}
+    seen: List[str] = []
+    for name in call_seq:
+        if name not in chain_of:
+            chain_of[name] = [name]
+            seen.append(name)
+
+    edges = sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))
+    for (a, b), _ in edges:
+        ca, cb = chain_of[a], chain_of[b]
+        if ca is cb:
+            continue
+        # only end-to-end merges preserve established adjacencies
+        if a not in (ca[0], ca[-1]) or b not in (cb[0], cb[-1]):
+            continue
+        if ca[-1] != a:
+            ca.reverse()
+        if cb[0] != b:
+            cb.reverse()
+        ca.extend(cb)
+        for name in cb:
+            chain_of[name] = ca
+    # emit each chain once, in order of its earliest-invoked member
+    order: List[str] = []
+    emitted: set = set()
+    for name in seen:
+        chain = chain_of[name]
+        if id(chain) in emitted:
+            continue
+        emitted.add(id(chain))
+        order.extend(chain)
+    return tuple(Gene(name) for name in order)
+
+
+def conflict_genome(
+    matrix: ConflictMatrix,
+    program: Program,
+    call_seq: Sequence[str],
+) -> Genome:
+    """Greedy set assignment by descending observed conflict weight.
+
+    Each function claims the i-cache set window (its mainline footprint,
+    wrapped) that minimizes the summed eviction weight against every
+    already-placed conflict partner; ties prefer windows overlapping the
+    fewest already-claimed sets, then the lowest set index.  Functions
+    the trace touched but the matrix never saw conflict pack densely
+    after the pinned ones, in invocation order.
+    """
+    weight: Dict[str, int] = {}
+    pair_w: Dict[Tuple[str, str], int] = {}
+    for (evictor, victim), count in matrix.counts.items():
+        if evictor == victim:
+            continue  # self-pressure is a capacity problem, not placement
+        for name in (evictor, victim):
+            if name in program:
+                weight[name] = weight.get(name, 0) + count
+        if evictor in program and victim in program:
+            key = tuple(sorted((evictor, victim)))
+            pair_w[key] = pair_w.get(key, 0) + count
+
+    def conflict_with(a: str, b: str) -> int:
+        return pair_w.get((a, b) if a < b else (b, a), 0)
+
+    ordered = sorted(weight, key=lambda n: (-weight[n], n))
+    claimed: Dict[str, frozenset] = {}
+    pins: List[Tuple[str, int]] = []
+    all_sets: frozenset = frozenset()
+    for name in ordered:
+        nblocks = max(1, -(-program.hot_size_of(name) // BLOCK))
+        best: Tuple[int, int, int] = (1 << 60, 1 << 60, 0)
+        for off in range(NSETS):
+            window = frozenset((off + k) % NSETS for k in range(nblocks))
+            cost = sum(
+                conflict_with(name, other)
+                for other, sets in claimed.items()
+                if window & sets
+            )
+            crowding = len(window & all_sets)
+            cand = (cost, crowding, off)
+            if cand < best:
+                best = cand
+        off = best[2]
+        window = frozenset((off + k) % NSETS for k in range(nblocks))
+        claimed[name] = window
+        all_sets |= window
+        pins.append((name, off))
+
+    # pack pinned genes in ascending set order so the monotone cursor
+    # realizes each pin within one cache image instead of spiralling
+    pins.sort(key=lambda p: (p[1], p[0]))
+    genes = [Gene(name, off) for name, off in pins]
+    placed = {name for name, _ in pins}
+    for name in call_seq:
+        if name not in placed:
+            placed.add(name)
+            genes.append(Gene(name))
+    return tuple(genes)
+
+
+#: mutation move weights: re-pinning is the strongest lever in a
+#: direct-mapped cache, so it gets half the mass
+_MOVES = ("swap", "rotate", "realign", "realign")
+
+
+def mutate(genome: Genome, rng: random.Random) -> Genome:
+    """One random local move on ``genome`` (swap / rotate / re-pin)."""
+    if len(genome) < 2:
+        return genome
+    genes = list(genome)
+    move = rng.choice(_MOVES)
+    if move == "swap":
+        i, j = rng.sample(range(len(genes)), 2)
+        genes[i], genes[j] = genes[j], genes[i]
+    elif move == "rotate":
+        i = rng.randrange(len(genes) - 1)
+        j = rng.randrange(i + 1, len(genes))
+        k = rng.randrange(1, j - i + 1)
+        window = genes[i : j + 1]
+        genes[i : j + 1] = window[k:] + window[:k]
+    else:  # realign
+        i = rng.randrange(len(genes))
+        if genes[i].set_offset is not None and rng.random() < 0.25:
+            genes[i] = Gene(genes[i].name, None)
+        else:
+            genes[i] = Gene(genes[i].name, rng.randrange(NSETS))
+    return tuple(genes)

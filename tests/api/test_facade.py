@@ -1,0 +1,204 @@
+"""Tests for the ``repro.api`` facade: specs, settings, and the three verbs."""
+
+import dataclasses
+
+import pytest
+
+from repro import api
+from repro.api import RunSpec, Settings, run, search, settings_for, sweep
+from repro.api.settings import CHAOS_ENV, ENGINE_ENV, VERIFY_IR_ENV
+from repro.harness.experiment import Experiment, run_all_configs
+
+
+class TestRunSpec:
+    def test_is_frozen(self):
+        spec = RunSpec("tcpip", "STD")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.config = "CLO"
+
+    def test_rejects_unknown_stack(self):
+        with pytest.raises(ValueError, match="stack"):
+            RunSpec("quic", "STD")
+
+    def test_rejects_unknown_config(self):
+        with pytest.raises(ValueError, match="configuration"):
+            RunSpec("tcpip", "MAX")
+
+    def test_with_config_copies(self):
+        spec = RunSpec("rpc", "STD", samples=2)
+        sibling = spec.with_config("CLO")
+        assert sibling.config == "CLO"
+        assert sibling.stack == "rpc"
+        assert sibling.samples == 2
+        assert spec.config == "STD"
+
+    def test_equality_ignores_layout_and_fault_plan(self):
+        a = RunSpec("tcpip", "STD")
+        b = RunSpec("tcpip", "STD", layout=lambda p: {})
+        assert a == b
+
+
+class TestSettings:
+    def test_from_env_reads_all_three_variables(self):
+        env = {
+            ENGINE_ENV: "reference",
+            VERIFY_IR_ENV: "1",
+            CHAOS_ENV: "crash:STD:0",
+        }
+        settings = Settings.from_env(env)
+        assert settings.engine == "reference"
+        assert settings.verify_ir is True
+        assert len(settings.chaos) == 1
+        assert settings.chaos[0].kind == "crash"
+
+    def test_explicit_arguments_beat_the_environment(self):
+        env = {ENGINE_ENV: "reference", VERIFY_IR_ENV: "1"}
+        settings = Settings.from_env(env, engine="fast", verify_ir=False)
+        assert settings.engine == "fast"
+        assert settings.verify_ir is False
+
+    def test_defaults(self):
+        settings = Settings.from_env({})
+        assert settings == Settings()
+        assert settings.engine == "fast"
+        assert settings.verify_ir is False
+        assert settings.chaos == ()
+
+    def test_unknown_engine_fails_fast(self):
+        with pytest.raises(ValueError, match="turbo"):
+            Settings(engine="turbo")
+        with pytest.raises(ValueError, match="warp"):
+            Settings.from_env({ENGINE_ENV: "warp"})
+
+    def test_with_engine_override(self):
+        settings = Settings(engine="fast")
+        assert settings.with_engine(None) is settings
+        assert settings.with_engine("reference").engine == "reference"
+
+    def test_settings_for_spec_engine_wins(self):
+        spec = RunSpec("tcpip", "STD", engine="reference")
+        assert settings_for(spec, Settings(engine="fast")).engine == "reference"
+        plain = RunSpec("tcpip", "STD")
+        assert settings_for(plain, Settings(engine="fast")).engine == "fast"
+
+    def test_experiment_reads_environment_once_through_settings(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(ENGINE_ENV, "reference")
+        exp = Experiment("tcpip", "STD")
+        assert exp.settings.engine == "reference"
+        assert exp.engine == "reference"
+        # explicit settings suppress the environment entirely
+        monkeypatch.setenv(ENGINE_ENV, "warp")
+        exp = Experiment("tcpip", "STD", settings=Settings(engine="fast"))
+        assert exp.engine == "fast"
+
+
+class TestDeprecationShims:
+    def test_resolve_engine_warns_but_works(self, monkeypatch):
+        from repro.harness.experiment import resolve_engine
+
+        monkeypatch.setenv(ENGINE_ENV, "reference")
+        with pytest.warns(DeprecationWarning, match="Settings"):
+            assert resolve_engine() == "reference"
+        with pytest.warns(DeprecationWarning):
+            assert resolve_engine("fast") == "fast"
+
+    def test_verify_ir_enabled_warns_but_works(self, monkeypatch):
+        from repro.harness.experiment import verify_ir_enabled
+
+        monkeypatch.setenv(VERIFY_IR_ENV, "1")
+        with pytest.warns(DeprecationWarning, match="Settings"):
+            assert verify_ir_enabled() is True
+
+
+class TestRun:
+    @pytest.mark.parametrize("stack", ["tcpip", "rpc"])
+    def test_bit_identical_to_legacy_experiment(self, stack):
+        """The golden gate: the facade is the Experiment path, exactly."""
+        spec = RunSpec(stack, "STD", samples=1)
+        facade = run(spec)
+        legacy = Experiment(stack, "STD").run(samples=1)
+        assert facade.samples[0].steady.mcpi == legacy.samples[0].steady.mcpi
+        assert (
+            facade.samples[0].cold.memory.icache.misses
+            == legacy.samples[0].cold.memory.icache.misses
+        )
+        assert facade.mean_rtt_us == legacy.mean_rtt_us
+
+    def test_layout_override_changes_the_program(self):
+        from repro.search import search_cell
+
+        found = search_cell("tcpip", "CLO", budget=8, seed=0)
+        default = run(RunSpec("tcpip", "CLO", samples=1))
+        relaid = run(
+            RunSpec("tcpip", "CLO", samples=1, layout=found.artifact)
+        )
+        assert (
+            relaid.samples[0].steady.mcpi
+            == found.artifact.score["steady_mcpi"]
+        )
+        assert (
+            relaid.samples[0].steady.mcpi <= default.samples[0].steady.mcpi
+        )
+
+    def test_bad_layout_type_rejected(self):
+        with pytest.raises(TypeError, match="layout"):
+            run(RunSpec("tcpip", "STD", samples=1, layout=42))
+
+
+class TestSweep:
+    def test_plain_sweep_matches_run_all_configs(self):
+        configs = ("STD", "OUT")
+        specs = [RunSpec("tcpip", c, samples=1) for c in configs]
+        facade = sweep(specs, parallel=False)
+        legacy = run_all_configs(
+            "tcpip", configs, samples=1, parallel=False
+        )
+        for spec, result in zip(specs, facade):
+            assert (
+                result.samples[0].steady.mcpi
+                == legacy[spec.config].samples[0].steady.mcpi
+            )
+
+    def test_result_order_follows_spec_order(self):
+        specs = [RunSpec("tcpip", c, samples=1) for c in ("OUT", "STD")]
+        results = sweep(specs, parallel=False)
+        assert results[0].config == "OUT"
+        assert results[1].config == "STD"
+
+    def test_heterogeneous_specs_fall_back_to_per_spec_runs(self):
+        specs = [
+            RunSpec("tcpip", "STD", samples=1, seed=7),
+            RunSpec("tcpip", "OUT", samples=1, seed=7),
+        ]
+        results = sweep(specs)
+        legacy = Experiment("tcpip", "STD", base_seed=7).run(samples=1)
+        assert (
+            results[0].samples[0].steady.mcpi
+            == legacy.samples[0].steady.mcpi
+        )
+
+    def test_empty_sweep(self):
+        assert sweep([]) == []
+
+
+class TestSearchVerb:
+    def test_search_returns_replayable_artifact(self):
+        spec = RunSpec("rpc", "STD", samples=1)
+        result = api.search(spec, budget=6, seed=0)
+        assert result.best_score <= result.baseline_score
+        replay = run(
+            RunSpec("rpc", "STD", samples=1, layout=result.artifact)
+        )
+        assert (
+            replay.samples[0].steady.mcpi
+            == result.artifact.score["steady_mcpi"]
+        )
+
+    def test_search_is_deterministic_through_the_facade(self):
+        spec = RunSpec("tcpip", "STD")
+        a = search(spec, budget=4, seed=2)
+        b = search(spec, budget=4, seed=2)
+        assert a.best_score == b.best_score
+        assert a.artifact.placements == b.artifact.placements

@@ -1,0 +1,174 @@
+"""Property tests for the genome packer and the candidate generators.
+
+The packer's contract — every packed layout is non-overlapping and
+``FUNCTION_ALIGN``-aligned *by construction*, pinned genes land on their
+requested i-cache set — must hold for arbitrary genomes, including the
+mangled ones the mutation kernel produces.
+"""
+
+import random
+
+import pytest
+
+from repro.core.layout import BLOCK, ICACHE
+from repro.core.program import FUNCTION_ALIGN
+from repro.harness.configs import build_configured_program
+from repro.search.artifact import NSETS, Gene, pack_genome
+from repro.search.driver import _profile_conflicts
+from repro.search.evaluate import CellEvaluator
+from repro.search.generators import (
+    affinity_genome,
+    call_sequence,
+    conflict_genome,
+    incumbent_genome,
+    mutate,
+)
+
+
+@pytest.fixture(scope="module")
+def clo_build():
+    return build_configured_program("tcpip", "CLO")
+
+
+def assert_layout_sound(program, placements):
+    """Placements cover the program, aligned and overlap-free."""
+    assert set(placements) == set(program.names())
+    for name, addr in placements.items():
+        assert addr % FUNCTION_ALIGN == 0, name
+    spans = sorted(
+        (addr, addr + program.size_of(name), name)
+        for name, addr in placements.items()
+    )
+    for (_, end_a, name_a), (start_b, _, name_b) in zip(spans, spans[1:]):
+        assert end_a <= start_b, f"{name_a} overlaps {name_b}"
+
+
+class TestPackGenome:
+    def test_empty_genome_places_everything(self, clo_build):
+        placements = pack_genome(clo_build.program, ())
+        assert_layout_sound(clo_build.program, placements)
+
+    def test_pins_land_on_their_set(self, clo_build):
+        program = clo_build.program
+        names = sorted(program.names())[:6]
+        genome = tuple(
+            Gene(name, (i * 37) % NSETS) for i, name in enumerate(names)
+        )
+        placements = pack_genome(program, genome)
+        assert_layout_sound(program, placements)
+        for gene in genome:
+            got = (
+                (placements[gene.name] - program.text_base) // BLOCK
+            ) % NSETS
+            assert got == gene.set_offset, gene.name
+
+    def test_duplicate_gene_rejected(self, clo_build):
+        program = clo_build.program
+        name = next(iter(program.names()))
+        with pytest.raises(ValueError, match="twice"):
+            pack_genome(program, (Gene(name), Gene(name)))
+
+    def test_unknown_names_are_skipped(self, clo_build):
+        placements = pack_genome(
+            clo_build.program, (Gene("no_such_function"),)
+        )
+        assert "no_such_function" not in placements
+        assert_layout_sound(clo_build.program, placements)
+
+    def test_set_offset_validated(self):
+        with pytest.raises(ValueError):
+            Gene("f", NSETS)
+        with pytest.raises(ValueError):
+            Gene("f", -1)
+
+    def test_random_genomes_always_pack_soundly(self, clo_build):
+        program = clo_build.program
+        names = list(program.names())
+        rng = random.Random(7)
+        for _ in range(50):
+            chosen = rng.sample(names, rng.randrange(len(names) + 1))
+            genome = tuple(
+                Gene(
+                    name,
+                    rng.randrange(NSETS) if rng.random() < 0.5 else None,
+                )
+                for name in chosen
+            )
+            placements = pack_genome(program, genome)
+            assert_layout_sound(program, placements)
+            # the program itself agrees
+            program.layout(lambda p: dict(placements))
+            program.check_no_overlap()
+
+
+class TestGenerators:
+    @pytest.fixture(scope="class")
+    def evaluator(self):
+        ev = CellEvaluator("tcpip", "CLO")
+        yield ev
+        ev.restore_default()
+
+    def test_incumbent_reproduces_default_layout(self, evaluator):
+        program = evaluator.program
+        genome = incumbent_genome(program)
+        placements = pack_genome(program, genome)
+        assert_layout_sound(program, placements)
+        for name, addr in placements.items():
+            want = (
+                (evaluator.default_placements[name] - program.text_base)
+                // BLOCK
+            ) % NSETS
+            got = ((addr - program.text_base) // BLOCK) % NSETS
+            assert got == want, name
+
+    def test_affinity_genome_is_deterministic_and_sound(self, evaluator):
+        program = evaluator.program
+        calls = call_sequence(evaluator._events, program)
+        assert calls, "the traced roundtrip must invoke functions"
+        g1 = affinity_genome(calls, program)
+        g2 = affinity_genome(calls, program)
+        assert g1 == g2
+        assert len({g.name for g in g1}) == len(g1)
+        assert_layout_sound(program, pack_genome(program, g1))
+
+    def test_conflict_genome_is_deterministic_and_sound(self, evaluator):
+        program = evaluator.program
+        calls = call_sequence(evaluator._events, program)
+        matrix = _profile_conflicts(evaluator)
+        g1 = conflict_genome(matrix, program, calls)
+        g2 = conflict_genome(matrix, program, calls)
+        assert g1 == g2
+        assert len({g.name for g in g1}) == len(g1)
+        assert_layout_sound(program, pack_genome(program, g1))
+
+    def test_mutations_preserve_soundness(self, evaluator):
+        program = evaluator.program
+        genome = incumbent_genome(program)
+        rng = random.Random(3)
+        for _ in range(100):
+            genome = mutate(genome, rng)
+            assert len({g.name for g in genome}) == len(genome)
+            placements = pack_genome(program, genome)
+            assert_layout_sound(program, placements)
+
+    def test_mutation_is_seed_deterministic(self, evaluator):
+        genome = incumbent_genome(evaluator.program)
+        a = mutate(genome, random.Random(11))
+        b = mutate(genome, random.Random(11))
+        assert a == b
+
+    def test_footprint_stays_within_reason(self, evaluator):
+        # packed layouts must not balloon the image: everything the
+        # genome places fits within a handful of cache images
+        program = evaluator.program
+        genome = incumbent_genome(program)
+        placements = pack_genome(program, genome)
+        extent = max(
+            addr + program.size_of(name)
+            for name, addr in placements.items()
+        )
+        total = sum(program.size_of(n) for n in program.names())
+        # each pinned gene may skip at most one cache image, plus the
+        # one-image gap before the unmentioned tail
+        bound = total + (len(genome) + 2) * ICACHE
+        assert extent - program.text_base < bound

@@ -1,0 +1,144 @@
+"""Tests for the layout-search driver: determinism, engine identity,
+prefilter soundness, and artifact replay."""
+
+import json
+
+import pytest
+
+from repro.api import RunSpec, Settings, run
+from repro.harness.configs import CONFIG_NAMES
+from repro.search import LayoutArtifact, search_cell
+from repro.search.evaluate import CellEvaluator
+
+GRID = [
+    (stack, config)
+    for stack in ("tcpip", "rpc")
+    for config in CONFIG_NAMES
+]
+
+
+class TestDeterminism:
+    def test_same_seed_same_budget_is_bit_identical(self):
+        a = search_cell("tcpip", "CLO", budget=8, seed=3)
+        b = search_cell("tcpip", "CLO", budget=8, seed=3)
+        assert a.best_score == b.best_score
+        assert a.artifact.placements == b.artifact.placements
+        assert a.artifact.genome == b.artifact.genome
+        assert a.history == b.history
+
+    def test_different_seeds_explore_differently(self):
+        a = search_cell("tcpip", "STD", budget=8, seed=0)
+        b = search_cell("tcpip", "STD", budget=8, seed=99)
+        # the searches must at least have generated different candidates
+        assert (
+            a.artifact.placements != b.artifact.placements
+            or a.generated != b.generated
+            or a.history != b.history
+        )
+
+    def test_fast_and_reference_engines_agree(self):
+        fast = search_cell(
+            "tcpip", "STD", budget=4, seed=1,
+            settings=Settings(engine="fast"),
+        )
+        ref = search_cell(
+            "tcpip", "STD", budget=4, seed=1,
+            settings=Settings(engine="reference"),
+        )
+        assert fast.best_score == ref.best_score
+        assert fast.baseline_score == ref.baseline_score
+        assert fast.artifact.placements == ref.artifact.placements
+
+    def test_budget_bounds_candidate_simulations(self):
+        result = search_cell("tcpip", "STD", budget=5, seed=0)
+        assert result.evaluated <= 5
+        with pytest.raises(ValueError, match="budget"):
+            search_cell("tcpip", "STD", budget=0)
+
+
+class TestSearchQuality:
+    def test_never_regresses_the_baseline(self):
+        result = search_cell("rpc", "BAD", budget=4, seed=0)
+        assert result.best_score <= result.baseline_score
+
+    def test_beats_cloned_bipartite_on_clo(self):
+        # the acceptance cell: search must find a layout at or below the
+        # cloned bipartite baseline (here it strictly improves)
+        result = search_cell("tcpip", "CLO", budget=16, seed=0)
+        assert result.bipartite_score is not None
+        assert result.best_score < result.bipartite_score
+        assert result.improved
+
+    def test_summary_renders(self):
+        result = search_cell("tcpip", "STD", budget=4, seed=0)
+        text = result.summary()
+        assert "tcpip/STD" in text
+        assert "best found" in text
+        payload = result.to_json()
+        assert payload["budget"] == 4
+        assert payload["artifact"]["placements"]
+
+
+class TestPrefilterSoundness:
+    @pytest.mark.parametrize("stack,config", GRID)
+    def test_prefilter_never_discards_the_winner(self, stack, config):
+        """No statically-rejected candidate simulates better than the
+        best the search returned — on every cell of the paper's grid."""
+        result = search_cell(
+            stack, config, budget=6, seed=0, keep_rejected=True
+        )
+        evaluator = CellEvaluator(stack, config)
+        try:
+            for placements in result.rejected:
+                score = evaluator.score(placements)
+                assert not score < result.best_score, (
+                    f"prefilter dropped a better layout on "
+                    f"({stack}, {config}): {score} < {result.best_score}"
+                )
+        finally:
+            evaluator.restore_default()
+
+
+class TestArtifact:
+    def test_json_roundtrip_is_lossless(self):
+        result = search_cell("tcpip", "CLO", budget=8, seed=0)
+        art = result.artifact
+        clone = LayoutArtifact.from_json(
+            json.loads(json.dumps(art.to_json()))
+        )
+        assert clone.placements == art.placements
+        assert clone.genome == art.genome
+        assert clone.score == art.score
+        assert clone.baseline == art.baseline
+        assert (clone.stack, clone.config) == (art.stack, art.config)
+        assert (clone.seed, clone.budget) == (art.seed, art.budget)
+
+    def test_save_load(self, tmp_path):
+        result = search_cell("tcpip", "STD", budget=4, seed=0)
+        path = tmp_path / "artifact.json"
+        result.artifact.save(path)
+        loaded = LayoutArtifact.load(path)
+        assert loaded.placements == result.artifact.placements
+
+    def test_replay_is_bit_identical(self):
+        """The acceptance gate: the emitted artifact replays through
+        ``repro.api.run`` to exactly the recorded score."""
+        result = search_cell("tcpip", "CLO", budget=8, seed=0)
+        art = LayoutArtifact.from_json(result.artifact.to_json())
+        replay = run(RunSpec("tcpip", "CLO", samples=1, layout=art))
+        sample = replay.samples[0]
+        assert sample.steady.mcpi == art.score["steady_mcpi"]
+        assert (
+            sample.cold.memory.icache.misses
+            == art.score["cold_icache_misses"]
+        )
+
+    def test_stale_artifact_fails_loudly(self):
+        result = search_cell("tcpip", "STD", budget=4, seed=0)
+        art = result.artifact
+        stale = LayoutArtifact.from_json(art.to_json())
+        # an artifact that no longer places every function of the build
+        # must not silently produce a half-placed program
+        stale.placements.pop(next(iter(stale.placements)))
+        with pytest.raises(ValueError, match="stale"):
+            run(RunSpec("tcpip", "STD", samples=1, layout=stale))
