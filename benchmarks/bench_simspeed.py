@@ -1,30 +1,34 @@
 #!/usr/bin/env python
-"""Simulation-speed benchmark: fast engine vs. the seed implementation.
+"""Simulation-speed benchmark: fast and gensim engines vs. the seed.
 
 Produces ``BENCH_simspeed.json`` (repo root) with machine-readable timings:
 
-* ``kernel`` — single-pass simulation throughput in trace entries/second,
-  reference ``MachineSimulator`` vs. the fused ``FastMachine`` kernel on
-  the same trace;
+* ``kernel`` — single-pass simulation throughput in trace entries/second
+  on the same trace: reference ``MachineSimulator``, the fused
+  ``FastMachine`` kernel, and the generated ``gensim`` kernel both from
+  a cold generator (``gensim_generate_*``: generation + one resolved
+  vector pass) and warm (``gensim_*``: the memoized transition replay,
+  the number the perf-trend gate enforces at >= 10x fast);
 * ``end_to_end`` — wall-clock seconds for the canonical Table-4 sweep
   (TCP/IP x 10 samples + RPC x 5 samples, all six configurations):
 
   - ``seed_seconds``: the repository's *seed commit* (the code before any
-    of the fast-engine work), exported with ``git archive`` into a temp
-    directory and driven in a subprocess — a same-machine, same-moment
-    baseline;
+    of the fast-engine work — the first commit that ships ``src``),
+    exported with ``git archive`` into a temp directory and driven in a
+    subprocess — a same-machine, same-moment baseline;
   - ``reference_seconds``: the current tree with ``engine="reference"``
     and capture memoization disabled, i.e. the seed *algorithm* running
     on today's shared infrastructure;
-  - ``fast_seconds``: the current tree's default engine (packed traces,
-    template walks, fused kernel, result caches), best of ``--trials``.
+  - ``fast_seconds`` / ``gensim_seconds``: the current tree's engines
+    (caches cleared between trials), best of ``--trials``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_simspeed.py [--smoke] [--trials N]
 
-``--smoke`` runs a reduced sweep (2/1 samples, no seed-commit baseline)
-so CI can exercise the whole path in a few seconds.
+``--smoke`` runs a reduced sweep (2/1 samples) so CI can exercise the
+whole path in a few seconds; the seed-commit baseline is still measured
+(at smoke size) unless ``--no-seed`` skips it.
 """
 
 from __future__ import annotations
@@ -49,6 +53,7 @@ from repro.harness.configs import (  # noqa: E402
     build_configured_program,
     clear_build_memo,
 )
+from repro.gensim import GenMachine, clear_kernels  # noqa: E402
 from repro.harness.experiment import (  # noqa: E402
     Experiment,
     clear_capture_memo,
@@ -64,6 +69,7 @@ def _reset_caches() -> None:
     clear_caches()
     clear_capture_memo()
     clear_build_memo()
+    clear_kernels()
 
 
 def bench_kernel() -> dict:
@@ -86,11 +92,30 @@ def bench_kernel() -> dict:
 
     ref_s = best_of(lambda: MachineSimulator().run(trace))
     fast_s = best_of(lambda: FastMachine().run(packed))
+
+    # cold generator: every iteration pays kernel generation plus one
+    # resolved vector pass (the honest first-contact cost of gensim)
+    def gensim_fresh():
+        clear_kernels()
+        GenMachine().run(packed)
+
+    gensim_generate_s = best_of(gensim_fresh)
+    # warm generator: the kernel and its cold-entry transition are
+    # memoized, so a fresh machine replays the recorded pass — this is
+    # the steady-state throughput the perf-trend gate enforces
+    clear_kernels()
+    GenMachine().run(packed)
+    gensim_s = best_of(lambda: GenMachine().run(packed))
     return {
         "trace_entries": entries,
         "reference_entries_per_sec": round(entries / ref_s),
         "fast_entries_per_sec": round(entries / fast_s),
+        "gensim_entries_per_sec": round(entries / gensim_s),
+        "gensim_generate_entries_per_sec": round(entries / gensim_generate_s),
         "kernel_speedup": round(ref_s / fast_s, 2),
+        "gensim_speedup_vs_fast": round(fast_s / gensim_s, 2),
+        "gensim_generate_speedup_vs_fast": round(fast_s / gensim_generate_s,
+                                                 2),
     }
 
 
@@ -101,11 +126,11 @@ def _sweep_once(sweep, **kwargs) -> float:
     return time.perf_counter() - t0
 
 
-def bench_fast(sweep, trials: int) -> float:
+def bench_fast(sweep, trials: int, engine: str = "fast") -> float:
     best = float("inf")
     for _ in range(trials):
         _reset_caches()
-        best = min(best, _sweep_once(sweep))
+        best = min(best, _sweep_once(sweep, engine=engine))
     return best
 
 
@@ -132,37 +157,43 @@ def bench_reference(sweep, trials: int = 1) -> float:
 _SEED_DRIVER = """\
 import json, sys, time
 from repro.harness.experiment import run_all_configs
+tcpip_samples, rpc_samples = int(sys.argv[1]), int(sys.argv[2])
 t0 = time.perf_counter()
-run_all_configs("tcpip", samples=10)
-run_all_configs("rpc", samples=5)
+run_all_configs("tcpip", samples=tcpip_samples)
+run_all_configs("rpc", samples=rpc_samples)
 print(json.dumps({"seconds": time.perf_counter() - t0}))
 """
 
 
-def bench_seed_commit() -> float | None:
+def bench_seed_commit(sweep) -> float | None:
     """Export the seed commit and time its sweep in a subprocess.
 
-    Returns None when git or the seed tree is unavailable (e.g. running
-    from an sdist) — callers fall back to the in-tree reference number.
+    The seed is the first commit that ships ``src`` (the repository root
+    commit is an empty marker, so ``--max-parents=0`` would export an
+    empty tree).  Returns None when git or the seed tree is unavailable
+    (e.g. running from an sdist) — callers fall back to the in-tree
+    reference number.
     """
     try:
-        root = subprocess.run(
-            ["git", "rev-list", "--max-parents=0", "HEAD"],
+        seed_rev = subprocess.run(
+            ["git", "rev-list", "--reverse", "HEAD", "--", "src"],
             cwd=REPO, capture_output=True, text=True, check=True,
         ).stdout.split()[0]
     except (subprocess.CalledProcessError, FileNotFoundError, IndexError):
         return None
+    samples = dict(sweep)
     with tempfile.TemporaryDirectory(prefix="simspeed-seed-") as tmp:
         try:
             archive = subprocess.run(
-                ["git", "archive", root], cwd=REPO,
+                ["git", "archive", seed_rev], cwd=REPO,
                 capture_output=True, check=True,
             )
             subprocess.run(
                 ["tar", "-x", "-C", tmp], input=archive.stdout, check=True
             )
             out = subprocess.run(
-                [sys.executable, "-c", _SEED_DRIVER],
+                [sys.executable, "-c", _SEED_DRIVER,
+                 str(samples["tcpip"]), str(samples["rpc"])],
                 cwd=tmp, capture_output=True, text=True, check=True,
                 env={"PYTHONPATH": str(pathlib.Path(tmp) / "src"),
                      "PATH": "/usr/bin:/bin"},
@@ -178,7 +209,9 @@ def bench_seed_commit() -> float | None:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
-                        help="reduced sweep, skip the seed-commit baseline")
+                        help="reduced sweep sized for CI")
+    parser.add_argument("--no-seed", action="store_true",
+                        help="skip the seed-commit subprocess baseline")
     def positive_int(text: str) -> int:
         value = int(text)
         if value < 1:
@@ -197,37 +230,51 @@ def main(argv=None) -> int:
     print(f"  reference {kernel['reference_entries_per_sec']:,} entries/s, "
           f"fast {kernel['fast_entries_per_sec']:,} entries/s "
           f"({kernel['kernel_speedup']}x)")
+    print(f"  gensim {kernel['gensim_entries_per_sec']:,} entries/s warm "
+          f"({kernel['gensim_speedup_vs_fast']}x fast), "
+          f"{kernel['gensim_generate_entries_per_sec']:,} entries/s from a "
+          f"cold generator "
+          f"({kernel['gensim_generate_speedup_vs_fast']}x fast)")
 
     print("end-to-end sweep, fast engine ...", flush=True)
     fast_s = bench_fast(sweep, args.trials)
     print(f"  fast: {fast_s:.3f}s")
+
+    print("end-to-end sweep, gensim engine ...", flush=True)
+    gensim_s = bench_fast(sweep, args.trials, engine="gensim")
+    print(f"  gensim: {gensim_s:.3f}s")
 
     print("end-to-end sweep, reference engine (seed algorithm) ...", flush=True)
     reference_s = bench_reference(sweep)
     print(f"  reference: {reference_s:.3f}s")
 
     seed_s = None
-    smoke_baseline = None
-    if not args.smoke:
+    if not args.no_seed:
         print("end-to-end sweep, seed commit (git archive) ...", flush=True)
-        seed_s = bench_seed_commit()
+        seed_s = bench_seed_commit(sweep)
         print(f"  seed: {seed_s:.3f}s" if seed_s is not None
               else "  seed commit unavailable (no git?); skipped")
+
+    smoke_baseline = None
+    if not args.smoke:
         # Also record the smoke-sized ratio: the CI perf-trend gate runs
         # --smoke (the full sweep is too slow for every PR) and a reduced
         # sweep amortizes the caches less, so it needs its own baseline.
         print("smoke-sized sweep (perf-trend gate baseline) ...", flush=True)
         smoke_fast_s = bench_fast(SMOKE_SWEEP, max(args.trials, 3))
+        smoke_gensim_s = bench_fast(SMOKE_SWEEP, max(args.trials, 3),
+                                    engine="gensim")
         smoke_reference_s = bench_reference(SMOKE_SWEEP,
                                             trials=max(args.trials, 3))
         smoke_baseline = {
             "sweep": [{"stack": s, "samples": n} for s, n in SMOKE_SWEEP],
             "fast_seconds": round(smoke_fast_s, 3),
+            "gensim_seconds": round(smoke_gensim_s, 3),
             "reference_seconds": round(smoke_reference_s, 3),
             "speedup_vs_reference": round(smoke_reference_s / smoke_fast_s, 2),
         }
-        print(f"  smoke: fast {smoke_fast_s:.3f}s, reference "
-              f"{smoke_reference_s:.3f}s "
+        print(f"  smoke: fast {smoke_fast_s:.3f}s, gensim "
+              f"{smoke_gensim_s:.3f}s, reference {smoke_reference_s:.3f}s "
               f"({smoke_baseline['speedup_vs_reference']}x)")
 
     baseline = seed_s if seed_s is not None else reference_s
@@ -237,6 +284,7 @@ def main(argv=None) -> int:
         "end_to_end": {
             "sweep": [{"stack": s, "samples": n} for s, n in sweep],
             "fast_seconds": round(fast_s, 3),
+            "gensim_seconds": round(gensim_s, 3),
             "reference_seconds": round(reference_s, 3),
             "seed_seconds": None if seed_s is None else round(seed_s, 3),
             "speedup_vs_reference": round(reference_s / fast_s, 2),
@@ -248,8 +296,8 @@ def main(argv=None) -> int:
     if smoke_baseline is not None:
         result["smoke_end_to_end"] = smoke_baseline
     pathlib.Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
-    print(f"\nspeedup: {result['end_to_end']['speedup']}x "
-          f"-> {args.output}")
+    print(f"\nspeedup: {result['end_to_end']['speedup']}x, gensim kernel "
+          f"{kernel['gensim_speedup_vs_fast']}x fast -> {args.output}")
     return 0
 
 

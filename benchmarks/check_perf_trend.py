@@ -2,17 +2,27 @@
 """Perf-trend gate: compare a smoke benchmark run against the committed
 baseline and fail on a regression.
 
-``BENCH_simspeed.json`` (repo root) records the fast engine's end-to-end
-speedup over the reference engine as measured on the machine that
-produced it.  CI machines differ in absolute speed, but the *ratio*
-between the two engines on the same box is stable — so the gate runs
-``bench_simspeed.py --smoke`` and requires::
+``BENCH_simspeed.json`` (repo root) records, as measured on the machine
+that produced it:
 
-    measured speedup_vs_reference >= threshold * recorded speedup_vs_reference
+* the fast engine's end-to-end speedup over the reference engine, and
+* the gensim generated-kernel throughput relative to the fast kernel.
 
-with a default threshold of 0.8 to absorb CI noise.  A failure means the
-fast path lost a structural optimisation (caching disabled, packed-trace
-reuse broken, a per-instruction branch crept into the kernel, ...).
+CI machines differ in absolute speed, but *ratios* between engines on
+the same box are stable — so the gate runs ``bench_simspeed.py --smoke``
+and requires::
+
+    measured speedup_vs_reference  >= threshold * recorded speedup_vs_reference
+    measured gensim_speedup_vs_fast >= max(10, gensim-threshold * recorded)
+
+A failure on the first means the fast path lost a structural
+optimisation (caching disabled, packed-trace reuse broken, a
+per-instruction branch crept into the kernel, ...); on the second, that
+the generated kernels lost their transition-replay advantage.
+
+The committed baseline itself is validated first: a null in an enforced
+field (e.g. ``seed_seconds`` from a run that could not export the seed
+commit) fails the gate instead of silently weakening it.
 
 Usage::
 
@@ -31,6 +41,26 @@ import sys
 REPO = pathlib.Path(__file__).resolve().parent.parent
 BASELINE = REPO / "BENCH_simspeed.json"
 
+#: the gensim acceptance floor: generated-kernel replay must beat the
+#: fast kernel by at least this factor regardless of what was recorded
+GENSIM_KERNEL_FLOOR = 10.0
+
+#: baseline fields that must hold real numbers; a null means the
+#: benchmark run that produced the baseline skipped a measurement
+REQUIRED_END_TO_END = (
+    "fast_seconds",
+    "gensim_seconds",
+    "reference_seconds",
+    "seed_seconds",
+    "speedup_vs_reference",
+    "speedup_vs_seed",
+)
+REQUIRED_KERNEL = (
+    "fast_entries_per_sec",
+    "gensim_entries_per_sec",
+    "gensim_speedup_vs_fast",
+)
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -40,12 +70,40 @@ def main(argv=None) -> int:
         "--threshold",
         type=float,
         default=0.8,
-        help="minimum measured/recorded speedup ratio (default 0.8)",
+        help="minimum measured/recorded end-to-end speedup ratio "
+        "(default 0.8)",
+    )
+    parser.add_argument(
+        "--gensim-threshold",
+        type=float,
+        default=0.5,
+        help="minimum measured/recorded gensim kernel-speedup ratio; the "
+        f"hard floor of {GENSIM_KERNEL_FLOOR}x fast always applies "
+        "(default 0.5 — microbenchmark ratios are noisier than sweeps)",
     )
     args = parser.parse_args(argv)
 
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
     smoke = json.loads(pathlib.Path(args.smoke).read_text())
+
+    missing = [
+        f"end_to_end.{name}"
+        for name in REQUIRED_END_TO_END
+        if baseline.get("end_to_end", {}).get(name) is None
+    ] + [
+        f"kernel.{name}"
+        for name in REQUIRED_KERNEL
+        if baseline.get("kernel", {}).get(name) is None
+    ]
+    if missing:
+        print(
+            f"BASELINE INVALID: null/missing field(s) in {args.baseline}: "
+            f"{', '.join(missing)} — regenerate it with "
+            "`PYTHONPATH=src python benchmarks/bench_simspeed.py` from a "
+            "full git checkout (the seed baseline needs git)",
+            file=sys.stderr,
+        )
+        return 1
 
     # a smoke run must be compared against the recorded smoke-sized ratio:
     # the reduced sweep amortizes the result caches less than the full one
@@ -58,12 +116,45 @@ def main(argv=None) -> int:
     print(f"measured speedup_vs_reference: {measured}x ({args.smoke})")
     print(f"floor ({args.threshold} x recorded): {floor:.2f}x")
 
+    failed = False
     if measured < floor:
         print(
             f"\nPERF REGRESSION: {measured}x < {floor:.2f}x — the fast "
             "engine lost ground against the reference engine",
             file=sys.stderr,
         )
+        failed = True
+
+    recorded_gensim = baseline["kernel"]["gensim_speedup_vs_fast"]
+    measured_gensim = smoke.get("kernel", {}).get("gensim_speedup_vs_fast")
+    if measured_gensim is None:
+        print(
+            f"\nPERF REGRESSION: {args.smoke} carries no "
+            "kernel.gensim_speedup_vs_fast — the smoke benchmark no longer "
+            "measures the generated kernels",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        gensim_floor = max(
+            GENSIM_KERNEL_FLOOR, args.gensim_threshold * recorded_gensim
+        )
+        print(f"recorded gensim_speedup_vs_fast: {recorded_gensim}x")
+        print(f"measured gensim_speedup_vs_fast: {measured_gensim}x")
+        print(
+            f"gensim floor (max({GENSIM_KERNEL_FLOOR}, "
+            f"{args.gensim_threshold} x recorded)): {gensim_floor:.2f}x"
+        )
+        if measured_gensim < gensim_floor:
+            print(
+                f"\nPERF REGRESSION: gensim kernel {measured_gensim}x < "
+                f"{gensim_floor:.2f}x over fast — the generated kernels "
+                "lost their replay advantage",
+                file=sys.stderr,
+            )
+            failed = True
+
+    if failed:
         return 1
     print("\nperf trend OK")
     return 0

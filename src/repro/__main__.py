@@ -41,10 +41,12 @@ def profile_main(argv=None) -> int:
     )
     parser.add_argument("stack", choices=list(STACKS))
     parser.add_argument("config", choices=list(CONFIG_NAMES))
+    # attribution needs per-function span replay, which the generated
+    # gensim kernels decline — only the interpreting engines qualify
     parser.add_argument("--engine", choices=["fast", "reference"],
                         default=None,
                         help="simulation engine (default: $REPRO_SIM_ENGINE "
-                             "or fast)")
+                             "or fast; gensim declines attribution sinks)")
     parser.add_argument("--seed", type=int, default=42,
                         help="allocator jitter seed of the traced sample")
     parser.add_argument("--top", type=int, default=12,
@@ -331,7 +333,9 @@ def main(argv=None) -> int:
                         default="both")
     parser.add_argument("--tables", nargs="*", type=int, default=None,
                         help="subset of table numbers (1-9)")
-    parser.add_argument("--engine", choices=["fast", "reference", "guarded"],
+    from repro.api.settings import ENGINES as _engines
+
+    parser.add_argument("--engine", choices=list(_engines),
                         default=None,
                         help="simulation engine for the sweeps (default: "
                              "$REPRO_SIM_ENGINE or fast)")

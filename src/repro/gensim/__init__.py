@@ -1,0 +1,56 @@
+"""``repro.gensim``: generated, specialized simulation kernels.
+
+The fast engine (:mod:`repro.arch.fastsim`) interprets a general fused
+loop; following Reshadi & Dutt's cycle-accurate simulator *generation*,
+this package instead **generates** a kernel specialized to a frozen cell
+— the cache geometry and machine configuration plus the packed trace the
+kernel is bound to — with all constants folded:
+
+* the **vector path** (:mod:`repro.gensim.vector`) resolves whole column
+  batches with numpy: direct-mapped hit/miss resolution by grouped
+  previous-occurrence comparison, the stream-buffer automaton by interval
+  matching over the i-miss event subsequence, write-buffer residency as
+  a binary-searchable interval table, and the shared b-cache as one
+  batched probe sequence whose order is provably independent of b-cache
+  state;
+* the **source path** (:mod:`repro.gensim.emit`) renders the per-cell
+  kernel as Python source with geometry constants, power-of-two set
+  masks and branch structure folded in, compiled once and memoized on
+  the cell fingerprint — the numpy-free fallback.
+
+Both paths are *exact*: bit-identical ``SimResult`` / ``MemoryStats`` /
+``CpuStats`` to :class:`~repro.arch.simulator.MachineSimulator` (the
+oracle) and :class:`~repro.arch.fastsim.FastMachine`, enforced by
+differential tests over all twelve (stack, config) cells.  A request
+gensim cannot serve exactly (an attribution sink, a vector kernel
+without numpy) is declined with :class:`GensimCapabilityError` — it
+never degrades silently.
+"""
+
+from repro.gensim.machine import (
+    GEN_VERSION,
+    BoundKernel,
+    GenMachine,
+    GensimCapabilityError,
+    bound_kernel,
+    cell_fingerprint,
+    clear_kernels,
+    cold_and_steady_memory,
+    generated_kernel_count,
+    have_numpy,
+    simulate_cold_and_steady,
+)
+
+__all__ = [
+    "GEN_VERSION",
+    "BoundKernel",
+    "GenMachine",
+    "GensimCapabilityError",
+    "bound_kernel",
+    "cell_fingerprint",
+    "clear_kernels",
+    "cold_and_steady_memory",
+    "generated_kernel_count",
+    "have_numpy",
+    "simulate_cold_and_steady",
+]

@@ -1,0 +1,251 @@
+"""Per-cell kernel source emission.
+
+Following Reshadi & Dutt's simulator *generation*, this module renders
+the fused memory pass as Python source specialized to one cell's frozen
+geometry: cache set counts become literal power-of-two masks, block
+division becomes a shift, every latency is a literal, and branches whose
+condition is decided by the configuration (a zero stream-buffer penalty,
+a zero forwarding stall) are folded away entirely.  The rendered source
+is compiled once and memoized per cell fingerprint (see
+:mod:`repro.gensim.machine`).
+
+The emitted kernel is the *numpy-free* gensim path: it wins by removing
+attribute loads, bound checks and constant folding from the interpreted
+loop rather than by batching, so it is the fallback when the vector path
+is unavailable and the ground truth the vector path is compared against
+in the differential tests.  Its control structure deliberately mirrors
+:meth:`repro.arch.fastsim.FastMachine._mem_pass` statement for
+statement — exactness over cleverness.
+"""
+
+from __future__ import annotations
+
+from repro.arch.memory import MemoryConfig
+
+#: bump together with :data:`repro.gensim.machine.GEN_VERSION` semantics —
+#: the emitted text participates in the cell fingerprint.
+EMIT_VERSION = 1
+
+
+def _modulo(expr: str, n: int) -> str:
+    """Set-index expression: a literal mask when ``n`` is a power of two."""
+    if n > 0 and (n & (n - 1)) == 0:
+        return f"{expr} & {n - 1}"
+    return f"{expr} % {n}"
+
+
+def _divide(expr: str, n: int) -> str:
+    """Block-number expression: a literal shift when ``n`` is a power of two."""
+    if n > 0 and (n & (n - 1)) == 0:
+        return f"{expr} >> {n.bit_length() - 1}"
+    return f"{expr} // {n}"
+
+
+def render_kernel(mem: MemoryConfig) -> str:
+    """Render the specialized memory-pass source for one cell geometry.
+
+    The generated module defines ``mem_pass(state, run_blks, run_idxs,
+    dcounts, dblks, n_entries, track)`` with the exact contract of
+    ``FastMachine._mem_pass`` (including the fixed-point ``track``
+    protocol), operating on a :class:`repro.gensim.machine.SourceState`.
+    """
+    bs = mem.block_size
+    i_n = mem.icache_size // bs
+    d_n = mem.dcache_size // bs
+    b_n = mem.bcache_size // bs
+    bc_hit = mem.bcache_hit_cycles
+    main = mem.main_memory_cycles
+    stream_hit = mem.stream_hit_cycles
+    stream_extra = main - bc_hit
+    fwd = mem.write_forward_cycles
+    wb_full = mem.write_buffer_full_cycles
+    wb_depth = mem.write_buffer_depth
+
+    # configuration-decided branches, folded at generation time
+    sb_extra_fetch = (
+        f"""
+                if sb_was_miss:
+                    stall += {stream_extra}"""
+        if stream_extra
+        else ""
+    )
+    fwd_stall = f"stall += {fwd}" if fwd else "pass"
+    overflow_stall = f"stall += {wb_full}" if wb_full else "pass"
+
+    return f"""\
+# generated gensim kernel (emit v{EMIT_VERSION})
+# geometry: block={bs} i_sets={i_n} d_sets={d_n} b_sets={b_n} wb={wb_depth}
+# latencies: bc_hit={bc_hit} main={main} stream_hit={stream_hit} fwd={fwd}
+
+def mem_pass(state, run_blks, run_idxs, dcounts, dblks, n_entries, track):
+    itags = state.itags
+    dtags = state.dtags
+    btags = state.btags
+    i_ever = state.i_ever
+    d_ever = state.d_ever
+    b_ever = state.b_ever
+    i_ever_add = i_ever.add
+    d_ever_add = d_ever.add
+    b_ever_add = b_ever.add
+    wb = state.wb
+    wb_set = state.wb_set
+    sb_block = state.sb_block
+    sb_was_miss = state.sb_was_miss
+
+    (i_acc, i_miss, i_repl, d_acc, d_miss, d_repl,
+     b_acc, b_miss, b_repl, wb_acc, wb_miss,
+     stall, instructions, sb_hits, wb_evict) = state.c
+
+    if track:
+        ever_sizes = (len(i_ever), len(d_ever), len(b_ever))
+        wb_before = tuple(wb)
+        sb_before = (sb_block, sb_was_miss)
+        i_old = {{}}
+        d_old = {{}}
+        b_old = {{}}
+        sb_init_live = True
+        sb_init_hit = False
+        sb_init_probed = set()
+
+    instructions += n_entries
+    i_acc += n_entries
+
+    pos = 0
+    for blk, idx, cnt in zip(run_blks, run_idxs, dcounts):
+        if itags[idx] != blk:
+            i_miss += 1
+            if blk in i_ever:
+                i_repl += 1
+            if track and idx not in i_old:
+                i_old[idx] = itags[idx]
+            itags[idx] = blk
+            i_ever_add(blk)
+            nblk = blk + 1
+            if track and sb_init_live:
+                sb_init_probed.add(blk)
+            if sb_block == blk:
+                if track and sb_init_live:
+                    sb_init_hit = True
+                    sb_init_live = False
+                sb_block = -1
+                sb_hits += 1
+                stall += {stream_hit}{sb_extra_fetch}
+            else:
+                b_acc += 1
+                bidx = {_modulo("blk", b_n)}
+                if btags[bidx] == blk:
+                    stall += {bc_hit}
+                else:
+                    b_miss += 1
+                    if blk in b_ever:
+                        b_repl += 1
+                    if track and bidx not in b_old:
+                        b_old[bidx] = btags[bidx]
+                    btags[bidx] = blk
+                    b_ever_add(blk)
+                    stall += {main}
+            if itags[{_modulo("nblk", i_n)}] != nblk:
+                b_acc += 1
+                bidx = {_modulo("nblk", b_n)}
+                if btags[bidx] == nblk:
+                    sb_was_miss = False
+                else:
+                    b_miss += 1
+                    if nblk in b_ever:
+                        b_repl += 1
+                    if track and bidx not in b_old:
+                        b_old[bidx] = btags[bidx]
+                    btags[bidx] = nblk
+                    b_ever_add(nblk)
+                    sb_was_miss = True
+                if track:
+                    sb_init_live = False
+                sb_block = nblk
+
+        if not cnt:
+            continue
+        end = pos + cnt
+        data = dblks[pos:end]
+        pos = end
+        for d in data:
+            if d >= 0:
+                d_acc += 1
+                idx = {_modulo("d", d_n)}
+                if dtags[idx] != d:
+                    d_miss += 1
+                    if d in d_ever:
+                        d_repl += 1
+                    if track and idx not in d_old:
+                        d_old[idx] = dtags[idx]
+                    dtags[idx] = d
+                    d_ever_add(d)
+                    if d in wb_set:
+                        {fwd_stall}
+                    else:
+                        b_acc += 1
+                        bidx = {_modulo("d", b_n)}
+                        if btags[bidx] == d:
+                            stall += {bc_hit}
+                        else:
+                            b_miss += 1
+                            if d in b_ever:
+                                b_repl += 1
+                            if track and bidx not in b_old:
+                                b_old[bidx] = btags[bidx]
+                            btags[bidx] = d
+                            b_ever_add(d)
+                            stall += {main}
+            else:
+                w = -2 - d
+                wb_acc += 1
+                if w not in wb_set:
+                    wb_miss += 1
+                    wb.append(w)
+                    wb_set.add(w)
+                    overflowed = len(wb) > {wb_depth}
+                    if overflowed:
+                        wb_set.discard(wb.pop(0))
+                        wb_evict += 1
+                    bidx = {_modulo("w", b_n)}
+                    b_acc += 1
+                    if btags[bidx] != w:
+                        b_miss += 1
+                        if w in b_ever:
+                            b_repl += 1
+                        if track and bidx not in b_old:
+                            b_old[bidx] = btags[bidx]
+                        btags[bidx] = w
+                        b_ever_add(w)
+                    if overflowed:
+                        {overflow_stall}
+
+    state.sb_block = sb_block
+    state.sb_was_miss = sb_was_miss
+    state.c = [i_acc, i_miss, i_repl, d_acc, d_miss, d_repl,
+               b_acc, b_miss, b_repl, wb_acc, wb_miss,
+               stall, instructions, sb_hits, wb_evict]
+
+    if not track:
+        return False
+    sb_settled = sb_before == (sb_block, sb_was_miss) or (
+        not sb_init_hit
+        and sb_block not in sb_init_probed
+    )
+    return (
+        sb_settled
+        and ever_sizes == (len(i_ever), len(d_ever), len(b_ever))
+        and wb_before == tuple(wb)
+        and all(itags[i] == t for i, t in i_old.items())
+        and all(dtags[i] == t for i, t in d_old.items())
+        and all(btags[i] == t for i, t in b_old.items())
+    )
+"""
+
+
+def compile_kernel(mem: MemoryConfig, tag: str):
+    """Compile one cell's rendered source; returns its ``mem_pass``."""
+    source = render_kernel(mem)
+    namespace: dict = {}
+    code = compile(source, f"<gensim:{tag}>", "exec")
+    exec(code, namespace)
+    return namespace["mem_pass"], source

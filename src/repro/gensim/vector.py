@@ -1,0 +1,680 @@
+"""The numpy-vectorized generated kernel.
+
+The fused interpreter (:mod:`repro.arch.fastsim`) pays Python dispatch
+for every trace entry.  This module resolves whole *columns* at once by
+decomposing one memory pass into independently-vectorizable sub-problems
+and exploiting two structural facts of the modeled hierarchy:
+
+1. **Upper-level decisions are closed over their own streams.**  The
+   i-cache's hit/miss outcomes depend only on the fetch-run sequence,
+   the d-cache's only on the read sequence, the write buffer's only on
+   the write sequence.  Each is a direct-mapped (or FIFO) automaton over
+   a *known* input column, so hits and misses resolve by grouped
+   previous-occurrence comparison: sort the probes by set index once per
+   trace, then a probe misses iff its predecessor in the same set holds
+   a different block (first probes compare against the machine's entry
+   tags — the only per-pass term).
+
+2. **The b-cache probe *sequence* is independent of b-cache state.**
+   Whether any probe reaches the b-cache is decided entirely by the
+   upper levels (i-tags for fetch and prefetch, the stream buffer for
+   fetch, d-tags and write-buffer residency for data).  The b-cache's
+   own outcomes only price the stalls.  So the pass first derives the
+   complete probe sequence, then resolves all probes in one batch with
+   the same grouped comparison.
+
+The stream buffer is a one-block automaton driven by the (small) i-miss
+event subsequence; its hits are found by interval-bounded binary search:
+a prefetched block can only be consumed between the prefetch that loaded
+it and the next prefetch that overwrites it.  Write-buffer residency is
+materialized as a per-block interval table (enter/evict in write-count
+time) so store->load forwarding checks become one vectorized binary
+search.
+
+Everything that does not depend on machine state — run encodings, sort
+permutations, previous-occurrence links, first-occurrence masks, the
+write-count clock — is derived once per (trace, geometry) and cached on
+the trace, mirroring ``fetch_runs``/``derived_columns`` in the fast
+engine.  The per-pass work touches only entry-state-dependent terms.
+
+Exactness is the contract: every counter, stall cycle and piece of exit
+state matches :class:`repro.arch.fastsim.FastMachine` bit for bit,
+including the fixed-point ``track`` protocol used by the steady-state
+shortcut (see ``tests/gensim/``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.fastsim import _PAIR, _NOPS
+from repro.arch.isa import Op
+from repro.arch.memory import MemoryConfig
+from repro.arch.packed import (
+    FLAG_DWRITE,
+    FLAG_TAKEN,
+    IS_BRANCH,
+    OP_CODES,
+    PackedTrace,
+)
+
+_I64 = np.int64
+_MUL_CODE = OP_CODES[Op.MUL]
+_IS_BRANCH = np.array(IS_BRANCH, dtype=bool)
+_PAIR_TABLE = np.frombuffer(_PAIR, dtype=np.uint8).reshape(_NOPS, _NOPS)
+
+#: per-trace cache bound for write-buffer resolutions (entry states seen
+#: in practice: empty, the post-cold state, the fixed point)
+_WB_STATES_MAX = 16
+
+
+def _member(sorted_arr: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Vectorized membership of ``values`` in a sorted unique array."""
+    if sorted_arr.size == 0 or values.size == 0:
+        return np.zeros(values.shape, dtype=bool)
+    pos = np.searchsorted(sorted_arr, values)
+    pos = np.minimum(pos, sorted_arr.size - 1)
+    return sorted_arr[pos] == values
+
+
+def _union(sorted_arr: np.ndarray, new_values: np.ndarray) -> np.ndarray:
+    if new_values.size == 0:
+        return sorted_arr
+    return np.union1d(sorted_arr, new_values)
+
+
+def _group_links(idx: np.ndarray, blk: np.ndarray):
+    """Previous-occurrence structure of a probe stream, grouped by set.
+
+    Returns ``(has_prev, prev_blk, first_pos, last_pos)``: per probe,
+    whether an earlier probe targeted the same set and which block it
+    carried; plus the first- and last-in-set probe positions (the first
+    probes are the only ones that consult entry tags, the last ones
+    define the exit tags).
+    """
+    n = idx.size
+    order = np.argsort(idx, kind="stable")
+    same = np.empty(n, dtype=bool)
+    if n:
+        same[0] = False
+        same[1:] = idx[order[1:]] == idx[order[:-1]]
+    has_prev = np.zeros(n, dtype=bool)
+    prev_blk = np.full(n, -1, dtype=_I64)
+    later = order[1:][same[1:]]
+    has_prev[later] = True
+    prev_blk[later] = blk[order[:-1][same[1:]]]
+    first_pos = order[~same]
+    last = np.empty(n, dtype=bool)
+    if n:
+        last[:-1] = ~same[1:]
+        last[-1] = True
+    last_pos = order[last]
+    return has_prev, prev_blk, first_pos, last_pos
+
+
+def _seen_earlier(blk: np.ndarray) -> np.ndarray:
+    """Per probe: did the same *block* occur earlier in the stream?"""
+    n = blk.size
+    out = np.ones(n, dtype=bool)
+    if n:
+        order = np.argsort(blk, kind="stable")
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        first[1:] = blk[order[1:]] != blk[order[:-1]]
+        out[order[first]] = False
+    return out
+
+
+class WbResolution:
+    """The write buffer's evolution over one trace's write column.
+
+    Computed by the only sequential loop left in the vector path (the
+    capacity-``depth`` distinct-FIFO with write merging is inherently
+    order-dependent), then cached per entry state: the cold pass always
+    starts empty and warm passes revisit the handful of states on the
+    way to the fixed point, so the loop runs O(1) times per trace.
+    """
+
+    __slots__ = (
+        "entered",
+        "evictions",
+        "exit_wb",
+        "int_key",
+        "int_blk",
+        "int_exit",
+        "mult",
+    )
+
+    def __init__(
+        self, write_blk: np.ndarray, entry: Tuple[int, ...], depth: int
+    ) -> None:
+        W = write_blk.size
+        entered = np.zeros(W, dtype=bool)
+        wb: List[int] = list(entry)
+        wb_set = set(entry)
+        blocks: List[int] = []
+        enters: List[int] = []
+        exits: List[int] = []
+        active: Dict[int, int] = {}
+        for b in entry:
+            active[b] = len(blocks)
+            blocks.append(b)
+            enters.append(0)
+            exits.append(W + 1)
+        evictions = 0
+        for t, w in enumerate(write_blk.tolist()):
+            if w not in wb_set:
+                entered[t] = True
+                wb.append(w)
+                wb_set.add(w)
+                active[w] = len(blocks)
+                blocks.append(w)
+                enters.append(t + 1)
+                exits.append(W + 1)
+                if len(wb) > depth:
+                    old = wb.pop(0)
+                    wb_set.discard(old)
+                    exits[active.pop(old)] = t + 1
+                    evictions += 1
+        self.entered = entered
+        self.evictions = evictions
+        self.exit_wb = tuple(wb)
+        # interval table sorted by (block, enter) for residency queries
+        self.mult = W + 2
+        key = np.asarray(blocks, dtype=_I64) * self.mult + np.asarray(
+            enters, dtype=_I64
+        )
+        order = np.argsort(key, kind="stable")
+        self.int_key = key[order]
+        self.int_blk = np.asarray(blocks, dtype=_I64)[order]
+        self.int_exit = np.asarray(exits, dtype=_I64)[order]
+
+    def resident(self, blk: np.ndarray, version: np.ndarray) -> np.ndarray:
+        """Was ``blk`` in the buffer after ``version`` writes?"""
+        if self.int_key.size == 0 or blk.size == 0:
+            return np.zeros(blk.shape, dtype=bool)
+        j = np.searchsorted(self.int_key, blk * self.mult + version, side="right") - 1
+        jc = np.maximum(j, 0)
+        return (j >= 0) & (self.int_blk[jc] == blk) & (self.int_exit[jc] > version)
+
+
+class TraceTables:
+    """Per-(trace, geometry) derived structure (see module docstring)."""
+
+    __slots__ = (
+        "n",
+        "R",
+        "run_blk",
+        "run_idx",
+        "run_start",
+        "i_has_prev",
+        "i_prev_blk",
+        "i_first",
+        "i_last",
+        "i_upd_idx",
+        "i_upd_val",
+        "i_seen_earlier",
+        "i_key",
+        "n_reads",
+        "read_pos",
+        "read_blk",
+        "read_idx",
+        "d_has_prev",
+        "d_prev_blk",
+        "d_first",
+        "d_last",
+        "d_upd_idx",
+        "d_upd_val",
+        "d_seen_earlier",
+        "read_wb_version",
+        "W",
+        "write_pos",
+        "write_blk",
+        "wb_states",
+        "wb_depth",
+    )
+
+    def __init__(self, packed: PackedTrace, mem: MemoryConfig) -> None:
+        bs = mem.block_size
+        i_n = mem.icache_size // bs
+        d_n = mem.dcache_size // bs
+        # columns are copied: a live view of an ``array('q')`` buffer
+        # would block the trace from growing (buffer exports pin arrays)
+        pcs = np.array(packed.pcs, dtype=_I64)
+        daddrs = np.array(packed.daddrs, dtype=_I64)
+        flags = np.frombuffer(bytes(packed.flags), dtype=np.uint8)
+        n = pcs.size
+        self.n = n
+
+        iblk = pcs // bs
+        boundary = np.empty(n, dtype=bool)
+        if n:
+            boundary[0] = True
+            boundary[1:] = iblk[1:] != iblk[:-1]
+        self.run_start = np.flatnonzero(boundary)
+        self.run_blk = iblk[self.run_start]
+        self.run_idx = self.run_blk % i_n
+        R = self.run_blk.size
+        self.R = R
+
+        (self.i_has_prev, self.i_prev_blk, self.i_first, self.i_last) = _group_links(
+            self.run_idx, self.run_blk
+        )
+        self.i_upd_idx = self.run_idx[self.i_last]
+        self.i_upd_val = self.run_blk[self.i_last]
+        self.i_seen_earlier = _seen_earlier(self.run_blk)
+        # composite (set, position) key for mid-pass i-tag queries: the
+        # prefetch test needs "the last run at or before r in set s"
+        self.i_key = np.sort(self.run_idx * R + np.arange(R, dtype=_I64))
+
+        mem_pos = np.flatnonzero(daddrs >= 0)
+        dblk = daddrs[mem_pos] // bs
+        is_write = (flags[mem_pos] & FLAG_DWRITE) != 0
+        self.read_pos = mem_pos[~is_write]
+        self.read_blk = dblk[~is_write]
+        self.read_idx = self.read_blk % d_n
+        self.n_reads = self.read_blk.size
+        (self.d_has_prev, self.d_prev_blk, self.d_first, self.d_last) = _group_links(
+            self.read_idx, self.read_blk
+        )
+        self.d_upd_idx = self.read_idx[self.d_last]
+        self.d_upd_val = self.read_blk[self.d_last]
+        self.d_seen_earlier = _seen_earlier(self.read_blk)
+
+        self.write_pos = mem_pos[is_write]
+        self.write_blk = dblk[is_write]
+        self.W = self.write_blk.size
+        #: write-count clock at each read: how many stores precede it
+        self.read_wb_version = np.searchsorted(
+            self.write_pos, self.read_pos, side="left"
+        ).astype(_I64)
+        self.wb_states: Dict[Tuple[int, ...], WbResolution] = {}
+        self.wb_depth = mem.write_buffer_depth
+
+    def wb_resolution(self, entry: Tuple[int, ...]) -> WbResolution:
+        cached = self.wb_states.get(entry)
+        if cached is None:
+            cached = WbResolution(self.write_blk, entry, self.wb_depth)
+            while len(self.wb_states) >= _WB_STATES_MAX:
+                self.wb_states.pop(next(iter(self.wb_states)))
+            self.wb_states[entry] = cached
+        return cached
+
+
+def trace_tables(packed: PackedTrace, mem: MemoryConfig) -> TraceTables:
+    """The cached per-(trace, geometry) tables."""
+    key = (
+        "gensim",
+        mem.block_size,
+        mem.icache_size,
+        mem.dcache_size,
+        mem.write_buffer_depth,
+    )
+    cached = packed._derived.get(key)
+    if cached is None:
+        cached = TraceTables(packed, mem)
+        packed._derived[key] = cached
+    return cached
+
+
+# --------------------------------------------------------------------------- #
+# vectorized CPU pass                                                         #
+# --------------------------------------------------------------------------- #
+
+
+def cpu_counts(packed: PackedTrace) -> Tuple[int, int, int, int, int]:
+    """(instructions, issue groups, pairs, taken branches, multiplies).
+
+    The dual-issue automaton consumes the stream greedily in groups of
+    one or two, so group boundaries alternate inside every maximal run
+    of pairable adjacencies and reset after each non-pairable one — a
+    closed form over the pairability column, no sequential scan.  Total
+    cycles fold back in as ``groups + mul_extra*mults + br_pen*taken``
+    because every instruction's penalty is charged exactly once, which
+    also makes the counts config-independent (cached on the trace's
+    shared dict: sibling traces from template rebinding reuse them).
+    """
+    key = ("gensim_cpu",)
+    cached = packed._shared.get(key)
+    if cached is not None:
+        return cached
+    ops = np.frombuffer(bytes(packed.ops), dtype=np.uint8)
+    flags = np.frombuffer(bytes(packed.flags), dtype=np.uint8)
+    n = ops.size
+    if n == 0:
+        result = (0, 0, 0, 0, 0)
+        packed._shared[key] = result
+        return result
+    taken = int((_IS_BRANCH[ops] & ((flags & FLAG_TAKEN) != 0)).sum())
+    mults = int((ops == _MUL_CODE).sum())
+    if n == 1:
+        result = (1, 1, 0, taken, mults)
+        packed._shared[key] = result
+        return result
+    pairable = _PAIR_TABLE[ops[:-1], ops[1:]] != 0
+    idx = np.arange(n, dtype=_I64)
+    zeros = np.where(~pairable, idx[:-1], -1)
+    last_zero_before = np.maximum.accumulate(np.concatenate(([_I64(-1)], zeros)))
+    starts = ((idx - last_zero_before - 1) % 2) == 0
+    groups = int(starts.sum())
+    pairs = int((starts[:-1] & pairable).sum())
+    result = (n, groups, pairs, taken, mults)
+    packed._shared[key] = result
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# machine state                                                               #
+# --------------------------------------------------------------------------- #
+
+
+class VectorState:
+    """The hierarchy's state in the vector kernel's native shapes.
+
+    ``token`` is the state's *provenance*: ``"cold"`` for a fresh
+    machine, then a content hash chained through every pass that
+    produced it (see :class:`repro.gensim.machine.BoundKernel`).  Two
+    states with equal tokens are identical, which is what lets a bound
+    kernel replay an already-resolved transition instead of re-running
+    the pass.
+    """
+
+    __slots__ = (
+        "itags",
+        "dtags",
+        "btags",
+        "i_ever",
+        "d_ever",
+        "b_ever",
+        "wb",
+        "sb_block",
+        "sb_was_miss",
+        "c",
+        "token",
+    )
+
+    def __init__(self, mem: MemoryConfig) -> None:
+        self.token = "cold"
+        bs = mem.block_size
+        self.itags = np.full(mem.icache_size // bs, -1, dtype=_I64)
+        self.dtags = np.full(mem.dcache_size // bs, -1, dtype=_I64)
+        self.btags = np.full(mem.bcache_size // bs, -1, dtype=_I64)
+        self.i_ever = np.empty(0, dtype=_I64)
+        self.d_ever = np.empty(0, dtype=_I64)
+        self.b_ever = np.empty(0, dtype=_I64)
+        self.wb: Tuple[int, ...] = ()
+        self.sb_block = -1
+        self.sb_was_miss = False
+        # same 15 counters, same order as FastMachine._c
+        self.c = [0] * 15
+
+
+# --------------------------------------------------------------------------- #
+# the vectorized memory pass                                                  #
+# --------------------------------------------------------------------------- #
+
+
+def mem_pass_vector(
+    tables: TraceTables,
+    mem: MemoryConfig,
+    state: VectorState,
+    track: bool = False,
+    capture: Optional[dict] = None,
+) -> bool:
+    """One exact pass of the trace through the hierarchy (see module
+    docstring for the decomposition).  Mirrors
+    :meth:`repro.arch.fastsim.FastMachine._mem_pass` including the
+    fixed-point ``track`` contract.
+
+    With ``capture`` (a dict), the pass additionally records what a
+    replay needs — the b-cache exit scatter, the ``settled`` verdict,
+    and ``exact`` (did the pass return the state bit-for-bit to its
+    entry value, the condition under which a provenance chain may close
+    on itself) — so the bound kernel can memoize the transition."""
+    t = tables
+    R = t.R
+    bc_hit = mem.bcache_hit_cycles
+    main = mem.main_memory_cycles
+    stream_hit = mem.stream_hit_cycles
+    stream_extra = main - bc_hit
+    fwd = mem.write_forward_cycles
+    wb_full = mem.write_buffer_full_cycles
+    i_n = int(mem.icache_size // mem.block_size)
+    b_n = int(mem.bcache_size // mem.block_size)
+
+    need_eq = track or capture is not None
+    if t.n == 0:
+        if capture is not None:
+            capture.update(
+                b_upd_idx=np.empty(0, _I64),
+                b_upd_val=np.empty(0, _I64),
+                settled=True,
+                exact=True,
+            )
+        return True if track else False
+
+    # ---- i-cache: resolve every fetch run in one batch ---------------- #
+    miss = np.empty(R, dtype=bool)
+    hp = t.i_has_prev
+    miss[hp] = t.i_prev_blk[hp] != t.run_blk[hp]
+    nf = ~hp
+    miss[nf] = state.itags[t.run_idx[nf]] != t.run_blk[nf]
+    miss_runs = np.flatnonzero(miss)
+    i_miss = int(miss_runs.size)
+    first_occ_miss = miss & ~t.i_seen_earlier
+    i_repl = int((miss & t.i_seen_earlier).sum()) + int(
+        _member(state.i_ever, t.run_blk[first_occ_miss]).sum()
+    )
+
+    if need_eq:
+        eq_i = bool(np.array_equal(state.itags[t.i_upd_idx], t.i_upd_val))
+        i_ever_size = state.i_ever.size
+
+    # ---- prefetch test: mid-pass i-tag queries ------------------------ #
+    # (state.itags still holds the ENTRY tags here: the exit scatter must
+    # wait until after these queries, whose fallback is the entry tag)
+    eblk = t.run_blk[miss_runs]
+    nblk = eblk + 1
+    nidx = nblk % i_n
+    M = int(miss_runs.size)
+    if M:
+        q = np.searchsorted(t.i_key, nidx * R + miss_runs, side="right") - 1
+        qc = np.maximum(q, 0)
+        hit_key = t.i_key[qc]
+        valid = (q >= 0) & (hit_key // R == nidx)
+        # i-tags mid-pass: the last run at-or-before this one in the
+        # successor's set (the current run counts: its tag was written
+        # before the prefetch test); entry tags when no run qualifies
+        cur = np.where(valid, t.run_blk[hit_key % R], state.itags[nidx])
+        pf = cur != nblk
+    else:
+        pf = np.zeros(0, dtype=bool)
+    state.itags[t.i_upd_idx] = t.i_upd_val
+    state.i_ever = _union(state.i_ever, t.run_blk[miss_runs])
+
+    # ---- stream buffer: interval-bounded consumption ------------------ #
+    pf_events = np.flatnonzero(pf)
+    K = int(pf_events.size)
+    sb_hit_mask = np.zeros(M, dtype=bool)
+    #: per sb-hit event, the pf event that fed it (-1 = entry content)
+    sb_source = np.full(M, -2, dtype=_I64)
+    consumed_pf = np.zeros(K, dtype=bool)
+    entry_hit_e = -1
+    if M:
+        seq_key = np.sort(eblk * M + np.arange(M, dtype=_I64))
+        first_pf = int(pf_events[0]) if K else M
+        if state.sb_block >= 0:
+            j = np.searchsorted(seq_key, state.sb_block * M - 1, side="right")
+            if j < M and seq_key[j] // M == state.sb_block:
+                e = int(seq_key[j] % M)
+                if e <= min(first_pf, M - 1):
+                    entry_hit_e = e
+                    sb_hit_mask[e] = True
+                    sb_source[e] = -1
+        if K:
+            hi = np.concatenate((pf_events[1:], [_I64(M - 1)]))
+            v = nblk[pf_events]
+            j = np.searchsorted(seq_key, v * M + pf_events, side="right")
+            jc = np.minimum(j, M - 1)
+            cand = seq_key[jc]
+            found = (j < M) & (cand // M == v) & (cand % M <= hi)
+            hits = (cand % M)[found]
+            sb_hit_mask[hits] = True
+            sb_source[hits] = np.flatnonzero(found)
+            consumed_pf[found] = True
+    if need_eq:
+        cutoff = M - 1
+        if K:
+            cutoff = min(cutoff, int(pf_events[0]))
+        if entry_hit_e >= 0:
+            cutoff = min(cutoff, entry_hit_e)
+        sb_init_probed = eblk[: cutoff + 1]
+        sb_init_hit = entry_hit_e >= 0
+        sb_before = (state.sb_block, state.sb_was_miss)
+
+    # ---- d-cache: resolve every read in one batch --------------------- #
+    dmiss = np.empty(t.n_reads, dtype=bool)
+    hp = t.d_has_prev
+    dmiss[hp] = t.d_prev_blk[hp] != t.read_blk[hp]
+    nf = ~hp
+    dmiss[nf] = state.dtags[t.read_idx[nf]] != t.read_blk[nf]
+    dmiss_sel = np.flatnonzero(dmiss)
+    d_miss = int(dmiss_sel.size)
+    first_occ_dmiss = dmiss & ~t.d_seen_earlier
+    d_repl = int((dmiss & t.d_seen_earlier).sum()) + int(
+        _member(state.d_ever, t.read_blk[first_occ_dmiss]).sum()
+    )
+    if need_eq:
+        eq_d = bool(np.array_equal(state.dtags[t.d_upd_idx], t.d_upd_val))
+        d_ever_size = state.d_ever.size
+    state.dtags[t.d_upd_idx] = t.d_upd_val
+    state.d_ever = _union(state.d_ever, t.read_blk[dmiss_sel])
+
+    # ---- write buffer + store->load forwarding ------------------------ #
+    wb = t.wb_resolution(state.wb)
+    entered = wb.entered
+    wb_miss = int(entered.sum())
+    forwarded = wb.resident(t.read_blk[dmiss_sel], t.read_wb_version[dmiss_sel])
+
+    # ---- assemble the complete b-cache probe sequence ----------------- #
+    # (order: trace position, fetch before prefetch before data)
+    fetch_sel = ~sb_hit_mask
+    fetch_runs_pos = miss_runs[fetch_sel]
+    probe_blk = [
+        eblk[fetch_sel],
+        nblk[pf_events],
+        t.read_blk[dmiss_sel][~forwarded],
+        t.write_blk[entered],
+    ]
+    probe_ord = [
+        t.run_start[fetch_runs_pos] * 4,
+        t.run_start[miss_runs[pf_events]] * 4 + 1,
+        t.read_pos[dmiss_sel][~forwarded] * 4 + 2,
+        t.write_pos[entered] * 4 + 2,
+    ]
+    seg_sizes = [int(a.size) for a in probe_blk]
+    bblk = np.concatenate(probe_blk) if seg_sizes else np.empty(0, _I64)
+    border = np.concatenate(probe_ord) if seg_sizes else np.empty(0, _I64)
+    P = int(bblk.size)
+    order = np.argsort(border, kind="stable")
+    sblk = bblk[order]
+    sidx = sblk % b_n
+
+    # ---- b-cache: resolve the whole probe sequence in one batch ------- #
+    b_has_prev, b_prev_blk, _, b_last = _group_links(sidx, sblk)
+    bmiss_sorted = np.empty(P, dtype=bool)
+    bmiss_sorted[b_has_prev] = b_prev_blk[b_has_prev] != sblk[b_has_prev]
+    nf = ~b_has_prev
+    bmiss_sorted[nf] = state.btags[sidx[nf]] != sblk[nf]
+    b_miss = int(bmiss_sorted.sum())
+    b_seen = _seen_earlier(sblk)
+    first_occ_bmiss = bmiss_sorted & ~b_seen
+    b_repl = int((bmiss_sorted & b_seen).sum()) + int(
+        _member(state.b_ever, sblk[first_occ_bmiss]).sum()
+    )
+    b_upd_idx = sidx[b_last]
+    b_upd_val = sblk[b_last]
+    if need_eq:
+        eq_b = bool(np.array_equal(state.btags[b_upd_idx], b_upd_val))
+        b_ever_size = state.b_ever.size
+    state.btags[b_upd_idx] = b_upd_val
+    state.b_ever = _union(state.b_ever, sblk[bmiss_sorted])
+
+    # outcomes back in probe-assembly order, then split per segment
+    bmiss = np.empty(P, dtype=bool)
+    bmiss[order] = bmiss_sorted
+    off = np.cumsum([0] + seg_sizes)
+    fetch_out = bmiss[off[0] : off[1]]
+    pf_out = bmiss[off[1] : off[2]]
+    read_out = bmiss[off[2] : off[3]]
+
+    # ---- stalls -------------------------------------------------------- #
+    stall = int(np.where(fetch_out, main, bc_hit).sum())
+    stall += int(np.where(read_out, main, bc_hit).sum())
+    stall += int(forwarded.sum()) * fwd
+    stall += wb.evictions * wb_full
+    n_sb_hits = int(sb_hit_mask.sum())
+    stall += n_sb_hits * stream_hit
+    if n_sb_hits:
+        src = sb_source[sb_hit_mask]
+        from_pf = src >= 0
+        stall += int(pf_out[src[from_pf]].sum()) * stream_extra
+        if (~from_pf).any() and state.sb_was_miss:
+            stall += stream_extra
+
+    # ---- exit stream-buffer / write-buffer state ----------------------- #
+    if K:
+        sb_exit = -1 if consumed_pf[-1] else int(nblk[pf_events[-1]])
+        sb_exit_miss = bool(pf_out[-1])
+    else:
+        sb_exit = -1 if entry_hit_e >= 0 else state.sb_block
+        sb_exit_miss = state.sb_was_miss
+    wb_exit = wb.exit_wb
+
+    # ---- counters (same slots as FastMachine._c) ----------------------- #
+    c = state.c
+    c[0] += t.n  # i_acc
+    c[1] += i_miss
+    c[2] += i_repl
+    c[3] += t.n_reads  # d_acc
+    c[4] += d_miss
+    c[5] += d_repl
+    c[6] += P  # b_acc
+    c[7] += b_miss
+    c[8] += b_repl
+    c[9] += t.W  # wb_acc
+    c[10] += wb_miss
+    c[11] += stall
+    c[12] += t.n  # instructions
+    c[13] += n_sb_hits
+    c[14] += wb.evictions
+
+    settled = False
+    if need_eq:
+        invariant = (
+            i_ever_size == state.i_ever.size
+            and d_ever_size == state.d_ever.size
+            and b_ever_size == state.b_ever.size
+            and state.wb == wb_exit
+            and eq_i
+            and eq_d
+            and eq_b
+        )
+        sb_exact = sb_before == (sb_exit, sb_exit_miss)
+        sb_settled = sb_exact or (
+            not sb_init_hit and not bool((sb_init_probed == sb_exit).any())
+        )
+        settled = sb_settled and invariant
+        if capture is not None:
+            capture.update(
+                b_upd_idx=b_upd_idx,
+                b_upd_val=b_upd_val,
+                settled=settled,
+                exact=invariant and sb_exact,
+            )
+    state.sb_block = sb_exit
+    state.sb_was_miss = sb_exit_miss
+    state.wb = wb_exit
+    return settled if track else False

@@ -32,7 +32,10 @@ from repro.api.settings import (
     Settings,
     validate_engine,
 )
-from repro.arch.simcache import simulate_cold_and_steady_cached
+from repro.arch.simcache import (
+    gensim_cold_and_steady_cached,
+    simulate_cold_and_steady_cached,
+)
 from repro.arch.simulator import MachineSimulator, SimResult
 from repro.core.fastwalk import FastWalker
 from repro.faults import chaos
@@ -361,10 +364,14 @@ class Experiment:
         if self.fault_plan is not None:
             events, faults = self.fault_plan.apply(events, seed)
         engine = self._live_engine
-        if engine == "guarded":
+        if engine in ("guarded", "guarded-gensim"):
             walk, cold, steady = self._run_guarded(
-                build, events, data_env, seed, sample_index
+                build, events, data_env, seed, sample_index,
+                primary="gensim" if engine == "guarded-gensim" else "fast",
             )
+        elif engine == "gensim":
+            walk = FastWalker(build.program, data_env).walk(events)
+            cold, steady = gensim_cold_and_steady_cached(walk.packed)
         elif engine == "fast":
             walk = FastWalker(build.program, data_env).walk(events)
             cold, steady = simulate_cold_and_steady_cached(walk.packed)
@@ -385,11 +392,14 @@ class Experiment:
         data_env: Dict[str, int],
         seed: int,
         sample_index: int,
+        *,
+        primary: str = "fast",
     ) -> Tuple[WalkResult, SimResult, SimResult]:
-        """Fast results, cross-checked against the reference path.
+        """Primary-engine results, cross-checked against the reference path.
 
-        Every ``guard_stride``-th sample is replayed through the reference
-        walker and simulator; a mismatch is recorded as a
+        ``primary`` selects the engine being guarded ("fast" or
+        "gensim").  Every ``guard_stride``-th sample is replayed through
+        the reference walker and simulator; a mismatch is recorded as a
         :class:`DivergenceReport` and — under the default ``fallback``
         policy — the reference results are used and the experiment runs
         the reference engine from here on.
@@ -399,7 +409,10 @@ class Experiment:
         checked = sample_index % self.guard_stride == 0
         ref_events = _clone_events(events) if checked else []
         walk = FastWalker(build.program, data_env).walk(events)
-        cold, steady = simulate_cold_and_steady_cached(walk.packed)
+        if primary == "gensim":
+            cold, steady = gensim_cold_and_steady_cached(walk.packed)
+        else:
+            cold, steady = simulate_cold_and_steady_cached(walk.packed)
         # chaos hook: a "perturb" rule models a fast-engine bug by
         # skewing the stall count (snapshots are ours to mutate)
         steady.memory.stall_cycles += chaos.perturbation(
@@ -437,7 +450,7 @@ class Experiment:
                 self.stack, self.config, self.opts,
                 layout=self.layout_override,
             )
-        elif self.engine in ("fast", "guarded"):
+        elif self.engine in ("fast", "guarded", "gensim", "guarded-gensim"):
             build = build_configured_program_cached(
                 self.stack, self.config, self.opts
             )

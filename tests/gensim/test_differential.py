@@ -1,0 +1,154 @@
+"""The generated kernels against the reference oracle.
+
+Both gensim paths — the numpy vector kernel and the emitted specialized
+source — must be *bit-identical* to ``MachineSimulator`` (and therefore
+to ``FastMachine``): same SimResult, same MemoryStats counters, same
+CpuStats, for every build configuration of both stacks, cold and steady,
+at any warm-up depth.  A request gensim cannot serve exactly must be
+declined with :class:`GensimCapabilityError`, never approximated.
+"""
+
+import pytest
+
+from repro.arch.simulator import MachineSimulator
+from repro.core.walker import Walker
+from repro.gensim import (
+    GenMachine,
+    GensimCapabilityError,
+    bound_kernel,
+    have_numpy,
+    simulate_cold_and_steady,
+)
+from repro.gensim import machine as genmachine
+from repro.harness.configs import CONFIG_NAMES, build_configured_program_cached
+from repro.harness.experiment import Experiment
+
+CELLS = [(stack, config) for stack in ("tcpip", "rpc") for config in CONFIG_NAMES]
+needs_numpy = pytest.mark.skipif(
+    not have_numpy(), reason="the vector path needs numpy"
+)
+PATHS = [pytest.param("vector", marks=needs_numpy), "source"]
+
+
+@pytest.fixture(scope="module")
+def walks():
+    """One real walked roundtrip per (stack, config) cell."""
+    out = {}
+    for stack, config in CELLS:
+        exp = Experiment(stack, config)
+        events, data_env = exp.capture_roundtrip(42)
+        build = build_configured_program_cached(stack, config)
+        out[(stack, config)] = Walker(build.program, data_env).walk(events)
+    return out
+
+
+@pytest.fixture(scope="module")
+def refs(walks):
+    """Reference cold/steady results per cell, computed once."""
+    out = {}
+    for cell, walk in walks.items():
+        out[cell] = (
+            MachineSimulator().run(walk.trace),
+            MachineSimulator().run_steady_state(walk.trace),
+        )
+    return out
+
+
+@pytest.mark.parametrize("path", PATHS)
+@pytest.mark.parametrize("stack,config", CELLS)
+def test_cold_run_bit_identical(walks, refs, stack, config, path):
+    walk = walks[(stack, config)]
+    ref_cold, _ = refs[(stack, config)]
+    gen = GenMachine(path=path).run(walk.packed)
+    assert gen == ref_cold
+    assert gen.memory == ref_cold.memory
+    assert gen.cpu == ref_cold.cpu
+
+
+@pytest.mark.parametrize("path", PATHS)
+@pytest.mark.parametrize("stack,config", CELLS)
+def test_steady_state_bit_identical(walks, refs, stack, config, path):
+    walk = walks[(stack, config)]
+    _, ref_steady = refs[(stack, config)]
+    assert GenMachine(path=path).run_steady_state(walk.packed) == ref_steady
+
+
+@pytest.mark.parametrize("path", PATHS)
+@pytest.mark.parametrize("stack", ["tcpip", "rpc"])
+def test_simulate_cold_and_steady_matches_reference(walks, refs, stack, path):
+    walk = walks[(stack, "ALL")]
+    cold, steady = simulate_cold_and_steady(walk.packed, path=path)
+    ref_cold, ref_steady = refs[(stack, "ALL")]
+    assert cold == ref_cold
+    assert steady == ref_steady
+
+
+@pytest.mark.parametrize("path", PATHS)
+def test_convergence_shortcut_is_exact_for_long_warmups(walks, path):
+    # the fixed-point detector may skip warm passes; the result must still
+    # equal the brute-force reference at any requested warm-up depth
+    walk = walks[("tcpip", "CLO")]
+    _, steady = simulate_cold_and_steady(walk.packed, warmup_rounds=6, path=path)
+    assert steady == MachineSimulator().run_steady_state(walk.trace, warmup_rounds=6)
+
+
+@pytest.mark.parametrize("path", PATHS)
+def test_warm_up_evolves_state_like_reference(walks, path):
+    walk = walks[("rpc", "STD")]
+    ref = MachineSimulator()
+    ref.warm_up(walk.trace)
+    gen = GenMachine(path=path)
+    gen.warm_up(walk.packed)
+    assert gen.run(walk.packed) == ref.run(walk.trace)
+
+
+@pytest.mark.parametrize("path", PATHS)
+def test_cross_trace_warm_chain(walks, path):
+    # warming with one cell's trace then measuring another exercises
+    # transition chains across distinct bound kernels sharing one state
+    warm = walks[("tcpip", "STD")]
+    measured = walks[("tcpip", "OUT")]
+    ref = MachineSimulator()
+    ref.warm_up(warm.trace)
+    gen = GenMachine(path=path)
+    gen.warm_up(warm.packed)
+    assert gen.run(measured.packed) == ref.run(measured.trace)
+
+
+@needs_numpy
+def test_replay_is_bit_identical_to_resolution(walks, refs):
+    # a second cold machine over the same bound kernel takes the memoized
+    # transition replay, not a fresh vectorized pass — results must not
+    # move by a bit
+    walk = walks[("rpc", "BAD")]
+    first = GenMachine(path="vector").run_steady_state(walk.packed)
+    kernel = bound_kernel(walk.packed, path="vector")
+    assert kernel._transitions  # the transition memo is populated
+    again = GenMachine(path="vector").run_steady_state(walk.packed)
+    assert again == first == refs[("rpc", "BAD")][1]
+
+
+def test_attribution_sink_is_declined():
+    with pytest.raises(GensimCapabilityError, match="attribution"):
+        GenMachine(sink=object())
+
+
+def test_vector_path_without_numpy_is_declined(monkeypatch):
+    monkeypatch.setattr(genmachine, "_HAVE_NUMPY", False)
+    with pytest.raises(GensimCapabilityError, match="numpy"):
+        GenMachine(path="vector")
+    # auto degrades loudly-documentedly to the source path, never errors
+    assert GenMachine(path="auto").path == "source"
+
+
+def test_unknown_path_rejected():
+    with pytest.raises(ValueError, match="unknown gensim path"):
+        GenMachine(path="simd")
+
+
+@pytest.mark.parametrize("path", PATHS)
+def test_empty_trace(path):
+    result = GenMachine(path=path).run([])
+    assert result.memory.instructions == 0
+    assert result.cpu.instructions == 0
+    assert result.memory.stall_cycles == 0

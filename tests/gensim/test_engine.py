@@ -1,0 +1,181 @@
+"""gensim as a harness engine: dispatch, guarding, caching, faults.
+
+The engine registry gained "gensim" and "guarded-gensim"; every layer
+that consumes the registry — Settings validation, the Experiment
+dispatch, the simcache, the sweep — must treat them as first-class and
+bit-identical to the engines they shadow, including under injected
+workload faults.
+"""
+
+import pytest
+
+from repro.api.settings import ENGINES, Settings, validate_engine
+from repro.arch import simcache
+from repro.faults.plan import FaultPlan
+from repro.gensim import GensimCapabilityError
+from repro.harness.experiment import Experiment, resolve_engine
+
+
+def _shape(result):
+    return [
+        (s.steady.cycles, s.cold.cycles, s.roundtrip_us, len(s.faults))
+        for s in result.samples
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# registry sync                                                               #
+# --------------------------------------------------------------------------- #
+
+
+def test_registry_contains_the_gensim_engines():
+    assert "gensim" in ENGINES
+    assert "guarded-gensim" in ENGINES
+
+
+def test_fail_fast_error_names_every_registered_engine():
+    with pytest.raises(ValueError) as err:
+        validate_engine("nonesuch")
+    for engine in ENGINES:
+        assert engine in str(err.value)
+
+
+def test_settings_accept_every_registered_engine():
+    for engine in ENGINES:
+        assert Settings(engine=engine).engine == engine
+        assert Settings.from_env({}, engine=engine).engine == engine
+
+
+def test_deprecated_shim_validates_against_the_same_registry():
+    with pytest.warns(DeprecationWarning):
+        assert resolve_engine("gensim") == "gensim"
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError) as err:
+            resolve_engine("nonesuch")
+    for engine in ENGINES:
+        assert engine in str(err.value)
+
+
+def test_experiment_dispatch_covers_every_registered_engine():
+    # every registry member must run end to end, not just validate
+    shapes = {}
+    for engine in ENGINES:
+        result = Experiment("tcpip", "STD", engine=engine).run(samples=1)
+        shapes[engine] = _shape(result)
+    assert len({tuple(map(tuple, s)) for s in shapes.values()}) == 1
+
+
+# --------------------------------------------------------------------------- #
+# engine parity                                                               #
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("stack,config", [("tcpip", "BAD"), ("rpc", "ALL")])
+def test_gensim_experiment_matches_fast_and_reference(stack, config):
+    results = {
+        engine: Experiment(stack, config, engine=engine).run(samples=2)
+        for engine in ("fast", "gensim", "guarded-gensim", "reference")
+    }
+    base = _shape(results["fast"])
+    for engine, result in results.items():
+        assert _shape(result) == base, engine
+    for f, g in zip(results["fast"].samples, results["gensim"].samples):
+        assert f.cold == g.cold
+        assert f.steady == g.steady
+
+
+def test_guarded_gensim_records_no_divergence_on_clean_runs():
+    exp = Experiment("rpc", "STD", engine="guarded-gensim")
+    exp.run(samples=2)
+    assert exp.divergences == []
+    assert exp._live_engine == "guarded-gensim"
+
+
+def test_guarded_gensim_falls_back_on_divergence():
+    # a chaos perturbation models a gensim bug: the guard must catch it,
+    # record the divergence and degrade to the reference engine
+    from repro.faults.chaos import parse_rules
+
+    settings = Settings(
+        engine="guarded-gensim",
+        chaos=tuple(parse_rules("perturb:STD:*")),
+    )
+    exp = Experiment("tcpip", "STD", settings=settings)
+    result = exp.run(samples=2)
+    assert exp.divergences
+    assert exp._live_engine == "reference"
+    clean = Experiment("tcpip", "STD", engine="reference").run(samples=2)
+    assert _shape(result) == _shape(clean)
+
+
+# --------------------------------------------------------------------------- #
+# parity under faults (rate 1.0: every opportunity fires)                     #
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("stack", ("tcpip", "rpc"))
+def test_full_rate_faults_bit_identical_to_reference(stack):
+    plan = FaultPlan(stack=stack, rate=1.0, seed=11)
+    gen = Experiment(stack, "STD", engine="gensim", fault_plan=plan).run(samples=2)
+    ref = Experiment(stack, "STD", engine="reference", fault_plan=plan).run(samples=2)
+    assert _shape(gen) == _shape(ref)
+    assert gen.total_faults == ref.total_faults > 0
+    for g, r in zip(gen.samples, ref.samples):
+        assert g.cold == r.cold
+        assert g.steady == r.steady
+
+
+# --------------------------------------------------------------------------- #
+# simcache keying                                                             #
+# --------------------------------------------------------------------------- #
+
+
+def test_gensim_cache_entries_are_keyed_apart_from_fast(walk_std):
+    simcache.clear_caches()
+    fast = simcache.simulate_cold_and_steady_cached(walk_std.packed)
+    misses_after_fast = simcache.misses
+    gen = simcache.gensim_cold_and_steady_cached(walk_std.packed)
+    # the gensim memory entry is a fresh miss (the cpu side legitimately
+    # shares the engine-independent cpu-key cache)
+    assert simcache.misses > misses_after_fast
+    assert gen == fast
+    hits_before = simcache.hits
+    again = simcache.gensim_cold_and_steady_cached(walk_std.packed)
+    assert simcache.hits > hits_before
+    assert again == gen
+    assert again[0].memory is not gen[0].memory  # copies, never the stored pair
+    simcache.clear_caches()
+
+
+def test_gensim_cache_key_carries_generator_version_and_cell(walk_std):
+    from repro.gensim.machine import GEN_VERSION, cell_fingerprint
+
+    simcache.clear_caches()
+    simcache.gensim_cold_and_steady_cached(walk_std.packed)
+    modes = [key[2] for key in simcache._results]
+    assert modes == [f"gensim:{GEN_VERSION}:{cell_fingerprint()}:steady:2"]
+    simcache.clear_caches()
+
+
+@pytest.fixture(scope="module")
+def walk_std():
+    from repro.core.walker import Walker
+    from repro.harness.configs import build_configured_program_cached
+
+    exp = Experiment("tcpip", "STD")
+    events, data_env = exp.capture_roundtrip(42)
+    build = build_configured_program_cached("tcpip", "STD")
+    return Walker(build.program, data_env).walk(events)
+
+
+# --------------------------------------------------------------------------- #
+# capability boundaries                                                       #
+# --------------------------------------------------------------------------- #
+
+
+def test_profile_cell_declines_gensim():
+    from repro.harness.profile import profile_cell
+
+    for engine in ("gensim", "guarded-gensim"):
+        with pytest.raises(GensimCapabilityError, match="attribution"):
+            profile_cell("tcpip", "STD", engine=engine)

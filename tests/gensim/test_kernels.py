@@ -1,0 +1,123 @@
+"""Kernel memoization and fingerprint invalidation.
+
+A bound kernel is memoized on (generator version, cell fingerprint,
+trace fingerprint, path).  Mutating anything a kernel was specialized
+against — cache geometry, machine latencies, the code layout, or the
+trace itself — must move the key and force regeneration; re-requesting
+an unchanged cell must not.
+"""
+
+import copy
+import dataclasses
+
+import pytest
+
+from repro.arch.memory import MemoryConfig
+from repro.arch.simulator import AlphaConfig, MachineSimulator
+from repro.core.walker import Walker
+from repro.gensim import (
+    GenMachine,
+    bound_kernel,
+    cell_fingerprint,
+    clear_kernels,
+    generated_kernel_count,
+    have_numpy,
+)
+from repro.harness.configs import build_configured_program
+from repro.harness.experiment import Experiment
+
+needs_numpy = pytest.mark.skipif(
+    not have_numpy(), reason="the vector path needs numpy"
+)
+
+
+@pytest.fixture(scope="module")
+def cell():
+    """One walked roundtrip plus a differently-laid-out sibling."""
+    exp = Experiment("tcpip", "STD")
+    events, data_env = exp.capture_roundtrip(42)
+    build = build_configured_program("tcpip", "STD")
+    walk = Walker(build.program, data_env).walk(events)
+    events2, data_env2 = exp.capture_roundtrip(42)
+    build2 = build_configured_program("tcpip", "CLO")
+    walk2 = Walker(build2.program, data_env2).walk(events2)
+    return walk, walk2
+
+
+def _generations_for(packed, config=None, path="source"):
+    before = generated_kernel_count()
+    bound_kernel(packed, config, path)
+    return generated_kernel_count() - before
+
+
+def test_unchanged_cell_reuses_the_kernel(cell):
+    walk, _ = cell
+    assert _generations_for(walk.packed) in (0, 1)  # first call may build
+    assert _generations_for(walk.packed) == 0  # second never does
+
+
+def test_geometry_mutation_regenerates(cell):
+    walk, _ = cell
+    bound_kernel(walk.packed)  # ensure the baseline kernel exists
+    mem = dataclasses.replace(MemoryConfig(), icache_size=16 * 1024)
+    cfg = dataclasses.replace(AlphaConfig(), memory=mem)
+    assert cell_fingerprint(cfg) != cell_fingerprint(AlphaConfig())
+    assert _generations_for(walk.packed, cfg) == 1
+
+
+def test_latency_mutation_regenerates(cell):
+    walk, _ = cell
+    bound_kernel(walk.packed)
+    mem = dataclasses.replace(MemoryConfig(), stream_hit_cycles=11)
+    cfg = dataclasses.replace(AlphaConfig(), memory=mem)
+    assert cell_fingerprint(cfg) != cell_fingerprint(AlphaConfig())
+    assert _generations_for(walk.packed, cfg) == 1
+
+
+def test_layout_mutation_regenerates(cell):
+    # a re-laid-out program produces a different packed trace: the trace
+    # fingerprint moves even though the cell geometry is unchanged
+    walk, walk2 = cell
+    assert walk.packed.fingerprint() != walk2.packed.fingerprint()
+    bound_kernel(walk.packed)
+    assert _generations_for(walk2.packed) in (0, 1)  # first sighting builds
+    assert _generations_for(walk2.packed) == 0
+
+
+def test_trace_mutation_regenerates(cell):
+    walk, _ = cell
+    bound_kernel(walk.packed)
+    grown = copy.deepcopy(walk.packed)
+    grown.append(walk.packed.pcs[0], walk.packed.ops[0], daddr=walk.packed.daddrs[0])
+    assert grown.fingerprint() != walk.packed.fingerprint()
+    assert _generations_for(grown) == 1
+
+
+@needs_numpy
+def test_path_is_part_of_the_key(cell):
+    walk, _ = cell
+    bound_kernel(walk.packed, path="source")
+    assert _generations_for(walk.packed, path="vector") in (0, 1)
+    assert _generations_for(walk.packed, path="vector") == 0
+
+
+def test_regenerated_kernels_stay_exact(cell):
+    # regeneration is not just cache hygiene: the fresh kernel for the
+    # mutated geometry must match the oracle under that geometry
+    walk, _ = cell
+    mem = dataclasses.replace(
+        MemoryConfig(), icache_size=4 * 1024, write_buffer_depth=2
+    )
+    cfg = dataclasses.replace(AlphaConfig(), memory=mem)
+    paths = ("vector", "source") if have_numpy() else ("source",)
+    for path in paths:
+        assert GenMachine(cfg, path=path).run(walk.packed) == MachineSimulator(
+            cfg
+        ).run(walk.trace)
+
+
+def test_clear_kernels_forces_regeneration(cell):
+    walk, _ = cell
+    bound_kernel(walk.packed)
+    clear_kernels()
+    assert _generations_for(walk.packed) == 1
