@@ -20,15 +20,30 @@ optimisation (caching disabled, packed-trace reuse broken, a
 per-instruction branch crept into the kernel, ...); on the second, that
 the generated kernels lost their transition-replay advantage.
 
-The committed baseline itself is validated first: a null in an enforced
-field (e.g. ``seed_seconds`` from a run that could not export the seed
-commit) fails the gate instead of silently weakening it.
+The gate also covers the traffic engine: ``--traffic`` points at a
+``bench_traffic.py`` smoke run and requires::
+
+    measured streaming_speedup_vs_naive >= max(10, traffic-threshold * recorded)
+    measured hit_rates == recorded hit_rates   (bit-for-bit)
+
+The first failing means the transition-memoized stream lost its replay
+advantage over naive per-packet simulation; the second that the flow-map
+caching semantics drifted (hit rates on the fixed deterministic cell are
+exact rationals, not timings).
+
+Every committed baseline is validated first: a null in an enforced field
+(e.g. ``seed_seconds`` from a run that could not export the seed commit)
+fails the gate instead of silently weakening it.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_simspeed.py --smoke --trials 1 \
         --output /tmp/smoke.json
     python benchmarks/check_perf_trend.py /tmp/smoke.json [--threshold 0.8]
+
+    PYTHONPATH=src python benchmarks/bench_traffic.py --smoke \
+        --output /tmp/traffic.json
+    python benchmarks/check_perf_trend.py --traffic /tmp/traffic.json
 """
 
 from __future__ import annotations
@@ -40,10 +55,16 @@ import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 BASELINE = REPO / "BENCH_simspeed.json"
+TRAFFIC_BASELINE = REPO / "BENCH_traffic.json"
 
 #: the gensim acceptance floor: generated-kernel replay must beat the
 #: fast kernel by at least this factor regardless of what was recorded
 GENSIM_KERNEL_FLOOR = 10.0
+
+#: the traffic acceptance floor: transition-memoized streaming must beat
+#: naive per-packet simulation by at least this factor regardless of
+#: what was recorded
+TRAFFIC_STREAM_FLOOR = 10.0
 
 #: baseline fields that must hold real numbers; a null means the
 #: benchmark run that produced the baseline skipped a measurement
@@ -60,12 +81,118 @@ REQUIRED_KERNEL = (
     "gensim_entries_per_sec",
     "gensim_speedup_vs_fast",
 )
+REQUIRED_TRAFFIC_STREAMING = (
+    "fast_packets_per_sec",
+    "gensim_packets_per_sec",
+    "naive_fast_packets_per_sec",
+    "streaming_speedup_vs_naive",
+)
+
+
+def check_traffic(smoke_path: str, baseline_path: str, threshold: float) -> bool:
+    """The traffic-engine gate; returns True on failure."""
+    baseline = json.loads(pathlib.Path(baseline_path).read_text())
+    smoke = json.loads(pathlib.Path(smoke_path).read_text())
+
+    missing = [
+        f"streaming.{name}"
+        for name in REQUIRED_TRAFFIC_STREAMING
+        if baseline.get("streaming", {}).get(name) is None
+    ]
+    recorded_rates = baseline.get("hit_rates", {}).get("schemes") or {}
+    if not recorded_rates:
+        missing.append("hit_rates.schemes")
+    missing.extend(
+        f"hit_rates.schemes.{name}"
+        for name, rate in recorded_rates.items()
+        if rate is None
+    )
+    if missing:
+        print(
+            f"BASELINE INVALID: null/missing field(s) in {baseline_path}: "
+            f"{', '.join(missing)} — regenerate it with "
+            "`PYTHONPATH=src python benchmarks/bench_traffic.py`",
+            file=sys.stderr,
+        )
+        return True
+
+    failed = False
+    recorded = baseline["streaming"]["streaming_speedup_vs_naive"]
+    measured = smoke.get("streaming", {}).get("streaming_speedup_vs_naive")
+    if measured is None:
+        print(
+            f"\nPERF REGRESSION: {smoke_path} carries no "
+            "streaming.streaming_speedup_vs_naive — the smoke benchmark no "
+            "longer measures the streaming engine",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        floor = max(TRAFFIC_STREAM_FLOOR, threshold * recorded)
+        print(f"recorded streaming_speedup_vs_naive: {recorded}x ({baseline_path})")
+        print(f"measured streaming_speedup_vs_naive: {measured}x ({smoke_path})")
+        print(
+            f"traffic floor (max({TRAFFIC_STREAM_FLOOR}, "
+            f"{threshold} x recorded)): {floor:.2f}x"
+        )
+        if measured < floor:
+            print(
+                f"\nPERF REGRESSION: streaming {measured}x < {floor:.2f}x over "
+                "naive per-packet simulation — the transition memo lost its "
+                "replay advantage",
+                file=sys.stderr,
+            )
+            failed = True
+
+    # hit rates on the fixed cell are exact rationals: require identity
+    measured_cell = smoke.get("hit_rates", {})
+    if measured_cell.get("spec") != baseline["hit_rates"].get("spec"):
+        print(
+            "\nHIT-RATE GATE: smoke and baseline measured different "
+            "deterministic cells — bench_traffic.py's HIT_RATE_SPEC must "
+            "match the committed baseline",
+            file=sys.stderr,
+        )
+        failed = True
+    elif measured_cell.get("schemes") != recorded_rates:
+        print(
+            f"\nHIT-RATE DRIFT: per-scheme hit rates moved on the fixed "
+            f"deterministic cell\n  recorded: {recorded_rates}\n  measured: "
+            f"{measured_cell.get('schemes')}\nThe flow-map caching semantics "
+            "changed; if intentional, regenerate BENCH_traffic.json",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(f"hit rates identical across {len(recorded_rates)} schemes")
+
+    return failed
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("smoke", help="JSON produced by bench_simspeed.py --smoke")
+    parser.add_argument(
+        "smoke",
+        nargs="?",
+        default=None,
+        help="JSON produced by bench_simspeed.py --smoke",
+    )
     parser.add_argument("--baseline", default=str(BASELINE))
+    parser.add_argument(
+        "--traffic",
+        metavar="PATH",
+        default=None,
+        help="also (or only) gate a bench_traffic.py --smoke run",
+    )
+    parser.add_argument("--traffic-baseline", default=str(TRAFFIC_BASELINE))
+    parser.add_argument(
+        "--traffic-threshold",
+        type=float,
+        default=0.5,
+        help="minimum measured/recorded streaming-speedup ratio; the hard "
+        f"floor of {TRAFFIC_STREAM_FLOOR}x naive always applies "
+        "(default 0.5)",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -82,6 +209,20 @@ def main(argv=None) -> int:
         "(default 0.5 — microbenchmark ratios are noisier than sweeps)",
     )
     args = parser.parse_args(argv)
+
+    if args.smoke is None and args.traffic is None:
+        parser.error("nothing to check: pass a simspeed smoke JSON, --traffic, or both")
+
+    traffic_failed = False
+    if args.traffic is not None:
+        traffic_failed = check_traffic(
+            args.traffic, args.traffic_baseline, args.traffic_threshold
+        )
+    if args.smoke is None:
+        if traffic_failed:
+            return 1
+        print("\nperf trend OK")
+        return 0
 
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
     smoke = json.loads(pathlib.Path(args.smoke).read_text())
@@ -116,7 +257,7 @@ def main(argv=None) -> int:
     print(f"measured speedup_vs_reference: {measured}x ({args.smoke})")
     print(f"floor ({args.threshold} x recorded): {floor:.2f}x")
 
-    failed = False
+    failed = traffic_failed
     if measured < floor:
         print(
             f"\nPERF REGRESSION: {measured}x < {floor:.2f}x — the fast "

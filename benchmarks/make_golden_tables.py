@@ -13,9 +13,18 @@ under both ``REPRO_SIM_ENGINE=fast`` and ``=reference`` and fails on
 ``git diff``.  After an intentional model change, rerun this script and
 commit the new tables with the change that explains them.
 
+``--traffic`` regenerates ``benchmarks/results/traffic_demux.txt``
+instead: the demux-cache study (caching scheme x arrival mix, 1M packets
+over 10k flows per point, plus a mixed TCP+RPC section).  Its numbers
+are ratios of exact integer counters, so the same byte-identity gate
+applies — CI regenerates it under ``REPRO_SIM_ENGINE=fast`` and
+``=gensim`` and diffs both against the one committed file, which *is*
+the cross-engine equivalence proof.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/make_golden_tables.py [--check]
+    PYTHONPATH=src python benchmarks/make_golden_tables.py --traffic [--check]
 
 ``--check`` writes nothing and exits 1 if any regenerated table differs
 from the committed file (a git-free equivalent of the CI gate).
@@ -62,6 +71,22 @@ def golden_tables() -> dict:
     return out
 
 
+def golden_traffic() -> dict:
+    """The demux-cache study golden: scheme x mix at acceptance scale."""
+    from repro.api import traffic
+    from repro.harness.reporting import render_traffic_table
+    from repro.traffic import MIXES, TrafficSpec
+
+    # 1M packets over 10k flows per (scheme, mix) point — the issue's
+    # acceptance scale — with enough churn to exercise invalidation
+    base = TrafficSpec(churn=0.0005)
+    sections = [render_traffic_table(traffic(base, mixes=MIXES))]
+    # the interleaved TCP+RPC population on one shared machine
+    mixed = TrafficSpec(stack="mixed", churn=0.0005)
+    sections.append(render_traffic_table(traffic(mixed)))
+    return {"traffic_demux.txt": "\n\n".join(sections) + "\n"}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -69,11 +94,18 @@ def main(argv=None) -> int:
         action="store_true",
         help="compare against the committed files instead of rewriting",
     )
+    parser.add_argument(
+        "--traffic",
+        action="store_true",
+        help="regenerate the demux-cache traffic golden instead of the "
+        "Table-4..7 sweep goldens",
+    )
     args = parser.parse_args(argv)
 
     engine = Settings.from_env().engine
-    print(f"regenerating golden tables ({engine} engine) ...", flush=True)
-    tables = golden_tables()
+    which = "traffic golden" if args.traffic else "golden tables"
+    print(f"regenerating {which} ({engine} engine) ...", flush=True)
+    tables = golden_traffic() if args.traffic else golden_tables()
 
     stale = []
     for name, text in sorted(tables.items()):

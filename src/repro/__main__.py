@@ -15,6 +15,8 @@ Subcommands::
                                                # fault-injection penalties
     python -m repro search <stack> <config> --budget 64 --seed 0
                                                # profile-guided layout search
+    python -m repro traffic <stack> <config> --packets 1000000 --flows 10000
+                                               # demux-cache traffic study
 
 Every subcommand resolves its engine and chaos environment once, through
 :class:`repro.api.Settings`, and runs through the :mod:`repro.api` facade.
@@ -310,6 +312,89 @@ def search_main(argv=None) -> int:
     return 0
 
 
+def traffic_main(argv=None) -> int:
+    """``python -m repro traffic``: million-flow demux-cache study."""
+    from repro.harness.configs import CONFIG_NAMES
+    from repro.traffic import MIXES, STACKS, TrafficSpec
+    from repro.xkernel.map import SCHEME_SPECS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro traffic",
+        description="Stream a synthetic packet mix (Zipf/uniform/bursty/"
+                    "scan arrivals, connection churn, optional mixed "
+                    "TCP+RPC populations) through one configuration's "
+                    "demux path and sweep the flow-map caching scheme, "
+                    "reporting per-scheme hit rates and steady-state "
+                    "mCPI as a paper-style table.",
+    )
+    parser.add_argument("stack", choices=list(STACKS),
+                        help="traffic population ('mixed' interleaves "
+                             "TCP and RPC flows on one machine)")
+    parser.add_argument("config", choices=list(CONFIG_NAMES))
+    parser.add_argument("--packets", type=int, default=1_000_000,
+                        help="packets per sweep point (default: 1000000)")
+    parser.add_argument("--flows", type=int, nargs="+", default=[10_000],
+                        help="concurrent-flow counts to sweep "
+                             "(default: 10000)")
+    parser.add_argument("--mixes", nargs="+", choices=list(MIXES),
+                        default=None,
+                        help="arrival mixes to sweep (default: zipf)")
+    parser.add_argument("--schemes", nargs="+", default=list(SCHEME_SPECS),
+                        help="flow-map caching schemes: none, one-entry, "
+                             "lru:K, direct:N, assoc:SxW "
+                             "(default: the full taxonomy)")
+    parser.add_argument("--engine",
+                        choices=["fast", "gensim", "guarded",
+                                 "guarded-gensim"],
+                        default=None,
+                        help="streaming engine (default: $REPRO_SIM_ENGINE "
+                             "or fast; tables are bit-identical across "
+                             "engines, and the reference engine has no "
+                             "packed-segment pass)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="arrival/churn stream seed")
+    parser.add_argument("--warmup", type=int, default=10_000,
+                        help="packets excluded from the steady window")
+    parser.add_argument("--churn", type=float, default=0.0,
+                        help="per-packet connection-replacement "
+                             "probability")
+    parser.add_argument("--scan-fraction", type=float, default=0.5,
+                        help="never-bound-key fraction of the scan mix")
+    parser.add_argument("--rpc-fraction", type=float, default=0.25,
+                        help="RPC share of the mixed population")
+    parser.add_argument("--zipf-s", type=float, default=1.1,
+                        help="Zipf skew of the flow popularity ranking")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the full study as JSON "
+                             "('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    from repro import api
+    from repro.harness.reporting import render_traffic_table
+
+    settings = api.Settings.from_env(engine=args.engine)
+    spec = TrafficSpec(
+        stack=args.stack, config=args.config, packets=args.packets,
+        flows=args.flows[0], zipf_s=args.zipf_s, churn=args.churn,
+        scan_fraction=args.scan_fraction, rpc_fraction=args.rpc_fraction,
+        seed=args.seed, warmup_packets=args.warmup,
+    )
+    study = api.traffic(
+        spec, schemes=args.schemes, mixes=args.mixes,
+        flow_counts=args.flows, settings=settings,
+    )
+    if args.json is not None:
+        payload = json.dumps(study.to_json(), indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+    if args.json != "-":
+        print(render_traffic_table(study))
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -321,6 +406,8 @@ def main(argv=None) -> int:
         return faults_main(argv[1:])
     if argv and argv[0] == "search":
         return search_main(argv[1:])
+    if argv and argv[0] == "traffic":
+        return traffic_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the tables of TR 96-03 from the "

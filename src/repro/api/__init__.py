@@ -1,12 +1,13 @@
 """``repro.api``: the unified front door to the measurement system.
 
-One spec type, three verbs::
+One spec type, four verbs::
 
-    from repro.api import RunSpec, Settings, run, sweep, search
+    from repro.api import RunSpec, Settings, run, sweep, search, traffic
 
     result = run(RunSpec("tcpip", "CLO", samples=3))
     table4 = sweep([RunSpec("tcpip", c) for c in ("STD", "OUT", "CLO")])
     found = search(RunSpec("tcpip", "CLO"), budget=96, seed=0)
+    study = traffic()  # 1M-packet demux-cache sweep of the default cell
 
 * :func:`run` measures one :class:`RunSpec` cell (the legacy
   ``Experiment`` path, bit-identically),
@@ -15,7 +16,11 @@ One spec type, three verbs::
   sweep of one stack,
 * :func:`search` runs the profile-guided layout search of
   :mod:`repro.search` over the spec's cell and returns the best layout
-  found as a replayable artifact.
+  found as a replayable artifact,
+* :func:`traffic` streams a synthetic million-packet flow mix through
+  the demux path and sweeps the flow-map caching scheme (the
+  :mod:`repro.traffic` study; it takes a ``TrafficSpec``, not a
+  ``RunSpec``).
 
 Environment configuration (``REPRO_SIM_ENGINE``, ``REPRO_VERIFY_IR``,
 ``REPRO_CHAOS``) is resolved once per call through
@@ -40,6 +45,7 @@ __all__ = [
     "search",
     "settings_for",
     "sweep",
+    "traffic",
     "validate_engine",
 ]
 
@@ -191,5 +197,48 @@ def search(
         parallel=parallel,
         max_workers=max_workers,
         micro_baseline=micro_baseline,
+        **kwargs,
+    )
+
+
+def traffic(
+    spec=None,
+    *,
+    schemes: Optional[Sequence[str]] = None,
+    mixes: Optional[Sequence[str]] = None,
+    flow_counts: Optional[Sequence[int]] = None,
+    engine: Optional[str] = None,
+    settings: Optional[Settings] = None,
+):
+    """Demux-cache traffic study: stream millions of packets per point.
+
+    Sweeps caching scheme x arrival mix x flow count over the spec's
+    (stack, configuration) cell and returns a
+    :class:`repro.traffic.TrafficStudy` carrying per-scheme flow-map hit
+    rates and cold/steady cycle totals.  ``spec`` is a
+    :class:`repro.traffic.TrafficSpec` (default: the CI reference cell —
+    1M packets over 10k flows of Zipf-distributed TCP traffic); axes
+    default to the spec's own mix and flow count, and to every scheme in
+    :data:`repro.xkernel.map.SCHEME_SPECS`.
+
+    The streaming engines are exact, so equal specs produce bit-identical
+    studies on ``fast`` and ``gensim`` (a CI golden gate holds this
+    equivalence); the ``reference`` engine has no packed-segment pass and
+    is refused.
+    """
+    from repro.traffic import TrafficSpec, run_traffic_study
+
+    if spec is None:
+        spec = TrafficSpec()
+    base = settings if settings is not None else Settings.from_env()
+    base = base.with_engine(engine)
+    kwargs = {}
+    if schemes is not None:
+        kwargs["schemes"] = tuple(schemes)
+    return run_traffic_study(
+        spec,
+        mixes=mixes,
+        flow_counts=flow_counts,
+        engine=base.engine,
         **kwargs,
     )

@@ -519,6 +519,54 @@ class FastMachine:
         )
 
     # ------------------------------------------------------------------ #
+    # state snapshot / restore (streaming support)                       #
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self, b_indices: Optional[Sequence[int]] = None) -> tuple:
+        """The hierarchy's state as one hashable token (counters excluded).
+
+        ``b_indices`` restricts the b-cache tag snapshot to the given set
+        indices — callers that replay a closed alphabet of traces (the
+        traffic engine) pass the union of indices those traces can touch,
+        keeping tokens small.  Restoring such a token is only sound on a
+        machine whose other b-cache sets are untouched since reset.
+        """
+        bt = self._btags
+        b_part = tuple(bt) if b_indices is None else tuple(bt[i] for i in b_indices)
+        return (
+            tuple(self._itags),
+            tuple(self._dtags),
+            b_part,
+            frozenset(self._i_ever),
+            frozenset(self._d_ever),
+            frozenset(self._b_ever),
+            tuple(self._wb),
+            self._sb_block,
+            self._sb_was_miss,
+        )
+
+    def restore_state(
+        self, snap: tuple, b_indices: Optional[Sequence[int]] = None
+    ) -> None:
+        """Restore a :meth:`snapshot_state` token (counters untouched)."""
+        itags, dtags, b_part, i_ever, d_ever, b_ever, wb, sb, sbm = snap
+        self._itags[:] = itags
+        self._dtags[:] = dtags
+        if b_indices is None:
+            self._btags[:] = b_part
+        else:
+            bt = self._btags
+            for i, tag in zip(b_indices, b_part):
+                bt[i] = tag
+        self._i_ever = set(i_ever)
+        self._d_ever = set(d_ever)
+        self._b_ever = set(b_ever)
+        self._wb = list(wb)
+        self._wb_set = set(wb)
+        self._sb_block = sb
+        self._sb_was_miss = sbm
+
+    # ------------------------------------------------------------------ #
     # MachineSimulator-compatible API                                    #
     # ------------------------------------------------------------------ #
 
@@ -528,6 +576,18 @@ class FastMachine:
         self._mem_pass(packed)
         if self.sink is not None:
             self.sink.observe_pass(packed, measure=False)
+
+    def mem_delta(self, trace: Traceable) -> List[int]:
+        """One raw memory pass, returning the 15-counter delta.
+
+        The streaming traffic engine sums these deltas itself (scaled by
+        how often each transition fires), so it wants the counters rather
+        than a :class:`MemoryStats`; no attribution sink is consulted.
+        """
+        packed = as_packed(trace)
+        before = list(self._c)
+        self._mem_pass(packed)
+        return [a - b for a, b in zip(self._c, before)]
 
     def run(self, trace: Traceable) -> SimResult:
         """Simulate one trace, returning stats for exactly that trace."""

@@ -124,6 +124,22 @@ class PackedTrace:
                    e.dwrite, e.taken)
         return packed
 
+    def shifted(self, offset: int) -> "PackedTrace":
+        """A copy with every address rebased by ``offset``.
+
+        The traffic engine uses this to load a second protocol image at a
+        bcache-aligned offset: the shifted trace keeps every cache index
+        (any offset that is a multiple of the largest cache size preserves
+        block-modulo-geometry) while occupying distinct blocks, so two
+        images compete for lines without aliasing each other's code.
+        Data addresses shift too; ``-1`` (no memory access) is preserved.
+        """
+        if offset == 0:
+            return self
+        pcs = array("q", (pc + offset for pc in self.pcs))
+        daddrs = array("q", (d if d < 0 else d + offset for d in self.daddrs))
+        return PackedTrace(pcs, daddrs, bytearray(self.ops), bytearray(self.flags))
+
     # ------------------------------------------------------------------ #
     # views                                                              #
     # ------------------------------------------------------------------ #

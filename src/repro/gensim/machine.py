@@ -385,6 +385,107 @@ class GenMachine:
         kernel = bound_kernel(packed, self.config, self.path)
         kernel.mem_pass(self._ensure_state(kernel))
 
+    # ------------------------------------------------------------------ #
+    # state snapshot / restore (streaming support)                       #
+    # ------------------------------------------------------------------ #
+
+    def _shaped_state(self):
+        if self._state is None:
+            mem = self.config.memory
+            if self.path == "vector":
+                from repro.gensim.vector import VectorState
+
+                self._state = VectorState(mem)
+            else:
+                self._state = SourceState(mem)
+        return self._state
+
+    def snapshot_state(self, b_indices=None) -> tuple:
+        """The hierarchy's state as one hashable token (counters and the
+        provenance token excluded); mirrors
+        :meth:`repro.arch.fastsim.FastMachine.snapshot_state`."""
+        st = self._shaped_state()
+        if self.path == "vector":
+            import numpy as np
+
+            bt = st.btags if b_indices is None else st.btags[np.asarray(b_indices)]
+            return (
+                st.itags.tobytes(),
+                st.dtags.tobytes(),
+                bt.tobytes(),
+                st.i_ever.tobytes(),
+                st.d_ever.tobytes(),
+                st.b_ever.tobytes(),
+                tuple(st.wb),
+                st.sb_block,
+                st.sb_was_miss,
+            )
+        bt = st.btags if b_indices is None else [st.btags[i] for i in b_indices]
+        return (
+            tuple(st.itags),
+            tuple(st.dtags),
+            tuple(bt),
+            frozenset(st.i_ever),
+            frozenset(st.d_ever),
+            frozenset(st.b_ever),
+            tuple(st.wb),
+            st.sb_block,
+            st.sb_was_miss,
+        )
+
+    def restore_state(
+        self, snap: tuple, b_indices=None, *, token: str = "restored"
+    ) -> None:
+        """Restore a :meth:`snapshot_state` token.
+
+        ``token`` becomes the vector state's provenance: the caller must
+        make it unique per distinct snapshot (two states with equal tokens
+        are assumed bit-identical by the transition-replay memo).
+        """
+        st = self._shaped_state()
+        itags, dtags, b_part, i_ever, d_ever, b_ever, wb, sb, sbm = snap
+        if self.path == "vector":
+            import numpy as np
+
+            i64 = np.int64
+            st.itags = np.frombuffer(itags, dtype=i64).copy()
+            st.dtags = np.frombuffer(dtags, dtype=i64).copy()
+            b_tags = np.frombuffer(b_part, dtype=i64)
+            if b_indices is None:
+                st.btags = b_tags.copy()
+            else:
+                st.btags[np.asarray(b_indices)] = b_tags
+            st.i_ever = np.frombuffer(i_ever, dtype=i64).copy()
+            st.d_ever = np.frombuffer(d_ever, dtype=i64).copy()
+            st.b_ever = np.frombuffer(b_ever, dtype=i64).copy()
+            st.wb = tuple(wb)
+            st.token = token
+        else:
+            st.itags[:] = itags
+            st.dtags[:] = dtags
+            if b_indices is None:
+                st.btags[:] = b_part
+            else:
+                for i, tag in zip(b_indices, b_part):
+                    st.btags[i] = tag
+            st.i_ever = set(i_ever)
+            st.d_ever = set(d_ever)
+            st.b_ever = set(b_ever)
+            st.wb = list(wb)
+            st.wb_set = set(wb)
+        st.sb_block = sb
+        st.sb_was_miss = sbm
+
+    def mem_delta(self, trace) -> list:
+        """One raw memory pass, returning the 15-counter delta (the
+        streaming traffic engine's unit of accounting)."""
+        packed = as_packed(trace)
+        kernel = bound_kernel(packed, self.config, self.path)
+        state = self._ensure_state(kernel)
+        before = list(state.c)
+        kernel.mem_pass(state)
+        return [a - b for a, b in zip(state.c, before)]
+
     def run(self, trace) -> SimResult:
         """Simulate one trace, returning stats for exactly that trace."""
         packed = as_packed(trace)

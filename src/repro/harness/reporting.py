@@ -364,3 +364,55 @@ def render_sweep_report(report) -> str:
             f"{detail}"
         )
     return "\n".join(lines)
+
+
+def render_traffic_table(study) -> str:
+    """The demux-cache study as a paper-style table.
+
+    One row per (mix, flows, scheme) point: the l4 flow map's hit rate,
+    mean front-end probes and collision-chain links per resolve, the
+    stream's steady-state mCPI, and its delta against the paper's
+    one-entry scheme on the same (mix, flows) — Jain's comparison
+    protocol applied to the x-kernel demux layer.  Every column is a
+    ratio of exact integers, so the rendering is bit-stable across
+    engines and platforms.
+    """
+    spec = study.base_spec
+    # no engine in the header: fast and gensim must render byte-identical
+    # tables (the CI traffic gate diffs one committed file from both)
+    lines = [
+        f"Demux-cache study: {spec.stack} {spec.config}",
+        f"{spec.packets:,} packets/point, warmup {spec.warmup_packets:,}, "
+        f"{spec.buckets} buckets, churn {spec.churn:g}, seed {spec.seed}",
+        _rule(86),
+        f"{'mix':8s} {'flows':>7s} {'scheme':11s} {'l4 hit%':>8s} "
+        f"{'probes/res':>11s} {'chain/res':>10s} {'steady mCPI':>12s} "
+        f"{'vs one-entry':>13s}",
+        _rule(86),
+    ]
+    for flows in study.flow_counts:
+        for mix in study.mixes:
+            baseline = None
+            if "one-entry" in study.schemes:
+                baseline = study.point("one-entry", mix, flows)
+            for scheme in study.schemes:
+                p = study.point(scheme, mix, flows)
+                l4 = [layers["l4"] for layers in p.map_stats.values()]
+                resolves = sum(s["resolves"] for s in l4)
+                probes = sum(s["probe_compares"] for s in l4)
+                chain = sum(s["chain_probes"] for s in l4)
+                delta = ""
+                if baseline is not None and baseline.steady_mcpi:
+                    rel = (p.steady_mcpi / baseline.steady_mcpi - 1.0) * 100
+                    delta = f"{rel:+12.2f}%"
+                lines.append(
+                    f"{mix:8s} {flows:>7d} {scheme:11s} "
+                    f"{p.l4_hit_rate * 100:8.2f} "
+                    f"{probes / resolves if resolves else 0:11.3f} "
+                    f"{chain / resolves if resolves else 0:10.3f} "
+                    f"{p.steady_mcpi:12.4f} {delta:>13s}"
+                )
+            lines.append("")
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Streaming traffic engine and demux-cache study.
+
+``repro.traffic`` drives millions of packets across tens of thousands of
+concurrent flows through the modeled receive path without ever
+materializing a full trace: arrivals are sampled one packet at a time,
+each packet's demux outcome (per-layer cache hit/miss, probe count,
+collision-chain depth) selects one packed *segment* from a small,
+lazily-walked library, and a transition-memoized stream machine advances
+the persistent cache hierarchy one segment at a time — exactly, because
+a segment replayed from a bit-identical machine state always produces
+the same counter delta.
+
+The front-end cache in front of the x-kernel demux map is pluggable
+(see :mod:`repro.xkernel.map`), which is what turns the paper's fixed
+one-entry design into a Jain-style caching-scheme comparison: the study
+sweeps scheme x arrival mix x flow count and reports per-scheme hit
+rates and steady-mCPI impact.
+"""
+
+from repro.traffic.spec import MIXES, STACKS, TrafficSpec
+from repro.traffic.study import (
+    TrafficPoint,
+    TrafficStudy,
+    run_traffic_point,
+    run_traffic_study,
+)
+
+__all__ = [
+    "MIXES",
+    "STACKS",
+    "TrafficSpec",
+    "TrafficPoint",
+    "TrafficStudy",
+    "run_traffic_point",
+    "run_traffic_study",
+]

@@ -1,0 +1,74 @@
+"""Deterministic per-packet arrival sampling.
+
+The sampler hands out one flow *slot* per packet.  Slots are stable
+identities (slot 0 is the hottest under Zipf); the driver maps a slot to
+its currently-bound flow, so connection churn can retire a flow without
+disturbing the arrival distribution.  ``SCAN`` marks a packet carrying a
+never-bound key.
+
+Everything is driven by one ``random.Random(seed)`` so a spec describes
+exactly one stream.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from typing import List
+
+from repro.traffic.spec import TrafficSpec
+
+#: sentinel slot for scan-attack packets (no bound flow)
+SCAN = -1
+
+
+class ArrivalSampler:
+    """Samples the next packet's flow slot according to the spec's mix."""
+
+    def __init__(self, spec: TrafficSpec, rng: random.Random) -> None:
+        self._rng = rng
+        self._mix = spec.mix
+        self._flows = spec.flows
+        self._scan_fraction = spec.scan_fraction
+        #: geometric burst continuation probability: mean = 1/(1-p)
+        self._burst_p = 1.0 - 1.0 / spec.burst_mean
+        self._burst_slot = 0
+        self._in_burst = False
+        if spec.mix in ("zipf", "bursty", "scan"):
+            self._cum = self._zipf_cumulative(spec.flows, spec.zipf_s)
+            self._total = self._cum[-1]
+        else:
+            self._cum = []
+            self._total = 0.0
+
+    @staticmethod
+    def _zipf_cumulative(flows: int, s: float) -> List[float]:
+        cum: List[float] = []
+        acc = 0.0
+        for rank in range(flows):
+            acc += 1.0 / (rank + 1) ** s
+            cum.append(acc)
+        return cum
+
+    def _zipf_slot(self) -> int:
+        # the min() guards the r*total==total float-rounding corner
+        slot = bisect_right(self._cum, self._rng.random() * self._total)
+        return min(slot, self._flows - 1)
+
+    def next(self) -> int:
+        """The next packet's slot (``SCAN`` for a scan-attack packet)."""
+        mix = self._mix
+        if mix == "uniform":
+            return self._rng.randrange(self._flows)
+        if mix == "zipf":
+            return self._zipf_slot()
+        if mix == "bursty":
+            if self._in_burst and self._rng.random() < self._burst_p:
+                return self._burst_slot
+            self._burst_slot = self._zipf_slot()
+            self._in_burst = True
+            return self._burst_slot
+        # scan: adversarial fresh keys over a Zipf background
+        if self._rng.random() < self._scan_fraction:
+            return SCAN
+        return self._zipf_slot()

@@ -1,0 +1,157 @@
+"""Per-population demux maps and the per-packet probe.
+
+One :class:`FlowTables` instance models the receive path's demultiplexing
+state for one protocol population (TCP or RPC): a tiny ethertype map, an
+IP protocol map (TCP stack only), and the l4 flow map holding one binding
+per live connection.  All three share the same front-end cache scheme, so
+a scheme sweep changes every layer consistently.
+
+``probe_packet`` performs real lookups (through
+:class:`repro.xkernel.map.Map`, so every ``MapStats`` counter is genuine)
+and classifies the packet into a :class:`LayerOutcome` triple the segment
+library turns into trace conds.  The singleton maps (one binding, one
+key ever probed) reach a per-resolve fixed point after their second
+lookup — the cached entry is re-hit (or, with no cache, the one-entry
+bucket is re-walked) with an identical stats delta every time — so their
+steady resolves are replayed arithmetically instead of through the map
+machinery; ``stats()`` folds the replayed deltas back in before
+reporting, keeping the counters exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.traffic.spec import TrafficSpec
+from repro.xkernel.map import Map, MapStats, make_scheme
+
+#: (hit, probes, chain) per demux layer; ``probes`` is front-end cache
+#: slots compared, ``chain`` is collision-chain links walked (capped)
+LayerOutcome = Tuple[bool, int, int]
+
+#: MapStats fields a resolve can move (binds/unbinds cannot)
+_RESOLVE_FIELDS = (
+    "resolves",
+    "cache_hits",
+    "probe_compares",
+    "installs",
+    "evictions",
+    "invalidations",
+    "chain_probes",
+)
+
+
+def _key(uid: int) -> bytes:
+    return uid.to_bytes(8, "little")
+
+
+class _SingletonProbe:
+    """A one-binding map whose steady resolves are delta-replayed."""
+
+    __slots__ = ("map", "outcome", "delta", "extra", "_seen")
+
+    def __init__(self, m: Map) -> None:
+        self.map = m
+        self.outcome: Optional[LayerOutcome] = None
+        self.delta: Optional[List[int]] = None
+        self.extra = 0
+        self._seen = 0
+
+    def probe(self, cap: int) -> LayerOutcome:
+        if self.delta is not None:
+            self.extra += 1
+            return self.outcome
+        self._seen += 1
+        if self._seen == 2:
+            before = [getattr(self.map.stats, f) for f in _RESOLVE_FIELDS]
+        self.map.resolve_or_none(_key(0))
+        last = self.map.last
+        outcome = (last.hit, last.probes, min(last.chain, cap))
+        if self._seen == 2:
+            # from here on every resolve repeats this one exactly
+            self.delta = [
+                getattr(self.map.stats, f) - b for f, b in zip(_RESOLVE_FIELDS, before)
+            ]
+            self.outcome = outcome
+        return outcome
+
+    def flush(self) -> None:
+        if self.extra and self.delta is not None:
+            for f, d in zip(_RESOLVE_FIELDS, self.delta):
+                setattr(self.map.stats, f, getattr(self.map.stats, f) + d * self.extra)
+            self.extra = 0
+
+
+class FlowTables:
+    """Demux maps for one population, all under one cache scheme."""
+
+    #: singleton-map layers get a small realistic table
+    SMALL_BUCKETS = 16
+
+    def __init__(
+        self, spec: TrafficSpec, scheme_spec: str, *, population: str
+    ) -> None:
+        self.population = population
+        self._cap = spec.chain_cap
+        eth = Map(self.SMALL_BUCKETS, scheme=make_scheme(scheme_spec))
+        eth.bind(_key(0), "eth-proto")
+        self._eth = _SingletonProbe(eth)
+        self._ip: Optional[_SingletonProbe] = None
+        if population == "tcp":
+            ip = Map(self.SMALL_BUCKETS, scheme=make_scheme(scheme_spec))
+            ip.bind(_key(0), "ip-proto")
+            self._ip = _SingletonProbe(ip)
+        self.l4 = Map(spec.buckets, scheme=make_scheme(scheme_spec))
+        self.bound: set = set()
+
+    @property
+    def eth(self) -> Map:
+        return self._eth.map
+
+    @property
+    def ip(self) -> Optional[Map]:
+        return self._ip.map if self._ip is not None else None
+
+    # ------------------------------------------------------------------ #
+    # connection lifecycle                                               #
+    # ------------------------------------------------------------------ #
+
+    def open_flow(self, uid: int) -> None:
+        self.l4.bind(_key(uid), uid)
+        self.bound.add(uid)
+
+    def close_flow(self, uid: int) -> None:
+        self.l4.unbind(_key(uid))
+        self.bound.discard(uid)
+
+    # ------------------------------------------------------------------ #
+    # the per-packet probe                                               #
+    # ------------------------------------------------------------------ #
+
+    def probe_packet(
+        self, uid: int
+    ) -> Tuple[LayerOutcome, Optional[LayerOutcome], LayerOutcome]:
+        """Demultiplex one packet: (eth, ip-or-None, l4) outcomes.
+
+        Unbound ``uid``s (scan packets, or the first packet racing a
+        churned slot) miss every cache and walk their full collision
+        chain — the not-found cost.
+        """
+        cap = self._cap
+        eth = self._eth.probe(cap)
+        ip = self._ip.probe(cap) if self._ip is not None else None
+        self.l4.resolve_or_none(_key(uid))
+        last = self.l4.last
+        return eth, ip, (last.hit, last.probes, min(last.chain, cap))
+
+    # ------------------------------------------------------------------ #
+    # reporting                                                          #
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, MapStats]:
+        self._eth.flush()
+        layers = {"eth": self._eth.map.stats, "l4": self.l4.stats}
+        if self._ip is not None:
+            self._ip.flush()
+            layers["ip"] = self._ip.map.stats
+        return layers

@@ -1,0 +1,199 @@
+"""Per-cell segment library: demux outcomes -> packed trace segments.
+
+One real roundtrip is captured per cell; its receive-side demux span (the
+balanced top-level ``eth_demux`` slice) is the template every packet's
+trace is cut from.  A packet's classified demux outcome — per-layer cache
+hit/miss, front-end probes, collision-chain depth, established-or-not —
+is translated into overrides of the span's map conds, and the overridden
+span is walked once into a :class:`~repro.arch.packed.PackedTrace`.  The
+library memoizes walks per outcome tuple, so a million-packet stream
+walks only its small segment alphabet (typically well under fifty).
+
+Scheme probe costs ride on the *existing* modeled conds — the inlined
+one-entry test (``map_cache_hit``) and the general routine's compare
+loop/chain loop (``map_resolve.key_words`` / ``map_resolve.chain``) — so
+the program image, and with it every committed golden table, is
+untouched.  A non-one-entry front end is not inlinable (the paper inlines
+the probe *because* it is a single compare), so its probes are charged in
+the general routine: ``key_words`` trips = slots compared x key words,
+plus a constant for hash-indexed schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.cpu import CpuStats
+from repro.arch.fastsim import cpu_pass
+from repro.arch.packed import PackedTrace
+from repro.core.fastwalk import FastWalker
+from repro.core.walker import EnterEvent, Event, ExitEvent, MarkEvent
+from repro.harness.configs import build_configured_program_cached
+from repro.harness.experiment import Experiment
+from repro.traffic.flowtable import LayerOutcome
+from repro.xkernel.map import CacheScheme, OneEntryCache
+
+#: fn name of each demux layer's event, per stack
+LAYER_FNS = {
+    "tcpip": {"eth": "eth_demux", "ip": "ip_demux", "l4": "tcp_demux"},
+    "rpc": {"eth": "eth_demux", "l4": "chan_demux"},
+}
+
+#: a packet's full classification: population ("tcp"/"rpc"), per-layer
+#: outcomes, and whether the l4 flow is in its established state
+Variant = Tuple[str, LayerOutcome, Optional[LayerOutcome], LayerOutcome, bool]
+
+
+def _snapshot_conds(events: List[Event]) -> None:
+    """Freeze callable (lazy) conds to the value they produce now, so
+    every variant walk sees the captured roundtrip's decisions."""
+    for ev in events:
+        if isinstance(ev, EnterEvent):
+            for key, value in list(ev.conds.items()):
+                if callable(value):
+                    ev.conds[key] = value()
+
+
+def _clone_span(events: List[Event]) -> List[Event]:
+    out: List[Event] = []
+    for ev in events:
+        if isinstance(ev, EnterEvent):
+            out.append(
+                EnterEvent(
+                    ev.fn,
+                    {
+                        k: (list(v) if isinstance(v, list) else v)
+                        for k, v in ev.conds.items()
+                    },
+                    dict(ev.data),
+                )
+            )
+        elif isinstance(ev, ExitEvent):
+            out.append(ExitEvent(ev.fn))
+        else:
+            out.append(MarkEvent(ev.name))
+    return out
+
+
+def extract_demux_span(events: List[Event]) -> List[Event]:
+    """The balanced top-level ``eth_demux`` slice of a captured stream."""
+    depth = 0
+    start = None
+    for i, ev in enumerate(events):
+        if isinstance(ev, EnterEvent):
+            if depth == 0 and ev.fn == "eth_demux":
+                start = i
+            depth += 1
+        elif isinstance(ev, ExitEvent):
+            depth -= 1
+            if depth == 0 and start is not None:
+                return events[start : i + 1]
+    raise ValueError("captured stream has no balanced eth_demux span")
+
+
+class SegmentLibrary:
+    """Lazily-walked variant -> (PackedTrace, CpuStats) per cell.
+
+    ``image_offset`` rebases the cell's whole image (code and data); the
+    mixed-stack study loads the RPC image at a bcache-aligned offset so
+    both images keep their native cache indices while competing for
+    lines.
+    """
+
+    def __init__(
+        self,
+        stack: str,
+        config: str,
+        *,
+        population: str,
+        capture_seed: int = 42,
+        image_offset: int = 0,
+    ) -> None:
+        if stack not in LAYER_FNS:
+            raise ValueError(f"no demux layer model for stack {stack!r}")
+        self.stack = stack
+        self.config = config
+        self.population = population
+        self.image_offset = image_offset
+        exp = Experiment(stack, config)
+        events, self._data_env = exp.capture_roundtrip(capture_seed)
+        self._build = build_configured_program_cached(stack, config, exp.opts)
+        self._span = extract_demux_span(events)
+        _snapshot_conds(self._span)
+        self._layer_events = self._locate_layers()
+        #: captured key-compare loop trips per layer (words per key)
+        self.key_words: Dict[str, int] = {
+            layer: self._span[idx].conds["map_resolve.key_words"]
+            for layer, idx in self._layer_events.items()
+        }
+        self._segments: Dict[tuple, Tuple[PackedTrace, CpuStats]] = {}
+
+    def _locate_layers(self) -> Dict[str, int]:
+        fns = LAYER_FNS[self.stack]
+        located: Dict[str, int] = {}
+        for i, ev in enumerate(self._span):
+            if isinstance(ev, EnterEvent):
+                for layer, fn in fns.items():
+                    if ev.fn == fn:
+                        located[layer] = i
+        missing = set(fns) - set(located)
+        if missing:
+            raise ValueError(
+                f"demux span of {self.stack} lacks layer event(s) {missing}"
+            )
+        return located
+
+    # ------------------------------------------------------------------ #
+    # cond overrides                                                     #
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _apply_outcome(
+        ev: EnterEvent, scheme: CacheScheme, outcome: LayerOutcome, key_words: int
+    ) -> None:
+        hit, probes, chain = outcome
+        if isinstance(scheme, OneEntryCache):
+            # the paper's inlined single-compare probe
+            ev.conds["map_cache_hit"] = hit
+            if not hit:
+                ev.conds["map_resolve.cache_hit"] = False
+                ev.conds["map_resolve.key_words"] = key_words
+                ev.conds["map_resolve.chain"] = chain
+        else:
+            # any other front end lives in the general routine
+            ev.conds["map_cache_hit"] = False
+            ev.conds["map_resolve.cache_hit"] = hit
+            ev.conds["map_resolve.key_words"] = scheme.probe_trips(probes, key_words)
+            ev.conds["map_resolve.chain"] = chain
+
+    def segment(
+        self, variant: Variant, scheme: CacheScheme
+    ) -> Tuple[PackedTrace, CpuStats]:
+        """The packed segment (and its stateless CPU stats) for one
+        classified packet; walked on first use, memoized after."""
+        key = (scheme.name, variant)
+        cached = self._segments.get(key)
+        if cached is not None:
+            return cached
+        _population, eth, ip, l4, established = variant
+        span = _clone_span(self._span)
+        self._apply_outcome(
+            span[self._layer_events["eth"]], scheme, eth, self.key_words["eth"]
+        )
+        if ip is not None and "ip" in self._layer_events:
+            self._apply_outcome(
+                span[self._layer_events["ip"]], scheme, ip, self.key_words["ip"]
+            )
+        l4_ev = span[self._layer_events["l4"]]
+        self._apply_outcome(l4_ev, scheme, l4, self.key_words["l4"])
+        if "established" in l4_ev.conds:
+            l4_ev.conds["established"] = established
+        walk = FastWalker(self._build.program, self._data_env).walk(span)
+        packed = walk.packed.shifted(self.image_offset)
+        entry = (packed, cpu_pass(packed))
+        self._segments[key] = entry
+        return entry
+
+    @property
+    def alphabet_size(self) -> int:
+        return len(self._segments)

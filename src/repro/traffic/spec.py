@@ -1,0 +1,86 @@
+"""Traffic workload specification.
+
+A :class:`TrafficSpec` pins down one deterministic packet stream: the
+protocol stack(s) it exercises, how many packets arrive over how many
+concurrent flows, the arrival mix, connection churn, and the seeds.  Two
+runs of the same spec — on any engine — see the identical stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+
+#: arrival mixes (Jain's locality regimes plus an adversarial scan)
+MIXES = ("uniform", "zipf", "bursty", "scan")
+
+#: ``mixed`` interleaves TCP and RPC flows in one stream; the RPC image
+#: is loaded at a bcache-aligned offset so both images keep their native
+#: cache geometry while competing for the same lines
+STACKS = ("tcpip", "rpc", "mixed")
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    stack: str = "tcpip"
+    config: str = "OUT"
+    #: stream length; the acceptance-grade sweeps run >= 1M per point
+    packets: int = 1_000_000
+    #: concurrently-bound flows (the l4 demux map population)
+    flows: int = 10_000
+    mix: str = "zipf"
+    #: Zipf exponent for the ``zipf``/``bursty``/``scan`` background load
+    zipf_s: float = 1.1
+    #: mean geometric burst length for the ``bursty`` mix
+    burst_mean: int = 16
+    #: per-packet probability that one bound flow is torn down and a
+    #: fresh one takes its slot (connection churn)
+    churn: float = 0.0
+    #: for the ``scan`` mix: fraction of packets carrying never-bound
+    #: keys (an address-scan attack; they miss every cache and walk a
+    #: full collision chain)
+    scan_fraction: float = 0.5
+    #: for ``stack="mixed"``: fraction of flow slots carrying RPC traffic
+    rpc_fraction: float = 0.25
+    seed: int = 0
+    #: backing hash-table size of the l4 demux map (power of two)
+    buckets: int = 4096
+    #: leading packets excluded from the steady-state window
+    warmup_packets: int = 10_000
+    #: collision-chain depth cap when classifying a packet into a trace
+    #: segment (bounds the segment alphabet; deeper walks are charged at
+    #: the cap)
+    chain_cap: int = 8
+    #: trace-capture seed for the segment library's roundtrip
+    capture_seed: int = 42
+
+    def validate(self) -> None:
+        if self.stack not in STACKS:
+            raise ValueError(f"stack must be one of {STACKS}, got {self.stack!r}")
+        if self.mix not in MIXES:
+            raise ValueError(f"mix must be one of {MIXES}, got {self.mix!r}")
+        if self.packets <= 0:
+            raise ValueError("packets must be positive")
+        if self.flows <= 0:
+            raise ValueError("flows must be positive")
+        if self.buckets <= 0 or self.buckets & (self.buckets - 1):
+            raise ValueError("buckets must be a positive power of two")
+        if not 0.0 <= self.churn < 1.0:
+            raise ValueError("churn must be in [0, 1)")
+        if not 0.0 <= self.scan_fraction <= 1.0:
+            raise ValueError("scan_fraction must be in [0, 1]")
+        if not 0.0 <= self.rpc_fraction <= 1.0:
+            raise ValueError("rpc_fraction must be in [0, 1]")
+        if self.warmup_packets < 0 or self.warmup_packets >= self.packets:
+            raise ValueError("warmup_packets must be in [0, packets)")
+        if self.burst_mean <= 0:
+            raise ValueError("burst_mean must be positive")
+        if self.chain_cap <= 0:
+            raise ValueError("chain_cap must be positive")
+        if self.zipf_s <= 0:
+            raise ValueError("zipf_s must be positive")
+
+    def with_(self, **kwargs) -> "TrafficSpec":
+        return replace(self, **kwargs)
+
+    def to_json(self) -> dict:
+        return asdict(self)

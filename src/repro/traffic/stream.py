@@ -1,0 +1,165 @@
+"""The streaming simulator: exact transition-memoized segment replay.
+
+A dedicated machine (fast or gensim) simulates the packet stream one
+packed segment at a time.  Because both engines are *exact* — a pass
+from a bit-identical hierarchy state always produces the identical
+counter delta and exit state — the stream is a walk over a small
+deterministic transition graph: nodes are interned machine states,
+edges are (state, segment) pairs.  Each edge is simulated **once**; from
+then on, feeding that segment in that state costs one dict lookup and a
+counter increment.  Totals are reconstructed at the end as
+``sum(fire_count x delta)`` per edge, which is exactly what sequential
+simulation would have accumulated.
+
+This is why the engine can push >1M packets/s through a cycle-exact
+model, and why fast and gensim produce bit-identical tables: they agree
+edge-by-edge, and the edge counts are a function of the spec alone.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import count
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.arch.simulator import AlphaConfig
+from repro.arch.fastsim import FastMachine
+
+#: process-unique stream serials: gensim kernels are memoized globally
+#: and replay transitions by provenance token, so a token must never
+#: mean two different physical states across streams in one process
+_STREAM_SERIAL = count()
+
+#: counter indices in the engines' shared 15-counter layout
+_STALL = 11
+_INSTR = 12
+
+
+def make_stream_machine(engine: str, config: Optional[AlphaConfig] = None):
+    """A persistent machine for stream simulation.
+
+    The guarded engines map to their primary (the cross-check harness
+    wraps whole experiments, not stream edges); the reference engine has
+    no packed-segment pass and is refused with a pointer at the oracle
+    tests that cover it.
+    """
+    if engine in ("fast", "guarded"):
+        return FastMachine(config)
+    if engine in ("gensim", "guarded-gensim"):
+        from repro.gensim.machine import GenMachine
+
+        return GenMachine(config)
+    raise ValueError(
+        f"traffic streaming needs a packed-segment engine (fast or gensim), "
+        f"got {engine!r}; the reference engine is exercised by the oracle "
+        "tests in tests/traffic instead"
+    )
+
+
+class TransitionStream:
+    """Exact streaming over one persistent machine via edge memoization.
+
+    ``feed(seg_key, packed_fn)`` advances the logical stream by one
+    segment.  ``packed_fn`` is only called when the edge is novel (the
+    segment library walks lazily).  ``start_phase`` opens a new counting
+    window (warm-up vs steady) without touching machine state.
+    """
+
+    def __init__(self, machine) -> None:
+        self._m = machine
+        self._is_gen = not isinstance(machine, FastMachine)
+        self._serial = next(_STREAM_SERIAL)
+        #: state interning: snapshot -> small int (0 is the cold state)
+        self._state_ids: Dict[tuple, int] = {}
+        self._snapshots: List[Optional[tuple]] = [None]
+        #: (state_id, seg_key) -> (next_state_id, delta tuple)
+        self._edges: Dict[tuple, Tuple[int, Tuple[int, ...]]] = {}
+        self._cur = 0
+        self._phys = 0
+        self.novel_passes = 0
+        self._phases: Dict[str, Counter] = {}
+        self._counts: Counter = Counter()
+
+    # ------------------------------------------------------------------ #
+    # phases                                                             #
+    # ------------------------------------------------------------------ #
+
+    def start_phase(self, name: str) -> None:
+        self._counts = Counter()
+        self._phases[name] = self._counts
+
+    # ------------------------------------------------------------------ #
+    # streaming                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _restore(self, state_id: int) -> None:
+        if state_id == 0:
+            self._m.reset()
+        elif self._is_gen:
+            # the serial keeps tokens unique across streams: without it a
+            # globally-memoized kernel would replay another stream's
+            # state-3 transition for this stream's (different) state 3
+            self._m.restore_state(
+                self._snapshots[state_id],
+                token=f"stream{self._serial}:{state_id}",
+            )
+        else:
+            self._m.restore_state(self._snapshots[state_id])
+        self._phys = state_id
+
+    def _intern(self, snap: tuple) -> int:
+        state_id = self._state_ids.get(snap)
+        if state_id is None:
+            state_id = len(self._snapshots)
+            self._state_ids[snap] = state_id
+            self._snapshots.append(snap)
+        return state_id
+
+    def feed(self, seg_key, packed_fn: Callable) -> None:
+        edge = (self._cur, seg_key)
+        known = self._edges.get(edge)
+        if known is None:
+            if self._phys != self._cur:
+                self._restore(self._cur)
+            delta = tuple(self._m.mem_delta(packed_fn()))
+            next_id = self._intern(self._m.snapshot_state())
+            self._edges[edge] = (next_id, delta)
+            self._cur = self._phys = next_id
+            self.novel_passes += 1
+        else:
+            self._cur = known[0]
+        self._counts[edge] += 1
+
+    # ------------------------------------------------------------------ #
+    # accounting                                                         #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def distinct_states(self) -> int:
+        return len(self._snapshots)
+
+    @property
+    def segment_alphabet(self) -> int:
+        """Distinct segments this stream simulated (library-independent)."""
+        return len({seg_key for _state, seg_key in self._edges})
+
+    def phase_counters(self, name: str) -> List[int]:
+        """The 15-counter total the machine would have accumulated over
+        the phase's segments, reconstructed exactly from edge counts."""
+        totals = [0] * 15
+        for edge, count in self._phases[name].items():
+            delta = self._edges[edge][1]
+            for i in range(15):
+                totals[i] += count * delta[i]
+        return totals
+
+    def phase_seg_counts(self, name: str) -> Counter:
+        """Fire counts per segment key (for CPU-side aggregation)."""
+        out: Counter = Counter()
+        for (_state, seg_key), count in self._phases[name].items():
+            out[seg_key] += count
+        return out
+
+    @staticmethod
+    def stall_and_instructions(counters: List[int]) -> Tuple[int, int]:
+        return counters[_STALL], counters[_INSTR]

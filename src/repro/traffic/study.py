@@ -1,0 +1,342 @@
+"""The demux-cache study: scheme x arrival-mix x flow-count sweeps.
+
+``run_traffic_point`` streams one spec through one scheme on one engine
+and reports hit rates (from the real :class:`~repro.xkernel.map.Map`
+instances) plus cold/steady cycle totals (from the transition-memoized
+stream).  ``run_traffic_study`` sweeps the grid and carries everything a
+paper-style table needs.
+
+All numbers are integers or exact ratios of integers, so two engines —
+or two runs — produce bit-identical JSON and rendered tables.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.simulator import AlphaConfig
+from repro.traffic.arrivals import SCAN, ArrivalSampler
+from repro.traffic.flowtable import FlowTables
+from repro.traffic.segments import SegmentLibrary
+from repro.traffic.spec import MIXES, TrafficSpec
+from repro.traffic.stream import TransitionStream, make_stream_machine
+from repro.xkernel.map import SCHEME_SPECS, make_scheme
+
+
+@dataclass
+class TrafficPoint:
+    """One (spec, scheme, engine) streaming run's results."""
+
+    spec: TrafficSpec
+    scheme: str
+    engine: str
+    packets: int
+    #: per-population, per-layer map statistics
+    map_stats: Dict[str, Dict[str, dict]]
+    #: whole-stream totals
+    instructions: int
+    stall_cycles: int
+    cpu_cycles: int
+    #: totals over the post-warm-up window
+    steady_instructions: int
+    steady_stall_cycles: int
+    steady_cpu_cycles: int
+    #: streaming-engine introspection
+    novel_passes: int
+    distinct_states: int
+    segment_alphabet: int
+
+    @property
+    def l4_hit_rate(self) -> float:
+        resolves = hits = 0
+        for layers in self.map_stats.values():
+            stats = layers["l4"]
+            resolves += stats["resolves"]
+            hits += stats["cache_hits"]
+        return hits / resolves if resolves else 0.0
+
+    @property
+    def mcpi(self) -> float:
+        return self.stall_cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def steady_mcpi(self) -> float:
+        if not self.steady_instructions:
+            return 0.0
+        return self.steady_stall_cycles / self.steady_instructions
+
+    @property
+    def cpi(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return (self.cpu_cycles + self.stall_cycles) / self.instructions
+
+    @property
+    def steady_cpi(self) -> float:
+        if not self.steady_instructions:
+            return 0.0
+        return (
+            self.steady_cpu_cycles + self.steady_stall_cycles
+        ) / self.steady_instructions
+
+    def to_json(self) -> dict:
+        return {
+            "spec": self.spec.to_json(),
+            "scheme": self.scheme,
+            "engine": self.engine,
+            "packets": self.packets,
+            "map_stats": self.map_stats,
+            "instructions": self.instructions,
+            "stall_cycles": self.stall_cycles,
+            "cpu_cycles": self.cpu_cycles,
+            "steady_instructions": self.steady_instructions,
+            "steady_stall_cycles": self.steady_stall_cycles,
+            "steady_cpu_cycles": self.steady_cpu_cycles,
+            "l4_hit_rate": self.l4_hit_rate,
+            "mcpi": self.mcpi,
+            "steady_mcpi": self.steady_mcpi,
+            "novel_passes": self.novel_passes,
+            "distinct_states": self.distinct_states,
+            "segment_alphabet": self.segment_alphabet,
+        }
+
+
+@dataclass
+class TrafficStudy:
+    """A sweep's points plus the axes that produced them."""
+
+    base_spec: TrafficSpec
+    engine: str
+    schemes: Tuple[str, ...]
+    mixes: Tuple[str, ...]
+    flow_counts: Tuple[int, ...]
+    points: List[TrafficPoint] = field(default_factory=list)
+
+    def point(self, scheme: str, mix: str, flows: int) -> TrafficPoint:
+        for p in self.points:
+            if (p.scheme, p.spec.mix, p.spec.flows) == (scheme, mix, flows):
+                return p
+        raise KeyError(f"no point for {(scheme, mix, flows)}")
+
+    def to_json(self) -> dict:
+        return {
+            "base_spec": self.base_spec.to_json(),
+            "engine": self.engine,
+            "schemes": list(self.schemes),
+            "mixes": list(self.mixes),
+            "flow_counts": list(self.flow_counts),
+            "points": [p.to_json() for p in self.points],
+        }
+
+
+def _normalize_engine(engine: str) -> str:
+    if engine in ("fast", "guarded"):
+        return "fast"
+    if engine in ("gensim", "guarded-gensim"):
+        return "gensim"
+    return engine  # make_stream_machine raises with the full story
+
+
+class _CellSetup:
+    """Per-population segment libraries and image offsets for a spec."""
+
+    def __init__(self, spec: TrafficSpec, config: AlphaConfig) -> None:
+        offset = config.memory.bcache_size
+        if spec.stack == "tcpip":
+            populations = {"tcp": ("tcpip", 0)}
+        elif spec.stack == "rpc":
+            populations = {"rpc": ("rpc", 0)}
+        else:  # mixed: the RPC image rides at a bcache-aligned offset
+            populations = {"tcp": ("tcpip", 0), "rpc": ("rpc", offset)}
+        self.libraries: Dict[str, SegmentLibrary] = {
+            pop: SegmentLibrary(
+                stack,
+                spec.config,
+                population=pop,
+                capture_seed=spec.capture_seed,
+                image_offset=off,
+            )
+            for pop, (stack, off) in populations.items()
+        }
+
+    @property
+    def populations(self) -> Tuple[str, ...]:
+        return tuple(self.libraries)
+
+
+def run_traffic_point(
+    spec: TrafficSpec,
+    scheme_spec: str,
+    *,
+    engine: str = "fast",
+    config: Optional[AlphaConfig] = None,
+    setup: Optional[_CellSetup] = None,
+) -> TrafficPoint:
+    """Stream one spec through one caching scheme on one engine."""
+    spec.validate()
+    config = config or AlphaConfig()
+    engine = _normalize_engine(engine)
+    setup = setup or _CellSetup(spec, config)
+    libraries = setup.libraries
+    populations = setup.populations
+
+    rng = random.Random(spec.seed)
+    sampler = ArrivalSampler(spec, rng)
+    tables = {
+        pop: FlowTables(spec, scheme_spec, population=pop) for pop in populations
+    }
+    schemes = {pop: tables[pop].l4.scheme for pop in populations}
+
+    # slot -> (population, flow uid, established); churn retires a uid and
+    # binds a fresh one whose first packet runs the slow (unestablished)
+    # path, as a real connection's first segment would
+    slot_pop: List[str] = []
+    slot_uid: List[int] = []
+    slot_established: List[bool] = []
+    for slot in range(spec.flows):
+        if spec.stack == "mixed":
+            pop = "rpc" if rng.random() < spec.rpc_fraction else "tcp"
+        else:
+            pop = populations[0]
+        slot_pop.append(pop)
+        slot_uid.append(slot)
+        slot_established.append(True)
+        tables[pop].open_flow(slot)
+    next_uid = spec.flows
+    churn = spec.churn
+
+    stream = TransitionStream(make_stream_machine(engine, config))
+    stream.start_phase("warmup")
+    in_warmup = spec.warmup_packets > 0
+    if not in_warmup:
+        stream.start_phase("steady")
+
+    for packet_index in range(spec.packets):
+        if in_warmup and packet_index == spec.warmup_packets:
+            stream.start_phase("steady")
+            in_warmup = False
+        if churn and rng.random() < churn:
+            victim = rng.randrange(spec.flows)
+            pop = slot_pop[victim]
+            tables[pop].close_flow(slot_uid[victim])
+            slot_uid[victim] = next_uid
+            slot_established[victim] = False
+            tables[pop].open_flow(next_uid)
+            next_uid += 1
+        slot = sampler.next()
+        if slot == SCAN:
+            pop = (
+                populations[0]
+                if len(populations) == 1
+                else ("rpc" if rng.random() < spec.rpc_fraction else "tcp")
+            )
+            eth, ip, l4 = tables[pop].probe_packet(next_uid)
+            next_uid += 1
+            established = False
+        else:
+            pop = slot_pop[slot]
+            eth, ip, l4 = tables[pop].probe_packet(slot_uid[slot])
+            established = slot_established[slot]
+            slot_established[slot] = True
+        variant = (pop, eth, ip, l4, established)
+        lib = libraries[pop]
+        scheme = schemes[pop]
+        stream.feed(variant, lambda: lib.segment(variant, scheme)[0])
+
+    warm = stream.phase_counters("warmup") if spec.warmup_packets else [0] * 15
+    steady = stream.phase_counters("steady")
+    total = [w + s for w, s in zip(warm, steady)]
+
+    def cpu_cycles(phase: str) -> int:
+        cycles = 0
+        for variant, count in stream.phase_seg_counts(phase).items():
+            pop = variant[0]
+            cpu = libraries[pop].segment(variant, schemes[pop])[1]
+            cycles += count * cpu.cycles
+        return cycles
+
+    steady_cpu = cpu_cycles("steady")
+    total_cpu = steady_cpu + (cpu_cycles("warmup") if spec.warmup_packets else 0)
+
+    return TrafficPoint(
+        spec=spec,
+        scheme=schemes[populations[0]].name,
+        engine=engine,
+        packets=spec.packets,
+        map_stats={
+            pop: {
+                layer: _stats_json(stats)
+                for layer, stats in tables[pop].stats().items()
+            }
+            for pop in populations
+        },
+        instructions=total[12],
+        stall_cycles=total[11],
+        cpu_cycles=total_cpu,
+        steady_instructions=steady[12],
+        steady_stall_cycles=steady[11],
+        steady_cpu_cycles=steady_cpu,
+        novel_passes=stream.novel_passes,
+        distinct_states=stream.distinct_states,
+        segment_alphabet=stream.segment_alphabet,
+    )
+
+
+def _stats_json(stats) -> dict:
+    return {
+        "scheme": stats.scheme,
+        "resolves": stats.resolves,
+        "cache_hits": stats.cache_hits,
+        "probe_compares": stats.probe_compares,
+        "installs": stats.installs,
+        "evictions": stats.evictions,
+        "invalidations": stats.invalidations,
+        "chain_probes": stats.chain_probes,
+        "binds": stats.binds,
+        "unbinds": stats.unbinds,
+    }
+
+
+def run_traffic_study(
+    base_spec: TrafficSpec,
+    *,
+    schemes: Sequence[str] = SCHEME_SPECS,
+    mixes: Optional[Sequence[str]] = None,
+    flow_counts: Optional[Sequence[int]] = None,
+    engine: str = "fast",
+    config: Optional[AlphaConfig] = None,
+) -> TrafficStudy:
+    """Sweep scheme x mix x flow-count over one cell and engine.
+
+    The segment library is shared across points (walks are per-variant,
+    not per-point); every point gets fresh maps, a fresh machine and the
+    same seeds, so points are independent and the grid order is
+    irrelevant to the numbers.
+    """
+    mixes = tuple(mixes) if mixes is not None else (base_spec.mix,)
+    flow_counts = tuple(flow_counts) if flow_counts is not None else (base_spec.flows,)
+    for mix in mixes:
+        if mix not in MIXES:
+            raise ValueError(f"mix must be one of {MIXES}, got {mix!r}")
+    schemes = tuple(make_scheme(s).name for s in schemes)
+    config = config or AlphaConfig()
+    study = TrafficStudy(
+        base_spec=base_spec,
+        engine=_normalize_engine(engine),
+        schemes=schemes,
+        mixes=mixes,
+        flow_counts=flow_counts,
+    )
+    setup = _CellSetup(base_spec, config)
+    for flows in flow_counts:
+        for mix in mixes:
+            spec = base_spec.with_(mix=mix, flows=flows)
+            for scheme in schemes:
+                study.points.append(
+                    run_traffic_point(
+                        spec, scheme, engine=engine, config=config, setup=setup
+                    )
+                )
+    return study

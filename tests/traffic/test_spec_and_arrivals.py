@@ -1,0 +1,83 @@
+"""TrafficSpec validation and the deterministic arrival sampler."""
+
+import random
+
+import pytest
+
+from repro.traffic import MIXES, STACKS, TrafficSpec
+from repro.traffic.arrivals import SCAN, ArrivalSampler
+
+
+class TestSpec:
+    def test_default_spec_is_the_acceptance_cell(self):
+        spec = TrafficSpec()
+        spec.validate()
+        assert spec.packets == 1_000_000
+        assert spec.flows == 10_000
+        assert spec.stack in STACKS
+        assert spec.mix in MIXES
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"stack": "atm"},
+            {"mix": "poisson"},
+            {"packets": 0},
+            {"flows": -1},
+            {"buckets": 48},
+            {"churn": 1.0},
+            {"scan_fraction": 1.5},
+            {"rpc_fraction": -0.1},
+            {"warmup_packets": 1_000_000},
+            {"burst_mean": 0},
+            {"chain_cap": 0},
+            {"zipf_s": 0.0},
+        ],
+    )
+    def test_validate_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            TrafficSpec(**kwargs).validate()
+
+    def test_with_and_json_round_trip(self):
+        spec = TrafficSpec().with_(mix="bursty", flows=64)
+        assert spec.mix == "bursty"
+        assert spec.flows == 64
+        assert TrafficSpec(**spec.to_json()) == spec
+
+
+class TestArrivals:
+    def _slots(self, spec, n=2_000):
+        sampler = ArrivalSampler(spec, random.Random(spec.seed))
+        return [sampler.next() for _ in range(n)]
+
+    @pytest.mark.parametrize("mix", MIXES)
+    def test_deterministic_and_in_range(self, mix):
+        spec = TrafficSpec(mix=mix, flows=100, packets=10_000)
+        a = self._slots(spec)
+        b = self._slots(spec)
+        assert a == b
+        for slot in a:
+            assert slot == SCAN or 0 <= slot < spec.flows
+        if mix != "scan":
+            assert SCAN not in a
+
+    def test_zipf_is_skewed_toward_low_slots(self):
+        spec = TrafficSpec(mix="zipf", flows=500, packets=10_000)
+        slots = self._slots(spec, 5_000)
+        assert slots.count(0) > 20 * max(1, slots.count(spec.flows - 1))
+
+    def test_bursty_repeats_slots(self):
+        spec = TrafficSpec(mix="bursty", flows=500, burst_mean=16)
+        slots = self._slots(spec, 2_000)
+        repeats = sum(1 for a, b in zip(slots, slots[1:]) if a == b)
+        assert repeats > len(slots) // 2
+
+    def test_scan_fraction_is_respected(self):
+        spec = TrafficSpec(mix="scan", flows=200, scan_fraction=0.5)
+        slots = self._slots(spec, 4_000)
+        scans = slots.count(SCAN)
+        assert 0.4 < scans / len(slots) < 0.6
+
+    def test_uniform_covers_the_population(self):
+        spec = TrafficSpec(mix="uniform", flows=32)
+        assert set(self._slots(spec, 2_000)) == set(range(32))

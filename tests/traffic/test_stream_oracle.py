@@ -1,0 +1,144 @@
+"""The streaming engine against sequential simulation, and across engines.
+
+Two oracles anchor the traffic subsystem's exactness claim:
+
+* the transition-memoized :class:`TransitionStream` must reproduce, to
+  the counter, what a persistent machine accumulates simulating the same
+  segment sequence one pass at a time (memoization is a pure
+  optimization);
+* the fast and gensim engines must produce bit-identical study JSON
+  (the committed golden table is the CI-scale version of this).
+"""
+
+import pytest
+
+from repro.arch.fastsim import FastMachine
+from repro.gensim import GenMachine, have_numpy
+from repro.traffic import TrafficSpec, run_traffic_point
+from repro.traffic.segments import SegmentLibrary
+from repro.traffic.stream import TransitionStream, make_stream_machine
+from repro.xkernel.map import make_scheme
+
+needs_numpy = pytest.mark.skipif(
+    not have_numpy(), reason="the vector path needs numpy"
+)
+
+#: a realistic little alphabet: established hit, cold miss, and a
+#: not-found walk on an unestablished flow
+VARIANTS = [
+    ("tcp", (True, 1, 0), (True, 1, 0), (True, 1, 0), True),
+    ("tcp", (False, 1, 0), (False, 1, 0), (False, 1, 2), True),
+    ("tcp", (False, 1, 0), (False, 1, 0), (False, 1, 4), False),
+]
+
+
+def _sequence(n=60):
+    """A fixed pseudo-random variant sequence (no library needed)."""
+    state = 0x2545F491
+    out = []
+    for _ in range(n):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        out.append(VARIANTS[state % len(VARIANTS)])
+    return out
+
+
+@pytest.fixture(scope="module")
+def library():
+    return SegmentLibrary("tcpip", "OUT", population="tcp")
+
+
+def _naive_totals(machine, library, scheme, sequence):
+    machine.reset()
+    totals = [0] * 15
+    for variant in sequence:
+        packed, _cpu = library.segment(variant, scheme)
+        delta = machine.mem_delta(packed)
+        totals = [t + d for t, d in zip(totals, delta)]
+    return totals
+
+
+def _streamed(machine, library, scheme, sequence, split):
+    stream = TransitionStream(machine)
+    stream.start_phase("warmup")
+    for i, variant in enumerate(sequence):
+        if i == split:
+            stream.start_phase("steady")
+        stream.feed(variant, lambda v=variant: library.segment(v, scheme)[0])
+    warm = stream.phase_counters("warmup")
+    steady = stream.phase_counters("steady")
+    return stream, [w + s for w, s in zip(warm, steady)]
+
+
+class TestMemoizationIsExact:
+    @pytest.mark.parametrize("spec", ["one-entry", "none", "lru:4"])
+    def test_stream_equals_sequential_fast(self, library, spec):
+        scheme = make_scheme(spec)
+        sequence = _sequence()
+        naive = _naive_totals(FastMachine(), library, scheme, sequence)
+        stream, totals = _streamed(
+            FastMachine(), library, scheme, sequence, split=20
+        )
+        assert totals == naive
+        # the whole point: far fewer simulated passes than packets
+        assert stream.novel_passes < len(sequence)
+        assert stream.distinct_states <= stream.novel_passes + 1
+
+    def test_phase_split_never_changes_the_totals(self, library):
+        scheme = make_scheme("one-entry")
+        sequence = _sequence()
+        _, at_5 = _streamed(FastMachine(), library, scheme, sequence, 5)
+        _, at_37 = _streamed(FastMachine(), library, scheme, sequence, 37)
+        assert at_5 == at_37
+
+    def test_stream_equals_sequential_gensim_source(self, library):
+        scheme = make_scheme("one-entry")
+        sequence = _sequence(40)
+        naive = _naive_totals(
+            GenMachine(path="source"), library, scheme, sequence
+        )
+        _, totals = _streamed(
+            GenMachine(path="source"), library, scheme, sequence, split=10
+        )
+        assert totals == naive
+
+    @needs_numpy
+    def test_stream_equals_sequential_gensim_vector(self, library):
+        scheme = make_scheme("lru:4")
+        sequence = _sequence(40)
+        naive = _naive_totals(
+            GenMachine(path="vector"), library, scheme, sequence
+        )
+        _, totals = _streamed(
+            GenMachine(path="vector"), library, scheme, sequence, split=10
+        )
+        assert totals == naive
+
+
+class TestCrossEngine:
+    def test_fast_and_gensim_points_are_bit_identical(self):
+        spec = TrafficSpec(
+            packets=3_000,
+            flows=300,
+            warmup_packets=500,
+            mix="scan",
+            churn=0.01,
+        )
+        fast = run_traffic_point(spec, "lru:4", engine="fast").to_json()
+        gen = run_traffic_point(spec, "lru:4", engine="gensim").to_json()
+        assert fast.pop("engine") == "fast"
+        assert gen.pop("engine") == "gensim"
+        assert fast == gen
+
+    def test_guarded_engines_map_to_their_primaries(self):
+        assert isinstance(make_stream_machine("guarded"), FastMachine)
+        assert isinstance(make_stream_machine("guarded-gensim"), GenMachine)
+
+    def test_reference_engine_is_refused(self):
+        with pytest.raises(ValueError, match="reference"):
+            make_stream_machine("reference")
+        with pytest.raises(ValueError, match="packed-segment"):
+            run_traffic_point(
+                TrafficSpec(packets=10, warmup_packets=0, flows=4),
+                "one-entry",
+                engine="reference",
+            )
