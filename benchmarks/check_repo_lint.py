@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Repo-specific lint rules that ruff's generic rule set cannot express.
+
+Three rules, each protecting an architectural invariant of the tree:
+
+1. **No environment reads outside ``api/settings.py``** — run-wide
+   configuration (``REPRO_SIM_ENGINE``, ``REPRO_VERIFY_IR``,
+   ``REPRO_CHAOS``) is resolved exactly once per call through
+   ``Settings.from_env`` and threaded explicitly.  A stray
+   ``os.environ``/``os.getenv`` read reintroduces hidden global state
+   and breaks the facade's override precedence.
+
+2. **No unseeded randomness** — every random choice must draw from an
+   explicitly-seeded ``random.Random(seed)`` so runs are reproducible
+   bit for bit.  ``random.Random()`` with no seed and any call through
+   the module-level shared generator (``random.random()``,
+   ``random.randrange()``, ...) are both forbidden.
+
+3. **No ``print`` outside CLI/reporting modules** — library code
+   reports through return values and renderers; stray prints corrupt
+   ``--json -`` output and golden tables.
+
+Run from the repository root::
+
+    python benchmarks/check_repo_lint.py          # lint src/repro
+    python benchmarks/check_repo_lint.py --list   # show the rules
+
+Exits 0 when clean, 1 with a findings listing otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: the one module allowed to read the process environment
+ENV_ALLOWED = ("src/repro/api/settings.py",)
+
+#: CLI and reporting modules: their job is writing to stdout
+PRINT_ALLOWED = (
+    "src/repro/__main__.py",
+    "src/repro/harness/reporting.py",
+)
+
+Finding = Tuple[str, int, str, str]  # (path, line, rule, detail)
+
+
+def _is_name(node: ast.expr, name: str) -> bool:
+    return isinstance(node, ast.Name) and node.id == name
+
+
+def _check_env_reads(path: str, tree: ast.AST, findings: List[Finding]) -> None:
+    if path in ENV_ALLOWED:
+        return
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "environ"
+            and _is_name(node.value, "os")
+        ):
+            findings.append(
+                (path, node.lineno, "env-read",
+                 "os.environ access outside api/settings.py "
+                 "(resolve configuration through Settings.from_env)")
+            )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "getenv"
+            and _is_name(node.func.value, "os")
+        ):
+            findings.append(
+                (path, node.lineno, "env-read",
+                 "os.getenv() outside api/settings.py "
+                 "(resolve configuration through Settings.from_env)")
+            )
+
+
+def _check_randomness(path: str, tree: ast.AST, findings: List[Finding]) -> None:
+    bare_random_class = any(
+        isinstance(node, ast.ImportFrom)
+        and node.module == "random"
+        and any(alias.name == "Random" for alias in node.names)
+        for node in ast.walk(tree)
+    )
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        unseeded_ctor = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "Random"
+            and _is_name(func.value, "random")
+            or bare_random_class
+            and _is_name(func, "Random")
+        )
+        if unseeded_ctor and not node.args and not node.keywords:
+            findings.append(
+                (path, node.lineno, "unseeded-random",
+                 "random.Random() without a seed "
+                 "(pass an explicit seed for reproducible runs)")
+            )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr != "Random"
+            and _is_name(func.value, "random")
+        ):
+            findings.append(
+                (path, node.lineno, "module-random",
+                 f"module-level random.{func.attr}() uses the shared "
+                 "global generator (draw from a seeded random.Random)")
+            )
+
+
+def _check_prints(path: str, tree: ast.AST, findings: List[Finding]) -> None:
+    if path in PRINT_ALLOWED:
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and _is_name(node.func, "print"):
+            findings.append(
+                (path, node.lineno, "print",
+                 "print() in library code (only CLI and reporting "
+                 "modules write to stdout)")
+            )
+
+
+def lint_tree(root: Path) -> List[Finding]:
+    """Every rule violation under ``root`` (deterministic order)."""
+    findings: List[Finding] = []
+    for source in sorted(root.rglob("*.py")):
+        path = source.as_posix()
+        tree = ast.parse(source.read_text(), filename=path)
+        _check_env_reads(path, tree, findings)
+        _check_randomness(path, tree, findings)
+        _check_prints(path, tree, findings)
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default="src/repro",
+                        help="tree to lint (default: src/repro)")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"no such directory: {root}", file=sys.stderr)
+        return 2
+    findings = lint_tree(root)
+    if findings:
+        for path, line, rule, detail in findings:
+            print(f"{path}:{line}: [{rule}] {detail}", file=sys.stderr)
+        print(f"FAIL: {len(findings)} repo-lint finding(s)", file=sys.stderr)
+        return 1
+    print(f"OK: repo lint clean under {root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,56 +92,96 @@ def profile_main(argv=None) -> int:
 
 
 def analyze_main(argv=None) -> int:
-    """``python -m repro analyze``: verify, prove and predict one cell."""
+    """``python -m repro analyze``: verify, prove, predict and bound.
+
+    Exit codes are machine-readable: 0 means every analyzed cell is
+    clean, 1 means the analysis ran and produced findings, 2 means the
+    analyzer itself failed — so CI and scripts can tell "found issues"
+    from "analyzer crashed".
+    """
     from repro.harness.configs import CONFIG_NAMES, STACKS
 
     parser = argparse.ArgumentParser(
         prog="python -m repro analyze",
         description="Static analysis of one (stack, configuration) cell: "
                     "IR well-formedness after every build stage, "
-                    "transformation-equivalence proofs, and a static "
-                    "i-cache conflict prediction cross-validated against "
-                    "the simulated eviction matrix.  Exits nonzero on any "
-                    "finding.",
+                    "transformation-equivalence proofs, a static i-cache "
+                    "conflict prediction cross-validated against the "
+                    "simulated eviction matrix, and (with --bounds) sound "
+                    "abstract-interpretation latency bounds checked "
+                    "against the measuring engine.  Exit codes: 0 clean, "
+                    "1 findings, 2 internal error.",
     )
     parser.add_argument("stack", choices=list(STACKS) + ["all"])
     parser.add_argument("config", choices=list(CONFIG_NAMES) + ["all"])
-    parser.add_argument("--engine", choices=["fast", "reference"],
+    parser.add_argument("--engine", choices=["fast", "reference", "gensim"],
                         default=None,
-                        help="engine for the conflict cross-validation "
-                             "(default: $REPRO_SIM_ENGINE or fast)")
+                        help="engine for the simulated cross-validations "
+                             "(default: $REPRO_SIM_ENGINE or fast; gensim "
+                             "declines attribution sinks, so it needs "
+                             "--static-only; --bounds works on any engine)")
     parser.add_argument("--seed", type=int, default=42,
                         help="allocator jitter seed of the validated sample")
     parser.add_argument("--static-only", action="store_true",
                         help="skip the simulated conflict cross-validation "
                              "(no sample is traced; purely static checks)")
+    parser.add_argument("--bounds", action="store_true",
+                        help="also compute static cold/steady mCPI bounds "
+                             "and check lower <= simulated <= upper "
+                             "against the selected engine")
     parser.add_argument("--show-prediction", action="store_true",
                         help="print the predicted conflict pairs per cell")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the structured per-cell reports as "
+                             "JSON ('-' for stdout)")
     args = parser.parse_args(argv)
 
-    from repro.analysis import analyze_cell, render_prediction
+    from repro import api
+    from repro.analysis import render_prediction
 
     stacks = list(STACKS) if args.stack == "all" else [args.stack]
     configs = list(CONFIG_NAMES) if args.config == "all" else [args.config]
     failures = 0
-    for stack in stacks:
-        for config in configs:
-            cell = analyze_cell(
-                stack, config,
-                engine=args.engine,
-                check_conflicts=not args.static_only,
-                seed=args.seed,
-            )
-            print(cell.render())
-            if args.show_prediction and cell.prediction is not None:
-                print(render_prediction(cell.prediction))
-            if not cell.ok:
-                failures += len(cell.findings)
+    reports = []
+    try:
+        for stack in stacks:
+            for config in configs:
+                spec = api.RunSpec(stack, config, seed=args.seed,
+                                   engine=args.engine)
+                cell = api.analyze(
+                    spec,
+                    check_conflicts=not args.static_only,
+                    bounds=args.bounds,
+                )
+                reports.append(cell)
+                if args.json != "-":
+                    print(cell.render())
+                    if args.bounds and cell.bounds is not None:
+                        print(cell.bounds.render())
+                    if args.show_prediction and cell.prediction is not None:
+                        print(render_prediction(cell.prediction))
+                if not cell.ok:
+                    failures += len(cell.findings)
+    except Exception as exc:  # noqa: BLE001 - the CLI's crash boundary
+        print(f"ANALYZER ERROR: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    if args.json is not None:
+        payload = json.dumps([r.to_json() for r in reports], indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+
     if failures:
-        print(f"FAIL: {failures} finding(s) across "
-              f"{len(stacks) * len(configs)} cell(s)", file=sys.stderr)
+        if args.json != "-":
+            print(f"FAIL: {failures} finding(s) across "
+                  f"{len(stacks) * len(configs)} cell(s)", file=sys.stderr)
         return 1
-    print(f"OK: {len(stacks) * len(configs)} cell(s) clean")
+    if args.json != "-":
+        print(f"OK: {len(stacks) * len(configs)} cell(s) clean")
     return 0
 
 

@@ -10,14 +10,32 @@ Three passes, combinable per (stack, configuration) cell via
   deltas,
 * :mod:`repro.analysis.conflicts` — a sound static prediction of the
   i-cache eviction graph, cross-validated against the simulated
-  :class:`repro.obs.ConflictMatrix` (no false negatives).
+  :class:`repro.obs.ConflictMatrix` (no false negatives),
+* :mod:`repro.analysis.bounds` — abstract-interpretation latency bounds:
+  sound lower/upper brackets on each cell's cold and steady mCPI
+  (``lower <= simulated <= upper``), computed without a simulator and
+  cross-validated against the measuring engines.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.analysis.bounds import (
+    BOUNDS_VIOLATION,
+    BoundsAnalyzer,
+    LatencyBounds,
+    MemState,
+    PassBounds,
+    TraceDigest,
+    bind_digest,
+    bounds_from_digest,
+    cell_bounds,
+    cell_digest,
+    check_cell_bounds,
+    digest_trace,
+)
 from repro.analysis.conflicts import (
     CONFLICT_FALSE_NEGATIVE,
     ConflictPrediction,
@@ -47,17 +65,32 @@ from repro.analysis.verify import (
     verify_program,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.harness.configs import BuildResult
+
 __all__ = [
+    "BOUNDS_VIOLATION",
     "CONFLICT_FALSE_NEGATIVE",
     "EQUIV_MISMATCH",
+    "BoundsAnalyzer",
     "CellAnalysis",
     "ConflictPrediction",
     "EquivalenceAuditor",
     "Finding",
+    "LatencyBounds",
+    "MemState",
+    "PassBounds",
+    "TraceDigest",
     "VerificationError",
     "analyze_cell",
     "assert_well_formed",
+    "bind_digest",
+    "bounds_from_digest",
+    "cell_bounds",
+    "cell_digest",
     "chained_trace",
+    "check_cell_bounds",
+    "digest_trace",
     "check_clone_equivalence",
     "check_inline_equivalence",
     "check_outline_equivalence",
@@ -88,6 +121,8 @@ class CellAnalysis:
     prediction: Optional[ConflictPrediction] = None
     #: distinct eviction pairs the simulator observed (validation corpus)
     observed_pair_count: int = 0
+    #: static latency bounds (only with ``analyze_cell(..., bounds=True)``)
+    bounds: Optional[LatencyBounds] = None
 
     @property
     def ok(self) -> bool:
@@ -104,6 +139,13 @@ class CellAnalysis:
                 f"; conflict prediction: {cross} pairs covering "
                 f"{self.observed_pair_count} observed"
             )
+        if self.bounds is not None:
+            head += (
+                f"; bounds: cold [{self.bounds.cold.lower:.4f}, "
+                f"{self.bounds.cold.upper:.4f}] steady "
+                f"[{self.bounds.steady.lower:.4f}, "
+                f"{self.bounds.steady.upper:.4f}]"
+            )
         if self.ok:
             return head + " -- OK"
         lines = [head + f" -- {len(self.findings)} finding(s)"]
@@ -112,6 +154,32 @@ class CellAnalysis:
         )
         return "\n".join(lines)
 
+    def to_json(self) -> Dict[str, object]:
+        """Structured report for ``repro analyze --json`` and scripts."""
+        return {
+            "stack": self.stack,
+            "config": self.config,
+            "ok": self.ok,
+            "stages": list(self.stages),
+            "findings": [
+                {
+                    "phase": phase,
+                    "kind": finding.kind,
+                    "function": finding.function,
+                    "detail": finding.detail,
+                    "block": finding.block,
+                }
+                for phase, finding in self.findings
+            ],
+            "predicted_pairs": (
+                sorted(list(p) for p in self.prediction.pairs)
+                if self.prediction is not None
+                else None
+            ),
+            "observed_pair_count": self.observed_pair_count,
+            "bounds": self.bounds.to_json() if self.bounds else None,
+        }
+
 
 def analyze_cell(
     stack: str,
@@ -119,15 +187,18 @@ def analyze_cell(
     *,
     engine: Optional[str] = None,
     check_conflicts: bool = True,
+    bounds: bool = False,
     seed: int = 42,
 ) -> CellAnalysis:
-    """Run all three analysis passes on one (stack, configuration) cell.
+    """Run the analysis passes on one (stack, configuration) cell.
 
     Builds the cell with the verifier and the equivalence auditor attached
     to every pipeline stage, statically predicts the i-cache conflict
     graph from the final layout, and (unless ``check_conflicts`` is off)
     simulates the cell once to confirm every observed eviction pair was
-    predicted.
+    predicted.  With ``bounds=True`` it additionally computes the static
+    latency bounds and validates ``lower <= simulated <= upper`` against
+    the selected engine, recording any violation as a finding.
     """
     from repro.harness.configs import (
         PIN_SIMPLIFY_PER_JOIN,
@@ -137,7 +208,7 @@ def analyze_cell(
     analysis = CellAnalysis(stack=stack, config=config)
     auditor = EquivalenceAuditor(simplify_per_join=PIN_SIMPLIFY_PER_JOIN)
 
-    def hook(stage: str, build) -> None:
+    def hook(stage: str, build: "BuildResult") -> None:
         analysis.stages.append(stage)
         analysis.findings.extend(
             (stage, finding) for finding in verify_program(build.program)
@@ -160,4 +231,9 @@ def analyze_cell(
                 analysis.prediction, matrices, context=f"{stack}/{config}"
             )
         )
+    if bounds:
+        analysis.bounds, bound_findings = check_cell_bounds(
+            stack, config, engine=engine, seed=seed
+        )
+        analysis.findings.extend(("bounds", f) for f in bound_findings)
     return analysis

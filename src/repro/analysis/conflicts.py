@@ -33,7 +33,7 @@ into the steady state, one involving an outlined cold tail is not.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.arch.memory import MemoryConfig
 from repro.core.program import Program
@@ -123,7 +123,9 @@ def predict_conflicts(
 
     live = live_functions(program)
 
-    def attribute(extent_of) -> Dict[str, Set[int]]:
+    def attribute(
+        extent_of: Callable[[str], Tuple[int, int]],
+    ) -> Dict[str, Set[int]]:
         attributed: Dict[str, Set[int]] = {}
         for name in live:
             start, size = extent_of(name)

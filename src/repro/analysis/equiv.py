@@ -27,6 +27,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     FrozenSet,
@@ -53,6 +54,9 @@ from repro.core.ir import (
 )
 from repro.core.program import Program
 from repro.analysis.verify import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.harness.configs import BuildResult
 
 EQUIV_MISMATCH = "equiv-mismatch"
 
@@ -511,7 +515,7 @@ class EquivalenceAuditor:
         self._pre_outline: Dict[str, Function] = {}
         self._simplify_per_join = simplify_per_join
 
-    def __call__(self, stage: str, build) -> None:
+    def __call__(self, stage: str, build: "BuildResult") -> None:
         from repro.core.clone import CLONE_SUFFIX, is_clone
 
         self.stages_seen.append(stage)

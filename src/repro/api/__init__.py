@@ -1,13 +1,15 @@
 """``repro.api``: the unified front door to the measurement system.
 
-One spec type, four verbs::
+One spec type, five verbs::
 
     from repro.api import RunSpec, Settings, run, sweep, search, traffic
+    from repro.api import analyze
 
     result = run(RunSpec("tcpip", "CLO", samples=3))
     table4 = sweep([RunSpec("tcpip", c) for c in ("STD", "OUT", "CLO")])
     found = search(RunSpec("tcpip", "CLO"), budget=96, seed=0)
     study = traffic()  # 1M-packet demux-cache sweep of the default cell
+    report = analyze(RunSpec("tcpip", "CLO"), bounds=True)
 
 * :func:`run` measures one :class:`RunSpec` cell (the legacy
   ``Experiment`` path, bit-identically),
@@ -20,7 +22,11 @@ One spec type, four verbs::
 * :func:`traffic` streams a synthetic million-packet flow mix through
   the demux path and sweeps the flow-map caching scheme (the
   :mod:`repro.traffic` study; it takes a ``TrafficSpec``, not a
-  ``RunSpec``).
+  ``RunSpec``),
+* :func:`analyze` runs the static analysis passes of
+  :mod:`repro.analysis` over the spec's cell — IR verification,
+  equivalence audit, conflict prediction, and (opt-in) the
+  abstract-interpretation latency bounds.
 
 Environment configuration (``REPRO_SIM_ENGINE``, ``REPRO_VERIFY_IR``,
 ``REPRO_CHAOS``) is resolved once per call through
@@ -30,10 +36,18 @@ Environment configuration (``REPRO_SIM_ENGINE``, ``REPRO_VERIFY_IR``,
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, cast
 
 from repro.api.settings import ENGINES, Settings, validate_engine
 from repro.api.spec import SPEC_CONFIGS, SPEC_STACKS, RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.analysis import CellAnalysis
+    from repro.core.layout import LayoutStrategy
+    from repro.harness.experiment import ExperimentResult
+    from repro.harness.parallel import SweepReport
+    from repro.search.driver import SearchResult
+    from repro.traffic import TrafficSpec, TrafficStudy
 
 __all__ = [
     "ENGINES",
@@ -41,6 +55,7 @@ __all__ = [
     "SPEC_CONFIGS",
     "SPEC_STACKS",
     "Settings",
+    "analyze",
     "run",
     "search",
     "settings_for",
@@ -56,22 +71,25 @@ def settings_for(spec: RunSpec, settings: Optional[Settings] = None) -> Settings
     return base.with_engine(spec.engine).with_verify_ir(spec.verify_ir)
 
 
-def _layout_strategy(layout: Optional[object]) -> Optional[Callable]:
+def _layout_strategy(layout: Optional[object]) -> Optional[LayoutStrategy]:
     """A spec's layout override as a ``LayoutStrategy`` callable."""
     if layout is None:
         return None
     strategy = getattr(layout, "strategy", None)
     if callable(strategy):  # a LayoutArtifact
-        return strategy()
+        built: LayoutStrategy = strategy()
+        return built
     if callable(layout):
-        return layout
+        return cast("LayoutStrategy", layout)
     raise TypeError(
         f"RunSpec.layout must be a LayoutArtifact or a LayoutStrategy "
         f"callable, got {type(layout).__name__}"
     )
 
 
-def run(spec: RunSpec, *, settings: Optional[Settings] = None):
+def run(
+    spec: RunSpec, *, settings: Optional[Settings] = None
+) -> ExperimentResult:
     """Measure one cell; returns the legacy ``ExperimentResult``.
 
     Bit-identical to driving :class:`~repro.harness.experiment.
@@ -92,7 +110,8 @@ def run(spec: RunSpec, *, settings: Optional[Settings] = None):
         settings=settings_for(spec, settings),
         layout=_layout_strategy(spec.layout),
     )
-    return exp.run(samples=spec.samples)
+    result: ExperimentResult = exp.run(samples=spec.samples)
+    return result
 
 
 def _plain_config_sweep(specs: Sequence[RunSpec]) -> bool:
@@ -130,8 +149,8 @@ def sweep(
     settings: Optional[Settings] = None,
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
-    report=None,
-) -> List:
+    report: Optional[SweepReport] = None,
+) -> List[ExperimentResult]:
     """Measure many specs; returns ``ExperimentResult``s in spec order.
 
     When the specs form a plain configuration sweep of one stack (same
@@ -171,7 +190,7 @@ def search(
     parallel: bool = False,
     max_workers: Optional[int] = None,
     micro_baseline: bool = False,
-):
+) -> SearchResult:
     """Profile-guided layout search over the spec's (stack, config) cell.
 
     Returns a :class:`repro.search.driver.SearchResult` whose
@@ -184,7 +203,7 @@ def search(
     """
     from repro.search.driver import search_cell
 
-    kwargs = {}
+    kwargs: Dict[str, int] = {}
     if budget is not None:
         kwargs["budget"] = budget
     return search_cell(
@@ -202,14 +221,14 @@ def search(
 
 
 def traffic(
-    spec=None,
+    spec: Optional[TrafficSpec] = None,
     *,
     schemes: Optional[Sequence[str]] = None,
     mixes: Optional[Sequence[str]] = None,
     flow_counts: Optional[Sequence[int]] = None,
     engine: Optional[str] = None,
     settings: Optional[Settings] = None,
-):
+) -> TrafficStudy:
     """Demux-cache traffic study: stream millions of packets per point.
 
     Sweeps caching scheme x arrival mix x flow count over the spec's
@@ -226,19 +245,52 @@ def traffic(
     equivalence); the ``reference`` engine has no packed-segment pass and
     is refused.
     """
-    from repro.traffic import TrafficSpec, run_traffic_study
+    from repro.traffic import TrafficSpec as _TrafficSpec
+    from repro.traffic import run_traffic_study
 
     if spec is None:
-        spec = TrafficSpec()
+        spec = _TrafficSpec()
     base = settings if settings is not None else Settings.from_env()
     base = base.with_engine(engine)
-    kwargs = {}
+    kwargs: Dict[str, Tuple[str, ...]] = {}
     if schemes is not None:
         kwargs["schemes"] = tuple(schemes)
-    return run_traffic_study(
+    study: TrafficStudy = run_traffic_study(
         spec,
         mixes=mixes,
         flow_counts=flow_counts,
         engine=base.engine,
         **kwargs,
+    )
+    return study
+
+
+def analyze(
+    spec: RunSpec,
+    *,
+    settings: Optional[Settings] = None,
+    check_conflicts: bool = True,
+    bounds: bool = False,
+) -> CellAnalysis:
+    """Static analysis of the spec's (stack, configuration) cell.
+
+    Runs the IR verifier and the equivalence auditor over every build
+    stage, statically predicts the i-cache conflict graph, and — unless
+    ``check_conflicts`` is off — validates the prediction against one
+    simulated profile.  With ``bounds=True`` it additionally computes
+    sound static latency bounds (:mod:`repro.analysis.bounds`) and
+    checks ``lower <= simulated <= upper`` against the resolved engine.
+    Returns a :class:`repro.analysis.CellAnalysis`; ``report.ok`` is the
+    clean/dirty verdict and ``report.to_json()`` the structured form.
+    """
+    from repro.analysis import analyze_cell
+
+    resolved = settings_for(spec, settings)
+    return analyze_cell(
+        spec.stack,
+        spec.config,
+        engine=resolved.engine,
+        check_conflicts=check_conflicts,
+        bounds=bounds,
+        seed=spec.seed,
     )

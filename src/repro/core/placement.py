@@ -27,6 +27,31 @@ from typing import Dict, Mapping, Sequence, Set, Tuple
 BlockTouch = Tuple[str, int]
 
 
+def run_blocks(
+    base: int,
+    start: int,
+    count: int,
+    *,
+    block_bytes: int,
+    instr_bytes: int = 4,
+) -> range:
+    """Absolute cache blocks covered by a pc-contiguous instruction run.
+
+    ``base`` is the owning function's laid-out base address, ``start``
+    the byte offset of the run's first instruction within the function,
+    ``count`` the number of consecutive instructions.  Functions are only
+    ``FUNCTION_ALIGN``-aligned (4 bytes), not block-aligned, so the block
+    span must be derived from absolute addresses — the same run can
+    occupy one block under one layout and straddle two under another.
+    The bounds analyzer (:mod:`repro.analysis.bounds`) and any other
+    consumer of layout-independent trace digests share this one
+    definition of run-to-block geometry.
+    """
+    first = (base + start) // block_bytes
+    last = (base + start + (count - 1) * instr_bytes) // block_bytes
+    return range(first, last + 1)
+
+
 def replacement_misses(
     block_trace: Sequence[BlockTouch],
     assignment: Mapping[str, int],

@@ -26,11 +26,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.settings import (
-    ENGINE_ENV,
     ENGINES as ENGINES,  # re-export: the harness is ENGINES' legacy home
-    VERIFY_IR_ENV,
     Settings,
-    validate_engine,
 )
 from repro.arch.simcache import (
     gensim_cold_and_steady_cached,
@@ -89,9 +86,7 @@ def resolve_engine(engine: Optional[str] = None) -> str:
         DeprecationWarning,
         stacklevel=2,
     )
-    if engine is None:
-        engine = os.environ.get(ENGINE_ENV, "fast")
-    return validate_engine(engine)
+    return Settings.from_env(engine=engine).engine
 
 
 def verify_ir_enabled() -> bool:
@@ -110,7 +105,7 @@ def verify_ir_enabled() -> bool:
         DeprecationWarning,
         stacklevel=2,
     )
-    return os.environ.get(VERIFY_IR_ENV, "") == "1"
+    return Settings.from_env().verify_ir
 
 
 def _ir_verify_hook(stage: str, build: BuildResult) -> None:

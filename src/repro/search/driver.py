@@ -66,6 +66,11 @@ class SearchResult:
     evaluated: int = 0
     generated: int = 0
     prefiltered_out: int = 0
+    #: candidates dropped by the certified bounds prefilter: their static
+    #: steady lower bound exceeded the round-start elite floor, so they
+    #: provably could not improve the result — each one is a simulation
+    #: the search did not have to pay for
+    bounds_pruned: int = 0
     rounds: int = 0
     #: (round, best steady mCPI so far) per round
     history: List[Tuple[int, float]] = field(default_factory=list)
@@ -76,13 +81,19 @@ class SearchResult:
     def improved(self) -> bool:
         return self.best_score < self.baseline_score
 
+    @property
+    def sims_avoided(self) -> int:
+        """Simulations the certified bounds prefilter saved."""
+        return self.bounds_pruned
+
     def summary(self) -> str:
         lines = [
             f"layout search: {self.stack}/{self.config} "
             f"(seed {self.seed}, budget {self.budget}, {self.engine} engine)",
             f"  evaluated {self.evaluated} candidates in {self.rounds} "
             f"round(s); {self.prefiltered_out} prefiltered out of "
-            f"{self.generated} generated",
+            f"{self.generated} generated; {self.bounds_pruned} "
+            f"bounds-pruned (simulations avoided)",
         ]
 
         def row(label: str, score: Optional[Score]) -> str:
@@ -126,6 +137,8 @@ class SearchResult:
             "evaluated": self.evaluated,
             "generated": self.generated,
             "prefiltered_out": self.prefiltered_out,
+            "bounds_pruned": self.bounds_pruned,
+            "sims_avoided": self.sims_avoided,
             "rounds": self.rounds,
             "history": [list(h) for h in self.history],
             "artifact": self.artifact.to_json(),
@@ -168,6 +181,7 @@ def search_cell(
     parallel: bool = False,
     max_workers: Optional[int] = None,
     prefilter: bool = True,
+    certify_prune: bool = True,
     keep_rejected: bool = False,
     micro_baseline: bool = False,
 ) -> SearchResult:
@@ -178,6 +192,15 @@ def search_cell(
     micro-positioned layout for the report (it is trace-greedy and
     costs a few seconds, so it is opt-in).  ``keep_rejected`` records
     the placements the static prefilter dropped, for soundness audits.
+
+    ``certify_prune`` enables the certified bounds prefilter: once the
+    elite pool is full, candidates whose *sound* static steady-mCPI
+    lower bound (:meth:`CellEvaluator.steady_lower_bound`) exceeds the
+    round-start elite floor are dropped without simulation.  Unlike the
+    heuristic ``prefilter``, this cannot change the outcome — pruned
+    candidates provably could not beat the floor — so searches with and
+    without it return bit-identical artifacts; ``bounds_pruned`` counts
+    the simulations it saved.
     """
     if budget < 1:
         raise ValueError("search budget must be >= 1")
@@ -294,15 +317,43 @@ def search_cell(
         if keep_rejected:
             result.rejected.extend(p for _, _, p in dropped)
 
+        # ---- certified bounds prune ---------------------------------- #
+        # a candidate whose *sound* steady lower bound strictly exceeds
+        # the round-start elite floor (the ELITE-th best steady mCPI)
+        # provably cannot enter the post-round top-ELITE — scores only
+        # push that floor down — nor beat best_score (which is <= every
+        # elite score on the first, strictly-dominating key).  Elite
+        # slots past ELITE never become parents or artifacts, so
+        # skipping the simulation cannot change any later decision:
+        # searches with and without pruning return bit-identical
+        # results.  Pruned candidates still consume budget and a
+        # generation number, exactly as if simulated and discarded.
+        prune_floor: Optional[float] = None
+        if certify_prune and len(elite) >= ELITE:
+            floor = sorted(elite, key=lambda e: (e[0], e[1]))[ELITE - 1]
+            prune_floor = floor[0].steady_mcpi
+        to_sim: List[int] = []
+        gen_of: List[int] = []
+        for idx, (_, _, placements) in enumerate(kept):
+            generation += 1
+            gen_of.append(generation)
+            if (
+                prune_floor is not None
+                and evaluator.steady_lower_bound(placements) > prune_floor
+            ):
+                result.bounds_pruned += 1
+                continue
+            to_sim.append(idx)
+
         # ---- simulate + select --------------------------------------- #
         scores = evaluator.score_placements(
-            [placements for _, _, placements in kept],
+            [kept[i][2] for i in to_sim],
             parallel=parallel, max_workers=max_workers,
         )
         result.evaluated += len(kept)
-        for (origin, genome, placements), score in zip(kept, scores):
-            generation += 1
-            elite.append((score, generation, origin, genome))
+        for idx, score in zip(to_sim, scores):
+            origin, genome, placements = kept[idx]
+            elite.append((score, gen_of[idx], origin, genome))
             if score < best_score:
                 best_score = score
                 best_genome = genome
@@ -321,7 +372,12 @@ def search_cell(
         baseline=baseline.to_json(), genome=best_genome,
         placements=best_placements, origin=best_origin,
         round_found=best_round,
-        extra={"base_seed": base_seed, "evaluated": result.evaluated},
+        extra={
+            "base_seed": base_seed,
+            "evaluated": result.evaluated,
+            "bounds_pruned": result.bounds_pruned,
+            "sims_avoided": result.sims_avoided,
+        },
     )
     evaluator.restore_default()
     return result

@@ -132,6 +132,12 @@ class CellEvaluator:
         self.touch_freq: Dict[str, int] = {}
         for name, _ in self.block_trace:
             self.touch_freq[name] = self.touch_freq.get(name, 0) + 1
+        # the trace digest is likewise layout-independent (the walk never
+        # changes, only its pcs): one digest re-binds to every candidate
+        # layout for the certified lower-bound prefilter
+        from repro.analysis.bounds import digest_trace
+
+        self.digest = digest_trace(walk.trace, self.program)
         self.evaluated = 0
 
     # ---- static prefilter ------------------------------------------- #
@@ -182,6 +188,20 @@ class CellEvaluator:
         costs = [self.static_cost(p) for p in candidates]
         ranked = sorted(range(len(candidates)), key=lambda i: (costs[i], i))
         return sorted(ranked[: max(0, keep)])
+
+    def steady_lower_bound(self, placements: Placements) -> float:
+        """Sound lower bound on this candidate's steady mCPI — no walk.
+
+        Re-binds the cell's one trace digest to the candidate layout and
+        runs the abstract interpreter (:mod:`repro.analysis.bounds`).
+        The bound is *certified*: ``steady_lower_bound(p) <=
+        score(p).steady_mcpi`` for every candidate, which is what lets
+        the search driver drop provably-worse candidates without paying
+        for their simulation.
+        """
+        from repro.analysis.bounds import bounds_from_digest
+
+        return bounds_from_digest(self.digest, placements).steady.lower
 
     # ---- full evaluation -------------------------------------------- #
 

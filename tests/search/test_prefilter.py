@@ -1,0 +1,62 @@
+"""The certified bounds prefilter: prunes simulations, changes nothing.
+
+The prefilter drops a candidate only when its static steady lower bound
+exceeds the round-start elite floor — a proof the candidate can neither
+win nor become a mutation parent.  The tests pin both halves of that
+contract: at the recorded smoke cell the filter actually fires, and the
+full search result (winner, history, counters) is bit-identical to a run
+with the filter disabled.
+"""
+
+import pytest
+
+from repro.search import search_cell
+
+#: the recorded smoke cell: at this (budget, seed) at least one mutant's
+#: lower bound provably exceeds the elite floor (see check_bounds.py)
+STACK, CONFIG, BUDGET, SEED = "rpc", "STD", 24, 0
+
+
+@pytest.fixture(scope="module")
+def pruned_and_plain():
+    pruned = search_cell(STACK, CONFIG, budget=BUDGET, seed=SEED)
+    plain = search_cell(
+        STACK, CONFIG, budget=BUDGET, seed=SEED, certify_prune=False
+    )
+    return pruned, plain
+
+
+class TestCertifiedPrefilter:
+    def test_prunes_at_the_recorded_seed(self, pruned_and_plain):
+        pruned, plain = pruned_and_plain
+        assert pruned.bounds_pruned >= 1
+        assert plain.bounds_pruned == 0
+        assert pruned.sims_avoided == pruned.bounds_pruned
+
+    def test_result_is_bit_identical(self, pruned_and_plain):
+        pruned, plain = pruned_and_plain
+        assert pruned.artifact.score == plain.artifact.score
+        assert pruned.artifact.placements == plain.artifact.placements
+        assert pruned.artifact.genome == plain.artifact.genome
+        assert pruned.artifact.origin == plain.artifact.origin
+        assert pruned.artifact.round_found == plain.artifact.round_found
+        assert pruned.best_score == plain.best_score
+        assert pruned.baseline_score == plain.baseline_score
+        assert pruned.history == plain.history
+        assert pruned.rounds == plain.rounds
+
+    def test_pruned_candidates_still_consume_budget(self, pruned_and_plain):
+        pruned, plain = pruned_and_plain
+        assert pruned.evaluated == plain.evaluated
+        assert pruned.generated == plain.generated
+        assert pruned.prefiltered_out == plain.prefiltered_out
+
+    def test_counters_reach_the_artifact_and_json(self, pruned_and_plain):
+        pruned, _ = pruned_and_plain
+        extra = pruned.artifact.extra
+        assert extra["bounds_pruned"] == pruned.bounds_pruned
+        assert extra["sims_avoided"] == pruned.sims_avoided
+        payload = pruned.to_json()
+        assert payload["bounds_pruned"] == pruned.bounds_pruned
+        assert payload["sims_avoided"] == pruned.sims_avoided
+        assert "bounds-pruned" in pruned.summary()
