@@ -31,6 +31,21 @@ advantage over naive per-packet simulation; the second that the flow-map
 caching semantics drifted (hit rates on the fixed deterministic cell are
 exact rationals, not timings).
 
+And the resilience harness: ``--resilience`` points at a
+``bench_resilience.py`` smoke run and requires::
+
+    measured resilience_throughput_vs_traffic
+        >= resilience-threshold * recorded
+    measured latency cell == recorded latency cell   (bit-for-bit)
+
+plus a valid baseline whose acceptance-scale saturation sweep actually
+detected a saturation point (a null would mean the latency harness lost
+the knee).  The first failing means pricing protocol error paths broke
+the transition memo (faulted variants stopped being memoizable); the
+second that fault arrivals, error-path costs or queue semantics drifted
+on the fixed deterministic cell — every number there is an exact
+integer, so equality is the gate, not a tolerance.
+
 Every committed baseline is validated first: a null in an enforced field
 (e.g. ``seed_seconds`` from a run that could not export the seed commit)
 fails the gate instead of silently weakening it.
@@ -56,6 +71,7 @@ import sys
 REPO = pathlib.Path(__file__).resolve().parent.parent
 BASELINE = REPO / "BENCH_simspeed.json"
 TRAFFIC_BASELINE = REPO / "BENCH_traffic.json"
+RESILIENCE_BASELINE = REPO / "BENCH_resilience.json"
 
 #: the gensim acceptance floor: generated-kernel replay must beat the
 #: fast kernel by at least this factor regardless of what was recorded
@@ -86,6 +102,12 @@ REQUIRED_TRAFFIC_STREAMING = (
     "gensim_packets_per_sec",
     "naive_fast_packets_per_sec",
     "streaming_speedup_vs_naive",
+)
+REQUIRED_RESILIENCE_STREAMING = (
+    "fast_packets_per_sec",
+    "gensim_packets_per_sec",
+    "pristine_fast_packets_per_sec",
+    "resilience_throughput_vs_traffic",
 )
 
 
@@ -169,6 +191,80 @@ def check_traffic(smoke_path: str, baseline_path: str, threshold: float) -> bool
     return failed
 
 
+def check_resilience(
+    smoke_path: str, baseline_path: str, threshold: float
+) -> bool:
+    """The resilience-harness gate; returns True on failure."""
+    baseline = json.loads(pathlib.Path(baseline_path).read_text())
+    smoke = json.loads(pathlib.Path(smoke_path).read_text())
+
+    missing = [
+        f"streaming.{name}"
+        for name in REQUIRED_RESILIENCE_STREAMING
+        if baseline.get("streaming", {}).get(name) is None
+    ]
+    if not baseline.get("latency", {}).get("loads"):
+        missing.append("latency.loads")
+    if baseline.get("saturation", {}).get("saturation_point") is None:
+        # the acceptance proof: the full-run baseline must have found a
+        # saturation knee at stream scale, not skipped the sweep
+        missing.append("saturation.saturation_point")
+    if missing:
+        print(
+            f"BASELINE INVALID: null/missing field(s) in {baseline_path}: "
+            f"{', '.join(missing)} — regenerate it with "
+            "`PYTHONPATH=src python benchmarks/bench_resilience.py`",
+            file=sys.stderr,
+        )
+        return True
+
+    failed = False
+    recorded = baseline["streaming"]["resilience_throughput_vs_traffic"]
+    measured = smoke.get("streaming", {}).get("resilience_throughput_vs_traffic")
+    if measured is None:
+        print(
+            f"\nPERF REGRESSION: {smoke_path} carries no "
+            "streaming.resilience_throughput_vs_traffic — the smoke "
+            "benchmark no longer measures the faulted stream",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        floor = threshold * recorded
+        print(
+            f"recorded resilience_throughput_vs_traffic: {recorded}x "
+            f"({baseline_path})"
+        )
+        print(
+            f"measured resilience_throughput_vs_traffic: {measured}x "
+            f"({smoke_path})"
+        )
+        print(f"resilience floor ({threshold} x recorded): {floor:.2f}x")
+        if measured < floor:
+            print(
+                f"\nPERF REGRESSION: faulted streaming at {measured}x "
+                f"pristine < {floor:.2f}x — pricing protocol error paths "
+                "broke the transition memo",
+                file=sys.stderr,
+            )
+            failed = True
+
+    # the latency cell is exact integers on a fixed spec: require identity
+    if smoke.get("latency") != baseline["latency"]:
+        print(
+            "\nLATENCY DRIFT: the fixed deterministic resilience cell "
+            "moved\nFault arrivals, error-path pricing or queue semantics "
+            "changed; if intentional, regenerate BENCH_resilience.json",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        n = len(baseline["latency"]["loads"])
+        print(f"latency cell identical across {n} offered-load points")
+
+    return failed
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -194,6 +290,22 @@ def main(argv=None) -> int:
         "(default 0.5)",
     )
     parser.add_argument(
+        "--resilience",
+        metavar="PATH",
+        default=None,
+        help="also (or only) gate a bench_resilience.py --smoke run",
+    )
+    parser.add_argument(
+        "--resilience-baseline", default=str(RESILIENCE_BASELINE)
+    )
+    parser.add_argument(
+        "--resilience-threshold",
+        type=float,
+        default=0.5,
+        help="minimum measured/recorded faulted-vs-pristine throughput "
+        "ratio (default 0.5)",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=0.8,
@@ -210,14 +322,23 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.smoke is None and args.traffic is None:
-        parser.error("nothing to check: pass a simspeed smoke JSON, --traffic, or both")
+    if args.smoke is None and args.traffic is None and args.resilience is None:
+        parser.error(
+            "nothing to check: pass a simspeed smoke JSON, --traffic, "
+            "--resilience, or any combination"
+        )
 
     traffic_failed = False
     if args.traffic is not None:
         traffic_failed = check_traffic(
             args.traffic, args.traffic_baseline, args.traffic_threshold
         )
+    if args.resilience is not None:
+        if check_resilience(
+            args.resilience, args.resilience_baseline,
+            args.resilience_threshold,
+        ):
+            traffic_failed = True
     if args.smoke is None:
         if traffic_failed:
             return 1

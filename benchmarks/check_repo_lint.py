@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Repo-specific lint rules that ruff's generic rule set cannot express.
 
-Three rules, each protecting an architectural invariant of the tree:
+Four rules, each protecting an architectural invariant of the tree:
 
 1. **No environment reads outside ``api/settings.py``** — run-wide
    configuration (``REPRO_SIM_ENGINE``, ``REPRO_VERIFY_IR``,
@@ -19,6 +19,14 @@ Three rules, each protecting an architectural invariant of the tree:
 3. **No ``print`` outside CLI/reporting modules** — library code
    reports through return values and renderers; stray prints corrupt
    ``--json -`` output and golden tables.
+
+4. **No unbounded caches in the streaming subsystems** — the traffic
+   and resilience packages process million-packet streams, so every
+   dict/list-family container assigned to an attribute is a potential
+   per-packet memory leak.  Each such assignment must carry a comment
+   containing ``bounded`` or ``evict`` (same line or the line above)
+   stating why its growth is bounded — or pointing at the LRU eviction
+   that bounds it.
 
 Run from the repository root::
 
@@ -44,6 +52,16 @@ PRINT_ALLOWED = (
     "src/repro/__main__.py",
     "src/repro/harness/reporting.py",
 )
+
+#: streaming subsystems where per-packet state must be bounded
+BOUNDED_CACHE_TREES = (
+    "src/repro/traffic/",
+    "src/repro/resilience/",
+)
+
+#: container constructors that grow without bound unless evicted
+_CACHE_CTORS = ("dict", "list", "OrderedDict", "Counter", "defaultdict",
+                "deque")
 
 Finding = Tuple[str, int, str, str]  # (path, line, rule, detail)
 
@@ -127,15 +145,90 @@ def _check_prints(path: str, tree: ast.AST, findings: List[Finding]) -> None:
             )
 
 
+def _is_cache_ctor(node: ast.expr) -> bool:
+    """True for ``{}``, ``[]`` and empty dict/list-family constructors."""
+    if isinstance(node, ast.Dict) and not node.keys:
+        return True
+    if isinstance(node, ast.List) and not node.elts:
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        # defaultdict(...) always starts empty; the rest only when
+        # called with no arguments
+        if name == "defaultdict":
+            return True
+        return name in _CACHE_CTORS and not node.args and not node.keywords
+    return False
+
+
+def _is_cache_field(node: ast.expr) -> bool:
+    """True for ``field(default_factory=dict|list|...)`` dataclass slots."""
+    if not (isinstance(node, ast.Call) and _is_name(node.func, "field")):
+        return False
+    for kw in node.keywords:
+        if kw.arg == "default_factory":
+            factory = kw.value
+            name = factory.id if isinstance(factory, ast.Name) else (
+                factory.attr if isinstance(factory, ast.Attribute) else None
+            )
+            if name in _CACHE_CTORS:
+                return True
+    return False
+
+
+def _check_unbounded_caches(
+    path: str, tree: ast.AST, lines: List[str], findings: List[Finding]
+) -> None:
+    if not any(path.startswith(prefix) for prefix in BOUNDED_CACHE_TREES):
+        return
+
+    def annotated(lineno: int) -> bool:
+        for idx in (lineno - 1, lineno - 2):  # the line and the one above
+            if 0 <= idx < len(lines):
+                comment = lines[idx].partition("#")[2].lower()
+                if "bounded" in comment or "evict" in comment:
+                    return True
+        return False
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        growable = _is_cache_ctor(value) or _is_cache_field(value)
+        if not growable:
+            continue
+        names = [
+            t for t in targets
+            if isinstance(t, (ast.Attribute, ast.Name))
+        ]
+        if not names:
+            continue
+        if not annotated(node.lineno):
+            findings.append(
+                (path, node.lineno, "unbounded-cache",
+                 "growable container without a '# bounded: ...' or "
+                 "eviction annotation (streamed packets must not grow "
+                 "unbounded state; explain the bound or evict)")
+            )
+
+
 def lint_tree(root: Path) -> List[Finding]:
     """Every rule violation under ``root`` (deterministic order)."""
     findings: List[Finding] = []
     for source in sorted(root.rglob("*.py")):
         path = source.as_posix()
-        tree = ast.parse(source.read_text(), filename=path)
+        text = source.read_text()
+        tree = ast.parse(text, filename=path)
         _check_env_reads(path, tree, findings)
         _check_randomness(path, tree, findings)
         _check_prints(path, tree, findings)
+        _check_unbounded_caches(path, tree, text.splitlines(), findings)
     return findings
 
 

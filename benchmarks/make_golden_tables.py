@@ -21,10 +21,17 @@ applies — CI regenerates it under ``REPRO_SIM_ENGINE=fast`` and
 ``=gensim`` and diffs both against the one committed file, which *is*
 the cross-engine equivalence proof.
 
+``--resilience`` regenerates ``benchmarks/results/resilience_smoke.txt``:
+the faulted-traffic resilience study (caching scheme x arrival mix x
+fault rate, with offered-load vs p50/p99/p999 latency curves per cell).
+Latencies are exact integers on the simulated-cycle timeline, so the
+same byte-identity gate applies across ``fast`` and ``gensim``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/make_golden_tables.py [--check]
     PYTHONPATH=src python benchmarks/make_golden_tables.py --traffic [--check]
+    PYTHONPATH=src python benchmarks/make_golden_tables.py --resilience [--check]
 
 ``--check`` writes nothing and exits 1 if any regenerated table differs
 from the committed file (a git-free equivalent of the CI gate).
@@ -87,6 +94,29 @@ def golden_traffic() -> dict:
     return {"traffic_demux.txt": "\n\n".join(sections) + "\n"}
 
 
+def golden_resilience() -> dict:
+    """The resilience study golden: scheme x mix x fault rate under load."""
+    from repro.api import resilience
+    from repro.harness.reporting import render_resilience_table
+    from repro.resilience import OverloadSpec
+    from repro.traffic import TrafficSpec
+
+    # a CI-sized grid (8 cells x 120k packets) that still exercises every
+    # receive-side fault kind, both baseline schemes, the adversarial
+    # scan mix, and a saturating load point
+    base = TrafficSpec(
+        packets=120_000, flows=2_000, churn=0.001, warmup_packets=5_000
+    )
+    study = resilience(
+        base,
+        schemes=("one-entry", "lru:4"),
+        mixes=("zipf", "scan"),
+        fault_rates=(0.0, 0.02),
+        overload=OverloadSpec(loads=(80, 100, 120)),
+    )
+    return {"resilience_smoke.txt": render_resilience_table(study) + "\n"}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -100,12 +130,22 @@ def main(argv=None) -> int:
         help="regenerate the demux-cache traffic golden instead of the "
         "Table-4..7 sweep goldens",
     )
+    parser.add_argument(
+        "--resilience",
+        action="store_true",
+        help="regenerate the faulted-traffic resilience golden instead",
+    )
     args = parser.parse_args(argv)
 
     engine = Settings.from_env().engine
-    which = "traffic golden" if args.traffic else "golden tables"
+    if args.resilience:
+        which, regenerate = "resilience golden", golden_resilience
+    elif args.traffic:
+        which, regenerate = "traffic golden", golden_traffic
+    else:
+        which, regenerate = "golden tables", golden_tables
     print(f"regenerating {which} ({engine} engine) ...", flush=True)
-    tables = golden_traffic() if args.traffic else golden_tables()
+    tables = regenerate()
 
     stale = []
     for name, text in sorted(tables.items()):

@@ -17,6 +17,8 @@ Subcommands::
                                                # profile-guided layout search
     python -m repro traffic <stack> <config> --packets 1000000 --flows 10000
                                                # demux-cache traffic study
+    python -m repro resilience <stack> <config> --fault-rates 0 0.01
+                                               # faulted streams under load
 
 Every subcommand resolves its engine and chaos environment once, through
 :class:`repro.api.Settings`, and runs through the :mod:`repro.api` facade.
@@ -239,13 +241,7 @@ def faults_main(argv=None) -> int:
             "kinds": list(kinds) if kinds else list(FAULT_KINDS),
             "seed": args.seed,
             "rows": measured,
-            "sweep": {
-                "completed": report.completed,
-                "completed_serial": report.completed_serial,
-                "incidents": [i.render() for i in report.incidents],
-                "failures": [f.render() for f in report.failures],
-                "divergences": [d.render() for d in report.divergences],
-            },
+            "sweep": report.to_json(),
         }, indent=2) + "\n"
         if args.json == "-":
             sys.stdout.write(payload)
@@ -435,6 +431,113 @@ def traffic_main(argv=None) -> int:
     return 0
 
 
+def resilience_main(argv=None) -> int:
+    """``python -m repro resilience``: faulted streams under offered load."""
+    from repro.harness.configs import CONFIG_NAMES
+    from repro.resilience import POLICIES, SCOPES, OverloadSpec
+    from repro.resilience.queueing import DEFAULT_LOADS
+    from repro.traffic import MIXES, STACKS, TrafficSpec
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro resilience",
+        description="Stream faulted traffic (corrupted checksums, "
+                    "truncated headers, bad demux keys, duplicated "
+                    "packets at seeded per-packet rates) through one "
+                    "configuration's demux path, layer a bounded ingress "
+                    "queue over the per-packet service cycles, and sweep "
+                    "scheme x mix x fault rate, reporting offered-load vs "
+                    "p50/p99/p999 sojourn latency with drop accounting "
+                    "and saturation detection.",
+    )
+    parser.add_argument("stack", choices=list(STACKS),
+                        help="traffic population ('mixed' interleaves "
+                             "TCP and RPC flows on one machine)")
+    parser.add_argument("config", choices=list(CONFIG_NAMES))
+    parser.add_argument("--packets", type=int, default=1_000_000,
+                        help="packets per sweep point (default: 1000000)")
+    parser.add_argument("--flows", type=int, default=10_000,
+                        help="concurrent flows (default: 10000)")
+    parser.add_argument("--mixes", nargs="+", choices=list(MIXES),
+                        default=None,
+                        help="arrival mixes to sweep (default: zipf)")
+    parser.add_argument("--schemes", nargs="+",
+                        default=["one-entry", "lru:4"],
+                        help="flow-map caching schemes: none, one-entry, "
+                             "lru:K, direct:N, assoc:SxW "
+                             "(default: one-entry lru:4)")
+    parser.add_argument("--fault-rates", type=float, nargs="+",
+                        default=[0.0, 0.01],
+                        help="total per-packet fault rates to sweep, each "
+                             "spread uniformly over the receive-side "
+                             "kinds (default: 0.0 0.01)")
+    parser.add_argument("--scope", choices=list(SCOPES), default="all",
+                        help="which flows faults may hit (default: all)")
+    parser.add_argument("--profile-seed", type=int, default=0,
+                        help="fault-arrival seed (the traffic spec's "
+                             "arrival/churn seed is unchanged)")
+    parser.add_argument("--loads", type=int, nargs="+",
+                        default=list(DEFAULT_LOADS),
+                        help="offered-load points, percent of the "
+                             "stream's service capacity "
+                             "(default: 60 80 90 100 110 130)")
+    parser.add_argument("--queue-capacity", type=int, default=64,
+                        help="max packets in system under drop-tail")
+    parser.add_argument("--policy", choices=list(POLICIES),
+                        default="drop-tail",
+                        help="ingress admission policy")
+    parser.add_argument("--engine",
+                        choices=["fast", "gensim", "guarded",
+                                 "guarded-gensim"],
+                        default=None,
+                        help="streaming engine (default: $REPRO_SIM_ENGINE "
+                             "or fast; studies are bit-identical across "
+                             "engines, and the reference engine has no "
+                             "packed-segment pass)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="arrival/churn stream seed")
+    parser.add_argument("--warmup", type=int, default=10_000,
+                        help="packets excluded from the steady window")
+    parser.add_argument("--churn", type=float, default=0.0,
+                        help="per-packet connection-replacement "
+                             "probability")
+    parser.add_argument("--parallel", action="store_true",
+                        help="run grid cells on the self-healing pool")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the full study as JSON "
+                             "('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    from repro import api
+    from repro.harness.reporting import render_resilience_table
+
+    settings = api.Settings.from_env(engine=args.engine)
+    spec = TrafficSpec(
+        stack=args.stack, config=args.config, packets=args.packets,
+        flows=args.flows, churn=args.churn, seed=args.seed,
+        warmup_packets=args.warmup,
+    )
+    overload = OverloadSpec(
+        loads=tuple(args.loads), queue_capacity=args.queue_capacity,
+        policy=args.policy,
+    )
+    study = api.resilience(
+        spec, schemes=args.schemes, mixes=args.mixes,
+        fault_rates=args.fault_rates, profile_seed=args.profile_seed,
+        scope=args.scope, overload=overload, parallel=args.parallel,
+        settings=settings,
+    )
+    if args.json is not None:
+        payload = json.dumps(study.to_json(), indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+    if args.json != "-":
+        print(render_resilience_table(study))
+    return 1 if study.sweep.failures else 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -448,6 +551,8 @@ def main(argv=None) -> int:
         return search_main(argv[1:])
     if argv and argv[0] == "traffic":
         return traffic_main(argv[1:])
+    if argv and argv[0] == "resilience":
+        return resilience_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the tables of TR 96-03 from the "

@@ -1,15 +1,16 @@
 """``repro.api``: the unified front door to the measurement system.
 
-One spec type, five verbs::
+One spec type, six verbs::
 
     from repro.api import RunSpec, Settings, run, sweep, search, traffic
-    from repro.api import analyze
+    from repro.api import analyze, resilience
 
     result = run(RunSpec("tcpip", "CLO", samples=3))
     table4 = sweep([RunSpec("tcpip", c) for c in ("STD", "OUT", "CLO")])
     found = search(RunSpec("tcpip", "CLO"), budget=96, seed=0)
     study = traffic()  # 1M-packet demux-cache sweep of the default cell
     report = analyze(RunSpec("tcpip", "CLO"), bounds=True)
+    curves = resilience()  # faulted streams under offered-load schedules
 
 * :func:`run` measures one :class:`RunSpec` cell (the legacy
   ``Experiment`` path, bit-identically),
@@ -26,7 +27,12 @@ One spec type, five verbs::
 * :func:`analyze` runs the static analysis passes of
   :mod:`repro.analysis` over the spec's cell — IR verification,
   equivalence audit, conflict prediction, and (opt-in) the
-  abstract-interpretation latency bounds.
+  abstract-interpretation latency bounds,
+* :func:`resilience` streams faulted traffic (protocol error paths at
+  seeded per-packet rates) through the demux path and layers an
+  overload queue over the per-packet service cycles, producing
+  offered-load vs p50/p99/p999 latency curves with drop accounting and
+  saturation detection (the :mod:`repro.resilience` study).
 
 Environment configuration (``REPRO_SIM_ENGINE``, ``REPRO_VERIFY_IR``,
 ``REPRO_CHAOS``) is resolved once per call through
@@ -46,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.core.layout import LayoutStrategy
     from repro.harness.experiment import ExperimentResult
     from repro.harness.parallel import SweepReport
+    from repro.resilience import OverloadSpec, ResilienceStudy
     from repro.search.driver import SearchResult
     from repro.traffic import TrafficSpec, TrafficStudy
 
@@ -56,6 +63,7 @@ __all__ = [
     "SPEC_STACKS",
     "Settings",
     "analyze",
+    "resilience",
     "run",
     "search",
     "settings_for",
@@ -260,6 +268,64 @@ def traffic(
         mixes=mixes,
         flow_counts=flow_counts,
         engine=base.engine,
+        **kwargs,
+    )
+    return study
+
+
+def resilience(
+    spec: Optional[TrafficSpec] = None,
+    *,
+    schemes: Optional[Sequence[str]] = None,
+    mixes: Optional[Sequence[str]] = None,
+    fault_rates: Optional[Sequence[float]] = None,
+    profile_seed: int = 0,
+    scope: str = "all",
+    overload: Optional[OverloadSpec] = None,
+    engine: Optional[str] = None,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+    settings: Optional[Settings] = None,
+) -> ResilienceStudy:
+    """Faulted-traffic resilience study: error paths under offered load.
+
+    Sweeps caching scheme x arrival mix x fault rate over the spec's
+    cell.  Each point streams the spec with deterministic per-packet
+    fault arrivals (checksum failures, truncated headers, bad demux
+    keys, duplicate suppression — each priced by its real error path
+    through the segment library), then replays the per-packet service
+    cycles through a bounded ingress queue at every offered-load point
+    of ``overload`` (default :class:`repro.resilience.OverloadSpec`),
+    reporting p50/p99/p999 sojourn latency, drop fractions and the
+    saturation point.  ``fault_rates`` (default ``(0.0, 0.01)``) are
+    total rates spread uniformly over the receive-side fault kinds;
+    rate 0 is bit-identical to a pristine :func:`traffic` point.
+
+    Everything is integer-exact, so equal inputs produce bit-identical
+    studies on ``fast`` and ``gensim`` (a CI golden gate holds this);
+    the ``reference`` engine has no packed-segment pass and is refused.
+    """
+    from repro.resilience import run_resilience_study
+    from repro.traffic import TrafficSpec as _TrafficSpec
+
+    if spec is None:
+        spec = _TrafficSpec()
+    base = settings if settings is not None else Settings.from_env()
+    base = base.with_engine(engine)
+    kwargs: Dict[str, object] = {}
+    if schemes is not None:
+        kwargs["schemes"] = tuple(schemes)
+    if fault_rates is not None:
+        kwargs["fault_rates"] = tuple(fault_rates)
+    study: ResilienceStudy = run_resilience_study(
+        spec,
+        mixes=mixes,
+        profile_seed=profile_seed,
+        scope=scope,
+        overload=overload,
+        engine=base.engine,
+        parallel=parallel,
+        max_workers=max_workers,
         **kwargs,
     )
     return study

@@ -36,6 +36,17 @@ class DivergenceReport:
             lines.append(f"  {metric}: fast={fast:g} reference={ref:g}")
         return "\n".join(lines)
 
+    def to_json(self) -> dict:
+        return {
+            "stack": self.stack,
+            "config": self.config,
+            "seed": self.seed,
+            "mismatches": [
+                {"metric": metric, "fast": fast, "reference": ref}
+                for metric, fast, ref in self.mismatches
+            ],
+        }
+
 
 class EngineDivergence(RuntimeError):
     """Raised (``on_divergence="raise"``) when the cross-check trips."""

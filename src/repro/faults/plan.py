@@ -114,6 +114,12 @@ def _stable_digest(*parts: object) -> int:
     return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
 
 
+def stable_digest(*parts: object) -> int:
+    """Public alias: every seeded subsystem (fault plans, traffic fault
+    arrivals) derives its RNG seeds through this one digest."""
+    return _stable_digest(*parts)
+
+
 def _clone_subtree(events: Sequence[Event], start: int, end: int) -> List[Event]:
     """Deep-clone ``events[start:end + 1]``, dropping position markers.
 

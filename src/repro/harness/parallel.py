@@ -75,6 +75,15 @@ class CellIncident:
         return (f"{self.kind}: ({self.config}, seed {self.seed}) "
                 f"attempt {self.attempt}: {self.detail}")
 
+    def to_json(self) -> dict:
+        return {
+            "config": self.config,
+            "seed": self.seed,
+            "attempt": self.attempt,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
 
 @dataclass
 class SweepReport:
@@ -123,6 +132,25 @@ class SweepReport:
         if self.degraded_to_serial:
             parts.append("degraded to serial sweep")
         return ", ".join(parts)
+
+    def to_json(self) -> dict:
+        """Structured form for study artifacts (not hand-rolled strings)."""
+        return {
+            "stack": self.stack,
+            "engine": self.engine,
+            "configs": list(self.configs),
+            "samples": self.samples,
+            "completed": self.completed,
+            "completed_serial": self.completed_serial,
+            "retried": self.retried,
+            "incidents": [i.to_json() for i in self.incidents],
+            "failures": [i.to_json() for i in self.failures],
+            "divergences": [d.to_json() for d in self.divergences],
+            "pools_restarted": self.pools_restarted,
+            "degraded_to_serial": self.degraded_to_serial,
+            "chaos_rules": list(self.chaos_rules),
+            "ok": self.ok(),
+        }
 
 
 class SweepError(RuntimeError):

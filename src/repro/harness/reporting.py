@@ -416,3 +416,57 @@ def render_traffic_table(study) -> str:
     while lines and not lines[-1]:
         lines.pop()
     return "\n".join(lines)
+
+
+def render_resilience_table(study) -> str:
+    """The faulted-traffic resilience study as a paper-style table.
+
+    One block per (mix, fault rate, scheme) cell: the cell's injected
+    fault count and steady mCPI, then one row per offered-load point
+    with p50/p99/p999 sojourn latency (simulated cycles), the drop
+    fraction and a saturation marker.  Latencies are exact integers and
+    every ratio divides exact integers, so the rendering is bit-stable
+    across engines (the CI resilience gate diffs one committed file
+    regenerated by both).
+    """
+    spec = study.base_spec
+    ov = study.overload
+    # no engine in the header: fast and gensim must render byte-identical
+    lines = [
+        f"Resilience study: {spec.stack} {spec.config}",
+        f"{spec.packets:,} packets/point, {spec.flows:,} flows, "
+        f"churn {spec.churn:g}, seed {spec.seed}, "
+        f"fault scope {study.scope}, profile seed {study.profile_seed}",
+        f"queue: {ov.policy}, capacity {ov.queue_capacity}, "
+        f"loads {'/'.join(str(load) for load in ov.loads)}%",
+        _rule(86),
+        f"{'mix':8s} {'scheme':11s} {'rate':>6s} {'faulted':>8s} "
+        f"{'load%':>6s} {'p50':>9s} {'p99':>9s} {'p999':>9s} "
+        f"{'drop%':>7s} {'sat':>4s}",
+        _rule(86),
+    ]
+    for mix in study.mixes:
+        for rate in study.fault_rates:
+            for scheme in study.schemes:
+                p = study.point(scheme, mix, rate)
+                head = (f"{mix:8s} {scheme:11s} {rate:>6g} "
+                        f"{p.faulted_packets:>8d}")
+                blank = " " * len(head)
+                for i, lp in enumerate(p.load_points):
+                    sat = "*" if lp.saturated else ""
+                    lines.append(
+                        f"{head if i == 0 else blank} "
+                        f"{lp.load_pct:>6d} {lp.p50:>9d} {lp.p99:>9d} "
+                        f"{lp.p999:>9d} {lp.drop_fraction * 100:7.2f} "
+                        f"{sat:>4s}"
+                    )
+                sat_at = p.saturation_point
+                lines.append(
+                    f"{blank}   saturates at {sat_at}%"
+                    if sat_at is not None
+                    else f"{blank}   no saturation in the swept loads"
+                )
+                lines.append("")
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)

@@ -38,12 +38,12 @@ class ArrivalSampler:
             self._cum = self._zipf_cumulative(spec.flows, spec.zipf_s)
             self._total = self._cum[-1]
         else:
-            self._cum = []
+            self._cum = []  # bounded: empty for the uniform mix
             self._total = 0.0
 
     @staticmethod
     def _zipf_cumulative(flows: int, s: float) -> List[float]:
-        cum: List[float] = []
+        cum: List[float] = []  # bounded: one entry per flow slot
         acc = 0.0
         for rank in range(flows):
             acc += 1.0 / (rank + 1) ** s

@@ -144,6 +144,15 @@ class FlowTables:
         last = self.l4.last
         return eth, ip, (last.hit, last.probes, min(last.chain, cap))
 
+    def probe_pre_l4(self) -> Tuple[LayerOutcome, Optional[LayerOutcome]]:
+        """Demultiplex a packet that dies before the l4 lookup (a
+        checksum reject): eth (and ip) pay their real probe costs, the
+        flow map is never consulted."""
+        cap = self._cap
+        eth = self._eth.probe(cap)
+        ip = self._ip.probe(cap) if self._ip is not None else None
+        return eth, ip
+
     # ------------------------------------------------------------------ #
     # reporting                                                          #
     # ------------------------------------------------------------------ #

@@ -52,6 +52,12 @@ class TrafficSpec:
     chain_cap: int = 8
     #: trace-capture seed for the segment library's roundtrip
     capture_seed: int = 42
+    #: LRU cap on the stream's interned machine states (graceful
+    #: degradation: eviction trades memo reuse for bounded memory;
+    #: totals stay exact either way)
+    memo_state_cap: int = 16_384
+    #: LRU cap on the stream's (state, segment) transition-delta table
+    memo_edge_cap: int = 65_536
 
     def validate(self) -> None:
         if self.stack not in STACKS:
@@ -78,6 +84,10 @@ class TrafficSpec:
             raise ValueError("chain_cap must be positive")
         if self.zipf_s <= 0:
             raise ValueError("zipf_s must be positive")
+        if self.memo_state_cap < 2:
+            raise ValueError("memo_state_cap must be >= 2")
+        if self.memo_edge_cap < 1:
+            raise ValueError("memo_edge_cap must be positive")
 
     def with_(self, **kwargs) -> "TrafficSpec":
         return replace(self, **kwargs)

@@ -7,20 +7,38 @@ counter delta and exit state — the stream is a walk over a small
 deterministic transition graph: nodes are interned machine states,
 edges are (state, segment) pairs.  Each edge is simulated **once**; from
 then on, feeding that segment in that state costs one dict lookup and a
-counter increment.  Totals are reconstructed at the end as
+counter increment.  Totals are accumulated per phase as
 ``sum(fire_count x delta)`` per edge, which is exactly what sequential
 simulation would have accumulated.
 
 This is why the engine can push >1M packets/s through a cycle-exact
 model, and why fast and gensim produce bit-identical tables: they agree
 edge-by-edge, and the edge counts are a function of the spec alone.
+
+Both memo tables are **bounded**.  The interned-state table and the
+edge-delta table are LRU caches (``state_cap`` / ``edge_cap``); on
+eviction an edge's outstanding phase counts are folded into the phase's
+base totals first, so totals stay exact no matter how small the caps
+are — eviction only trades memo reuse (more novel passes) for bounded
+memory.  Every re-simulation of a previously-evicted edge is
+cross-checked against the delta recorded at eviction time
+(:class:`StreamExactnessError` on mismatch), turning the exactness
+assumption the whole memo rests on into a runtime invariant.
+
+A per-stream watchdog (``watchdog_s``) bounds the cumulative wall-clock
+time spent inside memo machinery (novel passes: restore, simulate,
+snapshot, intern).  When exceeded the stream *degrades* to plain
+segment-by-segment simulation on the persistent machine — slower, never
+hung, and still bit-exact: sequential simulation from the current
+machine state is precisely what the memo replays.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+import time
+from collections import Counter, OrderedDict
 from itertools import count
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.arch.simulator import AlphaConfig
 from repro.arch.fastsim import FastMachine
@@ -33,6 +51,15 @@ _STREAM_SERIAL = count()
 #: counter indices in the engines' shared 15-counter layout
 _STALL = 11
 _INSTR = 12
+
+
+class StreamExactnessError(RuntimeError):
+    """Re-simulating an evicted edge produced a different delta.
+
+    The transition memo is only sound if a (state, segment) pass is a
+    pure function of the interned state; a mismatch here means an engine
+    violated that and every total downstream would be suspect.
+    """
 
 
 def make_stream_machine(engine: str, config: Optional[AlphaConfig] = None):
@@ -60,33 +87,86 @@ class TransitionStream:
     """Exact streaming over one persistent machine via edge memoization.
 
     ``feed(seg_key, packed_fn)`` advances the logical stream by one
-    segment.  ``packed_fn`` is only called when the edge is novel (the
-    segment library walks lazily).  ``start_phase`` opens a new counting
-    window (warm-up vs steady) without touching machine state.
+    segment and returns the segment's exact 15-counter delta.
+    ``packed_fn`` is only called when the edge is novel (the segment
+    library walks lazily).  ``start_phase`` opens a new counting window
+    (warm-up vs steady) without touching machine state.
     """
 
-    def __init__(self, machine) -> None:
+    def __init__(
+        self,
+        machine,
+        *,
+        state_cap: int = 16_384,
+        edge_cap: int = 65_536,
+        watchdog_s: Optional[float] = None,
+    ) -> None:
+        if state_cap < 2:
+            raise ValueError("state_cap must be >= 2")
+        if edge_cap < 1:
+            raise ValueError("edge_cap must be positive")
         self._m = machine
         self._is_gen = not isinstance(machine, FastMachine)
         self._serial = next(_STREAM_SERIAL)
-        #: state interning: snapshot -> small int (0 is the cold state)
+        self._state_cap = state_cap
+        self._edge_cap = edge_cap
+        self._watchdog_s = watchdog_s
+        self._memo_spent = 0.0
+        #: state interning: snapshot -> id (0 is the cold state; ids are
+        #: monotone and never reused, so gensim restore tokens stay
+        #: unambiguous across evictions)
+        self._next_id = 1
+        # bounded: LRU-evicted against state_cap (see _intern)
         self._state_ids: Dict[tuple, int] = {}
-        self._snapshots: List[Optional[tuple]] = [None]
+        # bounded: LRU-evicted against state_cap (see _intern)
+        self._snapshots: Dict[int, tuple] = {}
+        # bounded: LRU order of the evictable interned states
+        self._state_lru: "OrderedDict[int, None]" = OrderedDict()
         #: (state_id, seg_key) -> (next_state_id, delta tuple)
-        self._edges: Dict[tuple, Tuple[int, Tuple[int, ...]]] = {}
+        # bounded: LRU-evicted against edge_cap (see _novel_pass)
+        self._edges: "OrderedDict[tuple, Tuple[int, Tuple[int, ...]]]" = OrderedDict()
+        #: reverse indexes so a state eviction can drop its edges
+        # bounded: one entry per live interned state (state_cap)
+        self._in_edges: Dict[int, Set[tuple]] = {}
+        # bounded: one entry per live interned state (state_cap)
+        self._out_edges: Dict[int, Set[tuple]] = {}
+        #: delta recorded when an edge was evicted, for the exactness
+        #: cross-check on its re-simulation
+        # bounded: FIFO-capped at edge_cap entries (see _drop_edge)
+        self._evicted_deltas: "OrderedDict[tuple, Tuple[int, ...]]" = OrderedDict()
         self._cur = 0
         self._phys = 0
         self.novel_passes = 0
-        self._phases: Dict[str, Counter] = {}
-        self._counts: Counter = Counter()
+        self.edge_evictions = 0
+        self.state_evictions = 0
+        self.exactness_checks = 0
+        self._interned = 0
+        self._degraded = False
+        #: distinct segment keys ever fed
+        # bounded: the segment library's variant alphabet
+        self._seg_keys: Set = set()
+        #: per-phase accounting: base totals absorb evicted (and
+        #: degraded-mode) deltas; live edges stay as counts so the hot
+        #: path is one Counter increment
+        # bounded: one entry per phase (warmup/steady)
+        self._phases: Dict[str, Tuple[List[int], Counter, Counter]] = {}
+        self._base: List[int] = [0] * 15
+        # bounded: flushed into _base when its edge is evicted
+        self._ecounts: Counter = Counter()
+        # bounded: the segment library's variant alphabet
+        self._segs: Counter = Counter()
 
     # ------------------------------------------------------------------ #
     # phases                                                             #
     # ------------------------------------------------------------------ #
 
     def start_phase(self, name: str) -> None:
-        self._counts = Counter()
-        self._phases[name] = self._counts
+        self._base = [0] * 15
+        # bounded: flushed into _base when its edge is evicted
+        self._ecounts = Counter()
+        # bounded: the segment library's variant alphabet
+        self._segs = Counter()
+        self._phases[name] = (self._base, self._ecounts, self._segs)
 
     # ------------------------------------------------------------------ #
     # streaming                                                          #
@@ -109,56 +189,156 @@ class TransitionStream:
 
     def _intern(self, snap: tuple) -> int:
         state_id = self._state_ids.get(snap)
-        if state_id is None:
-            state_id = len(self._snapshots)
-            self._state_ids[snap] = state_id
-            self._snapshots.append(snap)
+        if state_id is not None:
+            self._state_lru.move_to_end(state_id)
+            return state_id
+        state_id = self._next_id
+        self._next_id += 1
+        self._state_ids[snap] = state_id
+        self._snapshots[state_id] = snap
+        self._state_lru[state_id] = None
+        self._interned += 1
+        if len(self._snapshots) > self._state_cap:
+            self._evict_state(protect=(self._cur, self._phys, state_id))
         return state_id
 
-    def feed(self, seg_key, packed_fn: Callable) -> None:
+    def _evict_state(self, protect: Tuple[int, ...]) -> None:
+        """Drop the least-recently-touched unprotected state and every
+        edge into or out of it (their memo entries would dangle)."""
+        victim = None
+        for state_id in self._state_lru:
+            if state_id not in protect:
+                victim = state_id
+                break
+        if victim is None:
+            return  # every resident state is in use right now
+        del self._state_lru[victim]
+        snap = self._snapshots.pop(victim)
+        del self._state_ids[snap]
+        self.state_evictions += 1
+        for edge in self._in_edges.pop(victim, ()):
+            self._drop_edge(edge)
+        for edge in self._out_edges.pop(victim, ()):
+            self._drop_edge(edge)
+
+    def _drop_edge(self, edge: tuple) -> None:
+        """Evict one memoized edge, folding its outstanding phase counts
+        into the base totals (exactness survives eviction) and recording
+        its delta for the re-simulation cross-check."""
+        entry = self._edges.pop(edge, None)
+        if entry is None:
+            return
+        next_id, delta = entry
+        out = self._out_edges.get(edge[0])
+        if out is not None:
+            out.discard(edge)
+        ins = self._in_edges.get(next_id)
+        if ins is not None:
+            ins.discard(edge)
+        for base, ecounts, _segs in self._phases.values():
+            fired = ecounts.pop(edge, 0)
+            if fired:
+                for i in range(15):
+                    base[i] += fired * delta[i]
+        self._evicted_deltas[edge] = delta
+        if len(self._evicted_deltas) > self._edge_cap:
+            self._evicted_deltas.popitem(last=False)
+        self.edge_evictions += 1
+
+    def _novel_pass(self, edge: tuple, packed_fn: Callable) -> Tuple[int, ...]:
+        if self._phys != self._cur:
+            self._restore(self._cur)
+        t0 = time.perf_counter() if self._watchdog_s is not None else 0.0
+        delta = tuple(self._m.mem_delta(packed_fn()))
+        next_id = self._intern(self._m.snapshot_state())
+        prior = self._evicted_deltas.pop(edge, None)
+        if prior is not None:
+            self.exactness_checks += 1
+            if prior != delta:
+                raise StreamExactnessError(
+                    f"edge {edge!r} re-simulated to a different delta than "
+                    f"recorded at eviction: {prior} != {delta}"
+                )
+        self._edges[edge] = (next_id, delta)
+        self._out_edges.setdefault(edge[0], set()).add(edge)
+        self._in_edges.setdefault(next_id, set()).add(edge)
+        while len(self._edges) > self._edge_cap:
+            self._drop_edge(next(iter(self._edges)))
+        self._cur = self._phys = next_id
+        self.novel_passes += 1
+        if self._watchdog_s is not None:
+            self._memo_spent += time.perf_counter() - t0
+            if self._memo_spent > self._watchdog_s:
+                # too long inside memo machinery: fall back to plain
+                # sequential simulation (machine is at _cur already)
+                self._degraded = True
+        return delta
+
+    def feed(self, seg_key, packed_fn: Callable) -> Tuple[int, ...]:
+        """Advance the stream one segment; return its exact delta."""
+        self._seg_keys.add(seg_key)
+        if self._degraded:
+            delta = tuple(self._m.mem_delta(packed_fn()))
+            base = self._base
+            for i in range(15):
+                base[i] += delta[i]
+            self._segs[seg_key] += 1
+            return delta
         edge = (self._cur, seg_key)
         known = self._edges.get(edge)
         if known is None:
-            if self._phys != self._cur:
-                self._restore(self._cur)
-            delta = tuple(self._m.mem_delta(packed_fn()))
-            next_id = self._intern(self._m.snapshot_state())
-            self._edges[edge] = (next_id, delta)
-            self._cur = self._phys = next_id
-            self.novel_passes += 1
+            delta = self._novel_pass(edge, packed_fn)
         else:
-            self._cur = known[0]
-        self._counts[edge] += 1
+            self._edges.move_to_end(edge)
+            next_id = known[0]
+            self._state_lru.move_to_end(next_id)
+            self._cur = next_id
+            delta = known[1]
+        self._ecounts[edge] += 1
+        self._segs[seg_key] += 1
+        return delta
 
     # ------------------------------------------------------------------ #
     # accounting                                                         #
     # ------------------------------------------------------------------ #
 
     @property
+    def degraded(self) -> bool:
+        """True once the watchdog forced segment-by-segment simulation."""
+        return self._degraded
+
+    @property
+    def memo_evictions(self) -> int:
+        """Memo entries dropped to stay under the caps (states + edges)."""
+        return self.state_evictions + self.edge_evictions
+
+    @property
     def distinct_states(self) -> int:
-        return len(self._snapshots)
+        """Machine states interned over the stream's lifetime (including
+        the cold state; an evicted-then-revisited state counts again)."""
+        return self._interned + 1
 
     @property
     def segment_alphabet(self) -> int:
         """Distinct segments this stream simulated (library-independent)."""
-        return len({seg_key for _state, seg_key in self._edges})
+        return len(self._seg_keys)
 
     def phase_counters(self, name: str) -> List[int]:
         """The 15-counter total the machine would have accumulated over
-        the phase's segments, reconstructed exactly from edge counts."""
-        totals = [0] * 15
-        for edge, count in self._phases[name].items():
+        the phase's segments: base totals (evicted edges, degraded-mode
+        passes) plus fire counts x delta over the live edges."""
+        base, ecounts, _segs = self._phases[name]
+        totals = list(base)
+        for edge, fired in ecounts.items():
             delta = self._edges[edge][1]
             for i in range(15):
-                totals[i] += count * delta[i]
+                totals[i] += fired * delta[i]
         return totals
 
     def phase_seg_counts(self, name: str) -> Counter:
         """Fire counts per segment key (for CPU-side aggregation)."""
-        out: Counter = Counter()
-        for (_state, seg_key), count in self._phases[name].items():
-            out[seg_key] += count
-        return out
+        _base, _ecounts, segs = self._phases[name]
+        return Counter(segs)
 
     @staticmethod
     def stall_and_instructions(counters: List[int]) -> Tuple[int, int]:

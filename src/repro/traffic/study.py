@@ -13,8 +13,9 @@ or two runs — produce bit-identical JSON and rendered tables.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.simulator import AlphaConfig
 from repro.traffic.arrivals import SCAN, ArrivalSampler
@@ -23,6 +24,27 @@ from repro.traffic.segments import SegmentLibrary
 from repro.traffic.spec import MIXES, TrafficSpec
 from repro.traffic.stream import TransitionStream, make_stream_machine
 from repro.xkernel.map import SCHEME_SPECS, make_scheme
+
+if TYPE_CHECKING:  # resilience layers on traffic, never the reverse
+    from repro.resilience.faults import FaultProfile
+
+#: placeholder outcome for a demux layer a faulted packet never reaches
+_ABSENT = (False, 0, 0)
+
+
+class StreamCollector:
+    """Optional per-packet observations for the resilience harness.
+
+    ``services`` is the per-packet service demand in simulated cycles
+    (memory stalls + CPU work of the packet's segment); ``faults``
+    counts injected fault arrivals by kind.
+    """
+
+    def __init__(self) -> None:
+        # bounded: one entry per streamed packet, resilience runs only
+        self.services: List[int] = []
+        # bounded: one entry per fault kind
+        self.faults: Counter = Counter()
 
 
 @dataclass
@@ -47,6 +69,11 @@ class TrafficPoint:
     novel_passes: int
     distinct_states: int
     segment_alphabet: int
+    #: memo entries dropped to stay under the spec's caps (0 = no
+    #: eviction, the memo held the whole transition graph)
+    memo_evictions: int = 0
+    #: True if the stream's watchdog degraded it to sequential simulation
+    degraded: bool = False
 
     @property
     def l4_hit_rate(self) -> float:
@@ -100,6 +127,8 @@ class TrafficPoint:
             "novel_passes": self.novel_passes,
             "distinct_states": self.distinct_states,
             "segment_alphabet": self.segment_alphabet,
+            "memo_evictions": self.memo_evictions,
+            "degraded": self.degraded,
         }
 
 
@@ -112,6 +141,7 @@ class TrafficStudy:
     schemes: Tuple[str, ...]
     mixes: Tuple[str, ...]
     flow_counts: Tuple[int, ...]
+    # bounded: one entry per grid point
     points: List[TrafficPoint] = field(default_factory=list)
 
     def point(self, scheme: str, mix: str, flows: int) -> TrafficPoint:
@@ -173,8 +203,18 @@ def run_traffic_point(
     engine: str = "fast",
     config: Optional[AlphaConfig] = None,
     setup: Optional[_CellSetup] = None,
+    faults: Optional["FaultProfile"] = None,
+    collect: Optional[StreamCollector] = None,
+    watchdog_s: Optional[float] = None,
 ) -> TrafficPoint:
-    """Stream one spec through one caching scheme on one engine."""
+    """Stream one spec through one caching scheme on one engine.
+
+    ``faults`` injects deterministic per-packet fault arrivals (see
+    :class:`repro.resilience.faults.FaultProfile`); a profile whose
+    rates are all zero draws nothing from any RNG, so the stream is
+    bit-identical to a pristine run.  ``collect`` gathers per-packet
+    service cycles and fault counts for the overload model.
+    """
     spec.validate()
     config = config or AlphaConfig()
     engine = _normalize_engine(engine)
@@ -184,6 +224,10 @@ def run_traffic_point(
 
     rng = random.Random(spec.seed)
     sampler = ArrivalSampler(spec, rng)
+    profile_draw = faults.arrivals(spec) if faults is not None else None
+    in_scope = faults.scope_filter(spec) if faults is not None else None
+    collect_services = collect.services if collect is not None else None
+    fault_counts = collect.faults if collect is not None else None
     tables = {
         pop: FlowTables(spec, scheme_spec, population=pop) for pop in populations
     }
@@ -192,9 +236,9 @@ def run_traffic_point(
     # slot -> (population, flow uid, established); churn retires a uid and
     # binds a fresh one whose first packet runs the slow (unestablished)
     # path, as a real connection's first segment would
-    slot_pop: List[str] = []
-    slot_uid: List[int] = []
-    slot_established: List[bool] = []
+    slot_pop: List[str] = []  # bounded: one entry per flow slot
+    slot_uid: List[int] = []  # bounded: one entry per flow slot
+    slot_established: List[bool] = []  # bounded: one entry per flow slot
     for slot in range(spec.flows):
         if spec.stack == "mixed":
             pop = "rpc" if rng.random() < spec.rpc_fraction else "tcp"
@@ -207,7 +251,12 @@ def run_traffic_point(
     next_uid = spec.flows
     churn = spec.churn
 
-    stream = TransitionStream(make_stream_machine(engine, config))
+    stream = TransitionStream(
+        make_stream_machine(engine, config),
+        state_cap=spec.memo_state_cap,
+        edge_cap=spec.memo_edge_cap,
+        watchdog_s=watchdog_s,
+    )
     stream.start_phase("warmup")
     in_warmup = spec.warmup_packets > 0
     if not in_warmup:
@@ -226,24 +275,69 @@ def run_traffic_point(
             tables[pop].open_flow(next_uid)
             next_uid += 1
         slot = sampler.next()
-        if slot == SCAN:
-            pop = (
-                populations[0]
-                if len(populations) == 1
-                else ("rpc" if rng.random() < spec.rpc_fraction else "tcp")
-            )
-            eth, ip, l4 = tables[pop].probe_packet(next_uid)
-            next_uid += 1
-            established = False
+        kind = profile_draw() if profile_draw is not None else None
+        if kind is not None and in_scope is not None and not in_scope(slot):
+            kind = None
+        if kind == "duplicated_packet" and slot == SCAN:
+            kind = None  # a duplicate needs a bound flow to duplicate
+        if kind is None:
+            # pristine classification — byte-for-byte the no-fault path
+            if slot == SCAN:
+                pop = (
+                    populations[0]
+                    if len(populations) == 1
+                    else ("rpc" if rng.random() < spec.rpc_fraction else "tcp")
+                )
+                eth, ip, l4 = tables[pop].probe_packet(next_uid)
+                next_uid += 1
+                established = False
+            else:
+                pop = slot_pop[slot]
+                eth, ip, l4 = tables[pop].probe_packet(slot_uid[slot])
+                established = slot_established[slot]
+                slot_established[slot] = True
+            variant = (pop, eth, ip, l4, established)
         else:
-            pop = slot_pop[slot]
-            eth, ip, l4 = tables[pop].probe_packet(slot_uid[slot])
-            established = slot_established[slot]
-            slot_established[slot] = True
-        variant = (pop, eth, ip, l4, established)
+            if slot == SCAN:
+                pop = (
+                    populations[0]
+                    if len(populations) == 1
+                    else ("rpc" if rng.random() < spec.rpc_fraction else "tcp")
+                )
+            else:
+                pop = slot_pop[slot]
+            table = tables[pop]
+            if kind == "bad_demux_key":
+                # a garbled key is a real unknown-key lookup: it misses
+                # every cache and walks the full chain, byte-for-byte
+                # the trace a scan packet already pays — no new segment
+                eth, ip, l4 = table.probe_packet(next_uid)
+                next_uid += 1
+                variant = (pop, eth, ip, l4, False)
+            elif kind == "truncated_header":
+                # the runt check rejects before any demux map is touched
+                ip_outcome = _ABSENT if table.ip is not None else None
+                variant = (pop, _ABSENT, ip_outcome, _ABSENT, False, kind)
+            elif kind == "corrupt_checksum":
+                # eth (and ip) demux paid in full, l4 never consulted
+                eth, ip = table.probe_pre_l4()
+                variant = (pop, eth, ip, _ABSENT, False, kind)
+            else:  # duplicated_packet, on a bound flow
+                # re-probed like any segment, then suppressed on the
+                # no-progress leg; established is forced (a duplicate is
+                # of a segment the flow already processed) and the slot's
+                # own establishment is untouched — suppression is not
+                # progress
+                eth, ip, l4 = table.probe_packet(slot_uid[slot])
+                variant = (pop, eth, ip, l4, True, kind)
+            if fault_counts is not None:
+                fault_counts[kind] += 1
         lib = libraries[pop]
         scheme = schemes[pop]
-        stream.feed(variant, lambda: lib.segment(variant, scheme)[0])
+        delta = stream.feed(variant, lambda: lib.segment(variant, scheme)[0])
+        if collect_services is not None:
+            stall, _instr = TransitionStream.stall_and_instructions(delta)
+            collect_services.append(stall + lib.segment(variant, scheme)[1].cycles)
 
     warm = stream.phase_counters("warmup") if spec.warmup_packets else [0] * 15
     steady = stream.phase_counters("steady")
@@ -281,6 +375,8 @@ def run_traffic_point(
         novel_passes=stream.novel_passes,
         distinct_states=stream.distinct_states,
         segment_alphabet=stream.segment_alphabet,
+        memo_evictions=stream.memo_evictions,
+        degraded=stream.degraded,
     )
 
 
@@ -289,6 +385,7 @@ def _stats_json(stats) -> dict:
         "scheme": stats.scheme,
         "resolves": stats.resolves,
         "cache_hits": stats.cache_hits,
+        "failed_resolves": stats.failed_resolves,
         "probe_compares": stats.probe_compares,
         "installs": stats.installs,
         "evictions": stats.evictions,

@@ -72,6 +72,9 @@ def fnv32(key: bytes) -> int:
 class MapStats:
     resolves: int = 0
     cache_hits: int = 0
+    #: resolves that found no binding at all (scan packets, garbled
+    #: demux keys): the full not-found cost, every cache missed
+    failed_resolves: int = 0
     binds: int = 0
     unbinds: int = 0
     traversals: int = 0
@@ -506,6 +509,7 @@ class Map:
             chain += 1
             entry = entry.next
         self.stats.chain_probes += chain
+        self.stats.failed_resolves += 1
         self.last = ResolveProbe(False, probes, chain, False)
         raise MapError(f"unresolved key {key!r}")
 

@@ -1,0 +1,136 @@
+"""The overload queue: integer timeline, exact percentiles, saturation."""
+
+from collections import Counter
+
+import pytest
+
+from repro.resilience.queueing import (
+    DEFAULT_LOADS,
+    POLICIES,
+    LoadPoint,
+    OverloadSpec,
+    mean_service_cycles,
+    percentiles,
+    simulate_queue,
+)
+
+
+class TestOverloadSpec:
+    def test_defaults_validate(self):
+        OverloadSpec().validate()
+        assert OverloadSpec().loads == DEFAULT_LOADS
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"loads": ()}, "non-empty"),
+            ({"loads": (0,)}, "positive"),
+            ({"queue_capacity": 0}, "queue_capacity"),
+            ({"policy": "red"}, "policy"),
+            ({"backlog_threshold": 0}, "backlog_threshold"),
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            OverloadSpec(**kwargs).validate()
+
+    def test_policies_constant(self):
+        assert POLICIES == ("drop-tail", "unbounded")
+
+
+class TestMeanService:
+    def test_floor_mean(self):
+        assert mean_service_cycles([10, 11]) == 10
+
+    def test_at_least_one(self):
+        assert mean_service_cycles([0, 0]) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no service demands"):
+            mean_service_cycles([])
+
+
+class TestPercentiles:
+    def test_nearest_rank_on_known_values(self):
+        hist = Counter({v: 1 for v in range(1, 101)})  # 1..100
+        assert percentiles(hist, (0.50, 0.99, 0.999)) == [50, 99, 100]
+
+    def test_p999_rank_is_exact_not_float_truncated(self):
+        # 1000 values: rank of p999 must be ceil(0.999 * 1000) = 999,
+        # not 998 (the binary-float truncation trap)
+        hist = Counter({v: 1 for v in range(1, 1_001)})
+        assert percentiles(hist, (0.999,)) == [999]
+
+    def test_single_value(self):
+        assert percentiles(Counter({7: 50}), (0.5, 0.99)) == [7, 7]
+
+    def test_empty_histogram(self):
+        assert percentiles(Counter(), (0.5, 0.99)) == [0, 0]
+
+
+def _constant_services(n=2_000, cycles=100):
+    return [cycles] * n
+
+
+class TestSimulateQueue:
+    def test_underload_never_queues(self):
+        lp = simulate_queue(_constant_services(), 50, OverloadSpec(), 100)
+        assert lp.dropped == 0
+        assert not lp.saturated
+        # at 50% load every packet finds an idle server: sojourn = service
+        assert lp.p50 == lp.p99 == lp.p999 == lp.max_sojourn == 100
+
+    def test_exact_capacity_keeps_up(self):
+        lp = simulate_queue(_constant_services(), 100, OverloadSpec(), 100)
+        assert lp.dropped == 0
+        assert not lp.saturated
+
+    def test_overload_drops_and_saturates(self):
+        lp = simulate_queue(_constant_services(), 120, OverloadSpec(), 100)
+        assert lp.dropped > 0
+        assert lp.saturated
+        assert lp.admitted == lp.offered - lp.dropped
+        assert lp.drop_fraction == pytest.approx(lp.dropped / lp.offered)
+
+    def test_drop_tail_bounds_packets_in_system(self):
+        spec = OverloadSpec(queue_capacity=8)
+        lp = simulate_queue(_constant_services(), 200, spec, 100)
+        # with <= 8 in system and constant service, sojourn <= 8 services
+        assert lp.max_sojourn <= 8 * 100
+        assert lp.dropped > 0
+
+    def test_unbounded_policy_admits_everything(self):
+        spec = OverloadSpec(policy="unbounded", backlog_threshold=10)
+        lp = simulate_queue(_constant_services(), 150, spec, 100)
+        assert lp.dropped == 0
+        assert lp.saturated  # the backlog kept growing
+        assert lp.end_backlog > 10 * 100
+
+    def test_unbounded_underload_not_saturated(self):
+        spec = OverloadSpec(policy="unbounded")
+        lp = simulate_queue(_constant_services(), 80, spec, 100)
+        assert not lp.saturated
+
+    def test_latency_grows_with_load(self):
+        p99s = [
+            simulate_queue(_constant_services(), load, OverloadSpec(), 100).p99
+            for load in (60, 90, 110)
+        ]
+        assert p99s[0] <= p99s[1] <= p99s[2]
+        assert p99s[0] < p99s[2]
+
+    def test_deterministic(self):
+        services = [(i * 37) % 150 + 50 for i in range(3_000)]
+        a = simulate_queue(services, 110, OverloadSpec(), 100).to_json()
+        b = simulate_queue(services, 110, OverloadSpec(), 100).to_json()
+        assert a == b
+
+    def test_load_point_json_shape(self):
+        lp = simulate_queue(_constant_services(100), 100, OverloadSpec(), 100)
+        j = lp.to_json()
+        assert isinstance(lp, LoadPoint)
+        assert set(j) == {
+            "load_pct", "offered", "admitted", "dropped", "p50", "p99",
+            "p999", "max_sojourn", "end_backlog", "saturated",
+            "drop_fraction",
+        }
