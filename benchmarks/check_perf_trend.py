@@ -46,9 +46,24 @@ second that fault arrivals, error-path costs or queue semantics drifted
 on the fixed deterministic cell — every number there is an exact
 integer, so equality is the gate, not a tolerance.
 
+And the data-techniques grid: ``--datalayout`` points at a
+``bench_datalayout.py`` run and requires::
+
+    measured grid == recorded grid               (bit-for-bit)
+    max(recorded cells_below_floor) >= 6 of 12   (acceptance floor)
+
+Every number in the grid is an exact integer count, and the section
+deliberately names no engine, so identity across the fast and gensim
+legs *is* the cross-engine equivalence proof; the floor failing means
+the data-side techniques stopped beating the write-buffer stall plateau.
+
 Every committed baseline is validated first: a null in an enforced field
 (e.g. ``seed_seconds`` from a run that could not export the seed commit)
-fails the gate instead of silently weakening it.
+fails the gate instead of silently weakening it.  A baseline that lacks
+a gated *section* entirely (an older file from before the section
+existed) is different from one carrying nulls: the gate announces the
+absence and skips that comparison instead of failing, so new sections
+can be introduced without invalidating every historical baseline.
 
 Usage::
 
@@ -72,6 +87,12 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 BASELINE = REPO / "BENCH_simspeed.json"
 TRAFFIC_BASELINE = REPO / "BENCH_traffic.json"
 RESILIENCE_BASELINE = REPO / "BENCH_resilience.json"
+DATALAYOUT_BASELINE = REPO / "BENCH_datalayout.json"
+
+#: the datalayout acceptance floor: at least one data technique must pull
+#: the steady write-buffer bucket below the baseline floor on this many
+#: of the 12 grid cells
+DATALAYOUT_CELL_FLOOR = 6
 
 #: the gensim acceptance floor: generated-kernel replay must beat the
 #: fast kernel by at least this factor regardless of what was recorded
@@ -111,62 +132,103 @@ REQUIRED_RESILIENCE_STREAMING = (
 )
 
 
+def missing_fields(baseline: dict, section: str, names) -> "list | None":
+    """Audit one baseline section's enforced fields.
+
+    Returns ``None`` when the section is absent altogether — the baseline
+    predates the gate, and the caller announces the skip via
+    :func:`section_absent` instead of failing.  A present section with
+    null/missing enforced fields returns their names: that baseline run
+    *attempted* the measurement and lost data, which stays a failure.
+    """
+    if section not in baseline:
+        return None
+    present = baseline[section] or {}
+    return [f"{section}.{name}" for name in names if present.get(name) is None]
+
+
+def section_absent(section: str, baseline_path: str) -> None:
+    """Announce (loudly, but without failing) a skipped baseline section."""
+    print(
+        f"SECTION ABSENT: {baseline_path} has no {section!r} section — the "
+        "baseline predates this gate, skipping it; regenerate the baseline "
+        "to start enforcing it"
+    )
+
+
+def baseline_invalid(missing, baseline_path: str, regen: str) -> None:
+    print(
+        f"BASELINE INVALID: null/missing field(s) in {baseline_path}: "
+        f"{', '.join(missing)} — regenerate it with "
+        f"`PYTHONPATH=src python benchmarks/{regen}`",
+        file=sys.stderr,
+    )
+
+
 def check_traffic(smoke_path: str, baseline_path: str, threshold: float) -> bool:
     """The traffic-engine gate; returns True on failure."""
     baseline = json.loads(pathlib.Path(baseline_path).read_text())
     smoke = json.loads(pathlib.Path(smoke_path).read_text())
 
-    missing = [
-        f"streaming.{name}"
-        for name in REQUIRED_TRAFFIC_STREAMING
-        if baseline.get("streaming", {}).get(name) is None
-    ]
-    recorded_rates = baseline.get("hit_rates", {}).get("schemes") or {}
-    if not recorded_rates:
-        missing.append("hit_rates.schemes")
-    missing.extend(
-        f"hit_rates.schemes.{name}"
-        for name, rate in recorded_rates.items()
-        if rate is None
+    missing = missing_fields(
+        baseline, "streaming", REQUIRED_TRAFFIC_STREAMING
     )
+    rate_section = "hit_rates" in baseline
+    recorded_rates = (baseline.get("hit_rates") or {}).get("schemes") or {}
+    if rate_section:
+        if not recorded_rates:
+            missing = (missing or []) + ["hit_rates.schemes"]
+        else:
+            missing = (missing or []) + [
+                f"hit_rates.schemes.{name}"
+                for name, rate in recorded_rates.items()
+                if rate is None
+            ]
     if missing:
-        print(
-            f"BASELINE INVALID: null/missing field(s) in {baseline_path}: "
-            f"{', '.join(missing)} — regenerate it with "
-            "`PYTHONPATH=src python benchmarks/bench_traffic.py`",
-            file=sys.stderr,
-        )
+        baseline_invalid(missing, baseline_path, "bench_traffic.py")
         return True
 
     failed = False
-    recorded = baseline["streaming"]["streaming_speedup_vs_naive"]
-    measured = smoke.get("streaming", {}).get("streaming_speedup_vs_naive")
-    if measured is None:
-        print(
-            f"\nPERF REGRESSION: {smoke_path} carries no "
-            "streaming.streaming_speedup_vs_naive — the smoke benchmark no "
-            "longer measures the streaming engine",
-            file=sys.stderr,
-        )
-        failed = True
+    if "streaming" not in baseline:
+        section_absent("streaming", baseline_path)
     else:
-        floor = max(TRAFFIC_STREAM_FLOOR, threshold * recorded)
-        print(f"recorded streaming_speedup_vs_naive: {recorded}x ({baseline_path})")
-        print(f"measured streaming_speedup_vs_naive: {measured}x ({smoke_path})")
-        print(
-            f"traffic floor (max({TRAFFIC_STREAM_FLOOR}, "
-            f"{threshold} x recorded)): {floor:.2f}x"
-        )
-        if measured < floor:
+        recorded = baseline["streaming"]["streaming_speedup_vs_naive"]
+        measured = smoke.get("streaming", {}).get("streaming_speedup_vs_naive")
+        if measured is None:
             print(
-                f"\nPERF REGRESSION: streaming {measured}x < {floor:.2f}x over "
-                "naive per-packet simulation — the transition memo lost its "
-                "replay advantage",
+                f"\nPERF REGRESSION: {smoke_path} carries no "
+                "streaming.streaming_speedup_vs_naive — the smoke benchmark "
+                "no longer measures the streaming engine",
                 file=sys.stderr,
             )
             failed = True
+        else:
+            floor = max(TRAFFIC_STREAM_FLOOR, threshold * recorded)
+            print(
+                f"recorded streaming_speedup_vs_naive: {recorded}x "
+                f"({baseline_path})"
+            )
+            print(
+                f"measured streaming_speedup_vs_naive: {measured}x "
+                f"({smoke_path})"
+            )
+            print(
+                f"traffic floor (max({TRAFFIC_STREAM_FLOOR}, "
+                f"{threshold} x recorded)): {floor:.2f}x"
+            )
+            if measured < floor:
+                print(
+                    f"\nPERF REGRESSION: streaming {measured}x < {floor:.2f}x "
+                    "over naive per-packet simulation — the transition memo "
+                    "lost its replay advantage",
+                    file=sys.stderr,
+                )
+                failed = True
 
     # hit rates on the fixed cell are exact rationals: require identity
+    if not rate_section:
+        section_absent("hit_rates", baseline_path)
+        return failed
     measured_cell = smoke.get("hit_rates", {})
     if measured_cell.get("spec") != baseline["hit_rates"].get("spec"):
         print(
@@ -198,59 +260,61 @@ def check_resilience(
     baseline = json.loads(pathlib.Path(baseline_path).read_text())
     smoke = json.loads(pathlib.Path(smoke_path).read_text())
 
-    missing = [
-        f"streaming.{name}"
-        for name in REQUIRED_RESILIENCE_STREAMING
-        if baseline.get("streaming", {}).get(name) is None
-    ]
-    if not baseline.get("latency", {}).get("loads"):
+    missing = missing_fields(
+        baseline, "streaming", REQUIRED_RESILIENCE_STREAMING
+    ) or []
+    if "latency" in baseline and not (baseline["latency"] or {}).get("loads"):
         missing.append("latency.loads")
-    if baseline.get("saturation", {}).get("saturation_point") is None:
+    if "saturation" in baseline and (
+        (baseline["saturation"] or {}).get("saturation_point") is None
+    ):
         # the acceptance proof: the full-run baseline must have found a
         # saturation knee at stream scale, not skipped the sweep
         missing.append("saturation.saturation_point")
     if missing:
-        print(
-            f"BASELINE INVALID: null/missing field(s) in {baseline_path}: "
-            f"{', '.join(missing)} — regenerate it with "
-            "`PYTHONPATH=src python benchmarks/bench_resilience.py`",
-            file=sys.stderr,
-        )
+        baseline_invalid(missing, baseline_path, "bench_resilience.py")
         return True
 
     failed = False
-    recorded = baseline["streaming"]["resilience_throughput_vs_traffic"]
-    measured = smoke.get("streaming", {}).get("resilience_throughput_vs_traffic")
-    if measured is None:
-        print(
-            f"\nPERF REGRESSION: {smoke_path} carries no "
-            "streaming.resilience_throughput_vs_traffic — the smoke "
-            "benchmark no longer measures the faulted stream",
-            file=sys.stderr,
-        )
-        failed = True
+    if "streaming" not in baseline:
+        section_absent("streaming", baseline_path)
     else:
-        floor = threshold * recorded
-        print(
-            f"recorded resilience_throughput_vs_traffic: {recorded}x "
-            f"({baseline_path})"
+        recorded = baseline["streaming"]["resilience_throughput_vs_traffic"]
+        measured = smoke.get("streaming", {}).get(
+            "resilience_throughput_vs_traffic"
         )
-        print(
-            f"measured resilience_throughput_vs_traffic: {measured}x "
-            f"({smoke_path})"
-        )
-        print(f"resilience floor ({threshold} x recorded): {floor:.2f}x")
-        if measured < floor:
+        if measured is None:
             print(
-                f"\nPERF REGRESSION: faulted streaming at {measured}x "
-                f"pristine < {floor:.2f}x — pricing protocol error paths "
-                "broke the transition memo",
+                f"\nPERF REGRESSION: {smoke_path} carries no "
+                "streaming.resilience_throughput_vs_traffic — the smoke "
+                "benchmark no longer measures the faulted stream",
                 file=sys.stderr,
             )
             failed = True
+        else:
+            floor = threshold * recorded
+            print(
+                f"recorded resilience_throughput_vs_traffic: {recorded}x "
+                f"({baseline_path})"
+            )
+            print(
+                f"measured resilience_throughput_vs_traffic: {measured}x "
+                f"({smoke_path})"
+            )
+            print(f"resilience floor ({threshold} x recorded): {floor:.2f}x")
+            if measured < floor:
+                print(
+                    f"\nPERF REGRESSION: faulted streaming at {measured}x "
+                    f"pristine < {floor:.2f}x — pricing protocol error paths "
+                    "broke the transition memo",
+                    file=sys.stderr,
+                )
+                failed = True
 
     # the latency cell is exact integers on a fixed spec: require identity
-    if smoke.get("latency") != baseline["latency"]:
+    if "latency" not in baseline:
+        section_absent("latency", baseline_path)
+    elif smoke.get("latency") != baseline["latency"]:
         print(
             "\nLATENCY DRIFT: the fixed deterministic resilience cell "
             "moved\nFault arrivals, error-path pricing or queue semantics "
@@ -262,6 +326,63 @@ def check_resilience(
         n = len(baseline["latency"]["loads"])
         print(f"latency cell identical across {n} offered-load points")
 
+    return failed
+
+
+def check_datalayout(fresh_path: str, baseline_path: str) -> bool:
+    """The data-techniques grid gate; returns True on failure.
+
+    Every grid number is an exact integer count (no timings), so the
+    comparison is bit-for-bit identity — the fresh run comes from
+    whichever engine the CI leg selected, and the committed baseline
+    names none, making identity the cross-engine equivalence proof.
+    """
+    baseline = json.loads(pathlib.Path(baseline_path).read_text())
+    fresh = json.loads(pathlib.Path(fresh_path).read_text())
+
+    if "grid" not in baseline:
+        section_absent("grid", baseline_path)
+        return False
+    recorded = baseline["grid"] or {}
+    missing = [
+        f"grid.{name}"
+        for name in ("wb_floor", "cells_below_floor", "cells")
+        if not recorded.get(name)
+    ]
+    if missing:
+        baseline_invalid(missing, baseline_path, "bench_datalayout.py")
+        return True
+
+    failed = False
+    below = recorded["cells_below_floor"]
+    best = max(below.values())
+    print(f"recorded cells_below_floor: {below} ({baseline_path})")
+    if best < DATALAYOUT_CELL_FLOOR:
+        print(
+            f"\nDATALAYOUT FLOOR: best technique pulls only {best} of 12 "
+            f"cells below the write-buffer floor (< {DATALAYOUT_CELL_FLOOR}) "
+            "— the data-side techniques stopped beating the stall plateau",
+            file=sys.stderr,
+        )
+        failed = True
+
+    measured = fresh.get("grid")
+    if measured != recorded:
+        engine = fresh.get("engine", "?")
+        print(
+            f"\nDATALAYOUT DRIFT: the grid regenerated on the {engine} "
+            "engine differs from the committed baseline\nStore behaviour, "
+            "layout transforms, attribution or bounds changed; if "
+            "intentional, regenerate BENCH_datalayout.json and the golden "
+            "table together",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(
+            f"grid identical across {len(recorded['cells'])} cells "
+            f"({fresh.get('engine', '?')} engine vs committed baseline)"
+        )
     return failed
 
 
@@ -306,6 +427,16 @@ def main(argv=None) -> int:
         "ratio (default 0.5)",
     )
     parser.add_argument(
+        "--datalayout",
+        metavar="PATH",
+        default=None,
+        help="also (or only) gate a bench_datalayout.py run (bit-for-bit "
+        "grid identity plus the cells-below-floor acceptance)",
+    )
+    parser.add_argument(
+        "--datalayout-baseline", default=str(DATALAYOUT_BASELINE)
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=0.8,
@@ -322,10 +453,15 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.smoke is None and args.traffic is None and args.resilience is None:
+    if (
+        args.smoke is None
+        and args.traffic is None
+        and args.resilience is None
+        and args.datalayout is None
+    ):
         parser.error(
             "nothing to check: pass a simspeed smoke JSON, --traffic, "
-            "--resilience, or any combination"
+            "--resilience, --datalayout, or any combination"
         )
 
     traffic_failed = False
@@ -339,6 +475,9 @@ def main(argv=None) -> int:
             args.resilience_threshold,
         ):
             traffic_failed = True
+    if args.datalayout is not None:
+        if check_datalayout(args.datalayout, args.datalayout_baseline):
+            traffic_failed = True
     if args.smoke is None:
         if traffic_failed:
             return 1
@@ -348,15 +487,10 @@ def main(argv=None) -> int:
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
     smoke = json.loads(pathlib.Path(args.smoke).read_text())
 
-    missing = [
-        f"end_to_end.{name}"
-        for name in REQUIRED_END_TO_END
-        if baseline.get("end_to_end", {}).get(name) is None
-    ] + [
-        f"kernel.{name}"
-        for name in REQUIRED_KERNEL
-        if baseline.get("kernel", {}).get(name) is None
-    ]
+    missing = (
+        (missing_fields(baseline, "end_to_end", REQUIRED_END_TO_END) or [])
+        + (missing_fields(baseline, "kernel", REQUIRED_KERNEL) or [])
+    )
     if missing:
         print(
             f"BASELINE INVALID: null/missing field(s) in {args.baseline}: "
@@ -367,25 +501,37 @@ def main(argv=None) -> int:
         )
         return 1
 
-    # a smoke run must be compared against the recorded smoke-sized ratio:
-    # the reduced sweep amortizes the result caches less than the full one
-    section = "smoke_end_to_end" if smoke.get("smoke") else "end_to_end"
-    recorded = baseline.get(section, baseline["end_to_end"])["speedup_vs_reference"]
-    measured = smoke["end_to_end"]["speedup_vs_reference"]
-    floor = args.threshold * recorded
-
-    print(f"recorded speedup_vs_reference: {recorded}x ({args.baseline})")
-    print(f"measured speedup_vs_reference: {measured}x ({args.smoke})")
-    print(f"floor ({args.threshold} x recorded): {floor:.2f}x")
-
     failed = traffic_failed
-    if measured < floor:
-        print(
-            f"\nPERF REGRESSION: {measured}x < {floor:.2f}x — the fast "
-            "engine lost ground against the reference engine",
-            file=sys.stderr,
-        )
-        failed = True
+    if "end_to_end" not in baseline:
+        section_absent("end_to_end", args.baseline)
+    else:
+        # a smoke run is compared against the recorded smoke-sized ratio:
+        # the reduced sweep amortizes the result caches less than the full
+        section = "smoke_end_to_end" if smoke.get("smoke") else "end_to_end"
+        recorded = baseline.get(section, baseline["end_to_end"])[
+            "speedup_vs_reference"
+        ]
+        measured = smoke["end_to_end"]["speedup_vs_reference"]
+        floor = args.threshold * recorded
+
+        print(f"recorded speedup_vs_reference: {recorded}x ({args.baseline})")
+        print(f"measured speedup_vs_reference: {measured}x ({args.smoke})")
+        print(f"floor ({args.threshold} x recorded): {floor:.2f}x")
+
+        if measured < floor:
+            print(
+                f"\nPERF REGRESSION: {measured}x < {floor:.2f}x — the fast "
+                "engine lost ground against the reference engine",
+                file=sys.stderr,
+            )
+            failed = True
+
+    if "kernel" not in baseline:
+        section_absent("kernel", args.baseline)
+        if failed:
+            return 1
+        print("\nperf trend OK")
+        return 0
 
     recorded_gensim = baseline["kernel"]["gensim_speedup_vs_fast"]
     measured_gensim = smoke.get("kernel", {}).get("gensim_speedup_vs_fast")

@@ -27,11 +27,19 @@ fault rate, with offered-load vs p50/p99/p999 latency curves per cell).
 Latencies are exact integers on the simulated-cycle timeline, so the
 same byte-identity gate applies across ``fast`` and ``gensim``.
 
+``--datalayout`` regenerates ``benchmarks/results/datalayout_grid.txt``:
+the data-techniques grid (store coalescing, non-allocating writes, field
+packing, hot/cold splitting over all 12 cells, with attribution buckets
+and static bounds).  Every number is an exact integer count or a ratio
+of them, and the rendering names no engine, so the fast and gensim legs
+diff against the same committed file.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/make_golden_tables.py [--check]
     PYTHONPATH=src python benchmarks/make_golden_tables.py --traffic [--check]
     PYTHONPATH=src python benchmarks/make_golden_tables.py --resilience [--check]
+    PYTHONPATH=src python benchmarks/make_golden_tables.py --datalayout [--check]
 
 ``--check`` writes nothing and exits 1 if any regenerated table differs
 from the committed file (a git-free equivalent of the CI gate).
@@ -80,23 +88,22 @@ def golden_tables() -> dict:
 
 def golden_traffic() -> dict:
     """The demux-cache study golden: scheme x mix at acceptance scale."""
-    from repro.api import traffic
-    from repro.harness.reporting import render_traffic_table
+    from repro.api import TrafficStudySpec, traffic
     from repro.traffic import MIXES, TrafficSpec
 
     # 1M packets over 10k flows per (scheme, mix) point — the issue's
     # acceptance scale — with enough churn to exercise invalidation
     base = TrafficSpec(churn=0.0005)
-    sections = [render_traffic_table(traffic(base, mixes=MIXES))]
+    sections = [traffic(TrafficStudySpec(traffic=base, mixes=MIXES)).render()]
     # the interleaved TCP+RPC population on one shared machine
     mixed = TrafficSpec(stack="mixed", churn=0.0005)
-    sections.append(render_traffic_table(traffic(mixed)))
+    sections.append(traffic(TrafficStudySpec(traffic=mixed)).render())
     return {"traffic_demux.txt": "\n\n".join(sections) + "\n"}
 
 
 def golden_resilience() -> dict:
     """The resilience study golden: scheme x mix x fault rate under load."""
-    from repro.api import resilience
+    from repro.api import ResilienceStudySpec, resilience
     from repro.harness.reporting import render_resilience_table
     from repro.resilience import OverloadSpec
     from repro.traffic import TrafficSpec
@@ -107,14 +114,33 @@ def golden_resilience() -> dict:
     base = TrafficSpec(
         packets=120_000, flows=2_000, churn=0.001, warmup_packets=5_000
     )
-    study = resilience(
-        base,
+    study = resilience(ResilienceStudySpec(
+        traffic=base,
         schemes=("one-entry", "lru:4"),
         mixes=("zipf", "scan"),
         fault_rates=(0.0, 0.02),
         overload=OverloadSpec(loads=(80, 100, 120)),
-    )
+    ))
     return {"resilience_smoke.txt": render_resilience_table(study) + "\n"}
+
+
+def golden_datalayout() -> dict:
+    """The data-techniques grid golden: every technique x all 12 cells.
+
+    The rendering deliberately names no engine — the engines are
+    bit-identical, so the fast and gensim CI legs regenerate this one
+    committed file and any divergence is a drift failure.
+    """
+    from repro.api import DatalayoutSpec, datalayout
+
+    study = datalayout(DatalayoutSpec())
+    problems = study.check()
+    if problems:
+        raise SystemExit(
+            "datalayout golden failed its own invariants:\n  "
+            + "\n  ".join(problems)
+        )
+    return {"datalayout_grid.txt": study.render()}
 
 
 def main(argv=None) -> int:
@@ -135,10 +161,17 @@ def main(argv=None) -> int:
         action="store_true",
         help="regenerate the faulted-traffic resilience golden instead",
     )
+    parser.add_argument(
+        "--datalayout",
+        action="store_true",
+        help="regenerate the data-techniques grid golden instead",
+    )
     args = parser.parse_args(argv)
 
     engine = Settings.from_env().engine
-    if args.resilience:
+    if args.datalayout:
+        which, regenerate = "datalayout golden", golden_datalayout
+    elif args.resilience:
         which, regenerate = "resilience golden", golden_resilience
     elif args.traffic:
         which, regenerate = "traffic golden", golden_traffic

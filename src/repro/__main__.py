@@ -19,6 +19,7 @@ Subcommands::
                                                # demux-cache traffic study
     python -m repro resilience <stack> <config> --fault-rates 0 0.01
                                                # faulted streams under load
+    python -m repro datalayout                 # data-techniques grid study
 
 Every subcommand resolves its engine and chaos environment once, through
 :class:`repro.api.Settings`, and runs through the :mod:`repro.api` facade.
@@ -60,15 +61,10 @@ def profile_main(argv=None) -> int:
                              "('-' for stdout)")
     args = parser.parse_args(argv)
 
-    from repro.harness.profile import profile_cell
-    from repro.harness.reporting import (
-        render_conflict_matrix,
-        render_function_breakdown,
-        render_layer_breakdown,
-    )
+    from repro import api
 
-    cell = profile_cell(args.stack, args.config, seed=args.seed,
-                        engine=args.engine)
+    cell = api.profile(api.ProfileSpec(args.stack, args.config,
+                                       engine=args.engine, seed=args.seed))
 
     if args.json is not None:
         payload = json.dumps(cell.to_json(), indent=2) + "\n"
@@ -78,18 +74,7 @@ def profile_main(argv=None) -> int:
         with open(args.json, "w") as fh:
             fh.write(payload)
 
-    title = (f"{args.stack} {args.config}, {cell.engine} engine, "
-             f"steady state")
-    print(render_layer_breakdown(cell.steady, title=title))
-    print()
-    print(render_function_breakdown(cell.steady, top=args.top))
-    print()
-    print(render_conflict_matrix(cell.conflicts, top=args.top))
-    print()
-    print(f"cold mCPI {cell.cold.mcpi:.2f} -> steady mCPI "
-          f"{cell.steady.mcpi:.2f} over {cell.steady.total_instructions} "
-          f"instructions (attribution verified against the "
-          f"{cell.engine} engine)")
+    print(cell.render(top=args.top))
     return 0
 
 
@@ -148,13 +133,12 @@ def analyze_main(argv=None) -> int:
     try:
         for stack in stacks:
             for config in configs:
-                spec = api.RunSpec(stack, config, seed=args.seed,
-                                   engine=args.engine)
-                cell = api.analyze(
-                    spec,
+                cell = api.analyze(api.AnalyzeSpec(
+                    run=api.RunSpec(stack, config, seed=args.seed,
+                                    engine=args.engine),
                     check_conflicts=not args.static_only,
                     bounds=args.bounds,
-                )
+                ))
                 reports.append(cell)
                 if args.json != "-":
                     print(cell.render())
@@ -222,39 +206,26 @@ def faults_main(argv=None) -> int:
                         help="also write the table as JSON ('-' for stdout)")
     args = parser.parse_args(argv)
 
-    from repro.harness import reporting, tables
-    from repro.harness.parallel import SweepReport
+    from repro import api
 
     configs = (tuple(CONFIG_NAMES) if args.config == "all"
                else (args.config,))
     kinds = tuple(args.kinds) if args.kinds else None
-    report = SweepReport()
-    measured = tables.compute_fault_table(
-        args.stack, rate=args.rate, kinds=kinds, samples=args.samples,
-        seed=args.seed, engine=args.engine, configs=configs, report=report,
-    )
+    study = api.faults(api.FaultsSpec(
+        args.stack, configs=configs, rate=args.rate, kinds=kinds,
+        samples=args.samples, seed=args.seed, engine=args.engine,
+    ))
 
     if args.json is not None:
-        payload = json.dumps({
-            "stack": args.stack,
-            "rate": args.rate,
-            "kinds": list(kinds) if kinds else list(FAULT_KINDS),
-            "seed": args.seed,
-            "rows": measured,
-            "sweep": report.to_json(),
-        }, indent=2) + "\n"
+        payload = json.dumps(study.to_json(), indent=2) + "\n"
         if args.json == "-":
             sys.stdout.write(payload)
             return 0
         with open(args.json, "w") as fh:
             fh.write(payload)
 
-    print(reporting.render_fault_table(measured, args.stack, rate=args.rate,
-                                       kinds=kinds))
-    if report.incidents or report.failures or report.divergences:
-        print()
-        print(reporting.render_sweep_report(report))
-    return 1 if report.failures else 0
+    print(study.render())
+    return 1 if study.check() else 0
 
 
 def search_main(argv=None) -> int:
@@ -303,12 +274,12 @@ def search_main(argv=None) -> int:
     from repro.search import DEFAULT_BUDGET, LayoutArtifact
 
     settings = api.Settings.from_env(engine=args.engine)
-    spec = api.RunSpec(args.stack, args.config, seed=args.base_seed,
-                       engine=settings.engine)
-    result = api.search(
-        spec, args.budget, seed=args.seed, settings=settings,
-        parallel=args.parallel, micro_baseline=args.micro,
-    )
+    result = api.search(api.SearchSpec(
+        run=api.RunSpec(args.stack, args.config, seed=args.base_seed,
+                        engine=settings.engine),
+        budget=args.budget, seed=args.seed, parallel=args.parallel,
+        micro_baseline=args.micro,
+    ), settings=settings)
 
     if args.out is not None:
         result.artifact.save(args.out)
@@ -406,19 +377,19 @@ def traffic_main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     from repro import api
-    from repro.harness.reporting import render_traffic_table
 
     settings = api.Settings.from_env(engine=args.engine)
-    spec = TrafficSpec(
+    stream = TrafficSpec(
         stack=args.stack, config=args.config, packets=args.packets,
         flows=args.flows[0], zipf_s=args.zipf_s, churn=args.churn,
         scan_fraction=args.scan_fraction, rpc_fraction=args.rpc_fraction,
         seed=args.seed, warmup_packets=args.warmup,
     )
-    study = api.traffic(
-        spec, schemes=args.schemes, mixes=args.mixes,
-        flow_counts=args.flows, settings=settings,
-    )
+    study = api.traffic(api.TrafficStudySpec(
+        traffic=stream, schemes=tuple(args.schemes),
+        mixes=tuple(args.mixes) if args.mixes else None,
+        flow_counts=tuple(args.flows),
+    ), settings=settings)
     if args.json is not None:
         payload = json.dumps(study.to_json(), indent=2) + "\n"
         if args.json == "-":
@@ -427,7 +398,7 @@ def traffic_main(argv=None) -> int:
             with open(args.json, "w") as fh:
                 fh.write(payload)
     if args.json != "-":
-        print(render_traffic_table(study))
+        print(study.render())
     return 0
 
 
@@ -508,10 +479,9 @@ def resilience_main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     from repro import api
-    from repro.harness.reporting import render_resilience_table
 
     settings = api.Settings.from_env(engine=args.engine)
-    spec = TrafficSpec(
+    stream = TrafficSpec(
         stack=args.stack, config=args.config, packets=args.packets,
         flows=args.flows, churn=args.churn, seed=args.seed,
         warmup_packets=args.warmup,
@@ -520,12 +490,13 @@ def resilience_main(argv=None) -> int:
         loads=tuple(args.loads), queue_capacity=args.queue_capacity,
         policy=args.policy,
     )
-    study = api.resilience(
-        spec, schemes=args.schemes, mixes=args.mixes,
-        fault_rates=args.fault_rates, profile_seed=args.profile_seed,
-        scope=args.scope, overload=overload, parallel=args.parallel,
-        settings=settings,
-    )
+    study = api.resilience(api.ResilienceStudySpec(
+        traffic=stream, schemes=tuple(args.schemes),
+        mixes=tuple(args.mixes) if args.mixes else None,
+        fault_rates=tuple(args.fault_rates),
+        profile_seed=args.profile_seed, scope=args.scope,
+        overload=overload, parallel=args.parallel,
+    ), settings=settings)
     if args.json is not None:
         payload = json.dumps(study.to_json(), indent=2) + "\n"
         if args.json == "-":
@@ -534,25 +505,85 @@ def resilience_main(argv=None) -> int:
             with open(args.json, "w") as fh:
                 fh.write(payload)
     if args.json != "-":
-        print(render_resilience_table(study))
-    return 1 if study.sweep.failures else 0
+        print(study.render())
+    return 1 if study.check() else 0
+
+
+def datalayout_main(argv=None) -> int:
+    """``python -m repro datalayout``: the data-techniques grid study."""
+    from repro.api.settings import ENGINES
+    from repro.api.spec import SPEC_CONFIGS, SPEC_STACKS
+    from repro.datalayout import TECHNIQUE_NAMES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro datalayout",
+        description="Measure the data-side techniques (store coalescing, "
+                    "non-allocating writes, field packing, hot/cold "
+                    "splitting) over the paper's 12 (stack, configuration) "
+                    "cells, attributing the write-buffer and d-cache "
+                    "stalls and bracketing every cell with static bounds "
+                    "under the same store behaviour.",
+    )
+    parser.add_argument("--techniques", nargs="+",
+                        choices=list(TECHNIQUE_NAMES), default=None,
+                        help="data techniques to measure (default: all; "
+                             "baseline is always included)")
+    parser.add_argument("--stacks", nargs="+", choices=list(SPEC_STACKS),
+                        default=list(SPEC_STACKS))
+    parser.add_argument("--configs", nargs="+", choices=list(SPEC_CONFIGS),
+                        default=list(SPEC_CONFIGS))
+    parser.add_argument("--engine", choices=list(ENGINES), default=None,
+                        help="simulation engine (default: $REPRO_SIM_ENGINE "
+                             "or fast; tables are bit-identical across "
+                             "engines)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="allocator jitter seed of the traced samples")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the full grid as JSON "
+                             "('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    from repro import api
+
+    study = api.datalayout(api.DatalayoutSpec(
+        techniques=tuple(args.techniques) if args.techniques else None,
+        stacks=tuple(args.stacks), configs=tuple(args.configs),
+        seed=args.seed, engine=args.engine,
+    ))
+    if args.json is not None:
+        payload = json.dumps(study.to_json(), indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+    if args.json != "-":
+        print(study.render())
+    problems = study.check()
+    for p in problems:
+        print(f"CHECK FAIL: {p}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+#: CLI subcommand -> entry point; mirrors repro.api.FACADE_VERBS minus
+#: run/sweep, whose CLI form is the default table driver below (a test
+#: pins this correspondence)
+SUBCOMMANDS = {
+    "profile": profile_main,
+    "analyze": analyze_main,
+    "faults": faults_main,
+    "search": search_main,
+    "traffic": traffic_main,
+    "resilience": resilience_main,
+    "datalayout": datalayout_main,
+}
 
 
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "profile":
-        return profile_main(argv[1:])
-    if argv and argv[0] == "analyze":
-        return analyze_main(argv[1:])
-    if argv and argv[0] == "faults":
-        return faults_main(argv[1:])
-    if argv and argv[0] == "search":
-        return search_main(argv[1:])
-    if argv and argv[0] == "traffic":
-        return traffic_main(argv[1:])
-    if argv and argv[0] == "resilience":
-        return resilience_main(argv[1:])
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the tables of TR 96-03 from the "

@@ -154,6 +154,12 @@ class CellAnalysis:
         )
         return "\n".join(lines)
 
+    def check(self) -> List[str]:
+        """The findings as flat strings (the ``repro.api`` Result protocol)."""
+        return [
+            f"[{phase}] {finding.render()}" for phase, finding in self.findings
+        ]
+
     def to_json(self) -> Dict[str, object]:
         """Structured report for ``repro analyze --json`` and scripts."""
         return {

@@ -480,6 +480,17 @@ class BoundsAnalyzer:
         self.nd = cfg.dcache_size // cfg.block_size
         self.nb = cfg.bcache_size // cfg.block_size
         self.wb_depth = cfg.write_buffer_depth
+        # store modes: with coalescing, concrete wb states are tuples of
+        # (pair, blocks) entries instead of plain block tuples; with
+        # streaming, retired stores never touch the abstract b-cache tags
+        self.coalescing = cfg.write_coalescing
+        self.streaming = cfg.non_allocating_writes
+
+    def _wb_member(self, entry: Tuple, block: int) -> bool:
+        """Is ``block`` buffered in concrete wb state ``entry``?"""
+        if self.coalescing:
+            return any(block in blks for _, blks in entry)
+        return block in entry
 
     # ---- per-event transfer functions -------------------------------- #
 
@@ -602,7 +613,10 @@ class BoundsAnalyzer:
         if wb is TOP:
             fwd_possible, fwd_definite = True, False
         else:
-            hits = [d in entry for entry in wb]  # type: ignore[union-attr]
+            hits = [
+                self._wb_member(entry, d)
+                for entry in wb  # type: ignore[union-attr]
+            ]
             fwd_possible = any(hits)
             fwd_definite = all(hits)
 
@@ -625,30 +639,59 @@ class BoundsAnalyzer:
         wb = st.wb
         if wb is TOP:
             acc.charge(fn, 0, full)
-            sw = w % self.nb
-            st.bcache[sw] = join_tags(st.bcache.get(sw, EMPTY), w)
+            if not self.streaming:
+                sw = w % self.nb
+                st.bcache[sw] = join_tags(st.bcache.get(sw, EMPTY), w)
             return
         lo = full
         hi = 0
         merge_possible = False
         append_possible = False
         new_states = set()
-        for entry in wb:  # type: ignore[union-attr]
-            if w in entry:
-                merge_possible = True
-                new_states.add(entry)
-                lo = 0
-            else:
-                append_possible = True
-                grown = entry + (w,)
-                if len(grown) > self.wb_depth:
-                    grown = grown[1:]
-                    hi = max(hi, full)
-                else:
+        if self.coalescing:
+            pair = w >> 1
+            for entry in wb:  # type: ignore[union-attr]
+                if any(w in blks for _, blks in entry):
+                    merge_possible = True
+                    new_states.add(entry)
                     lo = 0
+                    continue
+                append_possible = True
+                if any(p == pair for p, _ in entry):
+                    # the neighbour block is buffered: the store shares
+                    # its slot — never grows the FIFO, never overflows
+                    grown: Tuple = tuple(
+                        (p, blks + (w,)) if p == pair else (p, blks)
+                        for p, blks in entry
+                    )
+                    lo = 0
+                else:
+                    grown = entry + ((pair, (w,)),)
+                    if len(grown) > self.wb_depth:
+                        grown = grown[1:]
+                        hi = max(hi, full)
+                    else:
+                        lo = 0
                 new_states.add(grown)
+        else:
+            for entry in wb:  # type: ignore[union-attr]
+                if w in entry:
+                    merge_possible = True
+                    new_states.add(entry)
+                    lo = 0
+                else:
+                    append_possible = True
+                    grown = entry + (w,)
+                    if len(grown) > self.wb_depth:
+                        grown = grown[1:]
+                        hi = max(hi, full)
+                    else:
+                        lo = 0
+                    new_states.add(grown)
         acc.charge(fn, min(lo, hi), hi)
-        if append_possible:
+        if append_possible and not self.streaming:
+            # a new-block store retires through the b-cache and installs;
+            # streaming stores go around it, leaving the tags untouched
             sw = w % self.nb
             curw = st.bcache.get(sw, EMPTY)
             if merge_possible:
@@ -797,6 +840,7 @@ def check_cell_bounds(
     engine: Optional[str] = None,
     opts: "Optional[Section2Options]" = None,
     seed: int = 42,
+    memory: Optional[MemoryConfig] = None,
 ) -> Tuple[LatencyBounds, List[Finding]]:
     """Compute one cell's bounds and validate them against a simulation.
 
@@ -810,7 +854,7 @@ def check_cell_bounds(
         gensim_cold_and_steady_cached,
         simulate_cold_and_steady_cached,
     )
-    from repro.arch.simulator import MachineSimulator
+    from repro.arch.simulator import AlphaConfig, MachineSimulator
 
     program, walk = _cell_walk(stack, config, opts=opts, seed=seed)
     digest = digest_trace(walk.trace, program)
@@ -818,21 +862,22 @@ def check_cell_bounds(
         name: program.address_of(name) for name in program.names()
     }
     bounds = bounds_from_digest(
-        digest, placements, stack=stack, config=config
+        digest, placements, stack=stack, config=config, memory=memory
     )
 
+    machine_cfg = AlphaConfig(memory=memory) if memory is not None else None
     resolved = engine or "fast"
     if resolved == "guarded":
         resolved = "fast"
     elif resolved == "guarded-gensim":
         resolved = "gensim"
     if resolved == "reference":
-        cold = MachineSimulator().run(walk.trace)
-        steady = MachineSimulator().run_steady_state(walk.trace)
+        cold = MachineSimulator(machine_cfg).run(walk.trace)
+        steady = MachineSimulator(machine_cfg).run_steady_state(walk.trace)
     elif resolved == "gensim":
-        cold, steady = gensim_cold_and_steady_cached(walk.packed)
+        cold, steady = gensim_cold_and_steady_cached(walk.packed, machine_cfg)
     else:
-        cold, steady = simulate_cold_and_steady_cached(walk.packed)
+        cold, steady = simulate_cold_and_steady_cached(walk.packed, machine_cfg)
     findings = bounds.check(
         cold_mcpi=cold.mcpi,
         steady_mcpi=steady.mcpi,

@@ -1,0 +1,125 @@
+"""The one shape every facade verb returns.
+
+Each :mod:`repro.api` verb returns a domain object (an experiment result,
+a study, an analysis report) that additionally implements the
+:class:`Result` protocol::
+
+    result.to_json()   # the structured, machine-readable form
+    result.render()    # the human-readable table / report text
+    result.check()     # invariant findings; [] means clean
+
+The protocol is structural and ``runtime_checkable``: the facade's tests
+assert ``isinstance(verb(...), Result)`` for every verb, so a new verb
+cannot ship a return type the CLI and scripts don't already know how to
+print, serialize, and gate on.
+
+This module also hosts the result types that have no richer domain home:
+:class:`SweepResult` (an ordered list of experiment results that renders
+as one table) and :class:`FaultStudy` (the fault-injection penalty table
+plus its sweep health report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.harness.experiment import ExperimentResult
+    from repro.harness.parallel import SweepReport
+
+__all__ = ["Result", "SweepResult", "FaultStudy"]
+
+
+@runtime_checkable
+class Result(Protocol):
+    """What every :mod:`repro.api` verb's return value can do."""
+
+    def to_json(self) -> Any:
+        """The structured, JSON-serializable form."""
+
+    def render(self) -> str:
+        """The human-readable report text."""
+
+    def check(self) -> List[str]:
+        """Invariant findings; an empty list is the clean verdict."""
+
+
+class SweepResult(List["ExperimentResult"]):
+    """The results of one sweep, in spec order.
+
+    A plain list of :class:`~repro.harness.experiment.ExperimentResult`
+    (so existing indexing/iteration callers are untouched) that also
+    implements the :class:`Result` protocol.
+    """
+
+    def to_json(self) -> List[Dict[str, object]]:
+        return [r.to_json() for r in self]
+
+    def render(self) -> str:
+        lines = [
+            f"{'stack':6s} {'cfg':4s} {'n':>3s} {'rtt us':>9s} "
+            f"{'proc us':>9s} {'mCPI':>7s}"
+        ]
+        for r in self:
+            lines.append(
+                f"{r.stack:6s} {r.config:4s} {len(r.samples):3d} "
+                f"{r.mean_rtt_us:9.2f} {r.mean_processing_us:9.2f} "
+                f"{r.mean_mcpi:7.4f}"
+            )
+        return "\n".join(lines)
+
+    def check(self) -> List[str]:
+        out: List[str] = []
+        for r in self:
+            out.extend(r.check())
+        return out
+
+
+@dataclass
+class FaultStudy:
+    """The fault-injection penalty table of one stack, plus sweep health."""
+
+    stack: str
+    rate: float
+    kinds: Tuple[str, ...]
+    seed: int
+    #: configuration -> measured penalty row (``tables.compute_fault_table``)
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    sweep: Optional["SweepReport"] = None
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "stack": self.stack,
+            "rate": self.rate,
+            "kinds": list(self.kinds),
+            "seed": self.seed,
+            "rows": self.rows,
+            "sweep": self.sweep.to_json() if self.sweep is not None else None,
+        }
+
+    def render(self) -> str:
+        from repro.harness import reporting
+
+        text = reporting.render_fault_table(
+            self.rows, self.stack, rate=self.rate, kinds=self.kinds
+        )
+        if self.sweep is not None and (
+            self.sweep.incidents or self.sweep.failures or self.sweep.divergences
+        ):
+            text += "\n\n" + reporting.render_sweep_report(self.sweep)
+        return text
+
+    def check(self) -> List[str]:
+        if self.sweep is None:
+            return []
+        return [f"sweep failure: {i.render()}" for i in self.sweep.failures]

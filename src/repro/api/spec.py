@@ -1,4 +1,4 @@
-"""The one way to say "run this": a frozen, validated run specification.
+"""The one way to say "run this": frozen, validated specifications.
 
 Before :class:`RunSpec` existed the same measurement could be requested
 through ``Experiment``'s ten-keyword constructor, ``run_all_configs``'s
@@ -8,15 +8,28 @@ own defaulting rules.  A ``RunSpec`` names the complete recipe once
 optional layout override) and every front door — :func:`repro.api.run`,
 :func:`repro.api.sweep`, :func:`repro.api.search`, the ``python -m
 repro`` subcommands — consumes it.
+
+The same discipline covers every other facade verb: the former keyword
+piles of :func:`repro.api.traffic`, :func:`repro.api.resilience`,
+:func:`repro.api.analyze` and friends are promoted into the frozen spec
+dataclasses below (:class:`SweepSpec`, :class:`SearchSpec`,
+:class:`AnalyzeSpec`, :class:`ProfileSpec`, :class:`FaultsSpec`,
+:class:`TrafficStudySpec`, :class:`ResilienceStudySpec`,
+:class:`DatalayoutSpec`), so each verb takes exactly one spec and the
+legacy keyword forms survive only as deprecated shims.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FAULT_KINDS, FaultPlan
 from repro.protocols.options import Section2Options
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.resilience.queueing import OverloadSpec
+    from repro.traffic.spec import TrafficSpec
 
 #: valid stacks / build configurations (mirrors repro.harness.configs,
 #: duplicated here so the spec layer stays import-light)
@@ -66,3 +79,173 @@ class RunSpec:
     def with_config(self, config: str) -> "RunSpec":
         """Copy for a sibling configuration of the same stack."""
         return replace(self, config=config)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Many measurements plus how to schedule them.
+
+    ``parallel=None`` lets the executor decide (process pool when the
+    batch is worth it); the knobs only apply when the runs form a plain
+    configuration sweep of one stack — anything more heterogeneous runs
+    spec by spec.
+    """
+
+    runs: Tuple[RunSpec, ...] = ()
+    parallel: Optional[bool] = None
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "runs", tuple(self.runs))
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """One profile-guided layout search: the cell plus the search knobs."""
+
+    run: RunSpec = field(default_factory=RunSpec)
+    #: candidate simulations to spend (None: the driver's default budget)
+    budget: Optional[int] = None
+    #: drives every random choice the search makes
+    seed: int = 0
+    parallel: bool = False
+    max_workers: Optional[int] = None
+    #: also score the paper's micro-positioned layout (slower)
+    micro_baseline: bool = False
+
+
+@dataclass(frozen=True)
+class AnalyzeSpec:
+    """One static-analysis request: the cell plus the pass toggles."""
+
+    run: RunSpec = field(default_factory=RunSpec)
+    #: validate the conflict prediction against one simulated profile
+    check_conflicts: bool = True
+    #: also compute (and simulate against) the static latency bounds
+    bounds: bool = False
+
+
+@dataclass(frozen=True)
+class ProfileSpec:
+    """One stall-attribution request.
+
+    Attribution needs per-function span replay, which the generated
+    gensim kernels decline — ``engine`` must resolve to an interpreting
+    engine (``fast`` or ``reference``).
+    """
+
+    stack: str = "tcpip"
+    config: str = "STD"
+    engine: Optional[str] = None
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.stack not in SPEC_STACKS:
+            raise ValueError(f"unknown stack {self.stack!r}")
+        if self.config not in SPEC_CONFIGS:
+            raise ValueError(f"unknown configuration {self.config!r}")
+
+
+@dataclass(frozen=True)
+class FaultsSpec:
+    """One fault-injection pricing request: a stack sweep at one rate."""
+
+    stack: str = "tcpip"
+    #: configurations to price (default: the full sweep)
+    configs: Tuple[str, ...] = SPEC_CONFIGS
+    #: per-opportunity injection probability in [0, 1]
+    rate: float = 0.25
+    #: restrict the fault taxonomy (None: every kind)
+    kinds: Optional[Tuple[str, ...]] = None
+    samples: Optional[int] = None
+    #: fault plan seed (injection sites; allocator seeds are unchanged)
+    seed: int = 0
+    engine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "configs", tuple(self.configs))
+        if self.kinds is not None:
+            object.__setattr__(self, "kinds", tuple(self.kinds))
+        if self.stack not in SPEC_STACKS:
+            raise ValueError(f"unknown stack {self.stack!r}")
+        bad = [c for c in self.configs if c not in SPEC_CONFIGS]
+        if bad:
+            raise ValueError(f"unknown configuration(s) {bad!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate {self.rate!r} outside [0, 1]")
+        if self.kinds is not None:
+            unknown = [k for k in self.kinds if k not in FAULT_KINDS]
+            if unknown:
+                raise ValueError(f"unknown fault kind(s) {unknown!r}")
+
+
+@dataclass(frozen=True)
+class TrafficStudySpec:
+    """One demux-cache traffic study: the stream plus the sweep axes.
+
+    ``traffic`` (a :class:`repro.traffic.TrafficSpec`, default: the CI
+    reference cell) pins the packet stream; the axes default to the
+    stream's own mix and flow count and to every caching scheme.
+    """
+
+    traffic: Optional["TrafficSpec"] = None
+    schemes: Optional[Tuple[str, ...]] = None
+    mixes: Optional[Tuple[str, ...]] = None
+    flow_counts: Optional[Tuple[int, ...]] = None
+    engine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for name in ("schemes", "mixes", "flow_counts"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, tuple(value))
+
+
+@dataclass(frozen=True)
+class ResilienceStudySpec:
+    """One faulted-traffic resilience study: stream, faults and load."""
+
+    traffic: Optional["TrafficSpec"] = None
+    schemes: Optional[Tuple[str, ...]] = None
+    mixes: Optional[Tuple[str, ...]] = None
+    #: total per-packet fault rates (None: the study default (0.0, 0.01))
+    fault_rates: Optional[Tuple[float, ...]] = None
+    #: fault-arrival seed (the traffic spec's stream seed is unchanged)
+    profile_seed: int = 0
+    #: which flows faults may hit
+    scope: str = "all"
+    overload: Optional["OverloadSpec"] = None
+    parallel: bool = False
+    max_workers: Optional[int] = None
+    engine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for name in ("schemes", "mixes", "fault_rates"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, tuple(value))
+
+
+@dataclass(frozen=True)
+class DatalayoutSpec:
+    """One data-techniques grid study over the 12 (stack, config) cells."""
+
+    #: data techniques to measure (None: the whole registry; ``baseline``
+    #: is always included — the floors are defined against it)
+    techniques: Optional[Tuple[str, ...]] = None
+    stacks: Tuple[str, ...] = SPEC_STACKS
+    configs: Tuple[str, ...] = SPEC_CONFIGS
+    seed: int = 42
+    engine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stacks", tuple(self.stacks))
+        object.__setattr__(self, "configs", tuple(self.configs))
+        if self.techniques is not None:
+            object.__setattr__(self, "techniques", tuple(self.techniques))
+        bad = [s for s in self.stacks if s not in SPEC_STACKS]
+        if bad:
+            raise ValueError(f"unknown stack(s) {bad!r}")
+        bad = [c for c in self.configs if c not in SPEC_CONFIGS]
+        if bad:
+            raise ValueError(f"unknown configuration(s) {bad!r}")

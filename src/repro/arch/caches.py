@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import collections
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Set
+from typing import Deque, Dict, List, Optional, Set
 
 
 @dataclass
@@ -86,11 +86,15 @@ class DirectMappedCache:
         block = self.block_of(addr)
         return self._tags[self._index(block)] == block
 
-    def access(self, addr: int, *, write: bool = False) -> bool:
+    def access(self, addr: int, *, write: bool = False,
+               allocate: bool = True) -> bool:
         """Access the byte at ``addr``; returns True on hit.
 
-        A miss installs the block (subject to the write-allocate policy) and
-        updates cold/replacement accounting.
+        A miss installs the block (subject to the write-allocate policy)
+        and updates cold/replacement accounting.  ``allocate=False``
+        models a streaming (non-allocating) access: the probe and the
+        miss accounting are unchanged, but the missed block is neither
+        installed nor remembered as ever-resident.
         """
         block = self.block_of(addr)
         idx = self._index(block)
@@ -100,7 +104,7 @@ class DirectMappedCache:
         self.stats.misses += 1
         if block in self._ever_resident:
             self.stats.replacement_misses += 1
-        if not write or self.write_allocate:
+        if allocate and (not write or self.write_allocate):
             self._tags[idx] = block
             self._ever_resident.add(block)
         return False
@@ -134,20 +138,30 @@ class WriteBuffer:
     b-cache when full) and is counted as a miss, since it generates b-cache
     traffic.  This matches the paper's Table 6, which folds write-buffer
     behaviour into the d-cache columns.
+
+    With ``coalescing=True`` entries are held at two-block (64-byte)
+    granularity: a store to a new block whose neighbour is already
+    buffered joins that entry instead of allocating a new slot, so FIFO
+    occupancy — and therefore overflow retirement — tracks 64-byte
+    spans.  The store still counts as a miss (its retirement generates
+    b-cache traffic block by block); only slot allocation coalesces.
     """
 
-    def __init__(self, depth: int = 4, block_size: int = 32) -> None:
+    def __init__(self, depth: int = 4, block_size: int = 32, *,
+                 coalescing: bool = False) -> None:
         if depth <= 0:
             raise ValueError("write buffer depth must be positive")
         self.depth = depth
         self.block_size = block_size
-        # FIFO of block addresses plus a membership set: the hot path is a
-        # probe (store merging, load forwarding) followed by a possible
-        # oldest-entry eviction, so both must be O(1).  Entries are unique
-        # (a store to a buffered block merges), so the set mirrors the
-        # deque exactly.
+        self.coalescing = coalescing
+        # FIFO of entry keys (block addresses, or two-block pair ids when
+        # coalescing) plus a block-membership set: the hot path is a probe
+        # (store merging, load forwarding) followed by a possible
+        # oldest-entry eviction, so both must be O(1).
         self._entries: Deque[int] = collections.deque()
         self._resident: Set[int] = set()
+        #: coalescing only: entry pair id -> blocks sharing that slot
+        self._pair_blocks: Dict[int, List[int]] = {}
         self.stats = CacheStats()
         self.evictions: int = 0
 
@@ -161,6 +175,20 @@ class WriteBuffer:
         if block in self._resident:
             return True
         self.stats.misses += 1
+        if self.coalescing:
+            pair = block >> 1
+            self._resident.add(block)
+            slot = self._pair_blocks.get(pair)
+            if slot is not None:
+                slot.append(block)
+                return False
+            self._entries.append(pair)
+            self._pair_blocks[pair] = [block]
+            if len(self._entries) > self.depth:
+                for old in self._pair_blocks.pop(self._entries.popleft()):
+                    self._resident.discard(old)
+                self.evictions += 1
+            return False
         self._entries.append(block)
         self._resident.add(block)
         if len(self._entries) > self.depth:
@@ -173,14 +201,23 @@ class WriteBuffer:
 
     def drain(self) -> List[int]:
         """Flush all entries, returning the drained block addresses."""
-        drained = list(self._entries)
+        if self.coalescing:
+            drained = [
+                block
+                for pair in self._entries
+                for block in self._pair_blocks[pair]
+            ]
+        else:
+            drained = list(self._entries)
         self._entries.clear()
         self._resident.clear()
+        self._pair_blocks.clear()
         return drained
 
     def reset(self) -> None:
         self._entries.clear()
         self._resident.clear()
+        self._pair_blocks.clear()
         self.stats = CacheStats()
         self.evictions = 0
 

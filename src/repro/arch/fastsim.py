@@ -264,6 +264,8 @@ class FastMachine:
         self._d_nblocks = mem.dcache_size // mem.block_size
         self._b_nblocks = mem.bcache_size // mem.block_size
         self._wb_depth = mem.write_buffer_depth
+        self._coalescing = mem.write_coalescing
+        self._w_alloc = not mem.non_allocating_writes
         self.reset()
 
     def reset(self) -> None:
@@ -273,8 +275,11 @@ class FastMachine:
         self._i_ever: set = set()
         self._d_ever: set = set()
         self._b_ever: set = set()
-        self._wb: List[int] = []        # FIFO, oldest first (depth <= 4)
+        # FIFO, oldest first (depth <= 4); entries are blocks, or
+        # two-block pair ids under write coalescing
+        self._wb: List[int] = []
         self._wb_set: set = set()
+        self._wb_pairs: dict = {}       # coalescing: pair id -> blocks
         self._sb_block = -1
         self._sb_was_miss = False
         # counters: [i_acc, i_miss, i_repl, d_acc, d_miss, d_repl,
@@ -343,6 +348,9 @@ class FastMachine:
         b_ever_add = b_ever.add
         wb = self._wb
         wb_set = self._wb_set
+        wb_pairs = self._wb_pairs
+        coalescing = self._coalescing
+        w_alloc = self._w_alloc
         i_n = self._i_nblocks
         d_n = self._d_nblocks
         b_n = self._b_nblocks
@@ -355,7 +363,7 @@ class FastMachine:
 
         if track:
             ever_sizes = (len(i_ever), len(d_ever), len(b_ever))
-            wb_before = tuple(wb)
+            wb_before = (tuple(wb), frozenset(wb_set))
             sb_before = (sb_block, sb_was_miss)
             # first-touch old tags per modified index, per cache
             i_old: dict = {}
@@ -476,22 +484,42 @@ class FastMachine:
                     wb_acc += 1
                     if w not in wb_set:
                         wb_miss += 1
-                        wb.append(w)
-                        wb_set.add(w)
-                        overflowed = len(wb) > wb_depth
-                        if overflowed:
-                            wb_set.discard(wb.pop(0))
-                            wb_evict += 1
+                        if coalescing:
+                            # two-block (64-byte) entry granularity: a
+                            # neighbour already buffered shares its slot
+                            pair = w >> 1
+                            wb_set.add(w)
+                            slot = wb_pairs.get(pair)
+                            if slot is not None:
+                                slot.append(w)
+                                overflowed = False
+                            else:
+                                wb.append(pair)
+                                wb_pairs[pair] = [w]
+                                overflowed = len(wb) > wb_depth
+                                if overflowed:
+                                    for old in wb_pairs.pop(wb.pop(0)):
+                                        wb_set.discard(old)
+                                    wb_evict += 1
+                        else:
+                            wb.append(w)
+                            wb_set.add(w)
+                            overflowed = len(wb) > wb_depth
+                            if overflowed:
+                                wb_set.discard(wb.pop(0))
+                                wb_evict += 1
                         bidx = w % b_n
                         b_acc += 1
                         if btags[bidx] != w:
                             b_miss += 1
                             if w in b_ever:
                                 b_repl += 1
-                            if track and bidx not in b_old:
-                                b_old[bidx] = btags[bidx]
-                            btags[bidx] = w
-                            b_ever_add(w)
+                            if w_alloc:
+                                # streaming stores go around the b-cache
+                                if track and bidx not in b_old:
+                                    b_old[bidx] = btags[bidx]
+                                btags[bidx] = w
+                                b_ever_add(w)
                         if overflowed:
                             stall += wb_full
 
@@ -512,7 +540,7 @@ class FastMachine:
         return (
             sb_settled
             and ever_sizes == (len(i_ever), len(d_ever), len(b_ever))
-            and wb_before == tuple(wb)
+            and wb_before == (tuple(wb), frozenset(wb_set))
             and all(itags[i] == t for i, t in i_old.items())
             and all(dtags[i] == t for i, t in d_old.items())
             and all(btags[i] == t for i, t in b_old.items())
@@ -533,6 +561,12 @@ class FastMachine:
         """
         bt = self._btags
         b_part = tuple(bt) if b_indices is None else tuple(bt[i] for i in b_indices)
+        if self._coalescing:
+            wb_tok: tuple = tuple(
+                (pair, tuple(self._wb_pairs[pair])) for pair in self._wb
+            )
+        else:
+            wb_tok = tuple(self._wb)
         return (
             tuple(self._itags),
             tuple(self._dtags),
@@ -540,7 +574,7 @@ class FastMachine:
             frozenset(self._i_ever),
             frozenset(self._d_ever),
             frozenset(self._b_ever),
-            tuple(self._wb),
+            wb_tok,
             self._sb_block,
             self._sb_was_miss,
         )
@@ -561,8 +595,14 @@ class FastMachine:
         self._i_ever = set(i_ever)
         self._d_ever = set(d_ever)
         self._b_ever = set(b_ever)
-        self._wb = list(wb)
-        self._wb_set = set(wb)
+        if self._coalescing:
+            self._wb = [pair for pair, _ in wb]
+            self._wb_pairs = {pair: list(blocks) for pair, blocks in wb}
+            self._wb_set = {b for _, blocks in wb for b in blocks}
+        else:
+            self._wb = list(wb)
+            self._wb_set = set(wb)
+            self._wb_pairs = {}
         self._sb_block = sb
         self._sb_was_miss = sbm
 

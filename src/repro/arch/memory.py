@@ -46,6 +46,25 @@ class MemoryConfig:
     write_forward_cycles: int = 9
     #: stall charged when a store forces the full write buffer to retire
     write_buffer_full_cycles: int = 4
+    #: coalesce write-buffer entries at two-block (64-byte) granularity:
+    #: a store whose neighbour block is already buffered shares that
+    #: entry, so bursts of adjacent stores occupy fewer slots and force
+    #: fewer overflow retirements
+    write_coalescing: bool = False
+    #: streaming (non-allocating) stores: a retired write that misses
+    #: the b-cache goes around it without installing the block, so
+    #: write-only data stops evicting the read/fetch working set
+    non_allocating_writes: bool = False
+
+    def store_mode(self) -> str:
+        """Short label of the configured store behaviour."""
+        if self.write_coalescing and self.non_allocating_writes:
+            return "coalescing+streaming"
+        if self.write_coalescing:
+            return "coalescing"
+        if self.non_allocating_writes:
+            return "streaming"
+        return "buffered"
 
 
 @dataclass
@@ -108,7 +127,10 @@ class MemoryHierarchy:
             cfg.dcache_size, cfg.block_size, write_allocate=False, name="d-cache"
         )
         self.bcache = DirectMappedCache(cfg.bcache_size, cfg.block_size, name="b-cache")
-        self.write_buffer = WriteBuffer(cfg.write_buffer_depth, cfg.block_size)
+        self.write_buffer = WriteBuffer(
+            cfg.write_buffer_depth, cfg.block_size,
+            coalescing=cfg.write_coalescing,
+        )
         self.stream_buffer = StreamBuffer(cfg.block_size)
         self._stall_cycles = 0
         self._instructions = 0
@@ -221,7 +243,12 @@ class MemoryHierarchy:
         evicted_before = self.write_buffer.evictions
         if self.write_buffer.write(addr):
             return 0
-        self.bcache.access(addr, write=True)
+        # a non-allocating (streaming) store still probes the b-cache —
+        # the retirement traffic is real — but goes around it on a miss
+        self.bcache.access(
+            addr, write=True,
+            allocate=not self.config.non_allocating_writes,
+        )
         # The retired write only stalls the CPU when the buffer overflowed.
         if self.write_buffer.evictions > evicted_before:
             return self.config.write_buffer_full_cycles

@@ -1,0 +1,56 @@
+"""Data-side techniques: store behaviour and data-layout transforms.
+
+The paper's Section 2 techniques reshape instruction streams; this package
+attacks the complementary, data-side latency floor the attribution study
+exposed — the write-buffer stall plateau (~990 cycles per roundtrip on
+tcp/ip, ~1005 on rpc) that none of the code techniques move.  It bundles
+
+* the layout transforms (:mod:`repro.datalayout.transforms`) — field
+  packing and hot/cold splitting of the protocol state blocks the IR
+  addresses symbolically,
+* the technique axis (:mod:`repro.datalayout.techniques`) crossing those
+  transforms with the store behaviours of
+  :class:`repro.arch.memory.MemoryConfig` (write coalescing,
+  non-allocating stores), and
+* the grid study (:mod:`repro.datalayout.study`) measuring every data
+  technique over all 12 (stack × configuration) cells with attribution
+  and static-bounds cross-checks.
+"""
+
+from repro.datalayout.techniques import (
+    DATA_TECHNIQUES,
+    TECHNIQUE_NAMES,
+    DataTechnique,
+)
+from repro.datalayout.transforms import (
+    EXCLUDED_REGIONS,
+    PACK_GAP,
+    LayoutReport,
+    RegionLayout,
+    apply_data_layout,
+    region_remaps,
+)
+from repro.datalayout.study import (
+    STUDY_STACKS,
+    DatalayoutCell,
+    DatalayoutStudy,
+    datalayout_cell,
+    run_datalayout_study,
+)
+
+__all__ = [
+    "DATA_TECHNIQUES",
+    "TECHNIQUE_NAMES",
+    "DataTechnique",
+    "EXCLUDED_REGIONS",
+    "PACK_GAP",
+    "LayoutReport",
+    "RegionLayout",
+    "apply_data_layout",
+    "region_remaps",
+    "STUDY_STACKS",
+    "DatalayoutCell",
+    "DatalayoutStudy",
+    "datalayout_cell",
+    "run_datalayout_study",
+]

@@ -24,7 +24,7 @@ from repro.arch.memory import MemoryConfig
 
 #: bump together with :data:`repro.gensim.machine.GEN_VERSION` semantics —
 #: the emitted text participates in the cell fingerprint.
-EMIT_VERSION = 1
+EMIT_VERSION = 2
 
 
 def _modulo(expr: str, n: int) -> str:
@@ -72,10 +72,46 @@ def render_kernel(mem: MemoryConfig) -> str:
     fwd_stall = f"stall += {fwd}" if fwd else "pass"
     overflow_stall = f"stall += {wb_full}" if wb_full else "pass"
 
+    # store behaviour, folded at generation time (mirrors the fast
+    # engine's per-mode store path statement for statement)
+    if mem.write_coalescing:
+        wb_enter = f"""\
+pair = w >> 1
+                    wb_set.add(w)
+                    slot = wb_pairs.get(pair)
+                    if slot is not None:
+                        slot.append(w)
+                        overflowed = False
+                    else:
+                        wb.append(pair)
+                        wb_pairs[pair] = [w]
+                        overflowed = len(wb) > {wb_depth}
+                        if overflowed:
+                            for old in wb_pairs.pop(wb.pop(0)):
+                                wb_set.discard(old)
+                            wb_evict += 1"""
+    else:
+        wb_enter = f"""\
+wb.append(w)
+                    wb_set.add(w)
+                    overflowed = len(wb) > {wb_depth}
+                    if overflowed:
+                        wb_set.discard(wb.pop(0))
+                        wb_evict += 1"""
+    if mem.non_allocating_writes:
+        store_install = "pass  # streaming stores go around the b-cache"
+    else:
+        store_install = """\
+if track and bidx not in b_old:
+                            b_old[bidx] = btags[bidx]
+                        btags[bidx] = w
+                        b_ever_add(w)"""
+
     return f"""\
 # generated gensim kernel (emit v{EMIT_VERSION})
 # geometry: block={bs} i_sets={i_n} d_sets={d_n} b_sets={b_n} wb={wb_depth}
 # latencies: bc_hit={bc_hit} main={main} stream_hit={stream_hit} fwd={fwd}
+# store mode: {mem.store_mode()}
 
 def mem_pass(state, run_blks, run_idxs, dcounts, dblks, n_entries, track):
     itags = state.itags
@@ -89,6 +125,7 @@ def mem_pass(state, run_blks, run_idxs, dcounts, dblks, n_entries, track):
     b_ever_add = b_ever.add
     wb = state.wb
     wb_set = state.wb_set
+    wb_pairs = state.wb_pairs
     sb_block = state.sb_block
     sb_was_miss = state.sb_was_miss
 
@@ -98,7 +135,7 @@ def mem_pass(state, run_blks, run_idxs, dcounts, dblks, n_entries, track):
 
     if track:
         ever_sizes = (len(i_ever), len(d_ever), len(b_ever))
-        wb_before = tuple(wb)
+        wb_before = (tuple(wb), frozenset(wb_set))
         sb_before = (sb_block, sb_was_miss)
         i_old = {{}}
         d_old = {{}}
@@ -200,22 +237,14 @@ def mem_pass(state, run_blks, run_idxs, dcounts, dblks, n_entries, track):
                 wb_acc += 1
                 if w not in wb_set:
                     wb_miss += 1
-                    wb.append(w)
-                    wb_set.add(w)
-                    overflowed = len(wb) > {wb_depth}
-                    if overflowed:
-                        wb_set.discard(wb.pop(0))
-                        wb_evict += 1
+                    {wb_enter}
                     bidx = {_modulo("w", b_n)}
                     b_acc += 1
                     if btags[bidx] != w:
                         b_miss += 1
                         if w in b_ever:
                             b_repl += 1
-                        if track and bidx not in b_old:
-                            b_old[bidx] = btags[bidx]
-                        btags[bidx] = w
-                        b_ever_add(w)
+                        {store_install}
                     if overflowed:
                         {overflow_stall}
 
@@ -234,7 +263,7 @@ def mem_pass(state, run_blks, run_idxs, dcounts, dblks, n_entries, track):
     return (
         sb_settled
         and ever_sizes == (len(i_ever), len(d_ever), len(b_ever))
-        and wb_before == tuple(wb)
+        and wb_before == (tuple(wb), frozenset(wb_set))
         and all(itags[i] == t for i, t in i_old.items())
         and all(dtags[i] == t for i, t in d_old.items())
         and all(btags[i] == t for i, t in b_old.items())

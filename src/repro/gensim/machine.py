@@ -110,6 +110,7 @@ class SourceState:
         "b_ever",
         "wb",
         "wb_set",
+        "wb_pairs",
         "sb_block",
         "sb_was_miss",
         "c",
@@ -123,8 +124,11 @@ class SourceState:
         self.i_ever: set = set()
         self.d_ever: set = set()
         self.b_ever: set = set()
+        # FIFO entries (blocks, or pair ids under write coalescing),
+        # block-membership set, and the coalescing pair -> blocks map
         self.wb: list = []
         self.wb_set: set = set()
+        self.wb_pairs: dict = {}
         self.sb_block = -1
         self.sb_was_miss = False
         self.c = [0] * 15
@@ -421,6 +425,12 @@ class GenMachine:
                 st.sb_was_miss,
             )
         bt = st.btags if b_indices is None else [st.btags[i] for i in b_indices]
+        if self.config.memory.write_coalescing:
+            wb_tok: tuple = tuple(
+                (pair, tuple(st.wb_pairs[pair])) for pair in st.wb
+            )
+        else:
+            wb_tok = tuple(st.wb)
         return (
             tuple(st.itags),
             tuple(st.dtags),
@@ -428,7 +438,7 @@ class GenMachine:
             frozenset(st.i_ever),
             frozenset(st.d_ever),
             frozenset(st.b_ever),
-            tuple(st.wb),
+            wb_tok,
             st.sb_block,
             st.sb_was_miss,
         )
@@ -471,8 +481,14 @@ class GenMachine:
             st.i_ever = set(i_ever)
             st.d_ever = set(d_ever)
             st.b_ever = set(b_ever)
-            st.wb = list(wb)
-            st.wb_set = set(wb)
+            if self.config.memory.write_coalescing:
+                st.wb = [pair for pair, _ in wb]
+                st.wb_pairs = {pair: list(blocks) for pair, blocks in wb}
+                st.wb_set = {b for _, blocks in wb for b in blocks}
+            else:
+                st.wb = list(wb)
+                st.wb_set = set(wb)
+                st.wb_pairs = {}
         st.sb_block = sb
         st.sb_was_miss = sbm
 

@@ -135,6 +135,13 @@ class WbResolution:
     order-dependent), then cached per entry state: the cold pass always
     starts empty and warm passes revisit the handful of states on the
     way to the fixed point, so the loop runs O(1) times per trace.
+
+    With ``coalescing`` the FIFO holds two-block pair entries (see
+    :class:`repro.arch.caches.WriteBuffer`); the entry/exit states are
+    then tuples of ``(pair, blocks)`` matching the fast engine's
+    snapshot token, while ``entered`` (new-block stores — the b-cache
+    retirement traffic) and the residency intervals stay at block
+    granularity, a block's exit being its owning pair's eviction.
     """
 
     __slots__ = (
@@ -148,39 +155,80 @@ class WbResolution:
     )
 
     def __init__(
-        self, write_blk: np.ndarray, entry: Tuple[int, ...], depth: int
+        self,
+        write_blk: np.ndarray,
+        entry: Tuple,
+        depth: int,
+        *,
+        coalescing: bool = False,
     ) -> None:
         W = write_blk.size
         entered = np.zeros(W, dtype=bool)
-        wb: List[int] = list(entry)
-        wb_set = set(entry)
         blocks: List[int] = []
         enters: List[int] = []
         exits: List[int] = []
         active: Dict[int, int] = {}
-        for b in entry:
-            active[b] = len(blocks)
-            blocks.append(b)
-            enters.append(0)
-            exits.append(W + 1)
         evictions = 0
-        for t, w in enumerate(write_blk.tolist()):
-            if w not in wb_set:
-                entered[t] = True
-                wb.append(w)
-                wb_set.add(w)
-                active[w] = len(blocks)
-                blocks.append(w)
-                enters.append(t + 1)
+        if coalescing:
+            wb: List[int] = [pair for pair, _ in entry]
+            pair_blocks: Dict[int, List[int]] = {
+                pair: list(blks) for pair, blks in entry
+            }
+            wb_set = {b for _, blks in entry for b in blks}
+            for _, blks in entry:
+                for b in blks:
+                    active[b] = len(blocks)
+                    blocks.append(b)
+                    enters.append(0)
+                    exits.append(W + 1)
+            for t, w in enumerate(write_blk.tolist()):
+                if w not in wb_set:
+                    entered[t] = True
+                    wb_set.add(w)
+                    active[w] = len(blocks)
+                    blocks.append(w)
+                    enters.append(t + 1)
+                    exits.append(W + 1)
+                    pair = w >> 1
+                    slot = pair_blocks.get(pair)
+                    if slot is not None:
+                        slot.append(w)
+                    else:
+                        wb.append(pair)
+                        pair_blocks[pair] = [w]
+                        if len(wb) > depth:
+                            for old in pair_blocks.pop(wb.pop(0)):
+                                wb_set.discard(old)
+                                exits[active.pop(old)] = t + 1
+                            evictions += 1
+            self.exit_wb: Tuple = tuple(
+                (pair, tuple(pair_blocks[pair])) for pair in wb
+            )
+        else:
+            wb = list(entry)
+            wb_set = set(entry)
+            for b in entry:
+                active[b] = len(blocks)
+                blocks.append(b)
+                enters.append(0)
                 exits.append(W + 1)
-                if len(wb) > depth:
-                    old = wb.pop(0)
-                    wb_set.discard(old)
-                    exits[active.pop(old)] = t + 1
-                    evictions += 1
+            for t, w in enumerate(write_blk.tolist()):
+                if w not in wb_set:
+                    entered[t] = True
+                    wb.append(w)
+                    wb_set.add(w)
+                    active[w] = len(blocks)
+                    blocks.append(w)
+                    enters.append(t + 1)
+                    exits.append(W + 1)
+                    if len(wb) > depth:
+                        old = wb.pop(0)
+                        wb_set.discard(old)
+                        exits[active.pop(old)] = t + 1
+                        evictions += 1
+            self.exit_wb = tuple(wb)
         self.entered = entered
         self.evictions = evictions
-        self.exit_wb = tuple(wb)
         # interval table sorted by (block, enter) for residency queries
         self.mult = W + 2
         key = np.asarray(blocks, dtype=_I64) * self.mult + np.asarray(
@@ -234,6 +282,7 @@ class TraceTables:
         "write_blk",
         "wb_states",
         "wb_depth",
+        "wb_coalescing",
     )
 
     def __init__(self, packed: PackedTrace, mem: MemoryConfig) -> None:
@@ -290,13 +339,17 @@ class TraceTables:
         self.read_wb_version = np.searchsorted(
             self.write_pos, self.read_pos, side="left"
         ).astype(_I64)
-        self.wb_states: Dict[Tuple[int, ...], WbResolution] = {}
+        self.wb_states: Dict[Tuple, WbResolution] = {}
         self.wb_depth = mem.write_buffer_depth
+        self.wb_coalescing = mem.write_coalescing
 
-    def wb_resolution(self, entry: Tuple[int, ...]) -> WbResolution:
+    def wb_resolution(self, entry: Tuple) -> WbResolution:
         cached = self.wb_states.get(entry)
         if cached is None:
-            cached = WbResolution(self.write_blk, entry, self.wb_depth)
+            cached = WbResolution(
+                self.write_blk, entry, self.wb_depth,
+                coalescing=self.wb_coalescing,
+            )
             while len(self.wb_states) >= _WB_STATES_MAX:
                 self.wb_states.pop(next(iter(self.wb_states)))
             self.wb_states[entry] = cached
@@ -311,6 +364,7 @@ def trace_tables(packed: PackedTrace, mem: MemoryConfig) -> TraceTables:
         mem.icache_size,
         mem.dcache_size,
         mem.write_buffer_depth,
+        mem.write_coalescing,
     )
     cached = packed._derived.get(key)
     if cached is None:
@@ -404,7 +458,8 @@ class VectorState:
         self.i_ever = np.empty(0, dtype=_I64)
         self.d_ever = np.empty(0, dtype=_I64)
         self.b_ever = np.empty(0, dtype=_I64)
-        self.wb: Tuple[int, ...] = ()
+        # block FIFO, or (pair, blocks) entries under write coalescing
+        self.wb: Tuple = ()
         self.sb_block = -1
         self.sb_was_miss = False
         # same 15 counters, same order as FastMachine._c
@@ -575,14 +630,19 @@ def mem_pass_vector(
         t.write_pos[entered] * 4 + 2,
     ]
     seg_sizes = [int(a.size) for a in probe_blk]
-    bblk = np.concatenate(probe_blk) if seg_sizes else np.empty(0, _I64)
-    border = np.concatenate(probe_ord) if seg_sizes else np.empty(0, _I64)
+    w_alloc = not mem.non_allocating_writes
+    n_inst_segs = 4 if w_alloc else 3
+    bblk = np.concatenate(probe_blk[:n_inst_segs])
+    border = np.concatenate(probe_ord[:n_inst_segs])
     P = int(bblk.size)
     order = np.argsort(border, kind="stable")
     sblk = bblk[order]
     sidx = sblk % b_n
 
-    # ---- b-cache: resolve the whole probe sequence in one batch ------- #
+    # ---- b-cache: resolve the installing probe sequence in one batch -- #
+    # (with streaming stores, retired writes probe but never install, so
+    # only fetch/prefetch/read probes participate in the tag evolution;
+    # the store probes are priced against it afterwards)
     b_has_prev, b_prev_blk, _, b_last = _group_links(sidx, sblk)
     bmiss_sorted = np.empty(P, dtype=bool)
     bmiss_sorted[b_has_prev] = b_prev_blk[b_has_prev] != sblk[b_has_prev]
@@ -599,16 +659,54 @@ def mem_pass_vector(
     if need_eq:
         eq_b = bool(np.array_equal(state.btags[b_upd_idx], b_upd_val))
         b_ever_size = state.b_ever.size
+
+    if not w_alloc:
+        # ---- streaming store probes: lookup, never install ------------ #
+        # The tag a store sees is the block of the last installing probe
+        # at-or-before it in its set (hit or miss, the probe leaves its
+        # own block behind), falling back to the entry tag; a store miss
+        # is a replacement iff its block was ever installed — at entry,
+        # or by an earlier installing miss of this pass.
+        st_blk = probe_blk[3]
+        st_ord = probe_ord[3]
+        st_idx = st_blk % b_n
+        sorted_ord = border[order]
+        if P and st_blk.size:
+            p = np.searchsorted(sorted_ord, st_ord, side="left")
+            pos_key = np.sort(sidx * P + np.arange(P, dtype=_I64))
+            q = np.searchsorted(pos_key, st_idx * P + p, side="left") - 1
+            qc = np.maximum(q, 0)
+            hit_key = pos_key[qc]
+            valid = (q >= 0) & (hit_key // P == st_idx)
+            st_tag = np.where(valid, sblk[hit_key % P], state.btags[st_idx])
+        else:
+            st_tag = state.btags[st_idx]
+        st_miss = st_tag != st_blk
+        m_blk = sblk[bmiss_sorted]
+        m_ord = sorted_ord[bmiss_sorted]
+        ever_mult = 4 * t.n + 4
+        if m_blk.size and st_blk.size:
+            m_key = np.sort(m_blk * ever_mult + m_ord)
+            j = np.searchsorted(m_key, st_blk * ever_mult + st_ord) - 1
+            jc = np.maximum(j, 0)
+            installed_earlier = (j >= 0) & (m_key[jc] // ever_mult == st_blk)
+        else:
+            installed_earlier = np.zeros(st_blk.shape, dtype=bool)
+        st_repl = st_miss & (_member(state.b_ever, st_blk) | installed_earlier)
+        b_miss += int(st_miss.sum())
+        b_repl += int(st_repl.sum())
+
     state.btags[b_upd_idx] = b_upd_val
     state.b_ever = _union(state.b_ever, sblk[bmiss_sorted])
 
     # outcomes back in probe-assembly order, then split per segment
     bmiss = np.empty(P, dtype=bool)
     bmiss[order] = bmiss_sorted
-    off = np.cumsum([0] + seg_sizes)
+    off = np.cumsum([0] + seg_sizes[:n_inst_segs])
     fetch_out = bmiss[off[0] : off[1]]
     pf_out = bmiss[off[1] : off[2]]
     read_out = bmiss[off[2] : off[3]]
+    P += 0 if w_alloc else int(probe_blk[3].size)
 
     # ---- stalls -------------------------------------------------------- #
     stall = int(np.where(fetch_out, main, bc_hit).sum())

@@ -224,6 +224,36 @@ class ExperimentResult:
         mean = self.mean_rtt_us
         return min(self.samples, key=lambda s: abs(s.roundtrip_us - mean))
 
+    # ---- the repro.api Result protocol -------------------------------- #
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "stack": self.stack,
+            "config": self.config,
+            "samples": len(self.samples),
+            "mean_rtt_us": round(self.mean_rtt_us, 3),
+            "stdev_rtt_us": round(self.stdev_rtt_us, 3),
+            "mean_processing_us": round(self.mean_processing_us, 3),
+            "mean_trace_length": round(self.mean_trace_length, 1),
+            "mean_icpi": round(self.mean_icpi, 4),
+            "mean_mcpi": round(self.mean_mcpi, 4),
+            "mean_cpi": round(self.mean_cpi, 4),
+            "total_faults": self.total_faults,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.stack}/{self.config}: "
+            f"rtt {self.mean_rtt_us:.2f} us (sd {self.stdev_rtt_us:.2f}), "
+            f"processing {self.mean_processing_us:.2f} us, "
+            f"mCPI {self.mean_mcpi:.4f} over {len(self.samples)} samples"
+        )
+
+    def check(self) -> List[str]:
+        return [] if self.samples else [
+            f"{self.stack}/{self.config}: no samples measured"
+        ]
+
 
 class Experiment:
     """Runs the paper's measurement procedure for one configuration."""

@@ -154,6 +154,43 @@ class CellProfile:
             "invocations": dict(sorted(self.invocations.items())),
         }
 
+    def render(self, *, top: int = 12) -> str:
+        """The full attribution report (the ``repro profile`` output)."""
+        from repro.harness.reporting import (
+            render_conflict_matrix,
+            render_function_breakdown,
+            render_layer_breakdown,
+        )
+
+        title = f"{self.stack} {self.config}, {self.engine} engine, steady state"
+        return "\n\n".join(
+            [
+                render_layer_breakdown(self.steady, title=title),
+                render_function_breakdown(self.steady, top=top),
+                render_conflict_matrix(self.conflicts, top=top),
+                f"cold mCPI {self.cold.mcpi:.2f} -> steady mCPI "
+                f"{self.steady.mcpi:.2f} over "
+                f"{self.steady.total_instructions} instructions "
+                f"(attribution verified against the {self.engine} engine)",
+            ]
+        )
+
+    def check(self) -> List[str]:
+        """Attribution totals vs the engine (profile_cell already verified
+        them — a surviving mismatch is a construction bug)."""
+        out = []
+        for label, report, result in (
+            ("cold", self.cold, self.cold_result),
+            ("steady", self.steady, self.steady_result),
+        ):
+            if report.total_stall_cycles != result.memory.stall_cycles:
+                out.append(
+                    f"{self.stack}/{self.config} {label}: attributed "
+                    f"{report.total_stall_cycles} != engine "
+                    f"{result.memory.stall_cycles}"
+                )
+        return out
+
 
 def profile_cell(
     stack: str,

@@ -178,6 +178,8 @@ class Attribution:
         self._b_ever: set = set()
         self._wb: List[int] = []
         self._wb_set: set = set()
+        #: write coalescing only: entry pair id -> blocks sharing that slot
+        self._wb_pairs: Dict[int, List[int]] = {}
         self._sb_block = -1
         #: miss kind of the pending prefetch's b-cache miss (None = it hit)
         self._sb_kind: Optional[str] = None
@@ -364,21 +366,45 @@ class Attribution:
         wb_set = self._wb_set
         if wblk in wb_set:
             return 0  # merged into a pending entry
+        mem = self.config.memory
         wb = self._wb
-        wb.append(wblk)
-        wb_set.add(wblk)
-        overflowed = len(wb) > self._wb_depth
-        if overflowed:
-            wb_set.discard(wb.pop(0))
+        if mem.write_coalescing:
+            # two-block (64-byte) entry granularity, mirroring the engines
+            pair = wblk >> 1
+            wb_set.add(wblk)
+            slot = self._wb_pairs.get(pair)
+            if slot is not None:
+                slot.append(wblk)
+                overflowed = False
+            else:
+                wb.append(pair)
+                self._wb_pairs[pair] = [wblk]
+                overflowed = len(wb) > self._wb_depth
+                if overflowed:
+                    for old in self._wb_pairs.pop(wb.pop(0)):
+                        wb_set.discard(old)
+        else:
+            wb.append(wblk)
+            wb_set.add(wblk)
+            overflowed = len(wb) > self._wb_depth
+            if overflowed:
+                wb_set.discard(wb.pop(0))
         # the retiring write's b-cache access (write-through, no stall)
         btags = self._btags
         bidx = wblk % self._b_n
-        _touch(self._b_shadow, self._b_n, wblk)
-        if btags[bidx] != wblk:
-            btags[bidx] = wblk
-            self._b_ever.add(wblk)
+        if mem.non_allocating_writes:
+            # a streaming store goes around the b-cache: the shadow (a
+            # fully-associative cache under the same policy) only
+            # refreshes an already-resident block
+            if wblk in self._b_shadow:
+                self._b_shadow.move_to_end(wblk)
+        else:
+            _touch(self._b_shadow, self._b_n, wblk)
+            if btags[bidx] != wblk:
+                btags[bidx] = wblk
+                self._b_ever.add(wblk)
         if overflowed:
-            full = self.config.memory.write_buffer_full_cycles
+            full = mem.write_buffer_full_cycles
             if fn is not None:
                 self._charge(fn, WRITE_BUFFER, WB_KIND, full)
             return full

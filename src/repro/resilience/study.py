@@ -118,6 +118,20 @@ class ResilienceStudy:
             "sweep": self.sweep.to_json(),
         }
 
+    def render(self) -> str:
+        from repro.harness.reporting import (
+            render_resilience_table,
+            render_sweep_report,
+        )
+
+        text = render_resilience_table(self)
+        if self.sweep.incidents or self.sweep.failures or self.sweep.divergences:
+            text += "\n\n" + render_sweep_report(self.sweep)
+        return text
+
+    def check(self) -> List[str]:
+        return [f"sweep failure: {i.render()}" for i in self.sweep.failures]
+
 
 def run_resilience_point(
     spec: TrafficSpec,

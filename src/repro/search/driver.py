@@ -118,6 +118,22 @@ class SearchResult:
         )
         return "\n".join(lines)
 
+    # ---- the repro.api Result protocol -------------------------------- #
+
+    def render(self) -> str:
+        return self.summary()
+
+    def check(self) -> List[str]:
+        """A winner that scores worse than the baseline it was seeded with
+        would mean the elite loop dropped a candidate — never clean."""
+        if self.best_score > self.baseline_score:
+            return [
+                f"{self.stack}/{self.config}: best score "
+                f"{self.best_score.steady_mcpi:.4f} regressed past the "
+                f"baseline {self.baseline_score.steady_mcpi:.4f}"
+            ]
+        return []
+
     def to_json(self) -> Dict[str, object]:
         return {
             "stack": self.stack,

@@ -160,6 +160,25 @@ class TrafficStudy:
             "points": [p.to_json() for p in self.points],
         }
 
+    def render(self) -> str:
+        from repro.harness.reporting import render_traffic_table
+
+        return render_traffic_table(self)
+
+    def check(self) -> List[str]:
+        """Every grid point the axes promise must actually be present."""
+        missing = []  # bounded: one entry per (scheme, mix, flows) axis cell
+        for mix in self.mixes:
+            for flows in self.flow_counts:
+                for scheme in self.schemes:
+                    try:
+                        self.point(scheme, mix, flows)
+                    except KeyError:
+                        missing.append(
+                            f"missing point {(scheme, mix, flows)!r}"
+                        )
+        return missing
+
 
 def _normalize_engine(engine: str) -> str:
     if engine in ("fast", "guarded"):

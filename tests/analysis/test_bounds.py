@@ -390,9 +390,9 @@ class TestFacade:
     def test_api_analyze_attaches_bounds(self):
         from repro import api
 
-        cell = api.analyze(
+        cell = api.analyze(api.AnalyzeSpec(
             api.RunSpec("tcpip", "CLO"), check_conflicts=False, bounds=True
-        )
+        ))
         assert cell.ok
         assert cell.bounds is not None
         assert cell.bounds.cold.exact
@@ -404,7 +404,9 @@ class TestFacade:
     def test_api_analyze_defaults_to_no_bounds(self):
         from repro import api
 
-        cell = api.analyze(api.RunSpec("tcpip", "CLO"), check_conflicts=False)
+        cell = api.analyze(
+            api.AnalyzeSpec(api.RunSpec("tcpip", "CLO"), check_conflicts=False)
+        )
         assert cell.bounds is None
 
 
@@ -437,8 +439,8 @@ class TestCli:
 
         def fake_analyze(spec, **kwargs):
             return CellAnalysis(
-                stack=spec.stack,
-                config=spec.config,
+                stack=spec.run.stack,
+                config=spec.run.config,
                 findings=[
                     (
                         "bounds",

@@ -1,11 +1,25 @@
-"""Tests for the ``repro.api`` facade: specs, settings, and the three verbs."""
+"""Tests for the ``repro.api`` facade: specs, settings, and the verbs."""
 
 import dataclasses
 
 import pytest
 
 from repro import api
-from repro.api import RunSpec, Settings, run, search, settings_for, sweep
+from repro.api import (
+    AnalyzeSpec,
+    DatalayoutSpec,
+    FaultsSpec,
+    ProfileSpec,
+    RunSpec,
+    SearchSpec,
+    Settings,
+    SweepSpec,
+    run,
+    search,
+    settings_for,
+    sweep,
+)
+from repro.api.result import Result
 from repro.api.settings import CHAOS_ENV, ENGINE_ENV, VERIFY_IR_ENV
 from repro.harness.experiment import Experiment, run_all_configs
 
@@ -151,7 +165,7 @@ class TestSweep:
     def test_plain_sweep_matches_run_all_configs(self):
         configs = ("STD", "OUT")
         specs = [RunSpec("tcpip", c, samples=1) for c in configs]
-        facade = sweep(specs, parallel=False)
+        facade = sweep(SweepSpec(runs=specs, parallel=False))
         legacy = run_all_configs(
             "tcpip", configs, samples=1, parallel=False
         )
@@ -163,7 +177,7 @@ class TestSweep:
 
     def test_result_order_follows_spec_order(self):
         specs = [RunSpec("tcpip", c, samples=1) for c in ("OUT", "STD")]
-        results = sweep(specs, parallel=False)
+        results = sweep(SweepSpec(runs=specs, parallel=False))
         assert results[0].config == "OUT"
         assert results[1].config == "STD"
 
@@ -185,8 +199,8 @@ class TestSweep:
 
 class TestSearchVerb:
     def test_search_returns_replayable_artifact(self):
-        spec = RunSpec("rpc", "STD", samples=1)
-        result = api.search(spec, budget=6, seed=0)
+        spec = SearchSpec(RunSpec("rpc", "STD", samples=1), budget=6, seed=0)
+        result = api.search(spec)
         assert result.best_score <= result.baseline_score
         replay = run(
             RunSpec("rpc", "STD", samples=1, layout=result.artifact)
@@ -197,8 +211,117 @@ class TestSearchVerb:
         )
 
     def test_search_is_deterministic_through_the_facade(self):
-        spec = RunSpec("tcpip", "STD")
-        a = search(spec, budget=4, seed=2)
-        b = search(spec, budget=4, seed=2)
+        spec = SearchSpec(RunSpec("tcpip", "STD"), budget=4, seed=2)
+        a = search(spec)
+        b = search(spec)
         assert a.best_score == b.best_score
         assert a.artifact.placements == b.artifact.placements
+
+    def test_search_spec_refuses_conflicting_kwargs(self):
+        spec = SearchSpec(RunSpec("tcpip", "STD"), budget=4, seed=2)
+        with pytest.raises(TypeError, match="SearchSpec already carries"):
+            api.search(spec, budget=8)
+
+
+class TestResultProtocol:
+    """Every verb returns a Result: to_json() + render() + check()."""
+
+    def test_run_result_conforms(self):
+        result = run(RunSpec("tcpip", "STD", samples=1))
+        assert isinstance(result, Result)
+        assert result.check() == []
+        assert "tcpip/STD" in result.render()
+        assert result.to_json()["samples"] == 1
+
+    def test_sweep_result_conforms_and_stays_a_list(self):
+        results = sweep(SweepSpec(runs=(RunSpec("tcpip", "STD", samples=1),)))
+        assert isinstance(results, Result)
+        assert isinstance(results, list)  # legacy indexing callers survive
+        assert results.check() == []
+        assert len(results.to_json()) == 1
+
+    def test_analyze_result_conforms(self):
+        report = api.analyze(AnalyzeSpec(RunSpec("tcpip", "STD")))
+        assert isinstance(report, Result)
+        assert report.check() == [] and report.ok
+
+    def test_search_result_conforms(self):
+        result = search(SearchSpec(RunSpec("tcpip", "STD"), budget=4, seed=0))
+        assert isinstance(result, Result)
+        assert result.check() == []
+        assert result.render() == result.summary()
+
+    def test_profile_result_conforms(self):
+        cell = api.profile(ProfileSpec("tcpip", "STD"))
+        assert isinstance(cell, Result)
+        assert cell.check() == []
+        assert "steady state" in cell.render()
+
+    def test_faults_result_conforms(self):
+        study = api.faults(
+            FaultsSpec("tcpip", configs=("STD",), rate=0.25, samples=1)
+        )
+        assert isinstance(study, Result)
+        assert study.check() == []
+        assert study.to_json()["rows"]["STD"]
+
+    def test_datalayout_result_conforms(self):
+        study = api.datalayout(
+            DatalayoutSpec(
+                techniques=("coalesce",), stacks=("tcpip",), configs=("STD",)
+            )
+        )
+        assert isinstance(study, Result)
+        assert study.check() == []
+        assert study.cell("tcpip", "STD", "coalesce").bounds_sound
+
+    def test_traffic_result_conforms(self):
+        from repro.api import TrafficStudySpec
+        from repro.traffic import TrafficSpec
+
+        small = TrafficSpec(packets=2_000, flows=50, warmup_packets=200)
+        study = api.traffic(
+            TrafficStudySpec(traffic=small, schemes=("one-entry",))
+        )
+        assert isinstance(study, Result)
+        assert study.check() == []
+        assert study.point("one-entry", "zipf", 50)
+
+
+class TestKwargShims:
+    """The pre-spec keyword forms still work but warn."""
+
+    def test_sweep_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="SweepSpec"):
+            results = sweep(
+                [RunSpec("tcpip", "STD", samples=1)], parallel=False
+            )
+        assert results[0].config == "STD"
+
+    def test_search_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="SearchSpec"):
+            result = search(RunSpec("tcpip", "STD"), budget=4, seed=2)
+        via_spec = search(SearchSpec(RunSpec("tcpip", "STD"), budget=4, seed=2))
+        assert result.artifact.placements == via_spec.artifact.placements
+
+    def test_search_bare_runspec_with_defaults_stays_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            search(RunSpec("tcpip", "STD"))
+
+    def test_analyze_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="AnalyzeSpec"):
+            report = api.analyze(
+                RunSpec("tcpip", "STD"), check_conflicts=False
+            )
+        assert report.ok
+
+    def test_traffic_kwargs_warn(self):
+        from repro.traffic import TrafficSpec
+
+        small = TrafficSpec(packets=2_000, flows=50, warmup_packets=200)
+        with pytest.warns(DeprecationWarning, match="TrafficStudySpec"):
+            study = api.traffic(small, schemes=["one-entry"])
+        assert study.point("one-entry", "zipf", 50)

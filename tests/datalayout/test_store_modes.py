@@ -1,0 +1,137 @@
+"""Store-behaviour properties on seeded random store streams.
+
+The data-side store modes (:attr:`MemoryConfig.write_coalescing`,
+:attr:`MemoryConfig.non_allocating_writes`) must never make a pure store
+workload *slower*: coalescing only merges write-buffer entries, and a
+store's stall cost never depends on b-cache residency, so streaming is
+stall-neutral on the write side.  Streaming's cost is on the *read* side
+— a later load of a streamed-past block misses the b-cache — which is
+exactly why the grid study finds ``stream`` the weakest technique; the
+trade-off is pinned here as a deliberate counterexample.
+"""
+
+import random
+
+import pytest
+
+from repro.arch.isa import Op, TraceEntry
+from repro.arch.memory import MemoryConfig, MemoryHierarchy
+
+#: instruction fetch loops far from the data segment so i-cache behaviour
+#: cannot confound the store-side comparison (the b-cache is shared)
+CODE_BASE = 0x100000
+CODE_FOOTPRINT = 512  # instructions; well inside the 8KB i-cache
+
+SEEDS = range(25)
+
+
+def store_stream(seed, n=3000):
+    """A seeded random pure-store workload with mixed locality.
+
+    Sequential field bursts (struct writes), a small hot set (counters),
+    and scattered singles — stores and ALU ops only, no loads, with the
+    fetch stream looping inside the i-cache.
+    """
+    rng = random.Random(seed)
+    entries = []
+    hot = [rng.randrange(0, 1 << 15) & ~7 for _ in range(16)]
+    i = 0
+    while len(entries) < n:
+        pc = CODE_BASE + (i % CODE_FOOTPRINT) * 4
+        i += 1
+        r = rng.random()
+        if r < 0.5:
+            base = rng.randrange(0, 1 << 16) & ~7
+            for k in range(rng.randrange(1, 5)):
+                addr = (base + 8 * k) % (1 << 16)
+                entries.append(
+                    TraceEntry(pc, Op.STORE, daddr=addr, dwrite=True)
+                )
+        elif r < 0.8:
+            entries.append(
+                TraceEntry(pc, Op.STORE, daddr=rng.choice(hot), dwrite=True)
+            )
+        else:
+            entries.append(TraceEntry(pc, Op.ALU))
+    return entries
+
+
+def run_stats(trace, **overrides):
+    hierarchy = MemoryHierarchy(MemoryConfig(**overrides))
+    hierarchy.run(trace)
+    return hierarchy.stats
+
+
+class TestStoreModeMonotonicity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_coalescing_never_increases_stalls(self, seed):
+        trace = store_stream(seed)
+        buffered = run_stats(trace)
+        coalesced = run_stats(trace, write_coalescing=True)
+        assert coalesced.stall_cycles <= buffered.stall_cycles
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_coalescing_never_increases_evictions(self, seed):
+        trace = store_stream(seed)
+        buffered = run_stats(trace)
+        coalesced = run_stats(trace, write_coalescing=True)
+        assert (
+            coalesced.write_buffer_evictions
+            <= buffered.write_buffer_evictions
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_streaming_is_stall_neutral_on_pure_stores(self, seed):
+        # a store's stall cost is write-buffer overflow, never b-cache
+        # residency — so on a loadless stream the mode changes nothing
+        trace = store_stream(seed)
+        buffered = run_stats(trace)
+        streaming = run_stats(trace, non_allocating_writes=True)
+        assert streaming.stall_cycles == buffered.stall_cycles
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_combined_modes_never_increase_stalls(self, seed):
+        trace = store_stream(seed)
+        buffered = run_stats(trace)
+        both = run_stats(
+            trace, write_coalescing=True, non_allocating_writes=True
+        )
+        assert both.stall_cycles <= buffered.stall_cycles
+
+    @pytest.mark.parametrize("seed", [0, 7, 13])
+    def test_store_modes_leave_instruction_count_alone(self, seed):
+        trace = store_stream(seed)
+        counts = {
+            run_stats(trace, **kw).instructions
+            for kw in (
+                {},
+                {"write_coalescing": True},
+                {"non_allocating_writes": True},
+                {"write_coalescing": True, "non_allocating_writes": True},
+            )
+        }
+        assert len(counts) == 1
+
+
+class TestStreamingReadSideCost:
+    """The documented trade-off: streaming can make a later *load* slower.
+
+    This is why the grid study finds ``stream`` below the floor on the
+    fewest cells — protocol state written on one roundtrip is read back
+    on the next, and a non-allocated block costs a main-memory fetch.
+    """
+
+    def test_read_after_streamed_store_misses_the_bcache(self):
+        def stalls(**overrides):
+            addr = 0x2000
+            pc = CODE_BASE
+            trace = [TraceEntry(pc, Op.STORE, daddr=addr, dwrite=True)]
+            # push the store out of the 4-deep buffer, then read it back
+            for k in range(8):
+                trace.append(
+                    TraceEntry(pc, Op.STORE, daddr=0x4000 + 64 * k, dwrite=True)
+                )
+            trace.append(TraceEntry(pc, Op.LOAD, daddr=addr))
+            return run_stats(trace, **overrides).stall_cycles
+
+        assert stalls(non_allocating_writes=True) > stalls()

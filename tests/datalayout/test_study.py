@@ -1,0 +1,82 @@
+"""The grid study surface: bounds soundness, floors, and rendering."""
+
+import pytest
+
+from repro.datalayout import (
+    DATA_TECHNIQUES,
+    TECHNIQUE_NAMES,
+    datalayout_cell,
+    run_datalayout_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    """A narrowed but technique-complete grid (one config per stack)."""
+    return run_datalayout_study(configs=("STD",))
+
+
+class TestBoundsOverStoreModes:
+    """The static bounds stay sound — and cold-exact — under every
+    technique's store behaviour, not just the stock hierarchy."""
+
+    @pytest.mark.parametrize("name", TECHNIQUE_NAMES)
+    def test_cold_bound_collapses_onto_the_run(self, name):
+        cell = datalayout_cell("tcpip", "STD", DATA_TECHNIQUES[name])
+        assert cell.cold_exact
+        assert cell.bounds_sound
+
+    @pytest.mark.parametrize("name", ["coalesce", "all"])
+    def test_bounds_sound_on_the_rpc_stack_too(self, name):
+        cell = datalayout_cell("rpc", "CLO", DATA_TECHNIQUES[name])
+        assert cell.cold_exact
+        assert cell.bounds_sound
+
+
+class TestStudySurface:
+    def test_stacks_reports_measured_stacks_in_order(self, study):
+        assert study.stacks() == ("tcpip", "rpc")
+
+    def test_check_is_clean_on_a_completed_study(self, study):
+        assert study.check() == []
+
+    def test_baseline_is_always_included(self):
+        narrow = run_datalayout_study(
+            techniques=("pack",), stacks=("tcpip",), configs=("STD",)
+        )
+        assert {c.technique for c in narrow.cells} == {"baseline", "pack"}
+        # the floor is defined by the force-included baseline cells
+        assert narrow.wb_floor("tcpip") > 0
+
+    def test_cell_lookup_raises_on_unknown_cell(self, study):
+        with pytest.raises(KeyError, match="no cell"):
+            study.cell("tcpip", "STD", "vectorize")
+
+    def test_render_names_no_engine(self, study):
+        # both CI legs regenerate one committed golden; an engine name in
+        # the rendering would make the files engine-dependent
+        text = study.render()
+        for engine in ("fast", "gensim", "reference"):
+            assert engine not in text
+        assert "write-buffer floor [tcpip]" in text
+
+    def test_to_json_grid_floors_match_cells(self, study):
+        grid = study.to_json()
+        for stack in study.stacks():
+            assert grid["wb_floor"][stack] == study.wb_floor(stack)
+        for name, count in grid["cells_below_floor"].items():
+            assert count == study.cells_below_floor(name)
+
+    def test_layout_techniques_report_footprint_wins(self, study):
+        pack = study.cell("tcpip", "STD", "pack")
+        assert pack.bytes_saved > 0
+        assert pack.refs_rewritten > 0
+        baseline = study.cell("tcpip", "STD", "baseline")
+        assert baseline.bytes_saved == 0
+        assert baseline.refs_rewritten == 0
+
+    def test_coalescing_beats_the_floor_on_both_stacks(self, study):
+        for stack in study.stacks():
+            floor = study.wb_floor(stack)
+            cell = study.cell(stack, "STD", "coalesce")
+            assert cell.wb_steady < floor

@@ -254,19 +254,19 @@ class TestSweepReportJson:
 
 class TestSurface:
     def test_api_verb(self):
-        study = api.resilience(
-            SMALL, schemes=("one-entry",), fault_rates=(0.0,),
+        study = api.resilience(api.ResilienceStudySpec(
+            traffic=SMALL, schemes=("one-entry",), fault_rates=(0.0,),
             overload=LOADS,
-        )
+        ))
         assert study.engine == "fast"
         assert len(study.points) == 1
 
     def test_api_verb_rejects_reference_engine(self):
         with pytest.raises(ValueError):
-            api.resilience(
-                SMALL, schemes=("one-entry",), fault_rates=(0.0,),
+            api.resilience(api.ResilienceStudySpec(
+                traffic=SMALL, schemes=("one-entry",), fault_rates=(0.0,),
                 engine="reference",
-            )
+            ))
 
     def test_cli_smoke(self, tmp_path, capsys):
         from repro.__main__ import resilience_main

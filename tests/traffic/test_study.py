@@ -108,16 +108,18 @@ class TestRunTrafficStudy:
 
 class TestApiVerb:
     def test_traffic_verb_runs_a_study(self):
-        study = api.traffic(SMALL, schemes=("one-entry",))
+        study = api.traffic(
+            api.TrafficStudySpec(traffic=SMALL, schemes=("one-entry",))
+        )
         assert study.engine == "fast"
         assert len(study.points) == 1
 
     def test_engine_override_beats_environment(self):
-        study = api.traffic(
-            SMALL.with_(packets=600, warmup_packets=100, flows=50),
+        study = api.traffic(api.TrafficStudySpec(
+            traffic=SMALL.with_(packets=600, warmup_packets=100, flows=50),
             schemes=("none",),
             engine="gensim",
-        )
+        ))
         assert study.engine == "gensim"
 
     def test_default_spec_is_the_acceptance_cell(self):
